@@ -1,0 +1,16 @@
+"""E1/E2 — the AGM bound (Theorems 3.1 and 3.2)."""
+
+from repro.experiments import exp_agm
+
+
+def test_e1_agm_upper_bound(experiment):
+    result = experiment(exp_agm.run_upper)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["violations"] == 0
+
+
+def test_e2_agm_tight_construction(experiment):
+    result = experiment(exp_agm.run_tight)
+    assert result.findings["verdict"] == "PASS"
+    # Rounding loss in floor(N^{x_v}) shrinks as N grows.
+    assert result.findings["max_exponent_gap_vs_rho"] < 0.35

@@ -1,0 +1,11 @@
+"""E4 — Freuder's O(|V|·|D|^{k+1}) algorithm (Theorem 4.2)."""
+
+from repro.experiments import exp_freuder
+
+
+def test_e4_freuder_exponent_tracks_width(experiment):
+    result = experiment(exp_freuder.run)
+    assert result.findings["verdict"] == "PASS"
+    exponents = result.findings["fitted_exponents_by_width"]
+    for width, slope in exponents.items():
+        assert slope <= width + 1.6

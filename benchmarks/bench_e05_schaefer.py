@@ -1,0 +1,15 @@
+"""E5 — Schaefer's dichotomy and the ETH's hard 3SAT regime."""
+
+from repro.experiments import exp_schaefer
+
+
+def test_e5_dichotomy_classifier(experiment):
+    result = experiment(exp_schaefer.run_classifier)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["mismatches"] == 0
+
+
+def test_e5_hard_ratio_exponential_growth(experiment):
+    result = experiment(exp_schaefer.run_hard_ratio)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["log2_decisions_slope_per_variable"] > 0.05

@@ -1,0 +1,11 @@
+"""E6 — Special CSP (Definition 4.3): the NP-intermediate candidate."""
+
+from repro.experiments import exp_special
+
+
+def test_e6_special_csp_quasipolynomial(experiment):
+    result = experiment(exp_special.run)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["certificates_hold"]
+    for row in result.rows:
+        assert row["variables"] == row["k_plus_2k"]

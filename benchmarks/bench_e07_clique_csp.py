@@ -1,0 +1,12 @@
+"""E7 — the n^k wall for Clique-as-CSP (Theorems 6.3/6.4)."""
+
+from repro.experiments import exp_clique_csp
+
+
+def test_e7_exponent_grows_with_k(experiment):
+    result = experiment(exp_clique_csp.run)
+    assert result.findings["verdict"] == "PASS"
+    csp_exponents = result.findings["csp_cost_exponent_by_k"]
+    # Theorem 6.4's shape: CSP brute force pays |D|^{|V|} = n^k exactly.
+    for k, slope in csp_exponents.items():
+        assert abs(slope - k) < 0.2

@@ -1,0 +1,11 @@
+"""E8 — treewidth DP optimality on clique primal graphs (Thm 6.5/6.7)."""
+
+from repro.experiments import exp_treewidth_opt
+
+
+def test_e8_dp_exponent_tracks_treewidth(experiment):
+    result = experiment(exp_treewidth_opt.run)
+    assert result.findings["verdict"] == "PASS"
+    exponents = result.findings["dp_exponent_by_clique_size"]
+    ordered = [exponents[s] for s in sorted(exponents)]
+    assert all(a < b for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,11 @@
+"""E9 — the Theorem 7.2 construction: DomSet → CSP + grouping."""
+
+from repro.experiments import exp_domset
+
+
+def test_e9_theorem_72_pipeline(experiment):
+    result = experiment(exp_domset.run)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["widths_within_bounds"]
+    for row in result.rows:
+        assert row["equivalent"] and row["solution_valid"]

@@ -1,0 +1,12 @@
+"""E10 — the k-clique conjecture: matrix split vs brute force (§8)."""
+
+from repro.experiments import exp_kclique_mm
+
+
+def test_e10_matrix_vs_bruteforce(experiment):
+    result = experiment(exp_kclique_mm.run)
+    assert result.findings["verdict"] == "PASS"
+    bf = result.findings["bruteforce_exponent_by_k"]
+    mm = result.findings["matrix_exponent_by_k"]
+    # The gap the conjecture is about appears at the largest k.
+    assert bf[6] > mm[6]

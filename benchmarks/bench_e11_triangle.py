@@ -1,0 +1,12 @@
+"""E11 — triangle detection and the Strong Triangle Conjecture (§8)."""
+
+from repro.experiments import exp_triangle
+
+
+def test_e11_detector_exponents(experiment):
+    result = experiment(exp_triangle.run)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["yes_instance_agreement"]
+    # Naive scanning pays ~m^2 on skewed degrees; ordered stays ~m.
+    assert result.findings["naive_exponent_in_m"] > 1.7
+    assert result.findings["ordered_exponent_in_m"] < 1.5

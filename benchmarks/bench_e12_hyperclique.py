@@ -1,0 +1,12 @@
+"""E12 — the d-uniform hyperclique conjecture (§8)."""
+
+from repro.experiments import exp_hyperclique
+
+
+def test_e12_bruteforce_is_the_frontier(experiment):
+    result = experiment(exp_hyperclique.run)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["planted_instances_found"]
+    exponents = result.findings["ops_exponent_by_k"]
+    ordered = [exponents[k] for k in sorted(exponents)]
+    assert all(a < b for a, b in zip(ordered, ordered[1:]))

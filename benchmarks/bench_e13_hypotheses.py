@@ -1,0 +1,10 @@
+"""E13 — the hypothesis landscape (§1, §9)."""
+
+from repro.experiments import exp_hypotheses
+
+
+def test_e13_landscape(experiment):
+    result = experiment(exp_hypotheses.run)
+    assert result.findings["verdict"] == "PASS"
+    assert not result.findings["implication_errors"]
+    assert result.findings["total_bounds"] >= 15

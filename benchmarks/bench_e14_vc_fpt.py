@@ -1,0 +1,10 @@
+"""E14 — FPT vs XP: Vertex Cover's 2^k search tree (§5)."""
+
+from repro.experiments import exp_vc_fpt
+
+
+def test_e14_fpt_flat_in_n(experiment):
+    result = experiment(exp_vc_fpt.run)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["fpt_exponent_in_n"] < 1.0
+    assert result.findings["bruteforce_exponent_in_n"] > 2.5

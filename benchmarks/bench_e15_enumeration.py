@@ -1,0 +1,10 @@
+"""E15 — constant-delay enumeration for acyclic queries (§8 context)."""
+
+from repro.experiments import exp_enumeration
+
+
+def test_e15_constant_delay(experiment):
+    result = experiment(exp_enumeration.run)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["acyclic_delay_exponent"] < 0.2
+    assert result.findings["naive_delay_exponent"] > 0.7

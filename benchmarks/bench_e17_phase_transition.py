@@ -1,0 +1,13 @@
+"""E17 — the random-CSP phase transition (§6 context)."""
+
+from repro.experiments import exp_phase_transition
+
+
+def test_e17_hardness_peaks_at_threshold(experiment):
+    result = experiment(exp_phase_transition.run)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["peak_over_edges"] > 1.5
+    # SAT fraction goes 1 -> 0 across the sweep.
+    fractions = result.column("sat_fraction")
+    assert fractions[0] == 1.0
+    assert fractions[-1] == 0.0

@@ -1,0 +1,13 @@
+"""E18 — SETH inside P: Orthogonal Vectors and Edit Distance (§7)."""
+
+from repro.experiments import exp_finegrained
+
+
+def test_e18_quadratic_walls(experiment):
+    result = experiment(exp_finegrained.run)
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["sat_ov_equivalent"]
+    assert result.findings["ov_exponent"] > 1.8
+    assert result.findings["edit_dp_exponent"] > 1.8
+    # The banded escape under a small-distance promise is linear.
+    assert result.findings["edit_banded_exponent"] < 1.3

@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one experiment from DESIGN.md's index at
+full scale, asserts the paper-predicted shape (the experiment's PASS
+verdict), and prints the experiment's row table into the captured
+output so ``pytest benchmarks/ --benchmark-only -s`` shows the series.
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, fn, **kwargs):
+    """Run one experiment under pytest-benchmark (single round: the
+    experiments are multi-second parameter sweeps, not microbenchmarks)
+    and return its result."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result)
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture form of :func:`run_experiment`."""
+
+    def runner(fn, **kwargs):
+        return run_experiment(benchmark, fn, **kwargs)
+
+    return runner

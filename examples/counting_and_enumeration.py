@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Counting, enumeration, and minimization — beyond decision.
+
+The paper defines three versions of every problem: decide, count,
+enumerate (§2.1/§2.2). This walk-through exercises all three plus the
+§2.4/§5 core machinery:
+
+1. count join answers without materializing them (treewidth DP);
+2. enumerate with constant delay on acyclic queries vs the naive
+   enumerator's growing delays;
+3. minimize a self-join query via its core (Chandra–Merlin);
+4. solve a HOM instance through the core (Theorem 5.3's algorithm);
+5. find a k-path by color coding (an FPT technique of §5).
+
+Run:  python examples/counting_and_enumeration.py
+"""
+
+from repro import CostCounter
+from repro.generators import uniform_random_database
+from repro.graphs.color_coding import find_k_path_color_coding, is_simple_path
+from repro.graphs.graph import Graph
+from repro.relational import (
+    Atom,
+    JoinQuery,
+    count_answers,
+    enumerate_acyclic,
+    enumerate_nested_loop,
+    generic_join,
+    measure_delays,
+    minimize_query,
+)
+from repro.structures import Structure, solve_hom_via_core
+
+
+def main() -> None:
+    print("=== 1. Counting without materializing ===")
+    query = JoinQuery.path(6)
+    database = uniform_random_database(query, 50, 6, seed=3)
+    counter = CostCounter()
+    count = count_answers(query, database, counter)
+    print(f"path-6 query, N = 50: |Q(D)| = {count}")
+    print(f"counting DP operations: {counter.total} "
+          f"(materializing would touch every one of the {count} tuples)")
+
+    print("\n=== 2. Constant-delay enumeration (acyclic) ===")
+    from repro.experiments.exp_enumeration import dangling_database
+
+    q3 = JoinQuery.path(3)
+    for n in (100, 400):
+        c_fast, c_naive = CostCounter(), CostCounter()
+        fast = measure_delays(enumerate_acyclic(q3, dangling_database(n), c_fast), c_fast)
+        naive = measure_delays(
+            enumerate_nested_loop(q3, dangling_database(n), c_naive), c_naive
+        )
+        print(
+            f"N = {n:>4}: acyclic max inter-answer delay = {max(fast[1:])}, "
+            f"naive = {max(naive[1:])}"
+        )
+    print("the reduced enumerator's delay is data-independent — [13]'s guarantee.")
+
+    print("\n=== 3. Query minimization via cores ===")
+    query = JoinQuery(
+        [Atom("E", ("a", "b")), Atom("E", ("b", "c")), Atom("E", ("d", "b"))]
+    )
+    red = minimize_query(query)
+    red.certify()
+    print(f"original:  {query}")
+    print(f"minimized: {red.target}")
+
+    print("\n=== 4. HOM via the core (Theorem 5.3's algorithm) ===")
+    # K(3,3) as a pattern: treewidth 3, but its core is a single edge.
+    pattern = Structure.from_graph(
+        Graph(edges=[((0, i), (1, j)) for i in range(3) for j in range(3)])
+    )
+    target = Structure.from_graph(Graph(edges=[(0, 1), (1, 2)]))
+    hom = solve_hom_via_core(pattern, target)
+    print(f"K(3,3) -> P3 homomorphism found: {hom is not None} "
+          f"(solved on the 2-element core, not the 6-element pattern)")
+
+    print("\n=== 5. Color coding: FPT k-path (§5) ===")
+    graph = Graph(edges=[(i, i + 1) for i in range(9)])
+    graph.add_edge(3, 0)  # some noise
+    path = find_k_path_color_coding(graph, 7, seed=1)
+    print(f"7-path found: {path}")
+    print(f"verified simple path: {is_simple_path(graph, path)}")
+
+
+if __name__ == "__main__":
+    main()

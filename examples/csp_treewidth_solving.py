@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Solving CSPs by treewidth (Theorem 4.2) — and where it must stop.
+
+Walks the §4–§6 story on live instances:
+
+1. a bounded-treewidth CSP solved by Freuder's DP in |D|^{k+1} work,
+   with measured operation counts as |D| grows;
+2. the same instance given to brute force (|D|^{|V|}) for contrast;
+3. a clique-structured CSP where the DP's cost must scale with the
+   clique size — Theorem 6.5's message that cliques are the hard shape;
+4. the Special CSP (Definition 4.3) solved in quasipolynomial time.
+
+Run:  python examples/csp_treewidth_solving.py
+"""
+
+from itertools import product
+
+from repro import CostCounter, Constraint, CSPInstance
+from repro.csp import count_with_treewidth, solve_bruteforce, solve_with_treewidth
+from repro.generators import bounded_treewidth_csp
+from repro.graphs.special import make_special_graph, solve_special_csp
+from repro.treewidth import treewidth_min_fill
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    banner("1. Freuder's DP on a treewidth-2 CSP (Theorem 4.2)")
+    print(f"{'|D|':>5} {'DP ops':>10} {'sat?':>6} {'#solutions':>12}")
+    for d in (2, 4, 8, 16):
+        instance = bounded_treewidth_csp(14, d, width=2, tightness=0.2, seed=1)
+        width, decomposition = treewidth_min_fill(instance.primal_graph())
+        counter = CostCounter()
+        solution = solve_with_treewidth(instance, decomposition, counter)
+        count = count_with_treewidth(instance, decomposition)
+        print(f"{d:>5} {counter.total:>10} {str(solution is not None):>6} {count:>12}")
+    print("ops grow ~|D|^(k+1) = |D|^3 — polynomial for fixed width.")
+
+    banner("2. Brute force on the same shape pays |D|^{|V|}")
+    instance = bounded_treewidth_csp(10, 3, width=2, tightness=0.6, seed=2)
+    dp_counter, bf_counter = CostCounter(), CostCounter()
+    dp = solve_with_treewidth(instance, counter=dp_counter)
+    bf = solve_bruteforce(instance, bf_counter)
+    print(f"DP ops:          {dp_counter.total}")
+    print(f"brute force ops: {bf_counter.total}")
+    print(f"agreement:       {(dp is None) == (bf is None)}")
+
+    banner("3. Cliques are the hard primal shape (Theorem 6.5)")
+    print(f"{'clique':>7} {'treewidth':>10} {'DP ops at |D|=6':>16}")
+    for size in (2, 3, 4, 5):
+        variables = [f"v{i}" for i in range(size)]
+        domain = list(range(6))
+        disequal = {(a, b) for a, b in product(domain, repeat=2) if a != b}
+        constraints = [
+            Constraint((variables[i], variables[j]), disequal)
+            for i in range(size)
+            for j in range(i + 1, size)
+        ]
+        clique_instance = CSPInstance(variables, domain, constraints)
+        width, decomposition = treewidth_min_fill(clique_instance.primal_graph())
+        counter = CostCounter()
+        solve_with_treewidth(clique_instance, decomposition, counter)
+        print(f"{size:>7} {width:>10} {counter.total:>16}")
+    print("the exponent tracks the treewidth: no algorithm avoids this (ETH).")
+
+    banner("4. Special CSP (Definition 4.3): quasipolynomial by design")
+    for k in (2, 3):
+        graph = make_special_graph(k)
+        domain = list(range(max(k, 2)))
+        disequal = {(a, b) for a, b in product(domain, repeat=2) if a != b}
+        constraints = [Constraint((u, v), disequal) for u, v in graph.edges()]
+        instance = CSPInstance(list(graph.vertices), domain, constraints)
+        counter = CostCounter()
+        solution = solve_special_csp(instance, counter)
+        print(
+            f"k={k}: |V| = {instance.num_variables} (= k + 2^k), "
+            f"solver ops = {counter.total}, solved = {solution is not None}"
+        )
+    print(
+        "the clique part is brute-forced in |D|^k with k <= log2|V| — "
+        "n^O(log n) total, and the ETH says n^o(log n) is impossible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""SETH inside P — the §7 fine-grained story, live.
+
+1. reduce a CNF formula to Orthogonal Vectors by split-and-enumerate
+   (the engine of every SETH polynomial lower bound), solve the OV
+   instance, decode a model;
+2. measure the quadratic shape of OV brute force and the edit-distance
+   DP — the walls [56] and [12, 19] say are real;
+3. show the permitted escape: the banded DP under a small-distance
+   promise.
+
+Run:  python examples/fine_grained_tour.py
+"""
+
+import random
+
+from repro import CostCounter
+from repro.finegrained import (
+    edit_distance,
+    edit_distance_banded,
+    find_orthogonal_pair,
+    sat_to_orthogonal_vectors,
+)
+from repro.generators import planted_ksat
+
+
+def main() -> None:
+    print("=== 1. CNF-SAT → Orthogonal Vectors ===")
+    formula, __ = planted_ksat(10, 32, 3, seed=4)
+    reduction = sat_to_orthogonal_vectors(formula)
+    reduction.certify()
+    for cert in reduction.certificates:
+        print(f"  ✓ {cert.name}  [{cert.detail}]")
+    pair = find_orthogonal_pair(reduction.target)
+    model = reduction.pull_back(pair)
+    print(f"  orthogonal pair found; decodes to a model: {formula.evaluate(model)}")
+    print(
+        "  an O(N^{2-ε}) OV algorithm would run in 2^{(1-ε/2)n} here — "
+        "refuting the SETH."
+    )
+
+    print("\n=== 2. The quadratic walls ===")
+    rng = random.Random(0)
+    print(f"{'n':>6} {'edit-DP ops':>12} {'ops/n²':>8}")
+    for n in (100, 200, 400):
+        a = "".join(rng.choice("ab") for __ in range(n))
+        b = "".join(rng.choice("ab") for __ in range(n))
+        counter = CostCounter()
+        edit_distance(a, b, counter)
+        print(f"{n:>6} {counter.total:>12} {counter.total / n**2:>8.2f}")
+    print("ops/n² is constant: the DP is exactly quadratic, and under the")
+    print("SETH (via OV) no algorithm improves the exponent.")
+
+    print("\n=== 3. The permitted escape: banded DP ===")
+    base = "ab" * 500
+    noisy = list(base)
+    for i in (100, 400, 900):
+        noisy[i] = "b"
+    noisy_str = "".join(noisy)
+    full, banded = CostCounter(), CostCounter()
+    d1 = edit_distance(base, noisy_str, full)
+    d2 = edit_distance_banded(base, noisy_str, 8, banded)
+    print(f"  distance: full DP {d1}, banded {d2}")
+    print(f"  operations: full {full.total}, banded {banded.total} "
+          f"({full.total // max(banded.total, 1)}x less)")
+    print("  faster — but only under a promise on the *output*, which the")
+    print("  lower bound explicitly allows.")
+
+
+if __name__ == "__main__":
+    main()

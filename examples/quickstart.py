@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's triangle query, end to end.
+
+Builds the §3 running example Q = R1(a1,a2) ⋈ R2(a1,a3) ⋈ R3(a2,a3),
+computes its fractional edge cover number ρ* = 3/2, evaluates it with
+three engines, and shows the AGM bound (Theorem 3.1) and its tightness
+(Theorem 3.2) on concrete databases.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CostCounter, JoinQuery, agm_bound, evaluate_left_deep, generic_join
+from repro.generators import (
+    skewed_triangle_database,
+    tight_agm_database,
+    uniform_random_database,
+)
+from repro.hypergraph import fractional_edge_cover, fractional_edge_cover_number
+
+
+def main() -> None:
+    query = JoinQuery.triangle()
+    print(f"Query: {query}")
+
+    hypergraph = query.hypergraph()
+    rho = fractional_edge_cover_number(hypergraph)
+    cover = fractional_edge_cover(hypergraph)
+    print(f"fractional edge cover number rho* = {rho}")
+    print(f"optimal edge weights: {[round(w, 3) for w in cover.weights]}")
+    print()
+
+    # --- Theorem 3.1: the AGM bound dominates every instance ---------
+    n = 200
+    database = uniform_random_database(query, n, domain_size=60, seed=0)
+    answer = generic_join(query, database)
+    bound = agm_bound(query, database)
+    print(f"random database, N = {n}:")
+    print(f"  |answer| = {len(answer)}  <=  AGM bound = {bound:.1f}")
+    print()
+
+    # --- Theorem 3.2: the bound is tight -----------------------------
+    tight = tight_agm_database(query, n)
+    tight_answer = generic_join(query, tight)
+    print(f"tight database (Theorem 3.2 construction), N = {n}:")
+    print(f"  |answer| = {len(tight_answer)}  ~=  N^1.5 = {n**1.5:.0f}")
+    print()
+
+    # --- Theorem 3.3: worst-case optimal join vs pairwise plans ------
+    skew = skewed_triangle_database(n)
+    counter = CostCounter()
+    skew_answer = generic_join(query, skew, counter=counter)
+    plan = evaluate_left_deep(query, skew)
+    print(f"skewed database, N = {n}:")
+    print(f"  answer size:                 {len(skew_answer)}")
+    print(f"  Generic Join operations:     {counter.total}")
+    print(f"  pairwise plan peak interm.:  {plan.peak_intermediate_size}")
+    print()
+    print(
+        "Generic Join stays near the answer size; the pairwise plan "
+        "materializes ~N^2/4 tuples — the gap Theorem 3.3 closes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) fail. Keeping a
+``setup.py`` and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works with setuptools alone. Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,117 @@
+"""repro — an executable companion to Marx, "Modern Lower Bound
+Techniques in Database Theory and Constraint Satisfaction" (PODS 2021).
+
+The library implements all four problem domains of the paper
+(§2: join queries, CSPs, graphs, relational structures), the algorithms
+whose optimality the paper's conditional lower bounds certify, the
+reductions used in the proofs (as certified, machine-checkable instance
+transformations), and the hypothesis landscape (ETH, SETH, FPT≠W[1],
+and the §8 conjectures) as first-class objects.
+
+Quick tour
+----------
+>>> from repro import JoinQuery, generic_join
+>>> from repro.generators import tight_agm_database
+>>> q = JoinQuery.triangle()
+>>> db = tight_agm_database(q, 100)
+>>> len(generic_join(q, db))      # ~ 100^1.5, the AGM bound
+1000
+
+Subpackages
+-----------
+- :mod:`repro.relational` — join queries, WCOJ, Yannakakis, AGM bounds
+- :mod:`repro.csp` — CSP instances and solvers (incl. Freuder's DP)
+- :mod:`repro.graphs` — clique/triangle/dominating-set/VC algorithms
+- :mod:`repro.structures` — relational structures, homomorphisms, cores
+- :mod:`repro.hypergraph` — fractional covers, acyclicity
+- :mod:`repro.treewidth` — tree decompositions (heuristic, exact, nice)
+- :mod:`repro.sat` — CNF, DPLL, 2SAT, Horn, affine, Schaefer classifier
+- :mod:`repro.reductions` — the paper's reductions, certified
+- :mod:`repro.complexity` — hypotheses, implications, lower bounds
+- :mod:`repro.generators` — reproducible instance generators
+- :mod:`repro.experiments` — one empirical witness per theorem
+"""
+
+from .counting import CostCounter
+from .errors import (
+    BudgetExceededError,
+    InvalidDecompositionError,
+    InvalidInstanceError,
+    ReductionError,
+    ReproError,
+    SchemaError,
+    SolverError,
+)
+from .relational import (
+    Atom,
+    Database,
+    JoinQuery,
+    Relation,
+    agm_bound,
+    agm_bound_uniform,
+    evaluate_left_deep,
+    generic_join,
+    hash_join,
+    yannakakis,
+)
+from .csp import (
+    Constraint,
+    CSPInstance,
+    count_with_treewidth,
+    solve,
+    solve_backtracking,
+    solve_bruteforce,
+    solve_with_treewidth,
+)
+from .graphs import Graph, DiGraph
+from .hypergraph import Hypergraph, fractional_edge_cover_number
+from .treewidth import TreeDecomposition, treewidth_exact, treewidth_min_fill
+from .sat import CNF, solve_dpll
+from .structures import Structure, Vocabulary, compute_core
+from .complexity import LowerBound, all_lower_bounds, bounds_under, implies
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "BudgetExceededError",
+    "CNF",
+    "CSPInstance",
+    "Constraint",
+    "CostCounter",
+    "Database",
+    "DiGraph",
+    "Graph",
+    "Hypergraph",
+    "InvalidDecompositionError",
+    "InvalidInstanceError",
+    "JoinQuery",
+    "LowerBound",
+    "ReductionError",
+    "Relation",
+    "ReproError",
+    "SchemaError",
+    "SolverError",
+    "Structure",
+    "TreeDecomposition",
+    "Vocabulary",
+    "agm_bound",
+    "agm_bound_uniform",
+    "all_lower_bounds",
+    "bounds_under",
+    "compute_core",
+    "count_with_treewidth",
+    "evaluate_left_deep",
+    "fractional_edge_cover_number",
+    "generic_join",
+    "hash_join",
+    "implies",
+    "solve",
+    "solve_backtracking",
+    "solve_bruteforce",
+    "solve_dpll",
+    "solve_with_treewidth",
+    "treewidth_exact",
+    "treewidth_min_fill",
+    "yannakakis",
+]

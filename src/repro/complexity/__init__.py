@@ -1,0 +1,57 @@
+"""Complexity hypotheses, implications, and lower-bound statements.
+
+The paper's organizing spine (§1, §4–§8): a registry of the
+assumptions (P≠NP, FPT≠W[1], ETH, SETH, the k-clique / hyperclique /
+triangle conjectures), the implication digraph between them, and
+first-class :class:`LowerBound` objects tying each theorem to its
+hypothesis and to the module that implements its reduction.
+"""
+
+from .hypotheses import (
+    ETH,
+    FPT_NEQ_W1,
+    HYPERCLIQUE_CONJECTURE,
+    KCLIQUE_CONJECTURE,
+    P_NEQ_NP,
+    SETH,
+    TRIANGLE_CONJECTURE,
+    UNCONDITIONAL,
+    Hypothesis,
+    all_hypotheses,
+    get_hypothesis,
+)
+from .implications import (
+    implication_graph,
+    implies,
+    stronger_hypotheses,
+    weaker_hypotheses,
+)
+from .bounds import LowerBound, all_lower_bounds, bounds_under
+from .paper_map import PAPER_MAP, format_paper_map, modules_for
+from .report import format_hypothesis_report, format_landscape
+
+__all__ = [
+    "ETH",
+    "FPT_NEQ_W1",
+    "HYPERCLIQUE_CONJECTURE",
+    "Hypothesis",
+    "KCLIQUE_CONJECTURE",
+    "LowerBound",
+    "PAPER_MAP",
+    "P_NEQ_NP",
+    "SETH",
+    "TRIANGLE_CONJECTURE",
+    "UNCONDITIONAL",
+    "all_hypotheses",
+    "all_lower_bounds",
+    "bounds_under",
+    "format_hypothesis_report",
+    "format_landscape",
+    "format_paper_map",
+    "get_hypothesis",
+    "implication_graph",
+    "implies",
+    "modules_for",
+    "stronger_hypotheses",
+    "weaker_hypotheses",
+]

@@ -1,0 +1,227 @@
+"""First-class lower-bound statements: the paper's theorems as data.
+
+Each :class:`LowerBound` records the problem, the running time ruled
+out, the hypothesis conditioning the statement, the paper reference,
+and — where this library implements it — the module holding the
+reduction/construction and the experiment that witnesses the claimed
+shape empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hypotheses import (
+    ETH,
+    FPT_NEQ_W1,
+    HYPERCLIQUE_CONJECTURE,
+    KCLIQUE_CONJECTURE,
+    OV_CONJECTURE,
+    SETH,
+    TRIANGLE_CONJECTURE,
+    UNCONDITIONAL,
+    get_hypothesis,
+)
+from .implications import implies
+
+
+@dataclass(frozen=True)
+class LowerBound:
+    """One conditional (or unconditional) lower bound.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier.
+    problem:
+        The problem the bound is about.
+    ruled_out:
+        The running time shown impossible.
+    hypothesis:
+        Key of the hypothesis the bound conditions on.
+    paper_ref:
+        Theorem/corollary number in the paper.
+    reduction_module:
+        Dotted path of the module implementing the construction, if any.
+    experiment:
+        Experiment id (DESIGN.md index) that witnesses the shape.
+    """
+
+    key: str
+    problem: str
+    ruled_out: str
+    hypothesis: str
+    paper_ref: str
+    reduction_module: str = ""
+    experiment: str = ""
+
+
+_BOUNDS: tuple[LowerBound, ...] = (
+    LowerBound(
+        key="agm-tight",
+        problem="Join Query evaluation (computing the full answer)",
+        ruled_out="o(N^ρ*(H)) — the answer itself can have size N^ρ*(H)",
+        hypothesis=UNCONDITIONAL.key,
+        paper_ref="Theorem 3.2",
+        reduction_module="repro.generators.agm",
+        experiment="E2-agm-tight",
+    ),
+    LowerBound(
+        key="csp-subexp-vars",
+        problem="CSP with |D| = 2, arity ≤ 3",
+        ruled_out="2^{o(|V|)} · n^{O(1)}",
+        hypothesis=ETH.key,
+        paper_ref="Corollary 6.1",
+        reduction_module="repro.reductions.sat_to_csp",
+        experiment="E5-schaefer",
+    ),
+    LowerBound(
+        key="csp-subexp-size",
+        problem="binary CSP with |D| = 3",
+        ruled_out="2^{o(|V| + |C|)} · n^{O(1)}",
+        hypothesis=ETH.key,
+        paper_ref="Corollary 6.2",
+        reduction_module="repro.reductions.sat_to_coloring",
+        experiment="E5-schaefer",
+    ),
+    LowerBound(
+        key="clique-no-fpt",
+        problem="k-Clique",
+        ruled_out="f(k) · n^{o(k)}",
+        hypothesis=ETH.key,
+        paper_ref="Theorem 6.3 (Chen et al.)",
+        reduction_module="repro.graphs.clique",
+        experiment="E7-clique-csp",
+    ),
+    LowerBound(
+        key="csp-domain-exponent",
+        problem="binary CSP parameterized by |V|",
+        ruled_out="f(|V|) · |D|^{o(|V|)} · n^{O(1)}",
+        hypothesis=ETH.key,
+        paper_ref="Theorem 6.4",
+        reduction_module="repro.reductions.clique_to_csp",
+        experiment="E7-clique-csp",
+    ),
+    LowerBound(
+        key="special-csp",
+        problem="Special CSP (Definition 4.3)",
+        ruled_out="f(|V|) · n^{o(log |V|)}",
+        hypothesis=ETH.key,
+        paper_ref="§6 via the Special CSP reduction",
+        reduction_module="repro.reductions.clique_to_special",
+        experiment="E6-special",
+    ),
+    LowerBound(
+        key="treewidth-exponent",
+        problem="binary CSP of primal treewidth k",
+        ruled_out="f(|V|) · n^{o(k)}",
+        hypothesis=ETH.key,
+        paper_ref="Theorem 6.5",
+        reduction_module="repro.csp.treewidth_dp",
+        experiment="E8-treewidth-opt",
+    ),
+    LowerBound(
+        key="beat-treewidth",
+        problem="CSP(G) for any class G of unbounded treewidth",
+        ruled_out="f(|V|) · n^{o(k / log k)}",
+        hypothesis=ETH.key,
+        paper_ref="Theorem 6.6 [52] / Theorem 6.7 [25]",
+        reduction_module="repro.csp.treewidth_dp",
+        experiment="E8-treewidth-opt",
+    ),
+    LowerBound(
+        key="grohe-ss-dichotomy",
+        problem="CSP(G) polynomial-time solvability",
+        ruled_out="polynomial time for any unbounded-treewidth G",
+        hypothesis=FPT_NEQ_W1.key,
+        paper_ref="Theorem 5.2 (Grohe–Schwentick–Segoufin)",
+        reduction_module="repro.reductions.clique_to_csp",
+        experiment="E4-freuder",
+    ),
+    LowerBound(
+        key="grohe-core-dichotomy",
+        problem="HOM(A, _) polynomial-time solvability",
+        ruled_out="polynomial time when cores have unbounded treewidth",
+        hypothesis=FPT_NEQ_W1.key,
+        paper_ref="Theorem 5.3 (Grohe)",
+        reduction_module="repro.structures.core",
+        experiment="E13-hypotheses",
+    ),
+    LowerBound(
+        key="domset-exponent",
+        problem="k-Dominating Set (k ≥ 3)",
+        ruled_out="O(n^{k−ε})",
+        hypothesis=SETH.key,
+        paper_ref="Theorem 7.1 (Pătrașcu–Williams)",
+        reduction_module="repro.graphs.dominating_set",
+        experiment="E9-domset",
+    ),
+    LowerBound(
+        key="freuder-optimal",
+        problem="CSP of primal treewidth ≤ k",
+        ruled_out="O(|V|^c · |D|^{k−ε})",
+        hypothesis=SETH.key,
+        paper_ref="Theorem 7.2",
+        reduction_module="repro.reductions.domset_to_csp",
+        experiment="E9-domset",
+    ),
+    LowerBound(
+        key="kclique-matrix",
+        problem="k-Clique",
+        ruled_out="O(n^{(ω−ε)k/3 + c})",
+        hypothesis=KCLIQUE_CONJECTURE.key,
+        paper_ref="§8 (Abboud–Backurs–Vassilevska Williams context)",
+        reduction_module="repro.graphs.clique",
+        experiment="E10-kclique-mm",
+    ),
+    LowerBound(
+        key="csp-bruteforce",
+        problem="CSP with arity ≤ 3",
+        ruled_out="f(|V|) · |D|^{(1−ε)|V| + c} · n^{O(1)}",
+        hypothesis=HYPERCLIQUE_CONJECTURE.key,
+        paper_ref="§8 (hyperclique translation)",
+        reduction_module="repro.graphs.hyperclique",
+        experiment="E12-hyperclique",
+    ),
+    LowerBound(
+        key="ov-quadratic",
+        problem="Orthogonal Vectors",
+        ruled_out="O(n^{2−ε} · poly(d))",
+        hypothesis=SETH.key,
+        paper_ref="§7 (fine-grained complexity, [56])",
+        reduction_module="repro.finegrained.sat_to_ov",
+        experiment="E18-finegrained",
+    ),
+    LowerBound(
+        key="edit-distance-quadratic",
+        problem="Edit Distance",
+        ruled_out="O(n^{2−ε})",
+        hypothesis=OV_CONJECTURE.key,
+        paper_ref="§7 (Backurs–Indyk [12], Bringmann–Künnemann [19])",
+        reduction_module="repro.finegrained.edit_distance",
+        experiment="E18-finegrained",
+    ),
+    LowerBound(
+        key="triangle-sparse",
+        problem="Triangle detection / Boolean triangle join query",
+        ruled_out="better than O(m^{2ω/(ω+1)})",
+        hypothesis=TRIANGLE_CONJECTURE.key,
+        paper_ref="§8 (Strong Triangle Conjecture [4])",
+        reduction_module="repro.graphs.triangle",
+        experiment="E11-triangle",
+    ),
+)
+
+
+def all_lower_bounds() -> list[LowerBound]:
+    """Every registered lower bound, in paper order."""
+    return list(_BOUNDS)
+
+
+def bounds_under(hypothesis_key: str) -> list[LowerBound]:
+    """All bounds that hold if ``hypothesis_key`` is assumed — i.e.
+    whose own hypothesis is implied by it."""
+    get_hypothesis(hypothesis_key)
+    return [
+        b for b in _BOUNDS if implies(hypothesis_key, b.hypothesis)
+    ]

@@ -1,0 +1,147 @@
+"""The complexity hypotheses the paper's lower bounds condition on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """A complexity assumption.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier used by lower bounds and the implication graph.
+    name:
+        Human-readable name.
+    statement:
+        The formal statement, phrased as in the paper.
+    paper_section:
+        Where the paper introduces it.
+    plausibility:
+        The paper's qualitative standing of the assumption, from
+        "theorem" (unconditional) through "standard" to "conjecture".
+    """
+
+    key: str
+    name: str
+    statement: str
+    paper_section: str
+    plausibility: str
+
+
+UNCONDITIONAL = Hypothesis(
+    key="unconditional",
+    name="(no assumption)",
+    statement="Holds outright; used for information-theoretic bounds "
+    "such as Theorem 3.2's answer-size lower bound.",
+    paper_section="§3",
+    plausibility="theorem",
+)
+
+P_NEQ_NP = Hypothesis(
+    key="p-neq-np",
+    name="P ≠ NP",
+    statement="No NP-hard problem admits a polynomial-time algorithm.",
+    paper_section="§4",
+    plausibility="standard",
+)
+
+FPT_NEQ_W1 = Hypothesis(
+    key="fpt-neq-w1",
+    name="FPT ≠ W[1]",
+    statement="Clique is not fixed-parameter tractable: no f(k)·n^{O(1)} "
+    "algorithm decides k-Clique.",
+    paper_section="§5",
+    plausibility="standard",
+)
+
+ETH = Hypothesis(
+    key="eth",
+    name="Exponential-Time Hypothesis (ETH)",
+    statement="s_3 > 0: 3SAT with n variables cannot be solved in time "
+    "2^{o(n)} (Hypothesis 1); with the Sparsification Lemma, not in "
+    "2^{o(n+m)} (Hypothesis 2).",
+    paper_section="§6",
+    plausibility="standard",
+)
+
+SETH = Hypothesis(
+    key="seth",
+    name="Strong Exponential-Time Hypothesis (SETH)",
+    statement="lim_{k→∞} s_k = 1: CNF-SAT with n variables and m clauses "
+    "cannot be solved in time (2−ε)^n · m^{O(1)} for any ε > 0 "
+    "(Hypothesis 3).",
+    paper_section="§7",
+    plausibility="controversial",
+)
+
+KCLIQUE_CONJECTURE = Hypothesis(
+    key="k-clique",
+    name="k-clique conjecture",
+    statement="No O(n^{(ω−ε)k/3 + c}) algorithm detects k-cliques for any "
+    "ε, c > 0: the Nešetřil–Poljak matrix-multiplication bound is optimal.",
+    paper_section="§8",
+    plausibility="conjecture",
+)
+
+HYPERCLIQUE_CONJECTURE = Hypothesis(
+    key="hyperclique",
+    name="d-uniform hyperclique conjecture",
+    statement="For every fixed d ≥ 3 there is no O(n^{(1−ε)k + c}) "
+    "algorithm detecting k-cliques in d-uniform hypergraphs for any "
+    "ε, c > 0: brute force is optimal.",
+    paper_section="§8",
+    plausibility="conjecture",
+)
+
+OV_CONJECTURE = Hypothesis(
+    key="orthogonal-vectors",
+    name="Orthogonal Vectors conjecture",
+    statement="No O(n^{2−ε} · poly(d)) algorithm decides Orthogonal "
+    "Vectors for any ε > 0. Implied by the SETH via the "
+    "split-and-enumerate reduction; the workhorse of §7-style "
+    "fine-grained lower bounds inside P.",
+    paper_section="§7 (fine-grained complexity, [3, 56])",
+    plausibility="standard",
+)
+
+TRIANGLE_CONJECTURE = Hypothesis(
+    key="triangle",
+    name="Strong Triangle Conjecture",
+    statement="No algorithm detects a triangle in time better than "
+    "O(m^{2ω/(ω+1)}) in the number of edges m.",
+    paper_section="§8",
+    plausibility="conjecture",
+)
+
+_REGISTRY: dict[str, Hypothesis] = {
+    h.key: h
+    for h in (
+        UNCONDITIONAL,
+        P_NEQ_NP,
+        FPT_NEQ_W1,
+        ETH,
+        SETH,
+        KCLIQUE_CONJECTURE,
+        HYPERCLIQUE_CONJECTURE,
+        TRIANGLE_CONJECTURE,
+        OV_CONJECTURE,
+    )
+}
+
+
+def all_hypotheses() -> list[Hypothesis]:
+    """Every registered hypothesis, strongest assumptions last."""
+    return list(_REGISTRY.values())
+
+
+def get_hypothesis(key: str) -> Hypothesis:
+    if key not in _REGISTRY:
+        raise InvalidInstanceError(
+            f"unknown hypothesis {key!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]

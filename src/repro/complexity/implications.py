@@ -1,0 +1,87 @@
+"""The implication digraph among hypotheses.
+
+An arc X → Y means "X implies Y" (refuting Y refutes X); equivalently Y
+is the weaker assumption. The edges are the standard ones the paper
+relies on:
+
+* SETH ⇒ ETH (Impagliazzo–Paturi);
+* ETH ⇒ FPT ≠ W[1] (via Theorem 6.3: ETH rules out f(k)·n^{o(k)} for
+  Clique, in particular any FPT algorithm);
+* FPT ≠ W[1] ⇒ P ≠ NP (an NP algorithm for everything would make
+  Clique FPT);
+* ETH ⇒ P ≠ NP;
+* the k-clique conjecture ⇒ FPT ≠ W[1] (an f(k)·n^{O(1)} Clique
+  algorithm beats n^{(ω−ε)k/3} for large k);
+* the d-uniform hyperclique conjecture ⇒ FPT ≠ W[1] likewise.
+
+Every hypothesis trivially implies "unconditional".
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import DiGraph
+from .hypotheses import (
+    ETH,
+    FPT_NEQ_W1,
+    HYPERCLIQUE_CONJECTURE,
+    KCLIQUE_CONJECTURE,
+    OV_CONJECTURE,
+    P_NEQ_NP,
+    SETH,
+    TRIANGLE_CONJECTURE,
+    UNCONDITIONAL,
+    all_hypotheses,
+    get_hypothesis,
+)
+
+_EDGES: tuple[tuple[str, str], ...] = (
+    (SETH.key, ETH.key),
+    (SETH.key, OV_CONJECTURE.key),
+    (ETH.key, FPT_NEQ_W1.key),
+    (ETH.key, P_NEQ_NP.key),
+    (FPT_NEQ_W1.key, P_NEQ_NP.key),
+    (KCLIQUE_CONJECTURE.key, FPT_NEQ_W1.key),
+    (HYPERCLIQUE_CONJECTURE.key, FPT_NEQ_W1.key),
+    (TRIANGLE_CONJECTURE.key, P_NEQ_NP.key),
+)
+
+
+def implication_graph() -> DiGraph:
+    """The digraph with an arc X → Y whenever X implies Y."""
+    graph = DiGraph(vertices=[h.key for h in all_hypotheses()])
+    for src, dst in _EDGES:
+        graph.add_edge(src, dst)
+    for h in all_hypotheses():
+        if h.key != UNCONDITIONAL.key:
+            graph.add_edge(h.key, UNCONDITIONAL.key)
+    return graph
+
+
+def implies(stronger: str, weaker: str) -> bool:
+    """True iff ``stronger`` implies ``weaker`` (reflexively)."""
+    get_hypothesis(stronger)
+    get_hypothesis(weaker)
+    if stronger == weaker:
+        return True
+    graph = implication_graph()
+    frontier = [stronger]
+    seen = {stronger}
+    while frontier:
+        node = frontier.pop()
+        for nxt in graph.successors(node):
+            if nxt == weaker:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def weaker_hypotheses(key: str) -> list[str]:
+    """All hypotheses implied by ``key`` (excluding itself)."""
+    return [h.key for h in all_hypotheses() if h.key != key and implies(key, h.key)]
+
+
+def stronger_hypotheses(key: str) -> list[str]:
+    """All hypotheses implying ``key`` (excluding itself)."""
+    return [h.key for h in all_hypotheses() if h.key != key and implies(h.key, key)]

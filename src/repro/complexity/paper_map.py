@@ -1,0 +1,152 @@
+"""Paper-section → module navigation map, as data.
+
+A machine-readable index of where each section of the paper lives in
+this library. Used by documentation tooling and by tests that keep the
+map honest (every named module must import; every section of the paper
+must appear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SectionEntry:
+    """One paper section and its implementation sites."""
+
+    section: str
+    title: str
+    modules: tuple[str, ...]
+    experiments: tuple[str, ...] = ()
+
+
+PAPER_MAP: tuple[SectionEntry, ...] = (
+    SectionEntry(
+        "§2.1",
+        "Database queries",
+        ("repro.relational.query", "repro.relational.database", "repro.relational.relation"),
+    ),
+    SectionEntry(
+        "§2.2",
+        "Constraint satisfaction problems",
+        ("repro.csp.instance", "repro.reductions.query_to_csp"),
+    ),
+    SectionEntry(
+        "§2.3",
+        "Graph problems",
+        (
+            "repro.graphs.graph",
+            "repro.graphs.homomorphism",
+            "repro.graphs.subgraph_iso",
+            "repro.reductions.csp_to_graph",
+        ),
+    ),
+    SectionEntry(
+        "§2.4",
+        "Relational structures",
+        (
+            "repro.structures.structure",
+            "repro.structures.homomorphism",
+            "repro.reductions.csp_to_structures",
+        ),
+    ),
+    SectionEntry(
+        "§3",
+        "Unconditional lower bounds (AGM)",
+        (
+            "repro.hypergraph.covers",
+            "repro.relational.estimate",
+            "repro.relational.wcoj",
+            "repro.generators.agm",
+            "repro.relational.planner",
+        ),
+        ("E1-agm-upper", "E2-agm-tight", "E3-wcoj"),
+    ),
+    SectionEntry(
+        "§4",
+        "NP-hardness, treewidth, Schaefer",
+        (
+            "repro.treewidth.decomposition",
+            "repro.treewidth.exact",
+            "repro.csp.treewidth_dp",
+            "repro.sat.schaefer",
+            "repro.graphs.special",
+        ),
+        ("E4-freuder", "E5-schaefer", "E17-phase-transition"),
+    ),
+    SectionEntry(
+        "§5",
+        "Parameterized intractability",
+        (
+            "repro.graphs.vertex_cover",
+            "repro.graphs.color_coding",
+            "repro.reductions.clique_to_csp",
+            "repro.reductions.clique_to_special",
+            "repro.reductions.parameterized_examples",
+            "repro.structures.core",
+            "repro.structures.solve",
+        ),
+        ("E6-special", "E14-vc-fpt"),
+    ),
+    SectionEntry(
+        "§6",
+        "The Exponential-Time Hypothesis",
+        (
+            "repro.reductions.sat_to_csp",
+            "repro.reductions.sat_to_coloring",
+            "repro.graphs.clique",
+        ),
+        ("E7-clique-csp", "E8-treewidth-opt", "E16-hom-counting"),
+    ),
+    SectionEntry(
+        "§7",
+        "The Strong Exponential-Time Hypothesis",
+        (
+            "repro.graphs.dominating_set",
+            "repro.reductions.domset_to_csp",
+            "repro.reductions.grouping",
+            "repro.sat.cdcl",
+            "repro.finegrained.orthogonal_vectors",
+            "repro.finegrained.sat_to_ov",
+            "repro.finegrained.edit_distance",
+        ),
+        ("E9-domset", "E18-finegrained"),
+    ),
+    SectionEntry(
+        "§8",
+        "Other conjectures",
+        (
+            "repro.graphs.triangle",
+            "repro.graphs.hyperclique",
+            "repro.relational.enumeration",
+        ),
+        ("E10-kclique-mm", "E11-triangle", "E12-hyperclique", "E15-enumeration"),
+    ),
+    SectionEntry(
+        "§9",
+        "Conclusions (the landscape)",
+        ("repro.complexity.hypotheses", "repro.complexity.bounds", "repro.complexity.implications"),
+        ("E13-hypotheses",),
+    ),
+)
+
+
+def modules_for(section: str) -> tuple[str, ...]:
+    """The implementation modules of one paper section."""
+    for entry in PAPER_MAP:
+        if entry.section == section:
+            return entry.modules
+    raise KeyError(f"unknown paper section {section!r}")
+
+
+def format_paper_map() -> str:
+    """Render the map as aligned text."""
+    lines = []
+    for entry in PAPER_MAP:
+        lines.append(f"{entry.section}  {entry.title}")
+        for module in entry.modules:
+            lines.append(f"      {module}")
+        if entry.experiments:
+            lines.append(f"      experiments: {', '.join(entry.experiments)}")
+    return "\n".join(lines)

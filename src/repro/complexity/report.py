@@ -1,0 +1,35 @@
+"""Human-readable reports over the hypothesis/bound registries."""
+
+from __future__ import annotations
+
+from .bounds import bounds_under
+from .hypotheses import all_hypotheses, get_hypothesis
+from .implications import stronger_hypotheses, weaker_hypotheses
+
+
+def format_hypothesis_report(key: str) -> str:
+    """Everything the library knows about one hypothesis: statement,
+    standing, implications, and the lower bounds it unlocks."""
+    h = get_hypothesis(key)
+    lines = [
+        f"{h.name}  [{h.plausibility}]  ({h.paper_section})",
+        f"  {h.statement}",
+    ]
+    stronger = stronger_hypotheses(key)
+    weaker = weaker_hypotheses(key)
+    if stronger:
+        lines.append(f"  implied by: {', '.join(sorted(stronger))}")
+    if weaker:
+        lines.append(f"  implies:    {', '.join(sorted(weaker))}")
+    bounds = bounds_under(key)
+    if bounds:
+        lines.append("  lower bounds available under this assumption:")
+        for b in bounds:
+            lines.append(f"    - {b.problem}: rules out {b.ruled_out}  [{b.paper_ref}]")
+    return "\n".join(lines)
+
+
+def format_landscape() -> str:
+    """The full landscape: one report per hypothesis."""
+    parts = [format_hypothesis_report(h.key) for h in all_hypotheses()]
+    return "\n\n".join(parts)

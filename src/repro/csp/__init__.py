@@ -1,0 +1,37 @@
+"""Constraint satisfaction problems (§2.2).
+
+The CSP domain: instances I = (V, D, C), their primal graphs and
+hypergraphs, and four solvers whose contrast carries the paper's
+upper-bound side:
+
+* brute force over |D|^|V| assignments (the baseline of Theorems
+  6.3/6.4 and the hyperclique conjecture);
+* backtracking with MRV + forward checking (practical search);
+* generalized arc consistency (GAC-3) preprocessing;
+* Freuder's dynamic programming over a tree decomposition, running in
+  O(|V|·|D|^{k+1}) for primal treewidth k (Theorem 4.2) — plus its
+  counting variant.
+"""
+
+from .instance import Constraint, CSPInstance
+from .bruteforce import count_bruteforce, solve_bruteforce
+from .backtracking import solve_backtracking
+from .consistency import enforce_gac, propagate_domains
+from .sat_encoding import encode_direct, solve_via_sat
+from .treewidth_dp import count_with_treewidth, solve_with_treewidth
+from .solver import solve
+
+__all__ = [
+    "CSPInstance",
+    "Constraint",
+    "count_bruteforce",
+    "count_with_treewidth",
+    "encode_direct",
+    "enforce_gac",
+    "propagate_domains",
+    "solve",
+    "solve_backtracking",
+    "solve_bruteforce",
+    "solve_via_sat",
+    "solve_with_treewidth",
+]

@@ -1,0 +1,116 @@
+"""Backtracking search with MRV and forward checking.
+
+The practical general-purpose solver: picks the variable with the
+fewest remaining values (minimum remaining values), assigns, and prunes
+neighbor domains through each touched constraint (forward checking).
+Optionally preceded by GAC-3. Both heuristics can be switched off for
+the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter, charge
+from .consistency import enforce_gac, initial_domains
+from .instance import CSPInstance, Value, Variable
+
+
+def solve_backtracking(
+    instance: CSPInstance,
+    counter: CostCounter | None = None,
+    use_mrv: bool = True,
+    use_forward_checking: bool = True,
+    preprocess_gac: bool = False,
+    maintain_gac: bool = False,
+) -> dict[Variable, Value] | None:
+    """Solve by backtracking; returns an assignment or ``None``.
+
+    ``maintain_gac`` turns the search into MAC (maintained arc
+    consistency): GAC-3 re-runs after every assignment. Much stronger
+    pruning on propagation-heavy instances (e.g. coloring gadget
+    graphs) at a higher per-node cost.
+    """
+    if preprocess_gac or maintain_gac:
+        domains = enforce_gac(instance, None, counter)
+        if domains is None:
+            return None
+    else:
+        domains = initial_domains(instance)
+
+    assignment: dict[Variable, Value] = {}
+    constraints_of = {
+        v: instance.constraints_on(v) for v in instance.variables
+    }
+
+    def pick_variable() -> Variable:
+        unassigned = [v for v in instance.variables if v not in assignment]
+        if use_mrv:
+            return min(unassigned, key=lambda v: len(domains[v]))
+        return unassigned[0]
+
+    def scope_trial(c, extra_var: Variable, extra_val: Value) -> dict:
+        """The assignment restricted to c's scope, plus one trial pair.
+        Scopes are tiny, so this avoids copying the full assignment."""
+        trial = {v: assignment[v] for v in c.scope if v in assignment}
+        trial[extra_var] = extra_val
+        return trial
+
+    def consistent(variable: Variable, value: Value) -> bool:
+        return all(
+            c.consistent_with(scope_trial(c, variable, value))
+            for c in constraints_of[variable]
+        )
+
+    def forward_check(variable: Variable) -> list[tuple[Variable, Value]] | None:
+        """Prune neighbor domains; returns removals for undo, or None
+        if some domain emptied."""
+        removals: list[tuple[Variable, Value]] = []
+        for c in constraints_of[variable]:
+            for other in c.variables():
+                if other in assignment:
+                    continue
+                for value in list(domains[other]):
+                    charge(counter)
+                    if not c.consistent_with(scope_trial(c, other, value)):
+                        domains[other].discard(value)
+                        removals.append((other, value))
+                if not domains[other]:
+                    for var, val in removals:
+                        domains[var].add(val)
+                    return None
+        return removals
+
+    def backtrack() -> dict[Variable, Value] | None:
+        nonlocal domains
+        if len(assignment) == instance.num_variables:
+            return dict(assignment)
+        variable = pick_variable()
+        for value in sorted(domains[variable], key=repr):
+            charge(counter)
+            if not consistent(variable, value):
+                continue
+            assignment[variable] = value
+            if maintain_gac:
+                snapshot = domains
+                pinned = {v: set(vals) for v, vals in domains.items()}
+                pinned[variable] = {value}
+                propagated = enforce_gac(instance, pinned, counter)
+                if propagated is not None:
+                    domains = propagated
+                    found = backtrack()
+                    if found is not None:
+                        return found
+                domains = snapshot
+            else:
+                removals: list[tuple[Variable, Value]] | None = []
+                if use_forward_checking:
+                    removals = forward_check(variable)
+                if removals is not None:
+                    found = backtrack()
+                    if found is not None:
+                        return found
+                    for var, val in removals:
+                        domains[var].add(val)
+            del assignment[variable]
+        return None
+
+    return backtrack()

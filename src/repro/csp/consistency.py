@@ -1,0 +1,68 @@
+"""Generalized arc consistency (GAC-3).
+
+The classical propagation algorithm: repeatedly delete domain values
+that have no support in some constraint, until a fixed point. Sound
+(never removes a value used by a solution) and often dramatically
+shrinks the search space; the ablation benchmark quantifies its effect
+in front of backtracking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..counting import CostCounter, charge
+from .instance import Constraint, CSPInstance, Value, Variable
+
+
+def initial_domains(instance: CSPInstance) -> dict[Variable, set[Value]]:
+    """Fresh per-variable domains, all equal to D."""
+    return {v: set(instance.domain) for v in instance.variables}
+
+
+def enforce_gac(
+    instance: CSPInstance,
+    domains: dict[Variable, set[Value]] | None = None,
+    counter: CostCounter | None = None,
+) -> dict[Variable, set[Value]] | None:
+    """Run GAC-3 to a fixed point.
+
+    Returns the filtered domains, or ``None`` if some domain empties
+    (the instance is unsatisfiable).
+    """
+    doms = initial_domains(instance) if domains is None else {
+        v: set(vals) for v, vals in domains.items()
+    }
+
+    # Work queue of (variable, constraint) revision pairs.
+    queue: deque[tuple[Variable, Constraint]] = deque(
+        (v, c) for c in instance.constraints for v in c.variables()
+    )
+    watchers: dict[Variable, list[Constraint]] = {v: [] for v in instance.variables}
+    for c in instance.constraints:
+        for v in c.variables():
+            watchers[v].append(c)
+
+    while queue:
+        variable, constraint = queue.popleft()
+        removed = False
+        for value in list(doms[variable]):
+            charge(counter)
+            if not constraint.supports(variable, value, doms):
+                doms[variable].discard(value)
+                removed = True
+        if not doms[variable]:
+            return None
+        if removed:
+            for other_constraint in watchers[variable]:
+                for other_var in other_constraint.variables():
+                    if other_var != variable:
+                        queue.append((other_var, other_constraint))
+    return doms
+
+
+def propagate_domains(
+    instance: CSPInstance, counter: CostCounter | None = None
+) -> dict[Variable, set[Value]] | None:
+    """Convenience: GAC-3 from the full domains."""
+    return enforce_gac(instance, None, counter)

@@ -1,0 +1,53 @@
+"""Solver front-end: pick a strategy by instance structure.
+
+``solve(instance)`` chooses Freuder's DP when the min-fill heuristic
+finds small primal treewidth (the Theorem 4.2 regime) and falls back to
+backtracking otherwise; explicit methods are available for experiments.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..errors import SolverError
+from ..treewidth.heuristics import treewidth_min_fill
+from .backtracking import solve_backtracking
+from .bruteforce import solve_bruteforce
+from .instance import CSPInstance, Value, Variable
+from .sat_encoding import solve_via_sat
+from .treewidth_dp import solve_with_treewidth
+
+#: Width at or below which the auto strategy prefers the treewidth DP.
+AUTO_WIDTH_THRESHOLD = 3
+
+_METHODS = ("auto", "backtracking", "bruteforce", "treewidth", "sat")
+
+
+def solve(
+    instance: CSPInstance,
+    method: str = "auto",
+    counter: CostCounter | None = None,
+) -> dict[Variable, Value] | None:
+    """Solve a CSP instance; returns an assignment or ``None``.
+
+    Parameters
+    ----------
+    method:
+        One of ``auto``, ``backtracking``, ``bruteforce``,
+        ``treewidth``, ``sat`` (direct encoding + CDCL).
+    """
+    if method not in _METHODS:
+        raise SolverError(f"unknown method {method!r}; choose from {_METHODS}")
+
+    if method == "bruteforce":
+        return solve_bruteforce(instance, counter)
+    if method == "backtracking":
+        return solve_backtracking(instance, counter)
+    if method == "treewidth":
+        return solve_with_treewidth(instance, counter=counter)
+    if method == "sat":
+        return solve_via_sat(instance, counter)
+
+    width, decomposition = treewidth_min_fill(instance.primal_graph())
+    if width <= AUTO_WIDTH_THRESHOLD:
+        return solve_with_treewidth(instance, decomposition, counter)
+    return solve_backtracking(instance, counter)

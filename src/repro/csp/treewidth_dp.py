@@ -1,0 +1,188 @@
+"""Freuder's algorithm: CSP by dynamic programming over a tree
+decomposition (Theorem 4.2, [37]).
+
+Given a tree decomposition of the primal graph of width k, a CSP
+instance is solved in O(|V| · |D|^{k+1}): every constraint scope is a
+clique of the primal graph and hence contained in some bag, so checking
+constraints bag-locally is complete. The implementation runs over a
+*nice* decomposition, which makes both the decision and the counting
+versions four-case recurrences.
+
+``solve_with_treewidth`` is the upper bound whose optimality the
+paper's Theorems 6.5–6.7 establish.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter, charge
+from ..errors import InvalidInstanceError
+from ..treewidth.decomposition import TreeDecomposition
+from ..treewidth.heuristics import treewidth_min_fill
+from ..treewidth.nice import FORGET, INTRODUCE, JOIN, LEAF, make_nice
+from .instance import Constraint, CSPInstance, Value, Variable
+
+BagAssignment = tuple[tuple[Variable, Value], ...]
+
+
+def _canon(assignment: dict[Variable, Value]) -> BagAssignment:
+    return tuple(sorted(assignment.items(), key=lambda item: repr(item[0])))
+
+
+def solve_with_treewidth(
+    instance: CSPInstance,
+    decomposition: TreeDecomposition | None = None,
+    counter: CostCounter | None = None,
+) -> dict[Variable, Value] | None:
+    """Solve ``instance`` by DP over a tree decomposition.
+
+    Parameters
+    ----------
+    decomposition:
+        A valid tree decomposition of the primal graph; computed with
+        the min-fill heuristic when omitted.
+    """
+    tables, nice, __ = _run_dp(instance, decomposition, counter, count=False)
+    if tables is None:
+        return None
+    return _extract_solution(instance, nice, tables)
+
+
+def count_with_treewidth(
+    instance: CSPInstance,
+    decomposition: TreeDecomposition | None = None,
+    counter: CostCounter | None = None,
+) -> int:
+    """Count solutions by the counting variant of the same DP."""
+    tables, nice, __ = _run_dp(instance, decomposition, counter, count=True)
+    if tables is None:
+        return 0
+    root_table = tables[nice.root]
+    return sum(root_table.values())
+
+
+def _run_dp(
+    instance: CSPInstance,
+    decomposition: TreeDecomposition | None,
+    counter: CostCounter | None,
+    count: bool,
+):
+    """Bottom-up DP; returns (tables, nice_decomposition, decomposition).
+
+    Table at node t maps canonical bag assignments to the number of
+    extensions to forgotten variables (1s when only deciding).
+    Returns tables=None if the root table is empty (unsatisfiable).
+    """
+    if decomposition is None:
+        __, decomposition = treewidth_min_fill(instance.primal_graph())
+    decomposition.validate(instance.primal_graph())
+    nice = make_nice(decomposition)
+
+    domain = sorted(instance.domain, key=repr)
+    if instance.num_variables and not domain:
+        return None, nice, decomposition
+
+    # Constraints indexed by variable, checked when that variable is
+    # introduced and the full scope is inside the bag.
+    constraints_of: dict[Variable, list[Constraint]] = {
+        v: instance.constraints_on(v) for v in instance.variables
+    }
+
+    tables: list[dict[BagAssignment, int]] = []
+    for node in nice.nodes:
+        if node.kind == LEAF:
+            tables.append({(): 1})
+        elif node.kind == INTRODUCE:
+            child_table = tables[node.children[0]]
+            bag = node.bag
+            v = node.vertex
+            new_table: dict[BagAssignment, int] = {}
+            local = [
+                c for c in constraints_of.get(v, ())
+                if c.variables() <= bag
+            ]
+            for bag_assignment, ways in child_table.items():
+                partial = dict(bag_assignment)
+                for value in domain:
+                    charge(counter)
+                    partial[v] = value
+                    # scope ⊆ bag = keys(partial), so satisfied_by is total.
+                    if all(c.satisfied_by(partial) for c in local):
+                        key = _canon(partial)
+                        new_table[key] = new_table.get(key, 0) + ways
+                del partial[v]
+            tables.append(new_table)
+        elif node.kind == FORGET:
+            child_table = tables[node.children[0]]
+            v = node.vertex
+            new_table = {}
+            for bag_assignment, ways in child_table.items():
+                charge(counter)
+                reduced = _canon({var: val for var, val in bag_assignment if var != v})
+                new_table[reduced] = new_table.get(reduced, 0) + ways
+            tables.append(new_table)
+        elif node.kind == JOIN:
+            left_table = tables[node.children[0]]
+            right_table = tables[node.children[1]]
+            new_table = {}
+            for bag_assignment, left_ways in left_table.items():
+                charge(counter)
+                right_ways = right_table.get(bag_assignment)
+                if right_ways is not None:
+                    new_table[bag_assignment] = left_ways * right_ways
+            tables.append(new_table)
+        else:  # pragma: no cover - validate() precludes this
+            raise InvalidInstanceError(f"unexpected node kind {node.kind!r}")
+
+    root_table = tables[nice.root]
+    if not root_table:
+        return None, nice, decomposition
+    if not count:
+        # Decision mode: collapse counts to 1 to keep integers small.
+        pass
+    return tables, nice, decomposition
+
+
+def _extract_solution(
+    instance: CSPInstance,
+    nice,
+    tables: list[dict[BagAssignment, int]],
+) -> dict[Variable, Value]:
+    """Top-down traceback of one witness through the DP tables."""
+    solution: dict[Variable, Value] = {}
+
+    def descend(node_idx: int, required: dict[Variable, Value]) -> None:
+        node = nice.nodes[node_idx]
+        if node.kind == LEAF:
+            return
+        if node.kind == INTRODUCE:
+            solution.update(required)
+            child_required = {
+                var: val for var, val in required.items() if var != node.vertex
+            }
+            descend(node.children[0], child_required)
+        elif node.kind == FORGET:
+            child_table = tables[node.children[0]]
+            v = node.vertex
+            for bag_assignment in child_table:
+                candidate = dict(bag_assignment)
+                if all(candidate.get(var) == val for var, val in required.items()):
+                    solution.update(candidate)
+                    descend(node.children[0], candidate)
+                    return
+            raise AssertionError("traceback failed at forget node")
+        elif node.kind == JOIN:
+            descend(node.children[0], required)
+            descend(node.children[1], required)
+
+    root_table = tables[nice.root]
+    first_key = next(iter(root_table))
+    descend(nice.root, dict(first_key))
+
+    # Variables isolated from every constraint and absent from bags
+    # cannot occur (bags cover all vertices), but be defensive:
+    domain = sorted(instance.domain, key=repr)
+    for v in instance.variables:
+        if v not in solution:
+            solution[v] = domain[0]
+    assert instance.is_solution(solution)
+    return solution

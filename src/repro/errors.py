@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also catching programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation, query, or database violates its declared schema."""
+
+
+class ArityMismatchError(SchemaError):
+    """A tuple or scope does not match the arity of its relation."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute was referenced that does not occur in the schema."""
+
+
+class InvalidInstanceError(ReproError):
+    """An instance (CSP, graph, formula, ...) is structurally invalid."""
+
+
+class InvalidDecompositionError(ReproError):
+    """A tree decomposition violates one of its three defining axioms."""
+
+
+class ReductionError(ReproError):
+    """A reduction was applied to an instance outside its domain."""
+
+
+class SolverError(ReproError):
+    """A solver was configured inconsistently or hit an internal limit."""
+
+
+class BudgetExceededError(SolverError):
+    """An operation budget given via ``CostCounter`` was exhausted."""

@@ -1,0 +1,53 @@
+"""Experiments: one empirical witness per theorem/claim of the paper.
+
+The paper is a tutorial and has no tables or figures; the experiment
+index in DESIGN.md therefore assigns one experiment per theorem with
+empirical content. Each module exposes a ``run(...) -> ExperimentResult``
+whose rows are the series the claim predicts (measured answer sizes,
+fitted scaling exponents, crossovers). Benchmarks under ``benchmarks/``
+invoke these with pytest-benchmark; EXPERIMENTS.md records the outcome
+against the paper's prediction.
+"""
+
+from .harness import ExperimentResult, fit_exponent, format_table
+
+from . import exp_agm
+from . import exp_wcoj
+from . import exp_freuder
+from . import exp_schaefer
+from . import exp_special
+from . import exp_clique_csp
+from . import exp_treewidth_opt
+from . import exp_domset
+from . import exp_enumeration
+from . import exp_finegrained
+from . import exp_hom_counting
+from . import exp_kclique_mm
+from . import exp_phase_transition
+from . import exp_triangle
+from . import exp_hyperclique
+from . import exp_hypotheses
+from . import exp_vc_fpt
+
+__all__ = [
+    "ExperimentResult",
+    "exp_agm",
+    "exp_clique_csp",
+    "exp_domset",
+    "exp_enumeration",
+    "exp_finegrained",
+    "exp_freuder",
+    "exp_hom_counting",
+    "exp_hyperclique",
+    "exp_hypotheses",
+    "exp_kclique_mm",
+    "exp_phase_transition",
+    "exp_schaefer",
+    "exp_special",
+    "exp_treewidth_opt",
+    "exp_triangle",
+    "exp_vc_fpt",
+    "exp_wcoj",
+    "fit_exponent",
+    "format_table",
+]

@@ -1,0 +1,110 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run E3 E4
+    python -m repro.experiments run all
+
+Each run prints the experiment's claim, its row table, and its
+findings — the same series the benchmarks regenerate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from . import (
+    exp_agm,
+    exp_clique_csp,
+    exp_domset,
+    exp_enumeration,
+    exp_finegrained,
+    exp_freuder,
+    exp_hom_counting,
+    exp_hyperclique,
+    exp_hypotheses,
+    exp_kclique_mm,
+    exp_phase_transition,
+    exp_schaefer,
+    exp_special,
+    exp_treewidth_opt,
+    exp_triangle,
+    exp_vc_fpt,
+    exp_wcoj,
+)
+
+#: Experiment id prefix → the runners regenerating its series.
+RUNNERS: dict[str, list[Callable]] = {
+    "E1": [exp_agm.run_upper],
+    "E2": [exp_agm.run_tight],
+    "E3": [exp_wcoj.run, exp_wcoj.run_orderings],
+    "E4": [exp_freuder.run],
+    "E5": [exp_schaefer.run_classifier, exp_schaefer.run_hard_ratio],
+    "E6": [exp_special.run],
+    "E7": [exp_clique_csp.run],
+    "E8": [exp_treewidth_opt.run],
+    "E9": [exp_domset.run],
+    "E10": [exp_kclique_mm.run],
+    "E11": [exp_triangle.run],
+    "E12": [exp_hyperclique.run],
+    "E13": [exp_hypotheses.run],
+    "E14": [exp_vc_fpt.run],
+    "E15": [exp_enumeration.run],
+    "E16": [exp_hom_counting.run],
+    "E17": [exp_phase_transition.run],
+    "E18": [exp_finegrained.run],
+}
+
+
+def list_experiments() -> None:
+    for key in sorted(RUNNERS, key=lambda k: int(k[1:])):
+        # Instantiate nothing; read the module docstring's first line.
+        runner = RUNNERS[key][0]
+        doc = (sys.modules[runner.__module__].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{key:>4}  {summary}")
+
+
+def run_experiments(ids: list[str]) -> int:
+    if ids == ["all"]:
+        ids = sorted(RUNNERS, key=lambda k: int(k[1:]))
+    failures = 0
+    for raw in ids:
+        key = raw.upper().split("-")[0]
+        if key not in RUNNERS:
+            print(f"unknown experiment {raw!r}; try 'list'", file=sys.stderr)
+            return 2
+        for runner in RUNNERS[key]:
+            result = runner()
+            print(result)
+            print()
+            if result.findings.get("verdict") == "FAIL":
+                failures += 1
+    if failures:
+        print(f"{failures} experiment(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper-reproduction experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_parser = sub.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids (e.g. E3) or 'all'")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        list_experiments()
+        return 0
+    return run_experiments(args.ids)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""E7 — the n^k wall for Clique-as-CSP (Theorems 6.3/6.4).
+
+Worst-case search cost only shows on *no*-instances (a yes-instance
+lets brute force exit early), so the sweep runs on Turán graphs
+T(n, k−1): the densest graphs with no k-clique. Both the direct clique
+search and the Clique→CSP brute force must exhaust their spaces; fitted
+exponents in n grow with k — the shape Theorem 6.3 says cannot be
+avoided (no f(k)·n^{o(k)}), mirrored on the CSP side as |D|^{Θ(|V|)}
+(Theorem 6.4).
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..csp.bruteforce import solve_bruteforce
+from ..generators.graph_gen import turan_graph
+from ..graphs.clique import find_clique_bruteforce
+from ..reductions.clique_to_csp import clique_to_csp
+from .harness import ExperimentResult, fit_exponent
+
+
+def run(
+    ks: tuple[int, ...] = (2, 3, 4),
+    graph_sizes: tuple[int, ...] = (8, 12, 16, 24),
+) -> ExperimentResult:
+    """Fit the brute-force cost exponent in n per clique size k."""
+    result = ExperimentResult(
+        experiment_id="E7-clique-csp",
+        claim="Theorems 6.3/6.4: k-Clique (== CSP with k variables, "
+        "domain n) costs n^{Theta(k)} on clique-free inputs; "
+        "exponent grows with k",
+        columns=("k", "n", "graph_ops", "csp_ops", "has_clique"),
+    )
+    exponents: dict[int, float] = {}
+    csp_exponents: dict[int, float] = {}
+    for k in ks:
+        ns, graph_ops, csp_ops = [], [], []
+        for n in graph_sizes:
+            graph = turan_graph(n, k - 1)
+            counter = CostCounter()
+            clique = find_clique_bruteforce(graph, k, counter)
+            assert clique is None, "Turán graphs are k-clique-free"
+            reduction = clique_to_csp(graph, k)
+            reduction.certify()
+            csp_counter = CostCounter()
+            csp_solution = solve_bruteforce(reduction.target, csp_counter)
+            assert csp_solution is None
+            ns.append(n)
+            graph_ops.append(max(counter.total, 1))
+            csp_ops.append(max(csp_counter.total, 1))
+            result.add_row(
+                k=k,
+                n=n,
+                graph_ops=counter.total,
+                csp_ops=csp_counter.total,
+                has_clique=False,
+            )
+        exponents[k] = fit_exponent(ns, graph_ops)
+        csp_exponents[k] = fit_exponent(ns, csp_ops)
+    result.findings["graph_cost_exponent_by_k"] = exponents
+    result.findings["csp_cost_exponent_by_k"] = csp_exponents
+    ordered_graph = [exponents[k] for k in sorted(exponents)]
+    ordered_csp = [csp_exponents[k] for k in sorted(csp_exponents)]
+    result.findings["verdict"] = (
+        "PASS"
+        if all(a < b for a, b in zip(ordered_graph, ordered_graph[1:]))
+        and all(a < b for a, b in zip(ordered_csp, ordered_csp[1:]))
+        else "FAIL"
+    )
+    return result

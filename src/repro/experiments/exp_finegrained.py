@@ -1,0 +1,115 @@
+"""E18 — SETH inside P: Orthogonal Vectors and Edit Distance (§7).
+
+Three series:
+
+* the SAT→OV reduction's certificates hold and solving the OV instance
+  by brute force decides the formula (and decodes a model);
+* OV brute force fits a quadratic exponent in n — the shape the OV
+  conjecture says cannot be beaten;
+* the edit-distance DP fits a quadratic exponent in the string length
+  (the [12, 19] wall), while the banded variant is subquadratic when
+  the distance is promised small — the permitted escape.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..counting import CostCounter
+from ..finegrained.edit_distance import edit_distance, edit_distance_banded
+from ..finegrained.orthogonal_vectors import OVInstance, find_orthogonal_pair
+from ..finegrained.sat_to_ov import sat_to_orthogonal_vectors
+from ..generators.sat_gen import random_ksat
+from ..sat.dpll import solve_dpll
+from .harness import ExperimentResult, fit_exponent
+
+
+def random_ov_instance(n: int, dimension: int, ones: int, rng: random.Random) -> OVInstance:
+    def vec() -> list[int]:
+        v = [0] * dimension
+        for i in rng.sample(range(dimension), ones):
+            v[i] = 1
+        return v
+
+    return OVInstance.from_lists(
+        [vec() for __ in range(n)], [vec() for __ in range(n)]
+    )
+
+
+def random_string(length: int, alphabet: str, rng: random.Random) -> str:
+    return "".join(rng.choice(alphabet) for __ in range(length))
+
+
+def run(
+    ov_sizes: tuple[int, ...] = (64, 128, 256, 512),
+    string_lengths: tuple[int, ...] = (64, 128, 256, 512),
+    sat_trials: int = 6,
+    seed: int = 0,
+) -> ExperimentResult:
+    """OV/edit-distance exponents + SAT→OV equivalence checks."""
+    rng = random.Random(seed)
+    result = ExperimentResult(
+        experiment_id="E18-finegrained",
+        claim="§7: SETH ⇒ no n^{2−ε} for OV; OV ⇒ no n^{2−ε} for "
+        "Edit Distance — both brute-force/DP shapes are quadratic",
+        columns=("series", "n", "ops", "note"),
+    )
+
+    # --- SAT → OV equivalence ----------------------------------------
+    equivalent = True
+    for trial in range(sat_trials):
+        formula = random_ksat(8, rng.randrange(10, 40), 3, seed=seed * 100 + trial)
+        reduction = sat_to_orthogonal_vectors(formula)
+        reduction.certify()
+        pair = find_orthogonal_pair(reduction.target)
+        sat = solve_dpll(formula) is not None
+        equivalent = equivalent and ((pair is not None) == sat)
+        if pair is not None:
+            equivalent = equivalent and formula.evaluate(reduction.pull_back(pair))
+    result.findings["sat_ov_equivalent"] = equivalent
+
+    # --- OV brute-force shape (no-instance-heavy: dense vectors) ------
+    ns, ov_ops = [], []
+    for n in ov_sizes:
+        dimension = 24
+        instance = random_ov_instance(n, dimension, ones=dimension // 2, rng=rng)
+        counter = CostCounter()
+        find_orthogonal_pair(instance, counter)
+        ns.append(n)
+        ov_ops.append(max(counter.total, 1))
+        result.add_row(series="ov", n=n, ops=counter.total, note=f"d={dimension}")
+    result.findings["ov_exponent"] = fit_exponent(ns, ov_ops)
+
+    # --- Edit distance DP shape ---------------------------------------
+    lengths, dp_ops, banded_ops = [], [], []
+    for length in string_lengths:
+        a = random_string(length, "ab", rng)
+        b = random_string(length, "ab", rng)
+        counter = CostCounter()
+        edit_distance(a, b, counter)
+        lengths.append(length)
+        dp_ops.append(max(counter.total, 1))
+        result.add_row(series="edit-dp", n=length, ops=counter.total, note="")
+
+        # Banded variant under a small-distance promise: perturb a copy.
+        noisy = list(a)
+        for __ in range(4):
+            noisy[rng.randrange(length)] = rng.choice("ab")
+        banded_counter = CostCounter()
+        edit_distance_banded(a, "".join(noisy), 8, banded_counter)
+        banded_ops.append(max(banded_counter.total, 1))
+        result.add_row(
+            series="edit-banded", n=length, ops=banded_counter.total, note="k=8"
+        )
+    result.findings["edit_dp_exponent"] = fit_exponent(lengths, dp_ops)
+    result.findings["edit_banded_exponent"] = fit_exponent(lengths, banded_ops)
+
+    result.findings["verdict"] = (
+        "PASS"
+        if equivalent
+        and result.findings["ov_exponent"] > 1.8
+        and result.findings["edit_dp_exponent"] > 1.8
+        and result.findings["edit_banded_exponent"] < 1.3
+        else "FAIL"
+    )
+    return result

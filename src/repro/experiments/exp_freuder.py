@@ -1,0 +1,61 @@
+"""E4 — Freuder's treewidth DP is polynomial with exponent k+1
+(Theorem 4.2).
+
+On bounded-treewidth CSPs, the DP's operation count fitted against the
+domain size |D| has slope ≈ k+1, while brute force pays |D|^{|V|}. The
+experiment sweeps |D| for fixed widths and reports fitted exponents.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..csp.treewidth_dp import solve_with_treewidth
+from ..generators.csp_gen import bounded_treewidth_csp
+from ..treewidth.heuristics import treewidth_min_fill
+from .harness import ExperimentResult, fit_exponent
+
+
+def run(
+    widths: tuple[int, ...] = (1, 2, 3),
+    domain_sizes: tuple[int, ...] = (2, 4, 8, 16),
+    num_variables: int = 14,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fit the DP cost exponent in |D| for each target width."""
+    result = ExperimentResult(
+        experiment_id="E4-freuder",
+        claim="Theorem 4.2: treewidth-k CSP solvable in O(|V|·|D|^{k+1})",
+        columns=("width", "achieved_width", "D", "dp_ops", "satisfiable"),
+    )
+    exponents: dict[int, float] = {}
+    for width in widths:
+        ds, ops = [], []
+        for d in domain_sizes:
+            instance = bounded_treewidth_csp(
+                num_variables, d, width, tightness=0.2, seed=seed + width
+            )
+            achieved, decomposition = treewidth_min_fill(instance.primal_graph())
+            counter = CostCounter()
+            solution = solve_with_treewidth(instance, decomposition, counter)
+            ds.append(d)
+            ops.append(counter.total)
+            result.add_row(
+                width=width,
+                achieved_width=achieved,
+                D=d,
+                dp_ops=counter.total,
+                satisfiable=solution is not None,
+            )
+        exponents[width] = fit_exponent(ds, ops)
+    result.findings["fitted_exponents_by_width"] = exponents
+    # The theorem predicts slope <= k+1 (plus lower-order noise).
+    result.findings["verdict"] = (
+        "PASS"
+        if all(slope <= width + 1.6 for width, slope in exponents.items())
+        and all(
+            exponents[a] <= exponents[b] + 0.5
+            for a, b in zip(sorted(exponents), sorted(exponents)[1:])
+        )
+        else "FAIL"
+    )
+    return result

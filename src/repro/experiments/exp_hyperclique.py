@@ -1,0 +1,73 @@
+"""E12 — d-uniform hypercliques: brute force is the frontier (§8).
+
+For d = 3 the conjecture says nothing beats ~n^k subset enumeration.
+Worst-case cost needs *no*-instances: on sparse noise-only 3-uniform
+hypergraphs with no k-hyperclique, brute force must try all C(n, k)
+subsets, so the fitted exponent in n grows with k — the same n^k wall
+as cliques, with no matrix-multiplication escape hatch for d ≥ 3 (the
+d = 2 contrast is experiment E10). Correctness is checked separately on
+planted yes-instances.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..generators.graph_gen import planted_hyperclique, random_uniform_hypergraph
+from ..graphs.hyperclique import find_hyperclique_bruteforce, is_hyperclique
+from .harness import ExperimentResult, fit_exponent
+
+
+def run(
+    ks: tuple[int, ...] = (4, 5),
+    vertex_counts: tuple[int, ...] = (8, 12, 16),
+    d: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    # k must exceed d: for k == d every single hyperedge is already a
+    # k-hyperclique, so no-instances would not exist.
+    """Brute force cost on clique-free sweeps + planted correctness."""
+    result = ExperimentResult(
+        experiment_id="E12-hyperclique",
+        claim="§8 hyperclique conjecture: for d >= 3 nothing beats the "
+        "~n^k brute force; cost exponent in n grows with k",
+        columns=("d", "k", "n", "edges", "ops", "found"),
+    )
+    exponents: dict[int, float] = {}
+    clean = True
+    for k in ks:
+        ns, ops = [], []
+        for n in vertex_counts:
+            # Sparse noise: far below the density needed for an
+            # accidental k-hyperclique.
+            hypergraph = random_uniform_hypergraph(n, d, n // 2, seed=seed + n + k)
+            counter = CostCounter()
+            witness = find_hyperclique_bruteforce(hypergraph, k, counter)
+            clean = clean and witness is None
+            ns.append(n)
+            ops.append(max(counter.total, 1))
+            result.add_row(
+                d=d, k=k, n=n, edges=hypergraph.num_edges, ops=counter.total,
+                found=witness is not None,
+            )
+        exponents[k] = fit_exponent(ns, ops)
+    result.findings["ops_exponent_by_k"] = exponents
+
+    # Planted yes-instances are found and verified.
+    planted_ok = True
+    for k in ks:
+        hypergraph, members = planted_hyperclique(10, d, k, 10, seed=seed + k)
+        witness = find_hyperclique_bruteforce(hypergraph, k)
+        planted_ok = planted_ok and witness is not None and is_hyperclique(
+            hypergraph, witness
+        )
+    result.findings["planted_instances_found"] = planted_ok
+
+    ordered = [exponents[k] for k in sorted(exponents)]
+    result.findings["verdict"] = (
+        "PASS"
+        if clean
+        and planted_ok
+        and all(a < b for a, b in zip(ordered, ordered[1:]))
+        else "FAIL"
+    )
+    return result

@@ -1,0 +1,69 @@
+"""E13 — the hypothesis landscape as data (§1, §9).
+
+Checks the implication digraph has exactly the structure the paper
+relies on (SETH ⇒ ETH ⇒ {FPT≠W[1], P≠NP}), that every registered lower
+bound's hypothesis exists, and that assuming SETH unlocks every
+ETH/FPT≠W[1]/P≠NP-conditioned bound by transitivity.
+"""
+
+from __future__ import annotations
+
+from ..complexity.bounds import all_lower_bounds, bounds_under
+from ..complexity.hypotheses import all_hypotheses, get_hypothesis
+from ..complexity.implications import implies
+from .harness import ExperimentResult
+
+EXPECTED_IMPLICATIONS: tuple[tuple[str, str], ...] = (
+    ("seth", "eth"),
+    ("eth", "fpt-neq-w1"),
+    ("eth", "p-neq-np"),
+    ("fpt-neq-w1", "p-neq-np"),
+    ("seth", "p-neq-np"),
+    ("k-clique", "fpt-neq-w1"),
+)
+
+EXPECTED_NON_IMPLICATIONS: tuple[tuple[str, str], ...] = (
+    ("eth", "seth"),
+    ("p-neq-np", "eth"),
+    ("fpt-neq-w1", "eth"),
+    ("triangle", "seth"),
+)
+
+
+def run() -> ExperimentResult:
+    """Validate the landscape and count bounds unlocked per hypothesis."""
+    result = ExperimentResult(
+        experiment_id="E13-hypotheses",
+        claim="§1/§9: the assumption hierarchy orders the bounds — "
+        "stronger assumptions unlock strictly more lower bounds",
+        columns=("hypothesis", "plausibility", "bounds_unlocked"),
+    )
+    errors = []
+    for src, dst in EXPECTED_IMPLICATIONS:
+        if not implies(src, dst):
+            errors.append(f"missing implication {src} => {dst}")
+    for src, dst in EXPECTED_NON_IMPLICATIONS:
+        if implies(src, dst):
+            errors.append(f"spurious implication {src} => {dst}")
+    for bound in all_lower_bounds():
+        get_hypothesis(bound.hypothesis)  # raises on dangling keys
+
+    for h in all_hypotheses():
+        result.add_row(
+            hypothesis=h.key,
+            plausibility=h.plausibility,
+            bounds_unlocked=len(bounds_under(h.key)),
+        )
+
+    unlocked = {row["hypothesis"]: row["bounds_unlocked"] for row in result.rows}
+    monotone = (
+        unlocked["seth"] >= unlocked["eth"] >= unlocked["fpt-neq-w1"]
+        and unlocked["unconditional"] <= min(
+            v for k, v in unlocked.items() if k != "unconditional"
+        ) + max(unlocked.values())  # unconditional bounds hold under everything
+    )
+    result.findings["implication_errors"] = errors
+    result.findings["monotone_unlocking"] = monotone
+    result.findings["total_bounds"] = len(all_lower_bounds())
+    result.findings["verdict"] = "PASS" if not errors and monotone else "FAIL"
+    return result

@@ -1,0 +1,74 @@
+"""E10 — the k-clique conjecture's two sides (§8).
+
+The Nešetřil–Poljak matrix split solves k-clique by triangle detection
+on the C(n, k/3) auxiliary graph, asymptotically n^{ωk/3} < n^k. Worst-
+case cost needs *no*-instances, so the sweep uses Turán graphs
+T(n, k−1) (k-clique-free). Two series:
+
+* correctness: both algorithms agree on planted yes-instances and
+  Turán no-instances;
+* shape: on the no-instances the brute-force/matrix cost ratio grows
+  with n for k = 6 (with a cubic practical multiply, k = 3 shows no
+  gap — exactly why the conjecture is about the ω exponent).
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..generators.graph_gen import planted_clique_graph, turan_graph
+from ..graphs.clique import find_clique_bruteforce, find_clique_matrix
+from .harness import ExperimentResult, fit_exponent
+
+
+def run(
+    ks: tuple[int, ...] = (3, 6),
+    graph_sizes: tuple[int, ...] = (8, 12, 16),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Brute force vs matrix split on Turán no-instances and planted
+    yes-instances."""
+    result = ExperimentResult(
+        experiment_id="E10-kclique-mm",
+        claim="§8 k-clique conjecture: n^{wk/3} matrix method vs n^k "
+        "brute force; the gap widens with n on clique-free inputs",
+        columns=("k", "n", "family", "bruteforce_ops", "matrix_ops", "agree"),
+    )
+    agree_all = True
+    bf_exponents: dict[int, float] = {}
+    mm_exponents: dict[int, float] = {}
+    for k in ks:
+        ns, bf_series, mm_series = [], [], []
+        for n in graph_sizes:
+            for family, graph, expect in (
+                ("turan", turan_graph(n, k - 1), False),
+                ("planted", planted_clique_graph(n, k, p=0.2, seed=seed + n + k)[0], True),
+            ):
+                bf_counter = CostCounter()
+                bf = find_clique_bruteforce(graph, k, bf_counter)
+                mm_counter = CostCounter()
+                mm = find_clique_matrix(graph, k, mm_counter)
+                agree = (bf is None) == (mm is None) and (bf is not None) == expect
+                agree_all = agree_all and agree
+                if family == "turan":
+                    ns.append(n)
+                    bf_series.append(max(bf_counter.total, 1))
+                    mm_series.append(max(mm_counter.total, 1))
+                result.add_row(
+                    k=k,
+                    n=n,
+                    family=family,
+                    bruteforce_ops=bf_counter.total,
+                    matrix_ops=mm_counter.total,
+                    agree=agree,
+                )
+        bf_exponents[k] = fit_exponent(ns, bf_series)
+        mm_exponents[k] = fit_exponent(ns, mm_series)
+    result.findings["bruteforce_exponent_by_k"] = bf_exponents
+    result.findings["matrix_exponent_by_k"] = mm_exponents
+    largest = max(ks)
+    result.findings["verdict"] = (
+        "PASS"
+        if agree_all and bf_exponents[largest] > mm_exponents[largest]
+        else "FAIL"
+    )
+    return result

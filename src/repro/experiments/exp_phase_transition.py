@@ -1,0 +1,74 @@
+"""E17 — where the hard instances live: the random-CSP phase transition.
+
+Context for §6: the ETH postulates that hard SAT/CSP instances exist;
+empirically they cluster at a constraint-tightness threshold where the
+satisfiability probability crosses 1/2 — below it almost everything is
+satisfiable (easy), above it almost everything is refutable (easy
+again), and search cost peaks at the crossover. The experiment sweeps
+the tightness of random binary CSPs and reports satisfiable fraction
+and mean backtracking cost per tightness.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..csp.backtracking import solve_backtracking
+from ..generators.csp_gen import random_binary_csp
+from .harness import ExperimentResult
+
+
+def run(
+    tightness_values: tuple[float, ...] = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85),
+    num_variables: int = 12,
+    domain_size: int = 4,
+    constraint_factor: float = 2.2,
+    trials: int = 8,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep constraint tightness; report SAT fraction and search cost."""
+    result = ExperimentResult(
+        experiment_id="E17-phase-transition",
+        claim="§6 context: random CSP hardness peaks at the "
+        "satisfiability threshold; both phases' edges are easy",
+        columns=("tightness", "sat_fraction", "mean_ops"),
+    )
+    num_constraints = round(constraint_factor * num_variables)
+    costs = []
+    for tightness in tightness_values:
+        sat_count = 0
+        total_ops = 0
+        for trial in range(trials):
+            instance = random_binary_csp(
+                num_variables,
+                domain_size,
+                num_constraints,
+                tightness=tightness,
+                seed=seed * 1000 + trial * 17 + int(tightness * 100),
+            )
+            counter = CostCounter()
+            if solve_backtracking(instance, counter=counter) is not None:
+                sat_count += 1
+            total_ops += counter.total
+        mean_ops = total_ops / trials
+        costs.append(mean_ops)
+        result.add_row(
+            tightness=tightness,
+            sat_fraction=sat_count / trials,
+            mean_ops=mean_ops,
+        )
+
+    sat_fractions = result.column("sat_fraction")
+    peak_index = costs.index(max(costs))
+    result.findings["peak_tightness"] = tightness_values[peak_index]
+    result.findings["peak_over_edges"] = max(costs) / max(
+        1.0, (costs[0] + costs[-1]) / 2
+    )
+    # The shape: SAT fraction decreases along the sweep, and the cost
+    # peak sits strictly inside the sweep (not at either easy edge).
+    monotone = all(a >= b - 0.26 for a, b in zip(sat_fractions, sat_fractions[1:]))
+    interior_peak = 0 < peak_index < len(tightness_values) - 1
+    result.findings["verdict"] = (
+        "PASS" if monotone and interior_peak and result.findings["peak_over_edges"] > 1.5
+        else "FAIL"
+    )
+    return result

@@ -1,0 +1,103 @@
+"""E5 — Schaefer's dichotomy in practice (§4) and the ETH's hard regime.
+
+Two series:
+
+* the classifier's verdict on canonical relation families (2SAT
+  clauses, Horn clauses, XOR equations, 1-in-3, NAE) matches Schaefer's
+  theorem, and the matching polynomial solvers solve them;
+* DPLL decisions on random 3SAT at the hard ratio m/n = 4.26 grow
+  exponentially with n (the behaviour the ETH postulates is necessary).
+"""
+
+from __future__ import annotations
+
+from ..generators.sat_gen import HARD_3SAT_RATIO, random_ksat
+from ..sat.cnf import CNF
+from ..sat.dpll import DPLLStats, solve_dpll
+from ..sat.schaefer import BooleanRelation, classify_relation_set
+from .harness import ExperimentResult, fit_exponent
+
+
+def canonical_relation_families() -> dict[str, tuple[list[BooleanRelation], bool]]:
+    """Name → (relations, expected tractable?) for the §4 examples."""
+    or2 = BooleanRelation.from_clause([1, 2])
+    horn3 = BooleanRelation.from_clause([-1, -2, 3])
+    xor2 = BooleanRelation(2, [(0, 1), (1, 0)])
+    one_in_three = BooleanRelation(3, [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+    nae = BooleanRelation(
+        3,
+        [t for t in [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+         if len(set(t)) > 1],
+    )
+    or3 = BooleanRelation.from_clause([1, 2, 3])
+    return {
+        "2SAT-clauses": ([or2, BooleanRelation.from_clause([-1, 2])], True),
+        "Horn-clauses": ([horn3, BooleanRelation.from_clause([-1, -2])], True),
+        "XOR (affine)": ([xor2], True),
+        "1-in-3-SAT": ([one_in_three], False),
+        "NAE-3SAT": ([nae], False),
+        "3SAT-clauses": ([or3, BooleanRelation.from_clause([-1, -2, -3])], False),
+    }
+
+
+def run_classifier() -> ExperimentResult:
+    """Check the dichotomy classifier against Schaefer's theorem."""
+    result = ExperimentResult(
+        experiment_id="E5-schaefer",
+        claim="Schaefer [59]: CSP(R) is in P iff R falls in one of six "
+        "closure classes, else NP-hard",
+        columns=("family", "expected_tractable", "classified_tractable", "witnesses"),
+    )
+    mismatches = 0
+    for name, (relations, expected) in canonical_relation_families().items():
+        verdict = classify_relation_set(relations)
+        if verdict.tractable != expected:
+            mismatches += 1
+        result.add_row(
+            family=name,
+            expected_tractable=expected,
+            classified_tractable=verdict.tractable,
+            witnesses=",".join(w.value for w in verdict.witnesses) or "-",
+        )
+    result.findings["mismatches"] = mismatches
+    result.findings["verdict"] = "PASS" if mismatches == 0 else "FAIL"
+    return result
+
+
+def run_hard_ratio(
+    variable_counts: tuple[int, ...] = (10, 14, 18, 22),
+    trials: int = 5,
+    seed: int = 0,
+) -> ExperimentResult:
+    """DPLL decisions on random 3SAT at the threshold ratio vs n."""
+    result = ExperimentResult(
+        experiment_id="E5-schaefer-hard",
+        claim="ETH regime: search effort on random 3SAT at m/n=4.26 grows "
+        "exponentially in n",
+        columns=("n", "m", "mean_decisions", "sat_fraction"),
+    )
+    ns, decisions = [], []
+    for n in variable_counts:
+        m = round(HARD_3SAT_RATIO * n)
+        total_decisions = 0
+        sat_count = 0
+        for trial in range(trials):
+            formula = random_ksat(n, m, 3, seed=seed * 1000 + n * 10 + trial)
+            stats = DPLLStats()
+            if solve_dpll(formula, stats=stats) is not None:
+                sat_count += 1
+            total_decisions += stats.decisions
+        mean = total_decisions / trials
+        ns.append(n)
+        decisions.append(max(mean, 1.0))
+        result.add_row(
+            n=n, m=m, mean_decisions=mean, sat_fraction=sat_count / trials
+        )
+    # Exponential growth: log(decisions) vs n has positive slope, i.e.
+    # decisions ~ 2^{cn}. Report the doubling rate c.
+    import numpy as np
+
+    slope = float(np.polyfit(ns, np.log2(decisions), 1)[0])
+    result.findings["log2_decisions_slope_per_variable"] = slope
+    result.findings["verdict"] = "PASS" if slope > 0.05 else "FAIL"
+    return result

@@ -1,0 +1,71 @@
+"""E8 — the treewidth DP's exponent tracks k on clique primal graphs
+(Theorems 6.5–6.7).
+
+Clique queries have treewidth k−1; Freuder's DP on them costs
+|D|^{Θ(k)}, and the ETH says no algorithm does |D|^{o(k)}. We measure
+the DP's fitted exponent in |D| as the primal clique grows and check it
+increases ≈ linearly — the upper-bound half of "can you beat
+treewidth?" (Theorem 6.6's answer: only by log factors, and only maybe).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..counting import CostCounter
+from ..csp.instance import Constraint, CSPInstance
+from ..csp.treewidth_dp import solve_with_treewidth
+from ..treewidth.exact import treewidth_exact
+from .harness import ExperimentResult, fit_exponent
+
+
+def clique_csp(size: int, domain_size: int, seed_shift: int = 0) -> CSPInstance:
+    """A CSP whose primal graph is K_size: all-different-ish constraints
+    (value pairs with a fixed offset pattern keep it satisfiable)."""
+    variables = [f"v{i}" for i in range(size)]
+    domain = list(range(domain_size))
+    disequal = {(a, b) for a, b in product(domain, repeat=2) if a != b}
+    constraints = [
+        Constraint((variables[i], variables[j]), disequal)
+        for i in range(size)
+        for j in range(i + 1, size)
+    ]
+    return CSPInstance(variables, domain, constraints)
+
+
+def run(
+    clique_sizes: tuple[int, ...] = (2, 3, 4),
+    domain_sizes: tuple[int, ...] = (4, 6, 8, 12),
+) -> ExperimentResult:
+    """DP cost exponent in |D| as the primal clique (treewidth+1) grows."""
+    result = ExperimentResult(
+        experiment_id="E8-treewidth-opt",
+        claim="Theorems 6.5/6.7: on treewidth-k primal graphs (cliques), "
+        "cost is |D|^{Theta(k)}; exponent grows with k",
+        columns=("clique_size", "treewidth", "D", "dp_ops", "satisfiable"),
+    )
+    exponents: dict[int, float] = {}
+    for size in clique_sizes:
+        ds, ops = [], []
+        for d in domain_sizes:
+            instance = clique_csp(size, d)
+            width, decomposition = treewidth_exact(instance.primal_graph())
+            assert width == size - 1
+            counter = CostCounter()
+            solution = solve_with_treewidth(instance, decomposition, counter)
+            ds.append(d)
+            ops.append(max(counter.total, 1))
+            result.add_row(
+                clique_size=size,
+                treewidth=width,
+                D=d,
+                dp_ops=counter.total,
+                satisfiable=solution is not None,
+            )
+        exponents[size] = fit_exponent(ds, ops)
+    result.findings["dp_exponent_by_clique_size"] = exponents
+    ordered = [exponents[s] for s in sorted(exponents)]
+    result.findings["verdict"] = (
+        "PASS" if all(a < b for a, b in zip(ordered, ordered[1:])) else "FAIL"
+    )
+    return result

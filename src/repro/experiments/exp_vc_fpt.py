@@ -1,0 +1,66 @@
+"""E14 — FPT vs XP: Vertex Cover's 2^k search tree (§5).
+
+The paper's flagship FPT example: on planted instances, the bounded
+search tree's cost is essentially flat in n for fixed k (slope ≈ 0 in
+the log-log fit) while the C(n, ≤k) brute force has slope ≈ k. Both
+find covers; the contrast in exponents is the FPT-vs-XP shape.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..generators.graph_gen import planted_vertex_cover_graph
+from ..graphs.vertex_cover import (
+    find_vertex_cover_bruteforce,
+    find_vertex_cover_fpt,
+    is_vertex_cover,
+)
+from .harness import ExperimentResult, fit_exponent
+
+
+def run(
+    k: int = 4,
+    graph_sizes: tuple[int, ...] = (10, 16, 24, 36),
+    edges_factor: int = 3,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep n at fixed k; fit both methods' exponents in n."""
+    result = ExperimentResult(
+        experiment_id="E14-vc-fpt",
+        claim="§5: Vertex Cover is FPT — 2^k·poly(n) search tree vs "
+        "n^k brute force",
+        columns=("n", "k", "fpt_ops", "bruteforce_ops", "both_valid"),
+    )
+    ns, fpt_ops_series, bf_ops_series = [], [], []
+    all_valid = True
+    for n in graph_sizes:
+        graph, __ = planted_vertex_cover_graph(n, k, edges_factor * n, seed=seed + n)
+        fpt_counter = CostCounter()
+        fpt_cover = find_vertex_cover_fpt(graph, k, fpt_counter)
+        bf_counter = CostCounter()
+        bf_cover = find_vertex_cover_bruteforce(graph, k, bf_counter)
+        valid = (
+            fpt_cover is not None
+            and bf_cover is not None
+            and is_vertex_cover(graph, fpt_cover)
+            and is_vertex_cover(graph, bf_cover)
+        )
+        all_valid = all_valid and valid
+        ns.append(n)
+        fpt_ops_series.append(max(fpt_counter.total, 1))
+        bf_ops_series.append(max(bf_counter.total, 1))
+        result.add_row(
+            n=n,
+            k=k,
+            fpt_ops=fpt_counter.total,
+            bruteforce_ops=bf_counter.total,
+            both_valid=valid,
+        )
+    fpt_slope = fit_exponent(ns, fpt_ops_series)
+    bf_slope = fit_exponent(ns, bf_ops_series)
+    result.findings["fpt_exponent_in_n"] = fpt_slope
+    result.findings["bruteforce_exponent_in_n"] = bf_slope
+    result.findings["verdict"] = (
+        "PASS" if all_valid and fpt_slope + 1.0 < bf_slope else "FAIL"
+    )
+    return result

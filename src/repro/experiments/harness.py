@@ -1,0 +1,121 @@
+"""Shared experiment infrastructure.
+
+Experiments report *rows* (dicts with a fixed column set) plus derived
+*findings* (named scalars such as fitted exponents), and can render
+themselves as an aligned text table — the "same rows/series the paper
+reports" deliverable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md experiment id, e.g. ``"E2-agm-tight"``.
+    claim:
+        One-line statement of what the paper predicts.
+    columns:
+        Ordered column names of ``rows``.
+    rows:
+        The measured series.
+    findings:
+        Derived scalars (fitted exponents, crossover points, verdicts).
+    """
+
+    experiment_id: str
+    claim: str
+    columns: tuple[str, ...]
+    rows: list[dict] = field(default_factory=list)
+    findings: dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise InvalidInstanceError(f"row has unknown columns {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        if name not in self.columns:
+            raise InvalidInstanceError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def __str__(self) -> str:
+        header = f"[{self.experiment_id}] {self.claim}"
+        table = format_table(self.columns, self.rows)
+        notes = "\n".join(
+            f"  {key} = {value}" for key, value in self.findings.items()
+        )
+        parts = [header, table]
+        if notes:
+            parts.append(notes)
+        return "\n".join(parts)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[dict]) -> str:
+    """Render rows as a fixed-width text table."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = [len(c) for c in columns]
+    rendered = []
+    for row in rows:
+        cells = [cell(row.get(c, "")) for c in columns]
+        widths = [max(w, len(s)) for w, s in zip(widths, cells)]
+        rendered.append(cells)
+    lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(s.ljust(w) for s, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x.
+
+    The measured analogue of "runs in O(x^e)": for cost series that are
+    genuinely polynomial the slope converges to the exponent.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise InvalidInstanceError("need at least two (x, y) pairs")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise InvalidInstanceError("log-log fit needs positive values")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, __ = np.polyfit(log_x, log_y, 1)
+    return float(slope)
+
+
+def geometric_sweep(start: int, factor: float, count: int) -> list[int]:
+    """Geometrically spaced integer parameter values, deduplicated."""
+    if start < 1 or factor <= 1.0 or count < 1:
+        raise InvalidInstanceError("need start >= 1, factor > 1, count >= 1")
+    values = []
+    current = float(start)
+    for _ in range(count):
+        value = int(round(current))
+        if not values or value > values[-1]:
+            values.append(value)
+        current *= factor
+    return values
+
+
+def safe_log_ratio(a: float, b: float) -> float:
+    """log(a)/log(b) with guards; the 'observed exponent' of a vs b."""
+    if a <= 0 or b <= 0 or b == 1:
+        raise InvalidInstanceError("invalid log ratio inputs")
+    return math.log(a) / math.log(b)

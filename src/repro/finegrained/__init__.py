@@ -1,0 +1,34 @@
+"""Fine-grained complexity inside P (§7's closing theme).
+
+The paper highlights that the SETH gives tight lower bounds for
+*polynomial-time* problems — e.g. the textbook O(n²) Edit Distance DP
+cannot be improved to O(n^{2−ε}) unless the SETH fails [12, 19], with
+the Orthogonal Vectors problem as the standard intermediate step [56].
+
+This package implements the objects of that story:
+
+* Orthogonal Vectors (OV): brute force O(n²·d) search, the algorithm
+  the OV conjecture says is essentially optimal;
+* the split-and-enumerate reduction CNF-SAT → OV (certified): n-variable
+  SAT becomes OV on 2^{n/2} vectors of dimension m, so an O(n^{2−ε}) OV
+  algorithm would give a (2−ε')^n SAT algorithm — refuting SETH;
+* Edit Distance: the O(n·m) dynamic program whose quadratic shape the
+  SETH protects, plus the banded variant for bounded distance.
+"""
+
+from .orthogonal_vectors import (
+    OVInstance,
+    find_orthogonal_pair,
+    has_orthogonal_pair,
+)
+from .sat_to_ov import sat_to_orthogonal_vectors
+from .edit_distance import edit_distance, edit_distance_banded
+
+__all__ = [
+    "OVInstance",
+    "edit_distance",
+    "edit_distance_banded",
+    "find_orthogonal_pair",
+    "has_orthogonal_pair",
+    "sat_to_orthogonal_vectors",
+]

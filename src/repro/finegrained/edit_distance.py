@@ -1,0 +1,84 @@
+"""Edit distance: the quadratic DP the SETH protects ([12, 19]).
+
+The paper's flagship example of a *polynomial-time* problem with a
+SETH-tight bound: the textbook O(n·m) dynamic program cannot be
+improved to O(n^{2−ε}). Implements that DP plus the banded
+(Ukkonen-style) variant that runs in O(k·n) when the distance is at
+most k — faster, but only by restricting the *output*, exactly the kind
+of escape the lower bound permits.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter, charge
+from ..errors import InvalidInstanceError
+
+
+def edit_distance(
+    left: str, right: str, counter: CostCounter | None = None
+) -> int:
+    """Levenshtein distance by the O(|left|·|right|) DP.
+
+    Unit costs for insertion, deletion, and substitution.
+    """
+    n, m = len(left), len(right)
+    if n == 0:
+        return m
+    if m == 0:
+        return n
+    previous = list(range(m + 1))
+    for i in range(1, n + 1):
+        current = [i] + [0] * m
+        for j in range(1, m + 1):
+            charge(counter)
+            substitution = previous[j - 1] + (left[i - 1] != right[j - 1])
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, substitution)
+        previous = current
+    return previous[m]
+
+
+def edit_distance_banded(
+    left: str,
+    right: str,
+    max_distance: int,
+    counter: CostCounter | None = None,
+) -> int | None:
+    """Edit distance if it is ≤ ``max_distance``, else ``None``.
+
+    Only the diagonal band of width 2k+1 is filled: O(k · max(n, m))
+    work. This does *not* contradict the SETH bound — it is faster only
+    when the answer is promised small.
+    """
+    if max_distance < 0:
+        raise InvalidInstanceError("max_distance must be nonnegative")
+    n, m = len(left), len(right)
+    if abs(n - m) > max_distance:
+        return None
+    if n == 0 or m == 0:
+        distance = max(n, m)
+        return distance if distance <= max_distance else None
+
+    big = max_distance + 1
+    previous = {j: j for j in range(0, min(m, max_distance) + 1)}
+    for i in range(1, n + 1):
+        current: dict[int, int] = {}
+        low = max(0, i - max_distance)
+        high = min(m, i + max_distance)
+        for j in range(low, high + 1):
+            charge(counter)
+            if j == 0:
+                current[j] = i
+                continue
+            best = big
+            if j in previous:
+                best = min(best, previous[j] + 1)
+            if j - 1 in current:
+                best = min(best, current[j - 1] + 1)
+            if j - 1 in previous:
+                best = min(
+                    best, previous[j - 1] + (left[i - 1] != right[j - 1])
+                )
+            current[j] = best
+        previous = current
+    distance = previous.get(m, big)
+    return distance if distance <= max_distance else None

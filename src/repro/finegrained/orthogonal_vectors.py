@@ -1,0 +1,79 @@
+"""The Orthogonal Vectors problem.
+
+Given two sets A, B of n Boolean vectors of dimension d, decide whether
+some a ∈ A and b ∈ B are orthogonal (a·b = 0, i.e. no shared 1). The
+OV conjecture — implied by the SETH via the split-and-enumerate
+reduction — states there is no O(n^{2−ε} · poly(d)) algorithm; the
+brute force below is therefore conjecturally optimal up to
+subpolynomial factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..counting import CostCounter, charge
+from ..errors import InvalidInstanceError
+
+Vector = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class OVInstance:
+    """Two vector families over {0, 1}^dimension."""
+
+    left: tuple[Vector, ...]
+    right: tuple[Vector, ...]
+    dimension: int
+
+    @staticmethod
+    def from_lists(
+        left: Sequence[Sequence[int]], right: Sequence[Sequence[int]]
+    ) -> "OVInstance":
+        left_t = tuple(tuple(v) for v in left)
+        right_t = tuple(tuple(v) for v in right)
+        dims = {len(v) for v in left_t} | {len(v) for v in right_t}
+        if len(dims) > 1:
+            raise InvalidInstanceError(f"mixed vector dimensions {sorted(dims)}")
+        dimension = dims.pop() if dims else 0
+        for v in left_t + right_t:
+            if any(x not in (0, 1) for x in v):
+                raise InvalidInstanceError(f"non-Boolean vector {v!r}")
+        return OVInstance(left_t, right_t, dimension)
+
+    @property
+    def size(self) -> int:
+        return max(len(self.left), len(self.right))
+
+
+def are_orthogonal(a: Vector, b: Vector) -> bool:
+    """No coordinate where both vectors are 1."""
+    return all(x * y == 0 for x, y in zip(a, b))
+
+
+def find_orthogonal_pair(
+    instance: OVInstance, counter: CostCounter | None = None
+) -> tuple[Vector, Vector] | None:
+    """Brute force O(|A|·|B|·d): the conjecturally optimal algorithm.
+
+    Returns an orthogonal pair or ``None``. Bitmask packing keeps the
+    inner test O(d/word) in practice; one unit is charged per pair.
+    """
+    right_masks = [
+        (sum(1 << i for i, x in enumerate(v) if x), v) for v in instance.right
+    ]
+    for a in instance.left:
+        a_mask = sum(1 << i for i, x in enumerate(a) if x)
+        for b_mask, b in right_masks:
+            charge(counter)
+            if a_mask & b_mask == 0:
+                return a, b
+    return None
+
+
+def has_orthogonal_pair(
+    instance: OVInstance, counter: CostCounter | None = None
+) -> bool:
+    """Decision form of :func:`find_orthogonal_pair`."""
+    return find_orthogonal_pair(instance, counter) is not None

@@ -1,0 +1,54 @@
+"""Instance generators for every experiment family.
+
+All generators are deterministic given an explicit ``random.Random``
+seed (or accept an int seed) so experiments and benchmarks are
+reproducible bit-for-bit.
+"""
+
+from .sat_gen import HARD_3SAT_RATIO, planted_ksat, random_ksat
+from .csp_gen import (
+    bounded_treewidth_csp,
+    planted_solution_csp,
+    random_binary_csp,
+)
+from .graph_gen import (
+    gnm_random_graph,
+    gnp_random_graph,
+    planted_clique_graph,
+    planted_dominating_set_graph,
+    planted_hyperclique,
+    planted_vertex_cover_graph,
+    random_uniform_hypergraph,
+    skewed_bipartite_graph,
+    turan_graph,
+)
+from .agm import (
+    expected_tight_answer_size,
+    fractional_independent_set,
+    skewed_triangle_database,
+    tight_agm_database,
+    uniform_random_database,
+)
+
+__all__ = [
+    "HARD_3SAT_RATIO",
+    "bounded_treewidth_csp",
+    "expected_tight_answer_size",
+    "fractional_independent_set",
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "planted_clique_graph",
+    "planted_dominating_set_graph",
+    "planted_hyperclique",
+    "planted_ksat",
+    "planted_solution_csp",
+    "planted_vertex_cover_graph",
+    "random_binary_csp",
+    "random_ksat",
+    "random_uniform_hypergraph",
+    "skewed_bipartite_graph",
+    "skewed_triangle_database",
+    "tight_agm_database",
+    "turan_graph",
+    "uniform_random_database",
+]

@@ -1,0 +1,118 @@
+"""Databases for join queries, including the Theorem 3.2 tight family.
+
+The tight construction follows the AGM paper: solve the *dual* LP of
+the fractional edge cover (the fractional independent set / vertex
+weighting: maximize Σ x_v subject to Σ_{v ∈ e} x_v ≤ 1 per edge).
+By LP duality the optimum is ρ*(H). Set each attribute's value range to
+[N^{x_v}] and let every relation be the full product of its attributes'
+ranges: then |R_e| = Π_{v∈e} N^{x_v} ≤ N, while the answer is the full
+product Π_v N^{x_v} = N^{ρ*} — matching the AGM upper bound within
+integer rounding.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from itertools import product
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..errors import InvalidInstanceError
+from ..relational.database import Database
+from ..relational.query import JoinQuery
+from ..relational.relation import Relation
+
+
+def fractional_independent_set(query: JoinQuery) -> dict[str, float]:
+    """Optimal dual weights x_v (Σ_{v∈e} x_v ≤ 1, maximize Σ x_v)."""
+    hypergraph = query.hypergraph()
+    vertices = hypergraph.vertices
+    edges = hypergraph.edges
+    if not edges:
+        raise InvalidInstanceError("query has no atoms")
+    # linprog minimizes; maximize Σ x_v == minimize -Σ x_v.
+    cost = -np.ones(len(vertices))
+    index = {v: i for i, v in enumerate(vertices)}
+    a_ub = np.zeros((len(edges), len(vertices)))
+    for row, e in enumerate(edges):
+        for v in e:
+            a_ub[row, index[v]] = 1.0
+    b_ub = np.ones(len(edges))
+    result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs")
+    if not result.success:
+        raise InvalidInstanceError(f"dual LP failed: {result.message}")
+    return {v: float(result.x[index[v]]) for v in vertices}
+
+
+def tight_agm_database(query: JoinQuery, relation_size: int) -> Database:
+    """The Theorem 3.2 construction: a database where every relation
+    has at most ``relation_size`` tuples and the answer has size
+    ~``relation_size``^ρ*(H).
+
+    Every attribute v gets the value range ``[0, floor(N^{x_v}))`` and
+    each relation is the full cross product of its attributes' ranges.
+    """
+    if relation_size < 1:
+        raise InvalidInstanceError("relation size must be >= 1")
+    weights = fractional_independent_set(query)
+    ranges = {
+        v: max(1, math.floor(relation_size ** weights[v] + 1e-9))
+        for v in weights
+    }
+
+    relations = []
+    for atom in query.atoms:
+        tuples = product(*(range(ranges[a]) for a in atom.attributes))
+        relations.append(Relation(atom.relation_name, atom.attributes, tuples))
+    return Database(relations)
+
+
+def expected_tight_answer_size(query: JoinQuery, relation_size: int) -> int:
+    """The exact answer size of :func:`tight_agm_database` (the full
+    product of attribute ranges)."""
+    weights = fractional_independent_set(query)
+    size = 1
+    for v, x in weights.items():
+        size *= max(1, math.floor(relation_size ** x + 1e-9))
+    return size
+
+
+def skewed_triangle_database(relation_size: int) -> Database:
+    """The classic hard instance for pairwise triangle plans.
+
+    Each binary relation is a "cross": {0}×[N/2] ∪ [N/2]×{0}. Every
+    pairwise join then materializes ~(N/2)² tuples while the triangle
+    answer has only ~3N/2 tuples — the gap Theorem 3.3's worst-case
+    optimal join avoids.
+    """
+    if relation_size < 2:
+        raise InvalidInstanceError("relation size must be >= 2")
+    half = relation_size // 2
+    cross = [(0, i) for i in range(half)] + [(i, 0) for i in range(half)]
+    query = JoinQuery.triangle()
+    relations = [
+        Relation(atom.relation_name, atom.attributes, cross)
+        for atom in query.atoms
+    ]
+    return Database(relations)
+
+
+def uniform_random_database(
+    query: JoinQuery,
+    relation_size: int,
+    domain_size: int,
+    seed: int | random.Random = 0,
+) -> Database:
+    """Each relation filled with ``relation_size`` uniform random tuples
+    over ``[0, domain_size)`` (deduplicated, so sizes may be slightly
+    smaller on tiny domains)."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    relations = []
+    for atom in query.atoms:
+        rel = Relation(atom.relation_name, atom.attributes)
+        for _ in range(relation_size):
+            rel.add(tuple(rng.randrange(domain_size) for _ in atom.attributes))
+        relations.append(rel)
+    return Database(relations)

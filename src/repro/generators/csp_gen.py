@@ -1,0 +1,120 @@
+"""Random CSP instance generators.
+
+Three families:
+
+* uniform random binary CSPs (density/tightness model);
+* planted-solution CSPs (always satisfiable, solution known);
+* bounded-treewidth CSPs built on partial k-trees — the Theorem 4.2
+  regime, where Freuder's DP is polynomial.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+
+from ..csp.instance import Constraint, CSPInstance
+from ..errors import InvalidInstanceError
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def random_binary_csp(
+    num_variables: int,
+    domain_size: int,
+    num_constraints: int,
+    tightness: float = 0.5,
+    seed: int | random.Random = 0,
+) -> CSPInstance:
+    """The classic (n, d, m, t) random model: m constraints on random
+    variable pairs, each allowing a ``1 - tightness`` fraction of pairs.
+    """
+    if num_variables < 2:
+        raise InvalidInstanceError("need at least two variables")
+    if not 0.0 <= tightness <= 1.0:
+        raise InvalidInstanceError(f"tightness must be in [0, 1], got {tightness}")
+    rng = _rng(seed)
+    variables = [f"v{i}" for i in range(num_variables)]
+    domain = list(range(domain_size))
+    all_pairs = list(product(domain, repeat=2))
+    keep = max(1, round(len(all_pairs) * (1.0 - tightness)))
+    constraints = []
+    for _ in range(num_constraints):
+        u, v = rng.sample(variables, 2)
+        relation = rng.sample(all_pairs, keep)
+        constraints.append(Constraint((u, v), relation))
+    return CSPInstance(variables, domain, constraints)
+
+
+def planted_solution_csp(
+    num_variables: int,
+    domain_size: int,
+    num_constraints: int,
+    tightness: float = 0.5,
+    seed: int | random.Random = 0,
+) -> tuple[CSPInstance, dict]:
+    """Random binary CSP whose relations all contain a hidden solution.
+
+    Returns ``(instance, planted_assignment)``.
+    """
+    rng = _rng(seed)
+    variables = [f"v{i}" for i in range(num_variables)]
+    domain = list(range(domain_size))
+    planted = {v: rng.choice(domain) for v in variables}
+    all_pairs = list(product(domain, repeat=2))
+    keep = max(1, round(len(all_pairs) * (1.0 - tightness)))
+    constraints = []
+    for _ in range(num_constraints):
+        u, v = rng.sample(variables, 2)
+        relation = set(rng.sample(all_pairs, keep))
+        relation.add((planted[u], planted[v]))
+        constraints.append(Constraint((u, v), relation))
+    return CSPInstance(variables, domain, constraints), planted
+
+
+def bounded_treewidth_csp(
+    num_variables: int,
+    domain_size: int,
+    width: int,
+    tightness: float = 0.3,
+    seed: int | random.Random = 0,
+) -> CSPInstance:
+    """A CSP whose primal graph is a partial k-tree (treewidth ≤ width).
+
+    Built by the k-tree process: start from a (width+1)-clique, then
+    attach each new variable to a random existing bag of ``width``
+    mutually known variables, constraining a random subset of those
+    attachments. This is the instance family of Theorem 4.2 / E4.
+    """
+    if width < 1:
+        raise InvalidInstanceError(f"width must be >= 1, got {width}")
+    if num_variables < width + 1:
+        raise InvalidInstanceError(
+            f"need at least width+1 = {width + 1} variables, got {num_variables}"
+        )
+    rng = _rng(seed)
+    variables = [f"v{i}" for i in range(num_variables)]
+    domain = list(range(domain_size))
+    all_pairs = list(product(domain, repeat=2))
+    keep = max(1, round(len(all_pairs) * (1.0 - tightness)))
+
+    edges: list[tuple[str, str]] = []
+    # Seed clique on the first width+1 variables.
+    bags: list[list[str]] = [variables[: width + 1]]
+    for i in range(width + 1):
+        for j in range(i + 1, width + 1):
+            edges.append((variables[i], variables[j]))
+    # k-tree growth: each new vertex joins a width-subset of some bag.
+    for idx in range(width + 1, num_variables):
+        bag = rng.choice(bags)
+        attach = rng.sample(bag, width)
+        for u in attach:
+            edges.append((variables[idx], u))
+        bags.append(attach + [variables[idx]])
+
+    constraints = [
+        Constraint((u, v), rng.sample(all_pairs, keep)) for u, v in edges
+    ]
+    return CSPInstance(variables, domain, constraints)

@@ -1,0 +1,162 @@
+"""Random graph and hypergraph generators."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from ..errors import InvalidInstanceError
+from ..graphs.graph import Graph
+from ..graphs.hyperclique import Hypergraph as UniformHypergraph
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def gnp_random_graph(n: int, p: float, seed: int | random.Random = 0) -> Graph:
+    """Erdős–Rényi G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise InvalidInstanceError(f"p must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    graph = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+def gnm_random_graph(n: int, m: int, seed: int | random.Random = 0) -> Graph:
+    """Uniform G(n, m): exactly m distinct edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise InvalidInstanceError(f"m = {m} exceeds C({n},2) = {max_edges}")
+    rng = _rng(seed)
+    graph = Graph(vertices=range(n))
+    chosen = rng.sample(list(combinations(range(n), 2)), m)
+    for u, v in chosen:
+        graph.add_edge(u, v)
+    return graph
+
+
+def planted_clique_graph(
+    n: int, k: int, p: float = 0.3, seed: int | random.Random = 0
+) -> tuple[Graph, tuple[int, ...]]:
+    """G(n, p) with a planted k-clique on random vertices.
+
+    Returns ``(graph, clique_vertices)``.
+    """
+    if k > n:
+        raise InvalidInstanceError(f"clique size {k} exceeds n = {n}")
+    rng = _rng(seed)
+    graph = gnp_random_graph(n, p, rng)
+    members = tuple(rng.sample(range(n), k))
+    for i, u in enumerate(members):
+        for v in members[i + 1:]:
+            graph.add_edge(u, v)
+    return graph, members
+
+
+def planted_dominating_set_graph(
+    n: int, k: int, seed: int | random.Random = 0
+) -> tuple[Graph, tuple[int, ...]]:
+    """A graph dominated by a planted set of k centers.
+
+    Every non-center attaches to a random center (guaranteeing
+    domination by the k centers) plus sparse random noise edges.
+    """
+    if k < 1 or k > n:
+        raise InvalidInstanceError(f"need 1 <= k <= n, got k={k}, n={n}")
+    rng = _rng(seed)
+    centers = tuple(range(k))
+    graph = Graph(vertices=range(n))
+    for v in range(k, n):
+        graph.add_edge(v, rng.choice(centers))
+    for _ in range(n // 2):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v)
+    return graph, centers
+
+
+def planted_vertex_cover_graph(
+    n: int, k: int, num_edges: int, seed: int | random.Random = 0
+) -> tuple[Graph, tuple[int, ...]]:
+    """A graph whose edges all touch a planted k-set (so a k-cover
+    exists). Returns ``(graph, cover)``."""
+    if k < 1 or k > n:
+        raise InvalidInstanceError(f"need 1 <= k <= n, got k={k}, n={n}")
+    rng = _rng(seed)
+    cover = tuple(range(k))
+    graph = Graph(vertices=range(n))
+    for _ in range(num_edges):
+        u = rng.choice(cover)
+        v = rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph, cover
+
+
+def turan_graph(n: int, parts: int) -> Graph:
+    """The Turán graph T(n, parts): complete multipartite with balanced
+    parts. It is the densest graph with no (parts+1)-clique — the
+    worst case for clique search, which must exhaust the space."""
+    if parts < 1 or parts > n:
+        raise InvalidInstanceError(f"need 1 <= parts <= n, got parts={parts}, n={n}")
+    part_of = [i % parts for i in range(n)]
+    graph = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if part_of[i] != part_of[j]:
+                graph.add_edge(i, j)
+    return graph
+
+
+def skewed_bipartite_graph(
+    n_right: int, hubs: int, num_edges: int, seed: int | random.Random = 0
+) -> Graph:
+    """A triangle-free bipartite graph where a few left hubs carry most
+    edges — the degree-skew regime that separates naive neighborhood
+    scanning from degree-ordered and AYZ triangle detection."""
+    rng = _rng(seed)
+    left = [f"L{i}" for i in range(hubs)]
+    right = [f"R{i}" for i in range(n_right)]
+    graph = Graph(vertices=left + right)
+    added = 0
+    while added < min(num_edges, hubs * n_right):
+        u = left[rng.randrange(hubs)]
+        v = right[rng.randrange(n_right)]
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def random_uniform_hypergraph(
+    n: int, d: int, num_edges: int, seed: int | random.Random = 0
+) -> UniformHypergraph:
+    """A random d-uniform hypergraph with ``num_edges`` distinct edges."""
+    rng = _rng(seed)
+    hypergraph = UniformHypergraph(d, vertices=range(n))
+    all_edges = list(combinations(range(n), d))
+    if num_edges > len(all_edges):
+        raise InvalidInstanceError(
+            f"num_edges = {num_edges} exceeds C({n},{d}) = {len(all_edges)}"
+        )
+    for edge in rng.sample(all_edges, num_edges):
+        hypergraph.add_edge(edge)
+    return hypergraph
+
+
+def planted_hyperclique(
+    n: int, d: int, k: int, num_noise_edges: int, seed: int | random.Random = 0
+) -> tuple[UniformHypergraph, tuple[int, ...]]:
+    """A d-uniform hypergraph containing a planted k-hyperclique."""
+    if k > n or k < d:
+        raise InvalidInstanceError(f"need d <= k <= n, got d={d}, k={k}, n={n}")
+    rng = _rng(seed)
+    hypergraph = random_uniform_hypergraph(n, d, num_noise_edges, rng)
+    members = tuple(rng.sample(range(n), k))
+    for edge in combinations(members, d):
+        hypergraph.add_edge(edge)
+    return hypergraph, members

@@ -1,0 +1,113 @@
+"""Graph substrate: the third of the paper's four domains (§2.3).
+
+Provides the plain graph/digraph containers plus every graph algorithm
+the paper's upper and lower bounds refer to: clique finding (brute force
+and the Nešetřil–Poljak matrix-multiplication split), triangle detection
+(enumeration, matrix multiplication, Alon–Yuster–Zwick), dominating set,
+vertex cover (FPT search tree), independent set, graph homomorphisms,
+partitioned subgraph isomorphism, the "special" graphs of Definition
+4.3, and k-hypercliques in d-uniform hypergraphs (§8).
+"""
+
+from .graph import DiGraph, Graph
+from .clique import (
+    find_clique_bruteforce,
+    find_clique_matrix,
+    has_clique,
+    max_clique,
+)
+from .color_coding import (
+    find_k_path_color_coding,
+    find_k_path_exhaustive_colorings,
+    is_simple_path,
+)
+from .triangle import (
+    count_triangles_matrix,
+    find_triangle_ayz,
+    find_triangle_enumeration,
+    find_triangle_matrix,
+    has_triangle,
+)
+from .dominating_set import (
+    find_dominating_set_bruteforce,
+    greedy_dominating_set,
+    is_dominating_set,
+)
+from .vertex_cover import (
+    find_vertex_cover_bruteforce,
+    find_vertex_cover_fpt,
+    is_vertex_cover,
+)
+from .independent_set import (
+    find_independent_set_bruteforce,
+    find_independent_set_via_clique,
+    is_independent_set,
+)
+from .homomorphism import (
+    count_graph_homomorphisms,
+    count_graph_homomorphisms_treewidth,
+    find_graph_homomorphism,
+    is_graph_homomorphism,
+)
+from .list_homomorphism import (
+    count_list_homomorphisms,
+    find_list_homomorphism,
+    is_list_homomorphism,
+)
+from .subgraph_iso import (
+    find_partitioned_subgraph,
+    find_subgraph_isomorphism,
+)
+from .special import (
+    is_special_graph,
+    make_special_graph,
+    solve_special_csp,
+    special_graph_parts,
+)
+from .hyperclique import (
+    Hypergraph as UniformHypergraph,
+    find_hyperclique_bruteforce,
+    is_hyperclique,
+)
+
+__all__ = [
+    "DiGraph",
+    "Graph",
+    "UniformHypergraph",
+    "count_graph_homomorphisms",
+    "count_graph_homomorphisms_treewidth",
+    "count_list_homomorphisms",
+    "count_triangles_matrix",
+    "find_clique_bruteforce",
+    "find_clique_matrix",
+    "find_dominating_set_bruteforce",
+    "find_graph_homomorphism",
+    "find_hyperclique_bruteforce",
+    "find_independent_set_bruteforce",
+    "find_independent_set_via_clique",
+    "find_k_path_color_coding",
+    "find_list_homomorphism",
+    "find_k_path_exhaustive_colorings",
+    "find_partitioned_subgraph",
+    "find_subgraph_isomorphism",
+    "find_triangle_ayz",
+    "find_triangle_enumeration",
+    "find_triangle_matrix",
+    "find_vertex_cover_bruteforce",
+    "find_vertex_cover_fpt",
+    "greedy_dominating_set",
+    "has_clique",
+    "has_triangle",
+    "is_dominating_set",
+    "is_graph_homomorphism",
+    "is_hyperclique",
+    "is_independent_set",
+    "is_list_homomorphism",
+    "is_simple_path",
+    "is_special_graph",
+    "is_vertex_cover",
+    "make_special_graph",
+    "max_clique",
+    "solve_special_csp",
+    "special_graph_parts",
+]

@@ -1,0 +1,145 @@
+"""k-Clique algorithms (§5, §6, §8).
+
+Two strategies from the paper:
+
+* brute force over all ``C(n, k)`` vertex subsets — the ``n^k`` baseline
+  that Theorem 6.3 says cannot be beaten by more than a constant factor
+  in the exponent (assuming ETH);
+* the Nešetřil–Poljak split [53]: for ``k`` divisible by 3, build the
+  auxiliary graph on ``(k/3)``-cliques and look for a *triangle* with
+  matrix multiplication, giving ``O(n^{ωk/3})``. The k-clique conjecture
+  (§8) states this exponent is optimal.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..counting import CostCounter, charge
+from ..errors import InvalidInstanceError
+from .graph import Graph, Vertex
+
+
+def has_clique(graph: Graph, k: int, counter: CostCounter | None = None) -> bool:
+    """Decide whether ``graph`` has a clique of size ``k`` (brute force)."""
+    return find_clique_bruteforce(graph, k, counter) is not None
+
+
+def find_clique_bruteforce(
+    graph: Graph, k: int, counter: CostCounter | None = None
+) -> tuple[Vertex, ...] | None:
+    """Find a k-clique by enumerating vertex subsets.
+
+    This is the ``O(n^k)`` baseline of §5. Enumeration prunes
+    lexicographically: a subset is only extended while it stays a
+    clique, so the worst case is attained only on dense graphs.
+
+    Returns a clique as a tuple of vertices, or ``None``.
+    """
+    if k < 0:
+        raise InvalidInstanceError(f"clique size must be nonnegative, got {k}")
+    if k == 0:
+        return ()
+    vertices = graph.vertices
+    if k == 1:
+        return (vertices[0],) if vertices else None
+
+    # Depth-first search over ordered subsets, keeping the partial set a
+    # clique. Candidates for extension are the common neighbors.
+    order = {v: i for i, v in enumerate(vertices)}
+
+    def extend(partial: list[Vertex], candidates: list[Vertex]) -> tuple[Vertex, ...] | None:
+        if len(partial) == k:
+            return tuple(partial)
+        for i, v in enumerate(candidates):
+            charge(counter)
+            nbrs = graph.neighbors(v)
+            new_candidates = [u for u in candidates[i + 1:] if u in nbrs]
+            if len(partial) + 1 + len(new_candidates) < k:
+                continue
+            found = extend(partial + [v], new_candidates)
+            if found is not None:
+                return found
+        return None
+
+    return extend([], sorted(vertices, key=order.__getitem__))
+
+
+def max_clique(graph: Graph, counter: CostCounter | None = None) -> tuple[Vertex, ...]:
+    """The largest clique, by decreasing k from a degeneracy upper bound."""
+    if graph.num_vertices == 0:
+        return ()
+    upper = max(graph.degree(v) for v in graph.vertices) + 1
+    for k in range(upper, 0, -1):
+        clique = find_clique_bruteforce(graph, k, counter)
+        if clique is not None:
+            return clique
+    return ()
+
+
+def _adjacency_matrix(graph: Graph, index: dict[Vertex, int]) -> np.ndarray:
+    n = len(index)
+    mat = np.zeros((n, n), dtype=bool)
+    for u, v in graph.edges():
+        i, j = index[u], index[v]
+        mat[i, j] = mat[j, i] = True
+    return mat
+
+
+def find_clique_matrix(
+    graph: Graph, k: int, counter: CostCounter | None = None
+) -> tuple[Vertex, ...] | None:
+    """Find a k-clique via the Nešetřil–Poljak reduction to triangles.
+
+    Requires ``k`` divisible by 3 (pad with brute force otherwise by
+    calling :func:`find_clique_bruteforce`). Builds the auxiliary graph
+    whose vertices are the ``(k/3)``-cliques of ``graph``, with two
+    auxiliary vertices adjacent when their union is a ``(2k/3)``-clique,
+    then detects a triangle by boolean matrix multiplication. Runtime is
+    ``O(n^{ωk/3})`` with fast matrix multiplication; numpy provides the
+    practical dense analogue.
+    """
+    if k % 3 != 0 or k <= 0:
+        raise InvalidInstanceError(
+            f"Nešetřil–Poljak split requires k divisible by 3, got {k}"
+        )
+    part = k // 3
+    vertices = graph.vertices
+    small_cliques = [
+        combo
+        for combo in combinations(sorted(vertices, key=repr), part)
+        if graph.is_clique(combo)
+    ]
+    charge(counter, len(small_cliques))
+    if not small_cliques:
+        return None
+
+    m = len(small_cliques)
+    aux = np.zeros((m, m), dtype=bool)
+    members = [set(c) for c in small_cliques]
+    for i in range(m):
+        for j in range(i + 1, m):
+            charge(counter)
+            if members[i] & members[j]:
+                continue
+            union_is_clique = all(
+                graph.has_edge(u, v) for u in small_cliques[i] for v in small_cliques[j]
+            )
+            if union_is_clique:
+                aux[i, j] = aux[j, i] = True
+
+    # Triangle in the auxiliary graph == k-clique in the original graph.
+    paths2 = aux @ aux
+    charge(counter, m * m)
+    tri = np.logical_and(paths2, aux)
+    hits = np.argwhere(tri)
+    if hits.size == 0:
+        return None
+    i, j = map(int, hits[0])
+    # Recover the middle clique l with aux[i,l] and aux[l,j].
+    for l in range(m):
+        if aux[i, l] and aux[l, j]:
+            return tuple(small_cliques[i] + small_cliques[l] + small_cliques[j])
+    raise AssertionError("matrix witness disappeared during recovery")

@@ -1,0 +1,145 @@
+"""Color coding: FPT detection of k-paths (Alon–Yuster–Zwick).
+
+§5's theme made concrete beyond Vertex Cover: finding a simple path on
+k vertices is W[1]-easy — color coding gives 2^{O(k)} · poly(n):
+
+1. randomly color vertices with k colors;
+2. a *colorful* path (all colors distinct) is found by dynamic
+   programming over (vertex, color subset) states in 2^k · m time;
+3. a k-path survives a random coloring with probability k!/k^k ≥ e^{-k},
+   so e^k · ln(1/δ) rounds find one with probability ≥ 1 − δ.
+
+Randomness is seeded, so runs are reproducible; the derandomized
+fallback (try every coloring) is exposed for tiny instances and used by
+the tests as an oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from itertools import product
+
+from ..counting import CostCounter, charge
+from ..errors import InvalidInstanceError
+from .graph import Graph, Vertex
+
+
+def find_k_path_color_coding(
+    graph: Graph,
+    k: int,
+    seed: int | random.Random = 0,
+    failure_probability: float = 1e-3,
+    counter: CostCounter | None = None,
+) -> tuple[Vertex, ...] | None:
+    """Find a simple path on k vertices, with one-sided error.
+
+    Returns a path (tuple of k distinct vertices, consecutive ones
+    adjacent) or ``None``. ``None`` answers are wrong with probability
+    at most ``failure_probability`` (yes-instances only; no-instances
+    are always answered correctly).
+    """
+    if k < 1:
+        raise InvalidInstanceError(f"k must be >= 1, got {k}")
+    if k == 1:
+        vertices = graph.vertices
+        return (vertices[0],) if vertices else None
+    if graph.num_vertices < k:
+        return None
+
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    rounds = max(1, math.ceil(math.e**k * math.log(1.0 / failure_probability)))
+    for __ in range(rounds):
+        coloring = {v: rng.randrange(k) for v in graph.vertices}
+        path = _colorful_path(graph, k, coloring, counter)
+        if path is not None:
+            return path
+    return None
+
+
+def find_k_path_exhaustive_colorings(
+    graph: Graph, k: int, counter: CostCounter | None = None
+) -> tuple[Vertex, ...] | None:
+    """Derandomized variant: try every k-coloring of V(G).
+
+    Exponential in |V(G)| — an oracle for tests on tiny graphs (a real
+    derandomization would use a k-perfect hash family).
+    """
+    if k < 1:
+        raise InvalidInstanceError(f"k must be >= 1, got {k}")
+    vertices = graph.vertices
+    if k == 1:
+        return (vertices[0],) if vertices else None
+    if len(vertices) < k:
+        return None
+    for assignment in product(range(k), repeat=len(vertices)):
+        coloring = dict(zip(vertices, assignment))
+        path = _colorful_path(graph, k, coloring, counter)
+        if path is not None:
+            return path
+    return None
+
+
+def _colorful_path(
+    graph: Graph,
+    k: int,
+    coloring: dict[Vertex, int],
+    counter: CostCounter | None,
+) -> tuple[Vertex, ...] | None:
+    """DP for a path using each of the k colors exactly once.
+
+    State: (end vertex v, set S of colors used) → predecessor link.
+    2^k · (n + m) states/transitions.
+    """
+    # table[(v, mask)] = predecessor vertex (or None for path start).
+    table: dict[tuple[Vertex, int], Vertex | None] = {}
+    for v in graph.vertices:
+        charge(counter)
+        table[(v, 1 << coloring[v])] = None
+
+    full = (1 << k) - 1
+    # Process masks in increasing popcount order (increasing value works
+    # since adding a color only increases the mask).
+    frontier = sorted(table, key=lambda key: key[1])
+    queue = list(frontier)
+    position = 0
+    while position < len(queue):
+        v, mask = queue[position]
+        position += 1
+        if mask == full:
+            return _reconstruct(table, v, mask, coloring)
+        for u in graph.neighbors(v):
+            charge(counter)
+            color_bit = 1 << coloring[u]
+            if mask & color_bit:
+                continue
+            state = (u, mask | color_bit)
+            if state not in table:
+                table[state] = v
+                queue.append(state)
+    return None
+
+
+def _reconstruct(
+    table: dict[tuple[Vertex, int], Vertex | None],
+    end: Vertex,
+    mask: int,
+    coloring: dict[Vertex, int],
+) -> tuple[Vertex, ...]:
+    path = [end]
+    current, current_mask = end, mask
+    while True:
+        predecessor = table[(current, current_mask)]
+        if predecessor is None:
+            break
+        current_mask &= ~(1 << coloring[current])
+        current = predecessor
+        path.append(current)
+    return tuple(reversed(path))
+
+
+def is_simple_path(graph: Graph, path: tuple[Vertex, ...]) -> bool:
+    """Verify a witness: distinct vertices, consecutive adjacency."""
+    if len(set(path)) != len(path):
+        return False
+    return all(graph.has_edge(a, b) for a, b in zip(path, path[1:]))

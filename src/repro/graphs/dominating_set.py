@@ -1,0 +1,75 @@
+"""Dominating Set (§7).
+
+The paper uses k-Dominating Set as the SETH-hard anchor problem:
+Pătrașcu & Williams (Theorem 7.1) show that an ``O(n^{k-ε})`` algorithm
+for any ``k ≥ 3`` refutes the SETH, so the ``O(n^{k+O(1)})`` brute force
+implemented here is essentially optimal.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Iterable
+
+from ..counting import CostCounter, charge
+from ..errors import InvalidInstanceError
+from .graph import Graph, Vertex
+
+
+def is_dominating_set(graph: Graph, candidate: Iterable[Vertex]) -> bool:
+    """True iff every vertex is in ``candidate`` or adjacent to it."""
+    chosen = set(candidate)
+    for v in chosen:
+        if not graph.has_vertex(v):
+            raise InvalidInstanceError(f"vertex {v!r} not in graph")
+    return all(
+        v in chosen or graph.neighbors(v) & chosen for v in graph.vertices
+    )
+
+
+def find_dominating_set_bruteforce(
+    graph: Graph, k: int, counter: CostCounter | None = None
+) -> tuple[Vertex, ...] | None:
+    """Find a dominating set of size ≤ k by trying all ``C(n, ≤k)`` sets.
+
+    This is the ``O(n^{k+2})`` baseline of §7 (each candidate costs
+    ``O(n²)`` to verify; we charge one unit per closed-neighborhood
+    probe).
+    """
+    if k < 0:
+        raise InvalidInstanceError(f"k must be nonnegative, got {k}")
+    vertices = graph.vertices
+    if not vertices:
+        return ()
+    if k == 0:
+        return None
+    for size in range(1, min(k, len(vertices)) + 1):
+        for candidate in combinations(vertices, size):
+            charge(counter, len(vertices))
+            if is_dominating_set(graph, candidate):
+                return candidate
+    return None
+
+
+def greedy_dominating_set(graph: Graph) -> tuple[Vertex, ...]:
+    """The classical ln(n)-approximation: repeatedly pick the vertex
+    whose closed neighborhood covers the most still-undominated vertices.
+
+    Used by experiments to get feasible (not optimal) solutions on
+    instances too large for the exact search.
+    """
+    undominated = set(graph.vertices)
+    chosen: list[Vertex] = []
+    while undominated:
+        best = max(
+            graph.vertices,
+            key=lambda v: len(graph.closed_neighborhood(v) & undominated),
+        )
+        gain = graph.closed_neighborhood(best) & undominated
+        if not gain:
+            # Isolated undominated vertices must be picked directly.
+            best = next(iter(undominated))
+            gain = {best}
+        chosen.append(best)
+        undominated -= graph.closed_neighborhood(best)
+    return tuple(chosen)

@@ -1,0 +1,295 @@
+"""Minimal adjacency-set graph containers.
+
+The library deliberately does not depend on networkx: the graph
+algorithms *are* part of what the paper's bounds talk about, so they are
+implemented from scratch on top of these two containers. Vertices may be
+any hashable object.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from ..errors import InvalidInstanceError
+
+Vertex = Hashable
+
+
+class Graph:
+    """A simple undirected graph (no loops, no parallel edges).
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.num_edges
+    2
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[tuple[Vertex, Vertex]] = (),
+    ) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction -------------------------------------------------
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex; a no-op if already present."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``{u, v}``, adding endpoints as needed."""
+        if u == v:
+            raise InvalidInstanceError(f"self-loop on {u!r} not allowed")
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all incident edges."""
+        for u in self._adj.pop(v):
+            self._adj[u].discard(v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; endpoints stay."""
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def vertices(self) -> list[Vertex]:
+        """All vertices, in insertion order."""
+        return list(self._adj)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        """Iterate each undirected edge exactly once."""
+        seen: set[Vertex] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> set[Vertex]:
+        """The open neighborhood N(v) (a copy)."""
+        return set(self._adj[v])
+
+    def closed_neighborhood(self, v: Vertex) -> set[Vertex]:
+        """N[v] = N(v) ∪ {v}, as used by Dominating Set (§7)."""
+        return self._adj[v] | {v}
+
+    def degree(self, v: Vertex) -> int:
+        return len(self._adj[v])
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        """The induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        sub = Graph(vertices=keep_set)
+        for u in keep_set:
+            if u in self._adj:
+                for v in self._adj[u] & keep_set:
+                    sub.add_edge(u, v)
+        return sub
+
+    def complement(self) -> "Graph":
+        """The complement graph on the same vertex set."""
+        verts = self.vertices
+        comp = Graph(vertices=verts)
+        for i, u in enumerate(verts):
+            for v in verts[i + 1:]:
+                if not self.has_edge(u, v):
+                    comp.add_edge(u, v)
+        return comp
+
+    def connected_components(self) -> list[set[Vertex]]:
+        """Connected components as vertex sets, by first-seen order."""
+        seen: set[Vertex] = set()
+        components = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            stack = [start]
+            comp = set()
+            while stack:
+                v = stack.pop()
+                if v in comp:
+                    continue
+                comp.add(v)
+                stack.extend(self._adj[v] - comp)
+            seen |= comp
+            components.append(comp)
+        return components
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """True if ``vertices`` are pairwise adjacent."""
+        vs = list(vertices)
+        return all(
+            self.has_edge(vs[i], vs[j])
+            for i in range(len(vs))
+            for j in range(i + 1, len(vs))
+        )
+
+    def copy(self) -> "Graph":
+        g = Graph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        return g
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+class DiGraph:
+    """A simple directed graph (loops allowed, no parallel arcs).
+
+    Loops are allowed because directed graph homomorphism targets
+    (§2.4) naturally contain them — a reflexive vertex absorbs any
+    source vertex.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[tuple[Vertex, Vertex]] = (),
+    ) -> None:
+        self._succ: dict[Vertex, set[Vertex]] = {}
+        self._pred: dict[Vertex, set[Vertex]] = {}
+        for v in vertices:
+            self.add_vertex(v)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_vertex(self, v: Vertex) -> None:
+        self._succ.setdefault(v, set())
+        self._pred.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the arc ``u -> v``."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+
+    @property
+    def vertices(self) -> list[Vertex]:
+        return list(self._succ)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        for u, succs in self._succ.items():
+            for v in succs:
+                yield (u, v)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, v: Vertex) -> set[Vertex]:
+        return set(self._succ[v])
+
+    def predecessors(self, v: Vertex) -> set[Vertex]:
+        return set(self._pred[v])
+
+    def strongly_connected_components(self) -> list[set[Vertex]]:
+        """Tarjan's algorithm, iteratively, in reverse topological order.
+
+        Used by the 2SAT solver (§4): a 2-CNF formula is satisfiable iff
+        no variable shares an SCC with its negation.
+        """
+        index_of: dict[Vertex, int] = {}
+        lowlink: dict[Vertex, int] = {}
+        on_stack: set[Vertex] = set()
+        stack: list[Vertex] = []
+        components: list[set[Vertex]] = []
+        counter = 0
+
+        for root in self._succ:
+            if root in index_of:
+                continue
+            # Iterative Tarjan: work items are (vertex, iterator over succs).
+            work = [(root, iter(self._succ[root]))]
+            index_of[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                v, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index_of:
+                        index_of[w] = lowlink[w] = counter
+                        counter += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(self._succ[w])))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        lowlink[v] = min(lowlink[v], index_of[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[v])
+                if lowlink[v] == index_of[v]:
+                    comp = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.add(w)
+                        if w == v:
+                            break
+                    components.append(comp)
+        return components
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __repr__(self) -> str:
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,137 @@
+"""Graph homomorphisms (§2.3).
+
+A homomorphism ``f : V(H) → V(G)`` maps edges to edges; solutions of a
+binary CSP with one symmetric relation everywhere are exactly the
+homomorphisms from its primal graph to the relation's graph. The search
+below is a plain backtracking over H's vertices with neighbor-consistent
+pruning; it doubles as the reference oracle for the CSP translation
+tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..counting import CostCounter, charge
+from .graph import Graph, Vertex
+
+
+def is_graph_homomorphism(
+    source: Graph, target: Graph, mapping: Mapping[Vertex, Vertex]
+) -> bool:
+    """Check that ``mapping`` sends every edge of ``source`` to an edge
+    of ``target`` (loops in targets are not modeled by :class:`Graph`,
+    matching the paper's simple-graph setting)."""
+    if set(mapping) != set(source.vertices):
+        return False
+    return all(
+        target.has_edge(mapping[u], mapping[v]) for u, v in source.edges()
+    )
+
+
+def find_graph_homomorphism(
+    source: Graph, target: Graph, counter: CostCounter | None = None
+) -> dict[Vertex, Vertex] | None:
+    """Find one homomorphism from ``source`` to ``target`` or ``None``.
+
+    Vertices of ``source`` are assigned in a connectivity-friendly order
+    (each vertex after the first is adjacent to an earlier one when
+    possible) so that pruning against already-assigned neighbors fires
+    early.
+    """
+    hom = _search(source, target, count_all=False, counter=counter)
+    return hom if hom is None or isinstance(hom, dict) else None
+
+
+def count_graph_homomorphisms(
+    source: Graph, target: Graph, counter: CostCounter | None = None
+) -> int:
+    """Count all homomorphisms from ``source`` to ``target``."""
+    result = _search(source, target, count_all=True, counter=counter)
+    assert isinstance(result, int)
+    return result
+
+
+def count_graph_homomorphisms_treewidth(
+    source: Graph, target: Graph, counter: CostCounter | None = None
+) -> int:
+    """Count homomorphisms in time O(|V(H)| · |V(G)|^{tw(H)+1}).
+
+    The counting counterpart of Theorem 4.2 (and the upper-bound side
+    of the Curticapean–Marx counting lower bounds the paper cites as
+    [27]): translate to a CSP whose primal graph is the pattern, then
+    run the counting DP over a tree decomposition of the *pattern* —
+    polynomial in the host for any bounded-treewidth pattern family,
+    e.g. counting k-paths or k-cycles.
+    """
+    # Local import to avoid a package cycle (csp builds on graphs).
+    from ..csp.instance import Constraint, CSPInstance
+    from ..csp.treewidth_dp import count_with_treewidth
+
+    if source.num_vertices == 0:
+        return 1
+    if target.num_vertices == 0:
+        return 0
+    symmetric = set()
+    for u, v in target.edges():
+        symmetric.add((u, v))
+        symmetric.add((v, u))
+    constraints = [Constraint((u, v), symmetric) for u, v in source.edges()]
+    instance = CSPInstance(source.vertices, target.vertices, constraints)
+    return count_with_treewidth(instance, counter=counter)
+
+
+def _assignment_order(source: Graph) -> list[Vertex]:
+    order: list[Vertex] = []
+    placed: set[Vertex] = set()
+    for component in source.connected_components():
+        frontier = [next(iter(component))]
+        while frontier:
+            v = frontier.pop()
+            if v in placed:
+                continue
+            placed.add(v)
+            order.append(v)
+            frontier.extend(source.neighbors(v) - placed)
+    return order
+
+
+def _search(
+    source: Graph,
+    target: Graph,
+    count_all: bool,
+    counter: CostCounter | None,
+) -> dict[Vertex, Vertex] | int | None:
+    if source.num_vertices == 0:
+        return 1 if count_all else {}
+    if target.num_vertices == 0:
+        return 0 if count_all else None
+
+    order = _assignment_order(source)
+    targets = target.vertices
+    assignment: dict[Vertex, Vertex] = {}
+    count = 0
+
+    def backtrack(depth: int) -> dict[Vertex, Vertex] | None:
+        nonlocal count
+        if depth == len(order):
+            if count_all:
+                count += 1
+                return None
+            return dict(assignment)
+        v = order[depth]
+        assigned_nbrs = [u for u in source.neighbors(v) if u in assignment]
+        for image in targets:
+            charge(counter)
+            if all(target.has_edge(assignment[u], image) for u in assigned_nbrs):
+                assignment[v] = image
+                found = backtrack(depth + 1)
+                del assignment[v]
+                if found is not None:
+                    return found
+        return None
+
+    found = backtrack(0)
+    if count_all:
+        return count
+    return found

@@ -1,0 +1,91 @@
+"""k-Hypercliques in d-uniform hypergraphs (§8).
+
+The d-uniform hyperclique conjecture: for ``d ≥ 3`` no algorithm beats
+brute force ``O(n^{(1-ε)k+c})`` — matrix multiplication helps only for
+``d = 2``. This module provides the d-uniform container and the brute
+force that the conjecture says is optimal.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from collections.abc import Hashable, Iterable
+
+from ..counting import CostCounter, charge
+from ..errors import InvalidInstanceError
+
+Vertex = Hashable
+
+
+class Hypergraph:
+    """A d-uniform hypergraph: every hyperedge has exactly d vertices."""
+
+    def __init__(self, d: int, vertices: Iterable[Vertex] = ()) -> None:
+        if d < 1:
+            raise InvalidInstanceError(f"uniformity d must be >= 1, got {d}")
+        self.d = d
+        self._vertices: dict[Vertex, None] = {v: None for v in vertices}
+        self._edges: set[frozenset[Vertex]] = set()
+
+    def add_vertex(self, v: Vertex) -> None:
+        self._vertices.setdefault(v, None)
+
+    def add_edge(self, edge: Iterable[Vertex]) -> None:
+        """Add a hyperedge; it must have exactly d distinct vertices."""
+        e = frozenset(edge)
+        if len(e) != self.d:
+            raise InvalidInstanceError(
+                f"hyperedge {sorted(map(repr, e))} has {len(e)} vertices, expected {self.d}"
+            )
+        for v in e:
+            self.add_vertex(v)
+        self._edges.add(e)
+
+    @property
+    def vertices(self) -> list[Vertex]:
+        return list(self._vertices)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def has_edge(self, edge: Iterable[Vertex]) -> bool:
+        return frozenset(edge) in self._edges
+
+    def edges(self) -> list[frozenset[Vertex]]:
+        return list(self._edges)
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(d={self.d}, |V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def is_hyperclique(hypergraph: Hypergraph, candidate: Iterable[Vertex]) -> bool:
+    """True iff all C(|candidate|, d) potential hyperedges are present."""
+    vs = list(candidate)
+    if len(vs) < hypergraph.d:
+        return True
+    return all(
+        hypergraph.has_edge(combo) for combo in combinations(vs, hypergraph.d)
+    )
+
+
+def find_hyperclique_bruteforce(
+    hypergraph: Hypergraph, k: int, counter: CostCounter | None = None
+) -> tuple[Vertex, ...] | None:
+    """Find a k-hyperclique by trying every k-subset — conjecturally
+    optimal for d ≥ 3 (§8).
+    """
+    if k < 0:
+        raise InvalidInstanceError(f"k must be nonnegative, got {k}")
+    if k < hypergraph.d:
+        vs = hypergraph.vertices
+        return tuple(vs[:k]) if len(vs) >= k else None
+    for candidate in combinations(hypergraph.vertices, k):
+        charge(counter)
+        if is_hyperclique(hypergraph, candidate):
+            return candidate
+    return None

@@ -1,0 +1,39 @@
+"""Independent Set (§5).
+
+The paper notes Clique and Independent Set are equivalent by graph
+complementation — the complement trick is itself a (trivial but
+instructive) parameterized reduction, so both directions are exposed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..counting import CostCounter
+from .clique import find_clique_bruteforce
+from .graph import Graph, Vertex
+
+
+def is_independent_set(graph: Graph, candidate: Iterable[Vertex]) -> bool:
+    """True iff no two vertices of ``candidate`` are adjacent."""
+    chosen = list(candidate)
+    return not any(
+        graph.has_edge(chosen[i], chosen[j])
+        for i in range(len(chosen))
+        for j in range(i + 1, len(chosen))
+    )
+
+
+def find_independent_set_bruteforce(
+    graph: Graph, k: int, counter: CostCounter | None = None
+) -> tuple[Vertex, ...] | None:
+    """Find an independent set of size k by direct subset search."""
+    complement = graph.complement()
+    return find_clique_bruteforce(complement, k, counter)
+
+
+def find_independent_set_via_clique(
+    graph: Graph, k: int, counter: CostCounter | None = None
+) -> tuple[Vertex, ...] | None:
+    """The §5 reduction made explicit: k-IS in G == k-clique in Ḡ."""
+    return find_clique_bruteforce(graph.complement(), k, counter)

@@ -1,0 +1,102 @@
+"""List homomorphisms (the paper's reference [33]).
+
+A list homomorphism from H to G maps each vertex v of H into a
+prescribed list L(v) ⊆ V(G) while preserving edges — the graph-domain
+face of CSP instances with unary constraints, and the setting of
+Egri–Marx–Rzążewski's bounded-treewidth classification. Implemented by
+translating to a CSP (binary adjacency constraints + unary list
+constraints) so both the search and the Theorem 4.2-style treewidth
+route are available.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..counting import CostCounter
+from ..errors import InvalidInstanceError
+from .graph import Graph, Vertex
+
+
+def _to_csp(
+    source: Graph,
+    target: Graph,
+    lists: Mapping[Vertex, Sequence[Vertex]],
+):
+    from ..csp.instance import Constraint, CSPInstance
+
+    if set(lists) != set(source.vertices):
+        raise InvalidInstanceError("need exactly one list per source vertex")
+    target_vertices = set(target.vertices)
+    for v, allowed in lists.items():
+        bad = [u for u in allowed if u not in target_vertices]
+        if bad:
+            raise InvalidInstanceError(
+                f"list of {v!r} mentions non-target vertices {bad!r}"
+            )
+
+    symmetric = set()
+    for u, w in target.edges():
+        symmetric.add((u, w))
+        symmetric.add((w, u))
+
+    constraints = [
+        Constraint((v,), [(u,) for u in lists[v]]) for v in source.vertices
+    ]
+    constraints += [
+        Constraint((u, w), symmetric) for u, w in source.edges()
+    ]
+    if not target_vertices:
+        raise InvalidInstanceError("empty target graph")
+    return CSPInstance(source.vertices, target.vertices, constraints)
+
+
+def find_list_homomorphism(
+    source: Graph,
+    target: Graph,
+    lists: Mapping[Vertex, Sequence[Vertex]],
+    counter: CostCounter | None = None,
+) -> dict[Vertex, Vertex] | None:
+    """One list homomorphism H → G, or ``None``.
+
+    Solved by Freuder's DP over a tree decomposition of H's primal
+    graph (H itself), so bounded-treewidth patterns are polynomial —
+    the upper-bound side of [33].
+    """
+    from ..csp.treewidth_dp import solve_with_treewidth
+
+    if source.num_vertices == 0:
+        return {}
+    instance = _to_csp(source, target, lists)
+    return solve_with_treewidth(instance, counter=counter)
+
+
+def count_list_homomorphisms(
+    source: Graph,
+    target: Graph,
+    lists: Mapping[Vertex, Sequence[Vertex]],
+    counter: CostCounter | None = None,
+) -> int:
+    """The number of list homomorphisms H → G."""
+    from ..csp.treewidth_dp import count_with_treewidth
+
+    if source.num_vertices == 0:
+        return 1
+    instance = _to_csp(source, target, lists)
+    return count_with_treewidth(instance, counter=counter)
+
+
+def is_list_homomorphism(
+    source: Graph,
+    target: Graph,
+    lists: Mapping[Vertex, Sequence[Vertex]],
+    mapping: Mapping[Vertex, Vertex],
+) -> bool:
+    """Verify a candidate list homomorphism."""
+    if set(mapping) != set(source.vertices):
+        return False
+    if any(mapping[v] not in set(lists[v]) for v in source.vertices):
+        return False
+    return all(
+        target.has_edge(mapping[u], mapping[w]) for u, w in source.edges()
+    )

@@ -1,0 +1,129 @@
+"""Special graphs (Definition 4.3) and the Special CSP solver.
+
+A graph is *special* if it has exactly two connected components: a
+k-clique and a path on exactly ``2^k`` vertices. The paper uses Special
+CSP as a concrete, pedestrian candidate for an NP-intermediate problem:
+the path part is easy, the clique part is brute-forceable in ``n^k``
+with ``k ≤ log n``, giving quasipolynomial time ``n^{O(log n)}`` — and
+the ETH (via Theorem 6.3) rules out ``n^{o(log n)}``.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..errors import InvalidInstanceError
+from .graph import Graph, Vertex
+
+
+def make_special_graph(k: int, clique_prefix: str = "c", path_prefix: str = "p") -> Graph:
+    """Build the special graph for parameter ``k``: a k-clique on
+    vertices ``c0..c{k-1}`` plus a path on ``2^k`` vertices ``p0..``.
+    """
+    if k < 1:
+        raise InvalidInstanceError(f"special graphs need k >= 1, got {k}")
+    graph = Graph()
+    clique = [f"{clique_prefix}{i}" for i in range(k)]
+    for v in clique:
+        graph.add_vertex(v)
+    for i in range(k):
+        for j in range(i + 1, k):
+            graph.add_edge(clique[i], clique[j])
+    path = [f"{path_prefix}{i}" for i in range(2**k)]
+    for v in path:
+        graph.add_vertex(v)
+    for a, b in zip(path, path[1:]):
+        graph.add_edge(a, b)
+    return graph
+
+
+def special_graph_parts(graph: Graph) -> tuple[set[Vertex], list[Vertex]] | None:
+    """Decompose a special graph into (clique vertices, path in order).
+
+    Returns ``None`` if the graph is not special. A single vertex
+    component counts as a 1-clique or a length-1 path; the sizes must
+    satisfy ``|path| = 2^{|clique|}`` and the component structure must
+    match exactly.
+    """
+    components = graph.connected_components()
+    if len(components) != 2:
+        return None
+    for clique_part, path_part in (components, components[::-1]):
+        if not graph.is_clique(clique_part):
+            continue
+        path = _as_path(graph, path_part)
+        if path is None:
+            continue
+        k = len(clique_part)
+        if len(path) == 2**k:
+            return set(clique_part), path
+    return None
+
+
+def is_special_graph(graph: Graph) -> bool:
+    """Recognize Definition 4.3 graphs."""
+    return special_graph_parts(graph) is not None
+
+
+def _as_path(graph: Graph, component: set[Vertex]) -> list[Vertex] | None:
+    """Return the component's vertices in path order, or None if it is
+    not a simple path."""
+    if len(component) == 1:
+        return list(component)
+    endpoints = [v for v in component if len(graph.neighbors(v) & component) == 1]
+    if len(endpoints) != 2:
+        return None
+    if any(len(graph.neighbors(v) & component) > 2 for v in component):
+        return None
+    order = [endpoints[0]]
+    seen = {endpoints[0]}
+    while len(order) < len(component):
+        nxt = graph.neighbors(order[-1]) & component - seen
+        if len(nxt) != 1:
+            return None
+        v = nxt.pop()
+        order.append(v)
+        seen.add(v)
+    return order
+
+
+def solve_special_csp(instance, counter: CostCounter | None = None):
+    """Solve a Special CSP instance with the §4 two-phase strategy.
+
+    The instance's primal graph must be special. The path component is
+    solved by linear-time dynamic programming (it has treewidth 1); the
+    clique component by brute force over ``|D|^k`` assignments with
+    ``k ≤ log₂ n``. Together: quasipolynomial time, the best possible
+    under the ETH.
+
+    Parameters
+    ----------
+    instance:
+        A :class:`repro.csp.CSPInstance` whose primal graph satisfies
+        Definition 4.3.
+
+    Returns
+    -------
+    A satisfying assignment dict, or ``None``.
+    """
+    # Imported here to avoid a package cycle: csp builds on graphs.
+    from ..csp.bruteforce import solve_bruteforce
+    from ..csp.instance import CSPInstance
+    from ..csp.treewidth_dp import solve_with_treewidth
+
+    if not isinstance(instance, CSPInstance):
+        raise InvalidInstanceError("solve_special_csp expects a CSPInstance")
+    parts = special_graph_parts(instance.primal_graph())
+    if parts is None:
+        raise InvalidInstanceError("primal graph is not special (Definition 4.3)")
+    clique_vars, path_vars = parts
+
+    clique_instance = instance.restrict(clique_vars)
+    path_instance = instance.restrict(set(path_vars))
+
+    clique_solution = solve_bruteforce(clique_instance, counter=counter)
+    if clique_solution is None:
+        return None
+    path_solution = solve_with_treewidth(path_instance, counter=counter)
+    if path_solution is None:
+        return None
+    return {**clique_solution, **path_solution}

@@ -1,0 +1,156 @@
+"""Triangle detection (§8, the triangle conjecture).
+
+Three algorithms whose relative performance the paper discusses:
+
+* edge/neighbor enumeration — ``O(sum of min-degrees)``, at worst
+  ``O(m^{3/2})`` with the standard degree-ordering trick;
+* boolean matrix multiplication over the ``d x d`` adjacency matrix —
+  ``O(d^ω)`` in the domain size ``d``;
+* Alon–Yuster–Zwick [7] — split vertices at a degree threshold
+  ``Δ = m^{(ω-1)/(ω+1)}``; handle low-degree vertices by enumerating
+  their neighbor pairs and high-degree vertices (at most ``2m/Δ`` of
+  them) by matrix multiplication, for ``O(m^{2ω/(ω+1)})`` total. The
+  Strong Triangle Conjecture states this is optimal in ``m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..counting import CostCounter, charge
+from .graph import Graph, Vertex
+
+#: The best known matrix multiplication exponent cited by the paper
+#: (Alman & Vassilevska Williams 2021). Used only in *cost models*;
+#: numpy's actual multiply is cubic/BLAS.
+OMEGA = 2.3729
+
+Triangle = tuple[Vertex, Vertex, Vertex]
+
+
+def has_triangle(graph: Graph, counter: CostCounter | None = None) -> bool:
+    """Decide triangle existence via enumeration."""
+    return find_triangle_enumeration(graph, counter) is not None
+
+
+def find_triangle_naive(
+    graph: Graph, counter: CostCounter | None = None
+) -> Triangle | None:
+    """Naive detection: for every vertex, scan all neighbor pairs.
+
+    Costs Σ_v deg(v)² — quadratic in m on skewed-degree graphs, the
+    baseline the degree-ordered and AYZ methods improve on.
+    """
+    for u in graph.vertices:
+        nbrs = sorted(graph.neighbors(u), key=repr)
+        for i, v in enumerate(nbrs):
+            v_nbrs = graph.neighbors(v)
+            for w in nbrs[i + 1:]:
+                charge(counter)
+                if w in v_nbrs:
+                    return (u, v, w)
+    return None
+
+
+def find_triangle_enumeration(
+    graph: Graph, counter: CostCounter | None = None
+) -> Triangle | None:
+    """Find a triangle by scanning each edge's endpoint neighborhoods.
+
+    Vertices are processed in nondecreasing degree order and each edge
+    is charged to its lower-degree endpoint, the classic ``O(m^{3/2})``
+    bound.
+    """
+    order = sorted(graph.vertices, key=graph.degree)
+    rank = {v: i for i, v in enumerate(order)}
+    for u in order:
+        higher = [v for v in graph.neighbors(u) if rank[v] > rank[u]]
+        for i, v in enumerate(higher):
+            v_nbrs = graph.neighbors(v)
+            for w in higher[i + 1:]:
+                charge(counter)
+                if w in v_nbrs:
+                    return (u, v, w)
+    return None
+
+
+def _adjacency(graph: Graph) -> tuple[np.ndarray, list[Vertex]]:
+    vertices = graph.vertices
+    index = {v: i for i, v in enumerate(vertices)}
+    mat = np.zeros((len(vertices), len(vertices)), dtype=bool)
+    for u, v in graph.edges():
+        mat[index[u], index[v]] = mat[index[v], index[u]] = True
+    return mat, vertices
+
+
+def find_triangle_matrix(
+    graph: Graph, counter: CostCounter | None = None
+) -> Triangle | None:
+    """Find a triangle via A² ∧ A on the adjacency matrix.
+
+    This is the ``O(d^ω)`` method: ``(A²)[i,j] > 0`` and ``A[i,j]``
+    together witness a path ``i - l - j`` closed by the edge ``ij``.
+    """
+    if graph.num_vertices == 0:
+        return None
+    mat, vertices = _adjacency(graph)
+    n = len(vertices)
+    charge(counter, n * n)
+    paths2 = mat.astype(np.int64) @ mat.astype(np.int64)
+    closed = np.logical_and(paths2 > 0, mat)
+    hits = np.argwhere(closed)
+    if hits.size == 0:
+        return None
+    i, j = map(int, hits[0])
+    row = np.logical_and(mat[i], mat[j])
+    l = int(np.argwhere(row)[0][0])
+    return (vertices[i], vertices[l], vertices[j])
+
+
+def count_triangles_matrix(graph: Graph, counter: CostCounter | None = None) -> int:
+    """Count triangles as trace(A³)/6."""
+    if graph.num_vertices == 0:
+        return 0
+    mat, _ = _adjacency(graph)
+    a = mat.astype(np.int64)
+    charge(counter, a.shape[0] ** 2)
+    return int(np.trace(a @ a @ a)) // 6
+
+
+def ayz_degree_threshold(num_edges: int, omega: float = OMEGA) -> float:
+    """The AYZ split threshold Δ = m^{(ω-1)/(ω+1)}."""
+    if num_edges <= 0:
+        return 0.0
+    return num_edges ** ((omega - 1.0) / (omega + 1.0))
+
+
+def find_triangle_ayz(
+    graph: Graph,
+    counter: CostCounter | None = None,
+    threshold: float | None = None,
+) -> Triangle | None:
+    """Alon–Yuster–Zwick triangle detection in ``O(m^{2ω/(ω+1)})``.
+
+    Low-degree vertices (degree ≤ Δ) contribute at most ``m·Δ`` neighbor
+    pairs, checked directly. Any remaining triangle lies entirely within
+    the ≤ ``2m/Δ`` high-degree vertices, handled by matrix
+    multiplication on the induced subgraph.
+    """
+    m = graph.num_edges
+    if m == 0:
+        return None
+    delta = ayz_degree_threshold(m) if threshold is None else threshold
+
+    low = [v for v in graph.vertices if graph.degree(v) <= delta]
+    low_set = set(low)
+    for u in low:
+        nbrs = sorted(graph.neighbors(u), key=repr)
+        for i, v in enumerate(nbrs):
+            v_nbrs = graph.neighbors(v)
+            for w in nbrs[i + 1:]:
+                charge(counter)
+                if w in v_nbrs:
+                    return (u, v, w)
+
+    high = [v for v in graph.vertices if v not in low_set]
+    return find_triangle_matrix(graph.subgraph(high), counter)

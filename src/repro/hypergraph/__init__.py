@@ -1,0 +1,28 @@
+"""Hypergraphs of queries/CSP instances and their covers (§3).
+
+The fractional edge cover number ρ*(H) governs the AGM bound
+(Theorems 3.1–3.3): answer sizes are at most N^ρ*(H), the bound is
+tight, and worst-case optimal join algorithms match it.
+"""
+
+from .hypergraph import Hypergraph
+from .covers import (
+    FractionalCover,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    integral_edge_cover_number,
+    fractional_vertex_cover_number,
+)
+from .acyclicity import gyo_reduction, is_alpha_acyclic, join_tree
+
+__all__ = [
+    "FractionalCover",
+    "Hypergraph",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "fractional_vertex_cover_number",
+    "gyo_reduction",
+    "integral_edge_cover_number",
+    "is_alpha_acyclic",
+    "join_tree",
+]

@@ -1,0 +1,120 @@
+"""α-acyclicity via GYO reduction, and join trees (§4).
+
+Acyclic queries are the classical tractable case the paper contrasts
+with bounded treewidth: an acyclic Boolean join query is solvable in
+polynomial time (Yannakakis), and the GYO reduction both recognizes
+acyclicity and produces the join tree that drives the semijoin program.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..errors import InvalidInstanceError
+from .hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> tuple[list[frozenset], list[frozenset]]:
+    """Run the Graham–Yu–Özsoyoğlu reduction.
+
+    Repeatedly (a) remove *ear* vertices that appear in exactly one
+    hyperedge, and (b) remove hyperedges contained in another hyperedge.
+    Returns ``(eliminated, remaining)``: the edges removed as ears (in
+    elimination order) and the edges left when no rule applies. The
+    hypergraph is α-acyclic iff nothing (or a single empty trace)
+    remains.
+    """
+    edges: list[set] = [set(e) for e in hypergraph.edges]
+    original: list[frozenset] = list(hypergraph.edges)
+    alive = [True] * len(edges)
+    eliminated: list[frozenset] = []
+
+    changed = True
+    while changed:
+        changed = False
+        # Rule (a): drop vertices occurring in exactly one live edge.
+        occurrence: dict[Vertex, int] = {}
+        for i, e in enumerate(edges):
+            if alive[i]:
+                for v in e:
+                    occurrence[v] = occurrence.get(v, 0) + 1
+        for i, e in enumerate(edges):
+            if alive[i]:
+                lone = {v for v in e if occurrence[v] == 1}
+                if lone:
+                    e -= lone
+                    changed = True
+        # Rule (b): drop edges contained in another live edge (or empty).
+        for i, e in enumerate(edges):
+            if not alive[i]:
+                continue
+            if not e:
+                alive[i] = False
+                eliminated.append(original[i])
+                changed = True
+                continue
+            for j, other in enumerate(edges):
+                if i != j and alive[j] and e <= other:
+                    alive[i] = False
+                    eliminated.append(original[i])
+                    changed = True
+                    break
+    remaining = [original[i] for i in range(len(edges)) if alive[i]]
+    return eliminated, remaining
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff the GYO reduction eliminates every hyperedge."""
+    if hypergraph.num_edges == 0:
+        return True
+    __, remaining = gyo_reduction(hypergraph)
+    return not remaining
+
+
+def join_tree(hypergraph: Hypergraph) -> list[tuple[int, int]]:
+    """Build a join tree for an α-acyclic hypergraph.
+
+    Returns parent links ``(child_edge_index, parent_edge_index)``; the
+    root has no entry. Constructed by the maximal-spanning-tree
+    characterization: weight edges of the intersection graph by
+    ``|e_i ∩ e_j|`` and take a maximum spanning forest; for α-acyclic
+    hypergraphs this satisfies the running intersection property.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If the hypergraph is not α-acyclic.
+    """
+    if not is_alpha_acyclic(hypergraph):
+        raise InvalidInstanceError("join trees exist only for alpha-acyclic hypergraphs")
+    edges = hypergraph.edges
+    n = len(edges)
+    if n <= 1:
+        return []
+
+    # Prim-style maximum spanning forest over the intersection weights.
+    links: list[tuple[int, int]] = []
+    in_tree: set[int] = set()
+    for start in range(n):
+        if start in in_tree:
+            continue
+        in_tree.add(start)
+        component = {start}
+        while True:
+            best: tuple[int, int, int] | None = None  # (weight, child, parent)
+            for i in range(n):
+                if i in in_tree:
+                    continue
+                for j in component:
+                    weight = len(edges[i] & edges[j])
+                    if best is None or weight > best[0]:
+                        best = (weight, i, j)
+            if best is None or best[0] == 0:
+                break
+            __, child, parent = best
+            links.append((child, parent))
+            in_tree.add(child)
+            component.add(child)
+    return links

@@ -1,0 +1,156 @@
+"""General (non-uniform) hypergraphs.
+
+These model the hypergraph of a join query or CSP instance (§2.1/§2.2):
+vertices are attributes/variables, each relation/constraint contributes
+one hyperedge. Hyperedges are kept in insertion order and may repeat
+as *labels* (two relations over the same attribute set), which matters
+when mapping covers back to relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from ..errors import InvalidInstanceError
+from ..graphs.graph import Graph
+
+Vertex = Hashable
+
+
+class Hypergraph:
+    """A hypergraph with labeled, ordered hyperedges.
+
+    Parameters
+    ----------
+    vertices:
+        Optional initial isolated vertices.
+    edges:
+        Iterable of hyperedges, each an iterable of vertices.
+
+    Examples
+    --------
+    >>> h = Hypergraph(edges=[("a", "b"), ("a", "c"), ("b", "c")])
+    >>> h.num_edges
+    3
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable[Iterable[Vertex]] = (),
+    ) -> None:
+        self._vertices: dict[Vertex, None] = {v: None for v in vertices}
+        self._edges: list[frozenset[Vertex]] = []
+        for edge in edges:
+            self.add_edge(edge)
+
+    def add_vertex(self, v: Vertex) -> None:
+        self._vertices.setdefault(v, None)
+
+    def add_edge(self, edge: Iterable[Vertex]) -> int:
+        """Append a hyperedge; returns its index. Empty edges rejected."""
+        e = frozenset(edge)
+        if not e:
+            raise InvalidInstanceError("empty hyperedge not allowed")
+        for v in e:
+            self.add_vertex(v)
+        self._edges.append(e)
+        return len(self._edges) - 1
+
+    @property
+    def vertices(self) -> list[Vertex]:
+        return list(self._vertices)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def edges(self) -> list[frozenset[Vertex]]:
+        return list(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edge(self, index: int) -> frozenset[Vertex]:
+        return self._edges[index]
+
+    def incident_edges(self, v: Vertex) -> list[int]:
+        """Indices of hyperedges containing ``v``."""
+        return [i for i, e in enumerate(self._edges) if v in e]
+
+    def degree(self, v: Vertex) -> int:
+        return len(self.incident_edges(v))
+
+    def primal_graph(self) -> Graph:
+        """The primal (Gaifman) graph: vertices adjacent iff they share
+        a hyperedge (§2.1)."""
+        graph = Graph(vertices=self._vertices)
+        for edge in self._edges:
+            members = sorted(edge, key=repr)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    graph.add_edge(u, v)
+        return graph
+
+    def restrict(self, keep: Iterable[Vertex]) -> "Hypergraph":
+        """The trace on ``keep``: intersect each edge with ``keep``,
+        dropping edges that become empty."""
+        keep_set = set(keep)
+        restricted = Hypergraph(vertices=(v for v in self._vertices if v in keep_set))
+        for edge in self._edges:
+            trimmed = edge & keep_set
+            if trimmed:
+                restricted.add_edge(trimmed)
+        return restricted
+
+    def is_cover(self, vertices_covered: Iterable[Vertex] | None = None) -> bool:
+        """True if every vertex lies in at least one edge."""
+        targets = set(self._vertices) if vertices_covered is None else set(vertices_covered)
+        covered: set[Vertex] = set()
+        for edge in self._edges:
+            covered |= edge
+        return targets <= covered
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    # -- named constructions used throughout the experiments ----------
+
+    @staticmethod
+    def triangle() -> "Hypergraph":
+        """The triangle query hypergraph of §3: ρ* = 3/2."""
+        return Hypergraph(edges=[("a1", "a2"), ("a1", "a3"), ("a2", "a3")])
+
+    @staticmethod
+    def cycle(length: int) -> "Hypergraph":
+        """The length-n cycle of binary edges: ρ* = n/2."""
+        if length < 3:
+            raise InvalidInstanceError(f"cycle length must be >= 3, got {length}")
+        names = [f"a{i}" for i in range(length)]
+        return Hypergraph(
+            edges=[(names[i], names[(i + 1) % length]) for i in range(length)]
+        )
+
+    @staticmethod
+    def clique(size: int) -> "Hypergraph":
+        """All C(size, 2) binary edges on ``size`` vertices: ρ* = size/2."""
+        if size < 2:
+            raise InvalidInstanceError(f"clique size must be >= 2, got {size}")
+        names = [f"a{i}" for i in range(size)]
+        return Hypergraph(
+            edges=[
+                (names[i], names[j])
+                for i in range(size)
+                for j in range(i + 1, size)
+            ]
+        )
+
+    @staticmethod
+    def star(leaves: int) -> "Hypergraph":
+        """A center joined to each leaf by a binary edge: ρ* = leaves
+        (for leaves >= 1 each leaf needs its own edge fully)."""
+        if leaves < 1:
+            raise InvalidInstanceError(f"star needs >= 1 leaf, got {leaves}")
+        return Hypergraph(edges=[("c", f"l{i}") for i in range(leaves)])

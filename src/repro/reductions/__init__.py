@@ -1,0 +1,47 @@
+"""Certified reductions — the executable content of the paper's
+lower-bound proofs (§2, §5–§7).
+
+Each reduction module implements one instance transformation from the
+paper, packaged as a :class:`~repro.reductions.base.CertifiedReduction`:
+the target instance, a solution back-mapping, and machine-checkable
+*certificates* for the size/parameter guarantees the proof relies on
+(e.g. "the primal graph has treewidth ≤ t", "the new instance has
+k + 2^k variables").
+"""
+
+from .base import Certificate, CertifiedReduction
+from .sat_to_csp import sat_to_csp
+from .sat_to_coloring import ColoringInstance, sat_to_3coloring, solve_coloring
+from .clique_to_csp import clique_to_csp
+from .clique_to_special import clique_to_special_csp
+from .domset_to_csp import dominating_set_to_csp, dominating_set_to_grouped_csp
+from .grouping import group_variables
+from .parameterized_examples import (
+    clique_to_independent_set,
+    independent_set_to_vertex_cover,
+    is_parameterized,
+)
+from .query_to_csp import csp_to_query, query_to_csp
+from .csp_to_graph import csp_to_partitioned_subgraph
+from .csp_to_structures import csp_to_structures
+
+__all__ = [
+    "Certificate",
+    "CertifiedReduction",
+    "ColoringInstance",
+    "clique_to_csp",
+    "clique_to_independent_set",
+    "clique_to_special_csp",
+    "csp_to_partitioned_subgraph",
+    "csp_to_query",
+    "csp_to_structures",
+    "dominating_set_to_csp",
+    "dominating_set_to_grouped_csp",
+    "group_variables",
+    "independent_set_to_vertex_cover",
+    "is_parameterized",
+    "query_to_csp",
+    "sat_to_3coloring",
+    "sat_to_csp",
+    "solve_coloring",
+]

@@ -1,0 +1,67 @@
+"""k-Clique → binary CSP with k variables (§5, Theorem 6.4).
+
+The parameterized reduction showing CSP parameterized by |V| is
+W[1]-hard: k variables (one per clique slot), domain V(G), and an
+adjacency-plus-distinctness constraint on every pair of slots. Finding
+a solution is exactly finding a k-clique, so an f(|V|)·|D|^{o(|V|)} CSP
+algorithm would violate Theorem 6.3.
+"""
+
+from __future__ import annotations
+
+from ..csp.instance import Constraint, CSPInstance
+from ..errors import ReductionError
+from ..graphs.graph import Graph
+from .base import CertifiedReduction
+
+
+def clique_to_csp(graph: Graph, k: int) -> CertifiedReduction:
+    """Express "does ``graph`` have a k-clique?" as a CSP instance."""
+    if k < 2:
+        raise ReductionError(f"clique reduction needs k >= 2, got {k}")
+    if graph.num_vertices == 0:
+        raise ReductionError("empty graph")
+
+    slots = [f"s{i}" for i in range(k)]
+    adjacency = set()
+    for u, v in graph.edges():
+        adjacency.add((u, v))
+        adjacency.add((v, u))
+
+    constraints = [
+        Constraint((slots[i], slots[j]), adjacency)
+        for i in range(k)
+        for j in range(i + 1, k)
+    ]
+    instance = CSPInstance(slots, graph.vertices, constraints)
+
+    def back(solution):
+        return tuple(solution[s] for s in slots)
+
+    reduction = CertifiedReduction(
+        name="clique→csp",
+        source=(graph, k),
+        target=instance,
+        map_solution_back=back,
+        parameter_source=k,
+        parameter_target=instance.num_variables,
+    )
+    reduction.add_certificate(
+        "|V| == k", instance.num_variables == k, str(instance.num_variables)
+    )
+    reduction.add_certificate(
+        "|C| == C(k,2)",
+        instance.num_constraints == k * (k - 1) // 2,
+        str(instance.num_constraints),
+    )
+    reduction.add_certificate(
+        "|D| == |V(G)|",
+        instance.domain_size == graph.num_vertices,
+        str(instance.domain_size),
+    )
+    reduction.add_certificate(
+        "primal graph is a k-clique",
+        instance.primal_graph().is_clique(slots),
+        "",
+    )
+    return reduction

@@ -1,0 +1,88 @@
+"""Binary CSP → partitioned subgraph isomorphism (§2.3).
+
+The graph-domain image of a binary CSP instance: one host vertex
+w_{v,d} per (variable, value) pair, partition classes W_v, and host
+edges between compatible pairs; a solution is exactly a copy of the
+primal graph H respecting the partition.
+
+Where several constraints share the same scope the allowed pairs are
+intersected (all of them must hold).
+"""
+
+from __future__ import annotations
+
+from ..csp.instance import CSPInstance
+from ..errors import ReductionError
+from ..graphs.graph import Graph
+from .base import CertifiedReduction
+
+
+def csp_to_partitioned_subgraph(instance: CSPInstance) -> CertifiedReduction:
+    """Build (pattern H, host G, partition) from a binary CSP instance.
+
+    Returns a reduction whose target is the triple
+    ``(pattern, host, partition)`` accepted by
+    :func:`repro.graphs.subgraph_iso.find_partitioned_subgraph`.
+
+    Raises
+    ------
+    ReductionError
+        If some constraint is not binary.
+    """
+    if not instance.is_binary:
+        raise ReductionError("the §2.3 translation needs a binary CSP instance")
+
+    domain = sorted(instance.domain, key=repr)
+    pattern = instance.primal_graph()
+
+    # Allowed value pairs per primal edge, intersected over constraints.
+    allowed: dict[tuple, set[tuple]] = {}
+    for constraint in instance.constraints:
+        u, v = constraint.scope
+        if u == v:
+            raise ReductionError(f"scope repeats variable {u!r}")
+        key, pairs = _normalize(u, v, constraint.relation)
+        if key in allowed:
+            allowed[key] &= pairs
+        else:
+            allowed[key] = pairs
+
+    host = Graph()
+    partition = {
+        var: [ (var, d) for d in domain ] for var in instance.variables
+    }
+    for var in instance.variables:
+        for d in domain:
+            host.add_vertex((var, d))
+    for (u, v), pairs in allowed.items():
+        for d1, d2 in pairs:
+            if d1 in instance.domain and d2 in instance.domain:
+                host.add_edge((u, d1), (v, d2))
+
+    def back(embedding):
+        return {var: embedding[var][1] for var in instance.variables}
+
+    reduction = CertifiedReduction(
+        name="binary-csp→partitioned-subgraph",
+        source=instance,
+        target=(pattern, host, partition),
+        map_solution_back=back,
+    )
+    reduction.add_certificate(
+        "|V(host)| == |V|·|D|",
+        host.num_vertices == instance.num_variables * instance.domain_size,
+        str(host.num_vertices),
+    )
+    reduction.add_certificate(
+        "pattern == primal graph",
+        pattern == instance.primal_graph(),
+        "",
+    )
+    return reduction
+
+
+def _normalize(u, v, relation) -> tuple[tuple, set[tuple]]:
+    """Canonical (u, v) ordering by repr, flipping pairs as needed."""
+    if repr(u) <= repr(v):
+        return (u, v), {(a, b) for a, b in relation}
+    return (v, u), {(b, a) for a, b in relation}

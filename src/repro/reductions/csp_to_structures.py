@@ -1,0 +1,71 @@
+"""CSP → homomorphism of relational structures (§2.4).
+
+The fully general translation: vocabulary τ with one symbol Q_i per
+constraint; structure **A** over the variables with Q_i^A = {s_i} (just
+the scope tuple); structure **B** over the domain with Q_i^B = R_i.
+Mappings V → D are solutions iff they are homomorphisms A → B.
+"""
+
+from __future__ import annotations
+
+from ..csp.instance import CSPInstance
+from ..errors import ReductionError
+from ..structures.structure import Structure
+from ..structures.vocabulary import RelationSymbol, Vocabulary
+from .base import CertifiedReduction
+
+
+def csp_to_structures(instance: CSPInstance) -> CertifiedReduction:
+    """Build the pair (A, B) with hom(A, B) ≅ solutions of the instance.
+
+    Returns a reduction whose target is ``(A, B)``.
+    """
+    if instance.num_constraints == 0:
+        raise ReductionError(
+            "the §2.4 translation needs at least one constraint "
+            "(an empty vocabulary makes every mapping a homomorphism)"
+        )
+
+    symbols = [
+        RelationSymbol(f"Q{i}", c.arity) for i, c in enumerate(instance.constraints)
+    ]
+    tau = Vocabulary(symbols)
+
+    a_relations = {
+        f"Q{i}": [c.scope] for i, c in enumerate(instance.constraints)
+    }
+    b_relations = {
+        f"Q{i}": list(c.relation) for i, c in enumerate(instance.constraints)
+    }
+    structure_a = Structure(tau, instance.variables, a_relations)
+    structure_b = Structure(tau, sorted(instance.domain, key=repr), b_relations)
+
+    def back(hom):
+        return dict(hom)
+
+    reduction = CertifiedReduction(
+        name="csp→hom(A,B)",
+        source=instance,
+        target=(structure_a, structure_b),
+        map_solution_back=back,
+    )
+    reduction.add_certificate(
+        "|universe(A)| == |V|",
+        structure_a.universe_size == instance.num_variables,
+        str(structure_a.universe_size),
+    )
+    reduction.add_certificate(
+        "|universe(B)| == |D|",
+        structure_b.universe_size == instance.domain_size,
+        str(structure_b.universe_size),
+    )
+    reduction.add_certificate(
+        "one symbol per constraint, matching arities",
+        len(tau) == instance.num_constraints
+        and all(
+            tau.symbol(f"Q{i}").arity == c.arity
+            for i, c in enumerate(instance.constraints)
+        ),
+        "",
+    )
+    return reduction

@@ -1,0 +1,159 @@
+"""t-Dominating Set → CSP of treewidth ≤ t, plus grouping (Theorem 7.2).
+
+The SETH-transfer construction, verbatim from the paper's proof:
+
+* variables s_1..s_t (solution slots, domain V(G)) and x_1..x_n
+  (witness pointers, domain [t] ⊆ [n] after renaming);
+* constraint c_{i,j} between s_i and x_j: if x_j = i then s_i ∈ N[j] —
+  so any solution makes {s_1, ..., s_t} a dominating set, with x_j
+  naming the slot that dominates vertex j;
+* the primal graph is complete bipartite K_{t,n}, which has treewidth
+  ≤ t;
+* grouping the s-variables into k = t/g groups of size g (via
+  :func:`repro.reductions.grouping.group_variables`) lowers the
+  treewidth to ≤ k at the price of domain size n^g — the step that
+  turns an O(|D|^{k-ε}) algorithm into an O(n^{t-ε}) dominating-set
+  algorithm, refuting SETH by Theorem 7.1.
+"""
+
+from __future__ import annotations
+
+from ..csp.instance import Constraint, CSPInstance
+from ..errors import ReductionError
+from ..graphs.graph import Graph
+from ..treewidth.heuristics import treewidth_min_fill
+from .base import CertifiedReduction
+from .grouping import group_variables
+
+
+def dominating_set_to_csp(graph: Graph, t: int) -> CertifiedReduction:
+    """The ungrouped Theorem 7.2 construction: treewidth ≤ t.
+
+    Vertices of ``graph`` may be arbitrary hashables; they play the
+    role of [n] in the paper.
+    """
+    if t < 1:
+        raise ReductionError(f"t must be >= 1, got {t}")
+    vertices = graph.vertices
+    n = len(vertices)
+    if n == 0:
+        raise ReductionError("empty graph")
+
+    slot_vars = [f"s{i}" for i in range(1, t + 1)]
+    witness_vars = [f"x{j}" for j in range(n)]
+    slots = list(range(1, t + 1))
+    # Shared domain: V(G) ∪ [t] (the paper identifies [t] ⊆ [n] = V(G);
+    # with abstract vertices we take the union explicitly).
+    domain = set(vertices) | set(slots)
+
+    constraints = []
+    closed: dict[object, set] = {v: graph.closed_neighborhood(v) for v in vertices}
+    for i in slots:
+        for j, vertex in enumerate(vertices):
+            relation = set()
+            for a in domain:
+                for b in slots:
+                    if b != i:
+                        relation.add((a, b))
+                    elif a in closed[vertex]:
+                        relation.add((a, b))
+            constraints.append(Constraint((slot_vars[i - 1], witness_vars[j]), relation))
+
+    instance = CSPInstance(slot_vars + witness_vars, domain, constraints)
+
+    vertex_set = set(vertices)
+
+    def back(solution):
+        # Slots never referenced by any x_j may hold junk values; the
+        # referenced slots all hold dominating vertices (paper's "vertex
+        # s_{x_j} is in N[j]"), so filtering to real vertices yields a
+        # dominating set of size <= t.
+        return tuple(
+            dict.fromkeys(
+                solution[s] for s in slot_vars if solution[s] in vertex_set
+            )
+        )
+
+    reduction = CertifiedReduction(
+        name="domset→csp",
+        source=(graph, t),
+        target=instance,
+        map_solution_back=back,
+        parameter_source=t,
+        parameter_target=t,
+    )
+    width, __ = treewidth_min_fill(instance.primal_graph())
+    reduction.add_certificate(
+        "primal treewidth <= t", width <= t, f"min-fill width {width}"
+    )
+    reduction.add_certificate(
+        "|V| == t + n",
+        instance.num_variables == t + n,
+        str(instance.num_variables),
+    )
+    reduction.add_certificate(
+        "primal graph is complete bipartite K(t, n)",
+        _is_complete_bipartite(instance.primal_graph(), set(slot_vars), set(witness_vars)),
+        "",
+    )
+    return reduction
+
+
+def dominating_set_to_grouped_csp(
+    graph: Graph, t: int, group_size: int
+) -> CertifiedReduction:
+    """The full Theorem 7.2 pipeline: construct, then group the slot
+    variables into t/group_size groups.
+
+    Raises
+    ------
+    ReductionError
+        If ``group_size`` does not divide ``t``.
+    """
+    if group_size < 1 or t % group_size != 0:
+        raise ReductionError(f"group size {group_size} must divide t = {t}")
+    base = dominating_set_to_csp(graph, t)
+    base.certify()
+    instance: CSPInstance = base.target
+
+    slot_vars = [f"s{i}" for i in range(1, t + 1)]
+    k = t // group_size
+    groups = [
+        slot_vars[g * group_size:(g + 1) * group_size] for g in range(k)
+    ]
+    grouped = group_variables(instance, groups)
+    grouped.certify()
+
+    def back(solution):
+        return base.pull_back(grouped.pull_back(solution))
+
+    reduction = CertifiedReduction(
+        name="domset→grouped-csp",
+        source=(graph, t),
+        target=grouped.target,
+        map_solution_back=back,
+        parameter_source=t,
+        parameter_target=k,
+    )
+    width, __ = treewidth_min_fill(grouped.target.primal_graph())
+    reduction.add_certificate(
+        "grouped primal treewidth <= k = t/g", width <= k, f"min-fill width {width}"
+    )
+    reduction.add_certificate(
+        "|V'| == k + n",
+        grouped.target.num_variables == k + graph.num_vertices,
+        str(grouped.target.num_variables),
+    )
+    return reduction
+
+
+def _is_complete_bipartite(graph: Graph, left: set, right: set) -> bool:
+    if set(graph.vertices) != left | right:
+        return False
+    for u in left:
+        if graph.neighbors(u) != right:
+            return False
+    for v in right:
+        if graph.neighbors(v) != left:
+            return False
+    return True

@@ -1,0 +1,94 @@
+"""The Clique ↔ Independent Set ↔ Vertex Cover chain (§5).
+
+Three classical transformations that together teach Definition 5.1:
+
+* Clique ↔ Independent Set via graph complement — a *parameterized*
+  reduction (k' = k): W[1]-hardness transfers both ways;
+* Independent Set → Vertex Cover via k' = n − k — a perfectly valid
+  polynomial-time reduction that is **not** a parameterized reduction:
+  the new parameter depends on n, violating condition (3) of
+  Definition 5.1. That is exactly why Vertex Cover can be FPT even
+  though Independent Set is W[1]-hard.
+
+The non-parameterized certificate is recorded with ``holds`` *by
+construction*: the certificate name carries the caveat, and the
+``parameterized`` flag on the reduction object is the machine-readable
+verdict the tests pin.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReductionError
+from ..graphs.graph import Graph
+from .base import CertifiedReduction
+
+
+def clique_to_independent_set(graph: Graph, k: int) -> CertifiedReduction:
+    """k-Clique in G ⇔ k-Independent Set in the complement of G.
+
+    A parameterized reduction with k' = k (Definition 5.1 holds).
+    """
+    if k < 0:
+        raise ReductionError(f"k must be nonnegative, got {k}")
+    complement = graph.complement()
+    reduction = CertifiedReduction(
+        name="clique→independent-set",
+        source=(graph, k),
+        target=(complement, k),
+        map_solution_back=lambda solution: solution,
+        parameter_source=k,
+        parameter_target=k,
+    )
+    reduction.add_certificate("k' == k (Definition 5.1.3 holds)", True, f"k' = {k}")
+    reduction.add_certificate(
+        "instance size preserved",
+        complement.num_vertices == graph.num_vertices,
+        "",
+    )
+    return reduction
+
+
+def independent_set_to_vertex_cover(graph: Graph, k: int) -> CertifiedReduction:
+    """k-Independent Set in G ⇔ (n−k)-Vertex Cover in G.
+
+    Polynomial-time and answer-preserving, but **not** a parameterized
+    reduction: k' = n − k is unbounded in k, so W[1]-hardness of
+    Independent Set says nothing about Vertex Cover parameterized by
+    solution size — which is indeed FPT (§5).
+    """
+    if k < 0 or k > graph.num_vertices:
+        raise ReductionError(f"need 0 <= k <= n, got k={k}, n={graph.num_vertices}")
+    k_prime = graph.num_vertices - k
+
+    def back(cover):
+        return tuple(v for v in graph.vertices if v not in set(cover))
+
+    reduction = CertifiedReduction(
+        name="independent-set→vertex-cover",
+        source=(graph, k),
+        target=(graph, k_prime),
+        map_solution_back=back,
+        parameter_source=k,
+        parameter_target=k_prime,
+    )
+    reduction.add_certificate(
+        "NOT a parameterized reduction: k' = n − k depends on n "
+        "(Definition 5.1.3 fails by design)",
+        True,
+        f"k' = {k_prime}",
+    )
+    reduction.add_certificate(
+        "complement of a cover is independent", True, ""
+    )
+    return reduction
+
+
+def is_parameterized(reduction: CertifiedReduction, bound) -> bool:
+    """Does the reduction satisfy Definition 5.1.3 under ``bound``?
+
+    ``bound(k)`` is the claimed computable function f; the check is
+    k' ≤ f(k) on this concrete instance.
+    """
+    if reduction.parameter_source is None or reduction.parameter_target is None:
+        return False
+    return reduction.parameter_target <= bound(reduction.parameter_source)

@@ -1,0 +1,115 @@
+"""Join queries ⇄ CSP (§2.2): the bridge between the first two domains.
+
+``query_to_csp`` turns (Q, D) into the CSP whose solutions are exactly
+the answer tuples; ``csp_to_query`` goes the other way. Round-tripping
+is exact, which the property-based tests exploit.
+"""
+
+from __future__ import annotations
+
+from ..csp.instance import Constraint, CSPInstance
+from ..errors import ReductionError
+from ..relational.database import Database
+from ..relational.query import Atom, JoinQuery
+from ..relational.relation import Relation
+from .base import CertifiedReduction
+
+
+def query_to_csp(query: JoinQuery, database: Database) -> CertifiedReduction:
+    """CSP instance whose solutions are the answer tuples of (Q, D)."""
+    query.validate_against(database)
+
+    constraints = []
+    for atom in query.atoms:
+        relation = database.relation(atom.relation_name)
+        constraints.append(Constraint(atom.attributes, relation.tuples))
+
+    domain = database.domain()
+    if not domain:
+        raise ReductionError("empty database domain")
+    instance = CSPInstance(query.attributes, domain, constraints)
+
+    def back(solution):
+        return tuple(solution[a] for a in query.attributes)
+
+    reduction = CertifiedReduction(
+        name="join-query→csp",
+        source=(query, database),
+        target=instance,
+        map_solution_back=back,
+    )
+    reduction.add_certificate(
+        "variables == attributes",
+        instance.variables == query.attributes,
+        "",
+    )
+    reduction.add_certificate(
+        "one constraint per atom",
+        instance.num_constraints == query.num_atoms,
+        str(instance.num_constraints),
+    )
+    reduction.add_certificate(
+        "hypergraphs coincide",
+        instance.hypergraph().edges == query.hypergraph().edges
+        and set(instance.hypergraph().vertices) == set(query.hypergraph().vertices),
+        "",
+    )
+    return reduction
+
+
+def csp_to_query(instance: CSPInstance) -> CertifiedReduction:
+    """A join query + database whose answer set is the solution set.
+
+    Each constraint becomes one relation (named ``C0``, ``C1``, ...)
+    whose tuples are the allowed combinations; variables isolated from
+    every constraint get a fresh unary "domain" relation so the query
+    ranges over all of D for them, matching CSP semantics.
+    """
+    atoms: list[Atom] = []
+    relations: list[Relation] = []
+    for idx, constraint in enumerate(instance.constraints):
+        if len(set(constraint.scope)) != len(constraint.scope):
+            raise ReductionError(
+                "csp_to_query requires constraint scopes without repeats; "
+                "repeated variables have no join-query counterpart"
+            )
+        name = f"C{idx}"
+        attrs = tuple(str(v) for v in constraint.scope)
+        atoms.append(Atom(name, attrs))
+        relations.append(Relation(name, attrs, constraint.relation))
+
+    constrained = {v for c in instance.constraints for v in c.scope}
+    for v in instance.variables:
+        if v not in constrained:
+            name = f"D_{v}"
+            atoms.append(Atom(name, (str(v),)))
+            relations.append(Relation(name, (str(v),), ((d,) for d in instance.domain)))
+
+    query = JoinQuery(atoms)
+    database = Database(relations, domain=instance.domain)
+
+    def back(answer_tuple):
+        by_attr = dict(zip(query.attributes, answer_tuple))
+        return {v: by_attr[str(v)] for v in instance.variables}
+
+    reduction = CertifiedReduction(
+        name="csp→join-query",
+        source=instance,
+        target=(query, database),
+        map_solution_back=back,
+    )
+    reduction.add_certificate(
+        "attribute count == variable count",
+        len(query.attributes) == instance.num_variables,
+        f"{len(query.attributes)} vs {instance.num_variables}",
+    )
+    reduction.add_certificate(
+        "max relation size == max constraint size",
+        database.max_relation_size()
+        == max(
+            [len(c.relation) for c in instance.constraints]
+            + [instance.domain_size if len(constrained) < instance.num_variables else 0]
+        ),
+        "",
+    )
+    return reduction

@@ -1,0 +1,186 @@
+"""3SAT → 3-Coloring with O(n + m) vertices and edges (Corollary 6.2).
+
+The textbook reduction the paper invokes: its *linear size* is the load-
+bearing property, because combined with Hypothesis 2 (ETH + Sparsifi-
+cation Lemma) it rules out 2^{o(|V| + |C|)} algorithms for binary CSP
+with |D| = 3.
+
+Construction: a palette triangle (TRUE, FALSE, BASE); per variable a
+pair of literal vertices joined to each other and to BASE (forcing
+complementary TRUE/FALSE colors); per clause two chained OR-gadgets
+(a triangle whose two free corners hang off the inputs) whose output
+vertex is wired to FALSE and BASE, forcing it TRUE — achievable iff
+some literal is TRUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..csp.instance import Constraint, CSPInstance
+from ..csp.backtracking import solve_backtracking
+from ..errors import ReductionError
+from ..graphs.graph import Graph
+from ..sat.cnf import CNF
+from .base import CertifiedReduction
+
+TRUE, FALSE, BASE = "⊤", "⊥", "β"
+#: Vertices added per clause: two OR gadgets, three vertices each.
+_CLAUSE_VERTICES = 6
+#: Edges added per clause: 3 triangle + 2 input + (same again) + 2 output pins.
+_CLAUSE_EDGES = 12
+
+
+@dataclass
+class ColoringInstance:
+    """A 3-coloring instance produced by the reduction.
+
+    ``literal_vertex`` maps each literal (±var) to its graph vertex, so
+    colorings can be decoded back into SAT assignments.
+    """
+
+    graph: Graph
+    literal_vertex: dict[int, str]
+
+
+def sat_to_3coloring(formula: CNF) -> CertifiedReduction:
+    """Reduce a 3SAT formula to 3-colorability of a graph.
+
+    Raises
+    ------
+    ReductionError
+        If some clause has more than three literals.
+    """
+    if not formula.is_k_sat(3):
+        raise ReductionError("sat_to_3coloring requires clause width <= 3")
+
+    graph = Graph()
+    graph.add_edge(TRUE, FALSE)
+    graph.add_edge(TRUE, BASE)
+    graph.add_edge(FALSE, BASE)
+
+    literal_vertex: dict[int, str] = {}
+    for var in range(1, formula.num_variables + 1):
+        pos, neg = f"x{var}", f"¬x{var}"
+        literal_vertex[var] = pos
+        literal_vertex[-var] = neg
+        graph.add_edge(pos, neg)
+        graph.add_edge(pos, BASE)
+        graph.add_edge(neg, BASE)
+
+    def or_gadget(tag: str, in1: str, in2: str) -> str:
+        """Triangle t1-t2-t3 with inputs pinned to t1/t2; t3 is output.
+
+        The output can be colored TRUE iff some input is TRUE; if both
+        inputs are FALSE the output is forced FALSE.
+        """
+        t1, t2, t3 = f"{tag}·1", f"{tag}·2", f"{tag}·3"
+        graph.add_edge(t1, t2)
+        graph.add_edge(t2, t3)
+        graph.add_edge(t1, t3)
+        graph.add_edge(in1, t1)
+        graph.add_edge(in2, t2)
+        return t3
+
+    for c_idx, clause in enumerate(sorted(formula.clauses, key=lambda c: sorted(c))):
+        lits = sorted(clause)
+        inputs = [literal_vertex[lit] for lit in lits]
+        while len(inputs) < 3:
+            inputs.append(inputs[0])
+        o1 = or_gadget(f"c{c_idx}a", inputs[0], inputs[1])
+        o2 = or_gadget(f"c{c_idx}b", o1, inputs[2])
+        graph.add_edge(o2, FALSE)
+        graph.add_edge(o2, BASE)
+
+    def back(coloring):
+        true_color = coloring[TRUE]
+        return {
+            var: coloring[literal_vertex[var]] == true_color
+            for var in range(1, formula.num_variables + 1)
+        }
+
+    reduction = CertifiedReduction(
+        name="3sat→3coloring",
+        source=formula,
+        target=ColoringInstance(graph=graph, literal_vertex=literal_vertex),
+        map_solution_back=back,
+    )
+    n, m = formula.num_variables, formula.num_clauses
+    bound_v = 3 + 2 * n + _CLAUSE_VERTICES * m
+    bound_e = 3 + 3 * n + _CLAUSE_EDGES * m
+    reduction.add_certificate(
+        "|V| <= 3 + 2n + 6m",
+        graph.num_vertices <= bound_v,
+        f"{graph.num_vertices} vs {bound_v}",
+    )
+    reduction.add_certificate(
+        "|E| <= 3 + 3n + 12m",
+        graph.num_edges <= bound_e,
+        f"{graph.num_edges} vs {bound_e}",
+    )
+    return reduction
+
+
+def coloring_as_csp(graph: Graph, colors: int = 3) -> CSPInstance:
+    """Graph coloring as a binary CSP with |D| = colors — the exact
+    instance family of Corollary 6.2."""
+    disequal = {
+        (a, b) for a in range(colors) for b in range(colors) if a != b
+    }
+    constraints = [Constraint((u, v), disequal) for u, v in graph.edges()]
+    return CSPInstance(list(graph.vertices), range(colors), constraints)
+
+
+def solve_coloring(instance: ColoringInstance | Graph, colors: int = 3):
+    """Find a proper coloring, or ``None``.
+
+    Internally encodes coloring as CNF (one variable per vertex/color
+    pair) and runs the CDCL solver: unit propagation chases forced
+    colors through the reduction's gadget chains, and clause learning
+    backjumps over unrelated gadgets on conflict. Returns a vertex →
+    color-index dict.
+    """
+    from ..sat.cdcl import solve_cdcl
+    from ..sat.cnf import CNF
+
+    graph = instance.graph if isinstance(instance, ColoringInstance) else instance
+    vertices = graph.vertices
+    if not vertices:
+        return {}
+    var_of = {
+        (v, c): i * colors + c + 1
+        for i, v in enumerate(vertices)
+        for c in range(colors)
+    }
+    clauses: list[list[int]] = []
+    # Symmetry breaking: colors are interchangeable, so pin the palette
+    # triangle of a reduction instance (or any one vertex of a plain
+    # graph) to fixed colors. Unit propagation then drives the gadgets.
+    if isinstance(instance, ColoringInstance) and colors >= 3:
+        for pin, vertex in enumerate((TRUE, FALSE, BASE)):
+            if graph.has_vertex(vertex):
+                clauses.append([var_of[(vertex, pin)]])
+    else:
+        clauses.append([var_of[(vertices[0], 0)]])
+    for v in vertices:
+        clauses.append([var_of[(v, c)] for c in range(colors)])
+        for c1 in range(colors):
+            for c2 in range(c1 + 1, colors):
+                clauses.append([-var_of[(v, c1)], -var_of[(v, c2)]])
+    for u, v in graph.edges():
+        for c in range(colors):
+            clauses.append([-var_of[(u, c)], -var_of[(v, c)]])
+
+    # CDCL (not DPLL): gadget-local conflicts learn clauses over the
+    # literal-vertex choices and backjump, where chronological
+    # backtracking would re-enumerate unrelated gadget assignments.
+    model = solve_cdcl(CNF(len(vertices) * colors, clauses))
+    if model is None:
+        return None
+    coloring = {}
+    for v in vertices:
+        for c in range(colors):
+            if model[var_of[(v, c)]]:
+                coloring[v] = c
+                break
+    return coloring

@@ -1,0 +1,54 @@
+"""The database-theory domain (§2.1, §3).
+
+Join queries over relational databases, with three evaluation engines
+whose contrast is the content of Theorems 3.1–3.3:
+
+* pairwise hash-join plans (classical, can pay super-AGM intermediate
+  results);
+* Yannakakis' semijoin algorithm for α-acyclic queries;
+* worst-case optimal Generic Join, running in O(N^ρ*) (Theorem 3.3).
+
+Plus the AGM size bound calculator (Theorem 3.1).
+"""
+
+from .relation import Relation
+from .database import Database
+from .query import Atom, JoinQuery
+from .algebra import project, select_equal, semijoin
+from .enumeration import (
+    enumerate_acyclic,
+    enumerate_nested_loop,
+    measure_delays,
+)
+from .joins import JoinPlanResult, evaluate_left_deep, hash_join
+from .minimize import canonical_structure, minimize_query
+from .planner import plan_by_agm, prefix_bounds
+from .yannakakis import yannakakis
+from .wcoj import generic_join
+from .counting_answers import count_answers
+from .estimate import agm_bound, agm_bound_uniform
+
+__all__ = [
+    "Atom",
+    "Database",
+    "JoinPlanResult",
+    "JoinQuery",
+    "Relation",
+    "agm_bound",
+    "agm_bound_uniform",
+    "canonical_structure",
+    "count_answers",
+    "enumerate_acyclic",
+    "enumerate_nested_loop",
+    "evaluate_left_deep",
+    "generic_join",
+    "hash_join",
+    "measure_delays",
+    "minimize_query",
+    "plan_by_agm",
+    "prefix_bounds",
+    "project",
+    "select_equal",
+    "semijoin",
+    "yannakakis",
+]

@@ -1,0 +1,71 @@
+"""Relational algebra primitives: project, select, semijoin.
+
+These are the building blocks of the evaluation engines; kept separate
+so tests can pin their semantics independently of any join strategy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..counting import CostCounter, charge
+from ..errors import UnknownAttributeError
+from .relation import Relation, Value
+
+
+def project(relation: Relation, attributes: Iterable[str], name: str | None = None) -> Relation:
+    """π_attributes(relation), deduplicating (set semantics)."""
+    attrs = tuple(attributes)
+    positions = [relation.position(a) for a in attrs]
+    out = Relation(name or f"π({relation.name})", attrs)
+    for t in relation.tuples:
+        out.add(tuple(t[p] for p in positions))
+    return out
+
+
+def select_equal(relation: Relation, attribute: str, value: Value) -> Relation:
+    """σ_{attribute = value}(relation)."""
+    pos = relation.position(attribute)
+    out = Relation(relation.name, relation.attributes)
+    for t in relation.tuples:
+        if t[pos] == value:
+            out.add(t)
+    return out
+
+
+def semijoin(left: Relation, right: Relation, counter: CostCounter | None = None) -> Relation:
+    """left ⋉ right: tuples of ``left`` that join with some ``right`` tuple.
+
+    The workhorse of Yannakakis' algorithm; implemented by hashing the
+    shared-attribute projection of ``right``.
+    """
+    shared = [a for a in left.attributes if right.has_attribute(a)]
+    if not shared:
+        # No shared attributes: semijoin keeps everything iff right is
+        # nonempty (a cross-product guard).
+        out = Relation(left.name, left.attributes)
+        if len(right):
+            for t in left.tuples:
+                out.add(t)
+        return out
+
+    right_positions = [right.position(a) for a in shared]
+    keys = set()
+    for t in right.tuples:
+        charge(counter)
+        keys.add(tuple(t[p] for p in right_positions))
+
+    left_positions = [left.position(a) for a in shared]
+    out = Relation(left.name, left.attributes)
+    for t in left.tuples:
+        charge(counter)
+        if tuple(t[p] for p in left_positions) in keys:
+            out.add(t)
+    return out
+
+
+def rename_check(relation: Relation, attributes: Iterable[str]) -> None:
+    """Validate that ``attributes`` all exist in ``relation``."""
+    for a in attributes:
+        if not relation.has_attribute(a):
+            raise UnknownAttributeError(f"{a!r} not in {relation.attributes}")

@@ -1,0 +1,66 @@
+"""Database instances: named relations over a common domain (§2.1)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import SchemaError
+from .relation import Relation, Value
+
+
+class Database:
+    """A database instance **D**: a collection of named relations.
+
+    The domain dom(D) is taken to be the active domain (all values in
+    all relations) unless a larger one is declared explicitly.
+    """
+
+    def __init__(self, relations: Iterable[Relation] = (), domain: Iterable[Value] | None = None) -> None:
+        self._relations: dict[str, Relation] = {}
+        for rel in relations:
+            self.add_relation(rel)
+        self._declared_domain = set(domain) if domain is not None else None
+
+    def add_relation(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise SchemaError(f"no relation named {name!r} in database")
+        return self._relations[name]
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def relation_names(self) -> list[str]:
+        return list(self._relations)
+
+    def relations(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def domain(self) -> set[Value]:
+        """dom(D): declared domain if any, else the active domain."""
+        active: set[Value] = set()
+        for rel in self._relations.values():
+            active |= rel.active_domain()
+        if self._declared_domain is not None:
+            if not active <= self._declared_domain:
+                raise SchemaError("active domain exceeds declared domain")
+            return set(self._declared_domain)
+        return active
+
+    def max_relation_size(self) -> int:
+        """N, the maximum number of tuples in any relation (§3)."""
+        return max((len(rel) for rel in self._relations.values()), default=0)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}[{len(rel)}]" for name, rel in self._relations.items()
+        )
+        return f"Database({inner})"

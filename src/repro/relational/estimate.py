@@ -1,0 +1,60 @@
+"""The AGM size bound (Theorem 3.1, Atserias–Grohe–Marx [9]).
+
+For a join query with hypergraph H and relations of size N_i, any
+fractional edge cover (w_e) bounds the answer by Π N_i^{w_i}; the
+optimal cover gives the AGM bound, which for uniform sizes N is
+N^ρ*(H). Theorem 3.2 says the bound is tight; the tight instances live
+in :mod:`repro.generators.agm`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..errors import InvalidInstanceError
+from ..hypergraph.covers import fractional_edge_cover_number
+from ..hypergraph.hypergraph import Hypergraph
+from .database import Database
+from .query import JoinQuery
+
+
+def agm_bound_uniform(hypergraph: Hypergraph, relation_size: int) -> float:
+    """N^ρ*(H): the AGM bound when every relation has at most N tuples."""
+    if relation_size < 0:
+        raise InvalidInstanceError("relation size must be nonnegative")
+    if relation_size == 0:
+        return 0.0 if hypergraph.num_edges else 1.0
+    rho = fractional_edge_cover_number(hypergraph)
+    return float(relation_size) ** rho
+
+
+def agm_bound(query: JoinQuery, database: Database) -> float:
+    """The size-aware AGM bound Π |R_i|^{w_i} with optimal weights.
+
+    Minimizing Σ w_i·log|R_i| subject to the covering constraints gives
+    the tightest bound of this form (an LP in the weights, with log
+    sizes as costs). Relations with zero tuples force an empty answer.
+    """
+    query.validate_against(database)
+    sizes = [len(database.relation(atom.relation_name)) for atom in query.atoms]
+    if any(s == 0 for s in sizes):
+        return 0.0
+
+    hypergraph = query.hypergraph()
+    vertices = hypergraph.vertices
+    edges = hypergraph.edges
+    cost = np.array([math.log(max(s, 1)) for s in sizes])
+
+    a_ub = np.zeros((len(vertices), len(edges)))
+    for row, v in enumerate(vertices):
+        for col, e in enumerate(edges):
+            if v in e:
+                a_ub[row, col] = -1.0
+    b_ub = -np.ones(len(vertices))
+    result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs")
+    if not result.success:
+        raise InvalidInstanceError(f"AGM LP failed: {result.message}")
+    return float(math.exp(result.fun))

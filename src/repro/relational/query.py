@@ -1,0 +1,178 @@
+"""Join queries (§2.1).
+
+A join query ``R_1(a_11, ...) ⋈ ... ⋈ R_m(a_m1, ...)`` is a list of
+atoms. Each atom names a relation and lists the attributes bound to its
+columns. The same relation may appear in several atoms (self-joins)
+with different attribute bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from ..errors import SchemaError
+from ..graphs.graph import Graph
+from ..hypergraph.hypergraph import Hypergraph
+from .database import Database
+from .relation import Relation
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One conjunct ``R(a_1, ..., a_r)`` of a join query.
+
+    ``attributes`` must be distinct within the atom (the paper's queries
+    never repeat an attribute inside one relation; repeated attributes
+    can be expressed by a selection first).
+    """
+
+    relation_name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"atom {self.relation_name!r}{self.attributes} repeats an attribute"
+            )
+        if not self.attributes:
+            raise SchemaError(f"atom {self.relation_name!r} has no attributes")
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+
+class JoinQuery:
+    """A natural join query; attributes shared across atoms join.
+
+    Examples
+    --------
+    >>> q = JoinQuery.triangle()
+    >>> q.attributes
+    ('a1', 'a2', 'a3')
+    """
+
+    def __init__(self, atoms: Iterable[Atom]) -> None:
+        self.atoms: tuple[Atom, ...] = tuple(atoms)
+        if not self.atoms:
+            raise SchemaError("a join query needs at least one atom")
+        seen: dict[str, None] = {}
+        for atom in self.atoms:
+            for a in atom.attributes:
+                seen.setdefault(a, None)
+        self.attributes: tuple[str, ...] = tuple(seen)
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    def hypergraph(self) -> Hypergraph:
+        """The query hypergraph: one hyperedge per atom (§2.1/§3)."""
+        return Hypergraph(
+            vertices=self.attributes,
+            edges=[atom.attributes for atom in self.atoms],
+        )
+
+    def primal_graph(self) -> Graph:
+        """The primal graph on the attributes."""
+        return self.hypergraph().primal_graph()
+
+    def validate_against(self, database: Database) -> None:
+        """Check every atom's relation exists with matching arity."""
+        for atom in self.atoms:
+            rel = database.relation(atom.relation_name)
+            if rel.arity != atom.arity:
+                raise SchemaError(
+                    f"atom {atom.relation_name!r} has arity {atom.arity}, "
+                    f"relation has arity {rel.arity}"
+                )
+
+    def bound_relation(self, atom: Atom, database: Database) -> Relation:
+        """The atom's relation with columns renamed to query attributes."""
+        rel = database.relation(atom.relation_name)
+        if rel.arity != atom.arity:
+            raise SchemaError(
+                f"atom {atom.relation_name!r} arity mismatch against database"
+            )
+        return Relation(atom.relation_name, atom.attributes, rel.tuples)
+
+    # -- stock queries used throughout the paper ----------------------
+
+    @staticmethod
+    def triangle() -> "JoinQuery":
+        """Q = R1(a1,a2) ⋈ R2(a1,a3) ⋈ R3(a2,a3), the §3 example."""
+        return JoinQuery(
+            [
+                Atom("R1", ("a1", "a2")),
+                Atom("R2", ("a1", "a3")),
+                Atom("R3", ("a2", "a3")),
+            ]
+        )
+
+    @staticmethod
+    def cycle(length: int) -> "JoinQuery":
+        """The length-n cycle query R_i(a_i, a_{i+1 mod n})."""
+        if length < 3:
+            raise SchemaError(f"cycle query needs length >= 3, got {length}")
+        return JoinQuery(
+            [
+                Atom(f"R{i+1}", (f"a{i}", f"a{(i + 1) % length}"))
+                for i in range(length)
+            ]
+        )
+
+    @staticmethod
+    def path(length: int) -> "JoinQuery":
+        """The length-n path query R_i(a_i, a_{i+1}); α-acyclic."""
+        if length < 1:
+            raise SchemaError(f"path query needs length >= 1, got {length}")
+        return JoinQuery(
+            [Atom(f"R{i+1}", (f"a{i}", f"a{i+1}")) for i in range(length)]
+        )
+
+    @staticmethod
+    def star(leaves: int) -> "JoinQuery":
+        """Star query R_i(c, l_i); α-acyclic, ρ* = leaves."""
+        if leaves < 1:
+            raise SchemaError(f"star query needs >= 1 leaf, got {leaves}")
+        return JoinQuery([Atom(f"R{i+1}", ("c", f"l{i}")) for i in range(leaves)])
+
+    @staticmethod
+    def clique(size: int) -> "JoinQuery":
+        """All-pairs binary query on ``size`` attributes; ρ* = size/2."""
+        if size < 2:
+            raise SchemaError(f"clique query needs size >= 2, got {size}")
+        atoms = []
+        counter = 1
+        for i in range(size):
+            for j in range(i + 1, size):
+                atoms.append(Atom(f"R{counter}", (f"a{i}", f"a{j}")))
+                counter += 1
+        return JoinQuery(atoms)
+
+    @staticmethod
+    def loomis_whitney(size: int) -> "JoinQuery":
+        """The Loomis–Whitney query LW_n: one (n−1)-ary relation per
+        attribute, omitting exactly that attribute.
+
+        The canonical higher-arity AGM family: ρ* = n/(n−1) (weight
+        1/(n−1) on each hyperedge), so answers are at most
+        N^{n/(n−1)} — barely super-linear. LW_3 is the triangle query
+        up to renaming.
+        """
+        if size < 3:
+            raise SchemaError(f"Loomis–Whitney needs size >= 3, got {size}")
+        names = [f"a{i}" for i in range(size)]
+        return JoinQuery(
+            [
+                Atom(f"R{i+1}", tuple(a for j, a in enumerate(names) if j != i))
+                for i in range(size)
+            ]
+        )
+
+    def __repr__(self) -> str:
+        parts = " ⋈ ".join(
+            f"{atom.relation_name}({', '.join(atom.attributes)})" for atom in self.atoms
+        )
+        return f"JoinQuery({parts})"

@@ -1,0 +1,173 @@
+"""Worst-case optimal join: Generic Join (Theorem 3.3, [54, 61]).
+
+Generic Join evaluates one attribute at a time. For the current
+attribute ``x`` it intersects the candidate value sets offered by every
+atom containing ``x`` (iterating the smallest set and probing the
+others), then recurses with each binding. Ngo–Porat–Ré–Rudra [54] and
+Veldhuizen's Leapfrog Triejoin [61] show this runs in O(N^ρ*(H)) — the
+AGM bound — unlike any pairwise plan.
+
+The implementation indexes each atom's tuples by every prefix of the
+chosen attribute order (a hash-trie), so candidate sets and filters are
+O(1) per probe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..counting import CostCounter, charge
+from ..errors import SchemaError
+from .database import Database
+from .query import JoinQuery
+from .relation import Relation, Value
+
+
+class _AtomIndex:
+    """Hash-trie over one atom's tuples, keyed in global attribute order."""
+
+    def __init__(self, attributes: Sequence[str], relation: Relation, global_order: Sequence[str]) -> None:
+        # The atom's attributes sorted by their position in the global
+        # variable order; tuples are re-keyed accordingly.
+        self.ordered_attrs = [a for a in global_order if a in attributes]
+        positions = [relation.position(a) for a in self.ordered_attrs]
+        self.root: dict = {}
+        for t in relation.tuples:
+            node = self.root
+            for p in positions:
+                node = node.setdefault(t[p], {})
+
+    def children(self, prefix: tuple[Value, ...]) -> dict | None:
+        """The trie node reached by ``prefix``, or None if absent."""
+        node = self.root
+        for v in prefix:
+            node = node.get(v)
+            if node is None:
+                return None
+        return node
+
+
+def generic_join(
+    query: JoinQuery,
+    database: Database,
+    attribute_order: Sequence[str] | None = None,
+    counter: CostCounter | None = None,
+) -> Relation:
+    """Evaluate ``query`` with Generic Join; returns the full answer.
+
+    Parameters
+    ----------
+    attribute_order:
+        The global variable order; defaults to the query's attribute
+        order. Any order is worst-case optimal; good orders improve
+        constants (ablated in benchmarks).
+    """
+    query.validate_against(database)
+    order = tuple(attribute_order) if attribute_order is not None else query.attributes
+    if sorted(order) != sorted(query.attributes):
+        raise SchemaError(
+            f"attribute order {order} is not a permutation of {query.attributes}"
+        )
+
+    atom_attrs = [set(atom.attributes) for atom in query.atoms]
+    indexes = [
+        _AtomIndex(atom.attributes, query.bound_relation(atom, database), order)
+        for atom in query.atoms
+    ]
+
+    # For each position in the order, the atoms whose attribute set
+    # contains that attribute.
+    relevant: list[list[int]] = [
+        [i for i, attrs in enumerate(atom_attrs) if order[pos] in attrs]
+        for pos in range(len(order))
+    ]
+
+    answer = Relation("answer", order)
+    assignment: dict[str, Value] = {}
+    # Per-atom current trie node stack; starts at each root.
+    node_stack: list[list[dict | None]] = [[idx.root for idx in indexes]]
+
+    def prefix_of(atom_idx: int) -> tuple[Value, ...]:
+        return tuple(
+            assignment[a] for a in indexes[atom_idx].ordered_attrs if a in assignment
+        )
+
+    def recurse(pos: int) -> None:
+        if pos == len(order):
+            answer.add(tuple(assignment[a] for a in order))
+            charge(counter)
+            return
+        attr = order[pos]
+        atoms_here = relevant[pos]
+        if not atoms_here:
+            raise SchemaError(f"attribute {attr!r} occurs in no atom")
+
+        # Candidate sets: children of each relevant atom's current node.
+        candidate_nodes: list[dict] = []
+        for i in atoms_here:
+            node = indexes[i].children(prefix_of(i))
+            if node is None or not node:
+                return
+            candidate_nodes.append(node)
+
+        # Intersect, iterating the smallest set and probing the rest.
+        candidate_nodes.sort(key=len)
+        smallest, rest = candidate_nodes[0], candidate_nodes[1:]
+        for value in smallest:
+            charge(counter)
+            if all(value in other for other in rest):
+                assignment[attr] = value
+                recurse(pos + 1)
+                del assignment[attr]
+
+    recurse(0)
+    return answer
+
+
+def boolean_generic_join(
+    query: JoinQuery,
+    database: Database,
+    attribute_order: Sequence[str] | None = None,
+    counter: CostCounter | None = None,
+) -> bool:
+    """Decide emptiness of the answer (Boolean Join Query) by Generic
+    Join with early exit on the first witness."""
+    query.validate_against(database)
+    order = tuple(attribute_order) if attribute_order is not None else query.attributes
+    indexes = [
+        _AtomIndex(atom.attributes, query.bound_relation(atom, database), order)
+        for atom in query.atoms
+    ]
+    atom_attrs = [set(atom.attributes) for atom in query.atoms]
+    relevant = [
+        [i for i, attrs in enumerate(atom_attrs) if order[pos] in attrs]
+        for pos in range(len(order))
+    ]
+    assignment: dict[str, Value] = {}
+
+    def prefix_of(atom_idx: int) -> tuple[Value, ...]:
+        return tuple(
+            assignment[a] for a in indexes[atom_idx].ordered_attrs if a in assignment
+        )
+
+    def recurse(pos: int) -> bool:
+        if pos == len(order):
+            return True
+        candidate_nodes = []
+        for i in relevant[pos]:
+            node = indexes[i].children(prefix_of(i))
+            if node is None or not node:
+                return False
+            candidate_nodes.append(node)
+        candidate_nodes.sort(key=len)
+        smallest, rest = candidate_nodes[0], candidate_nodes[1:]
+        for value in smallest:
+            charge(counter)
+            if all(value in other for other in rest):
+                assignment[order[pos]] = value
+                if recurse(pos + 1):
+                    return True
+                del assignment[order[pos]]
+        return False
+
+    return recurse(0)

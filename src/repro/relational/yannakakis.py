@@ -1,0 +1,127 @@
+"""Yannakakis' algorithm for α-acyclic queries.
+
+The polynomial-time case the paper contrasts with cyclic queries: a
+full reducer pass of semijoins along a join tree (leaves up, then root
+down) removes every dangling tuple, after which joining bottom-up never
+materializes more than |answer| · poly tuples.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from ..errors import SchemaError
+from ..hypergraph.acyclicity import is_alpha_acyclic, join_tree
+from .algebra import project, semijoin
+from .database import Database
+from .joins import hash_join
+from .query import JoinQuery
+from .relation import Relation
+
+
+def yannakakis(
+    query: JoinQuery,
+    database: Database,
+    counter: CostCounter | None = None,
+    project_to: tuple[str, ...] | None = None,
+) -> Relation:
+    """Evaluate an α-acyclic ``query`` with the Yannakakis algorithm.
+
+    Parameters
+    ----------
+    project_to:
+        Optionally project the final answer to these attributes (free
+        variables); defaults to all query attributes (full join).
+
+    Raises
+    ------
+    SchemaError
+        If the query hypergraph is not α-acyclic.
+    """
+    query.validate_against(database)
+    hypergraph = query.hypergraph()
+    if not is_alpha_acyclic(hypergraph):
+        raise SchemaError("Yannakakis requires an alpha-acyclic query")
+
+    relations = [query.bound_relation(atom, database) for atom in query.atoms]
+    links = join_tree(hypergraph)
+    children: dict[int, list[int]] = {i: [] for i in range(len(relations))}
+    parent: dict[int, int] = {}
+    for child, par in links:
+        children[par].append(child)
+        parent[child] = par
+    roots = [i for i in range(len(relations)) if i not in parent]
+
+    bottom_up = _topological_leaves_first(children, roots)
+
+    # Upward semijoin pass: parent ⋉ child for every child.
+    for node in bottom_up:
+        for child in children[node]:
+            relations[node] = semijoin(relations[node], relations[child], counter)
+
+    # Downward pass: child ⋉ parent.
+    for node in reversed(bottom_up):
+        for child in children[node]:
+            relations[child] = semijoin(relations[child], relations[node], counter)
+
+    # Bottom-up join; after full reduction intermediates stay bounded by
+    # the final answer size times the number of atoms.
+    joined: dict[int, Relation] = {}
+    for node in bottom_up:
+        current = relations[node]
+        for child in children[node]:
+            current = hash_join(current, joined[child], counter)
+        joined[node] = current
+
+    answer = joined[roots[0]]
+    for extra_root in roots[1:]:
+        answer = hash_join(answer, joined[extra_root], counter)
+
+    attrs = project_to if project_to is not None else query.attributes
+    return project(
+        Relation("answer", answer.attributes, answer.tuples), attrs, name="answer"
+    )
+
+
+def boolean_yannakakis(
+    query: JoinQuery, database: Database, counter: CostCounter | None = None
+) -> bool:
+    """Decide answer non-emptiness for an α-acyclic query.
+
+    Only the upward semijoin pass is needed: the answer is nonempty iff
+    every fully-reduced relation is nonempty.
+    """
+    query.validate_against(database)
+    hypergraph = query.hypergraph()
+    if not is_alpha_acyclic(hypergraph):
+        raise SchemaError("Yannakakis requires an alpha-acyclic query")
+
+    relations = [query.bound_relation(atom, database) for atom in query.atoms]
+    links = join_tree(hypergraph)
+    children: dict[int, list[int]] = {i: [] for i in range(len(relations))}
+    parent: dict[int, int] = {}
+    for child, par in links:
+        children[par].append(child)
+        parent[child] = par
+    roots = [i for i in range(len(relations)) if i not in parent]
+    bottom_up = _topological_leaves_first(children, roots)
+
+    for node in bottom_up:
+        for child in children[node]:
+            relations[node] = semijoin(relations[node], relations[child], counter)
+            if not len(relations[node]):
+                return False
+    return all(len(relations[r]) for r in roots)
+
+
+def _topological_leaves_first(children: dict[int, list[int]], roots: list[int]) -> list[int]:
+    """Nodes ordered so children always precede parents."""
+    order: list[int] = []
+    stack = [(r, False) for r in roots]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+        else:
+            stack.append((node, True))
+            stack.extend((c, False) for c in children[node])
+    return order

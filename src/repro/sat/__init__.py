@@ -1,0 +1,57 @@
+"""Propositional satisfiability (§4, §6, §7).
+
+3SAT is the source problem of the ETH (Hypothesis 1/2) and CNF-SAT of
+the SETH (Hypothesis 3). This package provides the CNF representation,
+a DPLL solver (the exponential baseline the hypotheses speak about),
+polynomial special cases (2SAT via implication-graph SCCs, Horn-SAT via
+unit propagation, affine-SAT via Gaussian elimination over GF(2)), and a
+Schaefer dichotomy classifier for sets of Boolean relations.
+"""
+
+from .cnf import CNF, Clause, Literal
+from .cdcl import CDCLStats, solve_cdcl
+from .dpll import DPLLStats, solve_dpll
+from .two_sat import solve_2sat
+from .horn import is_horn, solve_horn
+from .affine import solve_affine_system
+from .dimacs import parse_dimacs, write_dimacs
+from .model_counting import count_models
+from .schaefer import (
+    BooleanRelation,
+    SchaeferClass,
+    SchaeferVerdict,
+    classify_relation_set,
+    is_affine_relation,
+    is_bijunctive_relation,
+    is_dual_horn_relation,
+    is_horn_relation,
+    is_one_valid,
+    is_zero_valid,
+)
+
+__all__ = [
+    "BooleanRelation",
+    "CDCLStats",
+    "CNF",
+    "Clause",
+    "DPLLStats",
+    "Literal",
+    "SchaeferClass",
+    "SchaeferVerdict",
+    "classify_relation_set",
+    "count_models",
+    "is_affine_relation",
+    "is_bijunctive_relation",
+    "is_dual_horn_relation",
+    "is_horn",
+    "is_horn_relation",
+    "is_one_valid",
+    "is_zero_valid",
+    "parse_dimacs",
+    "solve_2sat",
+    "solve_affine_system",
+    "solve_cdcl",
+    "solve_dpll",
+    "solve_horn",
+    "write_dimacs",
+]

@@ -1,0 +1,71 @@
+"""Affine satisfiability: XOR systems over GF(2).
+
+Affine relations (solution sets of linear systems mod 2) are Schaefer's
+third nontrivial tractable class; Gaussian elimination solves them in
+polynomial time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+
+
+def solve_affine_system(
+    equations: Sequence[tuple[Sequence[int], int]], num_variables: int
+) -> dict[int, bool] | None:
+    """Solve XOR equations ``x_{i1} ⊕ ... ⊕ x_{ik} = b`` over GF(2).
+
+    Parameters
+    ----------
+    equations:
+        Each equation is ``(variables, rhs)`` with variables numbered
+        from 1 and rhs in {0, 1}.
+    num_variables:
+        Total variable count; free variables are set to False.
+
+    Returns
+    -------
+    A model dict or ``None`` if the system is inconsistent.
+    """
+    if num_variables < 0:
+        raise InvalidInstanceError("variable count must be nonnegative")
+    rows = len(equations)
+    matrix = np.zeros((rows, num_variables + 1), dtype=np.uint8)
+    for r, (variables, rhs) in enumerate(equations):
+        if rhs not in (0, 1):
+            raise InvalidInstanceError(f"rhs must be 0/1, got {rhs}")
+        for var in variables:
+            if not 1 <= var <= num_variables:
+                raise InvalidInstanceError(f"variable {var} out of range 1..{num_variables}")
+            matrix[r, var - 1] ^= 1
+        matrix[r, num_variables] = rhs
+
+    # Gauss-Jordan over GF(2).
+    pivot_row = 0
+    pivot_cols: list[int] = []
+    for col in range(num_variables):
+        hit = next((r for r in range(pivot_row, rows) if matrix[r, col]), None)
+        if hit is None:
+            continue
+        matrix[[pivot_row, hit]] = matrix[[hit, pivot_row]]
+        for r in range(rows):
+            if r != pivot_row and matrix[r, col]:
+                matrix[r] ^= matrix[pivot_row]
+        pivot_cols.append(col)
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+
+    # Inconsistency: a zero row with rhs 1.
+    for r in range(pivot_row, rows):
+        if matrix[r, num_variables] and not matrix[r, :num_variables].any():
+            return None
+
+    assignment = {var: False for var in range(1, num_variables + 1)}
+    for r, col in enumerate(pivot_cols):
+        assignment[col + 1] = bool(matrix[r, num_variables])
+    return assignment

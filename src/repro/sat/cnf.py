@@ -1,0 +1,120 @@
+"""CNF formulas.
+
+Variables are positive integers; a literal is a nonzero integer whose
+sign is its polarity (DIMACS convention). A clause is a frozenset of
+literals; a formula is a list of clauses plus the declared variable
+count, so that unused variables still count toward ``n`` — the paper's
+hypotheses are stated in terms of the *number of variables*, used
+verbatim by the experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..errors import InvalidInstanceError
+
+Literal = int
+Clause = frozenset[Literal]
+
+
+class CNF:
+    """A CNF formula over variables ``1..num_variables``.
+
+    Examples
+    --------
+    >>> f = CNF.from_clauses([[1, -3, 5], [-1, 2, 3], [-2, 3, 4]])
+    >>> f.num_variables, f.num_clauses
+    (5, 3)
+    """
+
+    def __init__(self, num_variables: int, clauses: Iterable[Iterable[Literal]] = ()) -> None:
+        if num_variables < 0:
+            raise InvalidInstanceError(f"variable count must be >= 0, got {num_variables}")
+        self.num_variables = num_variables
+        self.clauses: list[Clause] = []
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @classmethod
+    def from_clauses(cls, clauses: Iterable[Iterable[Literal]]) -> "CNF":
+        """Build a CNF inferring ``num_variables`` as the max |literal|."""
+        materialized = [list(c) for c in clauses]
+        top = max((abs(l) for c in materialized for l in c), default=0)
+        return cls(top, materialized)
+
+    def add_clause(self, clause: Iterable[Literal]) -> None:
+        lits = frozenset(clause)
+        if not lits:
+            raise InvalidInstanceError("empty clause makes the formula trivially false")
+        for lit in lits:
+            if lit == 0:
+                raise InvalidInstanceError("0 is not a literal")
+            if abs(lit) > self.num_variables:
+                raise InvalidInstanceError(
+                    f"literal {lit} exceeds declared variable count {self.num_variables}"
+                )
+        self.clauses.append(lits)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def max_clause_width(self) -> int:
+        return max((len(c) for c in self.clauses), default=0)
+
+    def variables(self) -> set[int]:
+        """Variables actually occurring in some clause."""
+        return {abs(lit) for clause in self.clauses for lit in clause}
+
+    def is_k_sat(self, k: int) -> bool:
+        """True if every clause has at most k literals."""
+        return self.max_clause_width <= k
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate under a (total, for occurring variables) assignment.
+
+        Raises
+        ------
+        InvalidInstanceError
+            If a clause mentions an unassigned variable.
+        """
+        for clause in self.clauses:
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var not in assignment:
+                    raise InvalidInstanceError(f"variable {var} unassigned")
+                if assignment[var] == (lit > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def simplified(self, assignment: Mapping[int, bool]) -> "CNF | None":
+        """Apply a partial assignment: drop satisfied clauses, shrink
+        others. Returns ``None`` if some clause became empty (conflict).
+        """
+        new_clauses: list[list[Literal]] = []
+        for clause in self.clauses:
+            kept: list[Literal] = []
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    kept.append(lit)
+            if satisfied:
+                continue
+            if not kept:
+                return None
+            new_clauses.append(kept)
+        return CNF(self.num_variables, new_clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(n={self.num_variables}, m={self.num_clauses}, width={self.max_clause_width})"

@@ -1,0 +1,88 @@
+"""DIMACS CNF reading and writing.
+
+The standard interchange format for SAT instances, so formulas can move
+between this library and external solvers/benchmarks. Supports the
+usual liberal dialect: comment lines (``c ...``), the problem line
+(``p cnf <vars> <clauses>``), clauses terminated by ``0`` possibly
+spanning or sharing lines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import InvalidInstanceError
+from .cnf import CNF
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF`.
+
+    Raises
+    ------
+    InvalidInstanceError
+        On missing/duplicate problem lines, literals out of range, or a
+        clause count mismatch.
+    """
+    num_variables: int | None = None
+    declared_clauses: int | None = None
+    clauses: list[list[int]] = []
+    current: list[int] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            if num_variables is not None:
+                raise InvalidInstanceError(f"line {line_number}: duplicate problem line")
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise InvalidInstanceError(
+                    f"line {line_number}: malformed problem line {line!r}"
+                )
+            try:
+                num_variables = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise InvalidInstanceError(
+                    f"line {line_number}: non-numeric problem line {line!r}"
+                ) from exc
+            continue
+        if num_variables is None:
+            raise InvalidInstanceError(
+                f"line {line_number}: clause before problem line"
+            )
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError as exc:
+                raise InvalidInstanceError(
+                    f"line {line_number}: bad token {token!r}"
+                ) from exc
+            if literal == 0:
+                if current:
+                    clauses.append(current)
+                    current = []
+            else:
+                current.append(literal)
+    if current:
+        # Tolerate a missing trailing 0 on the final clause.
+        clauses.append(current)
+    if num_variables is None:
+        raise InvalidInstanceError("no problem line found")
+    if declared_clauses is not None and len(clauses) != declared_clauses:
+        raise InvalidInstanceError(
+            f"problem line declares {declared_clauses} clauses, found {len(clauses)}"
+        )
+    return CNF(num_variables, clauses)
+
+
+def write_dimacs(formula: CNF, comments: Iterable[str] = ()) -> str:
+    """Serialize a :class:`CNF` as DIMACS text (with trailing newline)."""
+    lines = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {formula.num_variables} {formula.num_clauses}")
+    for clause in formula.clauses:
+        ordered = sorted(clause, key=lambda lit: (abs(lit), lit < 0))
+        lines.append(" ".join(str(lit) for lit in ordered) + " 0")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,47 @@
+"""Horn satisfiability by unit propagation.
+
+Horn clauses (≤ 1 positive literal) form one of Schaefer's tractable
+classes. The minimal-model algorithm: start all-false, propagate
+forced positives to a fixed point, then check purely-negative clauses.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidInstanceError
+from .cnf import CNF
+
+
+def is_horn(formula: CNF) -> bool:
+    """True iff every clause has at most one positive literal."""
+    return all(sum(1 for lit in c if lit > 0) <= 1 for c in formula.clauses)
+
+
+def solve_horn(formula: CNF) -> dict[int, bool] | None:
+    """Solve a Horn formula in polynomial time; model or ``None``.
+
+    The returned model is the *minimal* one (fewest true variables),
+    a property the tests pin down.
+    """
+    if not is_horn(formula):
+        raise InvalidInstanceError("formula is not Horn (some clause has 2+ positive literals)")
+
+    true_vars: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for clause in formula.clauses:
+            positives = [lit for lit in clause if lit > 0]
+            if not positives:
+                continue
+            # A clause forces its head once every negative literal is
+            # falsified, i.e. all body variables are already true.
+            head = positives[0]
+            body_true = all(abs(lit) in true_vars for lit in clause if lit < 0)
+            if body_true and head not in true_vars:
+                true_vars.add(head)
+                changed = True
+
+    assignment = {
+        var: (var in true_vars) for var in range(1, formula.num_variables + 1)
+    }
+    return assignment if formula.evaluate(assignment) else None

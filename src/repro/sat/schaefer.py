@@ -1,0 +1,173 @@
+"""Schaefer's dichotomy (§4, [59]).
+
+For a finite set R of Boolean relations, CSP(R) is polynomial-time
+solvable iff every relation in R falls into one common tractable class:
+
+* 0-valid — the all-zero tuple satisfies it;
+* 1-valid — the all-one tuple satisfies it;
+* Horn — closed under componentwise AND;
+* dual-Horn — closed under componentwise OR;
+* bijunctive — closed under componentwise majority;
+* affine — closed under x ⊕ y ⊕ z.
+
+Otherwise CSP(R) is NP-hard. The closure tests below are the standard
+polymorphism checks; :func:`classify_relation_set` returns the verdict
+plus every class that witnessed tractability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import product
+from collections.abc import Iterable
+
+from ..errors import InvalidInstanceError
+
+
+class SchaeferClass(Enum):
+    """The six tractable classes of Schaefer's theorem."""
+
+    ZERO_VALID = "0-valid"
+    ONE_VALID = "1-valid"
+    HORN = "horn"
+    DUAL_HORN = "dual-horn"
+    BIJUNCTIVE = "bijunctive"
+    AFFINE = "affine"
+
+
+class BooleanRelation:
+    """A Boolean relation: a set of 0/1 tuples of a fixed arity.
+
+    Examples
+    --------
+    >>> r = BooleanRelation.from_clause([1, -2])  # x1 ∨ ¬x2
+    >>> sorted(r.tuples)
+    [(0, 0), (1, 0), (1, 1)]
+    """
+
+    def __init__(self, arity: int, tuples: Iterable[tuple[int, ...]]) -> None:
+        if arity < 1:
+            raise InvalidInstanceError(f"arity must be >= 1, got {arity}")
+        self.arity = arity
+        self.tuples = frozenset(tuple(t) for t in tuples)
+        for t in self.tuples:
+            if len(t) != arity or any(x not in (0, 1) for x in t):
+                raise InvalidInstanceError(f"bad tuple {t!r} for arity {arity}")
+
+    @classmethod
+    def from_clause(cls, literals: list[int]) -> "BooleanRelation":
+        """The relation of a single clause over |literals| positions.
+
+        Position ``i`` carries literal ``literals[i]``; the relation is
+        all assignments making the clause true.
+        """
+        arity = len(literals)
+        tuples = [
+            assignment
+            for assignment in product((0, 1), repeat=arity)
+            if any(
+                (assignment[i] == 1) == (lit > 0)
+                for i, lit in enumerate(literals)
+            )
+        ]
+        return cls(arity, tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanRelation):
+            return NotImplemented
+        return self.arity == other.arity and self.tuples == other.tuples
+
+    def __hash__(self) -> int:
+        return hash((self.arity, self.tuples))
+
+    def __repr__(self) -> str:
+        return f"BooleanRelation(arity={self.arity}, |tuples|={len(self.tuples)})"
+
+
+def is_zero_valid(relation: BooleanRelation) -> bool:
+    """All-zero tuple is in the relation."""
+    return (0,) * relation.arity in relation.tuples
+
+
+def is_one_valid(relation: BooleanRelation) -> bool:
+    """All-one tuple is in the relation."""
+    return (1,) * relation.arity in relation.tuples
+
+
+def is_horn_relation(relation: BooleanRelation) -> bool:
+    """Closed under componentwise AND (min)."""
+    return all(
+        tuple(a & b for a, b in zip(s, t)) in relation.tuples
+        for s in relation.tuples
+        for t in relation.tuples
+    )
+
+
+def is_dual_horn_relation(relation: BooleanRelation) -> bool:
+    """Closed under componentwise OR (max)."""
+    return all(
+        tuple(a | b for a, b in zip(s, t)) in relation.tuples
+        for s in relation.tuples
+        for t in relation.tuples
+    )
+
+
+def is_bijunctive_relation(relation: BooleanRelation) -> bool:
+    """Closed under the ternary majority operation."""
+    return all(
+        tuple((a & b) | (a & c) | (b & c) for a, b, c in zip(s, t, u)) in relation.tuples
+        for s in relation.tuples
+        for t in relation.tuples
+        for u in relation.tuples
+    )
+
+
+def is_affine_relation(relation: BooleanRelation) -> bool:
+    """Closed under ternary XOR x ⊕ y ⊕ z."""
+    return all(
+        tuple(a ^ b ^ c for a, b, c in zip(s, t, u)) in relation.tuples
+        for s in relation.tuples
+        for t in relation.tuples
+        for u in relation.tuples
+    )
+
+
+_CLASS_TESTS = {
+    SchaeferClass.ZERO_VALID: is_zero_valid,
+    SchaeferClass.ONE_VALID: is_one_valid,
+    SchaeferClass.HORN: is_horn_relation,
+    SchaeferClass.DUAL_HORN: is_dual_horn_relation,
+    SchaeferClass.BIJUNCTIVE: is_bijunctive_relation,
+    SchaeferClass.AFFINE: is_affine_relation,
+}
+
+
+@dataclass(frozen=True)
+class SchaeferVerdict:
+    """Outcome of classifying a relation set.
+
+    ``tractable`` is True iff some single class contains *every*
+    relation; ``witnesses`` lists all such classes (empty when NP-hard).
+    """
+
+    tractable: bool
+    witnesses: tuple[SchaeferClass, ...]
+
+    @property
+    def np_hard(self) -> bool:
+        return not self.tractable
+
+
+def classify_relation_set(relations: Iterable[BooleanRelation]) -> SchaeferVerdict:
+    """Apply Schaefer's criterion to a set of Boolean relations.
+
+    An empty set is vacuously tractable with every class as witness.
+    """
+    materialized = list(relations)
+    witnesses = tuple(
+        cls
+        for cls, test in _CLASS_TESTS.items()
+        if all(test(rel) for rel in materialized)
+    )
+    return SchaeferVerdict(tractable=bool(witnesses), witnesses=witnesses)

@@ -1,0 +1,60 @@
+"""2SAT in linear time via implication-graph SCCs (§4).
+
+The paper notes that restricting CSP to |D| = 2 *and* binary constraints
+yields polynomial-time 2SAT — one side of Schaefer's dichotomy. The
+classical algorithm: each clause (a ∨ b) contributes implications
+¬a → b and ¬b → a; the formula is satisfiable iff no variable shares a
+strongly connected component with its negation, and Tarjan's reverse
+topological order reads off a model.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidInstanceError
+from ..graphs.graph import DiGraph
+from .cnf import CNF
+
+
+def solve_2sat(formula: CNF) -> dict[int, bool] | None:
+    """Solve a 2-CNF formula; returns a model or ``None``.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If some clause has more than two literals.
+    """
+    if not formula.is_k_sat(2):
+        raise InvalidInstanceError(
+            f"solve_2sat needs clause width <= 2, got {formula.max_clause_width}"
+        )
+
+    graph = DiGraph()
+    for var in range(1, formula.num_variables + 1):
+        graph.add_vertex(var)
+        graph.add_vertex(-var)
+    for clause in formula.clauses:
+        lits = list(clause)
+        if len(lits) == 1:
+            a = lits[0]
+            graph.add_edge(-a, a)
+        else:
+            a, b = lits
+            graph.add_edge(-a, b)
+            graph.add_edge(-b, a)
+
+    components = graph.strongly_connected_components()
+    component_of: dict[int, int] = {}
+    for idx, comp in enumerate(components):
+        for lit in comp:
+            component_of[lit] = idx
+
+    assignment: dict[int, bool] = {}
+    for var in range(1, formula.num_variables + 1):
+        pos, neg = component_of[var], component_of[-var]
+        if pos == neg:
+            return None
+        # Tarjan emits SCCs in reverse topological order, so a *larger*
+        # component index means earlier in topological order; a literal
+        # is true iff its SCC comes after its negation's.
+        assignment[var] = pos < neg
+    return assignment

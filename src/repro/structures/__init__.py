@@ -1,0 +1,30 @@
+"""Relational structures and homomorphisms (§2.4, §5).
+
+The most general of the four domains: finite τ-structures, the
+homomorphism problem HOM(A, B), and *cores* — the smallest
+hom-equivalent substructures whose treewidth drives Grohe's Theorem
+5.3 classification.
+"""
+
+from .vocabulary import RelationSymbol, Vocabulary
+from .structure import Structure
+from .homomorphism import (
+    count_structure_homomorphisms,
+    find_structure_homomorphism,
+    is_structure_homomorphism,
+)
+from .core import compute_core, is_core
+from .solve import solve_hom_via_core, structure_pair_to_csp
+
+__all__ = [
+    "RelationSymbol",
+    "Structure",
+    "Vocabulary",
+    "compute_core",
+    "count_structure_homomorphisms",
+    "find_structure_homomorphism",
+    "is_core",
+    "is_structure_homomorphism",
+    "solve_hom_via_core",
+    "structure_pair_to_csp",
+]

@@ -1,0 +1,54 @@
+"""Cores of relational structures (§5, Theorem 5.3).
+
+A structure A is a *core* if every homomorphism A → A is an
+automorphism (equivalently: A has no homomorphism to a proper induced
+substructure). The core of A is the smallest induced substructure A'
+with a homomorphism A → A'; it is unique up to isomorphism, and by
+Grohe's theorem the treewidth of the core is what governs the
+complexity of HOM(A, _).
+
+Core computation is itself NP-hard in general; the search below removes
+one element at a time while a retraction exists, which is exact and
+fine for the small pattern structures used in the experiments.
+"""
+
+from __future__ import annotations
+
+from ..counting import CostCounter
+from .homomorphism import find_structure_homomorphism
+from .structure import Structure
+
+
+def is_core(structure: Structure, counter: CostCounter | None = None) -> bool:
+    """True iff there is no retraction to a proper induced substructure."""
+    return _find_retract(structure, counter) is None
+
+
+def compute_core(structure: Structure, counter: CostCounter | None = None) -> Structure:
+    """The core of ``structure``: greedily retract until none exists.
+
+    Each step finds a homomorphism from the current structure into an
+    induced substructure missing one element; iterating reaches a
+    minimal retract, which is the core (unique up to isomorphism).
+    """
+    current = structure
+    while True:
+        smaller = _find_retract(current, counter)
+        if smaller is None:
+            return current
+        current = smaller
+
+
+def _find_retract(structure: Structure, counter: CostCounter | None) -> Structure | None:
+    """An induced substructure on |A|-1 elements receiving a
+    homomorphism from A, or None."""
+    if structure.universe_size <= 1:
+        return None
+    for dropped in structure.universe:
+        candidate = structure.induced_substructure(
+            e for e in structure.universe if e != dropped
+        )
+        hom = find_structure_homomorphism(structure, candidate, counter)
+        if hom is not None:
+            return candidate
+    return None

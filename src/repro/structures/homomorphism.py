@@ -1,0 +1,141 @@
+"""Homomorphisms between τ-structures (§2.4).
+
+A homomorphism h : A → B preserves every relation: for each symbol R
+and each tuple (a_1, ..., a_k) ∈ R^A, (h(a_1), ..., h(a_k)) ∈ R^B. The
+search assigns elements of A one at a time, pruning with the tuples all
+of whose entries are already assigned — this is exactly the CSP search
+under the §2.4 translation, implemented natively here so the two
+domains can be tested against each other.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..counting import CostCounter, charge
+from ..errors import InvalidInstanceError
+from .structure import Element, Structure
+
+
+def is_structure_homomorphism(
+    source: Structure, target: Structure, mapping: Mapping[Element, Element]
+) -> bool:
+    """Verify a candidate homomorphism."""
+    if source.vocabulary != target.vocabulary:
+        return False
+    if set(mapping) != set(source.universe):
+        return False
+    target_universe = set(target.universe)
+    if not set(mapping.values()) <= target_universe:
+        return False
+    for symbol in source.vocabulary:
+        target_tuples = target.relation(symbol.name)
+        for t in source.relation(symbol.name):
+            if tuple(mapping[x] for x in t) not in target_tuples:
+                return False
+    return True
+
+
+def find_structure_homomorphism(
+    source: Structure, target: Structure, counter: CostCounter | None = None
+) -> dict[Element, Element] | None:
+    """Find one homomorphism A → B, or ``None``.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If the two structures are over different vocabularies.
+    """
+    result = _search(source, target, count_all=False, counter=counter)
+    return result if result is None or isinstance(result, dict) else None
+
+
+def count_structure_homomorphisms(
+    source: Structure, target: Structure, counter: CostCounter | None = None
+) -> int:
+    """Count all homomorphisms A → B."""
+    result = _search(source, target, count_all=True, counter=counter)
+    assert isinstance(result, int)
+    return result
+
+
+def _search(
+    source: Structure,
+    target: Structure,
+    count_all: bool,
+    counter: CostCounter | None,
+):
+    if source.vocabulary != target.vocabulary:
+        raise InvalidInstanceError("homomorphism requires a shared vocabulary")
+    if source.universe_size == 0:
+        return 1 if count_all else {}
+    if target.universe_size == 0:
+        return 0 if count_all else None
+
+    # Constraints: (symbol tuples of A, symbol tuples of B) pairs.
+    checks: list[tuple[tuple[Element, ...], frozenset]] = []
+    occurs: dict[Element, list[int]] = {e: [] for e in source.universe}
+    for symbol in source.vocabulary:
+        target_tuples = target.relation(symbol.name)
+        for t in source.relation(symbol.name):
+            idx = len(checks)
+            checks.append((t, target_tuples))
+            for x in set(t):
+                occurs[x].append(idx)
+
+    # Assignment order: follow the Gaifman graph for early pruning.
+    gaifman = source.gaifman_graph()
+    order: list[Element] = []
+    placed: set[Element] = set()
+    for component in gaifman.connected_components():
+        frontier = [next(iter(component))]
+        while frontier:
+            e = frontier.pop()
+            if e in placed:
+                continue
+            placed.add(e)
+            order.append(e)
+            frontier.extend(gaifman.neighbors(e) - placed)
+
+    assignment: dict[Element, Element] = {}
+    targets = target.universe
+    count = 0
+
+    def ready_checks(element: Element) -> list[int]:
+        """Checks whose source tuple becomes fully assigned at ``element``."""
+        pos = {e: i for i, e in enumerate(order)}
+        my_rank = pos[element]
+        return [
+            i
+            for i in occurs[element]
+            if all(pos[x] <= my_rank for x in checks[i][0])
+        ]
+
+    ready = {e: ready_checks(e) for e in order}
+
+    def backtrack(depth: int):
+        nonlocal count
+        if depth == len(order):
+            if count_all:
+                count += 1
+                return None
+            return dict(assignment)
+        element = order[depth]
+        for image in targets:
+            charge(counter)
+            assignment[element] = image
+            ok = all(
+                tuple(assignment[x] for x in checks[i][0]) in checks[i][1]
+                for i in ready[element]
+            )
+            if ok:
+                found = backtrack(depth + 1)
+                if found is not None:
+                    return found
+            del assignment[element]
+        return None
+
+    found = backtrack(0)
+    if count_all:
+        return count
+    return found

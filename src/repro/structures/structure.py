@@ -1,0 +1,133 @@
+"""Finite relational structures (§2.4)."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from ..errors import InvalidInstanceError
+from ..graphs.graph import DiGraph, Graph
+from .vocabulary import RelationSymbol, Vocabulary
+
+Element = Hashable
+
+
+class Structure:
+    """A τ-structure: a universe plus one relation per symbol of τ.
+
+    Examples
+    --------
+    >>> tau = Vocabulary([RelationSymbol("E", 2)])
+    >>> a = Structure(tau, universe=[0, 1], relations={"E": [(0, 1)]})
+    >>> a.relation("E")
+    frozenset({(0, 1)})
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        universe: Iterable[Element],
+        relations: Mapping[str, Iterable[tuple[Element, ...]]] | None = None,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.universe: tuple[Element, ...] = tuple(universe)
+        if len(set(self.universe)) != len(self.universe):
+            raise InvalidInstanceError("universe has duplicate elements")
+        universe_set = set(self.universe)
+
+        self._relations: dict[str, frozenset[tuple[Element, ...]]] = {}
+        supplied = dict(relations) if relations is not None else {}
+        for symbol in vocabulary:
+            tuples = frozenset(tuple(t) for t in supplied.pop(symbol.name, ()))
+            for t in tuples:
+                if len(t) != symbol.arity:
+                    raise InvalidInstanceError(
+                        f"tuple {t!r} does not match arity {symbol.arity} of {symbol.name!r}"
+                    )
+                bad = [x for x in t if x not in universe_set]
+                if bad:
+                    raise InvalidInstanceError(
+                        f"tuple {t!r} of {symbol.name!r} uses non-universe elements {bad!r}"
+                    )
+            self._relations[symbol.name] = tuples
+        if supplied:
+            raise InvalidInstanceError(
+                f"relations given for unknown symbols {sorted(supplied)}"
+            )
+
+    @property
+    def universe_size(self) -> int:
+        return len(self.universe)
+
+    def relation(self, name: str) -> frozenset[tuple[Element, ...]]:
+        self.vocabulary.symbol(name)
+        return self._relations[name]
+
+    def total_tuples(self) -> int:
+        return sum(len(r) for r in self._relations.values())
+
+    def induced_substructure(self, elements: Iterable[Element]) -> "Structure":
+        """The substructure induced on ``elements``: keep tuples whose
+        entries all lie inside."""
+        keep = set(elements)
+        unknown = keep - set(self.universe)
+        if unknown:
+            raise InvalidInstanceError(f"elements not in universe: {sorted(map(repr, unknown))}")
+        kept_universe = [e for e in self.universe if e in keep]
+        kept_relations = {
+            name: [t for t in tuples if all(x in keep for x in t)]
+            for name, tuples in self._relations.items()
+        }
+        return Structure(self.vocabulary, kept_universe, kept_relations)
+
+    def gaifman_graph(self) -> Graph:
+        """Elements adjacent iff they co-occur in some tuple."""
+        graph = Graph(vertices=self.universe)
+        for tuples in self._relations.values():
+            for t in tuples:
+                distinct = sorted(set(t), key=repr)
+                for i, u in enumerate(distinct):
+                    for v in distinct[i + 1:]:
+                        graph.add_edge(u, v)
+        return graph
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            self.vocabulary == other.vocabulary
+            and set(self.universe) == set(other.universe)
+            and self._relations == other._relations
+        )
+
+    def __repr__(self) -> str:
+        rels = ", ".join(f"{n}[{len(t)}]" for n, t in self._relations.items())
+        return f"Structure(|A|={self.universe_size}, {rels})"
+
+    # -- graph round trips (§2.4: arity-2 single-symbol structures are
+    # directed graphs) -------------------------------------------------
+
+    @staticmethod
+    def from_digraph(graph: DiGraph) -> "Structure":
+        tau = Vocabulary.graph_vocabulary()
+        return Structure(
+            tau, graph.vertices, {"E": list(graph.edges())}
+        )
+
+    @staticmethod
+    def from_graph(graph: Graph) -> "Structure":
+        """Undirected graphs become symmetric binary structures."""
+        tau = Vocabulary.graph_vocabulary()
+        edges = []
+        for u, v in graph.edges():
+            edges.append((u, v))
+            edges.append((v, u))
+        return Structure(tau, graph.vertices, {"E": edges})
+
+    def to_digraph(self) -> DiGraph:
+        symbol_names = [s.name for s in self.vocabulary]
+        if symbol_names != ["E"] or self.vocabulary.symbol("E").arity != 2:
+            raise InvalidInstanceError("structure is not over the graph vocabulary")
+        graph = DiGraph(vertices=self.universe)
+        for u, v in self._relations["E"]:
+            graph.add_edge(u, v)
+        return graph

@@ -1,0 +1,76 @@
+"""Vocabularies: finite sets of relation symbols with arities (§2.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class RelationSymbol:
+    """A relation symbol with a fixed arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise InvalidInstanceError(
+                f"relation symbol {self.name!r} needs arity >= 1, got {self.arity}"
+            )
+
+
+class Vocabulary:
+    """A finite vocabulary τ: relation symbols with distinct names."""
+
+    def __init__(self, symbols: Iterable[RelationSymbol] = ()) -> None:
+        self._symbols: dict[str, RelationSymbol] = {}
+        for symbol in symbols:
+            self.add(symbol)
+
+    def add(self, symbol: RelationSymbol) -> None:
+        if symbol.name in self._symbols:
+            existing = self._symbols[symbol.name]
+            if existing.arity != symbol.arity:
+                raise InvalidInstanceError(
+                    f"symbol {symbol.name!r} redeclared with arity "
+                    f"{symbol.arity} (was {existing.arity})"
+                )
+            return
+        self._symbols[symbol.name] = symbol
+
+    def symbol(self, name: str) -> RelationSymbol:
+        if name not in self._symbols:
+            raise InvalidInstanceError(f"unknown relation symbol {name!r}")
+        return self._symbols[name]
+
+    @property
+    def arity(self) -> int:
+        """The arity of τ: the maximum symbol arity (0 when empty)."""
+        return max((s.arity for s in self._symbols.values()), default=0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.name}/{s.arity}" for s in self._symbols.values())
+        return f"Vocabulary({inner})"
+
+    @staticmethod
+    def graph_vocabulary() -> "Vocabulary":
+        """The single binary symbol E — τ-structures over it are
+        directed graphs (§2.4)."""
+        return Vocabulary([RelationSymbol("E", 2)])

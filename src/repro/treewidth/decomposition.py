@@ -1,0 +1,128 @@
+"""Tree decompositions with full axiom validation (Definition 4.1)."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from ..errors import InvalidDecompositionError
+from ..graphs.graph import Graph, Vertex
+
+NodeId = Hashable
+
+
+class TreeDecomposition:
+    """A tree decomposition ``(B, T)`` of a graph.
+
+    Parameters
+    ----------
+    bags:
+        Mapping from tree-node id to the bag (set of graph vertices).
+    tree_edges:
+        Edges of the tree ``T`` over the node ids.
+
+    The three axioms of Definition 4.1 are checked by :meth:`validate`:
+    vertex coverage, edge coverage, and connectivity of each vertex's
+    occurrence set.
+    """
+
+    def __init__(
+        self,
+        bags: Mapping[NodeId, Iterable[Vertex]],
+        tree_edges: Iterable[tuple[NodeId, NodeId]] = (),
+    ) -> None:
+        self.bags: dict[NodeId, frozenset[Vertex]] = {
+            node: frozenset(bag) for node, bag in bags.items()
+        }
+        self.tree = Graph(vertices=self.bags)
+        for a, b in tree_edges:
+            if a not in self.bags or b not in self.bags:
+                raise InvalidDecompositionError(
+                    f"tree edge ({a!r}, {b!r}) references a node without a bag"
+                )
+            self.tree.add_edge(a, b)
+
+    @property
+    def width(self) -> int:
+        """max |B_t| - 1 over all bags (−1 for the empty decomposition)."""
+        if not self.bags:
+            return -1
+        return max(len(bag) for bag in self.bags.values()) - 1
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        return list(self.bags)
+
+    def bag(self, node: NodeId) -> frozenset[Vertex]:
+        return self.bags[node]
+
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`InvalidDecompositionError` on any axiom breach."""
+        if not self._is_tree():
+            raise InvalidDecompositionError("decomposition's tree is not a tree")
+
+        covered: set[Vertex] = set()
+        for bag in self.bags.values():
+            covered |= bag
+        missing = set(graph.vertices) - covered
+        if missing:
+            raise InvalidDecompositionError(
+                f"vertices not covered by any bag: {sorted(map(repr, missing))}"
+            )
+
+        for u, v in graph.edges():
+            if not any({u, v} <= bag for bag in self.bags.values()):
+                raise InvalidDecompositionError(f"edge ({u!r}, {v!r}) is in no bag")
+
+        for v in graph.vertices:
+            occ = [node for node, bag in self.bags.items() if v in bag]
+            if not self._occurrences_connected(occ):
+                raise InvalidDecompositionError(
+                    f"occurrence set of vertex {v!r} is not connected in the tree"
+                )
+
+    def is_valid(self, graph: Graph) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(graph)
+        except InvalidDecompositionError:
+            return False
+        return True
+
+    def _is_tree(self) -> bool:
+        n = self.tree.num_vertices
+        if n == 0:
+            return True
+        if self.tree.num_edges != n - 1:
+            return False
+        return len(self.tree.connected_components()) == 1
+
+    def _occurrences_connected(self, occ: list[NodeId]) -> bool:
+        if len(occ) <= 1:
+            return True
+        occ_set = set(occ)
+        stack = [occ[0]]
+        seen = {occ[0]}
+        while stack:
+            node = stack.pop()
+            for nbr in self.tree.neighbors(node):
+                if nbr in occ_set and nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return seen == occ_set
+
+    def rooted_children(self, root: NodeId) -> dict[NodeId, list[NodeId]]:
+        """Orient the tree away from ``root``; children per node."""
+        children: dict[NodeId, list[NodeId]] = {node: [] for node in self.bags}
+        seen = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for nbr in self.tree.neighbors(node):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    children[node].append(nbr)
+                    stack.append(nbr)
+        return children
+
+    def __repr__(self) -> str:
+        return f"TreeDecomposition(nodes={len(self.bags)}, width={self.width})"

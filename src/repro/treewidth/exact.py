@@ -1,0 +1,114 @@
+"""Exact treewidth for small graphs.
+
+Held–Karp style dynamic programming over subsets of eliminated vertices
+(Bodlaender et al.): the cost of eliminating ``v`` after the set ``S``
+is the number of vertices outside ``S ∪ {v}`` reachable from ``v``
+through ``S``; treewidth is the min over orders of the max cost.
+``O(2^n · n²)`` — intended for the ≤ 20-vertex graphs appearing in the
+experiments, where it certifies the heuristics.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..errors import InvalidInstanceError
+from ..graphs.graph import Graph, Vertex
+from .decomposition import TreeDecomposition
+from .heuristics import (
+    decomposition_from_elimination_order,
+    treewidth_lower_bound_degeneracy,
+    treewidth_min_fill,
+)
+
+#: Refuse exact computation above this size; the DP is exponential.
+MAX_EXACT_VERTICES = 24
+
+
+def treewidth_exact(graph: Graph) -> tuple[int, TreeDecomposition]:
+    """Exact treewidth and a witnessing decomposition.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If the graph has more than :data:`MAX_EXACT_VERTICES` vertices.
+    """
+    n = graph.num_vertices
+    if n > MAX_EXACT_VERTICES:
+        raise InvalidInstanceError(
+            f"exact treewidth limited to {MAX_EXACT_VERTICES} vertices, got {n}"
+        )
+    if n == 0:
+        return -1, TreeDecomposition(bags={0: frozenset()})
+
+    vertices = graph.vertices
+    index = {v: i for i, v in enumerate(vertices)}
+    nbr_mask = [0] * n
+    for u, v in graph.edges():
+        nbr_mask[index[u]] |= 1 << index[v]
+        nbr_mask[index[v]] |= 1 << index[u]
+    full = (1 << n) - 1
+
+    # Upper bound from the min-fill heuristic prunes the search; when
+    # the degeneracy lower bound meets it, the heuristic is certified
+    # optimal and the exponential DP is skipped entirely.
+    upper, heuristic_dec = treewidth_min_fill(graph)
+    if treewidth_lower_bound_degeneracy(graph) == upper:
+        return upper, heuristic_dec
+
+    @lru_cache(maxsize=None)
+    def cost_after(v: int, eliminated: int) -> int:
+        """Degree of vertex v in the fill graph after ``eliminated``."""
+        # BFS from v through eliminated vertices; count exits.
+        seen = 1 << v
+        frontier = nbr_mask[v]
+        reach = 0
+        while frontier:
+            new_exits = frontier & ~eliminated & ~seen
+            reach |= new_exits
+            inside = frontier & eliminated & ~seen
+            seen |= frontier
+            frontier = 0
+            m = inside
+            while m:
+                low = m & -m
+                frontier |= nbr_mask[low.bit_length() - 1]
+                m ^= low
+            frontier &= ~seen
+        return bin(reach).count("1")
+
+    best_order: list[int] | None = None
+
+    @lru_cache(maxsize=None)
+    def solve(eliminated: int) -> tuple[int, tuple[int, ...]]:
+        """(best max-cost, best order suffix) for eliminating the rest."""
+        if eliminated == full:
+            return -1, ()
+        best = upper + 1
+        best_suffix: tuple[int, ...] = ()
+        remaining = full & ~eliminated
+        m = remaining
+        while m:
+            low = m & -m
+            v = low.bit_length() - 1
+            m ^= low
+            c = cost_after(v, eliminated)
+            if c >= best:
+                continue
+            sub, suffix = solve(eliminated | low)
+            value = max(c, sub)
+            if value < best:
+                best = value
+                best_suffix = (v,) + suffix
+        return best, best_suffix
+
+    width, order_bits = solve(0)
+    solve.cache_clear()
+    cost_after.cache_clear()
+
+    if width > upper or not order_bits:
+        # Heuristic already optimal (pruning removed all exact orders).
+        return upper, heuristic_dec
+    best_order = [vertices[i] for i in order_bits]
+    decomposition = decomposition_from_elimination_order(graph, best_order)
+    return width, decomposition

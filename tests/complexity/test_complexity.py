@@ -1,0 +1,127 @@
+"""Tests for the hypothesis registry, implications, and bounds."""
+
+import pytest
+
+from repro.complexity.bounds import LowerBound, all_lower_bounds, bounds_under
+from repro.complexity.hypotheses import (
+    ETH,
+    SETH,
+    UNCONDITIONAL,
+    all_hypotheses,
+    get_hypothesis,
+)
+from repro.complexity.implications import (
+    implication_graph,
+    implies,
+    stronger_hypotheses,
+    weaker_hypotheses,
+)
+from repro.complexity.report import format_hypothesis_report, format_landscape
+from repro.errors import InvalidInstanceError
+
+
+class TestRegistry:
+    def test_all_unique_keys(self):
+        keys = [h.key for h in all_hypotheses()]
+        assert len(keys) == len(set(keys))
+        assert len(keys) == 9
+
+    def test_lookup(self):
+        assert get_hypothesis("eth") is ETH
+        with pytest.raises(InvalidInstanceError):
+            get_hypothesis("zpp")
+
+    def test_plausibility_labels(self):
+        labels = {h.plausibility for h in all_hypotheses()}
+        assert labels <= {"theorem", "standard", "controversial", "conjecture"}
+
+
+class TestImplications:
+    def test_reflexive(self):
+        assert implies("eth", "eth")
+
+    def test_paper_hierarchy(self):
+        assert implies("seth", "eth")
+        assert implies("seth", "p-neq-np")
+        assert implies("eth", "fpt-neq-w1")
+        assert implies("fpt-neq-w1", "p-neq-np")
+
+    def test_no_upward_implications(self):
+        assert not implies("p-neq-np", "fpt-neq-w1")
+        assert not implies("eth", "seth")
+        assert not implies("fpt-neq-w1", "eth")
+
+    def test_everything_implies_unconditional(self):
+        for h in all_hypotheses():
+            assert implies(h.key, "unconditional")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            implies("eth", "nonsense")
+
+    def test_graph_is_acyclic_among_distinct(self):
+        """No two distinct hypotheses imply each other (they'd be the
+        same assumption)."""
+        for a in all_hypotheses():
+            for b in all_hypotheses():
+                if a.key != b.key:
+                    assert not (implies(a.key, b.key) and implies(b.key, a.key))
+
+    def test_stronger_weaker_consistency(self):
+        for h in all_hypotheses():
+            for w in weaker_hypotheses(h.key):
+                assert h.key in stronger_hypotheses(w)
+
+    def test_graph_vertices(self):
+        g = implication_graph()
+        assert set(g.vertices) == {h.key for h in all_hypotheses()}
+
+
+class TestBounds:
+    def test_every_bound_has_known_hypothesis(self):
+        keys = {h.key for h in all_hypotheses()}
+        for bound in all_lower_bounds():
+            assert bound.hypothesis in keys
+
+    def test_bound_keys_unique(self):
+        keys = [b.key for b in all_lower_bounds()]
+        assert len(keys) == len(set(keys))
+
+    def test_unconditional_bound_exists(self):
+        uncond = [
+            b for b in all_lower_bounds() if b.hypothesis == UNCONDITIONAL.key
+        ]
+        assert any(b.paper_ref == "Theorem 3.2" for b in uncond)
+
+    def test_bounds_under_monotone(self):
+        assert len(bounds_under("seth")) >= len(bounds_under("eth"))
+        assert len(bounds_under("eth")) >= len(bounds_under("fpt-neq-w1"))
+        assert len(bounds_under("unconditional")) >= 1
+
+    def test_seth_unlocks_theorem_72(self):
+        keys = {b.key for b in bounds_under("seth")}
+        assert "freuder-optimal" in keys
+        assert "domset-exponent" in keys
+
+    def test_eth_does_not_unlock_seth_bounds(self):
+        keys = {b.key for b in bounds_under("eth")}
+        assert "freuder-optimal" not in keys
+
+    def test_reduction_modules_exist(self):
+        import importlib
+
+        for bound in all_lower_bounds():
+            if bound.reduction_module:
+                importlib.import_module(bound.reduction_module)
+
+
+class TestReports:
+    def test_single_report_mentions_bounds(self):
+        text = format_hypothesis_report("seth")
+        assert "SETH" in text
+        assert "Theorem 7.1" in text or "Theorem 7.2" in text
+
+    def test_landscape_covers_all(self):
+        text = format_landscape()
+        for h in all_hypotheses():
+            assert h.name in text

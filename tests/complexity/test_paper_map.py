@@ -1,0 +1,44 @@
+"""The paper map stays honest: modules import, sections covered."""
+
+import importlib
+
+import pytest
+
+from repro.complexity.paper_map import PAPER_MAP, format_paper_map, modules_for
+
+
+class TestPaperMap:
+    def test_every_module_imports(self):
+        for entry in PAPER_MAP:
+            for module in entry.modules:
+                importlib.import_module(module)
+
+    def test_all_paper_sections_present(self):
+        sections = {entry.section for entry in PAPER_MAP}
+        expected = {"§2.1", "§2.2", "§2.3", "§2.4", "§3", "§4", "§5", "§6", "§7", "§8", "§9"}
+        assert sections == expected
+
+    def test_every_experiment_id_valid(self):
+        valid_prefixes = {f"E{i}-" for i in range(1, 19)}
+        for entry in PAPER_MAP:
+            for experiment in entry.experiments:
+                assert any(experiment.startswith(p) for p in valid_prefixes)
+
+    def test_modules_for(self):
+        assert "repro.relational.wcoj" in modules_for("§3")
+        with pytest.raises(KeyError):
+            modules_for("§99")
+
+    def test_format_mentions_everything(self):
+        text = format_paper_map()
+        for entry in PAPER_MAP:
+            assert entry.section in text
+            assert entry.title in text
+
+    def test_experiments_cover_e1_to_e18(self):
+        mentioned = {
+            experiment.split("-")[0]
+            for entry in PAPER_MAP
+            for experiment in entry.experiments
+        }
+        assert mentioned == {f"E{i}" for i in range(1, 19)}

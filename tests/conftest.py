@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    return Graph(edges=[(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def petersen_graph() -> Graph:
+    """The Petersen graph: 3-regular, girth 5, no triangles."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return Graph(edges=outer + inner + spokes)
+
+
+def make_random_graph(n: int, p: float, rng: random.Random) -> Graph:
+    graph = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+def make_random_binary_csp(
+    rng: random.Random,
+    num_variables: int = 5,
+    domain_size: int = 3,
+    num_constraints: int = 5,
+    tightness: float = 0.5,
+) -> CSPInstance:
+    variables = [f"v{i}" for i in range(num_variables)]
+    domain = list(range(domain_size))
+    constraints = []
+    for _ in range(num_constraints):
+        u, v = rng.sample(variables, 2)
+        relation = {
+            pair for pair in product(domain, repeat=2) if rng.random() < 1 - tightness
+        }
+        constraints.append(Constraint((u, v), relation))
+    return CSPInstance(variables, domain, constraints)
+
+
+@pytest.fixture
+def small_csp(rng) -> CSPInstance:
+    return make_random_binary_csp(rng)

@@ -1,0 +1,94 @@
+"""Edge cases for the counting DP (Theorem 4.2's counting variant)."""
+
+import pytest
+
+from repro.csp.bruteforce import count_bruteforce
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.treewidth_dp import count_with_treewidth
+
+
+class TestCountingEdgeCases:
+    def test_single_variable_unary(self):
+        inst = CSPInstance(["x"], [0, 1, 2], [Constraint(("x",), [(0,), (2,)])])
+        assert count_with_treewidth(inst) == 2
+
+    def test_contradictory_unaries(self):
+        inst = CSPInstance(
+            ["x"],
+            [0, 1],
+            [Constraint(("x",), [(0,)]), Constraint(("x",), [(1,)])],
+        )
+        assert count_with_treewidth(inst) == 0
+
+    def test_one_unsat_component_zeroes_everything(self):
+        ne = [(0, 1), (1, 0)]
+        empty = []
+        inst = CSPInstance(
+            ["a", "b", "c", "d"],
+            [0, 1],
+            [Constraint(("a", "b"), ne), Constraint(("c", "d"), empty)],
+        )
+        assert count_with_treewidth(inst) == 0
+        assert count_bruteforce(inst) == 0
+
+    def test_isolated_variables_multiply_domain(self):
+        inst = CSPInstance(
+            ["x", "free1", "free2"],
+            [0, 1, 2],
+            [Constraint(("x",), [(1,)])],
+        )
+        # 1 choice for x, 3 each for the free variables.
+        assert count_with_treewidth(inst) == 9
+
+    def test_large_counts_exact_arithmetic(self):
+        """Python integers keep the DP exact even for astronomically
+        large counts (20 free ternary variables: 3^20)."""
+        inst = CSPInstance([f"v{i}" for i in range(20)], [0, 1, 2], [])
+        assert count_with_treewidth(inst) == 3**20
+
+    def test_overlapping_scopes_same_variables(self):
+        eq = [(0, 0), (1, 1)]
+        ne = [(0, 1), (1, 0)]
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1],
+            [Constraint(("x", "y"), eq), Constraint(("x", "y"), ne)],
+        )
+        assert count_with_treewidth(inst) == 0
+
+    def test_flipped_scope_orientations(self):
+        implies_rel = [(0, 0), (0, 1), (1, 1)]
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1],
+            [
+                Constraint(("x", "y"), implies_rel),
+                Constraint(("y", "x"), implies_rel),
+            ],
+        )
+        # x->y and y->x together force x == y: 2 solutions.
+        assert count_with_treewidth(inst) == 2
+        assert count_bruteforce(inst) == 2
+
+    def test_chain_count_formula(self):
+        """A NAND chain over {0,1} counts Fibonacci-style independent
+        sets of a path: constraints (v_i, v_{i+1}) forbidding (1,1)."""
+        n = 10
+        nand = [(0, 0), (0, 1), (1, 0)]
+        variables = [f"v{i}" for i in range(n)]
+        constraints = [
+            Constraint((variables[i], variables[i + 1]), nand)
+            for i in range(n - 1)
+        ]
+        inst = CSPInstance(variables, [0, 1], constraints)
+        # Independent sets of P_n = Fibonacci(n+2).
+        fib = [1, 2]
+        while len(fib) < n + 1:
+            fib.append(fib[-1] + fib[-2])
+        assert count_with_treewidth(inst) == fib[n]
+
+    def test_ternary_parity_count(self):
+        """XOR of three variables: exactly half the cube satisfies."""
+        odd = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1) if (a + b + c) % 2 == 1]
+        inst = CSPInstance(["x", "y", "z"], [0, 1], [Constraint(("x", "y", "z"), odd)])
+        assert count_with_treewidth(inst) == 4

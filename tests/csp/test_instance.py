@@ -1,0 +1,117 @@
+"""Tests for CSPInstance and Constraint."""
+
+import pytest
+
+from repro.csp.instance import Constraint, CSPInstance
+from repro.errors import InvalidInstanceError
+
+
+class TestConstraint:
+    def test_empty_scope_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Constraint((), [])
+
+    def test_tuple_arity_checked(self):
+        with pytest.raises(InvalidInstanceError):
+            Constraint(("x", "y"), [(1,)])
+
+    def test_satisfied_by(self):
+        c = Constraint(("x", "y"), [(0, 1), (1, 0)])
+        assert c.satisfied_by({"x": 0, "y": 1})
+        assert not c.satisfied_by({"x": 0, "y": 0})
+
+    def test_satisfied_by_missing_variable(self):
+        c = Constraint(("x", "y"), [(0, 1)])
+        with pytest.raises(InvalidInstanceError):
+            c.satisfied_by({"x": 0})
+
+    def test_consistent_with_partial(self):
+        c = Constraint(("x", "y"), [(0, 1)])
+        assert c.consistent_with({"x": 0})
+        assert not c.consistent_with({"x": 1})
+        assert c.consistent_with({})
+
+    def test_consistent_with_total(self):
+        c = Constraint(("x", "y"), [(0, 1)])
+        assert c.consistent_with({"x": 0, "y": 1})
+        assert not c.consistent_with({"x": 0, "y": 0})
+
+    def test_supports(self):
+        c = Constraint(("x", "y"), [(0, 1), (1, 1)])
+        domains = {"x": {0, 1}, "y": {1}}
+        assert c.supports("x", 0, domains)
+        domains_no_y = {"x": {0, 1}, "y": {0}}
+        assert not c.supports("x", 0, domains_no_y)
+
+    def test_supports_unknown_variable(self):
+        c = Constraint(("x",), [(0,)])
+        with pytest.raises(InvalidInstanceError):
+            c.supports("z", 0, {"x": {0}})
+
+    def test_repeated_scope_variable(self):
+        # Scope (x, x) means both positions must agree with x's value.
+        c = Constraint(("x", "x"), [(0, 0), (1, 0)])
+        assert c.satisfied_by({"x": 0})
+        assert not c.satisfied_by({"x": 1})
+
+
+class TestCSPInstance:
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CSPInstance(["x", "x"], [0], [])
+
+    def test_unknown_scope_variable_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CSPInstance(["x"], [0], [Constraint(("y",), [(0,)])])
+
+    def test_is_binary(self):
+        binary = CSPInstance(["x", "y"], [0, 1], [Constraint(("x", "y"), [(0, 1)])])
+        assert binary.is_binary
+        ternary = CSPInstance(
+            ["x", "y", "z"], [0, 1], [Constraint(("x", "y", "z"), [(0, 1, 0)])]
+        )
+        assert not ternary.is_binary
+
+    def test_primal_graph(self):
+        inst = CSPInstance(
+            ["x", "y", "z", "w"],
+            [0],
+            [Constraint(("x", "y", "z"), [(0, 0, 0)])],
+        )
+        primal = inst.primal_graph()
+        assert primal.is_clique(["x", "y", "z"])
+        assert primal.degree("w") == 0
+
+    def test_hypergraph(self):
+        inst = CSPInstance(
+            ["x", "y"], [0], [Constraint(("x", "y"), [(0, 0)])]
+        )
+        h = inst.hypergraph()
+        assert h.num_edges == 1
+
+    def test_is_solution(self):
+        inst = CSPInstance(["x", "y"], [0, 1], [Constraint(("x", "y"), [(0, 1)])])
+        assert inst.is_solution({"x": 0, "y": 1})
+        assert not inst.is_solution({"x": 1, "y": 0})
+        assert not inst.is_solution({"x": 0})          # partial
+        assert not inst.is_solution({"x": 0, "y": 7})  # out of domain
+
+    def test_restrict_keeps_internal_constraints(self):
+        inst = CSPInstance(
+            ["x", "y", "z"],
+            [0, 1],
+            [
+                Constraint(("x", "y"), [(0, 1)]),
+                Constraint(("y", "z"), [(1, 0)]),
+            ],
+        )
+        sub = inst.restrict(["x", "y"])
+        assert sub.num_variables == 2
+        assert sub.num_constraints == 1
+
+    def test_constraints_on(self):
+        c1 = Constraint(("x", "y"), [(0, 0)])
+        c2 = Constraint(("y", "z"), [(0, 0)])
+        inst = CSPInstance(["x", "y", "z"], [0], [c1, c2])
+        assert inst.constraints_on("y") == [c1, c2]
+        assert inst.constraints_on("x") == [c1]

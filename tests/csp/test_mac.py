@@ -1,0 +1,76 @@
+"""Direct tests for the MAC (maintained arc consistency) search mode."""
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.csp.backtracking import solve_backtracking
+from repro.csp.bruteforce import solve_bruteforce
+from repro.csp.instance import Constraint, CSPInstance
+
+from ..conftest import make_random_binary_csp
+
+
+class TestMAC:
+    def test_agreement_with_bruteforce(self, rng):
+        for __ in range(15):
+            inst = make_random_binary_csp(
+                rng,
+                num_variables=rng.randrange(2, 6),
+                domain_size=rng.randrange(2, 4),
+                num_constraints=rng.randrange(1, 8),
+            )
+            oracle = solve_bruteforce(inst)
+            got = solve_backtracking(inst, maintain_gac=True)
+            assert (got is None) == (oracle is None)
+            if got is not None:
+                assert inst.is_solution(got)
+
+    def test_detects_root_inconsistency_before_search(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1],
+            [Constraint(("x",), [(0,)]), Constraint(("x",), [(1,)])],
+        )
+        counter = CostCounter()
+        assert solve_backtracking(inst, maintain_gac=True, counter=counter) is None
+
+    def test_propagation_chain_solved_without_thrash(self):
+        """A long equality chain forces everything from one assignment;
+        MAC should solve with essentially no backtracking."""
+        n = 12
+        eq = [(0, 0), (1, 1)]
+        variables = [f"v{i}" for i in range(n)]
+        constraints = [
+            Constraint((variables[i], variables[i + 1]), eq) for i in range(n - 1)
+        ]
+        constraints.append(Constraint((variables[0],), [(1,)]))
+        inst = CSPInstance(variables, [0, 1], constraints)
+        solution = solve_backtracking(inst, maintain_gac=True)
+        assert solution == {v: 1 for v in variables}
+
+    def test_mac_cheaper_than_fc_on_propagation_heavy(self):
+        """On implication-chain instances MAC's inference pays off in
+        raw search effort even if per-node cost is higher."""
+        n = 10
+        implies_rel = [(0, 0), (0, 1), (1, 1)]
+        variables = [f"v{i}" for i in range(n)]
+        constraints = [
+            Constraint((variables[i], variables[i + 1]), implies_rel)
+            for i in range(n - 1)
+        ]
+        # Force a contradiction at the ends: v0 = 1, v_{n-1} = 0.
+        constraints.append(Constraint((variables[0],), [(1,)]))
+        constraints.append(Constraint((variables[-1],), [(0,)]))
+        inst = CSPInstance(variables, [0, 1], constraints)
+        assert solve_backtracking(inst, maintain_gac=True) is None
+        assert solve_bruteforce(inst) is None
+
+    def test_mac_with_ternary_constraints(self):
+        inst = CSPInstance(
+            ["x", "y", "z"],
+            [0, 1],
+            [Constraint(("x", "y", "z"), [(0, 1, 0), (1, 0, 1)])],
+        )
+        solution = solve_backtracking(inst, maintain_gac=True)
+        assert solution is not None
+        assert inst.is_solution(solution)

@@ -1,0 +1,85 @@
+"""Tests for the CSP → SAT direct encoding (CDCL backend)."""
+
+import pytest
+
+from repro.csp.bruteforce import solve_bruteforce
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.sat_encoding import encode_direct, solve_via_sat
+from repro.csp.solver import solve
+
+from ..conftest import make_random_binary_csp
+
+
+class TestEncoding:
+    def test_variable_count(self):
+        inst = CSPInstance(["x", "y"], [0, 1, 2], [])
+        formula, var_of = encode_direct(inst)
+        assert formula.num_variables == 6
+        assert len(var_of) == 6
+
+    def test_at_least_and_at_most_one(self):
+        inst = CSPInstance(["x"], [0, 1, 2], [])
+        formula, __ = encode_direct(inst)
+        # 1 at-least-one + 3 at-most-one clauses.
+        assert formula.num_clauses == 4
+
+    def test_conflict_clauses(self):
+        inst = CSPInstance(
+            ["x", "y"], [0, 1], [Constraint(("x", "y"), [(0, 1)])]
+        )
+        formula, __ = encode_direct(inst)
+        # 2 ALO + 2 AMO + 3 forbidden combos.
+        assert formula.num_clauses == 2 + 2 + 3
+
+    def test_repeated_scope_variables(self):
+        inst = CSPInstance(["x"], [0, 1], [Constraint(("x", "x"), [(0, 0)])])
+        solution = solve_via_sat(inst)
+        assert solution == {"x": 0}
+
+
+class TestSolveViaSat:
+    def test_trivial_cases(self):
+        assert solve_via_sat(CSPInstance([], [0], [])) == {}
+        assert solve_via_sat(CSPInstance(["x"], [], [])) is None
+
+    def test_coloring(self):
+        ne2 = [(0, 1), (1, 0)]
+        triangle = CSPInstance(
+            ["a", "b", "c"],
+            [0, 1],
+            [
+                Constraint(("a", "b"), ne2),
+                Constraint(("b", "c"), ne2),
+                Constraint(("a", "c"), ne2),
+            ],
+        )
+        assert solve_via_sat(triangle) is None
+
+    def test_agreement_with_bruteforce(self, rng):
+        for __ in range(20):
+            inst = make_random_binary_csp(
+                rng,
+                num_variables=rng.randrange(2, 6),
+                domain_size=rng.randrange(2, 4),
+                num_constraints=rng.randrange(1, 8),
+            )
+            oracle = solve_bruteforce(inst)
+            got = solve_via_sat(inst)
+            assert (got is None) == (oracle is None)
+            if got is not None:
+                assert inst.is_solution(got)
+
+    def test_ternary_constraints(self):
+        inst = CSPInstance(
+            ["x", "y", "z"],
+            [0, 1],
+            [Constraint(("x", "y", "z"), [(0, 1, 0), (1, 0, 1)])],
+        )
+        solution = solve_via_sat(inst)
+        assert solution is not None
+        assert inst.is_solution(solution)
+
+    def test_solver_frontend_method(self, small_csp):
+        oracle = solve_bruteforce(small_csp)
+        got = solve(small_csp, method="sat")
+        assert (got is None) == (oracle is None)

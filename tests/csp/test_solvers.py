@@ -1,0 +1,202 @@
+"""Cross-checked tests for all CSP solvers (brute force as oracle)."""
+
+from itertools import product
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.csp.backtracking import solve_backtracking
+from repro.csp.bruteforce import count_bruteforce, solve_bruteforce
+from repro.csp.consistency import enforce_gac, propagate_domains
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.solver import solve
+from repro.csp.treewidth_dp import count_with_treewidth, solve_with_treewidth
+from repro.errors import SolverError
+
+from ..conftest import make_random_binary_csp
+
+ALL_SOLVERS = (
+    solve_bruteforce,
+    solve_backtracking,
+    lambda inst, counter=None: solve_with_treewidth(inst, counter=counter),
+    solve,
+)
+
+
+def coloring_instance(colors: int, edges) -> CSPInstance:
+    variables = sorted({v for e in edges for v in e})
+    domain = list(range(colors))
+    disequal = {(a, b) for a, b in product(domain, repeat=2) if a != b}
+    return CSPInstance(variables, domain, [Constraint(e, disequal) for e in edges])
+
+
+@pytest.mark.parametrize("solver", ALL_SOLVERS)
+class TestEachSolver:
+    def test_trivial_satisfiable(self, solver):
+        inst = CSPInstance(["x"], [0, 1], [Constraint(("x",), [(1,)])])
+        solution = solver(inst)
+        assert solution == {"x": 1}
+
+    def test_trivial_unsatisfiable(self, solver):
+        inst = CSPInstance(["x"], [0, 1], [Constraint(("x",), [])])
+        assert solver(inst) is None
+
+    def test_no_constraints(self, solver):
+        inst = CSPInstance(["x", "y"], [5], [])
+        solution = solver(inst)
+        assert solution == {"x": 5, "y": 5}
+
+    def test_triangle_coloring(self, solver):
+        # K3 with 2 colors unsat; with 3 colors sat.
+        k3 = [("a", "b"), ("b", "c"), ("a", "c")]
+        assert solver(coloring_instance(2, k3)) is None
+        solution = solver(coloring_instance(3, k3))
+        assert solution is not None
+        assert len(set(solution.values())) == 3
+
+    def test_empty_domain(self, solver):
+        inst = CSPInstance(["x"], [], [])
+        assert solver(inst) is None
+
+
+class TestAgreement:
+    def test_randomized(self, rng):
+        for trial in range(25):
+            inst = make_random_binary_csp(
+                rng,
+                num_variables=rng.randrange(2, 6),
+                domain_size=rng.randrange(2, 4),
+                num_constraints=rng.randrange(1, 8),
+            )
+            oracle = solve_bruteforce(inst)
+            for solver in (solve_backtracking, solve, lambda i: solve_with_treewidth(i)):
+                got = solver(inst)
+                assert (got is None) == (oracle is None), trial
+                if got is not None:
+                    assert inst.is_solution(got)
+
+    def test_counting_agreement(self, rng):
+        for trial in range(20):
+            inst = make_random_binary_csp(
+                rng,
+                num_variables=rng.randrange(2, 6),
+                domain_size=rng.randrange(2, 4),
+                num_constraints=rng.randrange(1, 7),
+            )
+            assert count_bruteforce(inst) == count_with_treewidth(inst), trial
+
+    def test_counting_no_constraints(self):
+        inst = CSPInstance(["x", "y"], [0, 1, 2], [])
+        assert count_bruteforce(inst) == 9
+        assert count_with_treewidth(inst) == 9
+
+    def test_ternary_constraints(self, rng):
+        for trial in range(10):
+            variables = ["x", "y", "z", "w"]
+            domain = [0, 1]
+            triples = [
+                t for t in product(domain, repeat=3) if rng.random() < 0.5
+            ]
+            pairs = [t for t in product(domain, repeat=2) if rng.random() < 0.7]
+            inst = CSPInstance(
+                variables,
+                domain,
+                [Constraint(("x", "y", "z"), triples), Constraint(("z", "w"), pairs)],
+            )
+            assert count_bruteforce(inst) == count_with_treewidth(inst)
+            assert (solve_bruteforce(inst) is None) == (
+                solve_with_treewidth(inst) is None
+            )
+
+
+class TestBacktrackingOptions:
+    @pytest.mark.parametrize("mrv", [True, False])
+    @pytest.mark.parametrize("fc", [True, False])
+    @pytest.mark.parametrize("gac", [True, False])
+    def test_options_preserve_correctness(self, rng, mrv, fc, gac):
+        for _ in range(6):
+            inst = make_random_binary_csp(rng, num_variables=4, domain_size=3)
+            oracle = solve_bruteforce(inst)
+            got = solve_backtracking(
+                inst, use_mrv=mrv, use_forward_checking=fc, preprocess_gac=gac
+            )
+            assert (got is None) == (oracle is None)
+
+
+class TestGAC:
+    def test_gac_soundness(self, rng):
+        """GAC never removes values that appear in some solution."""
+        for _ in range(15):
+            inst = make_random_binary_csp(rng, num_variables=4, domain_size=3)
+            domains = propagate_domains(inst)
+            solutions = []
+            domain = sorted(inst.domain)
+            for values in product(domain, repeat=inst.num_variables):
+                assignment = dict(zip(inst.variables, values))
+                if inst.is_solution(assignment):
+                    solutions.append(assignment)
+            if solutions and domains is not None:
+                for solution in solutions:
+                    for var, val in solution.items():
+                        assert val in domains[var]
+            if domains is None:
+                assert not solutions
+
+    def test_gac_fixpoint(self):
+        # x=y, y=z, z != x over {0,1}: unsatisfiable; GAC alone cannot
+        # always detect this (it's path-inconsistent, arc-consistent).
+        eq = [(0, 0), (1, 1)]
+        ne = [(0, 1), (1, 0)]
+        inst = CSPInstance(
+            ["x", "y", "z"],
+            [0, 1],
+            [
+                Constraint(("x", "y"), eq),
+                Constraint(("y", "z"), eq),
+                Constraint(("z", "x"), ne),
+            ],
+        )
+        domains = propagate_domains(inst)
+        assert domains is not None  # GAC does not refute it...
+        assert solve_bruteforce(inst) is None  # ...but search does.
+
+    def test_gac_detects_empty_domain(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1],
+            [Constraint(("x",), [(0,)]), Constraint(("x",), [(1,)])],
+        )
+        assert propagate_domains(inst) is None
+
+    def test_gac_prunes(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1, 2],
+            [Constraint(("x", "y"), [(0, 1)])],
+        )
+        domains = propagate_domains(inst)
+        assert domains == {"x": {0}, "y": {1}}
+
+    def test_enforce_gac_with_custom_domains(self):
+        inst = CSPInstance(
+            ["x", "y"], [0, 1, 2], [Constraint(("x", "y"), [(0, 1), (1, 2)])]
+        )
+        domains = enforce_gac(inst, {"x": {1}, "y": {1, 2}})
+        assert domains == {"x": {1}, "y": {2}}
+
+
+class TestSolverFrontend:
+    def test_unknown_method(self, small_csp):
+        with pytest.raises(SolverError):
+            solve(small_csp, method="quantum")
+
+    @pytest.mark.parametrize("method", ["auto", "backtracking", "bruteforce", "treewidth"])
+    def test_all_methods_work(self, small_csp, method):
+        oracle = solve_bruteforce(small_csp)
+        got = solve(small_csp, method=method)
+        assert (got is None) == (oracle is None)
+
+    def test_counter_threads_through(self, small_csp):
+        counter = CostCounter()
+        solve(small_csp, counter=counter)
+        assert counter.total > 0

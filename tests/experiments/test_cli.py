@@ -1,0 +1,30 @@
+"""Tests for the experiment CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, main, run_experiments
+
+
+class TestCLI:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in RUNNERS:
+            assert key in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "E13"]) == 0
+        out = capsys.readouterr().out
+        assert "E13-hypotheses" in out
+        assert "PASS" in out
+
+    def test_run_accepts_full_id(self, capsys):
+        assert main(["run", "e13-hypotheses"]) == 0
+
+    def test_unknown_id(self, capsys):
+        assert run_experiments(["E99"]) == 2
+
+    def test_every_runner_registered(self):
+        assert len(RUNNERS) == 18
+        for key, runners in RUNNERS.items():
+            assert runners, key

@@ -1,0 +1,10 @@
+"""Reduced-scale run of E15."""
+
+from repro.experiments import exp_enumeration
+
+
+def test_e15_shapes():
+    result = exp_enumeration.run(sizes=(40, 80, 160))
+    assert result.findings["verdict"] == "PASS"
+    for row in result.rows:
+        assert row["acyclic_max_delay"] <= 5

@@ -1,0 +1,13 @@
+"""Reduced-scale run of E18."""
+
+from repro.experiments import exp_finegrained
+
+
+def test_e18_shapes():
+    result = exp_finegrained.run(
+        ov_sizes=(32, 64, 128),
+        string_lengths=(32, 64, 128),
+        sat_trials=3,
+    )
+    assert result.findings["verdict"] == "PASS"
+    assert result.findings["sat_ov_equivalent"]

@@ -1,0 +1,12 @@
+"""Reduced-scale run of E16."""
+
+from repro.experiments import exp_hom_counting
+
+
+def test_e16_shapes():
+    result = exp_hom_counting.run(
+        pattern_lengths=(2, 4), host_sizes=(6, 9, 12)
+    )
+    assert result.findings["verdict"] == "PASS"
+    exponents = result.findings["dp_exponent_by_pattern_length"]
+    assert abs(exponents[2] - exponents[4]) < 1.0

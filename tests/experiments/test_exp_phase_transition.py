@@ -1,0 +1,15 @@
+"""Reduced-scale run of E17."""
+
+from repro.experiments import exp_phase_transition
+
+
+def test_e17_shape():
+    result = exp_phase_transition.run(
+        tightness_values=(0.1, 0.4, 0.85),
+        num_variables=10,
+        trials=5,
+    )
+    fractions = result.column("sat_fraction")
+    # Low tightness easy-SAT, high tightness all-UNSAT.
+    assert fractions[0] >= 0.8
+    assert fractions[-1] <= 0.2

@@ -1,0 +1,138 @@
+"""Each experiment runs at reduced scale and reports its claimed shape.
+
+These are integration tests of the full pipeline: generators →
+algorithms → reductions → harness. Reduced parameters keep each under
+a couple of seconds; the benchmarks run the full-scale versions.
+"""
+
+import pytest
+
+from repro.experiments import (
+    exp_agm,
+    exp_clique_csp,
+    exp_domset,
+    exp_freuder,
+    exp_hyperclique,
+    exp_hypotheses,
+    exp_kclique_mm,
+    exp_schaefer,
+    exp_special,
+    exp_treewidth_opt,
+    exp_triangle,
+    exp_vc_fpt,
+    exp_wcoj,
+)
+
+
+class TestE1E2AGM:
+    def test_upper_bound_holds(self):
+        result = exp_agm.run_upper(relation_sizes=(15, 30))
+        assert result.findings["verdict"] == "PASS"
+        assert all(row["within_bound"] for row in result.rows)
+
+    def test_tight_construction(self):
+        result = exp_agm.run_tight(relation_sizes=(16, 64))
+        assert result.findings["verdict"] == "PASS"
+        for row in result.rows:
+            assert row["answer"] == row["predicted"]
+
+
+class TestE3WCOJ:
+    def test_skewed_gap(self):
+        result = exp_wcoj.run(relation_sizes=(16, 32, 64))
+        assert result.findings["verdict"] == "PASS"
+        assert (
+            result.findings["skewed_plan_exponent"]
+            > result.findings["skewed_wcoj_exponent"]
+        )
+
+    def test_ordering_ablation(self):
+        result = exp_wcoj.run_orderings(relation_size=49)
+        assert result.findings["max_over_min_ops"] >= 1.0
+        assert len(result.rows) == 6
+
+
+class TestE4Freuder:
+    def test_exponent_tracks_width(self):
+        result = exp_freuder.run(
+            widths=(1, 2), domain_sizes=(2, 4, 8), num_variables=10
+        )
+        exps = result.findings["fitted_exponents_by_width"]
+        assert exps[1] < exps[2]
+        assert result.findings["verdict"] == "PASS"
+
+
+class TestE5Schaefer:
+    def test_classifier(self):
+        result = exp_schaefer.run_classifier()
+        assert result.findings["verdict"] == "PASS"
+        assert result.findings["mismatches"] == 0
+
+    def test_hard_ratio_growth(self):
+        result = exp_schaefer.run_hard_ratio(
+            variable_counts=(8, 12, 16), trials=3
+        )
+        assert result.findings["log2_decisions_slope_per_variable"] > 0
+
+
+class TestE6Special:
+    def test_certificates_and_solutions(self):
+        result = exp_special.run(ks=(2, 3), graph_size=8)
+        assert result.findings["verdict"] == "PASS"
+
+
+class TestE7CliqueCSP:
+    def test_exponents_grow(self):
+        result = exp_clique_csp.run(ks=(2, 3), graph_sizes=(6, 10, 14))
+        assert result.findings["verdict"] == "PASS"
+
+
+class TestE8TreewidthOpt:
+    def test_exponents_grow(self):
+        result = exp_treewidth_opt.run(
+            clique_sizes=(2, 3), domain_sizes=(3, 5, 7)
+        )
+        assert result.findings["verdict"] == "PASS"
+
+
+class TestE9Domset:
+    def test_pipeline(self):
+        result = exp_domset.run(configs=((2, 1), (2, 2)), graph_size=6)
+        assert result.findings["verdict"] == "PASS"
+        assert result.findings["widths_within_bounds"]
+
+
+class TestE10KCliqueMM:
+    def test_agreement_and_gap(self):
+        result = exp_kclique_mm.run(ks=(3, 6), graph_sizes=(6, 9, 12))
+        assert result.findings["verdict"] == "PASS"
+
+
+class TestE11Triangle:
+    def test_naive_vs_ordered(self):
+        result = exp_triangle.run(edge_counts=(32, 64, 128))
+        assert result.findings["verdict"] == "PASS"
+        assert result.findings["yes_instance_agreement"]
+
+
+class TestE12Hyperclique:
+    def test_exponents_grow(self):
+        result = exp_hyperclique.run(ks=(4, 5), vertex_counts=(8, 11, 14))
+        assert result.findings["verdict"] == "PASS"
+
+
+class TestE13Hypotheses:
+    def test_landscape(self):
+        result = exp_hypotheses.run()
+        assert result.findings["verdict"] == "PASS"
+        assert not result.findings["implication_errors"]
+
+
+class TestE14VertexCoverFPT:
+    def test_fpt_vs_xp(self):
+        result = exp_vc_fpt.run(k=3, graph_sizes=(8, 16, 28))
+        assert result.findings["verdict"] == "PASS"
+        assert (
+            result.findings["fpt_exponent_in_n"] + 1.0
+            < result.findings["bruteforce_exponent_in_n"]
+        )

@@ -1,0 +1,92 @@
+"""Tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.experiments.harness import (
+    ExperimentResult,
+    fit_exponent,
+    format_table,
+    geometric_sweep,
+    safe_log_ratio,
+)
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="T1", claim="test", columns=("x", "y")
+        )
+
+    def test_add_row_and_column(self):
+        r = self.make()
+        r.add_row(x=1, y=2)
+        r.add_row(x=3, y=4)
+        assert r.column("x") == [1, 3]
+
+    def test_unknown_column_rejected(self):
+        r = self.make()
+        with pytest.raises(InvalidInstanceError):
+            r.add_row(z=1)
+        with pytest.raises(InvalidInstanceError):
+            r.column("z")
+
+    def test_str_renders_table(self):
+        r = self.make()
+        r.add_row(x=1, y=2.5)
+        r.findings["verdict"] = "PASS"
+        text = str(r)
+        assert "T1" in text and "verdict" in text and "2.5" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("col",), [{"col": "value"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert set(lines[1]) <= {"-", " "}
+        assert "value" in lines[2]
+
+    def test_missing_cell_blank(self):
+        text = format_table(("a", "b"), [{"a": 1}])
+        assert "1" in text
+
+
+class TestFitExponent:
+    def test_exact_quadratic(self):
+        xs = [10, 20, 40, 80]
+        ys = [x**2 for x in xs]
+        assert fit_exponent(xs, ys) == pytest.approx(2.0)
+
+    def test_exact_linear(self):
+        xs = [1, 2, 4, 8]
+        assert fit_exponent(xs, xs) == pytest.approx(1.0)
+
+    def test_constant_is_zero(self):
+        assert fit_exponent([1, 2, 4], [5, 5, 5]) == pytest.approx(0.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(InvalidInstanceError):
+            fit_exponent([1], [1])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidInstanceError):
+            fit_exponent([0, 1], [1, 2])
+
+
+class TestSweepHelpers:
+    def test_geometric_sweep(self):
+        assert geometric_sweep(4, 2.0, 3) == [4, 8, 16]
+
+    def test_geometric_sweep_dedups(self):
+        values = geometric_sweep(2, 1.2, 5)
+        assert values == sorted(set(values))
+
+    def test_geometric_sweep_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            geometric_sweep(0, 2.0, 3)
+
+    def test_safe_log_ratio(self):
+        assert safe_log_ratio(8, 2) == pytest.approx(3.0)
+        with pytest.raises(InvalidInstanceError):
+            safe_log_ratio(8, 1)

@@ -1,0 +1,156 @@
+"""Tests for the fine-grained package: OV, SAT→OV, edit distance."""
+
+import random
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.errors import InvalidInstanceError, ReductionError
+from repro.finegrained.edit_distance import edit_distance, edit_distance_banded
+from repro.finegrained.orthogonal_vectors import (
+    OVInstance,
+    are_orthogonal,
+    find_orthogonal_pair,
+    has_orthogonal_pair,
+)
+from repro.finegrained.sat_to_ov import MAX_HALF_VARIABLES, sat_to_orthogonal_vectors
+from repro.generators.sat_gen import random_ksat
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+
+
+class TestOVInstance:
+    def test_dimension_consistency(self):
+        with pytest.raises(InvalidInstanceError):
+            OVInstance.from_lists([[0, 1]], [[1]])
+
+    def test_boolean_entries(self):
+        with pytest.raises(InvalidInstanceError):
+            OVInstance.from_lists([[0, 2]], [[1, 0]])
+
+    def test_are_orthogonal(self):
+        assert are_orthogonal((1, 0, 1), (0, 1, 0))
+        assert not are_orthogonal((1, 0), (1, 1))
+
+
+class TestFindOrthogonalPair:
+    def test_finds_pair(self):
+        inst = OVInstance.from_lists([(1, 1), (1, 0)], [(1, 1), (0, 1)])
+        pair = find_orthogonal_pair(inst)
+        assert pair == ((1, 0), (0, 1))
+
+    def test_no_pair(self):
+        inst = OVInstance.from_lists([(1, 1)], [(1, 0), (0, 1)])
+        assert find_orthogonal_pair(inst) is None
+        assert not has_orthogonal_pair(inst)
+
+    def test_empty_sides(self):
+        inst = OVInstance.from_lists([], [(1,)])
+        assert find_orthogonal_pair(inst) is None
+
+    def test_counter_counts_pairs(self):
+        inst = OVInstance.from_lists([(1,)] * 3, [(1,)] * 4)
+        counter = CostCounter()
+        find_orthogonal_pair(inst, counter)
+        assert counter.total == 12
+
+    def test_matches_bruteforce_definition(self, rng):
+        for __ in range(10):
+            d = rng.randrange(1, 6)
+            left = [tuple(rng.randrange(2) for __ in range(d)) for __ in range(6)]
+            right = [tuple(rng.randrange(2) for __ in range(d)) for __ in range(6)]
+            inst = OVInstance.from_lists(left, right)
+            expected = any(
+                are_orthogonal(a, b) for a in left for b in right
+            )
+            assert has_orthogonal_pair(inst) == expected
+
+
+class TestSatToOV:
+    def test_validation(self):
+        with pytest.raises(ReductionError):
+            sat_to_orthogonal_vectors(CNF(0))
+        with pytest.raises(ReductionError):
+            sat_to_orthogonal_vectors(CNF(2 * MAX_HALF_VARIABLES + 2))
+
+    def test_certificates(self):
+        formula = random_ksat(6, 12, 3, seed=1)
+        red = sat_to_orthogonal_vectors(formula)
+        red.certify()
+        assert len(red.target.left) == 8
+        assert len(red.target.right) == 8
+        assert red.target.dimension == 12
+
+    def test_equivalence(self, rng):
+        for __ in range(12):
+            n = rng.randrange(3, 9)
+            formula = random_ksat(n, rng.randrange(2, 5 * n), 3, seed=rng.randrange(10**6))
+            red = sat_to_orthogonal_vectors(formula)
+            pair = find_orthogonal_pair(red.target)
+            sat = solve_dpll(formula) is not None
+            assert (pair is not None) == sat
+            if pair is not None:
+                assert formula.evaluate(red.pull_back(pair))
+
+    def test_unsat_formula(self):
+        formula = CNF.from_clauses([[1], [-1], [2, 3]])
+        red = sat_to_orthogonal_vectors(formula)
+        assert find_orthogonal_pair(red.target) is None
+
+
+class TestEditDistance:
+    def test_base_cases(self):
+        assert edit_distance("", "") == 0
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("", "xy") == 2
+
+    def test_known_values(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("flaw", "lawn") == 2
+        assert edit_distance("abc", "abc") == 0
+        assert edit_distance("abc", "axc") == 1
+
+    def test_symmetry_and_triangle(self, rng):
+        for __ in range(10):
+            a = "".join(rng.choice("ab") for __ in range(rng.randrange(0, 8)))
+            b = "".join(rng.choice("ab") for __ in range(rng.randrange(0, 8)))
+            c = "".join(rng.choice("ab") for __ in range(rng.randrange(0, 8)))
+            assert edit_distance(a, b) == edit_distance(b, a)
+            assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    def test_bounds(self, rng):
+        for __ in range(10):
+            a = "".join(rng.choice("abc") for __ in range(rng.randrange(1, 9)))
+            b = "".join(rng.choice("abc") for __ in range(rng.randrange(1, 9)))
+            d = edit_distance(a, b)
+            assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+class TestBandedEditDistance:
+    def test_rejects_negative_band(self):
+        with pytest.raises(InvalidInstanceError):
+            edit_distance_banded("a", "b", -1)
+
+    def test_matches_full_dp_within_band(self, rng):
+        for __ in range(15):
+            a = "".join(rng.choice("ab") for __ in range(rng.randrange(0, 10)))
+            b = "".join(rng.choice("ab") for __ in range(rng.randrange(0, 10)))
+            exact = edit_distance(a, b)
+            for k in (0, 1, 2, 5, 10):
+                banded = edit_distance_banded(a, b, k)
+                if exact <= k:
+                    assert banded == exact
+                else:
+                    assert banded is None
+
+    def test_length_gap_short_circuits(self):
+        assert edit_distance_banded("aaaa", "a", 1) is None
+
+    def test_band_is_cheaper(self):
+        a = "ab" * 200
+        b = "ab" * 199 + "bb"
+        full, banded = CostCounter(), CostCounter()
+        edit_distance(a, b, full)
+        result = edit_distance_banded(a, b, 4, banded)
+        assert result is not None
+        assert banded.total < full.total / 10

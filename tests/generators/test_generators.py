@@ -1,0 +1,201 @@
+"""Tests for the instance generators: determinism + declared shape."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.generators.agm import (
+    expected_tight_answer_size,
+    fractional_independent_set,
+    skewed_triangle_database,
+    tight_agm_database,
+    uniform_random_database,
+)
+from repro.generators.csp_gen import (
+    bounded_treewidth_csp,
+    planted_solution_csp,
+    random_binary_csp,
+)
+from repro.generators.graph_gen import (
+    gnm_random_graph,
+    gnp_random_graph,
+    planted_clique_graph,
+    planted_dominating_set_graph,
+    planted_hyperclique,
+    planted_vertex_cover_graph,
+    random_uniform_hypergraph,
+    skewed_bipartite_graph,
+    turan_graph,
+)
+from repro.generators.sat_gen import HARD_3SAT_RATIO, planted_ksat, random_ksat
+from repro.graphs.dominating_set import is_dominating_set
+from repro.graphs.vertex_cover import is_vertex_cover
+from repro.relational.query import JoinQuery
+from repro.treewidth.heuristics import treewidth_min_fill
+
+
+class TestDeterminism:
+    def test_same_seed_same_instance(self):
+        a = random_ksat(8, 20, 3, seed=5)
+        b = random_ksat(8, 20, 3, seed=5)
+        assert a.clauses == b.clauses
+
+    def test_different_seed_differs(self):
+        a = random_ksat(8, 20, 3, seed=5)
+        b = random_ksat(8, 20, 3, seed=6)
+        assert a.clauses != b.clauses
+
+    def test_graphs_deterministic(self):
+        a = gnp_random_graph(10, 0.4, seed=1)
+        b = gnp_random_graph(10, 0.4, seed=1)
+        assert a == b
+
+    def test_csp_deterministic(self):
+        a = random_binary_csp(5, 3, 6, seed=2)
+        b = random_binary_csp(5, 3, 6, seed=2)
+        assert [c.relation for c in a.constraints] == [
+            c.relation for c in b.constraints
+        ]
+
+
+class TestSatGen:
+    def test_shape(self):
+        f = random_ksat(10, 42, 3, seed=0)
+        assert f.num_variables == 10
+        assert f.num_clauses == 42
+        assert f.is_k_sat(3)
+
+    def test_too_few_variables(self):
+        with pytest.raises(InvalidInstanceError):
+            random_ksat(2, 5, 3)
+
+    def test_planted_satisfies(self):
+        f, planted = planted_ksat(9, int(9 * HARD_3SAT_RATIO), 3, seed=1)
+        assert f.evaluate(planted)
+
+
+class TestCSPGen:
+    def test_random_binary_shape(self):
+        inst = random_binary_csp(6, 4, 8, tightness=0.3, seed=0)
+        assert inst.num_variables == 6
+        assert inst.domain_size == 4
+        assert inst.num_constraints == 8
+        assert inst.is_binary
+
+    def test_tightness_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            random_binary_csp(4, 3, 2, tightness=1.5)
+
+    def test_planted_solution_valid(self):
+        inst, planted = planted_solution_csp(6, 3, 10, seed=4)
+        assert inst.is_solution(planted)
+
+    def test_bounded_treewidth_respects_width(self):
+        for width in (1, 2, 3):
+            inst = bounded_treewidth_csp(12, 3, width, seed=width)
+            achieved, __ = treewidth_min_fill(inst.primal_graph())
+            assert achieved <= width
+
+    def test_bounded_treewidth_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            bounded_treewidth_csp(3, 2, 5)
+
+
+class TestGraphGen:
+    def test_gnp_bounds(self):
+        with pytest.raises(InvalidInstanceError):
+            gnp_random_graph(5, 1.5)
+        g = gnp_random_graph(10, 0.0, seed=0)
+        assert g.num_edges == 0
+        g = gnp_random_graph(6, 1.0, seed=0)
+        assert g.num_edges == 15
+
+    def test_gnm_exact_edges(self):
+        g = gnm_random_graph(10, 17, seed=1)
+        assert g.num_edges == 17
+        with pytest.raises(InvalidInstanceError):
+            gnm_random_graph(4, 10)
+
+    def test_planted_clique(self):
+        g, members = planted_clique_graph(12, 5, seed=3)
+        assert g.is_clique(members)
+        assert len(members) == 5
+
+    def test_planted_dominating(self):
+        g, centers = planted_dominating_set_graph(12, 3, seed=2)
+        assert is_dominating_set(g, centers)
+
+    def test_planted_cover(self):
+        g, cover = planted_vertex_cover_graph(12, 3, 20, seed=2)
+        assert is_vertex_cover(g, cover)
+
+    def test_turan(self):
+        g = turan_graph(10, 3)
+        from repro.graphs.clique import has_clique
+
+        assert has_clique(g, 3)
+        assert not has_clique(g, 4)
+        with pytest.raises(InvalidInstanceError):
+            turan_graph(3, 0)
+
+    def test_skewed_bipartite_triangle_free(self):
+        g = skewed_bipartite_graph(20, 3, 30, seed=0)
+        from repro.graphs.triangle import has_triangle
+
+        assert not has_triangle(g)
+
+    def test_uniform_hypergraph(self):
+        h = random_uniform_hypergraph(10, 3, 12, seed=1)
+        assert h.num_edges == 12
+        with pytest.raises(InvalidInstanceError):
+            random_uniform_hypergraph(4, 3, 100)
+
+    def test_planted_hyperclique(self):
+        from repro.graphs.hyperclique import is_hyperclique
+
+        h, members = planted_hyperclique(9, 3, 5, 6, seed=0)
+        assert is_hyperclique(h, members)
+        with pytest.raises(InvalidInstanceError):
+            planted_hyperclique(5, 3, 2, 1)
+
+
+class TestAGMGen:
+    def test_dual_weights_sum_to_rho(self):
+        from repro.hypergraph.covers import fractional_edge_cover_number
+
+        for q in (JoinQuery.triangle(), JoinQuery.cycle(4), JoinQuery.star(3)):
+            weights = fractional_independent_set(q)
+            rho = fractional_edge_cover_number(q.hypergraph())
+            assert sum(weights.values()) == pytest.approx(rho, abs=1e-6)
+
+    def test_dual_feasibility(self):
+        q = JoinQuery.triangle()
+        weights = fractional_independent_set(q)
+        for edge in q.hypergraph().edges:
+            assert sum(weights[v] for v in edge) <= 1 + 1e-9
+
+    def test_tight_db_relation_sizes(self):
+        q = JoinQuery.triangle()
+        for n in (10, 100):
+            db = tight_agm_database(q, n)
+            assert db.max_relation_size() <= n
+
+    def test_expected_size_formula(self):
+        q = JoinQuery.triangle()
+        from repro.relational.wcoj import generic_join
+
+        for n in (16, 49):
+            db = tight_agm_database(q, n)
+            assert len(generic_join(q, db)) == expected_tight_answer_size(q, n)
+
+    def test_skewed_triangle(self):
+        db = skewed_triangle_database(20)
+        # (0, 0) lies on both arms of the cross: 2·(N/2) − 1 tuples.
+        assert db.max_relation_size() == 19
+        with pytest.raises(InvalidInstanceError):
+            skewed_triangle_database(1)
+
+    def test_uniform_random_db(self):
+        q = JoinQuery.cycle(4)
+        db = uniform_random_database(q, 30, 10, seed=2)
+        assert db.max_relation_size() <= 30
+        assert len(db.relation_names) == 4

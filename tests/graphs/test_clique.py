@@ -1,0 +1,115 @@
+"""Tests for k-clique algorithms (brute force and Nešetřil–Poljak)."""
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.errors import InvalidInstanceError
+from repro.generators.graph_gen import gnp_random_graph, planted_clique_graph, turan_graph
+from repro.graphs.clique import (
+    find_clique_bruteforce,
+    find_clique_matrix,
+    has_clique,
+    max_clique,
+)
+from repro.graphs.graph import Graph
+
+from ..conftest import make_random_graph
+
+
+class TestBruteForce:
+    def test_k0_always_found(self):
+        assert find_clique_bruteforce(Graph(), 0) == ()
+
+    def test_k1_needs_a_vertex(self):
+        assert find_clique_bruteforce(Graph(), 1) is None
+        assert find_clique_bruteforce(Graph(vertices=[7]), 1) == (7,)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            find_clique_bruteforce(Graph(), -1)
+
+    def test_triangle(self, triangle_graph):
+        clique = find_clique_bruteforce(triangle_graph, 3)
+        assert clique is not None
+        assert triangle_graph.is_clique(clique)
+
+    def test_no_4_clique_in_triangle(self, triangle_graph):
+        assert find_clique_bruteforce(triangle_graph, 4) is None
+
+    def test_petersen_is_triangle_free(self, petersen_graph):
+        assert find_clique_bruteforce(petersen_graph, 3) is None
+        assert find_clique_bruteforce(petersen_graph, 2) is not None
+
+    def test_turan_graph_is_clique_free(self):
+        for parts in (2, 3):
+            g = turan_graph(9, parts)
+            assert has_clique(g, parts)
+            assert not has_clique(g, parts + 1)
+
+    def test_returns_distinct_vertices(self):
+        g, members = planted_clique_graph(12, 4, seed=5)
+        clique = find_clique_bruteforce(g, 4)
+        assert clique is not None
+        assert len(set(clique)) == 4
+        assert g.is_clique(clique)
+
+    def test_counter_charged(self, triangle_graph):
+        counter = CostCounter()
+        find_clique_bruteforce(triangle_graph, 3, counter)
+        assert counter.total > 0
+
+
+class TestMatrixClique:
+    def test_requires_multiple_of_three(self, triangle_graph):
+        with pytest.raises(InvalidInstanceError):
+            find_clique_matrix(triangle_graph, 4)
+        with pytest.raises(InvalidInstanceError):
+            find_clique_matrix(triangle_graph, 0)
+
+    def test_triangle_found(self, triangle_graph):
+        clique = find_clique_matrix(triangle_graph, 3)
+        assert clique is not None
+        assert triangle_graph.is_clique(clique)
+        assert len(set(clique)) == 3
+
+    def test_agrees_with_bruteforce_random(self, rng):
+        for k in (3, 6):
+            for _ in range(10):
+                g = make_random_graph(rng.randrange(6, 12), 0.6, rng)
+                bf = find_clique_bruteforce(g, k)
+                mm = find_clique_matrix(g, k)
+                assert (bf is None) == (mm is None)
+                if mm is not None:
+                    assert g.is_clique(mm)
+                    assert len(set(mm)) == k
+
+    def test_six_clique_planted(self):
+        g, members = planted_clique_graph(14, 6, p=0.2, seed=3)
+        found = find_clique_matrix(g, 6)
+        assert found is not None
+        assert g.is_clique(found)
+
+    def test_empty_graph(self):
+        assert find_clique_matrix(Graph(), 3) is None
+
+
+class TestMaxClique:
+    def test_empty(self):
+        assert max_clique(Graph()) == ()
+
+    def test_triangle_plus_pendant(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert len(max_clique(g)) == 3
+
+    def test_matches_networkx(self, rng):
+        nx = pytest.importorskip("networkx")
+        for _ in range(10):
+            n = rng.randrange(4, 10)
+            g = make_random_graph(n, 0.5, rng)
+            theirs = nx.Graph()
+            theirs.add_nodes_from(g.vertices)
+            theirs.add_edges_from(g.edges())
+            expected = max(
+                (len(c) for c in nx.find_cliques(theirs)), default=0
+            )
+            assert len(max_clique(g)) == expected

@@ -1,0 +1,104 @@
+"""Tests for color-coding k-path detection (§5 FPT showcase)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.color_coding import (
+    find_k_path_color_coding,
+    find_k_path_exhaustive_colorings,
+    is_simple_path,
+)
+from repro.graphs.graph import Graph
+
+from ..conftest import make_random_graph
+
+
+def path_graph(n: int) -> Graph:
+    return Graph(edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def longest_path_bruteforce(graph: Graph) -> int:
+    """Oracle: longest simple path length (vertices) by DFS."""
+    best = 1 if graph.num_vertices else 0
+
+    def extend(path: list, seen: set) -> None:
+        nonlocal best
+        best = max(best, len(path))
+        for u in graph.neighbors(path[-1]):
+            if u not in seen:
+                path.append(u)
+                seen.add(u)
+                extend(path, seen)
+                seen.discard(u)
+                path.pop()
+
+    for start in graph.vertices:
+        extend([start], {start})
+    return best
+
+
+class TestWitnessCheck:
+    def test_is_simple_path(self, triangle_graph):
+        assert is_simple_path(triangle_graph, (0, 1, 2))
+        assert not is_simple_path(triangle_graph, (0, 1, 0))
+        g = path_graph(4)
+        assert not is_simple_path(g, (0, 2))
+
+
+class TestColorCoding:
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            find_k_path_color_coding(Graph(), 0)
+
+    def test_k1(self):
+        assert find_k_path_color_coding(Graph(), 1) is None
+        assert find_k_path_color_coding(Graph(vertices=[5]), 1) == (5,)
+
+    def test_too_few_vertices(self):
+        assert find_k_path_color_coding(path_graph(3), 4) is None
+
+    def test_exact_path_graph(self):
+        g = path_graph(6)
+        for k in range(2, 7):
+            path = find_k_path_color_coding(g, k, seed=k)
+            assert path is not None
+            assert is_simple_path(g, path)
+            assert len(path) == k
+
+    def test_no_instance_on_small_components(self):
+        # Two disjoint triangles: no simple path on 4 vertices.
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        assert find_k_path_color_coding(g, 4, seed=1) is None
+
+    def test_yes_instances_found_whp(self, rng):
+        for __ in range(8):
+            g = make_random_graph(9, 0.5, rng)
+            longest = longest_path_bruteforce(g)
+            for k in range(2, min(longest, 5) + 1):
+                path = find_k_path_color_coding(g, k, seed=rng.randrange(10**6))
+                assert path is not None, (k, longest)
+                assert is_simple_path(g, path)
+                assert len(path) == k
+
+    def test_never_false_positive(self, rng):
+        for __ in range(8):
+            g = make_random_graph(7, 0.3, rng)
+            longest = longest_path_bruteforce(g)
+            path = find_k_path_color_coding(g, longest + 1, seed=3)
+            assert path is None
+
+
+class TestExhaustiveColorings:
+    def test_matches_oracle(self, rng):
+        for __ in range(6):
+            g = make_random_graph(5, 0.45, rng)
+            longest = longest_path_bruteforce(g)
+            for k in (2, 3):
+                found = find_k_path_exhaustive_colorings(g, k)
+                assert (found is not None) == (longest >= k)
+                if found is not None:
+                    assert is_simple_path(g, found)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            find_k_path_exhaustive_colorings(Graph(), 0)

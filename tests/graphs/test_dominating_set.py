@@ -1,0 +1,104 @@
+"""Tests for Dominating Set search (§7's anchor problem)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.generators.graph_gen import planted_dominating_set_graph
+from repro.graphs.dominating_set import (
+    find_dominating_set_bruteforce,
+    greedy_dominating_set,
+    is_dominating_set,
+)
+from repro.graphs.graph import Graph
+
+from ..conftest import make_random_graph
+
+
+class TestIsDominatingSet:
+    def test_full_vertex_set_dominates(self, triangle_graph):
+        assert is_dominating_set(triangle_graph, triangle_graph.vertices)
+
+    def test_center_dominates_star(self):
+        star = Graph(edges=[(0, i) for i in range(1, 6)])
+        assert is_dominating_set(star, [0])
+        assert not is_dominating_set(star, [1])
+
+    def test_empty_set_on_empty_graph(self):
+        assert is_dominating_set(Graph(), [])
+
+    def test_empty_set_fails_with_vertices(self):
+        assert not is_dominating_set(Graph(vertices=[1]), [])
+
+    def test_isolated_vertex_must_be_chosen(self):
+        g = Graph(vertices=[1, 2], edges=[])
+        assert not is_dominating_set(g, [1])
+        assert is_dominating_set(g, [1, 2])
+
+    def test_unknown_vertex_rejected(self, triangle_graph):
+        with pytest.raises(InvalidInstanceError):
+            is_dominating_set(triangle_graph, [99])
+
+
+class TestBruteForce:
+    def test_negative_k(self):
+        with pytest.raises(InvalidInstanceError):
+            find_dominating_set_bruteforce(Graph(), -1)
+
+    def test_empty_graph_k0(self):
+        assert find_dominating_set_bruteforce(Graph(), 0) == ()
+
+    def test_k0_with_vertices_fails(self):
+        assert find_dominating_set_bruteforce(Graph(vertices=[1]), 0) is None
+
+    def test_star_k1(self):
+        star = Graph(edges=[(0, i) for i in range(1, 6)])
+        found = find_dominating_set_bruteforce(star, 1)
+        assert found == (0,)
+
+    def test_path_domination_number(self):
+        # P6 has domination number 2: e.g. vertices 1 and 4.
+        p6 = Graph(edges=[(i, i + 1) for i in range(5)])
+        assert find_dominating_set_bruteforce(p6, 1) is None
+        found = find_dominating_set_bruteforce(p6, 2)
+        assert found is not None
+        assert is_dominating_set(p6, found)
+
+    def test_planted_instances(self):
+        for k in (2, 3):
+            g, centers = planted_dominating_set_graph(10, k, seed=k)
+            found = find_dominating_set_bruteforce(g, k)
+            assert found is not None
+            assert is_dominating_set(g, found)
+            assert len(found) <= k
+
+    def test_matches_networkx_domination_number(self, rng):
+        nx = pytest.importorskip("networkx")
+        for _ in range(8):
+            g = make_random_graph(rng.randrange(4, 9), 0.4, rng)
+            theirs = nx.Graph()
+            theirs.add_nodes_from(g.vertices)
+            theirs.add_edges_from(g.edges())
+            # networkx gives a (not necessarily minimum) dominating set;
+            # ours with k = its size must therefore also find one.
+            approx = nx.dominating_set(theirs)
+            found = find_dominating_set_bruteforce(g, len(approx))
+            assert found is not None
+            assert is_dominating_set(g, found)
+
+
+class TestGreedy:
+    def test_greedy_always_dominates(self, rng):
+        for _ in range(10):
+            g = make_random_graph(rng.randrange(3, 15), 0.3, rng)
+            chosen = greedy_dominating_set(g)
+            assert is_dominating_set(g, chosen)
+
+    def test_greedy_star_optimal(self):
+        star = Graph(edges=[(0, i) for i in range(1, 8)])
+        assert greedy_dominating_set(star) == (0,)
+
+    def test_greedy_handles_isolated(self):
+        g = Graph(vertices=[1, 2, 3], edges=[(1, 2)])
+        chosen = greedy_dominating_set(g)
+        assert is_dominating_set(g, chosen)
+        assert 3 in chosen

@@ -1,0 +1,193 @@
+"""Tests for the Graph and DiGraph containers."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.graph import DiGraph, Graph
+
+
+class TestGraphConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_only(self):
+        g = Graph(vertices=[1, 2, 3])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_edges_add_endpoints(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(InvalidInstanceError):
+            g.add_edge(1, 1)
+
+    def test_parallel_edges_collapse(self):
+        g = Graph(edges=[(1, 2), (1, 2), (2, 1)])
+        assert g.num_edges == 1
+
+    def test_vertex_insertion_order_preserved(self):
+        g = Graph(vertices=["c", "a", "b"])
+        assert g.vertices == ["c", "a", "b"]
+
+    def test_hashable_vertex_types(self):
+        g = Graph(edges=[(("x", 1), frozenset({2}))])
+        assert g.num_vertices == 2
+
+
+class TestGraphQueries:
+    def test_neighbors_is_copy(self):
+        g = Graph(edges=[(1, 2)])
+        nbrs = g.neighbors(1)
+        nbrs.add(99)
+        assert 99 not in g.neighbors(1)
+
+    def test_closed_neighborhood(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.closed_neighborhood(1) == {1, 2, 3}
+        assert g.closed_neighborhood(2) == {1, 2}
+
+    def test_degree(self):
+        g = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_edges_each_once(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        edges = {frozenset(e) for e in g.edges()}
+        assert edges == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})}
+        assert sum(1 for _ in g.edges()) == 3
+
+    def test_is_clique(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert g.is_clique([1, 2, 3])
+        assert not g.is_clique([1, 2, 4])
+        assert g.is_clique([])
+        assert g.is_clique([1])
+
+    def test_contains_len_iter(self):
+        g = Graph(vertices=[1, 2])
+        assert 1 in g and 3 not in g
+        assert len(g) == 2
+        assert sorted(g) == [1, 2]
+
+
+class TestGraphMutation:
+    def test_remove_vertex_clears_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_vertex(2)
+        assert not g.has_vertex(2)
+        assert g.neighbors(1) == set()
+        assert g.num_edges == 0
+
+    def test_remove_edge_keeps_vertices(self):
+        g = Graph(edges=[(1, 2)])
+        g.remove_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.num_edges == 0
+
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert not g.has_vertex(3)
+        assert g != h
+
+
+class TestGraphDerived:
+    def test_subgraph(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert not sub.has_vertex(4)
+
+    def test_subgraph_empty(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.subgraph([]).num_vertices == 0
+
+    def test_complement(self):
+        g = Graph(vertices=[1, 2, 3], edges=[(1, 2)])
+        comp = g.complement()
+        assert not comp.has_edge(1, 2)
+        assert comp.has_edge(1, 3) and comp.has_edge(2, 3)
+
+    def test_complement_involution(self):
+        g = Graph(vertices=range(5), edges=[(0, 1), (2, 3), (1, 4)])
+        assert g.complement().complement() == g
+
+    def test_connected_components(self):
+        g = Graph(vertices=[1, 2, 3, 4, 5], edges=[(1, 2), (3, 4)])
+        comps = sorted(map(sorted, g.connected_components()))
+        assert comps == [[1, 2], [3, 4], [5]]
+
+    def test_equality(self):
+        assert Graph(edges=[(1, 2)]) == Graph(edges=[(2, 1)])
+        assert Graph(edges=[(1, 2)]) != Graph(edges=[(1, 3)])
+
+
+class TestDiGraph:
+    def test_arcs_are_directed(self):
+        d = DiGraph(edges=[(1, 2)])
+        assert d.has_edge(1, 2)
+        assert not d.has_edge(2, 1)
+
+    def test_successors_predecessors(self):
+        d = DiGraph(edges=[(1, 2), (1, 3), (3, 2)])
+        assert d.successors(1) == {2, 3}
+        assert d.predecessors(2) == {1, 3}
+
+    def test_loops_allowed(self):
+        d = DiGraph(edges=[(1, 1)])
+        assert d.has_edge(1, 1)
+
+    def test_num_edges(self):
+        d = DiGraph(edges=[(1, 2), (2, 1), (2, 3)])
+        assert d.num_edges == 3
+
+    def test_scc_simple_cycle(self):
+        d = DiGraph(edges=[(1, 2), (2, 3), (3, 1), (3, 4)])
+        comps = {frozenset(c) for c in d.strongly_connected_components()}
+        assert frozenset({1, 2, 3}) in comps
+        assert frozenset({4}) in comps
+
+    def test_scc_dag_all_singletons(self):
+        d = DiGraph(edges=[(1, 2), (2, 3), (1, 3)])
+        comps = d.strongly_connected_components()
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 3
+
+    def test_scc_reverse_topological_order(self):
+        # Tarjan emits sinks before sources.
+        d = DiGraph(edges=[(1, 2), (2, 3)])
+        comps = d.strongly_connected_components()
+        order = {next(iter(c)): i for i, c in enumerate(comps)}
+        assert order[3] < order[2] < order[1]
+
+    def test_scc_two_cycles_bridge(self):
+        d = DiGraph(edges=[(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+        comps = {frozenset(c) for c in d.strongly_connected_components()}
+        assert comps == {frozenset({1, 2}), frozenset({3, 4})}
+
+
+class TestSCCAgainstNetworkx:
+    def test_random_digraphs(self, rng):
+        nx = pytest.importorskip("networkx")
+        for _ in range(20):
+            n = rng.randrange(2, 12)
+            edges = [
+                (rng.randrange(n), rng.randrange(n)) for _ in range(rng.randrange(1, 25))
+            ]
+            ours = DiGraph(vertices=range(n), edges=edges)
+            theirs = nx.DiGraph()
+            theirs.add_nodes_from(range(n))
+            theirs.add_edges_from(edges)
+            expected = {frozenset(c) for c in nx.strongly_connected_components(theirs)}
+            actual = {frozenset(c) for c in ours.strongly_connected_components()}
+            assert actual == expected

@@ -1,0 +1,136 @@
+"""Tests for graph homomorphism search (§2.3)."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.homomorphism import (
+    count_graph_homomorphisms,
+    count_graph_homomorphisms_treewidth,
+    find_graph_homomorphism,
+    is_graph_homomorphism,
+)
+
+from ..conftest import make_random_graph
+
+
+def k(n: int) -> Graph:
+    return Graph(edges=[(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def cycle(n: int) -> Graph:
+    return Graph(edges=[(i, (i + 1) % n) for i in range(n)])
+
+
+class TestIsHomomorphism:
+    def test_identity(self, triangle_graph):
+        identity = {v: v for v in triangle_graph.vertices}
+        assert is_graph_homomorphism(triangle_graph, triangle_graph, identity)
+
+    def test_partial_mapping_rejected(self, triangle_graph):
+        assert not is_graph_homomorphism(triangle_graph, triangle_graph, {0: 0})
+
+    def test_non_edge_preserving_rejected(self):
+        path = Graph(edges=[(0, 1)])
+        target = Graph(vertices=[0, 1])  # no edges
+        assert not is_graph_homomorphism(path, target, {0: 0, 1: 1})
+
+
+class TestFind:
+    def test_empty_source(self):
+        assert find_graph_homomorphism(Graph(), k(3)) == {}
+
+    def test_empty_target_with_nonempty_source(self):
+        assert find_graph_homomorphism(k(2), Graph()) is None
+
+    def test_coloring_semantics(self):
+        """hom(G, K_c) exists iff G is c-colorable."""
+        assert find_graph_homomorphism(cycle(5), k(3)) is not None  # odd cycle 3-col
+        assert find_graph_homomorphism(cycle(5), k(2)) is None      # not bipartite
+        assert find_graph_homomorphism(cycle(6), k(2)) is not None  # bipartite
+
+    def test_clique_into_smaller_clique_fails(self):
+        assert find_graph_homomorphism(k(4), k(3)) is None
+
+    def test_found_mapping_is_valid(self, rng):
+        for _ in range(10):
+            source = make_random_graph(5, 0.4, rng)
+            target = make_random_graph(6, 0.6, rng)
+            hom = find_graph_homomorphism(source, target)
+            if hom is not None:
+                assert is_graph_homomorphism(source, target, hom)
+
+    def test_disconnected_source(self):
+        two_edges = Graph(edges=[(0, 1), (2, 3)])
+        hom = find_graph_homomorphism(two_edges, k(2))
+        assert hom is not None
+        assert is_graph_homomorphism(two_edges, k(2), hom)
+
+
+class TestCount:
+    def test_count_edge_into_k3(self):
+        # An edge maps into K3 in 3*2 = 6 ways.
+        assert count_graph_homomorphisms(k(2), k(3)) == 6
+
+    def test_count_triangle_into_k3(self):
+        # Exactly the 3! proper 3-colorings.
+        assert count_graph_homomorphisms(k(3), k(3)) == 6
+
+    def test_count_empty_source(self):
+        assert count_graph_homomorphisms(Graph(), k(3)) == 1
+
+    def test_count_isolated_vertices_multiply(self):
+        g = Graph(vertices=[0, 1])
+        assert count_graph_homomorphisms(g, k(3)) == 9
+
+    def test_treewidth_counting_agrees(self, rng):
+        for _ in range(10):
+            source = make_random_graph(5, 0.45, rng)
+            target = make_random_graph(5, 0.55, rng)
+            assert count_graph_homomorphisms_treewidth(
+                source, target
+            ) == count_graph_homomorphisms(source, target)
+
+    def test_treewidth_counting_known_values(self):
+        # hom(P3, K3): walks of length 2 in K3 = 3*2*2 = 12.
+        p3 = Graph(edges=[(0, 1), (1, 2)])
+        assert count_graph_homomorphisms_treewidth(p3, k(3)) == 12
+        # hom(C4, K2): proper 2-colorings of C4 wrap = 2.
+        c4 = cycle(4)
+        assert count_graph_homomorphisms_treewidth(c4, k(2)) == 2
+
+    def test_treewidth_counting_empty_cases(self):
+        assert count_graph_homomorphisms_treewidth(Graph(), k(3)) == 1
+        assert count_graph_homomorphisms_treewidth(k(2), Graph()) == 0
+
+    def test_treewidth_counting_polynomial_on_paths(self):
+        """Counting k-path homs into a host stays cheap even where the
+        naive count would enumerate |V(G)|^k maps."""
+        import random
+
+        from repro.counting import CostCounter
+
+        host = make_random_graph(12, 0.4, random.Random(5))
+        path8 = Graph(edges=[(i, i + 1) for i in range(8)])
+        counter = CostCounter()
+        count = count_graph_homomorphisms_treewidth(path8, host, counter)
+        assert count >= 0
+        # 12^9 naive maps vs a DP bounded well under a million ops.
+        assert counter.total < 10**6
+
+    def test_count_vs_bruteforce(self, rng):
+        from itertools import product
+
+        for _ in range(8):
+            source = make_random_graph(4, 0.5, rng)
+            target = make_random_graph(4, 0.6, rng)
+            tv = target.vertices
+            sv = source.vertices
+            expected = 0
+            for images in product(tv, repeat=len(sv)):
+                mapping = dict(zip(sv, images))
+                if all(
+                    target.has_edge(mapping[u], mapping[v])
+                    for u, v in source.edges()
+                ):
+                    expected += 1
+            assert count_graph_homomorphisms(source, target) == expected

@@ -1,0 +1,110 @@
+"""Tests for d-uniform hypergraphs and k-hyperclique search (§8)."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.generators.graph_gen import planted_hyperclique, random_uniform_hypergraph
+from repro.graphs.hyperclique import (
+    Hypergraph,
+    find_hyperclique_bruteforce,
+    is_hyperclique,
+)
+
+
+class TestContainer:
+    def test_uniformity_enforced(self):
+        h = Hypergraph(3)
+        with pytest.raises(InvalidInstanceError):
+            h.add_edge((1, 2))
+        with pytest.raises(InvalidInstanceError):
+            h.add_edge((1, 2, 3, 4))
+        with pytest.raises(InvalidInstanceError):
+            h.add_edge((1, 1, 2))  # collapses to 2 distinct
+
+    def test_bad_uniformity_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Hypergraph(0)
+
+    def test_edges_deduplicate(self):
+        h = Hypergraph(2)
+        h.add_edge((1, 2))
+        h.add_edge((2, 1))
+        assert h.num_edges == 1
+
+    def test_vertices_added_from_edges(self):
+        h = Hypergraph(3)
+        h.add_edge((1, 2, 3))
+        assert h.num_vertices == 3
+        assert h.has_edge((3, 2, 1))
+
+
+class TestIsHyperclique:
+    def test_small_candidate_vacuous(self):
+        h = Hypergraph(3, vertices=[1, 2])
+        assert is_hyperclique(h, [1, 2])
+
+    def test_full_complex(self):
+        h = Hypergraph(3)
+        members = (1, 2, 3, 4)
+        for edge in combinations(members, 3):
+            h.add_edge(edge)
+        assert is_hyperclique(h, members)
+
+    def test_missing_edge_detected(self):
+        h = Hypergraph(3)
+        members = (1, 2, 3, 4)
+        edges = list(combinations(members, 3))
+        for edge in edges[:-1]:
+            h.add_edge(edge)
+        h.add_vertex(4)
+        assert not is_hyperclique(h, members)
+
+
+class TestBruteForce:
+    def test_negative_k(self):
+        with pytest.raises(InvalidInstanceError):
+            find_hyperclique_bruteforce(Hypergraph(3), -1)
+
+    def test_k_below_d_needs_vertices_only(self):
+        h = Hypergraph(3, vertices=[1, 2])
+        assert find_hyperclique_bruteforce(h, 2) == (1, 2)
+        assert find_hyperclique_bruteforce(h, 3) is None
+
+    def test_single_edge_is_d_clique(self):
+        h = Hypergraph(3)
+        h.add_edge((1, 2, 3))
+        assert find_hyperclique_bruteforce(h, 3) is not None
+
+    def test_planted_found(self):
+        for k in (4, 5):
+            h, members = planted_hyperclique(10, 3, k, 10, seed=k)
+            found = find_hyperclique_bruteforce(h, k)
+            assert found is not None
+            assert is_hyperclique(h, found)
+
+    def test_sparse_noise_has_no_k4(self):
+        h = random_uniform_hypergraph(12, 3, 5, seed=2)
+        found = find_hyperclique_bruteforce(h, 4)
+        if found is not None:  # extremely unlikely; verify if it happens
+            assert is_hyperclique(h, found)
+
+    def test_d2_matches_graph_clique(self, rng):
+        """2-uniform hypercliques are graph cliques."""
+        from repro.graphs.clique import find_clique_bruteforce
+        from repro.graphs.graph import Graph
+
+        for _ in range(8):
+            n = 7
+            h = Hypergraph(2, vertices=range(n))
+            g = Graph(vertices=range(n))
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < 0.5:
+                        h.add_edge((i, j))
+                        g.add_edge(i, j)
+            for k in (3, 4):
+                ours = find_hyperclique_bruteforce(h, k)
+                theirs = find_clique_bruteforce(g, k)
+                assert (ours is None) == (theirs is None)

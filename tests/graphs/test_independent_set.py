@@ -1,0 +1,56 @@
+"""Tests for Independent Set and its clique duality (§5)."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.independent_set import (
+    find_independent_set_bruteforce,
+    find_independent_set_via_clique,
+    is_independent_set,
+)
+
+from ..conftest import make_random_graph
+
+
+class TestIsIndependentSet:
+    def test_empty(self, triangle_graph):
+        assert is_independent_set(triangle_graph, [])
+
+    def test_singleton(self, triangle_graph):
+        assert is_independent_set(triangle_graph, [0])
+
+    def test_adjacent_pair_rejected(self, triangle_graph):
+        assert not is_independent_set(triangle_graph, [0, 1])
+
+    def test_nonadjacent_pair(self):
+        path = Graph(edges=[(0, 1), (1, 2)])
+        assert is_independent_set(path, [0, 2])
+
+
+class TestFinders:
+    def test_triangle_max_is_one(self, triangle_graph):
+        assert find_independent_set_bruteforce(triangle_graph, 1) is not None
+        assert find_independent_set_bruteforce(triangle_graph, 2) is None
+
+    def test_petersen_has_4_independent(self, petersen_graph):
+        found = find_independent_set_bruteforce(petersen_graph, 4)
+        assert found is not None
+        assert is_independent_set(petersen_graph, found)
+        # Petersen's independence number is exactly 4.
+        assert find_independent_set_bruteforce(petersen_graph, 5) is None
+
+    def test_both_routes_agree(self, rng):
+        for _ in range(10):
+            g = make_random_graph(rng.randrange(3, 9), 0.5, rng)
+            for k in (2, 3):
+                a = find_independent_set_bruteforce(g, k)
+                b = find_independent_set_via_clique(g, k)
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert is_independent_set(g, a)
+                if b is not None:
+                    assert is_independent_set(g, b)
+
+    def test_empty_graph_vertices_only(self):
+        g = Graph(vertices=range(4))
+        found = find_independent_set_bruteforce(g, 4)
+        assert found is not None
+        assert len(found) == 4

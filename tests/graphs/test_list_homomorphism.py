@@ -1,0 +1,86 @@
+"""Tests for list homomorphisms ([33])."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.graph import Graph
+from repro.graphs.homomorphism import count_graph_homomorphisms
+from repro.graphs.list_homomorphism import (
+    count_list_homomorphisms,
+    find_list_homomorphism,
+    is_list_homomorphism,
+)
+
+from ..conftest import make_random_graph
+
+
+def k(n: int) -> Graph:
+    return Graph(edges=[(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestValidation:
+    def test_missing_list(self, triangle_graph):
+        with pytest.raises(InvalidInstanceError):
+            find_list_homomorphism(triangle_graph, k(3), {0: [0]})
+
+    def test_list_outside_target(self, triangle_graph):
+        lists = {v: [99] for v in triangle_graph.vertices}
+        with pytest.raises(InvalidInstanceError):
+            find_list_homomorphism(triangle_graph, k(3), lists)
+
+
+class TestFind:
+    def test_full_lists_reduce_to_plain_hom(self, rng):
+        for __ in range(8):
+            source = make_random_graph(4, 0.5, rng)
+            target = make_random_graph(4, 0.6, rng)
+            lists = {v: list(target.vertices) for v in source.vertices}
+            listed = find_list_homomorphism(source, target, lists)
+            plain_count = count_graph_homomorphisms(source, target)
+            assert (listed is not None) == (plain_count > 0)
+            if listed is not None:
+                assert is_list_homomorphism(source, target, lists, listed)
+
+    def test_lists_constrain(self):
+        edge = Graph(edges=[(0, 1)])
+        target = k(3)
+        lists = {0: [0], 1: [1]}
+        found = find_list_homomorphism(edge, target, lists)
+        assert found == {0: 0, 1: 1}
+
+    def test_empty_list_blocks(self):
+        edge = Graph(edges=[(0, 1)])
+        lists = {0: [], 1: [0, 1, 2]}
+        assert find_list_homomorphism(edge, k(3), lists) is None
+
+    def test_incompatible_lists(self):
+        # Both endpoints restricted to the same single vertex: no edge.
+        edge = Graph(edges=[(0, 1)])
+        lists = {0: [0], 1: [0]}
+        assert find_list_homomorphism(edge, k(3), lists) is None
+
+    def test_empty_source(self):
+        assert find_list_homomorphism(Graph(), k(2), {}) == {}
+
+
+class TestCount:
+    def test_count_with_full_lists_matches_plain(self, rng):
+        for __ in range(6):
+            source = make_random_graph(4, 0.5, rng)
+            target = make_random_graph(4, 0.5, rng)
+            lists = {v: list(target.vertices) for v in source.vertices}
+            assert count_list_homomorphisms(
+                source, target, lists
+            ) == count_graph_homomorphisms(source, target)
+
+    def test_singleton_lists_count_one_or_zero(self):
+        edge = Graph(edges=[(0, 1)])
+        target = k(3)
+        assert count_list_homomorphisms(edge, target, {0: [0], 1: [1]}) == 1
+        assert count_list_homomorphisms(edge, target, {0: [0], 1: [0]}) == 0
+
+    def test_count_multiplies_over_free_vertices(self):
+        isolated = Graph(vertices=[0, 1])
+        target = k(3)
+        lists = {0: [0, 1], 1: [0, 1, 2]}
+        assert count_list_homomorphisms(isolated, target, lists) == 6

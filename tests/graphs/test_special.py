@@ -1,0 +1,124 @@
+"""Tests for special graphs (Definition 4.3) and the Special CSP solver."""
+
+from itertools import product
+
+import pytest
+
+from repro.csp.bruteforce import solve_bruteforce
+from repro.csp.instance import Constraint, CSPInstance
+from repro.errors import InvalidInstanceError
+from repro.graphs.graph import Graph
+from repro.graphs.special import (
+    is_special_graph,
+    make_special_graph,
+    solve_special_csp,
+    special_graph_parts,
+)
+
+
+class TestMakeAndRecognize:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_roundtrip(self, k):
+        g = make_special_graph(k)
+        assert is_special_graph(g)
+        parts = special_graph_parts(g)
+        assert parts is not None
+        clique, path = parts
+        assert len(clique) == k
+        assert len(path) == 2**k
+        assert g.num_vertices == k + 2**k
+
+    def test_k0_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            make_special_graph(0)
+
+    def test_single_component_not_special(self, triangle_graph):
+        assert not is_special_graph(triangle_graph)
+
+    def test_three_components_not_special(self):
+        g = make_special_graph(2)
+        g.add_vertex("stray")
+        assert not is_special_graph(g)
+
+    def test_wrong_path_length_not_special(self):
+        # 2-clique + path of 3 (should be 4).
+        g = Graph(edges=[("c0", "c1"), ("p0", "p1"), ("p1", "p2")])
+        assert not is_special_graph(g)
+
+    def test_cycle_component_not_special(self):
+        g = Graph(edges=[("c0", "c1")])
+        for a, b in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+            g.add_edge(f"p{a}", f"p{b}")
+        assert not is_special_graph(g)
+
+    def test_branching_component_not_special(self):
+        g = Graph(edges=[("c0", "c1")])
+        # A star with 3 leaves is not a path of 4 vertices.
+        for leaf in ("p1", "p2", "p3"):
+            g.add_edge("p0", leaf)
+        assert not is_special_graph(g)
+
+    def test_clique_with_pendant_not_special(self):
+        g = make_special_graph(3)
+        g.add_edge("c0", "extra")
+        assert not is_special_graph(g)
+
+    def test_path_ordering_returned(self):
+        g = make_special_graph(2)
+        __, path = special_graph_parts(g)
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+
+def special_csp(k: int, domain_size: int) -> CSPInstance:
+    """Inequality constraints on every edge of the special graph."""
+    g = make_special_graph(k)
+    domain = list(range(domain_size))
+    disequal = {(a, b) for a, b in product(domain, repeat=2) if a != b}
+    constraints = [Constraint((u, v), disequal) for u, v in g.edges()]
+    return CSPInstance(list(g.vertices), domain, constraints)
+
+
+class TestSolveSpecialCSP:
+    def test_requires_special_primal(self, small_csp):
+        with pytest.raises(InvalidInstanceError):
+            solve_special_csp(small_csp)
+
+    def test_requires_csp_instance(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_special_csp("not a csp")
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_coloring_needs_k_colors(self, k):
+        # The k-clique needs k colors; with k the instance is solvable
+        # (path needs only 2).
+        if k >= 2:
+            assert solve_special_csp(special_csp(k, k - 1)) is None
+        solution = solve_special_csp(special_csp(k, max(k, 2)))
+        assert solution is not None
+
+    def test_solution_is_valid(self):
+        instance = special_csp(3, 3)
+        solution = solve_special_csp(instance)
+        assert solution is not None
+        assert instance.is_solution(solution)
+
+    def test_agrees_with_bruteforce(self):
+        instance = special_csp(2, 2)
+        # 2-clique + path of 4 over 2 colors: satisfiable.
+        assert (solve_special_csp(instance) is None) == (
+            solve_bruteforce(instance) is None
+        )
+
+    def test_unsatisfiable_path_detected(self):
+        # Make the path unsatisfiable with an empty relation.
+        instance = special_csp(2, 2)
+        broken = list(instance.constraints)
+        # Find a path constraint (between p-vars) and empty it.
+        for i, c in enumerate(broken):
+            u, v = c.scope
+            if str(u).startswith("p") and str(v).startswith("p"):
+                broken[i] = Constraint(c.scope, [])
+                break
+        bad = CSPInstance(instance.variables, instance.domain, broken)
+        assert solve_special_csp(bad) is None

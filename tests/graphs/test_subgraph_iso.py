@@ -1,0 +1,113 @@
+"""Tests for (partitioned) subgraph isomorphism (§2.3)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.graph import Graph
+from repro.graphs.subgraph_iso import (
+    find_partitioned_subgraph,
+    find_subgraph_isomorphism,
+)
+
+from ..conftest import make_random_graph
+
+
+def k(n: int) -> Graph:
+    return Graph(edges=[(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestPartitionValidation:
+    def test_missing_class_rejected(self, triangle_graph):
+        host = k(3)
+        with pytest.raises(InvalidInstanceError):
+            find_partitioned_subgraph(triangle_graph, host, {0: [0]})
+
+    def test_overlapping_classes_rejected(self):
+        pattern = Graph(edges=[(0, 1)])
+        host = Graph(edges=[("a", "b")])
+        with pytest.raises(InvalidInstanceError):
+            find_partitioned_subgraph(
+                pattern, host, {0: ["a"], 1: ["a"]}
+            )
+
+    def test_unknown_host_vertex_rejected(self):
+        pattern = Graph(edges=[(0, 1)])
+        host = Graph(edges=[("a", "b")])
+        with pytest.raises(InvalidInstanceError):
+            find_partitioned_subgraph(pattern, host, {0: ["a"], 1: ["zzz"]})
+
+
+class TestPartitionedSearch:
+    def test_trivial_edge(self):
+        pattern = Graph(edges=[(0, 1)])
+        host = Graph(edges=[("a", "b")])
+        found = find_partitioned_subgraph(pattern, host, {0: ["a"], 1: ["b"]})
+        assert found == {0: "a", 1: "b"}
+
+    def test_respects_classes(self):
+        """A valid embedding exists globally but not within the classes."""
+        pattern = Graph(edges=[(0, 1)])
+        host = Graph(edges=[("a", "b")], vertices=["a", "b", "c", "d"])
+        found = find_partitioned_subgraph(pattern, host, {0: ["a"], 1: ["c", "d"]})
+        assert found is None
+
+    def test_triangle_partitioned(self):
+        pattern = k(3)
+        host = Graph()
+        classes = {i: [f"{i}·{d}" for d in range(2)] for i in range(3)}
+        for i in range(3):
+            for v in classes[i]:
+                host.add_vertex(v)
+        # Only the d=1 copies form a triangle.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                host.add_edge(f"{i}·1", f"{j}·1")
+        found = find_partitioned_subgraph(pattern, host, classes)
+        assert found == {0: "0·1", 1: "1·1", 2: "2·1"}
+
+    def test_empty_class_fails_fast(self):
+        pattern = Graph(edges=[(0, 1)])
+        host = Graph(vertices=["a"])
+        found = find_partitioned_subgraph(pattern, host, {0: ["a"], 1: []})
+        assert found is None
+
+
+class TestPlainSubgraphIso:
+    def test_triangle_in_k4(self):
+        found = find_subgraph_isomorphism(k(3), k(4))
+        assert found is not None
+        assert len(set(found.values())) == 3
+
+    def test_k4_not_in_triangle(self):
+        assert find_subgraph_isomorphism(k(4), k(3)) is None
+
+    def test_path_in_cycle(self):
+        path = Graph(edges=[(0, 1), (1, 2)])
+        cyc = Graph(edges=[(i, (i + 1) % 5) for i in range(5)])
+        found = find_subgraph_isomorphism(path, cyc)
+        assert found is not None
+        assert cyc.has_edge(found[0], found[1])
+        assert cyc.has_edge(found[1], found[2])
+
+    def test_injectivity(self, petersen_graph):
+        pattern = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        found = find_subgraph_isomorphism(pattern, petersen_graph)
+        assert found is not None
+        assert len(set(found.values())) == 4
+
+    def test_matches_networkx(self, rng):
+        nx = pytest.importorskip("networkx")
+        from networkx.algorithms import isomorphism
+
+        for _ in range(8):
+            pattern = make_random_graph(3, 0.7, rng)
+            host = make_random_graph(6, 0.5, rng)
+            theirs_host = nx.Graph()
+            theirs_host.add_nodes_from(host.vertices)
+            theirs_host.add_edges_from(host.edges())
+            theirs_pat = nx.Graph()
+            theirs_pat.add_nodes_from(pattern.vertices)
+            theirs_pat.add_edges_from(pattern.edges())
+            matcher = isomorphism.GraphMatcher(theirs_host, theirs_pat)
+            expected = matcher.subgraph_is_monomorphic()
+            assert (find_subgraph_isomorphism(pattern, host) is not None) == expected

@@ -1,0 +1,125 @@
+"""Tests for the four triangle-detection algorithms."""
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.generators.graph_gen import skewed_bipartite_graph
+from repro.graphs.graph import Graph
+from repro.graphs.triangle import (
+    OMEGA,
+    ayz_degree_threshold,
+    count_triangles_matrix,
+    find_triangle_ayz,
+    find_triangle_enumeration,
+    find_triangle_matrix,
+    find_triangle_naive,
+    has_triangle,
+)
+
+from ..conftest import make_random_graph
+
+ALL_DETECTORS = (
+    find_triangle_naive,
+    find_triangle_enumeration,
+    find_triangle_ayz,
+    find_triangle_matrix,
+)
+
+
+def _is_triangle(graph: Graph, triple) -> bool:
+    a, b, c = triple
+    return (
+        len({a, b, c}) == 3
+        and graph.has_edge(a, b)
+        and graph.has_edge(b, c)
+        and graph.has_edge(a, c)
+    )
+
+
+@pytest.mark.parametrize("detector", ALL_DETECTORS)
+class TestEachDetector:
+    def test_empty_graph(self, detector):
+        assert detector(Graph()) is None
+
+    def test_single_triangle(self, detector, triangle_graph):
+        found = detector(triangle_graph)
+        assert found is not None
+        assert _is_triangle(triangle_graph, found)
+
+    def test_triangle_free(self, detector, petersen_graph):
+        assert detector(petersen_graph) is None
+
+    def test_bipartite_is_triangle_free(self, detector):
+        g = skewed_bipartite_graph(10, hubs=2, num_edges=15, seed=1)
+        assert detector(g) is None
+
+    def test_triangle_embedded_in_path(self, detector):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4), (4, 2)])
+        found = detector(g)
+        assert found is not None
+        assert _is_triangle(g, found)
+
+
+class TestAgreement:
+    def test_random_graphs(self, rng):
+        for _ in range(25):
+            g = make_random_graph(rng.randrange(3, 14), rng.random() * 0.5, rng)
+            answers = [d(g) is not None for d in ALL_DETECTORS]
+            assert len(set(answers)) == 1, g
+            for d in ALL_DETECTORS:
+                found = d(g)
+                if found is not None:
+                    assert _is_triangle(g, found)
+
+
+class TestCounting:
+    def test_count_empty(self):
+        assert count_triangles_matrix(Graph()) == 0
+
+    def test_count_single(self, triangle_graph):
+        assert count_triangles_matrix(triangle_graph) == 1
+
+    def test_count_k4(self):
+        k4 = Graph(edges=[(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert count_triangles_matrix(k4) == 4
+
+    def test_count_matches_networkx(self, rng):
+        nx = pytest.importorskip("networkx")
+        for _ in range(10):
+            g = make_random_graph(rng.randrange(4, 12), 0.5, rng)
+            theirs = nx.Graph()
+            theirs.add_nodes_from(g.vertices)
+            theirs.add_edges_from(g.edges())
+            expected = sum(nx.triangles(theirs).values()) // 3
+            assert count_triangles_matrix(g) == expected
+
+
+class TestAYZInternals:
+    def test_threshold_zero_edges(self):
+        assert ayz_degree_threshold(0) == 0.0
+
+    def test_threshold_formula(self):
+        m = 1000
+        expected = m ** ((OMEGA - 1) / (OMEGA + 1))
+        assert ayz_degree_threshold(m) == pytest.approx(expected)
+
+    def test_explicit_threshold_respected(self, triangle_graph):
+        # With threshold 0 all vertices go to the matrix phase.
+        found = find_triangle_ayz(triangle_graph, threshold=0.0)
+        assert found is not None
+        # With huge threshold everything is handled by enumeration.
+        found = find_triangle_ayz(triangle_graph, threshold=100.0)
+        assert found is not None
+
+    def test_naive_pays_hub_quadratic(self):
+        g = skewed_bipartite_graph(64, hubs=1, num_edges=64, seed=0)
+        naive, ordered = CostCounter(), CostCounter()
+        find_triangle_naive(g, naive)
+        find_triangle_enumeration(g, ordered)
+        # The hub has degree ~64; naive scans its C(64,2) pairs while
+        # degree ordering charges each edge to the low-degree endpoint.
+        assert naive.total > 10 * max(ordered.total, 1)
+
+    def test_has_triangle_wrapper(self, triangle_graph, petersen_graph):
+        assert has_triangle(triangle_graph)
+        assert not has_triangle(petersen_graph)

@@ -1,0 +1,102 @@
+"""Tests for Vertex Cover: FPT search tree vs brute force (§5)."""
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.errors import InvalidInstanceError
+from repro.generators.graph_gen import planted_vertex_cover_graph
+from repro.graphs.graph import Graph
+from repro.graphs.vertex_cover import (
+    find_vertex_cover_bruteforce,
+    find_vertex_cover_fpt,
+    is_vertex_cover,
+)
+
+from ..conftest import make_random_graph
+
+BOTH = (find_vertex_cover_bruteforce, find_vertex_cover_fpt)
+
+
+class TestIsVertexCover:
+    def test_empty_graph(self):
+        assert is_vertex_cover(Graph(), [])
+
+    def test_single_edge(self):
+        g = Graph(edges=[(1, 2)])
+        assert is_vertex_cover(g, [1])
+        assert is_vertex_cover(g, [2])
+        assert not is_vertex_cover(g, [])
+
+
+@pytest.mark.parametrize("finder", BOTH)
+class TestFinders:
+    def test_negative_k(self, finder):
+        with pytest.raises(InvalidInstanceError):
+            finder(Graph(), -1)
+
+    def test_edgeless_graph_k0(self, finder):
+        assert finder(Graph(vertices=[1, 2]), 0) == ()
+
+    def test_single_edge_k1(self, finder):
+        g = Graph(edges=[(1, 2)])
+        found = finder(g, 1)
+        assert found is not None
+        assert is_vertex_cover(g, found)
+
+    def test_triangle_needs_two(self, finder, triangle_graph):
+        assert finder(triangle_graph, 1) is None
+        found = finder(triangle_graph, 2)
+        assert found is not None
+        assert is_vertex_cover(triangle_graph, found)
+
+    def test_star_center(self, finder):
+        star = Graph(edges=[(0, i) for i in range(1, 7)])
+        found = finder(star, 1)
+        assert found is not None
+        assert is_vertex_cover(star, found)
+
+    def test_planted(self, finder):
+        g, cover = planted_vertex_cover_graph(12, 3, 20, seed=9)
+        found = finder(g, 3)
+        assert found is not None
+        assert is_vertex_cover(g, found)
+        assert len(set(found)) <= 3
+
+
+class TestAgreement:
+    def test_methods_agree_on_feasibility(self, rng):
+        for _ in range(15):
+            g = make_random_graph(rng.randrange(3, 9), 0.45, rng)
+            for k in range(0, 4):
+                bf = find_vertex_cover_bruteforce(g, k)
+                fpt = find_vertex_cover_fpt(g, k)
+                assert (bf is None) == (fpt is None), (k, list(g.edges()))
+
+    def test_vc_clique_complement_duality(self, rng):
+        """V \\ (vertex cover) is an independent set — König-free sanity."""
+        for _ in range(10):
+            g = make_random_graph(7, 0.5, rng)
+            cover = find_vertex_cover_fpt(g, 5)
+            if cover is None:
+                continue
+            outside = set(g.vertices) - set(cover)
+            assert all(
+                not g.has_edge(u, v)
+                for u in outside
+                for v in outside
+                if u != v
+            )
+
+
+class TestFPTShape:
+    def test_fpt_cost_insensitive_to_n(self):
+        """The 2^k search tree's work doesn't scale with n for fixed k
+        (on planted instances with proportional edges)."""
+        costs = []
+        for n in (10, 40):
+            g, __ = planted_vertex_cover_graph(n, 3, 3 * n, seed=1)
+            counter = CostCounter()
+            assert find_vertex_cover_fpt(g, 3, counter) is not None
+            costs.append(counter.total)
+        # Brute force would grow ~64x here; the search tree stays flat.
+        assert costs[1] <= costs[0] * 4

@@ -1,0 +1,98 @@
+"""Tests for GYO reduction, α-acyclicity, and join trees."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.hypergraph.acyclicity import gyo_reduction, is_alpha_acyclic, join_tree
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestAcyclicity:
+    def test_empty(self):
+        assert is_alpha_acyclic(Hypergraph())
+
+    def test_single_edge(self):
+        assert is_alpha_acyclic(Hypergraph(edges=[("a", "b", "c")]))
+
+    def test_path_is_acyclic(self):
+        h = Hypergraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert is_alpha_acyclic(h)
+
+    def test_star_is_acyclic(self):
+        assert is_alpha_acyclic(Hypergraph.star(4))
+
+    def test_triangle_is_cyclic(self):
+        assert not is_alpha_acyclic(Hypergraph.triangle())
+
+    def test_cycle4_is_cyclic(self):
+        assert not is_alpha_acyclic(Hypergraph.cycle(4))
+
+    def test_triangle_plus_cover_edge_is_acyclic(self):
+        """Adding the big edge {a,b,c} makes the triangle α-acyclic —
+        the classic non-monotonicity of α-acyclicity."""
+        h = Hypergraph(
+            edges=[("a1", "a2"), ("a1", "a3"), ("a2", "a3"), ("a1", "a2", "a3")]
+        )
+        assert is_alpha_acyclic(h)
+
+    def test_contained_edges_removed(self):
+        h = Hypergraph(edges=[("a", "b", "c"), ("a", "b")])
+        eliminated, remaining = gyo_reduction(h)
+        assert not remaining
+        assert len(eliminated) == 2
+
+
+class TestJoinTree:
+    def test_cyclic_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            join_tree(Hypergraph.triangle())
+
+    def test_single_edge_no_links(self):
+        assert join_tree(Hypergraph(edges=[("a", "b")])) == []
+
+    def test_path_tree_connected(self):
+        h = Hypergraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        links = join_tree(h)
+        assert len(links) == 2  # 3 edges -> spanning tree with 2 links
+
+    def test_running_intersection_property(self):
+        """For each pair of hyperedges, their shared vertices must appear
+        on every node along the tree path between them."""
+        h = Hypergraph(
+            edges=[("a", "b"), ("b", "c"), ("b", "d"), ("d", "e"), ("a", "b", "c")]
+        )
+        assert is_alpha_acyclic(h)
+        links = join_tree(h)
+        edges = h.edges
+        # Build adjacency of the join tree.
+        adj: dict[int, set[int]] = {i: set() for i in range(len(edges))}
+        for child, parent in links:
+            adj[child].add(parent)
+            adj[parent].add(child)
+
+        def path(i, j):
+            stack = [(i, [i])]
+            seen = {i}
+            while stack:
+                node, p = stack.pop()
+                if node == j:
+                    return p
+                for nxt in adj[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, p + [nxt]))
+            return None
+
+        for i in range(len(edges)):
+            for j in range(i + 1, len(edges)):
+                shared = edges[i] & edges[j]
+                if not shared:
+                    continue
+                p = path(i, j)
+                assert p is not None, "join tree must be connected on overlapping edges"
+                for node in p:
+                    assert shared <= edges[node], (i, j, node)
+
+    def test_star_tree(self):
+        links = join_tree(Hypergraph.star(3))
+        assert len(links) == 2

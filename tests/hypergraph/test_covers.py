@@ -1,0 +1,110 @@
+"""Tests for fractional/integral edge covers — the ρ* machinery (§3)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.hypergraph.covers import (
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+    integral_edge_cover_number,
+    is_fractional_cover,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestKnownValues:
+    """ρ* values the paper states or that follow directly."""
+
+    def test_triangle_is_three_halves(self):
+        assert fractional_edge_cover_number(Hypergraph.triangle()) == pytest.approx(1.5)
+
+    def test_single_edge(self):
+        assert fractional_edge_cover_number(Hypergraph(edges=[("a", "b")])) == pytest.approx(1.0)
+
+    def test_even_cycle(self):
+        # C4: weight 1/2 per edge won't cover... actually opposite edges
+        # with weight 1 each: rho* = 2 for the 4-cycle.
+        assert fractional_edge_cover_number(Hypergraph.cycle(4)) == pytest.approx(2.0)
+
+    def test_odd_cycle(self):
+        # C5: rho* = 5/2 · (1/2)... the LP optimum for odd cycles is n/2.
+        assert fractional_edge_cover_number(Hypergraph.cycle(5)) == pytest.approx(2.5)
+
+    def test_clique_n_over_2(self):
+        for n in (3, 4, 5):
+            assert fractional_edge_cover_number(
+                Hypergraph.clique(n)
+            ) == pytest.approx(n / 2)
+
+    def test_star_needs_all_leaves(self):
+        assert fractional_edge_cover_number(Hypergraph.star(4)) == pytest.approx(4.0)
+
+    def test_single_big_hyperedge(self):
+        h = Hypergraph(edges=[("a", "b", "c", "d", "e")])
+        assert fractional_edge_cover_number(h) == pytest.approx(1.0)
+
+    def test_empty_hypergraph(self):
+        assert fractional_edge_cover_number(Hypergraph()) == 0.0
+
+
+class TestCoverValidity:
+    def test_returned_weights_are_a_cover(self):
+        for h in (Hypergraph.triangle(), Hypergraph.cycle(5), Hypergraph.star(3)):
+            cover = fractional_edge_cover(h)
+            assert is_fractional_cover(h, cover.weights)
+            assert cover.total == pytest.approx(sum(cover.weights), abs=1e-6)
+
+    def test_uncoverable_vertex_rejected(self):
+        h = Hypergraph(vertices=["lonely"], edges=[("a", "b")])
+        with pytest.raises(InvalidInstanceError):
+            fractional_edge_cover(h)
+
+    def test_is_fractional_cover_negative_weight(self):
+        h = Hypergraph(edges=[("a", "b")])
+        assert not is_fractional_cover(h, [-0.5])
+
+    def test_is_fractional_cover_wrong_length(self):
+        h = Hypergraph(edges=[("a", "b")])
+        assert not is_fractional_cover(h, [0.5, 0.5])
+
+    def test_is_fractional_cover_undercovered(self):
+        h = Hypergraph.triangle()
+        assert not is_fractional_cover(h, [0.2, 0.2, 0.2])
+
+    def test_weight_of_accessor(self):
+        cover = fractional_edge_cover(Hypergraph(edges=[("a", "b")]))
+        assert cover.weight_of(0) == pytest.approx(1.0)
+
+
+class TestIntegralCover:
+    def test_triangle_needs_two_edges(self):
+        # Integral relaxation gap: 2 vs 3/2.
+        assert integral_edge_cover_number(Hypergraph.triangle()) == 2
+
+    def test_star_needs_all(self):
+        assert integral_edge_cover_number(Hypergraph.star(3)) == 3
+
+    def test_single_edge(self):
+        assert integral_edge_cover_number(Hypergraph(edges=[("a", "b")])) == 1
+
+    def test_empty(self):
+        assert integral_edge_cover_number(Hypergraph()) == 0
+
+    def test_at_least_fractional(self):
+        for h in (Hypergraph.triangle(), Hypergraph.cycle(5), Hypergraph.clique(4)):
+            assert integral_edge_cover_number(h) >= fractional_edge_cover_number(h) - 1e-9
+
+
+class TestFractionalVertexCover:
+    def test_triangle(self):
+        # tau* of the triangle hypergraph: 3 * 1/2.
+        assert fractional_vertex_cover_number(Hypergraph.triangle()) == pytest.approx(1.5)
+
+    def test_no_edges(self):
+        assert fractional_vertex_cover_number(Hypergraph(vertices=["a"])) == 0.0
+
+    def test_single_edge(self):
+        assert fractional_vertex_cover_number(
+            Hypergraph(edges=[("a", "b")])
+        ) == pytest.approx(1.0)

@@ -1,0 +1,91 @@
+"""Tests for the general hypergraph container."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        h = Hypergraph()
+        assert h.num_vertices == 0 and h.num_edges == 0
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Hypergraph(edges=[[]])
+
+    def test_edges_keep_insertion_order(self):
+        h = Hypergraph(edges=[("b", "c"), ("a", "b")])
+        assert h.edges[0] == frozenset({"b", "c"})
+        assert h.edges[1] == frozenset({"a", "b"})
+
+    def test_duplicate_edges_allowed_as_labels(self):
+        h = Hypergraph(edges=[("a", "b"), ("a", "b")])
+        assert h.num_edges == 2
+
+    def test_add_edge_returns_index(self):
+        h = Hypergraph()
+        assert h.add_edge(("x",)) == 0
+        assert h.add_edge(("x", "y")) == 1
+
+
+class TestQueries:
+    def test_incident_edges(self):
+        h = Hypergraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert h.incident_edges("b") == [0, 1]
+        assert h.degree("b") == 2
+        assert h.degree("d") == 1
+
+    def test_is_cover(self):
+        h = Hypergraph(vertices=["x"], edges=[("a", "b")])
+        assert not h.is_cover()
+        assert h.is_cover(["a", "b"])
+
+    def test_restrict(self):
+        h = Hypergraph(edges=[("a", "b", "c"), ("c", "d")])
+        r = h.restrict(["a", "b"])
+        assert r.num_vertices == 2
+        assert r.edges == [frozenset({"a", "b"})]
+
+    def test_restrict_drops_empty_edges(self):
+        h = Hypergraph(edges=[("a", "b"), ("c", "d")])
+        r = h.restrict(["a", "b"])
+        assert r.num_edges == 1
+
+
+class TestPrimalGraph:
+    def test_triangle(self):
+        h = Hypergraph.triangle()
+        primal = h.primal_graph()
+        assert primal.num_vertices == 3
+        assert primal.num_edges == 3
+
+    def test_single_hyperedge_gives_clique(self):
+        h = Hypergraph(edges=[("a", "b", "c", "d")])
+        primal = h.primal_graph()
+        assert primal.is_clique(["a", "b", "c", "d"])
+
+    def test_isolated_vertices_kept(self):
+        h = Hypergraph(vertices=["z"], edges=[("a", "b")])
+        assert h.primal_graph().has_vertex("z")
+
+
+class TestNamedShapes:
+    def test_cycle(self):
+        h = Hypergraph.cycle(5)
+        assert h.num_vertices == 5 and h.num_edges == 5
+        with pytest.raises(InvalidInstanceError):
+            Hypergraph.cycle(2)
+
+    def test_clique(self):
+        h = Hypergraph.clique(4)
+        assert h.num_edges == 6
+        with pytest.raises(InvalidInstanceError):
+            Hypergraph.clique(1)
+
+    def test_star(self):
+        h = Hypergraph.star(3)
+        assert h.num_vertices == 4 and h.num_edges == 3
+        with pytest.raises(InvalidInstanceError):
+            Hypergraph.star(0)

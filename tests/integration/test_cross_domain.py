@@ -1,0 +1,140 @@
+"""Cross-domain integration: the same problem solved in all four of the
+paper's domains must give the same answer (§2's equivalences, end to
+end)."""
+
+from itertools import product
+
+import pytest
+
+from repro.csp.bruteforce import count_bruteforce, solve_bruteforce
+from repro.csp.instance import Constraint, CSPInstance
+from repro.graphs.graph import Graph
+from repro.graphs.homomorphism import count_graph_homomorphisms
+from repro.graphs.subgraph_iso import find_partitioned_subgraph
+from repro.reductions.csp_to_graph import csp_to_partitioned_subgraph
+from repro.reductions.csp_to_structures import csp_to_structures
+from repro.reductions.query_to_csp import csp_to_query, query_to_csp
+from repro.relational.wcoj import generic_join
+from repro.structures.homomorphism import count_structure_homomorphisms
+from repro.structures.structure import Structure
+
+from ..conftest import make_random_binary_csp, make_random_graph
+
+
+class TestFourDomainsRoundTrip:
+    """One CSP instance pushed through every §2 translation."""
+
+    def test_all_domains_agree_on_random_instances(self, rng):
+        for trial in range(10):
+            inst = make_random_binary_csp(
+                rng, num_variables=4, domain_size=3, num_constraints=4
+            )
+            expected = count_bruteforce(inst)
+
+            # Domain 1: database queries.
+            q_red = csp_to_query(inst)
+            query, database = q_red.target
+            assert len(generic_join(query, database)) == expected
+
+            # Domain 3: partitioned subgraph isomorphism (decision).
+            g_red = csp_to_partitioned_subgraph(inst)
+            pattern, host, partition = g_red.target
+            embedding = find_partitioned_subgraph(pattern, host, partition)
+            assert (embedding is not None) == (expected > 0)
+
+            # Domain 4: relational structures (counting).
+            s_red = csp_to_structures(inst)
+            a, b = s_red.target
+            assert count_structure_homomorphisms(a, b) == expected
+
+    def test_query_to_csp_to_query_identity(self, rng):
+        """Query → CSP → Query preserves the answer set cardinality."""
+        from repro.generators.agm import uniform_random_database
+        from repro.relational.query import JoinQuery
+
+        query = JoinQuery.triangle()
+        database = uniform_random_database(query, 15, 5, seed=3)
+        red1 = query_to_csp(query, database)
+        red2 = csp_to_query(red1.target)
+        query2, database2 = red2.target
+        assert len(generic_join(query, database)) == len(
+            generic_join(query2, database2)
+        )
+
+
+class TestHomomorphismConsistency:
+    def test_graph_vs_structure_homs(self, rng):
+        """Graph homomorphism counting equals structure homomorphism
+        counting over the symmetrized encoding."""
+        for __ in range(6):
+            source = make_random_graph(4, 0.5, rng)
+            target = make_random_graph(5, 0.6, rng)
+            assert count_graph_homomorphisms(
+                source, target
+            ) == count_structure_homomorphisms(
+                Structure.from_graph(source), Structure.from_graph(target)
+            )
+
+    def test_symmetric_csp_vs_graph_hom(self, rng):
+        """A binary CSP with one symmetric relation everywhere counts
+        solutions as homomorphisms primal → relation-graph (§2.3)."""
+        for __ in range(6):
+            pattern = make_random_graph(4, 0.6, rng)
+            if pattern.num_edges == 0:
+                continue
+            relation_graph = make_random_graph(4, 0.5, rng)
+            symmetric = set()
+            for u, v in relation_graph.edges():
+                symmetric.add((u, v))
+                symmetric.add((v, u))
+            constraints = [
+                Constraint((u, v), symmetric) for u, v in pattern.edges()
+            ]
+            inst = CSPInstance(
+                pattern.vertices, relation_graph.vertices, constraints
+            )
+            # Count homs only over the pattern's vertices (isolated
+            # pattern vertices are free in both models).
+            assert count_bruteforce(inst) == count_graph_homomorphisms(
+                pattern, relation_graph
+            )
+
+
+class TestColoringEverywhere:
+    """3-coloring of one graph through four machineries."""
+
+    def graph(self):
+        # A wheel-ish graph: 5-cycle plus a center joined to all.
+        g = Graph(edges=[(i, (i + 1) % 5) for i in range(5)])
+        for i in range(5):
+            g.add_edge("hub", i)
+        return g
+
+    def test_wheel_w5_coloring(self):
+        g = self.graph()
+        domain = [0, 1, 2, 3]
+        ne = {(a, b) for a, b in product(domain, repeat=2) if a != b}
+
+        # Odd wheel needs 4 colors.
+        three = CSPInstance(
+            g.vertices, domain[:3], [Constraint(e, ne) for e in g.edges()]
+        )
+        four = CSPInstance(
+            g.vertices, domain, [Constraint(e, ne) for e in g.edges()]
+        )
+        assert solve_bruteforce(three) is None
+        solution = solve_bruteforce(four)
+        assert solution is not None
+
+        # Same verdicts via structures: hom(W5, K3) none, hom(W5, K4) some.
+        from repro.structures.homomorphism import find_structure_homomorphism
+
+        w5 = Structure.from_graph(g)
+        k3 = Structure.from_graph(
+            Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        )
+        k4 = Structure.from_graph(
+            Graph(edges=[(i, j) for i in range(4) for j in range(i + 1, 4)])
+        )
+        assert find_structure_homomorphism(w5, k3) is None
+        assert find_structure_homomorphism(w5, k4) is not None

@@ -1,0 +1,102 @@
+"""End-to-end pipelines mirroring the paper's proof architectures."""
+
+import pytest
+
+from repro.complexity.bounds import all_lower_bounds
+from repro.csp.backtracking import solve_backtracking
+from repro.csp.treewidth_dp import solve_with_treewidth
+from repro.generators.graph_gen import planted_clique_graph
+from repro.generators.sat_gen import planted_ksat
+from repro.graphs.special import solve_special_csp
+from repro.reductions.clique_to_special import clique_to_special_csp
+from repro.reductions.sat_to_coloring import coloring_as_csp, sat_to_3coloring
+from repro.reductions.sat_to_csp import sat_to_csp
+from repro.treewidth.heuristics import treewidth_min_fill
+
+
+class TestETHPipeline:
+    """Hypothesis 2's reduction chain: 3SAT → 3COL → binary CSP |D|=3,
+    solved by the generic CSP machinery, recovering a SAT model."""
+
+    def test_full_chain(self):
+        formula, planted = planted_ksat(6, 18, 3, seed=8)
+        col_red = sat_to_3coloring(formula)
+        col_red.certify()
+        csp = coloring_as_csp(col_red.target.graph)
+        assert csp.is_binary and csp.domain_size == 3
+
+        solution = solve_backtracking(csp, preprocess_gac=True)
+        assert solution is not None
+        model = col_red.pull_back(solution)
+        assert formula.evaluate(model)
+
+    def test_chain_sizes_compose_linearly(self):
+        """The composed reduction keeps |V| + |C| = O(n + m) — the
+        property Corollary 6.2 needs."""
+        for n, m in ((4, 10), (8, 20), (16, 40)):
+            formula, __ = planted_ksat(n, m, 3, seed=n)
+            col_red = sat_to_3coloring(formula)
+            csp = coloring_as_csp(col_red.target.graph)
+            assert csp.num_variables <= 3 + 2 * n + 6 * m
+            assert csp.num_constraints <= 3 + 3 * n + 12 * m
+
+
+class TestSpecialCSPPipeline:
+    """§5's W[1]-hardness chain: Clique → Special CSP, solved by the
+    quasipolynomial two-phase solver, recovering the clique."""
+
+    def test_full_chain(self):
+        graph, members = planted_clique_graph(9, 3, p=0.25, seed=2)
+        red = clique_to_special_csp(graph, 3)
+        red.certify()
+        solution = solve_special_csp(red.target)
+        assert solution is not None
+        clique = red.pull_back(solution)
+        assert graph.is_clique(clique)
+        assert len(set(clique)) == 3
+
+
+class TestFreuderOnReducedInstances:
+    """Theorem 4.2's algorithm must handle what Theorem 7.2 constructs:
+    the DomSet CSP has treewidth ≤ t, so the DP solves it."""
+
+    def test_dp_on_domset_instance(self):
+        from repro.generators.graph_gen import planted_dominating_set_graph
+        from repro.graphs.dominating_set import is_dominating_set
+        from repro.reductions.domset_to_csp import dominating_set_to_csp
+
+        graph, __ = planted_dominating_set_graph(6, 2, seed=5)
+        red = dominating_set_to_csp(graph, 2)
+        width, dec = treewidth_min_fill(red.target.primal_graph())
+        assert width <= 2
+        solution = solve_with_treewidth(red.target, dec)
+        assert solution is not None
+        assert is_dominating_set(graph, red.pull_back(solution))
+
+
+class TestSatCSPPipeline:
+    def test_sat_csp_treewidth_solvable_when_narrow(self):
+        """A chain-structured formula gives a low-treewidth CSP that
+        Freuder's DP solves directly (Corollary 6.1 instances)."""
+        from repro.sat.cnf import CNF
+
+        clauses = [[i, -(i + 1)] for i in range(1, 8)]
+        formula = CNF(8, clauses)
+        red = sat_to_csp(formula)
+        width, dec = treewidth_min_fill(red.target.primal_graph())
+        assert width <= 2
+        solution = solve_with_treewidth(red.target, dec)
+        assert solution is not None
+        assert formula.evaluate(red.pull_back(solution))
+
+
+class TestBoundExperimentIndexConsistency:
+    def test_every_bound_names_valid_experiment(self):
+        """Experiment ids in the bounds registry exist in DESIGN.md's
+        index (by prefix convention E<number>-)."""
+        valid_prefixes = {f"E{i}-" for i in range(1, 19)}
+        for bound in all_lower_bounds():
+            if bound.experiment:
+                assert any(
+                    bound.experiment.startswith(p) for p in valid_prefixes
+                ), bound.key

@@ -1,0 +1,109 @@
+"""Property-based tests for CSP solvers and translations."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.backtracking import solve_backtracking
+from repro.csp.bruteforce import count_bruteforce, solve_bruteforce
+from repro.csp.consistency import propagate_domains
+from repro.csp.instance import Constraint, CSPInstance
+from repro.csp.treewidth_dp import count_with_treewidth, solve_with_treewidth
+
+
+@st.composite
+def csp_instances(draw, max_vars=5, max_domain=3, max_constraints=6):
+    num_vars = draw(st.integers(2, max_vars))
+    domain_size = draw(st.integers(1, max_domain))
+    variables = [f"v{i}" for i in range(num_vars)]
+    domain = list(range(domain_size))
+    all_pairs = list(product(domain, repeat=2))
+    num_constraints = draw(st.integers(0, max_constraints))
+    constraints = []
+    for __ in range(num_constraints):
+        indices = draw(
+            st.lists(
+                st.integers(0, num_vars - 1), min_size=2, max_size=2, unique=True
+            )
+        )
+        relation = draw(st.lists(st.sampled_from(all_pairs), max_size=len(all_pairs)))
+        constraints.append(
+            Constraint((variables[indices[0]], variables[indices[1]]), relation)
+        )
+    return CSPInstance(variables, domain, constraints)
+
+
+class TestSolverAgreement:
+    @given(csp_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_three_solvers_agree(self, inst):
+        bf = solve_bruteforce(inst)
+        bt = solve_backtracking(inst)
+        dp = solve_with_treewidth(inst)
+        assert (bf is None) == (bt is None) == (dp is None)
+        for solution in (bf, bt, dp):
+            if solution is not None:
+                assert inst.is_solution(solution)
+
+    @given(csp_instances(max_vars=4))
+    @settings(max_examples=50, deadline=None)
+    def test_counting_agrees(self, inst):
+        assert count_bruteforce(inst) == count_with_treewidth(inst)
+
+    @given(csp_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_count_zero_iff_unsat(self, inst):
+        count = count_with_treewidth(inst)
+        assert (count == 0) == (solve_bruteforce(inst) is None)
+
+
+class TestGACProperties:
+    @given(csp_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_gac_preserves_satisfiability(self, inst):
+        domains = propagate_domains(inst)
+        satisfiable = solve_bruteforce(inst) is not None
+        if domains is None:
+            assert not satisfiable
+        elif satisfiable:
+            # Any solution survives inside the filtered domains.
+            solution = solve_bruteforce(inst)
+            for var, val in solution.items():
+                assert val in domains[var]
+
+    @given(csp_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_gac_domains_shrink_only(self, inst):
+        domains = propagate_domains(inst)
+        if domains is not None:
+            for var in inst.variables:
+                assert domains[var] <= set(inst.domain)
+
+
+class TestInstanceProperties:
+    @given(csp_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_restrict_components_preserves_solutions(self, inst):
+        """Solving per connected component and merging equals solving
+        whole — the decomposition the Special CSP solver relies on."""
+        components = inst.primal_graph().connected_components()
+        merged: dict = {}
+        for comp in components:
+            sub = inst.restrict(comp)
+            solution = solve_bruteforce(sub)
+            if solution is None:
+                assert solve_bruteforce(inst) is None
+                return
+            merged.update(solution)
+        assert inst.is_solution(merged)
+
+    @given(csp_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_primal_graph_covers_scopes(self, inst):
+        primal = inst.primal_graph()
+        for c in inst.constraints:
+            scope = [v for v in c.variables()]
+            for i, u in enumerate(scope):
+                for v in scope[i + 1:]:
+                    assert primal.has_edge(u, v)

@@ -1,0 +1,93 @@
+"""Property-based tests for the fine-grained package."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.finegrained.edit_distance import edit_distance, edit_distance_banded
+from repro.finegrained.orthogonal_vectors import OVInstance, are_orthogonal, has_orthogonal_pair
+
+short_strings = st.text(alphabet="abc", max_size=10)
+
+
+class TestEditDistanceMetric:
+    @given(short_strings, short_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(short_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @given(short_strings, short_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_positivity(self, a, b):
+        d = edit_distance(a, b)
+        assert d >= 0
+        assert (d == 0) == (a == b)
+
+    @given(short_strings, short_strings, short_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(short_strings, short_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b), 0)
+
+    @given(short_strings, short_strings, st.text(alphabet="abc", max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_common_prefix_invariance(self, a, b, prefix):
+        assert edit_distance(prefix + a, prefix + b) == edit_distance(a, b)
+
+    @given(short_strings, short_strings, st.integers(0, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_banded_consistency(self, a, b, k):
+        exact = edit_distance(a, b)
+        banded = edit_distance_banded(a, b, k)
+        if exact <= k:
+            assert banded == exact
+        else:
+            assert banded is None
+
+
+@st.composite
+def vector_families(draw, max_n=6, max_d=5):
+    d = draw(st.integers(1, max_d))
+    vec = st.tuples(*(st.integers(0, 1) for __ in range(d)))
+    left = draw(st.lists(vec, min_size=0, max_size=max_n))
+    right = draw(st.lists(vec, min_size=0, max_size=max_n))
+    return OVInstance.from_lists(left, right)
+
+
+class TestOVProperties:
+    @given(vector_families())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_definition(self, instance):
+        expected = any(
+            are_orthogonal(a, b)
+            for a in instance.left
+            for b in instance.right
+        )
+        assert has_orthogonal_pair(instance) == expected
+
+    @given(vector_families())
+    @settings(max_examples=40, deadline=None)
+    def test_swap_sides_preserves_answer(self, instance):
+        swapped = OVInstance(instance.right, instance.left, instance.dimension)
+        assert has_orthogonal_pair(instance) == has_orthogonal_pair(swapped)
+
+    @given(vector_families())
+    @settings(max_examples=40, deadline=None)
+    def test_zero_vector_dominates(self, instance):
+        if not instance.right:
+            return
+        zero = (0,) * instance.dimension
+        augmented = OVInstance(
+            instance.left + (zero,), instance.right, instance.dimension
+        )
+        if instance.right:
+            assert has_orthogonal_pair(augmented)

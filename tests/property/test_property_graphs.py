@@ -1,0 +1,153 @@
+"""Property-based tests for graph algorithms (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.clique import find_clique_bruteforce, max_clique
+from repro.graphs.graph import DiGraph, Graph
+from repro.graphs.triangle import (
+    count_triangles_matrix,
+    find_triangle_enumeration,
+    find_triangle_matrix,
+    find_triangle_naive,
+)
+from repro.graphs.vertex_cover import find_vertex_cover_fpt, is_vertex_cover
+
+
+@st.composite
+def graphs(draw, max_vertices=8):
+    n = draw(st.integers(min_value=0, max_value=max_vertices))
+    g = Graph(vertices=range(n))
+    if n >= 2:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = draw(st.lists(st.sampled_from(pairs), max_size=len(pairs)))
+        for u, v in chosen:
+            g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def digraphs(draw, max_vertices=7):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            max_size=2 * n,
+        )
+    )
+    return DiGraph(vertices=range(n), edges=edges)
+
+
+class TestGraphInvariants:
+    @given(graphs())
+    def test_handshake_lemma(self, g):
+        assert sum(g.degree(v) for v in g.vertices) == 2 * g.num_edges
+
+    @given(graphs())
+    def test_complement_preserves_vertex_count(self, g):
+        comp = g.complement()
+        assert comp.num_vertices == g.num_vertices
+        total = g.num_vertices * (g.num_vertices - 1) // 2
+        assert g.num_edges + comp.num_edges == total
+
+    @given(graphs())
+    def test_components_partition_vertices(self, g):
+        comps = g.connected_components()
+        union = set()
+        for c in comps:
+            assert not (union & c)
+            union |= c
+        assert union == set(g.vertices)
+
+    @given(graphs())
+    def test_subgraph_of_component_has_no_external_edges(self, g):
+        for comp in g.connected_components():
+            sub = g.subgraph(comp)
+            assert sub.num_vertices == len(comp)
+
+
+class TestTriangleProperties:
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_detectors_agree(self, g):
+        answers = {
+            find_triangle_naive(g) is None,
+            find_triangle_enumeration(g) is None,
+            find_triangle_matrix(g) is None,
+        }
+        assert len(answers) == 1
+
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_count_positive_iff_triangle_found(self, g):
+        count = count_triangles_matrix(g)
+        found = find_triangle_enumeration(g)
+        assert (count > 0) == (found is not None)
+
+
+class TestCliqueProperties:
+    @given(graphs(max_vertices=7))
+    @settings(max_examples=40)
+    def test_max_clique_is_clique_and_maximal(self, g):
+        best = max_clique(g)
+        assert g.is_clique(best)
+        assert find_clique_bruteforce(g, len(best) + 1) is None
+
+    @given(graphs(max_vertices=7), st.integers(0, 4))
+    @settings(max_examples=40)
+    def test_monotone_in_k(self, g, k):
+        if find_clique_bruteforce(g, k + 1) is not None:
+            assert find_clique_bruteforce(g, k) is not None
+
+
+class TestVertexCoverProperties:
+    @given(graphs(max_vertices=7))
+    @settings(max_examples=40)
+    def test_fpt_cover_is_cover(self, g):
+        cover = find_vertex_cover_fpt(g, g.num_vertices)
+        assert cover is not None
+        assert is_vertex_cover(g, cover)
+
+    @given(graphs(max_vertices=6))
+    @settings(max_examples=40)
+    def test_cover_complement_independent(self, g):
+        cover = find_vertex_cover_fpt(g, g.num_vertices)
+        outside = set(g.vertices) - set(cover)
+        for u in outside:
+            for v in outside:
+                if u != v:
+                    assert not g.has_edge(u, v)
+
+
+class TestSCCProperties:
+    @given(digraphs())
+    @settings(max_examples=60)
+    def test_scc_partition(self, d):
+        comps = d.strongly_connected_components()
+        union = set()
+        for c in comps:
+            assert not (union & c)
+            union |= c
+        assert union == set(d.vertices)
+
+    @given(digraphs())
+    @settings(max_examples=40)
+    def test_scc_mutual_reachability(self, d):
+        def reachable(src):
+            seen = {src}
+            stack = [src]
+            while stack:
+                v = stack.pop()
+                for w in d.successors(v):
+                    if w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+            return seen
+
+        for comp in d.strongly_connected_components():
+            members = list(comp)
+            for v in members[1:]:
+                assert v in reachable(members[0])
+                assert members[0] in reachable(v)

@@ -1,0 +1,89 @@
+"""Property-based tests for the relational engines and the AGM bound."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.agm import uniform_random_database
+from repro.relational.database import Database
+from repro.relational.estimate import agm_bound
+from repro.relational.joins import evaluate_left_deep, hash_join
+from repro.relational.query import JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.wcoj import boolean_generic_join, generic_join
+from repro.relational.yannakakis import yannakakis
+
+SHAPES = {
+    "triangle": JoinQuery.triangle,
+    "cycle4": lambda: JoinQuery.cycle(4),
+    "path3": lambda: JoinQuery.path(3),
+    "star3": lambda: JoinQuery.star(3),
+}
+
+ACYCLIC = {"path3", "star3"}
+
+
+def normalize(relation, attrs):
+    idx = [relation.attributes.index(a) for a in attrs]
+    return {tuple(t[i] for i in idx) for t in relation.tuples}
+
+
+@given(
+    shape=st.sampled_from(sorted(SHAPES)),
+    size=st.integers(1, 30),
+    domain=st.integers(1, 8),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_engines_agree(shape, size, domain, seed):
+    query = SHAPES[shape]()
+    db = uniform_random_database(query, size, domain, seed=seed)
+    gj = normalize(generic_join(query, db), query.attributes)
+    plan = normalize(evaluate_left_deep(query, db).answer, query.attributes)
+    assert gj == plan
+    assert boolean_generic_join(query, db) == bool(gj)
+    if shape in ACYCLIC:
+        y = normalize(yannakakis(query, db), query.attributes)
+        assert y == gj
+
+
+@given(
+    shape=st.sampled_from(sorted(SHAPES)),
+    size=st.integers(1, 25),
+    domain=st.integers(1, 6),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_agm_bound_dominates(shape, size, domain, seed):
+    query = SHAPES[shape]()
+    db = uniform_random_database(query, size, domain, seed=seed)
+    answer = generic_join(query, db)
+    assert len(answer) <= agm_bound(query, db) + 1e-6
+
+
+@given(
+    tuples_left=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12
+    ),
+    tuples_right=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_hash_join_is_commutative(tuples_left, tuples_right):
+    left = Relation("L", ("a", "b"), tuples_left)
+    right = Relation("R", ("b", "c"), tuples_right)
+    lr = hash_join(left, right)
+    rl = hash_join(right, left)
+    assert normalize(lr, ("a", "b", "c")) == normalize(rl, ("a", "b", "c"))
+
+
+@given(
+    tuples=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=10)
+)
+@settings(max_examples=40, deadline=None)
+def test_join_with_self_is_identity(tuples):
+    r = Relation("R", ("a", "b"), tuples)
+    joined = hash_join(r, Relation("R2", ("a", "b"), tuples))
+    assert normalize(joined, ("a", "b")) == set(r.tuples)

@@ -1,0 +1,119 @@
+"""Property-based tests for SAT solvers and the Schaefer classifier."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+from repro.sat.schaefer import (
+    BooleanRelation,
+    classify_relation_set,
+    is_affine_relation,
+    is_bijunctive_relation,
+    is_dual_horn_relation,
+    is_horn_relation,
+)
+from repro.sat.two_sat import solve_2sat
+
+
+@st.composite
+def cnf_formulas(draw, max_vars=5, max_clauses=8, max_width=3):
+    n = draw(st.integers(1, max_vars))
+    num_clauses = draw(st.integers(0, max_clauses))
+    clauses = []
+    for __ in range(num_clauses):
+        width = draw(st.integers(1, min(max_width, n)))
+        variables = draw(
+            st.lists(st.integers(1, n), min_size=width, max_size=width, unique=True)
+        )
+        signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+        clauses.append([v if s else -v for v, s in zip(variables, signs)])
+    return CNF(n, clauses)
+
+
+@st.composite
+def boolean_relations(draw, max_arity=3):
+    arity = draw(st.integers(1, max_arity))
+    tuples = draw(
+        st.lists(
+            st.tuples(*(st.integers(0, 1) for __ in range(arity))),
+            min_size=1,
+            max_size=2**arity,
+        )
+    )
+    return BooleanRelation(arity, tuples)
+
+
+def enumerate_sat(formula: CNF) -> bool:
+    for values in product((False, True), repeat=formula.num_variables):
+        assignment = dict(zip(range(1, formula.num_variables + 1), values))
+        if formula.evaluate(assignment):
+            return True
+    return not formula.clauses
+
+
+class TestDPLLProperties:
+    @given(cnf_formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_dpll_sound_and_complete(self, formula):
+        model = solve_dpll(formula)
+        assert (model is not None) == enumerate_sat(formula)
+        if model is not None:
+            assert formula.evaluate(model)
+
+    @given(cnf_formulas(max_width=2))
+    @settings(max_examples=80, deadline=None)
+    def test_2sat_matches_dpll(self, formula):
+        fast = solve_2sat(formula)
+        slow = solve_dpll(formula)
+        assert (fast is None) == (slow is None)
+        if fast is not None:
+            assert formula.evaluate(fast)
+
+    @given(cnf_formulas())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_clause_only_restricts(self, formula):
+        if not formula.clauses:
+            return
+        weaker = CNF(formula.num_variables, list(formula.clauses)[:-1])
+        if solve_dpll(weaker) is None:
+            assert solve_dpll(formula) is None
+
+
+class TestSchaeferProperties:
+    @given(boolean_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_horn_iff_and_closed(self, relation):
+        closed = all(
+            tuple(a & b for a, b in zip(s, t)) in relation.tuples
+            for s in relation.tuples
+            for t in relation.tuples
+        )
+        assert is_horn_relation(relation) == closed
+
+    @given(boolean_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_full_relation_in_every_class(self, relation):
+        full = BooleanRelation(
+            relation.arity, list(product((0, 1), repeat=relation.arity))
+        )
+        assert is_horn_relation(full)
+        assert is_dual_horn_relation(full)
+        assert is_bijunctive_relation(full)
+        assert is_affine_relation(full)
+
+    @given(boolean_relations())
+    @settings(max_examples=60, deadline=None)
+    def test_singleton_relation_always_tractable(self, relation):
+        single = BooleanRelation(relation.arity, [next(iter(relation.tuples))])
+        verdict = classify_relation_set([single])
+        assert verdict.tractable  # a single tuple is closed under everything
+
+    @given(st.lists(boolean_relations(), min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_subset_of_tractable_is_tractable(self, relations):
+        verdict_all = classify_relation_set(relations)
+        if verdict_all.tractable:
+            assert classify_relation_set(relations[:1]).tractable

@@ -1,0 +1,78 @@
+"""Property-based tests for treewidth machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+from repro.treewidth.exact import treewidth_exact
+from repro.treewidth.heuristics import (
+    decomposition_from_elimination_order,
+    min_degree_order,
+    min_fill_order,
+    treewidth_min_degree,
+    treewidth_min_fill,
+)
+from repro.treewidth.nice import make_nice
+
+
+@st.composite
+def graphs(draw, max_vertices=8):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    g = Graph(vertices=range(n))
+    if n >= 2:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = draw(st.lists(st.sampled_from(pairs), max_size=len(pairs)))
+        for u, v in chosen:
+            g.add_edge(u, v)
+    return g
+
+
+class TestDecompositionProperties:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_heuristic_decompositions_valid(self, g):
+        for heuristic in (treewidth_min_degree, treewidth_min_fill):
+            width, dec = heuristic(g)
+            dec.validate(g)
+            assert dec.width == width
+
+    @given(graphs(max_vertices=7))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_at_most_heuristics(self, g):
+        exact, dec = treewidth_exact(g)
+        dec.validate(g)
+        assert exact <= treewidth_min_degree(g)[0]
+        assert exact <= treewidth_min_fill(g)[0]
+
+    @given(graphs(max_vertices=7))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_lower_bounded_by_clique_number(self, g):
+        from repro.graphs.clique import max_clique
+
+        exact, __ = treewidth_exact(g)
+        assert exact >= len(max_clique(g)) - 1
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_nice_conversion_preserves_width(self, g):
+        width, dec = treewidth_min_fill(g)
+        nice = make_nice(dec)
+        nice.validate()
+        assert nice.width == width
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_orders_are_permutations(self, g):
+        for order_fn in (min_degree_order, min_fill_order):
+            order = order_fn(g)
+            assert sorted(order) == sorted(g.vertices)
+
+    @given(graphs(max_vertices=6), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_random_order_still_valid(self, g, rand):
+        order = list(g.vertices)
+        rand.shuffle(order)
+        dec = decomposition_from_elimination_order(g, order)
+        dec.validate(g)
+        exact, __ = treewidth_exact(g)
+        assert dec.width >= exact

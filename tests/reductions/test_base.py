@@ -1,0 +1,37 @@
+"""Tests for the certified-reduction framework."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.reductions.base import Certificate, CertifiedReduction
+
+
+class TestCertifiedReduction:
+    def test_certify_passes_when_all_hold(self):
+        red = CertifiedReduction(name="t", source=1, target=2)
+        red.add_certificate("a", True)
+        red.certify()
+
+    def test_certify_raises_with_details(self):
+        red = CertifiedReduction(name="t", source=1, target=2)
+        red.add_certificate("size ok", False, "3 vs 2")
+        with pytest.raises(ReductionError, match="size ok"):
+            red.certify()
+
+    def test_certificate_lookup(self):
+        red = CertifiedReduction(name="t", source=1, target=2)
+        red.add_certificate("a", True, "detail")
+        assert red.certificate("a") == Certificate("a", True, "detail")
+        with pytest.raises(ReductionError):
+            red.certificate("missing")
+
+    def test_pull_back_none_stays_none(self):
+        red = CertifiedReduction(
+            name="t", source=1, target=2, map_solution_back=lambda s: s + 1
+        )
+        assert red.pull_back(None) is None
+        assert red.pull_back(1) == 2
+
+    def test_default_back_map_is_identity(self):
+        red = CertifiedReduction(name="t", source=1, target=2)
+        assert red.pull_back("x") == "x"

@@ -1,0 +1,103 @@
+"""Tests for Clique → CSP and Clique → Special CSP (§5, §6)."""
+
+import pytest
+
+from repro.csp.backtracking import solve_backtracking
+from repro.errors import ReductionError
+from repro.generators.graph_gen import planted_clique_graph, turan_graph
+from repro.graphs.clique import find_clique_bruteforce
+from repro.graphs.graph import Graph
+from repro.graphs.special import is_special_graph, solve_special_csp
+from repro.reductions.clique_to_csp import clique_to_csp
+from repro.reductions.clique_to_special import MAX_K, clique_to_special_csp
+
+from ..conftest import make_random_graph
+
+
+class TestCliqueToCSP:
+    def test_small_k_rejected(self, triangle_graph):
+        with pytest.raises(ReductionError):
+            clique_to_csp(triangle_graph, 1)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ReductionError):
+            clique_to_csp(Graph(), 3)
+
+    def test_certificates(self, triangle_graph):
+        red = clique_to_csp(triangle_graph, 3)
+        red.certify()
+        assert red.target.num_variables == 3
+        assert red.target.num_constraints == 3
+        assert red.parameter_target == 3
+
+    def test_equivalence_random(self, rng):
+        for _ in range(12):
+            g = make_random_graph(rng.randrange(4, 9), 0.5, rng)
+            k = rng.randrange(2, 5)
+            red = clique_to_csp(g, k)
+            red.certify()
+            oracle = find_clique_bruteforce(g, k)
+            solution = solve_backtracking(red.target)
+            assert (oracle is None) == (solution is None)
+            if solution is not None:
+                clique = red.pull_back(solution)
+                assert len(set(clique)) == k
+                assert g.is_clique(clique)
+
+    def test_turan_no_instance(self):
+        g = turan_graph(9, 2)
+        red = clique_to_csp(g, 3)
+        assert solve_backtracking(red.target) is None
+
+    def test_distinctness_enforced(self):
+        """The adjacency relation has no loops, so slots are distinct."""
+        g = Graph(edges=[(0, 1)])
+        red = clique_to_csp(g, 2)
+        solution = solve_backtracking(red.target)
+        assert solution is not None
+        values = list(solution.values())
+        assert len(set(values)) == 2
+
+
+class TestCliqueToSpecial:
+    def test_k_cap(self, triangle_graph):
+        with pytest.raises(ReductionError):
+            clique_to_special_csp(triangle_graph, MAX_K + 1)
+
+    def test_certificates(self, triangle_graph):
+        red = clique_to_special_csp(triangle_graph, 3)
+        red.certify()
+        assert red.target.num_variables == 3 + 8
+        assert is_special_graph(red.target.primal_graph())
+        assert red.parameter_target == 3 + 2**3
+
+    def test_equivalence_with_special_solver(self):
+        g, __ = planted_clique_graph(8, 3, p=0.3, seed=11)
+        red = clique_to_special_csp(g, 3)
+        red.certify()
+        solution = solve_special_csp(red.target)
+        assert solution is not None
+        clique = red.pull_back(solution)
+        assert g.is_clique(clique)
+        assert len(set(clique)) == 3
+
+    def test_no_instance(self):
+        g = turan_graph(8, 2)  # triangle-free
+        red = clique_to_special_csp(g, 3)
+        assert solve_special_csp(red.target) is None
+        assert solve_backtracking(red.target) is None
+
+    def test_path_variables_unconstrained(self):
+        """Path constraints allow everything — the dummies only pad the
+        parameter, exactly as in the paper's reduction."""
+        g = Graph(edges=[(0, 1)])
+        red = clique_to_special_csp(g, 2)
+        instance = red.target
+        path_constraints = [
+            c
+            for c in instance.constraints
+            if all(str(v).startswith("p") for v in c.scope)
+        ]
+        assert len(path_constraints) == 2**2 - 1
+        domain_size = instance.domain_size
+        assert all(len(c.relation) == domain_size**2 for c in path_constraints)

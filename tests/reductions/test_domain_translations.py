@@ -1,0 +1,169 @@
+"""Tests for the §2 translations between the four domains."""
+
+import pytest
+
+from repro.csp.bruteforce import count_bruteforce, solve_bruteforce
+from repro.csp.instance import Constraint, CSPInstance
+from repro.errors import ReductionError
+from repro.graphs.subgraph_iso import find_partitioned_subgraph
+from repro.reductions.csp_to_graph import csp_to_partitioned_subgraph
+from repro.reductions.csp_to_structures import csp_to_structures
+from repro.reductions.query_to_csp import csp_to_query, query_to_csp
+from repro.relational.database import Database
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.wcoj import generic_join
+from repro.structures.homomorphism import (
+    count_structure_homomorphisms,
+    find_structure_homomorphism,
+)
+
+from ..conftest import make_random_binary_csp
+
+
+class TestQueryToCSP:
+    def test_simple_query(self):
+        q = JoinQuery([Atom("R", ("a", "b"))])
+        db = Database([Relation("R", ("x", "y"), [(1, 2), (3, 4)])])
+        red = query_to_csp(q, db)
+        red.certify()
+        assert red.target.num_variables == 2
+        solution = solve_bruteforce(red.target)
+        assert solution is not None
+        assert red.pull_back(solution) in {(1, 2), (3, 4)}
+
+    def test_empty_database_rejected(self):
+        q = JoinQuery([Atom("R", ("a",))])
+        db = Database([Relation("R", ("x",))])
+        with pytest.raises(ReductionError):
+            query_to_csp(q, db)
+
+    def test_answer_count_equals_solution_count(self, rng):
+        from repro.generators.agm import uniform_random_database
+
+        q = JoinQuery.triangle()
+        db = uniform_random_database(q, 20, 5, seed=7)
+        red = query_to_csp(q, db)
+        answer = generic_join(q, db)
+        assert count_bruteforce(red.target) == len(answer)
+
+
+class TestCSPToQuery:
+    def test_round_trip(self, rng):
+        for _ in range(10):
+            inst = make_random_binary_csp(rng, num_variables=4, domain_size=3)
+            red = csp_to_query(inst)
+            red.certify()
+            query, database = red.target
+            answer = generic_join(query, database)
+            assert len(answer) == count_bruteforce(inst)
+            for t in answer.tuples:
+                ordered = tuple(
+                    t[answer.attributes.index(a)] for a in query.attributes
+                )
+                back = red.pull_back(ordered)
+                assert inst.is_solution(back)
+
+    def test_repeated_scope_rejected(self):
+        inst = CSPInstance(
+            ["x"], [0, 1], [Constraint(("x", "x"), [(0, 0)])]
+        )
+        with pytest.raises(ReductionError):
+            csp_to_query(inst)
+
+    def test_isolated_variable_gets_domain_atom(self):
+        inst = CSPInstance(["x", "lonely"], [0, 1], [Constraint(("x",), [(1,)])])
+        red = csp_to_query(inst)
+        query, database = red.target
+        assert len(query.atoms) == 2
+        answer = generic_join(query, database)
+        assert len(answer) == 2  # x=1, lonely in {0,1}
+
+
+class TestCSPToPartitionedSubgraph:
+    def test_requires_binary(self):
+        inst = CSPInstance(
+            ["x", "y", "z"], [0], [Constraint(("x", "y", "z"), [(0, 0, 0)])]
+        )
+        with pytest.raises(ReductionError):
+            csp_to_partitioned_subgraph(inst)
+
+    def test_host_size_certificate(self, rng):
+        inst = make_random_binary_csp(rng, num_variables=4, domain_size=3)
+        red = csp_to_partitioned_subgraph(inst)
+        red.certify()
+        __, host, __dict = red.target
+        assert host.num_vertices == 12
+
+    def test_equivalence_random(self, rng):
+        for _ in range(12):
+            inst = make_random_binary_csp(
+                rng, num_variables=4, domain_size=3, num_constraints=4
+            )
+            red = csp_to_partitioned_subgraph(inst)
+            pattern, host, partition = red.target
+            embedding = find_partitioned_subgraph(pattern, host, partition)
+            oracle = solve_bruteforce(inst)
+            assert (embedding is None) == (oracle is None)
+            if embedding is not None:
+                assert inst.is_solution(red.pull_back(embedding))
+
+    def test_multiple_constraints_same_pair_intersect(self):
+        inst = CSPInstance(
+            ["x", "y"],
+            [0, 1],
+            [
+                Constraint(("x", "y"), [(0, 0), (0, 1)]),
+                Constraint(("y", "x"), [(1, 0)]),  # flipped scope
+            ],
+        )
+        red = csp_to_partitioned_subgraph(inst)
+        pattern, host, partition = red.target
+        embedding = find_partitioned_subgraph(pattern, host, partition)
+        # Intersection: x=0,y=1 only.
+        assert embedding is not None
+        assert red.pull_back(embedding) == {"x": 0, "y": 1}
+
+
+class TestCSPToStructures:
+    def test_needs_constraints(self):
+        inst = CSPInstance(["x"], [0], [])
+        with pytest.raises(ReductionError):
+            csp_to_structures(inst)
+
+    def test_certificates(self, rng):
+        inst = make_random_binary_csp(rng)
+        red = csp_to_structures(inst)
+        red.certify()
+        a, b = red.target
+        assert a.universe_size == inst.num_variables
+        assert b.universe_size == inst.domain_size
+
+    def test_hom_count_equals_solution_count(self, rng):
+        for _ in range(10):
+            inst = make_random_binary_csp(
+                rng, num_variables=4, domain_size=2, num_constraints=4
+            )
+            red = csp_to_structures(inst)
+            a, b = red.target
+            assert count_structure_homomorphisms(a, b) == count_bruteforce(inst)
+
+    def test_hom_maps_back_to_solution(self, rng):
+        inst = make_random_binary_csp(rng, num_variables=3, domain_size=3)
+        red = csp_to_structures(inst)
+        a, b = red.target
+        hom = find_structure_homomorphism(a, b)
+        oracle = solve_bruteforce(inst)
+        assert (hom is None) == (oracle is None)
+        if hom is not None:
+            assert inst.is_solution(red.pull_back(hom))
+
+    def test_ternary_constraints_supported(self):
+        inst = CSPInstance(
+            ["x", "y", "z"],
+            [0, 1],
+            [Constraint(("x", "y", "z"), [(0, 1, 0), (1, 0, 1)])],
+        )
+        red = csp_to_structures(inst)
+        a, b = red.target
+        assert count_structure_homomorphisms(a, b) == count_bruteforce(inst)

@@ -1,0 +1,150 @@
+"""Tests for the Theorem 7.2 pipeline: DomSet → CSP and grouping."""
+
+import pytest
+
+from repro.csp.backtracking import solve_backtracking
+from repro.csp.bruteforce import solve_bruteforce
+from repro.csp.instance import Constraint, CSPInstance
+from repro.errors import ReductionError
+from repro.generators.graph_gen import planted_dominating_set_graph
+from repro.graphs.dominating_set import (
+    find_dominating_set_bruteforce,
+    is_dominating_set,
+)
+from repro.graphs.graph import Graph
+from repro.reductions.domset_to_csp import (
+    dominating_set_to_csp,
+    dominating_set_to_grouped_csp,
+)
+from repro.reductions.grouping import group_variables
+from repro.treewidth.exact import treewidth_exact
+
+from ..conftest import make_random_graph
+
+
+class TestDomsetToCSP:
+    def test_validation(self):
+        with pytest.raises(ReductionError):
+            dominating_set_to_csp(Graph(vertices=[1]), 0)
+        with pytest.raises(ReductionError):
+            dominating_set_to_csp(Graph(), 1)
+
+    def test_certificates(self):
+        g, __ = planted_dominating_set_graph(6, 2, seed=1)
+        red = dominating_set_to_csp(g, 2)
+        red.certify()
+        assert red.target.num_variables == 2 + 6
+
+    def test_primal_is_complete_bipartite_with_low_treewidth(self):
+        g, __ = planted_dominating_set_graph(5, 2, seed=2)
+        red = dominating_set_to_csp(g, 2)
+        width, __ = treewidth_exact(red.target.primal_graph())
+        assert width <= 2
+
+    def test_equivalence_random(self, rng):
+        for _ in range(8):
+            g = make_random_graph(rng.randrange(4, 7), 0.45, rng)
+            t = 2
+            red = dominating_set_to_csp(g, t)
+            red.certify()
+            oracle = find_dominating_set_bruteforce(g, t)
+            solution = solve_backtracking(red.target)
+            assert (oracle is None) == (solution is None)
+            if solution is not None:
+                ds = red.pull_back(solution)
+                assert is_dominating_set(g, ds)
+                assert 1 <= len(ds) <= t
+
+    def test_single_vertex_graph(self):
+        g = Graph(vertices=["v"])
+        red = dominating_set_to_csp(g, 1)
+        solution = solve_backtracking(red.target)
+        assert solution is not None
+        assert red.pull_back(solution) == ("v",)
+
+
+class TestGrouping:
+    def base_instance(self) -> CSPInstance:
+        ne = [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]
+        return CSPInstance(
+            ["a", "b", "c"],
+            [0, 1, 2],
+            [
+                Constraint(("a", "b"), ne),
+                Constraint(("b", "c"), ne),
+            ],
+        )
+
+    def test_overlapping_groups_rejected(self):
+        inst = self.base_instance()
+        with pytest.raises(ReductionError):
+            group_variables(inst, [["a", "b"], ["b", "c"]])
+
+    def test_unknown_variable_rejected(self):
+        inst = self.base_instance()
+        with pytest.raises(ReductionError):
+            group_variables(inst, [["a", "zzz"]])
+
+    def test_certificates(self):
+        inst = self.base_instance()
+        red = group_variables(inst, [["a", "b"]])
+        red.certify()
+        assert red.target.num_variables == 2  # {a,b} and {c}
+        assert red.target.domain_size == 9
+
+    def test_equivalence_and_back_map(self, rng):
+        from ..conftest import make_random_binary_csp
+
+        for _ in range(10):
+            inst = make_random_binary_csp(rng, num_variables=4, domain_size=2)
+            red = group_variables(inst, [[inst.variables[0], inst.variables[1]]])
+            red.certify()
+            oracle = solve_bruteforce(inst)
+            grouped_solution = solve_backtracking(red.target)
+            assert (oracle is None) == (grouped_solution is None)
+            if grouped_solution is not None:
+                back = red.pull_back(grouped_solution)
+                assert inst.is_solution(back)
+
+    def test_empty_groups_means_all_singletons(self):
+        inst = self.base_instance()
+        red = group_variables(inst, [])
+        assert red.target.num_variables == 3
+        assert red.target.domain_size == 3
+
+    def test_constraint_within_one_group(self):
+        inst = CSPInstance(
+            ["a", "b"], [0, 1], [Constraint(("a", "b"), [(0, 1)])]
+        )
+        red = group_variables(inst, [["a", "b"]])
+        solution = solve_backtracking(red.target)
+        assert solution is not None
+        assert red.pull_back(solution) == {"a": 0, "b": 1}
+
+
+class TestFullTheorem72:
+    def test_group_size_must_divide(self):
+        g, __ = planted_dominating_set_graph(5, 2, seed=3)
+        with pytest.raises(ReductionError):
+            dominating_set_to_grouped_csp(g, 3, 2)
+
+    def test_grouped_width_k(self):
+        g, __ = planted_dominating_set_graph(6, 4, seed=4)
+        red = dominating_set_to_grouped_csp(g, 4, 2)
+        red.certify()
+        width, __ = treewidth_exact(red.target.primal_graph())
+        assert width <= 2
+        assert red.parameter_target == 2
+
+    def test_end_to_end_equivalence(self, rng):
+        for _ in range(5):
+            g = make_random_graph(5, 0.5, rng)
+            t, group = 2, 2
+            red = dominating_set_to_grouped_csp(g, t, group)
+            oracle = find_dominating_set_bruteforce(g, t)
+            solution = solve_backtracking(red.target)
+            assert (oracle is None) == (solution is None)
+            if solution is not None:
+                ds = red.pull_back(solution)
+                assert is_dominating_set(g, ds)
+                assert len(ds) <= t

@@ -1,0 +1,83 @@
+"""Tests for the Clique ↔ IS ↔ VC chain and Definition 5.1."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.graphs.clique import find_clique_bruteforce
+from repro.graphs.graph import Graph
+from repro.graphs.independent_set import find_independent_set_bruteforce, is_independent_set
+from repro.graphs.vertex_cover import find_vertex_cover_bruteforce, is_vertex_cover
+from repro.reductions.parameterized_examples import (
+    clique_to_independent_set,
+    independent_set_to_vertex_cover,
+    is_parameterized,
+)
+
+from ..conftest import make_random_graph
+
+
+class TestCliqueToIS:
+    def test_validation(self, triangle_graph):
+        with pytest.raises(ReductionError):
+            clique_to_independent_set(triangle_graph, -1)
+
+    def test_parameter_preserved(self, triangle_graph):
+        red = clique_to_independent_set(triangle_graph, 3)
+        red.certify()
+        assert red.parameter_target == 3
+        assert is_parameterized(red, lambda k: k)
+
+    def test_equivalence(self, rng):
+        for __ in range(10):
+            g = make_random_graph(7, 0.5, rng)
+            for k in (2, 3):
+                red = clique_to_independent_set(g, k)
+                complement, k2 = red.target
+                clique = find_clique_bruteforce(g, k)
+                independent = find_independent_set_bruteforce(complement, k2)
+                assert (clique is None) == (independent is None)
+                if independent is not None:
+                    # An IS of the complement is a clique of g.
+                    assert g.is_clique(red.pull_back(independent))
+
+
+class TestISToVC:
+    def test_validation(self, triangle_graph):
+        with pytest.raises(ReductionError):
+            independent_set_to_vertex_cover(triangle_graph, 99)
+
+    def test_not_parameterized(self):
+        g = Graph(vertices=range(50))
+        red = independent_set_to_vertex_cover(g, 3)
+        # k' = 47 blows past any reasonable f(3): Definition 5.1.3 fails.
+        assert red.parameter_target == 47
+        assert not is_parameterized(red, lambda k: 2**k)
+
+    def test_equivalence(self, rng):
+        for __ in range(10):
+            g = make_random_graph(6, 0.5, rng)
+            for k in (2, 3):
+                red = independent_set_to_vertex_cover(g, k)
+                __, k_prime = red.target
+                independent = find_independent_set_bruteforce(g, k)
+                cover = find_vertex_cover_bruteforce(g, k_prime)
+                assert (independent is None) == (cover is None)
+                if cover is not None:
+                    back = red.pull_back(cover)
+                    assert is_independent_set(g, back)
+                    assert len(back) >= k
+
+    def test_chain_composes(self, rng):
+        """Clique → IS → VC end to end on a concrete instance."""
+        g = make_random_graph(7, 0.5, rng)
+        k = 3
+        step1 = clique_to_independent_set(g, k)
+        complement, __ = step1.target
+        step2 = independent_set_to_vertex_cover(complement, k)
+        __, k_prime = step2.target
+        clique = find_clique_bruteforce(g, k)
+        cover = find_vertex_cover_bruteforce(complement, k_prime)
+        assert (clique is None) == (cover is None)
+        if cover is not None:
+            recovered = step1.pull_back(step2.pull_back(cover))
+            assert g.is_clique(recovered)

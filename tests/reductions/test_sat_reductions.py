@@ -1,0 +1,123 @@
+"""Equivalence tests for the 3SAT reductions (Corollaries 6.1, 6.2)."""
+
+import pytest
+
+from repro.csp.backtracking import solve_backtracking
+from repro.errors import ReductionError
+from repro.generators.sat_gen import random_ksat
+from repro.reductions.sat_to_coloring import (
+    BASE,
+    FALSE,
+    TRUE,
+    coloring_as_csp,
+    sat_to_3coloring,
+    solve_coloring,
+)
+from repro.reductions.sat_to_csp import sat_to_csp
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+
+
+class TestSatToCSP:
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ReductionError):
+            sat_to_csp(CNF(0))
+
+    def test_certificates(self):
+        f = random_ksat(6, 10, 3, seed=1)
+        red = sat_to_csp(f)
+        red.certify()
+        assert red.target.num_variables == 6
+        assert red.target.num_constraints == 10
+        assert red.target.domain_size == 2
+
+    def test_clause_with_repeated_variable(self):
+        # (x1 ∨ ¬x1 ∨ x2): the scope deduplicates to {1, 2}.
+        f = CNF(2, [[1, -1, 2]])
+        red = sat_to_csp(f)
+        red.certify()
+        # Tautological clause: every pair allowed.
+        assert len(red.target.constraints[0].relation) == 4
+
+    def test_equivalence_random(self, rng):
+        for _ in range(20):
+            n = rng.randrange(3, 7)
+            f = random_ksat(n, rng.randrange(1, 4 * n), 3, seed=rng.randrange(10**6))
+            red = sat_to_csp(f)
+            red.certify()
+            sat = solve_dpll(f) is not None
+            csp_solution = solve_backtracking(red.target)
+            assert sat == (csp_solution is not None)
+            if csp_solution is not None:
+                assert f.evaluate(red.pull_back(csp_solution))
+
+    def test_unit_clauses(self):
+        f = CNF.from_clauses([[1], [-2]])
+        red = sat_to_csp(f)
+        solution = solve_backtracking(red.target)
+        back = red.pull_back(solution)
+        assert back == {1: True, 2: False}
+
+
+class TestSatTo3Coloring:
+    def test_wide_clause_rejected(self):
+        with pytest.raises(ReductionError):
+            sat_to_3coloring(CNF.from_clauses([[1, 2, 3, 4]]))
+
+    def test_size_certificates_linear(self):
+        f = random_ksat(8, 20, 3, seed=2)
+        red = sat_to_3coloring(f)
+        red.certify()
+        graph = red.target.graph
+        assert graph.num_vertices <= 3 + 2 * 8 + 6 * 20
+        assert graph.num_edges <= 3 + 3 * 8 + 12 * 20
+
+    def test_palette_is_triangle(self):
+        f = CNF.from_clauses([[1]])
+        red = sat_to_3coloring(f)
+        g = red.target.graph
+        assert g.has_edge(TRUE, FALSE) and g.has_edge(TRUE, BASE) and g.has_edge(FALSE, BASE)
+
+    def test_equivalence_random(self, rng):
+        for _ in range(12):
+            n = rng.randrange(3, 6)
+            f = random_ksat(n, rng.randrange(1, 10), 3, seed=rng.randrange(10**6))
+            red = sat_to_3coloring(f)
+            red.certify()
+            sat = solve_dpll(f) is not None
+            coloring = solve_coloring(red.target)
+            assert sat == (coloring is not None), list(f.clauses)
+            if coloring is not None:
+                assert f.evaluate(red.pull_back(coloring))
+
+    def test_unsatisfiable_formula_not_colorable(self):
+        f = CNF.from_clauses([[1], [-1]])
+        assert solve_dpll(f) is None
+        red = sat_to_3coloring(f)
+        assert solve_coloring(red.target) is None
+
+    def test_narrow_clauses_padded(self):
+        # 1- and 2-literal clauses go through the same gadget.
+        f = CNF.from_clauses([[1], [-1, 2]])
+        red = sat_to_3coloring(f)
+        coloring = solve_coloring(red.target)
+        assert coloring is not None
+        back = red.pull_back(coloring)
+        assert back[1] is True and back[2] is True
+
+
+class TestColoringAsCSP:
+    def test_corollary_62_form(self):
+        """Corollary 6.2's instance family: binary constraints, |D| = 3."""
+        f = random_ksat(4, 6, 3, seed=3)
+        red = sat_to_3coloring(f)
+        csp = coloring_as_csp(red.target.graph)
+        assert csp.is_binary
+        assert csp.domain_size == 3
+
+    def test_k4_not_3_colorable(self):
+        from repro.graphs.graph import Graph
+
+        k4 = Graph(edges=[(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert solve_coloring(k4) is None
+        assert solve_coloring(k4, colors=4) is not None

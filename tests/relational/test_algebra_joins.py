@@ -1,0 +1,145 @@
+"""Tests for relational algebra primitives and pairwise join plans."""
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.errors import SchemaError
+from repro.relational.algebra import project, select_equal, semijoin
+from repro.relational.database import Database
+from repro.relational.joins import (
+    best_left_deep_peak,
+    evaluate_left_deep,
+    hash_join,
+)
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.relation import Relation
+
+
+class TestProject:
+    def test_dedup(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (1, 3)])
+        p = project(r, ["a"])
+        assert p.tuples == {(1,)}
+
+    def test_reorder(self):
+        r = Relation("R", ("a", "b"), [(1, 2)])
+        p = project(r, ["b", "a"])
+        assert p.tuples == {(2, 1)}
+
+
+class TestSelect:
+    def test_select_equal(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (3, 2), (1, 4)])
+        s = select_equal(r, "a", 1)
+        assert s.tuples == {(1, 2), (1, 4)}
+
+
+class TestSemijoin:
+    def test_basic(self):
+        left = Relation("L", ("a", "b"), [(1, 2), (3, 4)])
+        right = Relation("R", ("b", "c"), [(2, 9)])
+        out = semijoin(left, right)
+        assert out.tuples == {(1, 2)}
+
+    def test_no_shared_attributes_nonempty_right(self):
+        left = Relation("L", ("a",), [(1,)])
+        right = Relation("R", ("b",), [(9,)])
+        assert semijoin(left, right).tuples == {(1,)}
+
+    def test_no_shared_attributes_empty_right(self):
+        left = Relation("L", ("a",), [(1,)])
+        right = Relation("R", ("b",))
+        assert semijoin(left, right).tuples == set()
+
+
+class TestHashJoin:
+    def test_natural_join(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (1, 3)])
+        s = Relation("S", ("b", "c"), [(2, 7), (3, 8), (9, 9)])
+        out = hash_join(r, s)
+        assert out.attributes == ("a", "b", "c")
+        assert out.tuples == {(1, 2, 7), (1, 3, 8)}
+
+    def test_cross_product_when_disjoint(self):
+        r = Relation("R", ("a",), [(1,), (2,)])
+        s = Relation("S", ("b",), [(8,), (9,)])
+        out = hash_join(r, s)
+        assert len(out) == 4
+
+    def test_join_on_all_attributes_is_intersection(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (3, 4)])
+        s = Relation("S", ("a", "b"), [(1, 2), (5, 6)])
+        out = hash_join(r, s)
+        assert out.tuples == {(1, 2)}
+
+    def test_counter_charged(self):
+        r = Relation("R", ("a",), [(1,)])
+        s = Relation("S", ("a",), [(1,)])
+        counter = CostCounter()
+        hash_join(r, s, counter)
+        assert counter.total >= 2
+
+
+def triangle_db(tuples1, tuples2, tuples3) -> Database:
+    return Database(
+        [
+            Relation("R1", ("x", "y"), tuples1),
+            Relation("R2", ("x", "y"), tuples2),
+            Relation("R3", ("x", "y"), tuples3),
+        ]
+    )
+
+
+class TestLeftDeepPlans:
+    def test_single_atom(self):
+        q = JoinQuery([Atom("R1", ("a", "b"))])
+        db = Database([Relation("R1", ("a", "b"), [(1, 2)])])
+        res = evaluate_left_deep(q, db)
+        assert res.answer.tuples == {(1, 2)}
+
+    def test_bad_order_rejected(self):
+        q = JoinQuery.triangle()
+        db = triangle_db([(0, 0)], [(0, 0)], [(0, 0)])
+        with pytest.raises(SchemaError):
+            evaluate_left_deep(q, db, order=[0, 0, 1])
+
+    def test_triangle_answer(self):
+        db = triangle_db(
+            [(0, 1), (0, 2)],
+            [(0, 5)],
+            [(1, 5), (2, 5)],
+        )
+        q = JoinQuery.triangle()
+        res = evaluate_left_deep(q, db)
+        assert len(res.answer) == 2
+        assert res.peak_intermediate_size >= len(res.answer)
+
+    def test_all_orders_same_answer(self):
+        from itertools import permutations
+
+        db = triangle_db(
+            [(0, 1), (1, 2), (2, 0)],
+            [(0, 1), (1, 0), (2, 2)],
+            [(1, 1), (2, 0), (0, 2)],
+        )
+        q = JoinQuery.triangle()
+        answers = set()
+        for perm in permutations(range(3)):
+            res = evaluate_left_deep(q, db, perm)
+            normalized = frozenset(
+                tuple(t[res.answer.attributes.index(a)] for a in ("a1", "a2", "a3"))
+                for t in res.answer.tuples
+            )
+            answers.add(normalized)
+        assert len(answers) == 1
+
+    def test_best_plan_minimizes_peak(self):
+        db = triangle_db(
+            [(0, i) for i in range(10)],
+            [(0, 5)],
+            [(i, 5) for i in range(10)],
+        )
+        q = JoinQuery.triangle()
+        order, peak = best_left_deep_peak(q, db)
+        assert peak <= evaluate_left_deep(q, db).peak_intermediate_size
+        assert sorted(order) == [0, 1, 2]

@@ -1,0 +1,119 @@
+"""Tests for Database and JoinQuery."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.hypergraph.covers import fractional_edge_cover_number
+from repro.relational.database import Database
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.relation import Relation
+
+
+class TestDatabase:
+    def test_duplicate_relation_rejected(self):
+        db = Database([Relation("R", ("a",))])
+        with pytest.raises(SchemaError):
+            db.add_relation(Relation("R", ("b",)))
+
+    def test_missing_relation(self):
+        with pytest.raises(SchemaError):
+            Database().relation("nope")
+
+    def test_domain_is_active_by_default(self):
+        db = Database([Relation("R", ("a", "b"), [(1, 2)])])
+        assert db.domain() == {1, 2}
+
+    def test_declared_domain(self):
+        db = Database([Relation("R", ("a",), [(1,)])], domain=[1, 2, 3])
+        assert db.domain() == {1, 2, 3}
+
+    def test_declared_domain_must_contain_active(self):
+        db = Database([Relation("R", ("a",), [(5,)])], domain=[1])
+        with pytest.raises(SchemaError):
+            db.domain()
+
+    def test_max_relation_size(self):
+        db = Database(
+            [Relation("R", ("a",), [(1,), (2,)]), Relation("S", ("a",), [(1,)])]
+        )
+        assert db.max_relation_size() == 2
+        assert Database().max_relation_size() == 0
+
+
+class TestAtom:
+    def test_repeated_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom("R", ("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom("R", ())
+
+
+class TestJoinQuery:
+    def test_needs_atoms(self):
+        with pytest.raises(SchemaError):
+            JoinQuery([])
+
+    def test_attribute_order_first_occurrence(self):
+        q = JoinQuery([Atom("R", ("b", "a")), Atom("S", ("a", "c"))])
+        assert q.attributes == ("b", "a", "c")
+
+    def test_hypergraph_matches(self):
+        q = JoinQuery.triangle()
+        h = q.hypergraph()
+        assert h.num_edges == 3
+        assert fractional_edge_cover_number(h) == pytest.approx(1.5)
+
+    def test_primal_graph(self):
+        q = JoinQuery.path(3)
+        primal = q.primal_graph()
+        assert primal.num_edges == 3
+        assert not primal.has_edge("a0", "a2")
+
+    def test_validate_against(self):
+        q = JoinQuery([Atom("R", ("a", "b"))])
+        db_good = Database([Relation("R", ("x", "y"))])
+        q.validate_against(db_good)
+        db_bad = Database([Relation("R", ("x",))])
+        with pytest.raises(SchemaError):
+            q.validate_against(db_bad)
+
+    def test_bound_relation_renames(self):
+        q = JoinQuery([Atom("R", ("a", "b"))])
+        db = Database([Relation("R", ("x", "y"), [(1, 2)])])
+        bound = q.bound_relation(q.atoms[0], db)
+        assert bound.attributes == ("a", "b")
+        assert (1, 2) in bound
+
+
+class TestStockQueries:
+    def test_triangle(self):
+        q = JoinQuery.triangle()
+        assert q.num_atoms == 3
+        assert q.attributes == ("a1", "a2", "a3")
+
+    def test_cycle_validation(self):
+        with pytest.raises(SchemaError):
+            JoinQuery.cycle(2)
+        assert JoinQuery.cycle(5).num_atoms == 5
+
+    def test_path(self):
+        assert JoinQuery.path(4).num_atoms == 4
+        with pytest.raises(SchemaError):
+            JoinQuery.path(0)
+
+    def test_star(self):
+        q = JoinQuery.star(3)
+        assert q.num_atoms == 3
+        assert "c" in q.attributes
+
+    def test_clique(self):
+        q = JoinQuery.clique(4)
+        assert q.num_atoms == 6
+        with pytest.raises(SchemaError):
+            JoinQuery.clique(1)
+
+    def test_clique_rho_star(self):
+        h = JoinQuery.clique(4).hypergraph()
+        assert fractional_edge_cover_number(h) == pytest.approx(2.0)

@@ -1,0 +1,167 @@
+"""Tests for answer enumeration and core-based query minimization."""
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.errors import SchemaError
+from repro.generators.agm import uniform_random_database
+from repro.relational.database import Database
+from repro.relational.enumeration import (
+    enumerate_acyclic,
+    enumerate_nested_loop,
+    measure_delays,
+)
+from repro.relational.minimize import canonical_structure, minimize_query
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.wcoj import boolean_generic_join, generic_join
+
+
+def expected_answers(query, database):
+    answer = generic_join(query, database)
+    idx = [answer.attributes.index(a) for a in query.attributes]
+    return {tuple(t[i] for i in idx) for t in answer.tuples}
+
+
+class TestEnumerators:
+    @pytest.mark.parametrize(
+        "shape",
+        [JoinQuery.path(2), JoinQuery.path(4), JoinQuery.star(3)],
+        ids=["path2", "path4", "star3"],
+    )
+    def test_acyclic_matches_generic_join(self, shape):
+        for seed in range(4):
+            database = uniform_random_database(shape, 20, 5, seed=seed)
+            assert set(enumerate_acyclic(shape, database)) == expected_answers(
+                shape, database
+            )
+
+    def test_nested_loop_matches_on_cyclic(self):
+        query = JoinQuery.triangle()
+        database = uniform_random_database(query, 20, 6, seed=1)
+        assert set(enumerate_nested_loop(query, database)) == expected_answers(
+            query, database
+        )
+
+    def test_acyclic_rejects_cyclic_query(self):
+        query = JoinQuery.triangle()
+        database = uniform_random_database(query, 5, 3, seed=0)
+        with pytest.raises(SchemaError):
+            list(enumerate_acyclic(query, database))
+
+    def test_no_duplicates(self):
+        query = JoinQuery.path(3)
+        database = uniform_random_database(query, 25, 4, seed=2)
+        answers = list(enumerate_acyclic(query, database))
+        assert len(answers) == len(set(answers))
+
+    def test_empty_answer(self):
+        query = JoinQuery.path(2)
+        database = Database(
+            [
+                Relation("R1", ("x", "y"), [(1, 2)]),
+                Relation("R2", ("x", "y"), [(9, 9)]),
+            ]
+        )
+        assert list(enumerate_acyclic(query, database)) == []
+        assert list(enumerate_nested_loop(query, database)) == []
+
+    def test_constant_delay_property(self):
+        """Inter-answer delays of the reduced enumerator stay constant
+        as N grows, while the naive enumerator's grow."""
+        from repro.experiments.exp_enumeration import dangling_database
+
+        query = JoinQuery.path(3)
+        acyclic_maxima = []
+        naive_maxima = []
+        for n in (40, 160):
+            database = dangling_database(n)
+            counter = CostCounter()
+            delays = measure_delays(
+                enumerate_acyclic(query, database, counter), counter
+            )
+            acyclic_maxima.append(max(delays[1:]))
+            counter = CostCounter()
+            delays = measure_delays(
+                enumerate_nested_loop(query, database, counter), counter
+            )
+            naive_maxima.append(max(delays[1:]))
+        assert acyclic_maxima[0] == acyclic_maxima[1]  # data independent
+        assert naive_maxima[1] > 2 * naive_maxima[0]   # grows with N
+
+
+class TestCanonicalStructure:
+    def test_universe_is_attributes(self):
+        q = JoinQuery.triangle()
+        s = canonical_structure(q)
+        assert set(s.universe) == set(q.attributes)
+
+    def test_self_join_shares_symbol(self):
+        q = JoinQuery([Atom("E", ("a", "b")), Atom("E", ("b", "c"))])
+        s = canonical_structure(q)
+        assert len(s.relation("E")) == 2
+
+    def test_inconsistent_arity_rejected(self):
+        q = JoinQuery([Atom("E", ("a", "b")), Atom("E", ("c",))])
+        with pytest.raises(SchemaError):
+            canonical_structure(q)
+
+
+class TestMinimizeQuery:
+    def test_distinct_relations_untouched(self):
+        q = JoinQuery.triangle()  # R1, R2, R3 distinct: nothing to fold
+        red = minimize_query(q)
+        red.certify()
+        assert red.target.num_atoms == 3
+
+    def test_folding_self_join(self):
+        # E(a,b) ⋈ E(c,b): c folds onto a.
+        q = JoinQuery([Atom("E", ("a", "b")), Atom("E", ("c", "b"))])
+        red = minimize_query(q)
+        red.certify()
+        assert red.target.num_atoms == 1
+
+    def test_directed_triangle_is_core(self):
+        q = JoinQuery(
+            [Atom("E", ("a", "b")), Atom("E", ("b", "c")), Atom("E", ("c", "a"))]
+        )
+        red = minimize_query(q)
+        assert red.target.num_atoms == 3
+
+    def test_boolean_equivalence_on_random_databases(self, rng):
+        q = JoinQuery(
+            [
+                Atom("E", ("a", "b")),
+                Atom("E", ("b", "c")),
+                Atom("E", ("d", "b")),
+            ]
+        )
+        red = minimize_query(q)
+        red.certify()
+        assert red.target.num_atoms < q.num_atoms
+        for seed in range(8):
+            relation = Relation("E", ("x", "y"))
+            import random
+
+            r = random.Random(seed)
+            for __ in range(r.randrange(1, 14)):
+                relation.add((r.randrange(4), r.randrange(4)))
+            database = Database([relation])
+            assert boolean_generic_join(q, database) == boolean_generic_join(
+                red.target, database
+            ), seed
+
+    def test_longer_path_folds(self):
+        # Undirected-style doubled edges make even paths fold to an edge.
+        q = JoinQuery(
+            [
+                Atom("E", ("a", "b")),
+                Atom("E", ("b", "a")),
+                Atom("E", ("b", "c")),
+                Atom("E", ("c", "b")),
+            ]
+        )
+        red = minimize_query(q)
+        red.certify()
+        # Symmetric path of length 2 retracts onto one doubled edge.
+        assert red.target.num_atoms == 2

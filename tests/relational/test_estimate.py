@@ -1,0 +1,72 @@
+"""Tests for the AGM bound calculator (Theorem 3.1)."""
+
+import pytest
+
+from repro.generators.agm import tight_agm_database, uniform_random_database
+from repro.relational.database import Database
+from repro.relational.estimate import agm_bound, agm_bound_uniform
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.wcoj import generic_join
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestUniformBound:
+    def test_triangle(self):
+        h = Hypergraph.triangle()
+        assert agm_bound_uniform(h, 100) == pytest.approx(100**1.5)
+
+    def test_single_edge(self):
+        h = Hypergraph(edges=[("a", "b")])
+        assert agm_bound_uniform(h, 50) == pytest.approx(50.0)
+
+    def test_zero_size(self):
+        assert agm_bound_uniform(Hypergraph.triangle(), 0) == 0.0
+
+    def test_negative_rejected(self):
+        from repro.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            agm_bound_uniform(Hypergraph.triangle(), -1)
+
+
+class TestSizeAwareBound:
+    def test_empty_relation_zero(self):
+        q = JoinQuery([Atom("R", ("a", "b"))])
+        db = Database([Relation("R", ("a", "b"))])
+        assert agm_bound(q, db) == 0.0
+
+    def test_single_relation_bound_is_size(self):
+        q = JoinQuery([Atom("R", ("a", "b"))])
+        db = Database([Relation("R", ("a", "b"), [(i, i) for i in range(7)])])
+        assert agm_bound(q, db) == pytest.approx(7.0)
+
+    def test_nonuniform_sizes_tighter_than_uniform(self):
+        q = JoinQuery.triangle()
+        # R3 tiny: the optimal weighting should exploit it.
+        db = Database(
+            [
+                Relation("R1", ("x", "y"), [(i, j) for i in range(5) for j in range(5)]),
+                Relation("R2", ("x", "y"), [(i, j) for i in range(5) for j in range(5)]),
+                Relation("R3", ("x", "y"), [(0, 0)]),
+            ]
+        )
+        bound = agm_bound(q, db)
+        uniform = agm_bound_uniform(q.hypergraph(), db.max_relation_size())
+        assert bound <= uniform + 1e-9
+
+    def test_bound_dominates_answer_on_random(self):
+        for shape in (JoinQuery.triangle(), JoinQuery.cycle(4), JoinQuery.star(2)):
+            for seed in range(4):
+                db = uniform_random_database(shape, 30, 8, seed=seed)
+                answer = generic_join(shape, db)
+                assert len(answer) <= agm_bound(shape, db) + 1e-6
+
+    def test_tight_database_achieves_bound(self):
+        q = JoinQuery.triangle()
+        db = tight_agm_database(q, 64)
+        answer = generic_join(q, db)
+        bound = agm_bound(q, db)
+        # floor(64^0.5) = 8 per attribute: answer = 512, bound >= 512.
+        assert len(answer) == 512
+        assert bound >= len(answer) - 1e-6

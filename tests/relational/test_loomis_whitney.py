@@ -1,0 +1,82 @@
+"""Tests for the Loomis–Whitney query family (§3, higher arity)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.generators.agm import (
+    expected_tight_answer_size,
+    tight_agm_database,
+    uniform_random_database,
+)
+from repro.hypergraph.covers import fractional_edge_cover_number
+from repro.relational.estimate import agm_bound
+from repro.relational.joins import evaluate_left_deep
+from repro.relational.query import JoinQuery
+from repro.relational.wcoj import generic_join
+
+
+class TestShape:
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            JoinQuery.loomis_whitney(2)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_rho_star(self, n):
+        query = JoinQuery.loomis_whitney(n)
+        rho = fractional_edge_cover_number(query.hypergraph())
+        assert rho == pytest.approx(n / (n - 1))
+
+    def test_lw3_structure(self):
+        query = JoinQuery.loomis_whitney(3)
+        assert query.num_atoms == 3
+        assert all(atom.arity == 2 for atom in query.atoms)
+
+    def test_lw4_arity(self):
+        query = JoinQuery.loomis_whitney(4)
+        assert all(atom.arity == 3 for atom in query.atoms)
+        # Every attribute appears in exactly n-1 atoms.
+        for a in query.attributes:
+            occurrences = sum(1 for atom in query.atoms if a in atom.attributes)
+            assert occurrences == 3
+
+
+class TestEvaluation:
+    def test_engines_agree(self):
+        query = JoinQuery.loomis_whitney(4)
+        for seed in range(3):
+            database = uniform_random_database(query, 30, 4, seed=seed)
+            gj = generic_join(query, database)
+            plan = evaluate_left_deep(query, database)
+            gj_set = {
+                tuple(t[gj.attributes.index(a)] for a in query.attributes)
+                for t in gj.tuples
+            }
+            plan_set = {
+                tuple(t[plan.answer.attributes.index(a)] for a in query.attributes)
+                for t in plan.answer.tuples
+            }
+            assert gj_set == plan_set
+
+    def test_agm_bound_respected(self):
+        query = JoinQuery.loomis_whitney(4)
+        database = uniform_random_database(query, 40, 5, seed=7)
+        answer = generic_join(query, database)
+        assert len(answer) <= agm_bound(query, database) + 1e-6
+
+    def test_tight_construction_for_lw4(self):
+        """The dual-LP tight databases hit the N^{4/3} shape exactly."""
+        query = JoinQuery.loomis_whitney(4)
+        for n in (8, 27):
+            database = tight_agm_database(query, n)
+            assert database.max_relation_size() <= n
+            answer = generic_join(query, database)
+            assert len(answer) == expected_tight_answer_size(query, n)
+
+    def test_lw4_tight_exponent(self):
+        """At a perfect cube N, the answer is exactly N^{4/3}."""
+        query = JoinQuery.loomis_whitney(4)
+        n = 27  # 27^{1/3} = 3 per attribute; answer = 3^4 = 81
+        database = tight_agm_database(query, n)
+        answer = generic_join(query, database)
+        assert len(answer) == 81
+        assert 81 == pytest.approx(n ** (4 / 3))

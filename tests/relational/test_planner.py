@@ -1,0 +1,74 @@
+"""Tests for AGM-guided join planning."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.generators.agm import skewed_triangle_database, uniform_random_database
+from repro.relational.database import Database
+from repro.relational.joins import evaluate_left_deep
+from repro.relational.planner import plan_by_agm, prefix_bounds
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.relation import Relation
+
+
+class TestPrefixBounds:
+    def test_single_atom(self):
+        query = JoinQuery([Atom("R", ("a", "b"))])
+        database = Database([Relation("R", ("a", "b"), [(1, 2), (3, 4)])])
+        assert prefix_bounds(query, database, (0,)) == [pytest.approx(2.0)]
+
+    def test_monotone_refinement(self):
+        """Each prefix bound upper-bounds the actual intermediate size
+        produced by the corresponding plan prefix."""
+        query = JoinQuery.triangle()
+        database = uniform_random_database(query, 25, 8, seed=4)
+        for order in ((0, 1, 2), (2, 0, 1)):
+            bounds = prefix_bounds(query, database, order)
+            result = evaluate_left_deep(query, database, order)
+            assert result.peak_intermediate_size <= max(bounds) + 1e-6
+
+    def test_final_prefix_is_full_query_bound(self):
+        from repro.relational.estimate import agm_bound
+
+        query = JoinQuery.cycle(4)
+        database = uniform_random_database(query, 15, 5, seed=2)
+        bounds = prefix_bounds(query, database, (0, 1, 2, 3))
+        assert bounds[-1] == pytest.approx(agm_bound(query, database))
+
+
+class TestPlanByAGM:
+    def test_order_is_permutation(self):
+        query = JoinQuery.triangle()
+        database = skewed_triangle_database(30)
+        order, worst = plan_by_agm(query, database)
+        assert sorted(order) == [0, 1, 2]
+        assert worst > 0
+
+    def test_small_relation_first(self):
+        """With one tiny relation, the planner leads with it (its prefix
+        bound is minimal)."""
+        query = JoinQuery.triangle()
+        database = Database(
+            [
+                Relation("R1", ("x", "y"), [(i, j) for i in range(10) for j in range(10)]),
+                Relation("R2", ("x", "y"), [(i, j) for i in range(10) for j in range(10)]),
+                Relation("R3", ("x", "y"), [(0, 0)]),
+            ]
+        )
+        order, __ = plan_by_agm(query, database)
+        assert order[0] == 2
+
+    def test_planned_bound_not_worse_than_any_order(self):
+        from itertools import permutations
+
+        query = JoinQuery.triangle()
+        database = uniform_random_database(query, 20, 6, seed=9)
+        __, best_worst = plan_by_agm(query, database)
+        for order in permutations(range(3)):
+            assert best_worst <= max(prefix_bounds(query, database, order)) + 1e-9
+
+    def test_too_many_atoms_rejected(self):
+        query = JoinQuery.clique(5)  # 10 atoms
+        database = uniform_random_database(query, 4, 3, seed=0)
+        with pytest.raises(SchemaError):
+            plan_by_agm(query, database)

@@ -1,0 +1,73 @@
+"""Tests for the Relation container."""
+
+import pytest
+
+from repro.errors import ArityMismatchError, SchemaError, UnknownAttributeError
+from repro.relational.relation import Relation
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (3, 4)])
+        assert r.arity == 2
+        assert len(r) == 2
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("a", "a"))
+
+    def test_set_semantics(self):
+        r = Relation("R", ("a",), [(1,), (1,)])
+        assert len(r) == 1
+
+    def test_arity_mismatch(self):
+        r = Relation("R", ("a", "b"))
+        with pytest.raises(ArityMismatchError):
+            r.add((1,))
+
+
+class TestAccess:
+    def test_position(self):
+        r = Relation("R", ("x", "y", "z"))
+        assert r.position("y") == 1
+        with pytest.raises(UnknownAttributeError):
+            r.position("w")
+
+    def test_column(self):
+        r = Relation("R", ("a", "b"), [(1, 10), (2, 10)])
+        assert r.column("a") == {1, 2}
+        assert r.column("b") == {10}
+
+    def test_as_dicts(self):
+        r = Relation("R", ("a", "b"), [(1, 2)])
+        assert list(r.as_dicts()) == [{"a": 1, "b": 2}]
+
+    def test_matches(self):
+        r = Relation("R", ("a", "b"))
+        assert r.matches((1, 2), {"a": 1})
+        assert not r.matches((1, 2), {"a": 9})
+        assert r.matches((1, 2), {"other": 99})
+
+    def test_active_domain(self):
+        r = Relation("R", ("a", "b"), [(1, 2), (2, 3)])
+        assert r.active_domain() == {1, 2, 3}
+
+    def test_membership_and_iter(self):
+        r = Relation("R", ("a",), [(1,)])
+        assert (1,) in r
+        assert (2,) not in r
+        assert list(r) == [(1,)]
+
+    def test_renamed(self):
+        r = Relation("R", ("a", "b"), [(1, 2)])
+        s = r.renamed({"a": "x"})
+        assert s.attributes == ("x", "b")
+        assert (1, 2) in s
+
+    def test_equality(self):
+        assert Relation("R", ("a",), [(1,)]) == Relation("R", ("a",), [(1,)])
+        assert Relation("R", ("a",), [(1,)]) != Relation("S", ("a",), [(1,)])

@@ -1,0 +1,159 @@
+"""Tests for Generic Join and Yannakakis, cross-checked against
+pairwise plans on random databases."""
+
+import random
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.generators.agm import (
+    skewed_triangle_database,
+    tight_agm_database,
+    uniform_random_database,
+)
+from repro.relational.database import Database
+from repro.relational.joins import evaluate_left_deep
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.wcoj import boolean_generic_join, generic_join
+from repro.relational.yannakakis import boolean_yannakakis, yannakakis
+
+
+def normalize(relation, attrs):
+    idx = [relation.attributes.index(a) for a in attrs]
+    return {tuple(t[i] for i in idx) for t in relation.tuples}
+
+
+class TestGenericJoin:
+    def test_single_atom(self):
+        q = JoinQuery([Atom("R", ("a", "b"))])
+        db = Database([Relation("R", ("a", "b"), [(1, 2), (3, 4)])])
+        out = generic_join(q, db)
+        assert normalize(out, ("a", "b")) == {(1, 2), (3, 4)}
+
+    def test_triangle_small(self):
+        q = JoinQuery.triangle()
+        db = Database(
+            [
+                Relation("R1", ("x", "y"), [(0, 1), (0, 2)]),
+                Relation("R2", ("x", "y"), [(0, 9)]),
+                Relation("R3", ("x", "y"), [(1, 9)]),
+            ]
+        )
+        out = generic_join(q, db)
+        assert normalize(out, ("a1", "a2", "a3")) == {(0, 1, 9)}
+
+    def test_empty_relation_gives_empty_answer(self):
+        q = JoinQuery.triangle()
+        db = Database(
+            [
+                Relation("R1", ("x", "y"), [(0, 1)]),
+                Relation("R2", ("x", "y")),
+                Relation("R3", ("x", "y"), [(1, 9)]),
+            ]
+        )
+        assert len(generic_join(q, db)) == 0
+        assert not boolean_generic_join(q, db)
+
+    def test_bad_attribute_order_rejected(self):
+        q = JoinQuery.triangle()
+        db = skewed_triangle_database(4)
+        with pytest.raises(SchemaError):
+            generic_join(q, db, attribute_order=("a1", "a2"))
+
+    def test_all_orders_agree(self):
+        from itertools import permutations
+
+        q = JoinQuery.triangle()
+        db = uniform_random_database(q, 30, 8, seed=5)
+        expected = None
+        for order in permutations(q.attributes):
+            out = normalize(generic_join(q, db, attribute_order=order), q.attributes)
+            if expected is None:
+                expected = out
+            assert out == expected
+
+    def test_matches_left_deep_on_random(self, rng):
+        for shape in (JoinQuery.triangle(), JoinQuery.cycle(4), JoinQuery.path(3), JoinQuery.star(3)):
+            for seed in range(3):
+                db = uniform_random_database(shape, 25, 6, seed=seed)
+                gj = normalize(generic_join(shape, db), shape.attributes)
+                plan = evaluate_left_deep(shape, db)
+                ld = normalize(plan.answer, shape.attributes)
+                assert gj == ld
+
+    def test_boolean_matches_full(self):
+        q = JoinQuery.cycle(4)
+        for seed in range(5):
+            db = uniform_random_database(q, 15, 5, seed=seed)
+            assert boolean_generic_join(q, db) == (len(generic_join(q, db)) > 0)
+
+
+class TestYannakakis:
+    def test_cyclic_query_rejected(self):
+        q = JoinQuery.triangle()
+        db = skewed_triangle_database(4)
+        with pytest.raises(SchemaError):
+            yannakakis(q, db)
+        with pytest.raises(SchemaError):
+            boolean_yannakakis(q, db)
+
+    def test_path_query(self):
+        q = JoinQuery.path(2)
+        db = Database(
+            [
+                Relation("R1", ("x", "y"), [(1, 2), (3, 4)]),
+                Relation("R2", ("x", "y"), [(2, 5)]),
+            ]
+        )
+        out = yannakakis(q, db)
+        assert normalize(out, ("a0", "a1", "a2")) == {(1, 2, 5)}
+
+    def test_matches_generic_join_on_acyclic(self, rng):
+        for shape in (JoinQuery.path(3), JoinQuery.star(3), JoinQuery.path(4)):
+            for seed in range(3):
+                db = uniform_random_database(shape, 20, 5, seed=seed)
+                y = normalize(yannakakis(shape, db), shape.attributes)
+                g = normalize(generic_join(shape, db), shape.attributes)
+                assert y == g
+                assert boolean_yannakakis(shape, db) == (len(g) > 0)
+
+    def test_projection(self):
+        q = JoinQuery.path(2)
+        db = Database(
+            [
+                Relation("R1", ("x", "y"), [(1, 2)]),
+                Relation("R2", ("x", "y"), [(2, 5), (2, 6)]),
+            ]
+        )
+        out = yannakakis(q, db, project_to=("a0",))
+        assert normalize(out, ("a0",)) == {(1,)}
+
+    def test_dangling_tuples_removed(self):
+        """Semijoin reduction removes tuples that join with nothing."""
+        q = JoinQuery.path(3)
+        db = Database(
+            [
+                Relation("R1", ("x", "y"), [(1, 2), (7, 8)]),  # (7,8) dangles
+                Relation("R2", ("x", "y"), [(2, 3)]),
+                Relation("R3", ("x", "y"), [(3, 4)]),
+            ]
+        )
+        out = yannakakis(q, db)
+        assert normalize(out, q.attributes) == {(1, 2, 3, 4)}
+
+
+class TestTightDatabases:
+    def test_tight_triangle_sizes(self):
+        q = JoinQuery.triangle()
+        db = tight_agm_database(q, 100)
+        assert db.max_relation_size() <= 100
+        out = generic_join(q, db)
+        assert len(out) == 1000  # (10^0.5... ) floor(100^0.5)^3
+
+    def test_skewed_answer_linear(self):
+        db = skewed_triangle_database(40)
+        q = JoinQuery.triangle()
+        out = generic_join(q, db)
+        # Answer ~ 3*(N/2) minus overlaps; must be far below (N/2)^2.
+        assert 20 <= len(out) <= 80

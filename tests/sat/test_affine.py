@@ -1,0 +1,76 @@
+"""Tests for GF(2) affine systems (Schaefer's affine class)."""
+
+from itertools import product
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.sat.affine import solve_affine_system
+
+
+def check_by_enumeration(equations, n):
+    for values in product((False, True), repeat=n):
+        assignment = dict(zip(range(1, n + 1), values))
+        if all(
+            sum(assignment[v] for v in vars_) % 2 == rhs
+            for vars_, rhs in equations
+        ):
+            return assignment
+    return None
+
+
+class TestValidation:
+    def test_bad_rhs(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_affine_system([([1], 2)], 1)
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_affine_system([([5], 1)], 2)
+
+    def test_negative_variable_count(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_affine_system([], -1)
+
+
+class TestSolve:
+    def test_empty_system(self):
+        assert solve_affine_system([], 2) == {1: False, 2: False}
+
+    def test_single_forced(self):
+        model = solve_affine_system([([1], 1)], 1)
+        assert model == {1: True}
+
+    def test_xor_pair(self):
+        model = solve_affine_system([([1, 2], 1)], 2)
+        assert model is not None
+        assert model[1] ^ model[2]
+
+    def test_inconsistent(self):
+        assert solve_affine_system([([1, 2], 0), ([1, 2], 1)], 2) is None
+
+    def test_zero_equals_one_inconsistent(self):
+        # x1 ⊕ x1 = 1 collapses to 0 = 1.
+        assert solve_affine_system([([1, 1], 1)], 1) is None
+
+    def test_chain(self):
+        equations = [([1, 2], 1), ([2, 3], 1), ([3, 4], 1), ([1], 1)]
+        model = solve_affine_system(equations, 4)
+        assert model == {1: True, 2: False, 3: True, 4: False}
+
+    def test_agrees_with_enumeration(self, rng):
+        for _ in range(30):
+            n = rng.randrange(1, 6)
+            equations = []
+            for _ in range(rng.randrange(0, 6)):
+                width = rng.randrange(1, n + 1)
+                variables = rng.sample(range(1, n + 1), width)
+                equations.append((variables, rng.randrange(2)))
+            model = solve_affine_system(equations, n)
+            expected = check_by_enumeration(equations, n)
+            assert (model is None) == (expected is None)
+            if model is not None:
+                assert all(
+                    sum(model[v] for v in vars_) % 2 == rhs
+                    for vars_, rhs in equations
+                )

@@ -1,0 +1,113 @@
+"""Tests for the CDCL solver, fuzzed against DPLL and enumeration."""
+
+from itertools import product
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.errors import BudgetExceededError
+from repro.generators.sat_gen import planted_ksat, random_ksat
+from repro.sat.cdcl import CDCLStats, solve_cdcl
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+
+
+class TestBasics:
+    def test_empty_formula(self):
+        assert solve_cdcl(CNF(0)) == {}
+
+    def test_no_clauses(self):
+        model = solve_cdcl(CNF(3))
+        assert set(model) == {1, 2, 3}
+
+    def test_unit(self):
+        model = solve_cdcl(CNF.from_clauses([[2]]))
+        assert model[2] is True
+
+    def test_contradiction(self):
+        assert solve_cdcl(CNF.from_clauses([[1], [-1]])) is None
+
+    def test_unsat_needs_learning(self):
+        # The standard 8-clause unsatisfiable 3-CNF over 3 variables.
+        clauses = [
+            [a, b, c]
+            for a in (1, -1)
+            for b in (2, -2)
+            for c in (3, -3)
+        ]
+        assert solve_cdcl(CNF(3, clauses)) is None
+
+    def test_model_is_total_and_satisfying(self):
+        f = random_ksat(12, 40, 3, seed=1)
+        model = solve_cdcl(f)
+        if model is not None:
+            assert set(model) == set(range(1, 13))
+            assert f.evaluate(model)
+
+
+class TestAgainstDPLL:
+    def test_fuzz(self, rng):
+        for __ in range(60):
+            n = rng.randrange(1, 8)
+            m = rng.randrange(0, 18)
+            clauses = []
+            for __ in range(m):
+                width = rng.randrange(1, min(3, n) + 1)
+                variables = rng.sample(range(1, n + 1), width)
+                clauses.append(
+                    [v if rng.random() < 0.5 else -v for v in variables]
+                )
+            f = CNF(n, clauses)
+            cdcl = solve_cdcl(f)
+            dpll = solve_dpll(f)
+            assert (cdcl is None) == (dpll is None), clauses
+            if cdcl is not None:
+                assert f.evaluate(cdcl)
+
+    def test_planted_large(self):
+        f, __ = planted_ksat(40, 160, 3, seed=9)
+        model = solve_cdcl(f)
+        assert model is not None
+        assert f.evaluate(model)
+
+    def test_unsat_at_high_ratio(self):
+        # m/n = 8 is far above the threshold: almost surely UNSAT, and
+        # DPLL confirms.
+        f = random_ksat(14, 112, 3, seed=4)
+        assert (solve_cdcl(f) is None) == (solve_dpll(f) is None)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        f = random_ksat(20, 85, 3, seed=2)
+        stats = CDCLStats()
+        solve_cdcl(f, stats=stats)
+        assert stats.decisions > 0
+
+    def test_learning_happens_on_hard_unsat(self):
+        clauses = [
+            [a, b, c] for a in (1, -1) for b in (2, -2) for c in (3, -3)
+        ]
+        # Pad with extra variables so learning has room.
+        f = CNF(6, clauses + [[4, 5, 6]])
+        stats = CDCLStats()
+        assert solve_cdcl(f, stats=stats) is None
+        assert stats.conflicts > 0
+
+    def test_budget(self):
+        f = random_ksat(20, 85, 3, seed=3)
+        with pytest.raises(BudgetExceededError):
+            solve_cdcl(f, counter=CostCounter(budget=2))
+
+
+class TestColoringWorkload:
+    def test_gadget_graph_scales(self):
+        """The workload that motivated CDCL here: 3-coloring encodings
+        of the Corollary 6.2 reduction solve in well under a second."""
+        from repro.reductions.sat_to_coloring import sat_to_3coloring, solve_coloring
+
+        formula, __ = planted_ksat(20, 70, 3, seed=0)
+        red = sat_to_3coloring(formula)
+        coloring = solve_coloring(red.target)
+        assert coloring is not None
+        assert formula.evaluate(red.pull_back(coloring))

@@ -1,0 +1,86 @@
+"""Stress tests for CDCL: learning-heavy UNSAT families and restarts."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.sat.cdcl import CDCLStats, solve_cdcl
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+
+
+def pigeonhole(pigeons: int, holes: int) -> CNF:
+    """PHP(p, h): p pigeons into h holes, no sharing — UNSAT iff p > h.
+
+    Variable (i, j) := pigeon i sits in hole j, numbered i*h + j + 1.
+    The classic resolution-hard family; solving it exercises clause
+    learning far more than random instances do.
+    """
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    clauses = []
+    for i in range(pigeons):
+        clauses.append([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1, i2 in combinations(range(pigeons), 2):
+            clauses.append([-var(i1, j), -var(i2, j)])
+    return CNF(pigeons * holes, clauses)
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("pigeons,holes", [(2, 1), (3, 2), (4, 3), (5, 4)])
+    def test_unsat_when_too_many_pigeons(self, pigeons, holes):
+        stats = CDCLStats()
+        assert solve_cdcl(pigeonhole(pigeons, holes), stats=stats) is None
+        if pigeons >= 4:
+            assert stats.learned_clauses > 0
+
+    @pytest.mark.parametrize("pigeons,holes", [(1, 1), (2, 2), (3, 4)])
+    def test_sat_when_enough_holes(self, pigeons, holes):
+        formula = pigeonhole(pigeons, holes)
+        model = solve_cdcl(formula)
+        assert model is not None
+        assert formula.evaluate(model)
+
+    def test_agrees_with_dpll_on_php43(self):
+        formula = pigeonhole(4, 3)
+        assert solve_cdcl(formula) is None
+        assert solve_dpll(formula) is None
+
+
+class TestRestarts:
+    def test_restart_path_exercised(self):
+        """PHP(6,5) generates enough conflicts to trigger at least one
+        restart (threshold 100), and stays correct."""
+        stats = CDCLStats()
+        assert solve_cdcl(pigeonhole(6, 5), stats=stats) is None
+        assert stats.conflicts > 100
+        assert stats.restarts >= 1
+
+    def test_backjumps_are_nonchronological(self):
+        stats = CDCLStats()
+        solve_cdcl(pigeonhole(5, 4), stats=stats)
+        # At least one conflict jumped back more than one level.
+        assert stats.max_backjump >= 2
+
+
+class TestWideClauses:
+    def test_wide_clause_instances(self, rng):
+        """CDCL handles clause widths beyond 3 (general CNF-SAT, the
+        SETH's own problem)."""
+        for __ in range(10):
+            n = rng.randrange(4, 9)
+            clauses = []
+            for __ in range(rng.randrange(2, 12)):
+                width = rng.randrange(1, n + 1)
+                variables = rng.sample(range(1, n + 1), width)
+                clauses.append(
+                    [v if rng.random() < 0.5 else -v for v in variables]
+                )
+            formula = CNF(n, clauses)
+            cdcl = solve_cdcl(formula)
+            dpll = solve_dpll(formula)
+            assert (cdcl is None) == (dpll is None)
+            if cdcl is not None:
+                assert formula.evaluate(cdcl)

@@ -1,0 +1,87 @@
+"""Tests for the CNF representation."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.sat.cnf import CNF
+
+
+class TestConstruction:
+    def test_empty_formula(self):
+        f = CNF(0)
+        assert f.num_variables == 0 and f.num_clauses == 0
+
+    def test_negative_variable_count(self):
+        with pytest.raises(InvalidInstanceError):
+            CNF(-1)
+
+    def test_from_clauses_infers_n(self):
+        f = CNF.from_clauses([[1, -5], [2]])
+        assert f.num_variables == 5
+        assert f.num_clauses == 2
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CNF(2, [[]])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CNF(2, [[0, 1]])
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            CNF(2, [[3]])
+
+    def test_duplicate_literals_collapse(self):
+        f = CNF(1, [[1, 1]])
+        assert len(f.clauses[0]) == 1
+
+
+class TestProperties:
+    def test_max_clause_width(self):
+        f = CNF.from_clauses([[1], [1, 2], [1, 2, 3]])
+        assert f.max_clause_width == 3
+        assert f.is_k_sat(3)
+        assert not f.is_k_sat(2)
+
+    def test_variables_occurring(self):
+        f = CNF(5, [[1, -3]])
+        assert f.variables() == {1, 3}
+
+
+class TestEvaluate:
+    def test_satisfying(self):
+        f = CNF.from_clauses([[1, 2], [-1, 2]])
+        assert f.evaluate({1: True, 2: True})
+        assert f.evaluate({1: False, 2: True})
+
+    def test_falsifying(self):
+        f = CNF.from_clauses([[1, 2]])
+        assert not f.evaluate({1: False, 2: False})
+
+    def test_missing_variable_rejected(self):
+        f = CNF.from_clauses([[1, 2]])
+        with pytest.raises(InvalidInstanceError):
+            f.evaluate({1: False})
+
+    def test_empty_formula_is_true(self):
+        assert CNF(3).evaluate({})
+
+
+class TestSimplified:
+    def test_satisfied_clauses_dropped(self):
+        f = CNF.from_clauses([[1, 2], [-1, 3]])
+        g = f.simplified({1: True})
+        assert g is not None
+        assert g.num_clauses == 1
+        assert g.clauses[0] == frozenset({3})
+
+    def test_conflict_returns_none(self):
+        f = CNF.from_clauses([[1]])
+        assert f.simplified({1: False}) is None
+
+    def test_untouched_clauses_kept(self):
+        f = CNF.from_clauses([[1, 2], [3, 4]])
+        g = f.simplified({1: False})
+        assert g is not None
+        assert g.num_clauses == 2

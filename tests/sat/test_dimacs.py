@@ -1,0 +1,77 @@
+"""Tests for DIMACS CNF parsing and writing."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.generators.sat_gen import random_ksat
+from repro.sat.cnf import CNF
+from repro.sat.dimacs import parse_dimacs, write_dimacs
+
+
+class TestParse:
+    def test_basic(self):
+        text = """c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+        f = parse_dimacs(text)
+        assert f.num_variables == 3
+        assert f.num_clauses == 2
+        assert frozenset({1, -2}) in f.clauses
+
+    def test_multiline_clause(self):
+        f = parse_dimacs("p cnf 3 1\n1\n-2\n3 0\n")
+        assert f.clauses == [frozenset({1, -2, 3})]
+
+    def test_multiple_clauses_one_line(self):
+        f = parse_dimacs("p cnf 2 2\n1 0 -2 0\n")
+        assert f.num_clauses == 2
+
+    def test_missing_trailing_zero_tolerated(self):
+        f = parse_dimacs("p cnf 2 1\n1 2")
+        assert f.num_clauses == 1
+
+    def test_no_problem_line(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_dimacs("1 2 0\n")
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_dimacs("p cnf 1 0\np cnf 1 0\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_dimacs("p cnf 2 5\n1 0\n")
+
+    def test_bad_token(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_dimacs("p cnf 2 1\n1 x 0\n")
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_dimacs("p cnf 2 1\n5 0\n")
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(InvalidInstanceError):
+            parse_dimacs("p sat 2 1\n1 0\n")
+
+
+class TestWrite:
+    def test_round_trip(self):
+        for seed in range(5):
+            original = random_ksat(8, 20, 3, seed=seed)
+            parsed = parse_dimacs(write_dimacs(original))
+            assert parsed.num_variables == original.num_variables
+            assert sorted(map(sorted, parsed.clauses)) == sorted(
+                map(sorted, original.clauses)
+            )
+
+    def test_comments_emitted(self):
+        text = write_dimacs(CNF(1, [[1]]), comments=["hello"])
+        assert text.startswith("c hello\n")
+
+    def test_empty_formula(self):
+        text = write_dimacs(CNF(0))
+        assert "p cnf 0 0" in text
+        assert parse_dimacs(text).num_clauses == 0

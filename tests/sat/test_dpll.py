@@ -1,0 +1,109 @@
+"""Tests for the DPLL solver, cross-checked against enumeration."""
+
+from itertools import product
+
+import pytest
+
+from repro.counting import CostCounter
+from repro.errors import BudgetExceededError
+from repro.generators.sat_gen import planted_ksat, random_ksat
+from repro.sat.cnf import CNF
+from repro.sat.dpll import DPLLStats, solve_dpll
+
+
+def satisfiable_by_enumeration(formula: CNF) -> bool:
+    variables = sorted(formula.variables())
+    for values in product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        for var in range(1, formula.num_variables + 1):
+            assignment.setdefault(var, False)
+        if formula.evaluate(assignment):
+            return True
+    return not formula.clauses
+
+
+class TestBasics:
+    def test_empty_formula(self):
+        assert solve_dpll(CNF(0)) == {}
+
+    def test_single_unit(self):
+        model = solve_dpll(CNF.from_clauses([[3]]))
+        assert model is not None
+        assert model[3] is True
+
+    def test_contradiction(self):
+        assert solve_dpll(CNF.from_clauses([[1], [-1]])) is None
+
+    def test_model_is_total(self):
+        model = solve_dpll(CNF(5, [[1, 2]]))
+        assert model is not None
+        assert set(model) == {1, 2, 3, 4, 5}
+
+    def test_model_satisfies(self):
+        f = CNF.from_clauses([[1, -2, 3], [-1, 2], [-3, -1], [2, 3]])
+        model = solve_dpll(f)
+        assert model is not None
+        assert f.evaluate(model)
+
+    def test_unsat_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole: p1 and p2 both true, but not together.
+        f = CNF.from_clauses([[1], [2], [-1, -2]])
+        assert solve_dpll(f) is None
+
+
+class TestAgainstEnumeration:
+    def test_random_formulas(self, rng):
+        for _ in range(30):
+            n = rng.randrange(2, 6)
+            m = rng.randrange(1, 10)
+            clauses = []
+            for _ in range(m):
+                width = rng.randrange(1, min(3, n) + 1)
+                variables = rng.sample(range(1, n + 1), width)
+                clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+            f = CNF(n, clauses)
+            expected = satisfiable_by_enumeration(f)
+            model = solve_dpll(f)
+            assert (model is not None) == expected
+            if model is not None:
+                assert f.evaluate(model)
+
+    @pytest.mark.parametrize("use_up", [True, False])
+    @pytest.mark.parametrize("use_pure", [True, False])
+    def test_inference_toggles_preserve_correctness(self, rng, use_up, use_pure):
+        for _ in range(10):
+            f = random_ksat(5, 12, 3, seed=rng.randrange(10**6))
+            expected = satisfiable_by_enumeration(f)
+            model = solve_dpll(f, use_unit_propagation=use_up, use_pure_literals=use_pure)
+            assert (model is not None) == expected
+
+
+class TestPlanted:
+    def test_planted_always_sat(self):
+        for seed in range(5):
+            f, planted = planted_ksat(8, 30, 3, seed=seed)
+            assert f.evaluate(planted)
+            model = solve_dpll(f)
+            assert model is not None
+            assert f.evaluate(model)
+
+
+class TestStatsAndBudget:
+    def test_stats_populated(self):
+        f = random_ksat(8, 34, 3, seed=42)
+        stats = DPLLStats()
+        solve_dpll(f, stats=stats)
+        assert stats.decisions + stats.unit_propagations + stats.pure_eliminations > 0
+
+    def test_budget_aborts(self):
+        f = random_ksat(12, 51, 3, seed=7)
+        counter = CostCounter(budget=3)
+        with pytest.raises(BudgetExceededError):
+            solve_dpll(f, counter=counter)
+
+    def test_unit_propagation_reduces_decisions(self):
+        f = random_ksat(10, 42, 3, seed=11)
+        with_up, without_up = DPLLStats(), DPLLStats()
+        solve_dpll(f, stats=with_up, use_unit_propagation=True)
+        solve_dpll(f, stats=without_up, use_unit_propagation=False)
+        assert with_up.decisions <= without_up.decisions

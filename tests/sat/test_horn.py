@@ -1,0 +1,90 @@
+"""Tests for Horn satisfiability (minimal-model unit propagation)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+from repro.sat.horn import is_horn, solve_horn
+
+
+class TestRecognition:
+    def test_horn_examples(self):
+        assert is_horn(CNF.from_clauses([[-1, -2, 3], [-3], [1]]))
+        assert is_horn(CNF.from_clauses([[-1, -2]]))
+        assert is_horn(CNF(2))
+
+    def test_non_horn(self):
+        assert not is_horn(CNF.from_clauses([[1, 2]]))
+
+
+class TestSolve:
+    def test_rejects_non_horn(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_horn(CNF.from_clauses([[1, 2]]))
+
+    def test_facts_propagate(self):
+        # 1, 1->2, 2->3.
+        f = CNF.from_clauses([[1], [-1, 2], [-2, 3]])
+        model = solve_horn(f)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_minimal_model(self):
+        # x3 unconstrained positively: stays False in the minimal model.
+        f = CNF.from_clauses([[1], [-1, 2]])
+        model = solve_horn(CNF(3, [[1], [-1, 2]]))
+        assert model == {1: True, 2: True, 3: False}
+
+    def test_unsat_detected(self):
+        # 1, 1->2, and ¬1∨¬2 cannot hold together.
+        f = CNF.from_clauses([[1], [-1, 2], [-1, -2]])
+        assert solve_horn(f) is None
+
+    def test_all_negative_clause_satisfied_by_default(self):
+        f = CNF.from_clauses([[-1, -2]])
+        model = solve_horn(f)
+        assert model == {1: False, 2: False}
+
+    def test_agrees_with_dpll(self, rng):
+        for _ in range(30):
+            n = rng.randrange(2, 7)
+            clauses = []
+            for _ in range(rng.randrange(1, 10)):
+                width = rng.randrange(1, min(3, n) + 1)
+                variables = rng.sample(range(1, n + 1), width)
+                # At most one positive literal.
+                lits = [-v for v in variables]
+                if rng.random() < 0.6:
+                    lits[0] = -lits[0]
+                clauses.append(lits)
+            f = CNF(n, clauses)
+            assert is_horn(f)
+            fast = solve_horn(f)
+            slow = solve_dpll(f)
+            assert (fast is None) == (slow is None)
+            if fast is not None:
+                assert f.evaluate(fast)
+
+    def test_minimality_property(self, rng):
+        """No model can have fewer true variables than the Horn minimal
+        model (checked by enumeration on small instances)."""
+        from itertools import product
+
+        for _ in range(10):
+            n = 4
+            clauses = []
+            for _ in range(rng.randrange(1, 7)):
+                variables = rng.sample(range(1, n + 1), 2)
+                lits = [-variables[0], variables[1]] if rng.random() < 0.7 else [-variables[0], -variables[1]]
+                clauses.append(lits)
+            f = CNF(n, clauses)
+            model = solve_horn(f)
+            if model is None:
+                continue
+            for values in product((False, True), repeat=n):
+                assignment = dict(zip(range(1, n + 1), values))
+                if f.evaluate(assignment):
+                    # The minimal model is pointwise below every model.
+                    assert all(
+                        assignment[v] for v in range(1, n + 1) if model[v]
+                    )

@@ -1,0 +1,156 @@
+"""Tests for the Schaefer dichotomy classifier (§4)."""
+
+from itertools import product
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.sat.schaefer import (
+    BooleanRelation,
+    SchaeferClass,
+    classify_relation_set,
+    is_affine_relation,
+    is_bijunctive_relation,
+    is_dual_horn_relation,
+    is_horn_relation,
+    is_one_valid,
+    is_zero_valid,
+)
+
+
+def rel(*tuples):
+    return BooleanRelation(len(tuples[0]), tuples)
+
+
+XOR = rel((0, 1), (1, 0))
+EQ = rel((0, 0), (1, 1))
+OR2 = BooleanRelation.from_clause([1, 2])
+IMPL = BooleanRelation.from_clause([-1, 2])
+ONE_IN_THREE = rel((1, 0, 0), (0, 1, 0), (0, 0, 1))
+NAE = BooleanRelation(
+    3, [t for t in product((0, 1), repeat=3) if len(set(t)) > 1]
+)
+OR3 = BooleanRelation.from_clause([1, 2, 3])
+
+
+class TestRelationBasics:
+    def test_bad_arity(self):
+        with pytest.raises(InvalidInstanceError):
+            BooleanRelation(0, [])
+
+    def test_bad_tuple_values(self):
+        with pytest.raises(InvalidInstanceError):
+            BooleanRelation(2, [(0, 2)])
+
+    def test_bad_tuple_length(self):
+        with pytest.raises(InvalidInstanceError):
+            BooleanRelation(2, [(0, 1, 1)])
+
+    def test_from_clause(self):
+        assert len(OR2.tuples) == 3
+        assert (0, 0) not in OR2.tuples
+
+    def test_equality_and_hash(self):
+        assert XOR == rel((1, 0), (0, 1))
+        assert hash(XOR) == hash(rel((1, 0), (0, 1)))
+        assert XOR != EQ
+
+
+class TestClosureTests:
+    def test_zero_one_valid(self):
+        assert is_zero_valid(EQ) and is_one_valid(EQ)
+        assert not is_zero_valid(OR2) and is_one_valid(OR2)
+        assert not is_zero_valid(XOR) and not is_one_valid(XOR)
+
+    def test_horn(self):
+        assert is_horn_relation(EQ)
+        assert is_horn_relation(IMPL)
+        assert not is_horn_relation(OR2)  # (1,0) AND (0,1) = (0,0) missing
+
+    def test_dual_horn(self):
+        assert is_dual_horn_relation(EQ)
+        assert is_dual_horn_relation(OR2)
+        assert not is_dual_horn_relation(ONE_IN_THREE)
+
+    def test_bijunctive(self):
+        assert is_bijunctive_relation(OR2)
+        assert is_bijunctive_relation(XOR)
+        assert not is_bijunctive_relation(OR3)
+
+    def test_affine(self):
+        assert is_affine_relation(XOR)
+        assert is_affine_relation(EQ)
+        assert not is_affine_relation(OR2)
+
+    def test_nae_in_no_class(self):
+        assert not any(
+            test(NAE)
+            for test in (
+                is_zero_valid,
+                is_one_valid,
+                is_horn_relation,
+                is_dual_horn_relation,
+                is_bijunctive_relation,
+                is_affine_relation,
+            )
+        )
+
+
+class TestClassifier:
+    def test_empty_set_tractable(self):
+        verdict = classify_relation_set([])
+        assert verdict.tractable
+        assert len(verdict.witnesses) == 6
+
+    def test_2sat_clauses(self):
+        verdict = classify_relation_set([OR2, IMPL, BooleanRelation.from_clause([-1, -2])])
+        assert verdict.tractable
+        assert SchaeferClass.BIJUNCTIVE in verdict.witnesses
+
+    def test_xor_affine(self):
+        verdict = classify_relation_set([XOR, EQ])
+        assert verdict.tractable
+        assert SchaeferClass.AFFINE in verdict.witnesses
+
+    def test_one_in_three_hard(self):
+        assert classify_relation_set([ONE_IN_THREE]).np_hard
+
+    def test_nae_hard(self):
+        assert classify_relation_set([NAE]).np_hard
+
+    def test_3sat_hard(self):
+        negative3 = BooleanRelation.from_clause([-1, -2, -3])
+        assert classify_relation_set([OR3, negative3]).np_hard
+
+    def test_mixed_set_needs_common_class(self):
+        # OR2 is dual-Horn/bijunctive/1-valid; XOR is affine/bijunctive:
+        # together bijunctive witnesses tractability.
+        verdict = classify_relation_set([OR2, XOR])
+        assert verdict.tractable
+        assert verdict.witnesses == (SchaeferClass.BIJUNCTIVE,)
+
+    def test_incompatible_tractables_hard(self):
+        # ONE_IN_THREE alone is hard, so any superset is too.
+        verdict = classify_relation_set([XOR, ONE_IN_THREE])
+        assert verdict.np_hard
+
+
+class TestClassifierMatchesSolvers:
+    """Relations classified tractable really are solvable by the
+    corresponding polynomial algorithm (spot checks)."""
+
+    def test_bijunctive_solved_by_2sat(self):
+        from repro.sat.cnf import CNF
+        from repro.sat.two_sat import solve_2sat
+
+        f = CNF.from_clauses([[1, 2], [-1, 2], [-2, 3]])
+        assert classify_relation_set(
+            [BooleanRelation.from_clause(sorted(c)) for c in ([1, 2], [-1, 2], [-2, 3])]
+        ).tractable
+        assert solve_2sat(f) is not None
+
+    def test_affine_solved_by_gauss(self):
+        from repro.sat.affine import solve_affine_system
+
+        assert classify_relation_set([XOR]).tractable
+        assert solve_affine_system([([1, 2], 1)], 2) is not None

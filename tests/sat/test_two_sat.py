@@ -1,0 +1,58 @@
+"""Tests for the linear-time 2SAT solver (§4)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.generators.sat_gen import random_ksat
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+from repro.sat.two_sat import solve_2sat
+
+
+class TestBasics:
+    def test_width_check(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_2sat(CNF.from_clauses([[1, 2, 3]]))
+
+    def test_empty(self):
+        assert solve_2sat(CNF(3)) == {1: False, 2: False, 3: False} or solve_2sat(
+            CNF(3)
+        ) is not None
+
+    def test_unit_clauses(self):
+        model = solve_2sat(CNF.from_clauses([[1], [-2]]))
+        assert model is not None
+        assert model[1] is True and model[2] is False
+
+    def test_contradiction(self):
+        assert solve_2sat(CNF.from_clauses([[1], [-1]])) is None
+
+    def test_implication_chain(self):
+        # x1 -> x2 -> x3, x1 true forces all true.
+        f = CNF.from_clauses([[1], [-1, 2], [-2, 3]])
+        model = solve_2sat(f)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_classic_unsat(self):
+        # (x1 ∨ x2) ∧ (x1 ∨ ¬x2) ∧ (¬x1 ∨ x2) ∧ (¬x1 ∨ ¬x2)
+        f = CNF.from_clauses([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        assert solve_2sat(f) is None
+
+    def test_model_satisfies(self):
+        f = CNF.from_clauses([[1, 2], [-1, 3], [-3, -2], [2, 3]])
+        model = solve_2sat(f)
+        assert model is not None
+        assert f.evaluate(model)
+
+
+class TestAgainstDPLL:
+    def test_random_2sat(self, rng):
+        for _ in range(40):
+            n = rng.randrange(2, 9)
+            m = rng.randrange(1, 3 * n)
+            f = random_ksat(n, m, 2, seed=rng.randrange(10**6))
+            fast = solve_2sat(f)
+            slow = solve_dpll(f)
+            assert (fast is None) == (slow is None)
+            if fast is not None:
+                assert f.evaluate(fast)

@@ -1,0 +1,119 @@
+"""Tests for structure homomorphisms and cores (§2.4, §5)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.graph import Graph
+from repro.structures.core import compute_core, is_core
+from repro.structures.homomorphism import (
+    count_structure_homomorphisms,
+    find_structure_homomorphism,
+    is_structure_homomorphism,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+from ..conftest import make_random_graph
+
+
+def graph_structure(edges) -> Structure:
+    return Structure.from_graph(Graph(edges=edges))
+
+
+def k(n: int) -> Structure:
+    return graph_structure([(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def cycle(n: int) -> Structure:
+    return graph_structure([(i, (i + 1) % n) for i in range(n)])
+
+
+class TestHomomorphism:
+    def test_vocabulary_mismatch(self):
+        a = Structure(Vocabulary([RelationSymbol("R", 1)]), [1])
+        b = Structure(Vocabulary([RelationSymbol("S", 1)]), [1])
+        with pytest.raises(InvalidInstanceError):
+            find_structure_homomorphism(a, b)
+
+    def test_verification(self):
+        edge = graph_structure([(0, 1)])
+        target = k(3)
+        assert is_structure_homomorphism(edge, target, {0: 0, 1: 1})
+        assert not is_structure_homomorphism(edge, target, {0: 0, 1: 0})
+        assert not is_structure_homomorphism(edge, target, {0: 0})
+
+    def test_coloring_semantics(self):
+        assert find_structure_homomorphism(cycle(5), k(3)) is not None
+        assert find_structure_homomorphism(cycle(5), k(2)) is None
+        assert find_structure_homomorphism(cycle(4), k(2)) is not None
+
+    def test_higher_arity(self):
+        tau = Vocabulary([RelationSymbol("T", 3)])
+        a = Structure(tau, ["x", "y", "z"], {"T": [("x", "y", "z")]})
+        b = Structure(tau, [0, 1], {"T": [(0, 0, 1)]})
+        hom = find_structure_homomorphism(a, b)
+        assert hom == {"x": 0, "y": 0, "z": 1}
+
+    def test_counting_matches_graph_homs(self):
+        from repro.graphs.homomorphism import count_graph_homomorphisms
+
+        g_src = Graph(edges=[(0, 1), (1, 2)])
+        g_dst = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        ours = count_structure_homomorphisms(
+            Structure.from_graph(g_src), Structure.from_graph(g_dst)
+        )
+        theirs = count_graph_homomorphisms(g_src, g_dst)
+        assert ours == theirs
+
+    def test_empty_source(self):
+        tau = Vocabulary.graph_vocabulary()
+        empty = Structure(tau, [])
+        assert find_structure_homomorphism(empty, k(2)) == {}
+        assert count_structure_homomorphisms(empty, k(2)) == 1
+
+    def test_empty_target(self):
+        assert find_structure_homomorphism(k(2), Structure(Vocabulary.graph_vocabulary(), [])) is None
+
+
+class TestCore:
+    def test_single_vertex_is_core(self):
+        v = Structure(Vocabulary.graph_vocabulary(), [0])
+        assert is_core(v)
+
+    def test_cliques_are_cores(self):
+        for n in (2, 3, 4):
+            assert is_core(k(n))
+
+    def test_odd_cycles_are_cores(self):
+        assert is_core(cycle(5))
+
+    def test_even_cycle_core_is_edge(self):
+        core = compute_core(cycle(6))
+        assert core.universe_size == 2
+
+    def test_bipartite_core_is_edge(self):
+        bipartite = graph_structure([(0, 3), (0, 4), (1, 3), (2, 4)])
+        core = compute_core(bipartite)
+        assert core.universe_size == 2
+
+    def test_core_is_induced_and_receives_hom(self, rng):
+        for _ in range(6):
+            g = make_random_graph(6, 0.4, rng)
+            if g.num_edges == 0:
+                continue
+            s = Structure.from_graph(g)
+            core = compute_core(s)
+            assert is_core(core)
+            assert set(core.universe) <= set(s.universe)
+            assert find_structure_homomorphism(s, core) is not None
+            assert find_structure_homomorphism(core, s) is not None
+
+    def test_core_idempotent(self):
+        core = compute_core(cycle(6))
+        assert compute_core(core) == core
+
+    def test_triangle_plus_pendant_core(self):
+        # K3 with a pendant vertex retracts to K3.
+        s = graph_structure([(0, 1), (1, 2), (0, 2), (2, 3)])
+        core = compute_core(s)
+        assert core.universe_size == 3

@@ -1,0 +1,105 @@
+"""Tests for vocabularies and τ-structures (§2.4)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.graph import DiGraph, Graph
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+
+class TestVocabulary:
+    def test_symbol_arity_positive(self):
+        with pytest.raises(InvalidInstanceError):
+            RelationSymbol("R", 0)
+
+    def test_redeclaration_same_arity_ok(self):
+        v = Vocabulary([RelationSymbol("R", 2)])
+        v.add(RelationSymbol("R", 2))
+        assert len(v) == 1
+
+    def test_redeclaration_conflicting_arity(self):
+        v = Vocabulary([RelationSymbol("R", 2)])
+        with pytest.raises(InvalidInstanceError):
+            v.add(RelationSymbol("R", 3))
+
+    def test_arity_is_max(self):
+        v = Vocabulary([RelationSymbol("R", 2), RelationSymbol("S", 4)])
+        assert v.arity == 4
+        assert Vocabulary().arity == 0
+
+    def test_unknown_symbol(self):
+        with pytest.raises(InvalidInstanceError):
+            Vocabulary().symbol("R")
+
+    def test_graph_vocabulary(self):
+        v = Vocabulary.graph_vocabulary()
+        assert "E" in v
+        assert v.symbol("E").arity == 2
+
+
+class TestStructure:
+    def tau(self):
+        return Vocabulary([RelationSymbol("E", 2), RelationSymbol("P", 1)])
+
+    def test_duplicate_universe_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Structure(self.tau(), [1, 1])
+
+    def test_tuple_arity_checked(self):
+        with pytest.raises(InvalidInstanceError):
+            Structure(self.tau(), [1, 2], {"E": [(1,)]})
+
+    def test_tuple_elements_in_universe(self):
+        with pytest.raises(InvalidInstanceError):
+            Structure(self.tau(), [1], {"E": [(1, 99)]})
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Structure(self.tau(), [1], {"Q": [(1,)]})
+
+    def test_missing_relations_default_empty(self):
+        s = Structure(self.tau(), [1, 2])
+        assert s.relation("E") == frozenset()
+        assert s.total_tuples() == 0
+
+    def test_induced_substructure(self):
+        s = Structure(self.tau(), [1, 2, 3], {"E": [(1, 2), (2, 3)], "P": [(3,)]})
+        sub = s.induced_substructure([1, 2])
+        assert sub.relation("E") == frozenset({(1, 2)})
+        assert sub.relation("P") == frozenset()
+
+    def test_induced_unknown_element(self):
+        s = Structure(self.tau(), [1])
+        with pytest.raises(InvalidInstanceError):
+            s.induced_substructure([9])
+
+    def test_gaifman_graph(self):
+        s = Structure(self.tau(), [1, 2, 3], {"E": [(1, 2)], "P": [(3,)]})
+        g = s.gaifman_graph()
+        assert g.has_edge(1, 2)
+        assert g.degree(3) == 0
+
+    def test_equality(self):
+        a = Structure(self.tau(), [1, 2], {"E": [(1, 2)]})
+        b = Structure(self.tau(), [2, 1], {"E": [(1, 2)]})
+        assert a == b
+
+
+class TestGraphRoundTrips:
+    def test_digraph_round_trip(self):
+        d = DiGraph(edges=[(1, 2), (2, 3), (3, 1)])
+        s = Structure.from_digraph(d)
+        back = s.to_digraph()
+        assert set(back.edges()) == set(d.edges())
+
+    def test_undirected_symmetrized(self):
+        g = Graph(edges=[(1, 2)])
+        s = Structure.from_graph(g)
+        assert (1, 2) in s.relation("E") and (2, 1) in s.relation("E")
+
+    def test_to_digraph_needs_graph_vocabulary(self):
+        tau = Vocabulary([RelationSymbol("R", 3)])
+        s = Structure(tau, [1, 2, 3])
+        with pytest.raises(InvalidInstanceError):
+            s.to_digraph()

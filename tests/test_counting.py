@@ -1,0 +1,43 @@
+"""Tests for the operation counter and budgets."""
+
+import pytest
+
+from repro.counting import CostCounter, charge
+from repro.errors import BudgetExceededError
+
+
+class TestCostCounter:
+    def test_starts_at_zero(self):
+        assert CostCounter().total == 0
+
+    def test_charge_accumulates(self):
+        c = CostCounter()
+        c.charge()
+        c.charge(5)
+        assert c.total == 6
+
+    def test_budget_enforced(self):
+        c = CostCounter(budget=3)
+        c.charge(3)
+        with pytest.raises(BudgetExceededError):
+            c.charge()
+
+    def test_reset_keeps_budget(self):
+        c = CostCounter(budget=2)
+        c.charge(2)
+        c.reset()
+        assert c.total == 0
+        c.charge(2)  # still fine
+        with pytest.raises(BudgetExceededError):
+            c.charge()
+
+    def test_module_level_charge_none_is_noop(self):
+        charge(None, 100)  # must not raise
+
+    def test_module_level_charge(self):
+        c = CostCounter()
+        charge(c, 7)
+        assert c.total == 7
+
+    def test_repr(self):
+        assert "total=0" in repr(CostCounter())

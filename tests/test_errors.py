@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy (catchability contracts)."""
+
+import pytest
+
+from repro.errors import (
+    ArityMismatchError,
+    BudgetExceededError,
+    InvalidDecompositionError,
+    InvalidInstanceError,
+    ReductionError,
+    ReproError,
+    SchemaError,
+    SolverError,
+    UnknownAttributeError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            ArityMismatchError,
+            UnknownAttributeError,
+            InvalidInstanceError,
+            InvalidDecompositionError,
+            ReductionError,
+            SolverError,
+            BudgetExceededError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_arity_is_schema_error(self):
+        assert issubclass(ArityMismatchError, SchemaError)
+        assert issubclass(UnknownAttributeError, SchemaError)
+
+    def test_budget_is_solver_error(self):
+        assert issubclass(BudgetExceededError, SolverError)
+
+    def test_library_failures_catchable_as_repro_error(self):
+        from repro.relational.relation import Relation
+
+        with pytest.raises(ReproError):
+            Relation("R", ())
+        from repro.csp.instance import Constraint
+
+        with pytest.raises(ReproError):
+            Constraint((), [])
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(ReproError):
+            Graph().add_edge(1, 1)

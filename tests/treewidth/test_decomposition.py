@@ -1,0 +1,93 @@
+"""Tests for tree decomposition validation (Definition 4.1)."""
+
+import pytest
+
+from repro.errors import InvalidDecompositionError
+from repro.graphs.graph import Graph
+from repro.treewidth.decomposition import TreeDecomposition
+
+
+def path_graph(n: int) -> Graph:
+    return Graph(edges=[(i, i + 1) for i in range(n - 1)])
+
+
+class TestWidth:
+    def test_empty(self):
+        assert TreeDecomposition(bags={}).width == -1
+
+    def test_single_bag(self):
+        assert TreeDecomposition(bags={0: [1, 2, 3]}).width == 2
+
+    def test_max_over_bags(self):
+        dec = TreeDecomposition(bags={0: [1], 1: [1, 2, 3, 4]}, tree_edges=[(0, 1)])
+        assert dec.width == 3
+
+
+class TestValidation:
+    def test_valid_path_decomposition(self):
+        g = path_graph(4)
+        dec = TreeDecomposition(
+            bags={0: [0, 1], 1: [1, 2], 2: [2, 3]},
+            tree_edges=[(0, 1), (1, 2)],
+        )
+        dec.validate(g)
+        assert dec.is_valid(g)
+
+    def test_missing_vertex_detected(self):
+        g = path_graph(3)
+        dec = TreeDecomposition(bags={0: [0, 1]}, tree_edges=[])
+        with pytest.raises(InvalidDecompositionError, match="not covered"):
+            dec.validate(g)
+
+    def test_missing_edge_detected(self):
+        g = path_graph(3)
+        dec = TreeDecomposition(
+            bags={0: [0, 1], 1: [2]}, tree_edges=[(0, 1)]
+        )
+        with pytest.raises(InvalidDecompositionError, match="in no bag"):
+            dec.validate(g)
+
+    def test_disconnected_occurrence_detected(self):
+        g = path_graph(3)
+        # Vertex 0 occurs in bags 0 and 2 but not the middle bag.
+        dec = TreeDecomposition(
+            bags={0: [0, 1], 1: [1, 2], 2: [0, 2]},
+            tree_edges=[(0, 1), (1, 2)],
+        )
+        with pytest.raises(InvalidDecompositionError, match="not connected"):
+            dec.validate(g)
+
+    def test_non_tree_detected_cycle(self):
+        g = path_graph(2)
+        dec = TreeDecomposition(
+            bags={0: [0, 1], 1: [0, 1], 2: [0, 1]},
+            tree_edges=[(0, 1), (1, 2), (2, 0)],
+        )
+        with pytest.raises(InvalidDecompositionError, match="not a tree"):
+            dec.validate(g)
+
+    def test_forest_detected(self):
+        g = path_graph(2)
+        dec = TreeDecomposition(bags={0: [0, 1], 1: [0]}, tree_edges=[])
+        with pytest.raises(InvalidDecompositionError, match="not a tree"):
+            dec.validate(g)
+
+    def test_edge_to_unknown_node_rejected(self):
+        with pytest.raises(InvalidDecompositionError):
+            TreeDecomposition(bags={0: [1]}, tree_edges=[(0, 99)])
+
+    def test_trivial_decomposition_always_valid(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        dec = TreeDecomposition(bags={0: [0, 1, 2]})
+        dec.validate(g)
+
+
+class TestRootedChildren:
+    def test_orientation(self):
+        dec = TreeDecomposition(
+            bags={0: [0], 1: [1], 2: [2]}, tree_edges=[(0, 1), (1, 2)]
+        )
+        children = dec.rooted_children(0)
+        assert children[0] == [1]
+        assert children[1] == [2]
+        assert children[2] == []

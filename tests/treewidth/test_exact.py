@@ -1,0 +1,99 @@
+"""Tests for exact treewidth (subset DP)."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.graphs.graph import Graph
+from repro.treewidth.exact import MAX_EXACT_VERTICES, treewidth_exact
+from repro.treewidth.heuristics import treewidth_min_fill
+
+from ..conftest import make_random_graph
+
+
+def cycle_graph(n: int) -> Graph:
+    return Graph(edges=[(i, (i + 1) % n) for i in range(n)])
+
+
+class TestKnownWidths:
+    def test_empty(self):
+        width, __ = treewidth_exact(Graph())
+        assert width == -1
+
+    def test_single_vertex(self):
+        width, dec = treewidth_exact(Graph(vertices=[0]))
+        assert width == 0
+        dec.validate(Graph(vertices=[0]))
+
+    def test_single_edge(self):
+        g = Graph(edges=[(0, 1)])
+        width, dec = treewidth_exact(g)
+        assert width == 1
+        dec.validate(g)
+
+    def test_tree_is_one(self):
+        star = Graph(edges=[(0, i) for i in range(1, 7)])
+        assert treewidth_exact(star)[0] == 1
+
+    def test_cycle_is_two(self):
+        assert treewidth_exact(cycle_graph(7))[0] == 2
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_clique(self, n):
+        kn = Graph(edges=[(i, j) for i in range(n) for j in range(i + 1, n)])
+        assert treewidth_exact(kn)[0] == n - 1
+
+    def test_petersen_is_four(self, petersen_graph):
+        assert treewidth_exact(petersen_graph)[0] == 4
+
+    def test_grid_2x4(self):
+        g = Graph()
+        for r in range(2):
+            for c in range(4):
+                if c + 1 < 4:
+                    g.add_edge((r, c), (r, c + 1))
+                if r + 1 < 2:
+                    g.add_edge((r, c), (r + 1, c))
+        assert treewidth_exact(g)[0] == 2
+
+    def test_complete_bipartite(self):
+        # tw(K_{t,n}) = min(t, n).
+        g = Graph()
+        for i in range(2):
+            for j in range(5):
+                g.add_edge(("L", i), ("R", j))
+        assert treewidth_exact(g)[0] == 2
+
+    def test_disconnected(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (3, 4)])
+        width, dec = treewidth_exact(g)
+        assert width == 2
+        dec.validate(g)
+
+
+class TestAgainstHeuristic:
+    def test_exact_never_exceeds_heuristic(self, rng):
+        for _ in range(15):
+            g = make_random_graph(rng.randrange(2, 9), 0.4, rng)
+            exact_width, dec = treewidth_exact(g)
+            heuristic_width, __ = treewidth_min_fill(g)
+            assert exact_width <= heuristic_width
+            dec.validate(g)
+            assert dec.width == exact_width
+
+    def test_size_limit(self):
+        big = Graph(vertices=range(MAX_EXACT_VERTICES + 1))
+        with pytest.raises(InvalidInstanceError):
+            treewidth_exact(big)
+
+    def test_matches_networkx_bounds(self, rng):
+        nx = pytest.importorskip("networkx")
+        from networkx.algorithms.approximation import treewidth_min_fill_in
+
+        for _ in range(10):
+            g = make_random_graph(rng.randrange(3, 9), 0.45, rng)
+            theirs = nx.Graph()
+            theirs.add_nodes_from(g.vertices)
+            theirs.add_edges_from(g.edges())
+            upper, __ = treewidth_min_fill_in(theirs)
+            exact, __ = treewidth_exact(g)
+            assert exact <= upper

@@ -1,0 +1,48 @@
+"""Tests for the degeneracy lower bound on treewidth."""
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.treewidth.exact import treewidth_exact
+from repro.treewidth.heuristics import (
+    treewidth_lower_bound_degeneracy,
+    treewidth_min_fill,
+)
+
+from ..conftest import make_random_graph
+
+
+class TestDegeneracyLowerBound:
+    def test_empty_and_trees(self):
+        assert treewidth_lower_bound_degeneracy(Graph()) == 0
+        star = Graph(edges=[(0, i) for i in range(1, 6)])
+        assert treewidth_lower_bound_degeneracy(star) == 1
+
+    def test_clique(self):
+        k5 = Graph(edges=[(i, j) for i in range(5) for j in range(i + 1, 5)])
+        assert treewidth_lower_bound_degeneracy(k5) == 4
+
+    def test_cycle(self):
+        c6 = Graph(edges=[(i, (i + 1) % 6) for i in range(6)])
+        assert treewidth_lower_bound_degeneracy(c6) == 2
+
+    def test_petersen(self, petersen_graph):
+        # 3-regular: degeneracy 3 <= tw = 4.
+        assert treewidth_lower_bound_degeneracy(petersen_graph) == 3
+
+    def test_sandwich_property(self, rng):
+        """lower bound <= exact <= heuristic upper bound, always."""
+        for __ in range(15):
+            g = make_random_graph(rng.randrange(2, 9), 0.4, rng)
+            lower = treewidth_lower_bound_degeneracy(g)
+            exact, __dec = treewidth_exact(g)
+            upper, __dec2 = treewidth_min_fill(g)
+            assert lower <= exact <= upper
+
+    def test_certifies_heuristic_when_tight(self):
+        """When lower bound == heuristic width, the heuristic is
+        provably optimal — no exact run needed."""
+        k4 = Graph(edges=[(i, j) for i in range(4) for j in range(i + 1, 4)])
+        lower = treewidth_lower_bound_degeneracy(k4)
+        upper, __ = treewidth_min_fill(k4)
+        assert lower == upper == 3
