@@ -1,0 +1,54 @@
+"""Static contract analysis for the :mod:`repro` library.
+
+The library's central promise is that lower-bound claims are
+*machine-checkable*: every reduction carries size/parameter
+certificates (Definition 5.1), every :class:`~repro.complexity.bounds.LowerBound`
+names the module and experiment that witness it, and every run is
+reproducible. Those contracts are easy to rot silently — a reduction
+that stops attaching certificates, a registry path that no longer
+resolves, an unseeded RNG call. This package enforces them at lint
+time, purely syntactically: it parses ``src/repro`` with :mod:`ast`
+and never imports or executes the code it checks.
+
+Run it as::
+
+    python -m repro.analysis [--format human|json] [--baseline FILE] [--rule CODE]
+
+or via the ``repro-lint`` console script. Rule families:
+
+========  ==========================================================
+REP001    certificate discipline for ``CertifiedReduction`` sites
+REP002    registry integrity of bounds / paper-map dotted paths
+REP003    exception hygiene (no bare/broad except, ReproError tree)
+REP004    determinism (no module-global / unseeded RNG use)
+REP005    ``Complexity:`` docstring fields on algorithm entry points
+========  ==========================================================
+
+Findings carry stable fingerprints so a committed baseline file can
+grandfather known violations; anything *new* fails the build.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .registry import Rule, all_rules, get_rule, rule
+from .report import Finding, Severity, render_human, render_json
+from .runner import analyze_project, run_analysis
+from .walker import ModuleInfo, Project, load_project
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_project",
+    "get_rule",
+    "load_project",
+    "render_human",
+    "render_json",
+    "rule",
+    "run_analysis",
+]

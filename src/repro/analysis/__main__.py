@@ -1,0 +1,102 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit status is 0 when every finding is covered by the baseline and
+non-zero otherwise, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from ..errors import ReproError
+from .baseline import DEFAULT_BASELINE, Baseline
+from .registry import all_rules
+from .report import render_human, render_json
+from .runner import analyze_project, run_analysis
+from .walker import load_project
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static contract linter for the repro library "
+        "(certificates, registry integrity, exception hygiene, "
+        "determinism, complexity annotations).",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather all current findings, then exit 0",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="CODE",
+        dest="rules",
+        help="run only this rule code (repeatable), e.g. --rule REP002",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _run(build_parser().parse_args(argv))
+    except ReproError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:26s} {rule.description}")
+        return 0
+
+    if args.update_baseline:
+        project = load_project(args.root)
+        findings = analyze_project(project, args.rules)
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"baseline updated: {len(findings)} finding(s) → {args.baseline}")
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    report = run_analysis(args.root, args.rules, baseline)
+    renderer = render_json if args.format == "json" else render_human
+    print(renderer(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

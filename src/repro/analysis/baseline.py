@@ -1,0 +1,98 @@
+"""Baseline files: grandfathered violations, as reviewed data.
+
+A baseline is a committed JSON file listing finding fingerprints that
+are *known and accepted* — typically pre-existing violations kept while
+the rule is introduced. The analysis run subtracts them; anything not
+listed is new and fails the build. Entries whose violation has
+disappeared are reported as *stale* so the file shrinks over time
+instead of accumulating dead weight.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from ..errors import ReproError
+from .report import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, next to this package so the CLI finds it
+#: both in a checkout and in an installed tree.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+class BaselineError(ReproError):
+    """A baseline file is missing, unreadable, or malformed."""
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered fingerprints, with optional notes."""
+
+    entries: dict[str, str] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline so
+        fresh checkouts need no setup step."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(f"baseline {path} lacks an 'entries' list")
+        entries: dict[str, str] = {}
+        for entry in payload["entries"]:
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise BaselineError(f"baseline {path} has a malformed entry: {entry!r}")
+            entries[entry["fingerprint"]] = entry.get("note", "")
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Grandfather the given findings wholesale (``--update-baseline``)."""
+        return cls(
+            entries={f.fingerprint: f.message for f in findings}
+        )
+
+    def save(self, path: Path | str) -> None:
+        """Write the canonical on-disk form (sorted, versioned)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"fingerprint": fingerprint, "note": note}
+                for fingerprint, note in sorted(self.entries.items())
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Partition findings into (new, baselined) and report stale
+        baseline entries that matched nothing."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        matched = {f.fingerprint for f in baselined}
+        stale = [fp for fp in sorted(self.entries) if fp not in matched]
+        return new, baselined, stale

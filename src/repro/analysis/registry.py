@@ -1,0 +1,75 @@
+"""The rule registry: codes, metadata, and the decorator that wires a
+checker function into the CLI.
+
+Each rule family is one module under :mod:`repro.analysis.rules`
+registering itself with :func:`rule`. Codes are stable API — tests,
+baselines, and CI reference them — so a retired rule's code must never
+be reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable
+
+from .report import Finding
+from .walker import AnalysisError, Project
+
+Checker = Callable[[Project], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule family.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier, e.g. ``"REP002"``.
+    name:
+        Short kebab-case slug for CLI listings.
+    description:
+        One-line statement of the enforced contract.
+    check:
+        The checker; receives the parsed :class:`Project` and yields
+        findings.
+    """
+
+    code: str
+    name: str
+    description: str
+    check: Checker
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, description: str) -> Callable[[Checker], Checker]:
+    """Register a checker function under a stable rule code."""
+
+    def decorate(check: Checker) -> Checker:
+        if code in _REGISTRY:
+            raise AnalysisError(f"rule code {code!r} registered twice")
+        _REGISTRY[code] = Rule(code=code, name=name, description=description, check=check)
+        return check
+
+    return decorate
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in code order. Importing the rules
+    package is what populates the registry."""
+    from . import rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by its code."""
+    from . import rules  # noqa: F401  (registration side effect)
+
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise AnalysisError(f"unknown rule {code!r}; known rules: {known}") from None

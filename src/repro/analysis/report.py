@@ -1,0 +1,157 @@
+"""Findings and renderers.
+
+A :class:`Finding` is one rule violation at one location. Its
+*fingerprint* deliberately excludes the line number: baselines must
+survive unrelated edits above the violation, so identity is
+``code + path + context`` (the enclosing definition or the offending
+dotted path), plus a disambiguating ordinal when one context holds
+several identical violations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from collections.abc import Iterable, Sequence
+
+
+class Severity(str, Enum):
+    """How bad a finding is; errors gate the exit code by default."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation of one rule.
+
+    Attributes
+    ----------
+    code:
+        Stable rule code, e.g. ``"REP001"``.
+    severity:
+        :class:`Severity` of this occurrence.
+    path:
+        Repo-stable relative path, e.g. ``"repro/graphs/clique.py"``.
+    line:
+        1-based source line.
+    message:
+        Human-readable description of the violation.
+    context:
+        The enclosing definition or offending symbol — the stable part
+        of the fingerprint.
+    ordinal:
+        Disambiguates multiple identical (code, path, context) hits.
+    """
+
+    code: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    context: str = ""
+    ordinal: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline; no line numbers."""
+        parts = [self.code, self.path, self.context]
+        if self.ordinal:
+            parts.append(str(self.ordinal))
+        return ":".join(parts)
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def assign_ordinals(findings: Iterable[Finding]) -> list[Finding]:
+    """Give repeated (code, path, context) findings distinct ordinals,
+    in source order, so each has a unique fingerprint."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.code, f.context))
+    seen: dict[tuple[str, str, str], int] = {}
+    result = []
+    for finding in ordered:
+        key = (finding.code, finding.path, finding.context)
+        count = seen.get(key, 0)
+        seen[key] = count + 1
+        result.append(replace(finding, ordinal=count) if count else finding)
+    return result
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analysis run, after baseline filtering."""
+
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    modules_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero iff a violation is not covered by the baseline."""
+        return 1 if self.new_findings else 0
+
+
+def render_human(report: AnalysisReport) -> str:
+    """Aligned, grep-friendly ``path:line  CODE severity  message`` text."""
+    lines: list[str] = []
+    for finding in report.new_findings:
+        lines.append(
+            f"{finding.location}: {finding.code} [{finding.severity}] {finding.message}"
+        )
+    summary = (
+        f"{len(report.new_findings)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.modules_checked} module(s) checked, "
+        f"rules: {', '.join(report.rules_run)}"
+    )
+    if report.stale_baseline:
+        lines.append(
+            "stale baseline entries (violations no longer present — prune them):"
+        )
+        lines.extend(f"  {fingerprint}" for fingerprint in report.stale_baseline)
+    lines.append(summary)
+    if not report.new_findings:
+        lines.append("OK")
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable rendering for CI annotation tooling."""
+    payload = {
+        "findings": [f.as_dict() for f in report.new_findings],
+        "baselined": [f.as_dict() for f in report.baselined],
+        "stale_baseline": list(report.stale_baseline),
+        "summary": {
+            "new": len(report.new_findings),
+            "baselined": len(report.baselined),
+            "modules_checked": report.modules_checked,
+            "rules_run": list(report.rules_run),
+            "exit_code": report.exit_code,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sort_findings(findings: Sequence[Finding]) -> list[Finding]:
+    """Stable presentation order: by path, then line, then code."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.code, f.ordinal))

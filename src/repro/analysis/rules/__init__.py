@@ -1,0 +1,22 @@
+"""Rule families. Importing this package registers every rule.
+
+One module per family; each calls
+:func:`repro.analysis.registry.rule` at import time. Add new families
+here and nowhere else — the registry refuses duplicate codes.
+"""
+
+from __future__ import annotations
+
+from . import rep001_certificates
+from . import rep002_registry
+from . import rep003_exceptions
+from . import rep004_determinism
+from . import rep005_complexity
+
+__all__ = [
+    "rep001_certificates",
+    "rep002_registry",
+    "rep003_exceptions",
+    "rep004_determinism",
+    "rep005_complexity",
+]

@@ -1,0 +1,129 @@
+"""REP001 — certificate discipline for certified reductions.
+
+Definition 5.1 makes a parameterized reduction three checkable
+conditions (equivalence, size bound, parameter bound); this library
+encodes them as :class:`~repro.reductions.base.Certificate` objects
+attached to every :class:`~repro.reductions.base.CertifiedReduction`.
+A construction site that attaches no certificate, or that omits
+``map_solution_back``, produces an object the test harness cannot
+mechanically validate — the "theorems as code" contract silently
+degrades to "trust me". This rule finds every ``CertifiedReduction``
+construction in the tree and requires, within the same enclosing
+function:
+
+* at least one certificate — a ``certificates=`` constructor keyword
+  or a ``.add_certificate(...)`` call, and
+* a solution back-mapping — a ``map_solution_back=`` constructor
+  keyword or a later ``<obj>.map_solution_back = ...`` assignment.
+
+The defining module ``repro.reductions.base`` is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..walker import ModuleInfo, Project, call_name, iter_functions
+
+CONSTRUCTOR = "CertifiedReduction"
+EXEMPT_MODULES = frozenset({"repro.reductions.base"})
+
+
+def _construction_sites(scope: ast.AST) -> list[ast.Call]:
+    """Direct ``CertifiedReduction(...)`` calls in ``scope``, excluding
+    those inside nested function definitions (they get their own scope)."""
+    sites: list[ast.Call] = []
+
+    def visit(node: ast.AST):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are their own scope
+            if isinstance(child, ast.Call):
+                name = call_name(child)
+                if name and name.split(".")[-1] == CONSTRUCTOR:
+                    sites.append(child)
+            visit(child)
+
+    visit(scope)
+    return sites
+
+
+def _has_keyword(call: ast.Call, keyword: str) -> bool:
+    return any(kw.arg == keyword for kw in call.keywords)
+
+
+def _scope_attaches_certificates(scope: ast.AST) -> bool:
+    """True if the scope calls ``<anything>.add_certificate(...)``."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name and name.split(".")[-1] == "add_certificate":
+                return True
+    return False
+
+
+def _scope_assigns_attribute(scope: ast.AST, attribute: str) -> bool:
+    """True if the scope has an ``<obj>.<attribute> = ...`` statement."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and target.attr == attribute:
+                    return True
+    return False
+
+
+def _check_scope(
+    module: ModuleInfo, project: Project, qualname: str, scope: ast.AST
+) -> Iterable[Finding]:
+    sites = _construction_sites(scope)
+    if not sites:
+        return
+    path = project.relative_path(module)
+    for site in sites:
+        has_certificates = _has_keyword(site, "certificates") or _scope_attaches_certificates(scope)
+        has_back_map = _has_keyword(site, "map_solution_back") or _scope_assigns_attribute(
+            scope, "map_solution_back"
+        )
+        if not has_certificates:
+            yield Finding(
+                code="REP001",
+                severity=Severity.ERROR,
+                path=path,
+                line=site.lineno,
+                message=(
+                    f"{qualname or '<module>'} constructs a CertifiedReduction "
+                    "without attaching any certificate (Definition 5.1 is unchecked); "
+                    "use certificates= or add_certificate(...)"
+                ),
+                context=qualname or "<module>",
+            )
+        if not has_back_map:
+            yield Finding(
+                code="REP001",
+                severity=Severity.ERROR,
+                path=path,
+                line=site.lineno,
+                message=(
+                    f"{qualname or '<module>'} constructs a CertifiedReduction "
+                    "without map_solution_back; target solutions cannot be "
+                    "pulled back to source solutions"
+                ),
+                context=qualname or "<module>",
+            )
+
+
+@rule(
+    "REP001",
+    "certificate-discipline",
+    "every CertifiedReduction construction attaches certificates and a solution back-map",
+)
+def check(project: Project) -> Iterable[Finding]:
+    for module in project.iter_modules():
+        if module.name in EXEMPT_MODULES:
+            continue
+        yield from _check_scope(module, project, "", module.tree)
+        for qualname, function in iter_functions(module.tree):
+            yield from _check_scope(module, project, qualname, function)

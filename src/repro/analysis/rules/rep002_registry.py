@@ -1,0 +1,164 @@
+"""REP002 — registry integrity of the lower-bound and paper maps.
+
+:mod:`repro.complexity.bounds` points every :class:`LowerBound` at the
+``reduction_module`` implementing its construction and the
+``experiment`` witnessing its shape; :mod:`repro.complexity.paper_map`
+does the same per paper section. These dotted paths are the machine-
+checkable spine of the reproduction — a path that stops resolving
+means a theorem whose claimed witness is gone. This rule re-derives
+both sides statically:
+
+* module paths must name a module or package discovered by the walker
+  (no import is attempted);
+* experiment ids must appear as an ``experiment_id="..."`` literal
+  somewhere under ``repro.experiments``.
+
+Empty strings are allowed — they are the explicit "not implemented"
+marker in both registries.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..walker import ModuleInfo, Project, call_name
+
+BOUNDS_MODULE = "repro.complexity.bounds"
+PAPER_MAP_MODULE = "repro.complexity.paper_map"
+EXPERIMENTS_PACKAGE = "repro.experiments"
+
+
+def discover_experiment_ids(project: Project) -> set[str]:
+    """Every ``experiment_id="..."`` keyword literal under the
+    experiments package — the statically visible id universe."""
+    ids: set[str] = set()
+    for module in project.iter_modules():
+        if not (
+            module.name == EXPERIMENTS_PACKAGE
+            or module.name.startswith(EXPERIMENTS_PACKAGE + ".")
+        ):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if (
+                    kw.arg == "experiment_id"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ):
+                    ids.add(kw.value.value)
+    return ids
+
+
+def _string_constants(node: ast.expr) -> list[tuple[str, int]]:
+    """All string literals in an expression (tuple/list or single)."""
+    found: list[tuple[str, int]] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            found.append((sub.value, sub.lineno))
+    return found
+
+
+def _keyword_literals(call: ast.Call, name: str) -> list[tuple[str, int]]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return _string_constants(kw.value)
+    return []
+
+
+def _positional_or_keyword(call: ast.Call, index: int, name: str) -> list[tuple[str, int]]:
+    """Literals from either the positional slot or the keyword form."""
+    if len(call.args) > index:
+        return _string_constants(call.args[index])
+    return _keyword_literals(call, name)
+
+
+def _check_module_path(
+    project: Project, module: ModuleInfo, literal: str, line: int, origin: str
+) -> Iterable[Finding]:
+    if not literal:
+        return
+    if not project.has_module(literal):
+        yield Finding(
+            code="REP002",
+            severity=Severity.ERROR,
+            path=project.relative_path(module),
+            line=line,
+            message=(
+                f"{origin} names module {literal!r} which does not exist "
+                "in the source tree — the registered witness is gone"
+            ),
+            context=literal,
+        )
+
+
+def _check_experiment_id(
+    project: Project,
+    module: ModuleInfo,
+    literal: str,
+    line: int,
+    origin: str,
+    known_ids: set[str],
+) -> Iterable[Finding]:
+    if not literal:
+        return
+    if literal not in known_ids:
+        yield Finding(
+            code="REP002",
+            severity=Severity.ERROR,
+            path=project.relative_path(module),
+            line=line,
+            message=(
+                f"{origin} names experiment id {literal!r} but no module under "
+                f"{EXPERIMENTS_PACKAGE} declares experiment_id={literal!r}"
+            ),
+            context=literal,
+        )
+
+
+@rule(
+    "REP002",
+    "registry-integrity",
+    "LowerBound / paper-map module paths and experiment ids resolve statically",
+)
+def check(project: Project) -> Iterable[Finding]:
+    known_ids = discover_experiment_ids(project)
+
+    for module_name, constructor, module_kw, experiment_kw, module_pos, experiment_pos in (
+        (BOUNDS_MODULE, "LowerBound", "reduction_module", "experiment", None, None),
+        (PAPER_MAP_MODULE, "SectionEntry", "modules", "experiments", 2, 3),
+    ):
+        if not project.has_module(module_name):
+            continue
+        module = project.module(module_name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not name or name.split(".")[-1] != constructor:
+                continue
+            if module_pos is None:
+                module_literals = _keyword_literals(node, module_kw)
+                experiment_literals = _keyword_literals(node, experiment_kw)
+            else:
+                module_literals = _positional_or_keyword(node, module_pos, module_kw)
+                experiment_literals = _positional_or_keyword(
+                    node, experiment_pos, experiment_kw
+                )
+            for literal, line in module_literals:
+                yield from _check_module_path(
+                    project, module, literal, line, f"{constructor} in {module_name}"
+                )
+            for literal, line in experiment_literals:
+                yield from _check_experiment_id(
+                    project,
+                    module,
+                    literal,
+                    line,
+                    f"{constructor} in {module_name}",
+                    known_ids,
+                )

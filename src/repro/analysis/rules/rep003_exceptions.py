@@ -1,0 +1,170 @@
+"""REP003 — exception hygiene.
+
+:mod:`repro.errors` promises callers a single catchable root: every
+library failure derives from :class:`ReproError`, so ``except
+ReproError`` never swallows a programming error. Three patterns break
+that promise:
+
+* **bare or broad handlers** (``except:``, ``except Exception``,
+  ``except BaseException``) — they catch programming errors and hide
+  real bugs behind library-looking control flow;
+* **exception classes outside the tree** — a class named like an
+  error (``...Error`` / ``...Exception``) defined anywhere in the
+  library must reach :class:`ReproError` through its (statically
+  resolvable) base chain;
+* **raising builtin catch-alls** — ``raise Exception``/``BaseException``
+  is an error; ``raise AssertionError`` is a warning (acceptable only
+  as an unreachable-state guard, and grandfathered via the baseline).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..walker import Project, dotted_name, iter_functions
+
+ROOT = "ReproError"
+BROAD = frozenset({"Exception", "BaseException"})
+ERRORS_MODULE = "repro.errors"
+
+
+def _class_bases(project: Project) -> dict[str, set[str]]:
+    """Class name → declared base names, across the whole project.
+
+    Names are matched unqualified: the library has a single flat
+    exception namespace (everything re-raised is importable from
+    :mod:`repro.errors`), so collisions would themselves be a smell.
+    """
+    bases: dict[str, set[str]] = {}
+    for module in project.iter_modules():
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                declared = set()
+                for base in node.bases:
+                    name = dotted_name(base)
+                    if name:
+                        declared.add(name.split(".")[-1])
+                bases.setdefault(node.name, set()).update(declared)
+    return bases
+
+
+def _derives_from_root(name: str, bases: dict[str, set[str]]) -> bool:
+    """Transitive check ``name`` → :class:`ReproError` over declared bases."""
+    seen: set[str] = set()
+    frontier = [name]
+    while frontier:
+        current = frontier.pop()
+        if current == ROOT:
+            return True
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(bases.get(current, ()))
+    return False
+
+
+def _looks_like_exception(name: str) -> bool:
+    return name.endswith("Error") or name.endswith("Exception")
+
+
+def _enclosing_index(module_tree: ast.Module) -> list[tuple[str, ast.AST]]:
+    """(qualname, node) pairs for locating a node's enclosing function."""
+    return list(iter_functions(module_tree))
+
+
+def _context_for(node: ast.AST, functions: list[tuple[str, ast.AST]]) -> str:
+    """Qualname of the innermost function containing ``node``."""
+    best = "<module>"
+    best_span = None
+    for qualname, function in functions:
+        start = function.lineno
+        end = getattr(function, "end_lineno", start)
+        if start <= node.lineno <= end:
+            span = end - start
+            if best_span is None or span < best_span:
+                best, best_span = qualname, span
+    return best
+
+
+@rule(
+    "REP003",
+    "exception-hygiene",
+    "no bare/broad except; library exception classes derive from ReproError",
+)
+def check(project: Project) -> Iterable[Finding]:
+    bases = _class_bases(project)
+
+    for module in project.iter_modules():
+        path = project.relative_path(module)
+        functions = _enclosing_index(module.tree)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield Finding(
+                        code="REP003",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=node.lineno,
+                        message="bare 'except:' swallows programming errors; "
+                        "catch ReproError (or a subclass) instead",
+                        context=_context_for(node, functions),
+                    )
+                else:
+                    caught = dotted_name(node.type)
+                    if caught and caught.split(".")[-1] in BROAD:
+                        yield Finding(
+                            code="REP003",
+                            severity=Severity.ERROR,
+                            path=path,
+                            line=node.lineno,
+                            message=f"broad 'except {caught}' hides bugs behind "
+                            "library-looking control flow; catch ReproError instead",
+                            context=_context_for(node, functions),
+                        )
+
+            elif isinstance(node, ast.ClassDef) and _looks_like_exception(node.name):
+                if node.name == ROOT and module.name == ERRORS_MODULE:
+                    continue
+                if not _derives_from_root(node.name, bases):
+                    yield Finding(
+                        code="REP003",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=node.lineno,
+                        message=f"exception class {node.name} does not derive from "
+                        f"{ROOT}; callers relying on 'except ReproError' will miss it",
+                        context=node.name,
+                    )
+
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                target = node.exc
+                if isinstance(target, ast.Call):
+                    target = target.func
+                raised = dotted_name(target)
+                if raised is None:
+                    continue
+                raised = raised.split(".")[-1]
+                if raised in BROAD:
+                    yield Finding(
+                        code="REP003",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=node.lineno,
+                        message=f"raising builtin {raised} defeats the ReproError "
+                        "contract; raise a ReproError subclass",
+                        context=_context_for(node, functions),
+                    )
+                elif raised == "AssertionError":
+                    yield Finding(
+                        code="REP003",
+                        severity=Severity.WARNING,
+                        path=path,
+                        line=node.lineno,
+                        message="raise AssertionError is acceptable only as an "
+                        "unreachable-state guard; prefer a ReproError subclass",
+                        context=_context_for(node, functions),
+                    )

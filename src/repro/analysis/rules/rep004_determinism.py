@@ -1,0 +1,139 @@
+"""REP004 — determinism: randomness must flow through an injected seed.
+
+Every generator in the library takes ``seed: int | random.Random`` and
+derives a private :class:`random.Random`; experiments are reproducible
+because the whole run is a pure function of those seeds. Calling the
+*module-global* RNG (``random.random()``, ``random.shuffle(...)``,
+``numpy.random.rand(...)``) re-introduces hidden global state: results
+change run to run and between test orderings. This rule flags
+
+* any call on the ``random`` module object other than constructing an
+  RNG (``random.Random``, ``random.SystemRandom``),
+* ``from random import <fn>`` of a stateful function (importing the
+  name is already a commitment to global state),
+* any call on ``numpy.random`` other than seeded constructors
+  (``default_rng``/``Generator``/``RandomState``/``SeedSequence``) —
+  and those constructors called *without* a seed argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..walker import Project, dotted_name, iter_functions
+from .rep003_exceptions import _context_for, _enclosing_index
+
+#: RNG-object constructors are the sanctioned way to use ``random``.
+RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+#: numpy constructors that are fine *if* given an explicit seed.
+NUMPY_CONSTRUCTORS = frozenset({"default_rng", "Generator", "RandomState", "SeedSequence"})
+
+
+def _random_aliases(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+    """Names bound to the ``random`` module, the ``numpy`` module, and
+    the ``numpy.random`` submodule (``import random as r`` → ``{"r"}``)."""
+    random_names: set[str] = set()
+    numpy_names: set[str] = set()
+    numpy_random_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    random_names.add(alias.asname or "random")
+                elif alias.name == "numpy":
+                    numpy_names.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random":
+                    if alias.asname:
+                        numpy_random_names.add(alias.asname)
+                    else:
+                        numpy_names.add("numpy")
+    return random_names, numpy_names, numpy_random_names
+
+
+@rule(
+    "REP004",
+    "determinism",
+    "no module-global or unseeded RNG calls; randomness flows through injected seeds",
+)
+def check(project: Project) -> Iterable[Finding]:
+    for module in project.iter_modules():
+        path = project.relative_path(module)
+        functions = _enclosing_index(module.tree)
+        random_names, numpy_names, numpy_random_names = _random_aliases(module.tree)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in RANDOM_ALLOWED:
+                            yield Finding(
+                                code="REP004",
+                                severity=Severity.ERROR,
+                                path=path,
+                                line=node.lineno,
+                                message=f"'from random import {alias.name}' binds the "
+                                "module-global RNG; inject a random.Random instead",
+                                context=f"import:{alias.name}",
+                            )
+                elif node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        if node.module == "numpy.random" and alias.name not in NUMPY_CONSTRUCTORS:
+                            yield Finding(
+                                code="REP004",
+                                severity=Severity.ERROR,
+                                path=path,
+                                line=node.lineno,
+                                message=f"'from numpy.random import {alias.name}' binds "
+                                "global numpy RNG state; use default_rng(seed)",
+                                context=f"import:{alias.name}",
+                            )
+                continue
+
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+
+            if len(parts) == 2 and parts[0] in random_names:
+                if parts[1] not in RANDOM_ALLOWED:
+                    yield Finding(
+                        code="REP004",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=node.lineno,
+                        message=f"call to module-global '{name}()' breaks "
+                        "reproducibility; use an injected random.Random",
+                        context=_context_for(node, functions),
+                    )
+                continue
+
+            is_np_random = (
+                len(parts) == 3 and parts[0] in numpy_names and parts[1] == "random"
+            ) or (len(parts) == 2 and parts[0] in numpy_random_names)
+            if is_np_random:
+                fn = parts[-1]
+                if fn not in NUMPY_CONSTRUCTORS:
+                    yield Finding(
+                        code="REP004",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=node.lineno,
+                        message=f"call to global numpy RNG '{name}()' breaks "
+                        "reproducibility; use numpy.random.default_rng(seed)",
+                        context=_context_for(node, functions),
+                    )
+                elif not node.args and not node.keywords:
+                    yield Finding(
+                        code="REP004",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=node.lineno,
+                        message=f"'{name}()' without a seed is entropy-seeded and "
+                        "unreproducible; pass an explicit seed",
+                        context=_context_for(node, functions),
+                    )

@@ -1,0 +1,85 @@
+"""REP005 — complexity annotations on algorithm entry points.
+
+The whole point of the library is *stated running times*: a solver
+whose docstring does not say what it costs cannot be compared against
+the bound that rules the cost out. Public module-level functions in
+the algorithm packages whose names use a solver verb
+(``solve…``/``count…``/``find…``/``has…``/``enumerate…``/``decide…``)
+must carry a ``Complexity:`` field in their docstring, e.g.::
+
+    def solve_dpll(formula, ...):
+        \"\"\"Decide satisfiability by DPLL.
+
+        Complexity: O(2^n · m) worst case over n variables, m clauses.
+        \"\"\"
+
+Names are matched on word boundaries (``has_clique`` matches,
+``hash_join`` does not). Private helpers (leading underscore) and
+nested/method definitions are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..walker import Project
+
+#: Subpackages whose public verb-named functions are algorithm entry points.
+ALGORITHM_SUBPACKAGES = (
+    "sat",
+    "csp",
+    "graphs",
+    "treewidth",
+    "finegrained",
+    "relational",
+    "structures",
+    "reductions",
+)
+
+#: Solver verbs; a name matches as the verb alone or ``verb_...``.
+VERBS = ("solve", "count", "find", "has", "enumerate", "decide")
+
+FIELD = "Complexity:"
+
+
+def is_entry_point_name(name: str) -> bool:
+    """True for public names using a solver verb on a word boundary."""
+    if name.startswith("_"):
+        return False
+    return any(name == verb or name.startswith(verb + "_") for verb in VERBS)
+
+
+def _has_complexity_field(docstring: str | None) -> bool:
+    if not docstring:
+        return False
+    return any(line.strip().startswith(FIELD) for line in docstring.splitlines())
+
+
+@rule(
+    "REP005",
+    "complexity-annotations",
+    "public solver/algorithm entry points document a 'Complexity:' docstring field",
+)
+def check(project: Project) -> Iterable[Finding]:
+    for module in project.iter_modules():
+        if not module.in_subpackage(*ALGORITHM_SUBPACKAGES):
+            continue
+        path = project.relative_path(module)
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not is_entry_point_name(node.name):
+                continue
+            if not _has_complexity_field(ast.get_docstring(node)):
+                yield Finding(
+                    code="REP005",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=node.lineno,
+                    message=f"algorithm entry point {node.name}() lacks a "
+                    f"'{FIELD}' docstring field stating its running time",
+                    context=node.name,
+                )

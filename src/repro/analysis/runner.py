@@ -1,0 +1,64 @@
+"""Orchestration: load → check → baseline-filter → report.
+
+Kept separate from ``__main__`` so tests and other tooling can run the
+analysis in-process without argv plumbing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Sequence
+
+from .baseline import Baseline
+from .registry import all_rules, get_rule
+from .report import AnalysisReport, Finding, Severity, assign_ordinals, sort_findings
+from .walker import Project, load_project
+
+
+def analyze_project(
+    project: Project, rule_codes: Sequence[str] | None = None
+) -> list[Finding]:
+    """Run the selected rules (default: all) over a parsed project and
+    return findings with unique fingerprints, in presentation order.
+
+    A file that failed to parse is itself a finding — the linter must
+    not silently skip code it cannot see.
+    """
+    rules = (
+        [get_rule(code) for code in rule_codes] if rule_codes else all_rules()
+    )
+    findings: list[Finding] = []
+    for path, message in project.parse_failures:
+        findings.append(
+            Finding(
+                code="REP000",
+                severity=Severity.ERROR,
+                path=str(path),
+                line=1,
+                message=f"source file could not be parsed: {message}",
+                context="<parse>",
+            )
+        )
+    for rule in rules:
+        findings.extend(rule.check(project))
+    return sort_findings(assign_ordinals(findings))
+
+
+def run_analysis(
+    root: Path | str | None = None,
+    rule_codes: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisReport:
+    """The full pipeline used by the CLI and the tier-1 test."""
+    project = load_project(root)
+    findings = analyze_project(project, rule_codes)
+    baseline = baseline if baseline is not None else Baseline()
+    new, baselined, stale = baseline.split(findings)
+    rules = [get_rule(code) for code in rule_codes] if rule_codes else all_rules()
+    return AnalysisReport(
+        new_findings=new,
+        baselined=baselined,
+        stale_baseline=stale,
+        modules_checked=len(project.modules),
+        rules_run=tuple(rule.code for rule in rules),
+    )

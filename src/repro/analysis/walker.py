@@ -1,0 +1,171 @@
+"""Module-tree discovery and parsing — the linter's view of the code.
+
+The walker turns a source tree into a :class:`Project`: one parsed
+:class:`ast.Module` per file plus the dotted-name index the rules
+resolve against. Nothing is imported; a module with a syntax error
+becomes a finding-like parse failure rather than a crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ReproError
+
+
+class AnalysisError(ReproError):
+    """The static-analysis pass was misconfigured or hit unreadable input."""
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source module.
+
+    Attributes
+    ----------
+    name:
+        Dotted module name, e.g. ``"repro.graphs.clique"``. Package
+        ``__init__`` files get the package's dotted name.
+    path:
+        Filesystem location of the source file.
+    source:
+        Raw text, kept for line-context rendering.
+    tree:
+        The parsed AST.
+    """
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+
+    @property
+    def package_parts(self) -> tuple[str, ...]:
+        """The dotted name split into components."""
+        return tuple(self.name.split("."))
+
+    def in_subpackage(self, *subpackages: str) -> bool:
+        """True if this module lives under ``repro.<subpackage>`` for
+        any of the given subpackage names."""
+        parts = self.package_parts
+        return len(parts) >= 2 and parts[1] in subpackages
+
+
+@dataclass
+class Project:
+    """The whole parsed tree plus derived indexes."""
+
+    root: Path
+    package: str
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    parse_failures: list[tuple[Path, str]] = field(default_factory=list)
+
+    def module(self, name: str) -> ModuleInfo:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise AnalysisError(f"project has no module {name!r}") from None
+
+    def has_module(self, dotted: str) -> bool:
+        """True if ``dotted`` names a module or package in the tree."""
+        return dotted in self.modules
+
+    def iter_modules(self):
+        """Modules in deterministic (sorted dotted-name) order."""
+        for name in sorted(self.modules):
+            yield self.modules[name]
+
+    def relative_path(self, module: ModuleInfo) -> str:
+        """Path of ``module`` relative to the project root's parent,
+        e.g. ``"repro/graphs/clique.py"`` — stable across machines."""
+        try:
+            return module.path.relative_to(self.root.parent).as_posix()
+        except ValueError:
+            return module.path.as_posix()
+
+
+def module_name_for(path: Path, root: Path, package: str) -> str:
+    """Dotted module name of ``path`` inside the package rooted at
+    ``root`` (the directory containing the package's ``__init__.py``)."""
+    relative = path.relative_to(root)
+    parts = (package, *relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def load_project(root: Path | str | None = None, package: str = "repro") -> Project:
+    """Parse every ``.py`` file under ``root`` into a :class:`Project`.
+
+    ``root`` defaults to the installed location of the :mod:`repro`
+    package itself, so ``python -m repro.analysis`` lints the library
+    it shipped with. Files that fail to parse are collected in
+    ``parse_failures`` instead of aborting the walk.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parents[1]
+    root = Path(root).resolve()
+    if not root.is_dir():
+        raise AnalysisError(f"analysis root {root} is not a directory")
+
+    project = Project(root=root, package=package)
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts or any(
+            part.endswith(".egg-info") for part in path.parts
+        ):
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            project.parse_failures.append((path, str(exc)))
+            continue
+        name = module_name_for(path, root, package)
+        project.modules[name] = ModuleInfo(
+            name=name, path=path, source=source, tree=tree
+        )
+    return project
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"``, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call is made on, e.g. ``"reduction.add_certificate"``."""
+    return dotted_name(node.func)
+
+
+def string_keyword(call: ast.Call, keyword: str) -> tuple[str, ast.expr] | None:
+    """The literal string value of a keyword argument, with its node."""
+    for kw in call.keywords:
+        if kw.arg == keyword and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value, kw.value
+    return None
+
+
+def iter_functions(tree: ast.Module):
+    """Yield ``(qualname, node)`` for every function, including methods
+    and nested functions, with a dotted qualifier path."""
+
+    def visit(node: ast.AST, prefix: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+
+    yield from visit(tree, "")

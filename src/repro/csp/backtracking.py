@@ -28,6 +28,9 @@ def solve_backtracking(
     consistency): GAC-3 re-runs after every assignment. Much stronger
     pruning on propagation-heavy instances (e.g. coloring gadget
     graphs) at a higher per-node cost.
+
+    Complexity: O(|D|^{|V|}) worst case; with MAC, each node also pays
+        one GAC-3 pass, O(Σ_C |R_C| · arity(C)) per assignment.
     """
     if preprocess_gac or maintain_gac:
         domains = enforce_gac(instance, None, counter)

@@ -17,7 +17,11 @@ from .instance import CSPInstance, Value, Variable
 def solve_bruteforce(
     instance: CSPInstance, counter: CostCounter | None = None
 ) -> dict[Variable, Value] | None:
-    """Return the first satisfying assignment in domain order, or None."""
+    """Return the first satisfying assignment in domain order, or None.
+
+    Complexity: O(|D|^{|V|} · Σ_C arity(C)) — every assignment is
+        checked against every constraint.
+    """
     domain = sorted(instance.domain, key=repr)
     variables = instance.variables
     for values in product(domain, repeat=len(variables)):
@@ -29,7 +33,11 @@ def solve_bruteforce(
 
 
 def count_bruteforce(instance: CSPInstance, counter: CostCounter | None = None) -> int:
-    """Count all solutions by full enumeration."""
+    """Count all solutions by full enumeration.
+
+    Complexity: O(|D|^{|V|} · Σ_C arity(C)) — full enumeration, no
+        pruning.
+    """
     domain = sorted(instance.domain, key=repr)
     variables = instance.variables
     count = 0

@@ -76,7 +76,11 @@ def encode_direct(instance: CSPInstance) -> tuple[CNF, dict[tuple[Variable, Valu
 def solve_via_sat(
     instance: CSPInstance, counter: CostCounter | None = None
 ) -> dict[Variable, Value] | None:
-    """Solve a CSP by direct encoding + CDCL; assignment or ``None``."""
+    """Solve a CSP by direct encoding + CDCL; assignment or ``None``.
+
+    Complexity: exponential worst case (CDCL); the encoding itself is
+        O(|V| · |D|² + Σ_C |D|^{arity(C)}) clauses.
+    """
     if instance.num_variables == 0:
         return {}
     if not instance.domain:

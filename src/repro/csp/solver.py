@@ -34,6 +34,10 @@ def solve(
     method:
         One of ``auto``, ``backtracking``, ``bruteforce``,
         ``treewidth``, ``sat`` (direct encoding + CDCL).
+
+    Complexity: O(|V| · |D|^{k+1} · |C|) when min-fill width k ≤ the
+        auto threshold (Theorem 4.2 regime); otherwise the backtracking
+        bound O(|D|^{|V|}).
     """
     if method not in _METHODS:
         raise SolverError(f"unknown method {method!r}; choose from {_METHODS}")

@@ -59,6 +59,9 @@ def find_orthogonal_pair(
 
     Returns an orthogonal pair or ``None``. Bitmask packing keeps the
     inner test O(d/word) in practice; one unit is charged per pair.
+
+    Complexity: O(n · m · d) over all pairs — exactly the quadratic
+        shape the OV conjecture says cannot be beaten to n^{2−ε}.
     """
     right_masks = [
         (sum(1 << i for i, x in enumerate(v) if x), v) for v in instance.right
@@ -75,5 +78,8 @@ def find_orthogonal_pair(
 def has_orthogonal_pair(
     instance: OVInstance, counter: CostCounter | None = None
 ) -> bool:
-    """Decision form of :func:`find_orthogonal_pair`."""
+    """Decision form of :func:`find_orthogonal_pair`.
+
+    Complexity: O(n · m · d), via :func:`find_orthogonal_pair`.
+    """
     return find_orthogonal_pair(instance, counter) is not None

@@ -23,7 +23,10 @@ from .graph import Graph, Vertex
 
 
 def has_clique(graph: Graph, k: int, counter: CostCounter | None = None) -> bool:
-    """Decide whether ``graph`` has a clique of size ``k`` (brute force)."""
+    """Decide whether ``graph`` has a clique of size ``k`` (brute force).
+
+    Complexity: O(n^k · k²) via the brute-force search.
+    """
     return find_clique_bruteforce(graph, k, counter) is not None
 
 
@@ -37,6 +40,9 @@ def find_clique_bruteforce(
     clique, so the worst case is attained only on dense graphs.
 
     Returns a clique as a tuple of vertices, or ``None``.
+
+    Complexity: O(n^k · k²) — all k-subsets times the pair check; the
+        ETH rules out f(k) · n^{o(k)} (Theorem 6.3).
     """
     if k < 0:
         raise InvalidInstanceError(f"clique size must be nonnegative, got {k}")
@@ -100,6 +106,10 @@ def find_clique_matrix(
     then detects a triangle by boolean matrix multiplication. Runtime is
     ``O(n^{ωk/3})`` with fast matrix multiplication; numpy provides the
     practical dense analogue.
+
+    Complexity: O(n^{3⌈k/3⌉}) arithmetic via Boolean matrix products on
+        ⌈k/3⌉-sets (Nešetřil–Poljak; n^{ω⌈k/3⌉} with fast
+        multiplication).
     """
     if k % 3 != 0 or k <= 0:
         raise InvalidInstanceError(

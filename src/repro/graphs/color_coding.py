@@ -38,6 +38,9 @@ def find_k_path_color_coding(
     adjacent) or ``None``. ``None`` answers are wrong with probability
     at most ``failure_probability`` (yes-instances only; no-instances
     are always answered correctly).
+
+    Complexity: O(trials · 2^k · k · m); e^k trials make the failure
+        probability constant, for O((2e)^k · k · m) in expectation.
     """
     if k < 1:
         raise InvalidInstanceError(f"k must be >= 1, got {k}")
@@ -64,6 +67,9 @@ def find_k_path_exhaustive_colorings(
 
     Exponential in |V(G)| — an oracle for tests on tiny graphs (a real
     derandomization would use a k-perfect hash family).
+
+    Complexity: O(k^n · 2^k · k · m) — every coloring times the
+        color-set DP; exponentially worse than the randomized variant.
     """
     if k < 1:
         raise InvalidInstanceError(f"k must be >= 1, got {k}")

@@ -35,6 +35,9 @@ def find_dominating_set_bruteforce(
     This is the ``O(n^{k+2})`` baseline of §7 (each candidate costs
     ``O(n²)`` to verify; we charge one unit per closed-neighborhood
     probe).
+
+    Complexity: O(n^k · (n + m)) — all k-subsets times a domination
+        check; SETH rules out O(n^{k−ε}) for k ≥ 3 (Theorem 7.1).
     """
     if k < 0:
         raise InvalidInstanceError(f"k must be nonnegative, got {k}")

@@ -38,6 +38,8 @@ def find_graph_homomorphism(
     (each vertex after the first is adjacent to an earlier one when
     possible) so that pruning against already-assigned neighbors fires
     early.
+
+    Complexity: O(n_H^{n_G} · m_G) backtracking worst case.
     """
     hom = _search(source, target, count_all=False, counter=counter)
     return hom if hom is None or isinstance(hom, dict) else None
@@ -46,7 +48,11 @@ def find_graph_homomorphism(
 def count_graph_homomorphisms(
     source: Graph, target: Graph, counter: CostCounter | None = None
 ) -> int:
-    """Count all homomorphisms from ``source`` to ``target``."""
+    """Count all homomorphisms from ``source`` to ``target``.
+
+    Complexity: O(n_H^{n_G} · m_G) — exhaustive backtracking over all
+        maps.
+    """
     result = _search(source, target, count_all=True, counter=counter)
     assert isinstance(result, int)
     return result
@@ -63,6 +69,9 @@ def count_graph_homomorphisms_treewidth(
     run the counting DP over a tree decomposition of the *pattern* —
     polynomial in the host for any bounded-treewidth pattern family,
     e.g. counting k-paths or k-cycles.
+
+    Complexity: O(n_G · n_H^{k+1}) for a width-k decomposition of G —
+        the Díaz–Serna–Thilikos DP.
     """
     # Local import to avoid a package cycle (csp builds on graphs).
     from ..csp.instance import Constraint, CSPInstance

@@ -78,6 +78,10 @@ def find_hyperclique_bruteforce(
 ) -> tuple[Vertex, ...] | None:
     """Find a k-hyperclique by trying every k-subset — conjecturally
     optimal for d ≥ 3 (§8).
+
+    Complexity: O(n^k · k^d) — all k-subsets times the d-edge check;
+        the hyperclique conjecture says n^{k−ε} is impossible for d ≥
+        3.
     """
     if k < 0:
         raise InvalidInstanceError(f"k must be nonnegative, got {k}")

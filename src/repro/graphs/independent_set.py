@@ -27,7 +27,10 @@ def is_independent_set(graph: Graph, candidate: Iterable[Vertex]) -> bool:
 def find_independent_set_bruteforce(
     graph: Graph, k: int, counter: CostCounter | None = None
 ) -> tuple[Vertex, ...] | None:
-    """Find an independent set of size k by direct subset search."""
+    """Find an independent set of size k by direct subset search.
+
+    Complexity: O(n^k · k²) — all k-subsets times the non-edge check.
+    """
     complement = graph.complement()
     return find_clique_bruteforce(complement, k, counter)
 
@@ -35,5 +38,9 @@ def find_independent_set_bruteforce(
 def find_independent_set_via_clique(
     graph: Graph, k: int, counter: CostCounter | None = None
 ) -> tuple[Vertex, ...] | None:
-    """The §5 reduction made explicit: k-IS in G == k-clique in Ḡ."""
+    """The §5 reduction made explicit: k-IS in G == k-clique in Ḡ.
+
+    Complexity: O(n² + n^k · k²): complement construction plus the
+        clique search on it.
+    """
     return find_clique_bruteforce(graph.complement(), k, counter)

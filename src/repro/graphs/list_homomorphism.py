@@ -62,6 +62,9 @@ def find_list_homomorphism(
     Solved by Freuder's DP over a tree decomposition of H's primal
     graph (H itself), so bounded-treewidth patterns are polynomial —
     the upper-bound side of [33].
+
+    Complexity: O(Π_v |L(v)| · m_G) backtracking worst case — n_H^{n_G}
+        when every list is full.
     """
     from ..csp.treewidth_dp import solve_with_treewidth
 
@@ -77,7 +80,11 @@ def count_list_homomorphisms(
     lists: Mapping[Vertex, Sequence[Vertex]],
     counter: CostCounter | None = None,
 ) -> int:
-    """The number of list homomorphisms H → G."""
+    """The number of list homomorphisms H → G.
+
+    Complexity: O(Π_v |L(v)| · m_G) — exhaustive search over
+        list-respecting maps.
+    """
     from ..csp.treewidth_dp import count_with_treewidth
 
     if source.num_vertices == 0:

@@ -104,6 +104,10 @@ def solve_special_csp(instance, counter: CostCounter | None = None):
     Returns
     -------
     A satisfying assignment dict, or ``None``.
+
+    Complexity: O(|D|^{log₂ n} · |C| + n · |D|²) — brute force on the ≤
+        log₂ n clique variables, linear DP on the path;
+        quasipolynomial, optimal under ETH (the n^{o(log n)} bound).
     """
     # Imported here to avoid a package cycle: csp builds on graphs.
     from ..csp.bruteforce import solve_bruteforce

@@ -44,6 +44,9 @@ def find_partitioned_subgraph(
     Injectivity across classes is automatic since classes are disjoint
     and each class contributes exactly one vertex — this matches the
     "respects the partition" condition of §2.3.
+
+    Complexity: O(Π_v |class(v)| · m_H) backtracking worst case —
+        n_G^{n_H} when every class is the whole host.
     """
     _validate_partition(pattern, host, partition)
 
@@ -76,6 +79,8 @@ def find_subgraph_isomorphism(
     Implemented as partitioned subgraph isomorphism where every class is
     the whole host vertex set, plus an explicit injectivity check during
     search (classes overlap here, so injectivity is enforced manually).
+
+    Complexity: O(n_G^{n_H} · m_H) backtracking worst case.
     """
     order = sorted(pattern.vertices, key=pattern.degree, reverse=True)
     hosts = host.vertices

@@ -29,7 +29,10 @@ Triangle = tuple[Vertex, Vertex, Vertex]
 
 
 def has_triangle(graph: Graph, counter: CostCounter | None = None) -> bool:
-    """Decide triangle existence via enumeration."""
+    """Decide triangle existence via enumeration.
+
+    Complexity: O(m^{3/2}) via the edge-enumeration search.
+    """
     return find_triangle_enumeration(graph, counter) is not None
 
 
@@ -40,6 +43,8 @@ def find_triangle_naive(
 
     Costs Σ_v deg(v)² — quadratic in m on skewed-degree graphs, the
     baseline the degree-ordered and AYZ methods improve on.
+
+    Complexity: O(n³) — every vertex triple.
     """
     for u in graph.vertices:
         nbrs = sorted(graph.neighbors(u), key=repr)
@@ -60,6 +65,9 @@ def find_triangle_enumeration(
     Vertices are processed in nondecreasing degree order and each edge
     is charged to its lower-degree endpoint, the classic ``O(m^{3/2})``
     bound.
+
+    Complexity: O(m^{3/2}) — each edge intersects the neighborhood of
+        its lower-degree endpoint.
     """
     order = sorted(graph.vertices, key=graph.degree)
     rank = {v: i for i, v in enumerate(order)}
@@ -90,6 +98,9 @@ def find_triangle_matrix(
 
     This is the ``O(d^ω)`` method: ``(A²)[i,j] > 0`` and ``A[i,j]``
     together witness a path ``i - l - j`` closed by the edge ``ij``.
+
+    Complexity: O(n^ω) with fast matrix multiplication (numpy's product
+        is cubic in practice but cache-efficient).
     """
     if graph.num_vertices == 0:
         return None
@@ -108,7 +119,10 @@ def find_triangle_matrix(
 
 
 def count_triangles_matrix(graph: Graph, counter: CostCounter | None = None) -> int:
-    """Count triangles as trace(A³)/6."""
+    """Count triangles as trace(A³)/6.
+
+    Complexity: O(n^ω) — trace(A³)/6 via two matrix products.
+    """
     if graph.num_vertices == 0:
         return 0
     mat, _ = _adjacency(graph)
@@ -135,6 +149,9 @@ def find_triangle_ayz(
     pairs, checked directly. Any remaining triangle lies entirely within
     the ≤ ``2m/Δ`` high-degree vertices, handled by matrix
     multiplication on the induced subgraph.
+
+    Complexity: O(m^{2ω/(ω+1)}) — Alon–Yuster–Zwick degree splitting;
+        the Strong Triangle Conjecture says this is optimal.
     """
     m = graph.num_edges
     if m == 0:

@@ -24,7 +24,10 @@ def is_vertex_cover(graph: Graph, candidate: Iterable[Vertex]) -> bool:
 def find_vertex_cover_bruteforce(
     graph: Graph, k: int, counter: CostCounter | None = None
 ) -> tuple[Vertex, ...] | None:
-    """Try all ``C(n, ≤k)`` subsets — the ``O(n^k)`` baseline."""
+    """Try all ``C(n, ≤k)`` subsets — the ``O(n^k)`` baseline.
+
+    Complexity: O(n^k · m) — all k-subsets times the coverage check.
+    """
     if k < 0:
         raise InvalidInstanceError(f"k must be nonnegative, got {k}")
     if graph.num_edges == 0:
@@ -45,6 +48,9 @@ def find_vertex_cover_fpt(
 
     Pick any uncovered edge ``{u, v}``: any cover of size ≤ k must
     contain ``u`` or ``v``; branch on both choices with budget ``k-1``.
+
+    Complexity: O(2^k · (n + m)) — the depth-k branching tree on
+        endpoints of an uncovered edge; FPT in k.
     """
     if k < 0:
         raise InvalidInstanceError(f"k must be nonnegative, got {k}")

@@ -139,6 +139,10 @@ def solve_coloring(instance: ColoringInstance | Graph, colors: int = 3):
     colors through the reduction's gadget chains, and clause learning
     backjumps over unrelated gadgets on conflict. Returns a vertex →
     color-index dict.
+
+    Complexity: exponential worst case (CDCL on O(n · colors)
+        variables); 3-coloring is NP-hard, so no polynomial bound is
+        expected.
     """
     from ..sat.cdcl import solve_cdcl
     from ..sat.cnf import CNF

@@ -38,6 +38,10 @@ def enumerate_nested_loop(
     Dead ends (partial joins with no completion) are re-explored per
     prefix, so the delay between answers can be Θ(data) even for
     acyclic queries — the behaviour preprocessing eliminates.
+
+    Complexity: O(Π_i |R_i|) total work with unbounded delay between
+        answers — the baseline the enumeration lower bounds are
+        measured against.
     """
     query.validate_against(database)
     relations = [query.bound_relation(atom, database) for atom in query.atoms]
@@ -79,6 +83,9 @@ def enumerate_acyclic(
     ------
     SchemaError
         If the query is not α-acyclic.
+
+    Complexity: O(‖D‖) preprocessing (Yannakakis semi-joins), then
+        O(|Q| · ‖D‖) delay per answer, independent of the answer count.
     """
     query.validate_against(database)
     hypergraph = query.hypergraph()

@@ -18,7 +18,7 @@ from __future__ import annotations
 from ..counting import CostCounter
 from ..errors import SchemaError
 from ..reductions.base import CertifiedReduction
-from ..structures.core import compute_core
+from ..structures.core import compute_core_with_retraction
 from ..structures.structure import Structure
 from ..structures.vocabulary import RelationSymbol, Vocabulary
 from .query import Atom, JoinQuery
@@ -60,19 +60,28 @@ def minimize_query(query: JoinQuery, counter: CostCounter | None = None) -> Cert
     by the retraction.
     """
     structure = canonical_structure(query)
-    core = compute_core(structure, counter)
+    core, retraction = compute_core_with_retraction(structure, counter)
 
-    kept_attributes = set(core.universe)
     atoms: list[Atom] = []
     for symbol in core.vocabulary:
         for scope in sorted(core.relation(symbol.name)):
             atoms.append(Atom(symbol.name, tuple(scope)))
     minimized = JoinQuery(atoms)
 
+    def back(solution):
+        # A solution of the minimized query assigns values to the kept
+        # attributes; a dropped attribute answers via its image under
+        # the retraction onto the core.
+        return {
+            attribute: solution[retraction[attribute]]
+            for attribute in query.attributes
+        }
+
     reduction = CertifiedReduction(
         name="minimize-query(core)",
         source=query,
         target=minimized,
+        map_solution_back=back,
     )
     reduction.add_certificate(
         "atoms never increase",

@@ -40,6 +40,9 @@ def solve_dpll(
     Unassigned variables that do not occur in any clause are completed
     arbitrarily (``False``) so callers always receive a total
     assignment over ``1..num_variables``.
+
+    Complexity: O(2^n · ‖F‖) worst case — the branching tree has ≤ 2^n
+        leaves, each charged one formula pass.
     """
     stats = stats if stats is not None else DPLLStats()
     assignment: dict[int, bool] = {}

@@ -19,6 +19,10 @@ def count_models(formula: CNF, counter: CostCounter | None = None) -> int:
 
     Variables not occurring in any clause are free and multiply the
     count by 2 each (consistent with :func:`solve_dpll`'s totalization).
+
+    Complexity: O(2^n) worst case via the treewidth counting DP on the
+        incidence structure — O(n · 2^{k+1} · m) for primal treewidth
+        k.
     """
     if formula.num_variables == 0:
         return 1 if not formula.clauses else 0

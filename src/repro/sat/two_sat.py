@@ -22,6 +22,9 @@ def solve_2sat(formula: CNF) -> dict[int, bool] | None:
     ------
     InvalidInstanceError
         If some clause has more than two literals.
+
+    Complexity: O(n + m) — implication-graph SCCs
+        (Aspvall–Plass–Tarjan); Schaefer's tractable 2-SAT class.
     """
     if not formula.is_k_sat(2):
         raise InvalidInstanceError(

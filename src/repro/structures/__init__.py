@@ -13,7 +13,7 @@ from .homomorphism import (
     find_structure_homomorphism,
     is_structure_homomorphism,
 )
-from .core import compute_core, is_core
+from .core import compute_core, compute_core_with_retraction, is_core
 from .solve import solve_hom_via_core, structure_pair_to_csp
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "Structure",
     "Vocabulary",
     "compute_core",
+    "compute_core_with_retraction",
     "count_structure_homomorphisms",
     "find_structure_homomorphism",
     "is_core",

@@ -31,17 +31,38 @@ def compute_core(structure: Structure, counter: CostCounter | None = None) -> St
     induced substructure missing one element; iterating reaches a
     minimal retract, which is the core (unique up to isomorphism).
     """
+    core, _ = compute_core_with_retraction(structure, counter)
+    return core
+
+
+def compute_core_with_retraction(
+    structure: Structure, counter: CostCounter | None = None
+) -> tuple[Structure, dict]:
+    """The core plus the retraction homomorphism ``A → core(A)``.
+
+    The retraction is the composition of the one-element retractions
+    found along the way; it is what lets a reduction built on core
+    minimization map solutions of the minimized instance back to
+    solutions of the original (each dropped element answers via its
+    image in the core).
+    """
     current = structure
+    retraction = {element: element for element in structure.universe}
     while True:
-        smaller = _find_retract(current, counter)
-        if smaller is None:
-            return current
-        current = smaller
+        step = _find_retract(current, counter)
+        if step is None:
+            return current, retraction
+        current, hom = step
+        retraction = {
+            element: hom[image] for element, image in retraction.items()
+        }
 
 
-def _find_retract(structure: Structure, counter: CostCounter | None) -> Structure | None:
+def _find_retract(
+    structure: Structure, counter: CostCounter | None
+) -> tuple[Structure, dict] | None:
     """An induced substructure on |A|-1 elements receiving a
-    homomorphism from A, or None."""
+    homomorphism from A (returned with that homomorphism), or None."""
     if structure.universe_size <= 1:
         return None
     for dropped in structure.universe:
@@ -50,5 +71,5 @@ def _find_retract(structure: Structure, counter: CostCounter | None) -> Structur
         )
         hom = find_structure_homomorphism(structure, candidate, counter)
         if hom is not None:
-            return candidate
+            return candidate, hom
     return None

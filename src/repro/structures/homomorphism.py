@@ -45,6 +45,9 @@ def find_structure_homomorphism(
     ------
     InvalidInstanceError
         If the two structures are over different vocabularies.
+
+    Complexity: O(|B|^{|A|} · ‖A‖) backtracking worst case — HOM is
+        NP-complete in general (§2.4).
     """
     result = _search(source, target, count_all=False, counter=counter)
     return result if result is None or isinstance(result, dict) else None
@@ -53,7 +56,11 @@ def find_structure_homomorphism(
 def count_structure_homomorphisms(
     source: Structure, target: Structure, counter: CostCounter | None = None
 ) -> int:
-    """Count all homomorphisms A → B."""
+    """Count all homomorphisms A → B.
+
+    Complexity: O(|B|^{|A|} · ‖A‖) — exhaustive backtracking over all
+        maps.
+    """
     result = _search(source, target, count_all=True, counter=counter)
     assert isinstance(result, int)
     return result

@@ -50,6 +50,10 @@ def solve_hom_via_core(
 
     The returned mapping covers all of A: the retraction A → core(A)
     is composed with the core's homomorphism into B.
+
+    Complexity: O(|A|² · |A|^{|A|} + |B|^{|core(A)|} · ‖A‖) — core
+        computation (itself a homomorphism search per dropped element)
+        plus the search from the smaller core.
     """
     if source.universe_size == 0:
         return {}

@@ -1,0 +1,52 @@
+"""Shared helpers: build synthetic package trees from fixture snippets."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_project, load_project
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Install fixture snippets at chosen tree locations and parse them.
+
+    Usage: ``make_project({"reductions/fixture.py": "rep001_fail.py"})``
+    builds ``<tmp>/repro/reductions/fixture.py`` from the named fixture
+    (plus the ``__init__.py`` chain) and returns the loaded project.
+    """
+
+    def build(layout: dict[str, str]):
+        root = tmp_path / "repro"
+        root.mkdir(exist_ok=True)
+        (root / "__init__.py").write_text("")
+        for destination, fixture_name in layout.items():
+            target = root / destination
+            package_dir = target.parent
+            package_dir.mkdir(parents=True, exist_ok=True)
+            current = package_dir
+            while current != root:
+                init = current / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+                current = current.parent
+            shutil.copyfile(FIXTURES / fixture_name, target)
+        return load_project(root)
+
+    return build
+
+
+@pytest.fixture
+def findings_for(make_project):
+    """Build a tree, run one rule, and return its findings."""
+
+    def run(layout: dict[str, str], rule_code: str):
+        project = make_project(layout)
+        return analyze_project(project, [rule_code])
+
+    return run

@@ -1,0 +1,11 @@
+"""REP001 failing fixture: no certificate, no solution back-map."""
+
+from repro.reductions.base import CertifiedReduction
+
+
+def bad_reduction(source):
+    return CertifiedReduction(
+        name="fixture-bad",
+        source=source,
+        target=[source],
+    )

@@ -1,0 +1,19 @@
+"""REP001 passing fixture: certificates attached, back-map provided."""
+
+from repro.reductions.base import CertifiedReduction
+
+
+def good_reduction(source):
+    target = [source]
+
+    def back(solution):
+        return solution
+
+    reduction = CertifiedReduction(
+        name="fixture-good",
+        source=source,
+        target=target,
+        map_solution_back=back,
+    )
+    reduction.add_certificate("size is linear", len(target) == 1, "")
+    return reduction

@@ -1,0 +1,8 @@
+"""Companion fixture: declares the experiment id the pass case cites.
+
+Installed as ``repro/experiments/exp_fixture.py``.
+"""
+
+
+def run(result_cls=dict):
+    return result_cls(experiment_id="E1-fixture")

@@ -1,0 +1,13 @@
+"""REP002 failing fixture: dangling module path and unknown experiment."""
+
+
+class LowerBound:
+    def __init__(self, **kwargs):
+        pass
+
+
+BOUND = LowerBound(
+    key="fixture",
+    reduction_module="repro.reductions.does_not_exist",
+    experiment="E99-never-declared",
+)

@@ -1,0 +1,17 @@
+"""REP002 passing fixture: paths resolve, experiment id is declared.
+
+Installed as ``repro/complexity/bounds.py`` in the synthetic tree; the
+matching experiment module declares ``experiment_id="E1-fixture"``.
+"""
+
+
+class LowerBound:
+    def __init__(self, **kwargs):
+        pass
+
+
+BOUND = LowerBound(
+    key="fixture",
+    reduction_module="repro.experiments.exp_fixture",
+    experiment="E1-fixture",
+)

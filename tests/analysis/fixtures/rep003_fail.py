@@ -1,0 +1,24 @@
+"""REP003 failing fixture: bare except, broad except, rogue class,
+builtin raise."""
+
+
+class RogueError(ValueError):
+    """Named like a library error but outside the ReproError tree."""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:  # noqa: E722 - deliberately bare, the rule must flag it
+        return None
+
+
+def swallow_most(work):
+    try:
+        return work()
+    except Exception:
+        return None
+
+
+def blow_up():
+    raise Exception("untyped failure")

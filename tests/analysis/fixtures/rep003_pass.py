@@ -1,0 +1,14 @@
+"""REP003 passing fixture: narrow handlers, ReproError-derived class."""
+
+from repro.errors import ReproError
+
+
+class FixtureError(ReproError):
+    """Derives from the library root, as the contract requires."""
+
+
+def careful(work):
+    try:
+        return work()
+    except FixtureError:
+        raise FixtureError("fixture failed") from None

@@ -1,0 +1,21 @@
+"""REP004 failing fixture: module-global and unseeded RNG use."""
+
+import random
+
+import numpy as np
+
+NOISE = random.random()
+
+
+def shuffled(items):
+    result = list(items)
+    random.shuffle(result)
+    return result
+
+
+def noisy_matrix(n):
+    return np.random.rand(n, n)
+
+
+def unseeded_generator():
+    return np.random.default_rng()

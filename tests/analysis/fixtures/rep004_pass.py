@@ -1,0 +1,10 @@
+"""REP004 passing fixture: randomness flows through an injected seed."""
+
+import random
+
+
+def shuffled(items, seed: int | random.Random = 0):
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    result = list(items)
+    rng.shuffle(result)
+    return result

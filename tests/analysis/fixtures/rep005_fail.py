@@ -1,0 +1,11 @@
+"""REP005 failing fixture: verb-named entry point, no Complexity field."""
+
+
+def count_fixture(instance):
+    """Count the fixture's answers (cost deliberately undocumented)."""
+    return len(instance)
+
+
+def hash_join_fixture(left, right):
+    """Not an entry point: 'hash' is not the verb 'has' (word boundary)."""
+    return [(l, r) for l in left for r in right]

@@ -1,0 +1,14 @@
+"""REP005 passing fixture: the entry point documents its cost."""
+
+
+def solve_fixture(instance):
+    """Decide the fixture problem.
+
+    Complexity: O(n) — one pass over the instance.
+    """
+    return list(instance)
+
+
+def _solve_helper(instance):
+    # private helpers are exempt, with or without docstrings
+    return instance

@@ -1,0 +1,116 @@
+"""Fingerprints, ordinals, baseline round-trips, and renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.report import (
+    AnalysisReport,
+    Finding,
+    Severity,
+    assign_ordinals,
+    render_human,
+    render_json,
+)
+
+
+def finding(code="REP001", path="repro/x.py", line=10, context="f", message="msg"):
+    return Finding(
+        code=code,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        message=message,
+        context=context,
+    )
+
+
+class TestFingerprints:
+    def test_fingerprint_excludes_line_number(self):
+        a = finding(line=10)
+        b = finding(line=99)
+        assert a.fingerprint == b.fingerprint
+
+    def test_duplicate_contexts_get_ordinals(self):
+        first = finding(line=5)
+        second = finding(line=8)
+        unique = assign_ordinals([first, second])
+        assert len({f.fingerprint for f in unique}) == 2
+        assert [f.ordinal for f in unique] == [0, 1]
+
+    def test_ordinals_follow_source_order(self):
+        late, early = finding(line=50), finding(line=2)
+        unique = assign_ordinals([late, early])
+        assert [(f.line, f.ordinal) for f in unique] == [(2, 0), (50, 1)]
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+
+    def test_round_trip(self, tmp_path):
+        findings = [finding(), finding(code="REP003", context="g")]
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert set(loaded.entries) == {f.fingerprint for f in findings}
+
+    def test_split_new_baselined_stale(self):
+        known = finding(context="known")
+        fresh = finding(context="fresh")
+        baseline = Baseline.from_findings([known, finding(context="gone")])
+        new, baselined, stale = baseline.split([known, fresh])
+        assert [f.context for f in new] == ["fresh"]
+        assert [f.context for f in baselined] == ["known"]
+        assert stale == [finding(context="gone").fingerprint]
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestRenderers:
+    def report(self):
+        return AnalysisReport(
+            new_findings=[finding(message="something rotted")],
+            baselined=[finding(context="old")],
+            stale_baseline=["REP009:gone.py:x"],
+            modules_checked=7,
+            rules_run=("REP001",),
+        )
+
+    def test_human_includes_location_and_summary(self):
+        text = render_human(self.report())
+        assert "repro/x.py:10" in text
+        assert "something rotted" in text
+        assert "1 new finding(s), 1 baselined" in text
+        assert "stale baseline" in text
+
+    def test_human_clean_run_says_ok(self):
+        text = render_human(
+            AnalysisReport(modules_checked=3, rules_run=("REP001",))
+        )
+        assert text.endswith("OK")
+
+    def test_json_is_parseable_and_complete(self):
+        payload = json.loads(render_json(self.report()))
+        assert payload["summary"]["new"] == 1
+        assert payload["summary"]["exit_code"] == 1
+        assert payload["findings"][0]["fingerprint"] == finding().fingerprint
+        assert payload["stale_baseline"] == ["REP009:gone.py:x"]
+
+    def test_exit_code_gates_on_new_findings_only(self):
+        clean = AnalysisReport(baselined=[finding()])
+        assert clean.exit_code == 0
+        dirty = AnalysisReport(new_findings=[finding()])
+        assert dirty.exit_code == 1

@@ -1,0 +1,119 @@
+"""CLI behavior and the tier-1 contract: the live tree stays clean.
+
+The live-tree test is the enforcement point ISSUE 1 asks for — if a
+reduction loses its certificates or a registry path dangles, this test
+fails even before CI runs the linter directly.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import repro
+from repro.analysis import load_project, run_analysis
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline
+from repro.analysis.rules.rep002_registry import discover_experiment_ids
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestLiveTree:
+    def test_source_tree_clean_modulo_baseline(self):
+        report = run_analysis(baseline=Baseline.load(DEFAULT_BASELINE))
+        assert report.modules_checked > 100
+        locations = [f"{f.location} {f.message}" for f in report.new_findings]
+        assert report.new_findings == [], "\n".join(locations)
+        assert report.stale_baseline == [], (
+            "baseline lists violations that no longer exist; prune it: "
+            f"{report.stale_baseline}"
+        )
+
+    def test_every_lower_bound_path_resolves(self):
+        # The REP002 acceptance criterion, asserted directly: every
+        # reduction_module/experiment in complexity/bounds.py resolves.
+        from repro.complexity.bounds import all_lower_bounds
+
+        project = load_project()
+        known_ids = discover_experiment_ids(project)
+        for bound in all_lower_bounds():
+            if bound.reduction_module:
+                assert project.has_module(bound.reduction_module), bound.key
+            if bound.experiment:
+                assert bound.experiment in known_ids, bound.key
+
+    def test_experiment_ids_discovered_statically(self):
+        ids = discover_experiment_ids(load_project())
+        assert "E2-agm-tight" in ids
+        assert "E13-hypotheses" in ids
+        assert len(ids) >= 18
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main([]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_json_format_parses(self, capsys):
+        assert main(["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["exit_code"] == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert code in out
+
+    def test_unknown_rule_is_a_clean_cli_error(self, capsys):
+        assert main(["--rule", "REP999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule 'REP999'" in err
+        assert "Traceback" not in err
+
+    def test_bad_root_is_a_clean_cli_error(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path / "missing")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_violation_makes_exit_nonzero(self, tmp_path, capsys):
+        root = tmp_path / "repro"
+        shutil.copytree(PACKAGE_ROOT, root, ignore=shutil.ignore_patterns("__pycache__"))
+        bad = root / "reductions" / "freshly_broken.py"
+        bad.write_text(FIXTURES.joinpath("rep001_fail.py").read_text())
+        code = main(["--root", str(root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "freshly_broken" in out
+
+    def test_rule_selection_limits_scope(self, tmp_path, capsys):
+        root = tmp_path / "repro"
+        shutil.copytree(PACKAGE_ROOT, root, ignore=shutil.ignore_patterns("__pycache__"))
+        bad = root / "reductions" / "freshly_broken.py"
+        bad.write_text(FIXTURES.joinpath("rep001_fail.py").read_text())
+        # only REP002 runs: the REP001 violation is invisible
+        assert main(["--root", str(root), "--rule", "REP002"]) == 0
+        capsys.readouterr()
+
+    def test_update_baseline_grandfathers_violations(self, tmp_path, capsys):
+        root = tmp_path / "repro"
+        shutil.copytree(PACKAGE_ROOT, root, ignore=shutil.ignore_patterns("__pycache__"))
+        bad = root / "reductions" / "freshly_broken.py"
+        bad.write_text(FIXTURES.joinpath("rep001_fail.py").read_text())
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            main(
+                ["--root", str(root), "--baseline", str(baseline_path), "--update-baseline"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["--root", str(root), "--baseline", str(baseline_path)]) == 0
+        )
+        capsys.readouterr()
+        # without the baseline the same tree fails again
+        assert main(["--root", str(root), "--no-baseline"]) == 1
+        capsys.readouterr()

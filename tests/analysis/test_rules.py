@@ -1,0 +1,149 @@
+"""Per-rule fixture tests: one passing and one failing tree per family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import all_rules
+from repro.analysis.report import Severity
+from repro.analysis.rules.rep005_complexity import is_entry_point_name
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRegistry:
+    def test_five_families_registered(self):
+        assert [r.code for r in all_rules()] == [
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+        ]
+
+    def test_unknown_rule_rejected(self):
+        from repro.analysis import get_rule
+        from repro.analysis.walker import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            get_rule("REP999")
+
+
+class TestRep001CertificateDiscipline:
+    def test_pass(self, findings_for):
+        findings = findings_for(
+            {"reductions/fixture.py": "rep001_pass.py"}, "REP001"
+        )
+        assert findings == []
+
+    def test_fail_reports_both_contract_halves(self, findings_for):
+        findings = findings_for(
+            {"reductions/fixture.py": "rep001_fail.py"}, "REP001"
+        )
+        assert codes(findings) == ["REP001", "REP001"]
+        messages = " ".join(f.message for f in findings)
+        assert "certificate" in messages
+        assert "map_solution_back" in messages
+        assert all(f.context == "bad_reduction" for f in findings)
+
+
+class TestRep002RegistryIntegrity:
+    def test_pass_when_paths_and_ids_resolve(self, findings_for):
+        findings = findings_for(
+            {
+                "complexity/bounds.py": "rep002_pass_bounds.py",
+                "experiments/exp_fixture.py": "rep002_experiment.py",
+            },
+            "REP002",
+        )
+        assert findings == []
+
+    def test_fail_on_dangling_path_and_unknown_id(self, findings_for):
+        findings = findings_for(
+            {
+                "complexity/bounds.py": "rep002_fail_bounds.py",
+                "experiments/exp_fixture.py": "rep002_experiment.py",
+            },
+            "REP002",
+        )
+        assert codes(findings) == ["REP002", "REP002"]
+        contexts = {f.context for f in findings}
+        assert contexts == {"repro.reductions.does_not_exist", "E99-never-declared"}
+
+
+class TestRep003ExceptionHygiene:
+    def test_pass(self, findings_for):
+        findings = findings_for({"util/fixture.py": "rep003_pass.py"}, "REP003")
+        assert findings == []
+
+    def test_fail_flags_all_four_patterns(self, findings_for):
+        findings = findings_for({"util/fixture.py": "rep003_fail.py"}, "REP003")
+        assert codes(findings) == ["REP003"] * 4
+        messages = [f.message for f in findings]
+        assert any("bare" in m for m in messages)
+        assert any("broad" in m for m in messages)
+        assert any("RogueError" in m for m in messages)
+        assert any("builtin Exception" in m for m in messages)
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+
+class TestRep004Determinism:
+    def test_pass_with_injected_seed(self, findings_for):
+        findings = findings_for(
+            {"generators/fixture.py": "rep004_pass.py"}, "REP004"
+        )
+        assert findings == []
+
+    def test_fail_flags_global_and_unseeded_rng(self, findings_for):
+        findings = findings_for(
+            {"generators/fixture.py": "rep004_fail.py"}, "REP004"
+        )
+        assert codes(findings) == ["REP004"] * 4
+        contexts = [f.context for f in findings]
+        assert "<module>" in contexts  # the module-level random.random()
+        messages = " ".join(f.message for f in findings)
+        assert "random.random" in messages
+        assert "random.shuffle" in messages
+        assert "np.random.rand" in messages
+        assert "without a seed" in messages
+
+
+class TestRep005ComplexityAnnotations:
+    def test_pass_with_field(self, findings_for):
+        findings = findings_for({"sat/fixture.py": "rep005_pass.py"}, "REP005")
+        assert findings == []
+
+    def test_fail_without_field(self, findings_for):
+        findings = findings_for({"sat/fixture.py": "rep005_fail.py"}, "REP005")
+        assert codes(findings) == ["REP005"]
+        assert findings[0].context == "count_fixture"
+
+    def test_outside_algorithm_packages_exempt(self, findings_for):
+        findings = findings_for(
+            {"experiments/fixture.py": "rep005_fail.py"}, "REP005"
+        )
+        assert findings == []
+
+    def test_verb_word_boundaries(self):
+        assert is_entry_point_name("has_clique")
+        assert is_entry_point_name("solve")
+        assert is_entry_point_name("enumerate_acyclic")
+        assert not is_entry_point_name("hash_join")
+        assert not is_entry_point_name("_solve_private")
+        assert not is_entry_point_name("solver_config")
+
+
+class TestParseFailures:
+    def test_unparseable_file_is_a_finding(self, tmp_path):
+        from repro.analysis import analyze_project, load_project
+
+        root = tmp_path / "repro"
+        root.mkdir()
+        (root / "__init__.py").write_text("")
+        (root / "broken.py").write_text("def broken(:\n")
+        project = load_project(root)
+        findings = analyze_project(project)
+        assert [f.code for f in findings] == ["REP000"]
+        assert "parsed" in findings[0].message

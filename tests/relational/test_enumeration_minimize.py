@@ -151,6 +151,22 @@ class TestMinimizeQuery:
                 red.target, database
             ), seed
 
+    def test_solution_maps_back_through_retraction(self):
+        # c folds onto a; a target solution must extend to all source
+        # attributes, with the folded attribute answering via its image.
+        q = JoinQuery([Atom("E", ("a", "b")), Atom("E", ("c", "b"))])
+        red = minimize_query(q)
+        assert red.target.num_atoms == 1
+        solution = {attr: f"val-{attr}" for attr in red.target.attributes}
+        pulled = red.pull_back(solution)
+        assert set(pulled) == set(q.attributes)
+        for attribute in red.target.attributes:
+            assert pulled[attribute] == solution[attribute]
+        # the folded attribute received the value of its retraction image
+        folded = set(q.attributes) - set(red.target.attributes)
+        assert all(pulled[attr] in solution.values() for attr in folded)
+        assert red.pull_back(None) is None
+
     def test_longer_path_folds(self):
         # Undirected-style doubled edges make even paths fold to an edge.
         q = JoinQuery(
