@@ -9,6 +9,9 @@ def test_e3_wcoj_vs_pairwise(experiment):
     # Skewed instances: plans pay ~N^2, Generic Join ~N.
     assert result.findings["skewed_plan_exponent"] > 1.7
     assert result.findings["skewed_wcoj_exponent"] < 1.4
+    # Trie probes are O(1) per extension (current-node threading), so
+    # the per-answer operation count stays bounded across the sweep.
+    assert result.findings["max_ops_per_answer"] < 40.0
 
 
 def test_e3_ablation_variable_orderings(experiment):

@@ -4,18 +4,41 @@ Each benchmark regenerates one experiment from DESIGN.md's index at
 full scale, asserts the paper-predicted shape (the experiment's PASS
 verdict), and prints the experiment's row table into the captured
 output so ``pytest benchmarks/ --benchmark-only -s`` shows the series.
+
+Experiments run under an instrumented
+:class:`~repro.observability.context.RunContext`, so the captured
+output also includes the per-phase span breakdown (operation counts
+and elapsed time per traced section).
 """
 
+import inspect
+
 import pytest
+
+from repro.observability.context import RunContext
 
 
 def run_experiment(benchmark, fn, **kwargs):
     """Run one experiment under pytest-benchmark (single round: the
     experiments are multi-second parameter sweeps, not microbenchmarks)
     and return its result."""
-    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    context = RunContext(getattr(fn, "__name__", "benchmark"))
+    if "context" in inspect.signature(fn).parameters:
+        kwargs.setdefault("context", context)
+
+    def call():
+        with context.activated():
+            return fn(**kwargs)
+
+    result = benchmark.pedantic(call, rounds=1, iterations=1)
     print()
     print(result)
+    if context.spans:
+        print()
+        print("spans (ops / elapsed):")
+        for span in context.spans:
+            indent = "  " * (span.depth + 1)
+            print(f"{indent}{span.name}: {span.ops} ops, {span.elapsed_s:.4f}s")
     return result
 
 

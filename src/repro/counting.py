@@ -11,6 +11,11 @@ Python code.
 A counter can also carry a *budget*: once the budget is exhausted the
 algorithm aborts with :class:`~repro.errors.BudgetExceededError`. This
 lets experiments bound runaway exponential sweeps deterministically.
+
+Counts are also the unit the observability layer aggregates: tracing
+spans (:mod:`repro.observability.tracing`) record the counter delta
+charged while they were open, and run records persist per-experiment
+totals via :meth:`repro.observability.context.RunContext.new_counter`.
 """
 
 from __future__ import annotations

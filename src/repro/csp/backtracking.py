@@ -10,6 +10,7 @@ the ablation benchmark.
 from __future__ import annotations
 
 from ..counting import CostCounter, charge
+from ..observability.tracing import span
 from .consistency import enforce_gac, initial_domains
 from .instance import CSPInstance, Value, Variable
 
@@ -116,4 +117,11 @@ def solve_backtracking(
             del assignment[variable]
         return None
 
-    return backtrack()
+    with span(
+        "solve_backtracking",
+        counter=counter,
+        variables=instance.num_variables,
+        mrv=use_mrv,
+        forward_checking=use_forward_checking,
+    ):
+        return backtrack()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from itertools import product
 
 from ..counting import CostCounter, charge
+from ..observability.tracing import span
 from .instance import CSPInstance, Value, Variable
 
 
@@ -24,12 +25,13 @@ def solve_bruteforce(
     """
     domain = sorted(instance.domain, key=repr)
     variables = instance.variables
-    for values in product(domain, repeat=len(variables)):
-        charge(counter)
-        assignment = dict(zip(variables, values))
-        if all(c.satisfied_by(assignment) for c in instance.constraints):
-            return assignment
-    return None
+    with span("solve_bruteforce", counter=counter, variables=len(variables)):
+        for values in product(domain, repeat=len(variables)):
+            charge(counter)
+            assignment = dict(zip(variables, values))
+            if all(c.satisfied_by(assignment) for c in instance.constraints):
+                return assignment
+        return None
 
 
 def count_bruteforce(instance: CSPInstance, counter: CostCounter | None = None) -> int:

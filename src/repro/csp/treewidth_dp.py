@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..counting import CostCounter, charge
 from ..errors import InvalidInstanceError
+from ..observability.tracing import span
 from ..treewidth.decomposition import TreeDecomposition
 from ..treewidth.heuristics import treewidth_min_fill
 from ..treewidth.nice import FORGET, INTRODUCE, JOIN, LEAF, make_nice
@@ -44,10 +45,13 @@ def solve_with_treewidth(
     Complexity: O(|V| · |D|^{k+1} · |C|) for decomposition width k —
         Freuder's Theorem 4.2 bound, optimal under SETH (Theorem 7.2).
     """
-    tables, nice, __ = _run_dp(instance, decomposition, counter, count=False)
-    if tables is None:
-        return None
-    return _extract_solution(instance, nice, tables)
+    with span(
+        "solve_with_treewidth", counter=counter, variables=instance.num_variables
+    ):
+        tables, nice, __ = _run_dp(instance, decomposition, counter, count=False)
+        if tables is None:
+            return None
+        return _extract_solution(instance, nice, tables)
 
 
 def count_with_treewidth(

@@ -4,18 +4,34 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run E3 E4
-    python -m repro.experiments run all
+    python -m repro.experiments run all --parallel 4 --json run.json
+    python -m repro.experiments run all --compare results/run-0001.json
+    python -m repro.experiments validate results/run-0002.json
 
-Each run prints the experiment's claim, its row table, and its
-findings — the same series the benchmarks regenerate.
+Each run prints every experiment's claim, row table, and findings, and
+persists a versioned :class:`~repro.observability.record.RunRecord`
+under ``--results-dir`` (or to ``--json``). Re-runs replay unchanged
+experiments from the content-addressed cache unless ``--no-cache``.
+Exit codes: 0 all experiments succeeded, 1 failures/timeouts/FAIL
+verdicts/drift, 2 usage errors (unknown experiment id).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Callable
+from pathlib import Path
 
+from ..observability.cache import ResultCache
+from ..observability.record import (
+    RunRecord,
+    compare_records,
+    render_result_payload,
+    validate_record,
+)
+from ..observability.runner import ExperimentSpec, run_specs
 from . import (
     exp_agm,
     exp_clique_csp,
@@ -36,47 +52,152 @@ from . import (
     exp_wcoj,
 )
 
-#: Experiment id prefix → the runners regenerating its series.
+#: Experiment id prefix → the spec bundling its runner callables.
+SPECS: dict[str, ExperimentSpec] = {
+    spec.key: spec
+    for spec in (
+        ExperimentSpec("E1", (exp_agm.run_upper,)),
+        ExperimentSpec("E2", (exp_agm.run_tight,)),
+        ExperimentSpec("E3", (exp_wcoj.run, exp_wcoj.run_orderings)),
+        ExperimentSpec("E4", (exp_freuder.run,)),
+        ExperimentSpec("E5", (exp_schaefer.run_classifier, exp_schaefer.run_hard_ratio)),
+        ExperimentSpec("E6", (exp_special.run,)),
+        ExperimentSpec("E7", (exp_clique_csp.run,)),
+        ExperimentSpec("E8", (exp_treewidth_opt.run,)),
+        ExperimentSpec("E9", (exp_domset.run,)),
+        ExperimentSpec("E10", (exp_kclique_mm.run,)),
+        ExperimentSpec("E11", (exp_triangle.run,)),
+        ExperimentSpec("E12", (exp_hyperclique.run,)),
+        ExperimentSpec("E13", (exp_hypotheses.run,)),
+        ExperimentSpec("E14", (exp_vc_fpt.run,)),
+        ExperimentSpec("E15", (exp_enumeration.run,)),
+        ExperimentSpec("E16", (exp_hom_counting.run,)),
+        ExperimentSpec("E17", (exp_phase_transition.run,)),
+        ExperimentSpec("E18", (exp_finegrained.run,)),
+    )
+}
+
+#: Back-compat view: experiment id prefix → its runner callables.
 RUNNERS: dict[str, list[Callable]] = {
-    "E1": [exp_agm.run_upper],
-    "E2": [exp_agm.run_tight],
-    "E3": [exp_wcoj.run, exp_wcoj.run_orderings],
-    "E4": [exp_freuder.run],
-    "E5": [exp_schaefer.run_classifier, exp_schaefer.run_hard_ratio],
-    "E6": [exp_special.run],
-    "E7": [exp_clique_csp.run],
-    "E8": [exp_treewidth_opt.run],
-    "E9": [exp_domset.run],
-    "E10": [exp_kclique_mm.run],
-    "E11": [exp_triangle.run],
-    "E12": [exp_hyperclique.run],
-    "E13": [exp_hypotheses.run],
-    "E14": [exp_vc_fpt.run],
-    "E15": [exp_enumeration.run],
-    "E16": [exp_hom_counting.run],
-    "E17": [exp_phase_transition.run],
-    "E18": [exp_finegrained.run],
+    key: list(spec.runners) for key, spec in SPECS.items()
 }
 
 
+def _ordered_ids() -> list[str]:
+    return sorted(SPECS, key=lambda k: int(k[1:]))
+
+
 def list_experiments() -> None:
-    for key in sorted(RUNNERS, key=lambda k: int(k[1:])):
+    for key in _ordered_ids():
         # Instantiate nothing; read the module docstring's first line.
-        runner = RUNNERS[key][0]
+        runner = SPECS[key].runners[0]
         doc = (sys.modules[runner.__module__].__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         print(f"{key:>4}  {summary}")
 
 
-def run_experiments(ids: list[str]) -> int:
+def resolve_ids(ids: list[str]) -> list[str] | None:
+    """Normalize user-supplied ids to spec keys; None on unknown ids."""
     if ids == ["all"]:
-        ids = sorted(RUNNERS, key=lambda k: int(k[1:]))
-    failures = 0
+        return _ordered_ids()
+    resolved = []
     for raw in ids:
         key = raw.upper().split("-")[0]
-        if key not in RUNNERS:
+        if key not in SPECS:
             print(f"unknown experiment {raw!r}; try 'list'", file=sys.stderr)
+            return None
+        resolved.append(key)
+    return resolved
+
+
+def _next_record_path(results_dir: Path) -> Path:
+    taken = []
+    for existing in results_dir.glob("run-*.json"):
+        suffix = existing.stem.removeprefix("run-")
+        if suffix.isdigit():
+            taken.append(int(suffix))
+    return results_dir / f"run-{max(taken, default=0) + 1:04d}.json"
+
+
+def _print_entry(entry) -> None:
+    """Progress output for one finalized experiment entry."""
+    if entry.status in ("ok", "cached"):
+        for payload in entry.results:
+            print(render_result_payload(payload))
+            print()
+        print(
+            f"{entry.key}: {entry.status} — "
+            f"{entry.cost_total} ops, {entry.elapsed_s:.2f}s"
+        )
+    else:
+        print(f"{entry.key}: {entry.status} — {entry.error}", file=sys.stderr)
+    print()
+
+
+def run_command(args: argparse.Namespace) -> int:
+    ids = resolve_ids(args.ids)
+    if ids is None:
+        return 2
+    results_dir = Path(args.results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    cache = None if args.no_cache else ResultCache(results_dir / "cache")
+    record = run_specs(
+        [SPECS[key] for key in ids],
+        parallel=args.parallel,
+        timeout=args.timeout,
+        cache=cache,
+        on_complete=_print_entry,
+    )
+
+    path = Path(args.json) if args.json else _next_record_path(results_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(record.to_json() + "\n", encoding="utf-8")
+    print(f"record written to {path}")
+
+    status = 0
+    failures = record.failures
+    if failures:
+        summary = ", ".join(f"{run.key} ({run.status})" for run in failures)
+        print(f"{len(failures)} experiment(s) failed: {summary}", file=sys.stderr)
+        status = 1
+
+    if args.compare:
+        old_payload = json.loads(Path(args.compare).read_text(encoding="utf-8"))
+        problems = validate_record(old_payload)
+        if problems:
+            print(
+                f"--compare record {args.compare} is invalid: {problems[0]}",
+                file=sys.stderr,
+            )
             return 2
+        diff = compare_records(old_payload, record.to_dict(), tolerance=args.tolerance)
+        print(diff.render())
+        if diff.has_drift:
+            print("findings drifted beyond tolerance", file=sys.stderr)
+            status = max(status, 1)
+    return status
+
+
+def validate_command(path: str) -> int:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    problems = validate_record(payload)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    experiments = payload["experiments"]
+    print(f"{path}: valid {payload['schema']} record, {len(experiments)} experiment(s)")
+    return 0
+
+
+def run_experiments(ids: list[str]) -> int:
+    """Serial in-process runner kept for programmatic use: no record
+    persistence, no cache, no worker pool."""
+    resolved = resolve_ids(ids)
+    if resolved is None:
+        return 2
+    failures = 0
+    for key in resolved:
         for runner in RUNNERS[key]:
             result = runner()
             print(result)
@@ -96,14 +217,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids")
+
     run_parser = sub.add_parser("run", help="run experiments by id")
     run_parser.add_argument("ids", nargs="+", help="experiment ids (e.g. E3) or 'all'")
-    args = parser.parse_args(argv)
+    run_parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="worker processes (default: 1)",
+    )
+    run_parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the run record here instead of results-dir/run-NNNN.json",
+    )
+    run_parser.add_argument(
+        "--compare", metavar="OLD",
+        help="diff findings against a previous run record; drift exits 1",
+    )
+    run_parser.add_argument(
+        "--tolerance", type=float, default=0.15, metavar="T",
+        help="absolute exponent-drift tolerance for --compare (default: 0.15)",
+    )
+    run_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-experiment timeout in seconds (default: none)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always execute; do not read or write the result cache",
+    )
+    run_parser.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="directory for run records and the cache (default: results)",
+    )
 
+    validate_parser = sub.add_parser(
+        "validate", help="schema-check a run record JSON file"
+    )
+    validate_parser.add_argument("path", help="run record to validate")
+
+    args = parser.parse_args(argv)
     if args.command == "list":
         list_experiments()
         return 0
-    return run_experiments(args.ids)
+    if args.command == "validate":
+        return validate_command(args.path)
+    return run_command(args)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from ..generators.agm import (
     uniform_random_database,
 )
 from ..hypergraph.covers import fractional_edge_cover_number
+from ..observability.context import RunContext
 from ..relational.estimate import agm_bound
 from ..relational.query import JoinQuery
 from ..relational.wcoj import generic_join
@@ -45,8 +46,10 @@ def run_upper(
     relation_sizes: tuple[int, ...] = (20, 40, 80),
     domain_factor: float = 0.5,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """E1: answer sizes of random databases never exceed the AGM bound."""
+    ctx = RunContext.ensure(context, "E1-agm-upper")
     result = ExperimentResult(
         experiment_id="E1-agm-upper",
         claim="Theorem 3.1: |Q(D)| <= N^rho*(H) on every instance",
@@ -56,21 +59,22 @@ def run_upper(
     violations = 0
     for name, query in _shapes().items():
         rho = fractional_edge_cover_number(query.hypergraph())
-        for n in relation_sizes:
-            domain = max(2, int(n * domain_factor))
-            database = uniform_random_database(query, n, domain, rng)
-            answer = generic_join(query, database)
-            bound = agm_bound(query, database)
-            ok = len(answer) <= bound + 1e-6
-            violations += 0 if ok else 1
-            result.add_row(
-                query=name,
-                rho_star=rho,
-                N=n,
-                answer=len(answer),
-                agm_bound=bound,
-                within_bound=ok,
-            )
+        with ctx.span(f"E1/{name}", rho_star=rho):
+            for n in relation_sizes:
+                domain = max(2, int(n * domain_factor))
+                database = uniform_random_database(query, n, domain, rng)
+                answer = generic_join(query, database, counter=ctx.new_counter())
+                bound = agm_bound(query, database)
+                ok = len(answer) <= bound + 1e-6
+                violations += 0 if ok else 1
+                result.add_row(
+                    query=name,
+                    rho_star=rho,
+                    N=n,
+                    answer=len(answer),
+                    agm_bound=bound,
+                    within_bound=ok,
+                )
     result.findings["violations"] = violations
     result.findings["verdict"] = "PASS" if violations == 0 else "FAIL"
     return result
@@ -84,10 +88,12 @@ TIGHT_SHAPES = ("triangle", "4-cycle", "path-3", "lw-4")
 def run_tight(
     relation_sizes: tuple[int, ...] = (64, 144, 256),
     shapes: tuple[str, ...] = TIGHT_SHAPES,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     # Sizes start at 64 so the floor(N^{x_v}) rounding loss stays small
     # even for LW-4's x_v = 1/3 weights (64^{1/3} = 4 exactly).
     """E2: the tight construction meets N^rho* (within rounding)."""
+    ctx = RunContext.ensure(context, "E2-agm-tight")
     result = ExperimentResult(
         experiment_id="E2-agm-tight",
         claim="Theorem 3.2: databases exist with |Q(D)| >= N^rho*(H)",
@@ -107,7 +113,8 @@ def run_tight(
         rho = fractional_edge_cover_number(query.hypergraph())
         for n in relation_sizes:
             database = tight_agm_database(query, n)
-            answer = generic_join(query, database)
+            with ctx.span(f"E2/{name}", N=n):
+                answer = generic_join(query, database, counter=ctx.new_counter())
             predicted = expected_tight_answer_size(query, n)
             exponent = safe_log_ratio(max(len(answer), 1), n) if n > 1 else 0.0
             worst_gap = max(worst_gap, rho - exponent)

@@ -11,10 +11,10 @@ avoided (no f(k)·n^{o(k)}), mirrored on the CSP side as |D|^{Θ(|V|)}
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..csp.bruteforce import solve_bruteforce
 from ..generators.graph_gen import turan_graph
 from ..graphs.clique import find_clique_bruteforce
+from ..observability.context import RunContext
 from ..reductions.clique_to_csp import clique_to_csp
 from .harness import ExperimentResult, fit_exponent
 
@@ -22,8 +22,10 @@ from .harness import ExperimentResult, fit_exponent
 def run(
     ks: tuple[int, ...] = (2, 3, 4),
     graph_sizes: tuple[int, ...] = (8, 12, 16, 24),
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Fit the brute-force cost exponent in n per clique size k."""
+    ctx = RunContext.ensure(context, "E7-clique-csp")
     result = ExperimentResult(
         experiment_id="E7-clique-csp",
         claim="Theorems 6.3/6.4: k-Clique (== CSP with k variables, "
@@ -37,12 +39,13 @@ def run(
         ns, graph_ops, csp_ops = [], [], []
         for n in graph_sizes:
             graph = turan_graph(n, k - 1)
-            counter = CostCounter()
-            clique = find_clique_bruteforce(graph, k, counter)
+            counter = ctx.new_counter()
+            with ctx.span("E7/clique-search", k=k, n=n):
+                clique = find_clique_bruteforce(graph, k, counter)
             assert clique is None, "Turán graphs are k-clique-free"
             reduction = clique_to_csp(graph, k)
             reduction.certify()
-            csp_counter = CostCounter()
+            csp_counter = ctx.new_counter()
             csp_solution = solve_bruteforce(reduction.target, csp_counter)
             assert csp_solution is None
             ns.append(n)

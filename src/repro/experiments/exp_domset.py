@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..generators.graph_gen import planted_dominating_set_graph
 from ..graphs.dominating_set import find_dominating_set_bruteforce, is_dominating_set
 from ..csp.backtracking import solve_backtracking
+from ..observability.context import RunContext
 from ..reductions.domset_to_csp import (
     dominating_set_to_csp,
     dominating_set_to_grouped_csp,
@@ -24,8 +25,10 @@ def run(
     configs: tuple[tuple[int, int], ...] = ((2, 1), (2, 2), (4, 2)),
     graph_size: int = 7,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Sweep (t, group_size) configurations on planted instances."""
+    ctx = RunContext.ensure(context, "E9-domset")
     result = ExperimentResult(
         experiment_id="E9-domset",
         claim="Theorem 7.2: t-DomSet -> CSP with treewidth <= t; grouping "
@@ -54,7 +57,8 @@ def run(
         grouped.certify()
         grouped_width, __ = treewidth_min_fill(grouped.target.primal_graph())
 
-        solution = solve_backtracking(grouped.target)
+        with ctx.span("E9/grouped-solve", t=t, g=g):
+            solution = solve_backtracking(grouped.target, counter=ctx.new_counter())
         equivalent = (oracle is not None) == (solution is not None)
         valid = True
         if solution is not None:

@@ -14,7 +14,7 @@ preprocessed enumerator's inter-answer delay stays flat as N grows.
 
 from __future__ import annotations
 
-from ..counting import CostCounter
+from ..observability.context import RunContext
 from ..relational.database import Database
 from ..relational.enumeration import (
     enumerate_acyclic,
@@ -41,8 +41,12 @@ def dangling_database(n: int, answers: int = 10) -> Database:
     return Database([r1, r2, r3])
 
 
-def run(sizes: tuple[int, ...] = (50, 100, 200, 400)) -> ExperimentResult:
+def run(
+    sizes: tuple[int, ...] = (50, 100, 200, 400),
+    context: RunContext | None = None,
+) -> ExperimentResult:
     """Max inter-answer delay of both enumerators across an N sweep."""
+    ctx = RunContext.ensure(context, "E15-enumeration")
     query = JoinQuery.path(3)
     result = ExperimentResult(
         experiment_id="E15-enumeration",
@@ -60,14 +64,16 @@ def run(sizes: tuple[int, ...] = (50, 100, 200, 400)) -> ExperimentResult:
     for n in sizes:
         database = dangling_database(n)
 
-        naive_counter = CostCounter()
-        naive = measure_delays(
-            enumerate_nested_loop(query, database, naive_counter), naive_counter
-        )
-        acyclic_counter = CostCounter()
-        acyclic = measure_delays(
-            enumerate_acyclic(query, database, acyclic_counter), acyclic_counter
-        )
+        naive_counter = ctx.new_counter()
+        with ctx.span("E15/naive", N=n):
+            naive = measure_delays(
+                enumerate_nested_loop(query, database, naive_counter), naive_counter
+            )
+        acyclic_counter = ctx.new_counter()
+        with ctx.span("E15/acyclic", N=n):
+            acyclic = measure_delays(
+                enumerate_acyclic(query, database, acyclic_counter), acyclic_counter
+            )
         assert len(naive) == len(acyclic)
         # First gap includes preprocessing; the delay claim is about
         # the gaps between consecutive answers.

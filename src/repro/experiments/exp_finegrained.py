@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import random
 
-from ..counting import CostCounter
 from ..finegrained.edit_distance import edit_distance, edit_distance_banded
 from ..finegrained.orthogonal_vectors import OVInstance, find_orthogonal_pair
 from ..finegrained.sat_to_ov import sat_to_orthogonal_vectors
 from ..generators.sat_gen import random_ksat
+from ..observability.context import RunContext
 from ..sat.dpll import solve_dpll
 from .harness import ExperimentResult, fit_exponent
 
@@ -45,8 +45,10 @@ def run(
     string_lengths: tuple[int, ...] = (64, 128, 256, 512),
     sat_trials: int = 6,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """OV/edit-distance exponents + SAT→OV equivalence checks."""
+    ctx = RunContext.ensure(context, "E18-finegrained")
     rng = random.Random(seed)
     result = ExperimentResult(
         experiment_id="E18-finegrained",
@@ -57,50 +59,53 @@ def run(
 
     # --- SAT → OV equivalence ----------------------------------------
     equivalent = True
-    for trial in range(sat_trials):
-        formula = random_ksat(8, rng.randrange(10, 40), 3, seed=seed * 100 + trial)
-        reduction = sat_to_orthogonal_vectors(formula)
-        reduction.certify()
-        pair = find_orthogonal_pair(reduction.target)
-        sat = solve_dpll(formula) is not None
-        equivalent = equivalent and ((pair is not None) == sat)
-        if pair is not None:
-            equivalent = equivalent and formula.evaluate(reduction.pull_back(pair))
+    with ctx.span("E18/sat-to-ov", trials=sat_trials):
+        for trial in range(sat_trials):
+            formula = random_ksat(8, rng.randrange(10, 40), 3, seed=seed * 100 + trial)
+            reduction = sat_to_orthogonal_vectors(formula)
+            reduction.certify()
+            pair = find_orthogonal_pair(reduction.target)
+            sat = solve_dpll(formula) is not None
+            equivalent = equivalent and ((pair is not None) == sat)
+            if pair is not None:
+                equivalent = equivalent and formula.evaluate(reduction.pull_back(pair))
     result.findings["sat_ov_equivalent"] = equivalent
 
     # --- OV brute-force shape (no-instance-heavy: dense vectors) ------
     ns, ov_ops = [], []
-    for n in ov_sizes:
-        dimension = 24
-        instance = random_ov_instance(n, dimension, ones=dimension // 2, rng=rng)
-        counter = CostCounter()
-        find_orthogonal_pair(instance, counter)
-        ns.append(n)
-        ov_ops.append(max(counter.total, 1))
-        result.add_row(series="ov", n=n, ops=counter.total, note=f"d={dimension}")
+    with ctx.span("E18/ov-bruteforce", sizes=len(ov_sizes)):
+        for n in ov_sizes:
+            dimension = 24
+            instance = random_ov_instance(n, dimension, ones=dimension // 2, rng=rng)
+            counter = ctx.new_counter()
+            find_orthogonal_pair(instance, counter)
+            ns.append(n)
+            ov_ops.append(max(counter.total, 1))
+            result.add_row(series="ov", n=n, ops=counter.total, note=f"d={dimension}")
     result.findings["ov_exponent"] = fit_exponent(ns, ov_ops)
 
     # --- Edit distance DP shape ---------------------------------------
     lengths, dp_ops, banded_ops = [], [], []
-    for length in string_lengths:
-        a = random_string(length, "ab", rng)
-        b = random_string(length, "ab", rng)
-        counter = CostCounter()
-        edit_distance(a, b, counter)
-        lengths.append(length)
-        dp_ops.append(max(counter.total, 1))
-        result.add_row(series="edit-dp", n=length, ops=counter.total, note="")
+    with ctx.span("E18/edit-distance", lengths=len(string_lengths)):
+        for length in string_lengths:
+            a = random_string(length, "ab", rng)
+            b = random_string(length, "ab", rng)
+            counter = ctx.new_counter()
+            edit_distance(a, b, counter)
+            lengths.append(length)
+            dp_ops.append(max(counter.total, 1))
+            result.add_row(series="edit-dp", n=length, ops=counter.total, note="")
 
-        # Banded variant under a small-distance promise: perturb a copy.
-        noisy = list(a)
-        for __ in range(4):
-            noisy[rng.randrange(length)] = rng.choice("ab")
-        banded_counter = CostCounter()
-        edit_distance_banded(a, "".join(noisy), 8, banded_counter)
-        banded_ops.append(max(banded_counter.total, 1))
-        result.add_row(
-            series="edit-banded", n=length, ops=banded_counter.total, note="k=8"
-        )
+            # Banded variant under a small-distance promise: perturb a copy.
+            noisy = list(a)
+            for __ in range(4):
+                noisy[rng.randrange(length)] = rng.choice("ab")
+            banded_counter = ctx.new_counter()
+            edit_distance_banded(a, "".join(noisy), 8, banded_counter)
+            banded_ops.append(max(banded_counter.total, 1))
+            result.add_row(
+                series="edit-banded", n=length, ops=banded_counter.total, note="k=8"
+            )
     result.findings["edit_dp_exponent"] = fit_exponent(lengths, dp_ops)
     result.findings["edit_banded_exponent"] = fit_exponent(lengths, banded_ops)
 

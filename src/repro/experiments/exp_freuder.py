@@ -8,9 +8,9 @@ experiment sweeps |D| for fixed widths and reports fitted exponents.
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..csp.treewidth_dp import solve_with_treewidth
 from ..generators.csp_gen import bounded_treewidth_csp
+from ..observability.context import RunContext
 from ..treewidth.heuristics import treewidth_min_fill
 from .harness import ExperimentResult, fit_exponent
 
@@ -20,8 +20,10 @@ def run(
     domain_sizes: tuple[int, ...] = (2, 4, 8, 16),
     num_variables: int = 14,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Fit the DP cost exponent in |D| for each target width."""
+    ctx = RunContext.ensure(context, "E4-freuder")
     result = ExperimentResult(
         experiment_id="E4-freuder",
         claim="Theorem 4.2: treewidth-k CSP solvable in O(|V|·|D|^{k+1})",
@@ -35,8 +37,9 @@ def run(
                 num_variables, d, width, tightness=0.2, seed=seed + width
             )
             achieved, decomposition = treewidth_min_fill(instance.primal_graph())
-            counter = CostCounter()
-            solution = solve_with_treewidth(instance, decomposition, counter)
+            counter = ctx.new_counter()
+            with ctx.span("E4/dp", width=width, D=d):
+                solution = solve_with_treewidth(instance, decomposition, counter)
             ds.append(d)
             ops.append(counter.total)
             result.add_row(

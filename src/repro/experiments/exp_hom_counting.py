@@ -14,14 +14,14 @@ stays ≈ tw+1 = 2 for path patterns of any length.
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..generators.graph_gen import gnp_random_graph
 from ..graphs.graph import Graph
 from ..graphs.homomorphism import (
     count_graph_homomorphisms,
     count_graph_homomorphisms_treewidth,
 )
-from .harness import ExperimentResult, fit_exponent
+from ..observability.context import RunContext
+from .harness import MISSING, ExperimentResult, fit_exponent
 
 
 def path_pattern(length: int) -> Graph:
@@ -33,8 +33,10 @@ def run(
     host_sizes: tuple[int, ...] = (6, 9, 12, 16),
     edge_probability: float = 0.45,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """DP vs naive hom counting across pattern length and host size."""
+    ctx = RunContext.ensure(context, "E16-hom-counting")
     result = ExperimentResult(
         experiment_id="E16-hom-counting",
         claim="[27] upper bound: #hom(H, G) computable in "
@@ -48,11 +50,12 @@ def run(
         ns, dp_ops_series = [], []
         for n in host_sizes:
             host = gnp_random_graph(n, edge_probability, seed=seed + n)
-            dp_counter = CostCounter()
-            dp_count = count_graph_homomorphisms_treewidth(pattern, host, dp_counter)
+            dp_counter = ctx.new_counter()
+            with ctx.span("E16/dp", pattern=length, host_n=n):
+                dp_count = count_graph_homomorphisms_treewidth(pattern, host, dp_counter)
             naive_ops = None
             if length <= 3 and n <= 9:  # naive is |V|^{length+1}: keep tiny
-                naive_counter = CostCounter()
+                naive_counter = ctx.new_counter()
                 naive_count = count_graph_homomorphisms(pattern, host, naive_counter)
                 naive_ops = naive_counter.total
                 naive_ok = naive_ok and naive_count == dp_count
@@ -63,7 +66,7 @@ def run(
                 host_n=n,
                 count=dp_count,
                 dp_ops=dp_counter.total,
-                naive_ops=naive_ops if naive_ops is not None else "-",
+                naive_ops=naive_ops if naive_ops is not None else MISSING,
             )
         dp_exponents[length] = fit_exponent(ns, dp_ops_series)
 

@@ -11,9 +11,9 @@ planted yes-instances.
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..generators.graph_gen import planted_hyperclique, random_uniform_hypergraph
 from ..graphs.hyperclique import find_hyperclique_bruteforce, is_hyperclique
+from ..observability.context import RunContext
 from .harness import ExperimentResult, fit_exponent
 
 
@@ -22,10 +22,12 @@ def run(
     vertex_counts: tuple[int, ...] = (8, 12, 16),
     d: int = 3,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     # k must exceed d: for k == d every single hyperedge is already a
     # k-hyperclique, so no-instances would not exist.
     """Brute force cost on clique-free sweeps + planted correctness."""
+    ctx = RunContext.ensure(context, "E12-hyperclique")
     result = ExperimentResult(
         experiment_id="E12-hyperclique",
         claim="§8 hyperclique conjecture: for d >= 3 nothing beats the "
@@ -40,8 +42,9 @@ def run(
             # Sparse noise: far below the density needed for an
             # accidental k-hyperclique.
             hypergraph = random_uniform_hypergraph(n, d, n // 2, seed=seed + n + k)
-            counter = CostCounter()
-            witness = find_hyperclique_bruteforce(hypergraph, k, counter)
+            counter = ctx.new_counter()
+            with ctx.span("E12/bruteforce", k=k, n=n):
+                witness = find_hyperclique_bruteforce(hypergraph, k, counter)
             clean = clean and witness is None
             ns.append(n)
             ops.append(max(counter.total, 1))

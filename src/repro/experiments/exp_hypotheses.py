@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..complexity.bounds import all_lower_bounds, bounds_under
 from ..complexity.hypotheses import all_hypotheses, get_hypothesis
 from ..complexity.implications import implies
+from ..observability.context import RunContext
 from .harness import ExperimentResult
 
 EXPECTED_IMPLICATIONS: tuple[tuple[str, str], ...] = (
@@ -30,8 +31,9 @@ EXPECTED_NON_IMPLICATIONS: tuple[tuple[str, str], ...] = (
 )
 
 
-def run() -> ExperimentResult:
+def run(context: RunContext | None = None) -> ExperimentResult:
     """Validate the landscape and count bounds unlocked per hypothesis."""
+    RunContext.ensure(context, "E13-hypotheses")
     result = ExperimentResult(
         experiment_id="E13-hypotheses",
         claim="§1/§9: the assumption hierarchy orders the bounds — "

@@ -14,9 +14,9 @@ T(n, k−1) (k-clique-free). Two series:
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..generators.graph_gen import planted_clique_graph, turan_graph
 from ..graphs.clique import find_clique_bruteforce, find_clique_matrix
+from ..observability.context import RunContext
 from .harness import ExperimentResult, fit_exponent
 
 
@@ -24,9 +24,11 @@ def run(
     ks: tuple[int, ...] = (3, 6),
     graph_sizes: tuple[int, ...] = (8, 12, 16),
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Brute force vs matrix split on Turán no-instances and planted
     yes-instances."""
+    ctx = RunContext.ensure(context, "E10-kclique-mm")
     result = ExperimentResult(
         experiment_id="E10-kclique-mm",
         claim="§8 k-clique conjecture: n^{wk/3} matrix method vs n^k "
@@ -43,10 +45,12 @@ def run(
                 ("turan", turan_graph(n, k - 1), False),
                 ("planted", planted_clique_graph(n, k, p=0.2, seed=seed + n + k)[0], True),
             ):
-                bf_counter = CostCounter()
-                bf = find_clique_bruteforce(graph, k, bf_counter)
-                mm_counter = CostCounter()
-                mm = find_clique_matrix(graph, k, mm_counter)
+                bf_counter = ctx.new_counter()
+                with ctx.span("E10/bruteforce", k=k, n=n, family=family):
+                    bf = find_clique_bruteforce(graph, k, bf_counter)
+                mm_counter = ctx.new_counter()
+                with ctx.span("E10/matrix", k=k, n=n, family=family):
+                    mm = find_clique_matrix(graph, k, mm_counter)
                 agree = (bf is None) == (mm is None) and (bf is not None) == expect
                 agree_all = agree_all and agree
                 if family == "turan":

@@ -11,9 +11,9 @@ and mean backtracking cost per tightness.
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..csp.backtracking import solve_backtracking
 from ..generators.csp_gen import random_binary_csp
+from ..observability.context import RunContext
 from .harness import ExperimentResult
 
 
@@ -24,8 +24,10 @@ def run(
     constraint_factor: float = 2.2,
     trials: int = 8,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Sweep constraint tightness; report SAT fraction and search cost."""
+    ctx = RunContext.ensure(context, "E17-phase-transition")
     result = ExperimentResult(
         experiment_id="E17-phase-transition",
         claim="§6 context: random CSP hardness peaks at the "
@@ -37,18 +39,19 @@ def run(
     for tightness in tightness_values:
         sat_count = 0
         total_ops = 0
-        for trial in range(trials):
-            instance = random_binary_csp(
-                num_variables,
-                domain_size,
-                num_constraints,
-                tightness=tightness,
-                seed=seed * 1000 + trial * 17 + int(tightness * 100),
-            )
-            counter = CostCounter()
-            if solve_backtracking(instance, counter=counter) is not None:
-                sat_count += 1
-            total_ops += counter.total
+        with ctx.span("E17/sweep", tightness=tightness, trials=trials):
+            for trial in range(trials):
+                instance = random_binary_csp(
+                    num_variables,
+                    domain_size,
+                    num_constraints,
+                    tightness=tightness,
+                    seed=seed * 1000 + trial * 17 + int(tightness * 100),
+                )
+                counter = ctx.new_counter()
+                if solve_backtracking(instance, counter=counter) is not None:
+                    sat_count += 1
+                total_ops += counter.total
         mean_ops = total_ops / trials
         costs.append(mean_ops)
         result.add_row(

@@ -12,6 +12,7 @@ Two series:
 from __future__ import annotations
 
 from ..generators.sat_gen import HARD_3SAT_RATIO, random_ksat
+from ..observability.context import RunContext
 from ..sat.cnf import CNF
 from ..sat.dpll import DPLLStats, solve_dpll
 from ..sat.schaefer import BooleanRelation, classify_relation_set
@@ -40,8 +41,9 @@ def canonical_relation_families() -> dict[str, tuple[list[BooleanRelation], bool
     }
 
 
-def run_classifier() -> ExperimentResult:
+def run_classifier(context: RunContext | None = None) -> ExperimentResult:
     """Check the dichotomy classifier against Schaefer's theorem."""
+    RunContext.ensure(context, "E5-schaefer")
     result = ExperimentResult(
         experiment_id="E5-schaefer",
         claim="Schaefer [59]: CSP(R) is in P iff R falls in one of six "
@@ -68,8 +70,10 @@ def run_hard_ratio(
     variable_counts: tuple[int, ...] = (10, 14, 18, 22),
     trials: int = 5,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """DPLL decisions on random 3SAT at the threshold ratio vs n."""
+    ctx = RunContext.ensure(context, "E5-schaefer-hard")
     result = ExperimentResult(
         experiment_id="E5-schaefer-hard",
         claim="ETH regime: search effort on random 3SAT at m/n=4.26 grows "
@@ -81,12 +85,13 @@ def run_hard_ratio(
         m = round(HARD_3SAT_RATIO * n)
         total_decisions = 0
         sat_count = 0
-        for trial in range(trials):
-            formula = random_ksat(n, m, 3, seed=seed * 1000 + n * 10 + trial)
-            stats = DPLLStats()
-            if solve_dpll(formula, stats=stats) is not None:
-                sat_count += 1
-            total_decisions += stats.decisions
+        with ctx.span("E5/hard-ratio", n=n, trials=trials):
+            for trial in range(trials):
+                formula = random_ksat(n, m, 3, seed=seed * 1000 + n * 10 + trial)
+                stats = DPLLStats()
+                if solve_dpll(formula, stats=stats, counter=ctx.new_counter()) is not None:
+                    sat_count += 1
+                total_decisions += stats.decisions
         mean = total_decisions / trials
         ns.append(n)
         decisions.append(max(mean, 1.0))

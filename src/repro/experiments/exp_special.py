@@ -12,9 +12,9 @@ graph — hold for every k.
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..generators.graph_gen import planted_clique_graph
 from ..graphs.special import solve_special_csp
+from ..observability.context import RunContext
 from ..reductions.clique_to_special import clique_to_special_csp
 from .harness import ExperimentResult, safe_log_ratio
 
@@ -23,8 +23,10 @@ def run(
     ks: tuple[int, ...] = (2, 3, 4),
     graph_size: int = 10,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Solve Clique→Special instances; report cost vs the n^{log n} shape."""
+    ctx = RunContext.ensure(context, "E6-special")
     result = ExperimentResult(
         experiment_id="E6-special",
         claim="§4/§6: Special CSP solvable in n^{O(log n)} and (under ETH) "
@@ -43,8 +45,9 @@ def run(
         reduction = clique_to_special_csp(graph, k)
         reduction.certify()
         instance = reduction.target
-        counter = CostCounter()
-        solution = solve_special_csp(instance, counter)
+        counter = ctx.new_counter()
+        with ctx.span("E6/special-solve", k=k):
+            solution = solve_special_csp(instance, counter)
         found = solution is not None and graph.is_clique(reduction.pull_back(solution))
         # |D|^k dominates; observed exponent = log(ops)/log(|D|).
         exponent = safe_log_ratio(max(counter.total, 2), instance.domain_size)

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from itertools import product
 
-from ..counting import CostCounter
 from ..csp.instance import Constraint, CSPInstance
 from ..csp.treewidth_dp import solve_with_treewidth
+from ..observability.context import RunContext
 from ..treewidth.exact import treewidth_exact
 from .harness import ExperimentResult, fit_exponent
 
@@ -36,8 +36,10 @@ def clique_csp(size: int, domain_size: int, seed_shift: int = 0) -> CSPInstance:
 def run(
     clique_sizes: tuple[int, ...] = (2, 3, 4),
     domain_sizes: tuple[int, ...] = (4, 6, 8, 12),
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """DP cost exponent in |D| as the primal clique (treewidth+1) grows."""
+    ctx = RunContext.ensure(context, "E8-treewidth-opt")
     result = ExperimentResult(
         experiment_id="E8-treewidth-opt",
         claim="Theorems 6.5/6.7: on treewidth-k primal graphs (cliques), "
@@ -51,8 +53,9 @@ def run(
             instance = clique_csp(size, d)
             width, decomposition = treewidth_exact(instance.primal_graph())
             assert width == size - 1
-            counter = CostCounter()
-            solution = solve_with_treewidth(instance, decomposition, counter)
+            counter = ctx.new_counter()
+            with ctx.span("E8/dp", clique=size, D=d):
+                solution = solve_with_treewidth(instance, decomposition, counter)
             ds.append(d)
             ops.append(max(counter.total, 1))
             result.add_row(

@@ -12,7 +12,6 @@ threshold was invented for.
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..generators.graph_gen import gnm_random_graph, skewed_bipartite_graph
 from ..graphs.triangle import (
     find_triangle_ayz,
@@ -20,14 +19,17 @@ from ..graphs.triangle import (
     find_triangle_matrix,
     find_triangle_naive,
 )
+from ..observability.context import RunContext
 from .harness import ExperimentResult, fit_exponent
 
 
 def run(
     edge_counts: tuple[int, ...] = (64, 128, 256, 512),
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Compare the four detectors across an m sweep."""
+    ctx = RunContext.ensure(context, "E11-triangle")
     result = ExperimentResult(
         experiment_id="E11-triangle",
         claim="§8 Strong Triangle Conjecture: m^{2w/(w+1)} is the best "
@@ -39,13 +41,14 @@ def run(
     for m in edge_counts:
         n_right = max(8, m // 4)
         graph = skewed_bipartite_graph(n_right, hubs=3, num_edges=m, seed=seed + m)
-        counters = [CostCounter() for _ in range(4)]
-        found = [
-            find_triangle_naive(graph, counters[0]),
-            find_triangle_enumeration(graph, counters[1]),
-            find_triangle_ayz(graph, counters[2]),
-            find_triangle_matrix(graph, counters[3]),
-        ]
+        counters = [ctx.new_counter() for _ in range(4)]
+        with ctx.span("E11/detectors", m=m):
+            found = [
+                find_triangle_naive(graph, counters[0]),
+                find_triangle_enumeration(graph, counters[1]),
+                find_triangle_ayz(graph, counters[2]),
+                find_triangle_matrix(graph, counters[3]),
+            ]
         # Bipartite graphs are triangle-free: all must report None.
         agree = all(f is None for f in found)
         agree_all = agree_all and agree

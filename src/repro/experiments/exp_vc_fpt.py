@@ -8,13 +8,13 @@ find covers; the contrast in exponents is the FPT-vs-XP shape.
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..generators.graph_gen import planted_vertex_cover_graph
 from ..graphs.vertex_cover import (
     find_vertex_cover_bruteforce,
     find_vertex_cover_fpt,
     is_vertex_cover,
 )
+from ..observability.context import RunContext
 from .harness import ExperimentResult, fit_exponent
 
 
@@ -23,8 +23,10 @@ def run(
     graph_sizes: tuple[int, ...] = (10, 16, 24, 36),
     edges_factor: int = 3,
     seed: int = 0,
+    context: RunContext | None = None,
 ) -> ExperimentResult:
     """Sweep n at fixed k; fit both methods' exponents in n."""
+    ctx = RunContext.ensure(context, "E14-vc-fpt")
     result = ExperimentResult(
         experiment_id="E14-vc-fpt",
         claim="§5: Vertex Cover is FPT — 2^k·poly(n) search tree vs "
@@ -35,10 +37,12 @@ def run(
     all_valid = True
     for n in graph_sizes:
         graph, __ = planted_vertex_cover_graph(n, k, edges_factor * n, seed=seed + n)
-        fpt_counter = CostCounter()
-        fpt_cover = find_vertex_cover_fpt(graph, k, fpt_counter)
-        bf_counter = CostCounter()
-        bf_cover = find_vertex_cover_bruteforce(graph, k, bf_counter)
+        fpt_counter = ctx.new_counter()
+        with ctx.span("E14/fpt", n=n, k=k):
+            fpt_cover = find_vertex_cover_fpt(graph, k, fpt_counter)
+        bf_counter = ctx.new_counter()
+        with ctx.span("E14/bruteforce", n=n, k=k):
+            bf_cover = find_vertex_cover_bruteforce(graph, k, bf_counter)
         valid = (
             fpt_cover is not None
             and bf_cover is not None

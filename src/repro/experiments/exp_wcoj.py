@@ -11,17 +11,21 @@ Two triangle-query series:
 
 from __future__ import annotations
 
-from ..counting import CostCounter
 from ..generators.agm import skewed_triangle_database, tight_agm_database
+from ..observability.context import RunContext
 from ..relational.joins import best_left_deep_peak, evaluate_left_deep
 from ..relational.query import JoinQuery
 from ..relational.wcoj import generic_join
 from .harness import ExperimentResult, fit_exponent
 
 
-def run(relation_sizes: tuple[int, ...] = (32, 64, 128, 256)) -> ExperimentResult:
+def run(
+    relation_sizes: tuple[int, ...] = (32, 64, 128, 256),
+    context: RunContext | None = None,
+) -> ExperimentResult:
     """Compare Generic Join vs pairwise plans on skewed and tight
     triangle inputs."""
+    ctx = RunContext.ensure(context, "E3-wcoj")
     query = JoinQuery.triangle()
     result = ExperimentResult(
         experiment_id="E3-wcoj",
@@ -37,27 +41,32 @@ def run(relation_sizes: tuple[int, ...] = (32, 64, 128, 256)) -> ExperimentResul
         ),
     )
     series: dict[str, tuple[list[int], list[int], list[int]]] = {}
+    ops_per_answer = 0.0
     for family, make_db in (
         ("skewed", skewed_triangle_database),
         ("tight", lambda n: tight_agm_database(query, n)),
     ):
         ns, wcoj_ops, peaks = [], [], []
-        for n in relation_sizes:
-            database = make_db(n)
-            counter = CostCounter()
-            answer = generic_join(query, database, counter=counter)
-            __, best_peak = best_left_deep_peak(query, database)
-            ns.append(n)
-            wcoj_ops.append(max(counter.total, 1))
-            peaks.append(best_peak)
-            result.add_row(
-                family=family,
-                N=n,
-                answer=len(answer),
-                wcoj_ops=counter.total,
-                best_plan_peak=best_peak,
-                plan_peak_over_answer=best_peak / max(len(answer), 1),
-            )
+        with ctx.span(f"E3/{family}", sizes=len(relation_sizes)):
+            for n in relation_sizes:
+                database = make_db(n)
+                counter = ctx.new_counter()
+                answer = generic_join(query, database, counter=counter)
+                __, best_peak = best_left_deep_peak(query, database)
+                ns.append(n)
+                wcoj_ops.append(max(counter.total, 1))
+                peaks.append(best_peak)
+                ops_per_answer = max(
+                    ops_per_answer, counter.total / max(len(answer), 1)
+                )
+                result.add_row(
+                    family=family,
+                    N=n,
+                    answer=len(answer),
+                    wcoj_ops=counter.total,
+                    best_plan_peak=best_peak,
+                    plan_peak_over_answer=best_peak / max(len(answer), 1),
+                )
         series[family] = (ns, wcoj_ops, peaks)
 
     skew_ns, skew_wcoj, skew_peaks = series["skewed"]
@@ -66,6 +75,10 @@ def run(relation_sizes: tuple[int, ...] = (32, 64, 128, 256)) -> ExperimentResul
     result.findings["skewed_plan_exponent"] = fit_exponent(skew_ns, skew_peaks)
     result.findings["tight_wcoj_exponent"] = fit_exponent(tight_ns, tight_wcoj)
     result.findings["tight_plan_exponent"] = fit_exponent(tight_ns, tight_peaks)
+    # O(1)-per-probe check: with trie nodes threaded down the recursion
+    # (rather than re-walked from the root), charged ops per output
+    # tuple stay a small constant across the whole sweep.
+    result.findings["max_ops_per_answer"] = ops_per_answer
     result.findings["verdict"] = (
         "PASS"
         if result.findings["skewed_plan_exponent"]
@@ -76,9 +89,13 @@ def run(relation_sizes: tuple[int, ...] = (32, 64, 128, 256)) -> ExperimentResul
     return result
 
 
-def run_orderings(relation_size: int = 256) -> ExperimentResult:
+def run_orderings(
+    relation_size: int = 256,
+    context: RunContext | None = None,
+) -> ExperimentResult:
     """Ablation: Generic Join variable orderings change constants, not
     the N^rho* envelope."""
+    ctx = RunContext.ensure(context, "E3-wcoj-ablation")
     query = JoinQuery.triangle()
     database = tight_agm_database(query, relation_size)
     result = ExperimentResult(
@@ -89,10 +106,11 @@ def run_orderings(relation_size: int = 256) -> ExperimentResult:
     from itertools import permutations
 
     ops_seen = []
-    for order in permutations(query.attributes):
-        counter = CostCounter()
-        answer = generic_join(query, database, attribute_order=order, counter=counter)
-        ops_seen.append(counter.total)
-        result.add_row(order="→".join(order), ops=counter.total, answer=len(answer))
+    with ctx.span("E3/orderings", N=relation_size):
+        for order in permutations(query.attributes):
+            counter = ctx.new_counter()
+            answer = generic_join(query, database, attribute_order=order, counter=counter)
+            ops_seen.append(counter.total)
+            result.add_row(order="→".join(order), ops=counter.total, answer=len(answer))
     result.findings["max_over_min_ops"] = max(ops_seen) / min(ops_seen)
     return result

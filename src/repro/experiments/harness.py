@@ -15,6 +15,31 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import InvalidInstanceError
+from ..observability.record import jsonify
+
+
+class _Missing:
+    """Singleton sentinel for a deliberately absent cell.
+
+    ``add_row`` requires a value for every declared column so that
+    ``column()``/``fit_exponent`` never silently ingest holes; a cell
+    that is genuinely not measured (e.g. the naive algorithm skipped at
+    large N) must say so explicitly with :data:`MISSING`.
+    """
+
+    _instance: "_Missing | None" = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+
+#: Explicit placeholder for an intentionally unmeasured cell.
+MISSING = _Missing()
 
 
 @dataclass
@@ -45,12 +70,35 @@ class ExperimentResult:
         unknown = set(values) - set(self.columns)
         if unknown:
             raise InvalidInstanceError(f"row has unknown columns {sorted(unknown)}")
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise InvalidInstanceError(
+                f"row is missing columns {sorted(missing)}; pass MISSING for "
+                "cells that are deliberately unmeasured"
+            )
         self.rows.append(values)
 
     def column(self, name: str) -> list:
         if name not in self.columns:
             raise InvalidInstanceError(f"unknown column {name!r}")
         return [row.get(name) for row in self.rows]
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict for run records (``MISSING`` cells → null)."""
+        rows = [
+            {
+                column: None if row[column] is MISSING else jsonify(row[column])
+                for column in self.columns
+            }
+            for row in self.rows
+        ]
+        return {
+            "experiment_id": self.experiment_id,
+            "claim": self.claim,
+            "columns": list(self.columns),
+            "rows": rows,
+            "findings": {key: jsonify(value) for key, value in self.findings.items()},
+        }
 
     def __str__(self) -> str:
         header = f"[{self.experiment_id}] {self.claim}"
@@ -67,6 +115,8 @@ class ExperimentResult:
 def format_table(columns: Sequence[str], rows: Sequence[dict]) -> str:
     """Render rows as a fixed-width text table."""
     def cell(value) -> str:
+        if value is MISSING:
+            return "-"
         if isinstance(value, float):
             return f"{value:.4g}"
         return str(value)

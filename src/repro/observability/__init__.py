@@ -1,0 +1,54 @@
+"""Observability for the experiment runtime.
+
+Three layers, all machine-independent-first (operation counts, not
+wall-clock, are the persisted metric — see DESIGN.md):
+
+* :mod:`~repro.observability.tracing` — per-phase spans wired through
+  the experiment harness and hot solver entry points;
+* :mod:`~repro.observability.record` — versioned, diffable JSON run
+  records (rows, findings, seeds, parameters, aggregated cost totals)
+  persisted under ``results/``;
+* :mod:`~repro.observability.runner` + :mod:`~repro.observability.cache`
+  — a process-pool runner with per-experiment timeouts, graceful
+  failure recording, and a content-addressed result cache.
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache, cache_key, source_hash
+from .context import RunContext
+from .record import (
+    SCHEMA,
+    ExperimentRun,
+    RecordDiff,
+    RunRecord,
+    compare_records,
+    jsonify,
+    render_result_payload,
+    validate_record,
+)
+from .runner import ExperimentSpec, execute_spec, run_specs
+from .tracing import Span, TraceContext, activate, current_trace, span
+
+__all__ = [
+    "SCHEMA",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "RecordDiff",
+    "ResultCache",
+    "RunContext",
+    "RunRecord",
+    "Span",
+    "TraceContext",
+    "activate",
+    "cache_key",
+    "compare_records",
+    "current_trace",
+    "execute_spec",
+    "jsonify",
+    "render_result_payload",
+    "run_specs",
+    "source_hash",
+    "span",
+    "validate_record",
+]

@@ -1,0 +1,100 @@
+"""Content-addressed result cache for experiment runs.
+
+A cache entry is keyed by everything that determines an experiment's
+output: the experiment key, the resolved parameters, the seed, and a
+hash of the source of the modules implementing it (the experiment
+module(s) plus the shared harness). Because experiments are pure
+functions of those inputs (the determinism REP004 guards), a key hit
+means the recorded payload *is* the result — re-running is pure waste.
+Editing an experiment module, changing a parameter, or bumping the
+record schema changes the key, so stale entries are never replayed;
+they are simply orphaned on disk.
+
+Entries live as ``<sha256>.json`` files under ``results/cache/`` by
+default (gitignored).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import sys
+from pathlib import Path
+from collections.abc import Callable, Iterable
+
+from .record import SCHEMA
+
+
+def source_hash(runners: Iterable[Callable]) -> str:
+    """SHA-256 over the defining modules' sources plus the harness.
+
+    Cheap and conservative: any edit to the experiment module or the
+    shared harness invalidates the entry, while edits elsewhere keep
+    it (a deliberate trade — deep import-closure hashing would make
+    every PR a full rerun).
+    """
+    module_names = {runner.__module__ for runner in runners}
+    module_names.add("repro.experiments.harness")
+    digest = hashlib.sha256()
+    for name in sorted(module_names):
+        module = sys.modules.get(name)
+        if module is None:
+            digest.update(f"<unimported:{name}>".encode())
+            continue
+        digest.update(name.encode())
+        digest.update(inspect.getsource(module).encode())
+    return digest.hexdigest()
+
+
+def cache_key(
+    key: str, parameters: dict, seed: int | None, sources: str
+) -> str:
+    """Content address of one experiment execution."""
+    material = json.dumps(
+        {
+            "schema": SCHEMA,
+            "key": key,
+            "parameters": parameters,
+            "seed": seed,
+            "sources": sources,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of content-addressed experiment payloads."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            return None
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        """Persist ``payload`` under ``key`` (schema-stamped)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        stamped = dict(payload)
+        stamped["schema"] = SCHEMA
+        tmp = self._path(key).with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(stamped, sort_keys=True, indent=None))
+        tmp.replace(self._path(key))

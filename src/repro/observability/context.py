@@ -1,0 +1,72 @@
+"""Per-experiment run context: aggregated counters + tracing.
+
+Every experiment ``run(...)`` function accepts an injected
+``context: RunContext | None``. The context hands out
+:class:`~repro.counting.CostCounter` instances (so per-measurement
+counts roll up into one per-experiment total), opens tracing spans, and
+carries the seed the runner resolved for the experiment. Calling an
+experiment directly without a context still works —
+:meth:`RunContext.ensure` builds a detached one on the fly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+from ..counting import CostCounter
+from .tracing import Span, TraceContext, activate
+
+
+class RunContext:
+    """Instrumentation bundle threaded through one experiment run."""
+
+    def __init__(
+        self,
+        experiment_id: str,
+        trace: TraceContext | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.trace = trace if trace is not None else TraceContext()
+        self.seed = seed
+        self._counters: list[CostCounter] = []
+
+    @staticmethod
+    def ensure(context: "RunContext | None", experiment_id: str) -> "RunContext":
+        """The given context, or a fresh detached one for direct calls."""
+        if context is not None:
+            return context
+        return RunContext(experiment_id)
+
+    def new_counter(self, budget: int | None = None) -> CostCounter:
+        """A fresh cost counter whose total rolls up into :attr:`total_ops`."""
+        counter = CostCounter(budget)
+        self._counters.append(counter)
+        return counter
+
+    def span(self, name: str, counter: CostCounter | None = None, **attributes):
+        """Open a span on this context's trace."""
+        return self.trace.span(name, counter=counter, **attributes)
+
+    @contextmanager
+    def activated(self) -> Iterator["RunContext"]:
+        """Make this context's trace ambient, so instrumented solver
+        entry points (``tracing.span``) report into it."""
+        with activate(self.trace):
+            yield self
+
+    @property
+    def total_ops(self) -> int:
+        """Aggregated operations across every counter handed out."""
+        return sum(counter.total for counter in self._counters)
+
+    @property
+    def spans(self) -> list[Span]:
+        return self.trace.spans
+
+    def __repr__(self) -> str:
+        return (
+            f"RunContext({self.experiment_id!r}, seed={self.seed}, "
+            f"total_ops={self.total_ops})"
+        )

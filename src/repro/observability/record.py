@@ -1,0 +1,444 @@
+"""Persistent, versioned run records.
+
+A :class:`RunRecord` is the machine-readable outcome of one
+``python -m repro.experiments run`` invocation: for every experiment it
+stores the measured rows, derived findings, resolved seed and
+parameters, aggregated cost-counter totals, tracing spans, and the
+execution status (``ok``/``cached``/``failed``/``timeout``). Records
+serialize to JSON under ``results/`` so series can be diffed across
+PRs and regenerated — the per-query cost-series discipline of the WCOJ
+and fine-grained CQ literature (see PAPERS.md).
+
+Two serializations exist:
+
+* :meth:`RunRecord.to_json` — the full record, including volatile
+  fields (timestamps, elapsed seconds);
+* :meth:`RunRecord.canonical_json` — volatile fields stripped, keys
+  sorted. Two runs with the same seeds are byte-identical here, which
+  is what the determinism tests compare.
+
+:func:`validate_record` is a hand-rolled structural schema check (no
+third-party jsonschema dependency), and :func:`compare_records` diffs
+two records' findings, flagging exponent drift beyond a tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+#: Version tag written into (and required from) every record.
+SCHEMA = "repro-run-record/1"
+
+#: Keys stripped from canonical serializations: anything that changes
+#: between byte-identical reruns (wall-clock, environment).
+VOLATILE_KEYS = frozenset({"created_at", "elapsed_s", "python_version"})
+
+#: Legal per-experiment execution statuses.
+STATUSES = ("ok", "cached", "failed", "timeout")
+
+
+def jsonify(value):
+    """Coerce experiment values to the JSON-stable subset.
+
+    Findings and parameters legitimately contain tuples, dicts keyed by
+    ints (``exponent_by_k``), and the odd numpy scalar; records must
+    round-trip through ``json`` byte-identically, so everything is
+    normalized here rather than at ``json.dumps`` time.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, Mapping):
+        return {str(key): jsonify(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [jsonify(inner) for inner in items]
+    return repr(value)
+
+
+@dataclass
+class ExperimentRun:
+    """Everything recorded about one experiment's execution."""
+
+    key: str
+    status: str
+    seed: int | None
+    parameters: dict
+    source_hash: str
+    cache_key: str
+    cost_total: int = 0
+    elapsed_s: float = 0.0
+    spans: list[dict] = field(default_factory=list)
+    results: list[dict] = field(default_factory=list)
+    error: str | None = None
+
+    def to_payload(self) -> dict:
+        return {
+            "key": self.key,
+            "status": self.status,
+            "seed": self.seed,
+            "parameters": self.parameters,
+            "source_hash": self.source_hash,
+            "cache_key": self.cache_key,
+            "cost_total": self.cost_total,
+            "elapsed_s": self.elapsed_s,
+            "spans": self.spans,
+            "results": self.results,
+            "error": self.error,
+        }
+
+    @property
+    def verdicts(self) -> list[str]:
+        return [
+            str(result["findings"]["verdict"])
+            for result in self.results
+            if "verdict" in result.get("findings", {})
+        ]
+
+    @property
+    def succeeded(self) -> bool:
+        """Ran (or was replayed from cache) and no verdict says FAIL."""
+        return self.status in ("ok", "cached") and "FAIL" not in self.verdicts
+
+
+@dataclass
+class RunRecord:
+    """One full runner invocation, ready to serialize."""
+
+    ids: list[str]
+    parallel: int
+    cache_enabled: bool
+    created_at: str = ""
+    experiments: list[ExperimentRun] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "created_at": self.created_at,
+            "run": {
+                "ids": list(self.ids),
+                "parallel": self.parallel,
+                "cache_enabled": self.cache_enabled,
+            },
+            "experiments": [run.to_payload() for run in self.experiments],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def canonical_dict(self) -> dict:
+        return strip_volatile(self.to_dict())
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def failures(self) -> list[ExperimentRun]:
+        return [run for run in self.experiments if not run.succeeded]
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "RunRecord":
+        problems = validate_record(payload)
+        if problems:
+            from ..errors import InvalidInstanceError
+
+            raise InvalidInstanceError(
+                "run record does not match schema: " + "; ".join(problems[:5])
+            )
+        run = payload["run"]
+        record = RunRecord(
+            ids=list(run["ids"]),
+            parallel=run["parallel"],
+            cache_enabled=run["cache_enabled"],
+            created_at=payload["created_at"],
+        )
+        for entry in payload["experiments"]:
+            record.experiments.append(
+                ExperimentRun(
+                    key=entry["key"],
+                    status=entry["status"],
+                    seed=entry["seed"],
+                    parameters=entry["parameters"],
+                    source_hash=entry["source_hash"],
+                    cache_key=entry["cache_key"],
+                    cost_total=entry["cost_total"],
+                    elapsed_s=entry["elapsed_s"],
+                    spans=entry["spans"],
+                    results=entry["results"],
+                    error=entry["error"],
+                )
+            )
+        return record
+
+
+def strip_volatile(value):
+    """Recursively drop :data:`VOLATILE_KEYS` from nested dicts."""
+    if isinstance(value, dict):
+        return {
+            key: strip_volatile(inner)
+            for key, inner in value.items()
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [strip_volatile(inner) for inner in value]
+    return value
+
+
+# -- structural schema validation -------------------------------------
+
+
+def _check(problems: list[str], condition: bool, message: str) -> bool:
+    if not condition:
+        problems.append(message)
+    return condition
+
+
+def _validate_result(problems: list[str], where: str, result) -> None:
+    if not _check(problems, isinstance(result, Mapping), f"{where}: not an object"):
+        return
+    for key in ("experiment_id", "claim"):
+        _check(
+            problems,
+            isinstance(result.get(key), str),
+            f"{where}.{key}: missing or not a string",
+        )
+    columns = result.get("columns")
+    if _check(
+        problems,
+        isinstance(columns, Sequence) and not isinstance(columns, str)
+        and all(isinstance(c, str) for c in columns),
+        f"{where}.columns: must be a list of strings",
+    ):
+        for i, row in enumerate(result.get("rows", ())):
+            ok = isinstance(row, Mapping) and set(row) == set(columns)
+            _check(problems, ok, f"{where}.rows[{i}]: keys do not match columns")
+    _check(
+        problems,
+        isinstance(result.get("rows"), list),
+        f"{where}.rows: missing or not a list",
+    )
+    _check(
+        problems,
+        isinstance(result.get("findings"), Mapping),
+        f"{where}.findings: missing or not an object",
+    )
+
+
+def _validate_experiment(problems: list[str], index: int, entry) -> None:
+    where = f"experiments[{index}]"
+    if not _check(problems, isinstance(entry, Mapping), f"{where}: not an object"):
+        return
+    _check(
+        problems,
+        isinstance(entry.get("key"), str),
+        f"{where}.key: missing or not a string",
+    )
+    _check(
+        problems,
+        entry.get("status") in STATUSES,
+        f"{where}.status: must be one of {STATUSES}",
+    )
+    _check(
+        problems,
+        entry.get("seed") is None or isinstance(entry.get("seed"), int),
+        f"{where}.seed: must be an integer or null",
+    )
+    _check(
+        problems,
+        isinstance(entry.get("parameters"), Mapping),
+        f"{where}.parameters: missing or not an object",
+    )
+    for key in ("source_hash", "cache_key"):
+        _check(
+            problems,
+            isinstance(entry.get(key), str),
+            f"{where}.{key}: missing or not a string",
+        )
+    _check(
+        problems,
+        isinstance(entry.get("cost_total"), int)
+        and not isinstance(entry.get("cost_total"), bool)
+        and entry.get("cost_total") >= 0,
+        f"{where}.cost_total: must be a non-negative integer",
+    )
+    _check(
+        problems,
+        isinstance(entry.get("elapsed_s"), (int, float)),
+        f"{where}.elapsed_s: must be a number",
+    )
+    spans = entry.get("spans")
+    if _check(problems, isinstance(spans, list), f"{where}.spans: must be a list"):
+        for i, span in enumerate(spans):
+            ok = (
+                isinstance(span, Mapping)
+                and isinstance(span.get("name"), str)
+                and isinstance(span.get("depth"), int)
+                and isinstance(span.get("ops"), int)
+                and isinstance(span.get("elapsed_s"), (int, float))
+                and isinstance(span.get("attributes"), Mapping)
+            )
+            _check(problems, ok, f"{where}.spans[{i}]: malformed span")
+    results = entry.get("results")
+    if _check(problems, isinstance(results, list), f"{where}.results: must be a list"):
+        for i, result in enumerate(results):
+            _validate_result(problems, f"{where}.results[{i}]", result)
+    _check(
+        problems,
+        entry.get("error") is None or isinstance(entry.get("error"), str),
+        f"{where}.error: must be a string or null",
+    )
+    if entry.get("status") in ("failed", "timeout"):
+        _check(
+            problems,
+            isinstance(entry.get("error"), str) and bool(entry.get("error")),
+            f"{where}.error: required for status {entry.get('status')!r}",
+        )
+
+
+def validate_record(payload) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not _check(problems, isinstance(payload, Mapping), "record: not an object"):
+        return problems
+    _check(
+        problems,
+        payload.get("schema") == SCHEMA,
+        f"schema: expected {SCHEMA!r}, got {payload.get('schema')!r}",
+    )
+    _check(
+        problems,
+        isinstance(payload.get("created_at"), str),
+        "created_at: missing or not a string",
+    )
+    run = payload.get("run")
+    if _check(problems, isinstance(run, Mapping), "run: missing or not an object"):
+        _check(
+            problems,
+            isinstance(run.get("ids"), list)
+            and all(isinstance(i, str) for i in run.get("ids", ())),
+            "run.ids: must be a list of strings",
+        )
+        _check(
+            problems,
+            isinstance(run.get("parallel"), int) and run.get("parallel", 0) >= 1,
+            "run.parallel: must be a positive integer",
+        )
+        _check(
+            problems,
+            isinstance(run.get("cache_enabled"), bool),
+            "run.cache_enabled: must be a boolean",
+        )
+    experiments = payload.get("experiments")
+    if _check(
+        problems, isinstance(experiments, list), "experiments: missing or not a list"
+    ):
+        for index, entry in enumerate(experiments):
+            _validate_experiment(problems, index, entry)
+    return problems
+
+
+# -- record comparison -------------------------------------------------
+
+
+@dataclass
+class RecordDiff:
+    """Finding-level differences between an old and a new record."""
+
+    tolerance: float
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    verdict_changes: list[tuple[str, str, str]] = field(default_factory=list)
+    drifted: list[tuple[str, str, float, float]] = field(default_factory=list)
+    changed: list[tuple[str, str, object, object]] = field(default_factory=list)
+
+    @property
+    def has_drift(self) -> bool:
+        regressions = [new for __, __, new in self.verdict_changes if new == "FAIL"]
+        return bool(self.drifted or regressions)
+
+    def render(self) -> str:
+        lines = [f"record diff (tolerance {self.tolerance:g}):"]
+        for key in self.added:
+            lines.append(f"  + {key}: only in new record")
+        for key in self.removed:
+            lines.append(f"  - {key}: only in old record")
+        for key, old, new in self.verdict_changes:
+            lines.append(f"  ! {key}: verdict {old} -> {new}")
+        for key, name, old, new in self.drifted:
+            lines.append(
+                f"  ! {key}: {name} drifted {old:.4g} -> {new:.4g} "
+                f"(|delta| {abs(new - old):.4g} > {self.tolerance:g})"
+            )
+        for key, name, old, new in self.changed:
+            lines.append(f"  ~ {key}: {name} changed {old!r} -> {new!r}")
+        if len(lines) == 1:
+            lines.append("  no finding differences")
+        return "\n".join(lines)
+
+
+def _findings_by_result(record: Mapping) -> dict[str, dict]:
+    found: dict[str, dict] = {}
+    for entry in record["experiments"]:
+        for result in entry["results"]:
+            found[result["experiment_id"]] = result["findings"]
+    return found
+
+
+def _is_exponent_finding(name: str, value) -> bool:
+    lowered = name.lower()
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and (
+        "exponent" in lowered or "slope" in lowered
+    )
+
+
+def compare_records(old: Mapping, new: Mapping, tolerance: float = 0.15) -> RecordDiff:
+    """Diff findings of two records; exponent-style numeric findings
+    whose absolute change exceeds ``tolerance`` count as drift."""
+    diff = RecordDiff(tolerance=tolerance)
+    old_findings = _findings_by_result(old)
+    new_findings = _findings_by_result(new)
+    diff.added = sorted(set(new_findings) - set(old_findings))
+    diff.removed = sorted(set(old_findings) - set(new_findings))
+    for key in sorted(set(old_findings) & set(new_findings)):
+        before, after = old_findings[key], new_findings[key]
+        for name in sorted(set(before) | set(after)):
+            old_value = before.get(name)
+            new_value = after.get(name)
+            if old_value == new_value:
+                continue
+            if name == "verdict":
+                diff.verdict_changes.append((key, str(old_value), str(new_value)))
+            elif _is_exponent_finding(name, old_value) and _is_exponent_finding(
+                name, new_value
+            ):
+                if abs(new_value - old_value) > tolerance:
+                    diff.drifted.append((key, name, float(old_value), float(new_value)))
+            else:
+                diff.changed.append((key, name, old_value, new_value))
+    return diff
+
+
+# -- human rendering of serialized results -----------------------------
+
+
+def render_result_payload(result: Mapping) -> str:
+    """Render a serialized ``ExperimentResult`` payload like the live
+    object's ``__str__`` (header, table, findings)."""
+    from ..experiments.harness import format_table
+
+    header = f"[{result['experiment_id']}] {result['claim']}"
+    table = format_table(tuple(result["columns"]), result["rows"])
+    notes = "\n".join(
+        f"  {key} = {value}" for key, value in result["findings"].items()
+    )
+    parts = [header, table]
+    if notes:
+        parts.append(notes)
+    return "\n".join(parts)

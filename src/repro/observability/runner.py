@@ -1,0 +1,197 @@
+"""Process-pool experiment runner with timeouts and graceful degradation.
+
+:func:`run_specs` executes :class:`ExperimentSpec`\\ s — each a keyed
+bundle of runner callables — across a :class:`concurrent.futures.
+ProcessPoolExecutor`, assembling a :class:`~repro.observability.record.
+RunRecord`. The contract the CLI and CI rely on:
+
+* a failed experiment is recorded with status ``"failed"`` and the
+  exception text; the run continues (failures are read from futures
+  via :meth:`~concurrent.futures.Future.exception`, so no broad
+  ``except`` is needed anywhere);
+* an experiment exceeding the per-experiment timeout is recorded as
+  ``"timeout"`` and the run continues (its worker process is
+  terminated at shutdown);
+* with a :class:`~repro.observability.cache.ResultCache`, experiments
+  whose content address already has a payload are replayed as
+  ``"cached"`` without executing;
+* results are assembled in spec order regardless of completion order,
+  so records are deterministic under any parallelism.
+"""
+
+from __future__ import annotations
+
+import datetime
+import inspect
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Sequence
+
+from .cache import ResultCache, cache_key, source_hash
+from .context import RunContext
+from .record import ExperimentRun, RunRecord, jsonify
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: a key, its runner callables, a seed."""
+
+    key: str
+    runners: tuple[Callable, ...]
+    seed: int = 0
+
+    def parameters(self) -> dict:
+        """Per-runner resolved keyword arguments (signature defaults,
+        with this spec's seed substituted where the runner takes one).
+
+        Instrumentation (``context``) is excluded: it does not affect
+        measured values, only how they are reported.
+        """
+        resolved: dict = {}
+        for runner in self.runners:
+            kwargs = {}
+            for name, parameter in inspect.signature(runner).parameters.items():
+                if name == "context":
+                    continue
+                if name == "seed":
+                    kwargs[name] = self.seed
+                elif parameter.default is not inspect.Parameter.empty:
+                    kwargs[name] = parameter.default
+            resolved[runner.__name__] = jsonify(kwargs)
+        return resolved
+
+
+def execute_spec(spec: ExperimentSpec) -> dict:
+    """Run every runner of ``spec`` under one instrumented context.
+
+    This is the process-pool worker: it returns a plain JSON-safe
+    payload (results, aggregated cost total, spans, elapsed time) so
+    nothing fancier than the payload crosses the process boundary.
+    """
+    context = RunContext(spec.key, seed=spec.seed)
+    started = time.perf_counter()
+    payloads = []
+    with context.activated():
+        for runner in spec.runners:
+            kwargs = {}
+            signature = inspect.signature(runner)
+            if "context" in signature.parameters:
+                kwargs["context"] = context
+            if "seed" in signature.parameters:
+                kwargs["seed"] = spec.seed
+            with context.span(f"{spec.key}/{runner.__name__}"):
+                result = runner(**kwargs)
+            payloads.append(result.to_payload())
+    return {
+        "results": payloads,
+        "cost_total": context.total_ops,
+        "spans": context.trace.to_payload(),
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+def _terminate_workers(executor: ProcessPoolExecutor) -> None:
+    """Best-effort kill of still-running worker processes (used after a
+    timeout so a hung experiment cannot block interpreter exit)."""
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        process.terminate()
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    parallel: int = 1,
+    timeout: float | None = None,
+    cache: ResultCache | None = None,
+    on_complete: Callable[[ExperimentRun], None] | None = None,
+) -> RunRecord:
+    """Execute ``specs`` and assemble a :class:`RunRecord`.
+
+    ``timeout`` bounds each experiment's wait individually (None = no
+    limit). ``on_complete`` is invoked once per experiment, in spec
+    order, as its record entry is finalized.
+    """
+    record = RunRecord(
+        ids=[spec.key for spec in specs],
+        parallel=max(1, parallel),
+        cache_enabled=cache is not None,
+        created_at=datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    )
+
+    keyed: list[tuple[ExperimentSpec, dict, str, str]] = []
+    for spec in specs:
+        parameters = spec.parameters()
+        sources = source_hash(spec.runners)
+        keyed.append(
+            (spec, parameters, sources, cache_key(spec.key, parameters, spec.seed, sources))
+        )
+
+    pending: dict[str, Future] = {}
+    timed_out = False
+    executor = ProcessPoolExecutor(max_workers=max(1, parallel))
+    try:
+        cached_payloads: dict[str, dict] = {}
+        for spec, __, ___, key in keyed:
+            if cache is not None:
+                payload = cache.load(key)
+                if payload is not None:
+                    cached_payloads[key] = payload
+                    continue
+            pending[key] = executor.submit(execute_spec, spec)
+
+        for spec, parameters, sources, key in keyed:
+            entry = ExperimentRun(
+                key=spec.key,
+                status="ok",
+                seed=spec.seed,
+                parameters=parameters,
+                source_hash=sources,
+                cache_key=key,
+            )
+            if key in cached_payloads:
+                payload = cached_payloads[key]
+                entry.status = "cached"
+                entry.results = payload["results"]
+                entry.cost_total = payload["cost_total"]
+                entry.spans = payload["spans"]
+                entry.elapsed_s = 0.0
+            else:
+                future = pending[key]
+                try:
+                    error = future.exception(timeout=timeout)
+                except FutureTimeoutError:
+                    timed_out = True
+                    future.cancel()
+                    entry.status = "timeout"
+                    entry.error = (
+                        f"experiment exceeded the {timeout:g}s per-experiment timeout"
+                    )
+                else:
+                    if error is not None:
+                        entry.status = "failed"
+                        entry.error = f"{type(error).__name__}: {error}"
+                    else:
+                        payload = future.result()
+                        entry.results = payload["results"]
+                        entry.cost_total = payload["cost_total"]
+                        entry.spans = payload["spans"]
+                        entry.elapsed_s = payload["elapsed_s"]
+                        if cache is not None:
+                            cache.store(
+                                key,
+                                {
+                                    "results": entry.results,
+                                    "cost_total": entry.cost_total,
+                                    "spans": entry.spans,
+                                },
+                            )
+            record.experiments.append(entry)
+            if on_complete is not None:
+                on_complete(entry)
+    finally:
+        if timed_out:
+            _terminate_workers(executor)
+        executor.shutdown(wait=not timed_out, cancel_futures=True)
+    return record

@@ -1,0 +1,115 @@
+"""Lightweight tracing spans for experiments and hot solver paths.
+
+A :class:`TraceContext` collects named :class:`Span` records — per-phase
+slices of an experiment such as ``"E3/skewed"`` or a solver entry point
+such as ``"generic_join"`` — each carrying wall-clock time and, when a
+:class:`~repro.counting.CostCounter` is attached, the number of charged
+operations that fell inside the span. Operation deltas, not timing, are
+the persisted metric (see DESIGN.md); the elapsed seconds are advisory
+and stripped from canonical record serializations.
+
+Instrumented library code uses the module-level :func:`span` helper,
+which reads the ambient trace from a :class:`contextvars.ContextVar`:
+when no trace is active (the common library-call case) it is a cheap
+no-op, so solvers stay uninstrumented-fast outside the experiment
+runtime. The experiment runner activates a trace around each run via
+:func:`activate`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from ..counting import CostCounter
+
+
+@dataclass
+class Span:
+    """One recorded phase: name, nesting depth, attributes, cost, time."""
+
+    name: str
+    depth: int
+    attributes: dict = field(default_factory=dict)
+    ops: int = 0
+    elapsed_s: float = 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "attributes": dict(self.attributes),
+            "ops": self.ops,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class TraceContext:
+    """An append-only list of spans with nesting depth tracking."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._depth = 0
+
+    @contextmanager
+    def span(
+        self, name: str, counter: CostCounter | None = None, **attributes
+    ) -> Iterator[Span]:
+        """Open a span; on exit it records elapsed time and, when a
+        counter is given, the operations charged while it was open."""
+        record = Span(name=name, depth=self._depth, attributes=dict(attributes))
+        self.spans.append(record)
+        self._depth += 1
+        started = time.perf_counter()
+        counted_from = counter.total if counter is not None else 0
+        try:
+            yield record
+        finally:
+            record.elapsed_s = time.perf_counter() - started
+            if counter is not None:
+                record.ops = counter.total - counted_from
+            self._depth -= 1
+
+    def to_payload(self) -> list[dict]:
+        return [span.to_payload() for span in self.spans]
+
+
+#: The ambient trace; ``None`` outside an instrumented experiment run.
+_ACTIVE_TRACE: ContextVar[TraceContext | None] = ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+def current_trace() -> TraceContext | None:
+    """The trace activated for the current context, if any."""
+    return _ACTIVE_TRACE.get()
+
+
+@contextmanager
+def activate(trace: TraceContext) -> Iterator[TraceContext]:
+    """Make ``trace`` the ambient trace for the enclosed block."""
+    token = _ACTIVE_TRACE.set(trace)
+    try:
+        yield trace
+    finally:
+        _ACTIVE_TRACE.reset(token)
+
+
+@contextmanager
+def span(
+    name: str, counter: CostCounter | None = None, **attributes
+) -> Iterator[Span | None]:
+    """Record a span on the ambient trace; no-op when none is active.
+
+    This is the hook instrumented solvers call: it costs one context-var
+    read when tracing is off.
+    """
+    trace = _ACTIVE_TRACE.get()
+    if trace is None:
+        yield None
+        return
+    with trace.span(name, counter=counter, **attributes) as record:
+        yield record

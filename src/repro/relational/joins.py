@@ -14,6 +14,7 @@ from collections.abc import Sequence
 
 from ..counting import CostCounter, charge
 from ..errors import SchemaError
+from ..observability.tracing import span
 from .database import Database
 from .query import JoinQuery
 from .relation import Relation
@@ -83,14 +84,15 @@ def evaluate_left_deep(
     if sorted(indices) != list(range(query.num_atoms)):
         raise SchemaError(f"order {indices} is not a permutation of the atoms")
 
-    current = query.bound_relation(query.atoms[indices[0]], database)
-    peak = len(current)
-    total = len(current)
-    for idx in indices[1:]:
-        right = query.bound_relation(query.atoms[idx], database)
-        current = hash_join(current, right, counter)
-        peak = max(peak, len(current))
-        total += len(current)
+    with span("evaluate_left_deep", counter=counter, atoms=query.num_atoms):
+        current = query.bound_relation(query.atoms[indices[0]], database)
+        peak = len(current)
+        total = len(current)
+        for idx in indices[1:]:
+            right = query.bound_relation(query.atoms[idx], database)
+            current = hash_join(current, right, counter)
+            peak = max(peak, len(current))
+            total += len(current)
     # Normalize the answer's attribute order to the query's.
     final = Relation("answer", current.attributes, current.tuples)
     return JoinPlanResult(

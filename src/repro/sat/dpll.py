@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..counting import CostCounter, charge
+from ..observability.tracing import span
 from .cnf import CNF, Literal
 
 
@@ -48,7 +49,13 @@ def solve_dpll(
     assignment: dict[int, bool] = {}
 
     clauses = [set(c) for c in formula.clauses]
-    result = _dpll(clauses, assignment, counter, use_unit_propagation, use_pure_literals, stats)
+    with span(
+        "solve_dpll",
+        counter=counter,
+        variables=formula.num_variables,
+        clauses=len(clauses),
+    ):
+        result = _dpll(clauses, assignment, counter, use_unit_propagation, use_pure_literals, stats)
     if result is None:
         return None
     for var in range(1, formula.num_variables + 1):

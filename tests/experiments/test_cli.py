@@ -1,8 +1,16 @@
 """Tests for the experiment CLI (python -m repro.experiments)."""
 
+import json
+
 import pytest
 
-from repro.experiments.__main__ import RUNNERS, main, run_experiments
+from repro.experiments.__main__ import RUNNERS, SPECS, main, run_experiments
+from repro.observability.record import validate_record
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    return str(tmp_path / "results")
 
 
 class TestCLI:
@@ -12,19 +20,138 @@ class TestCLI:
         for key in RUNNERS:
             assert key in out
 
-    def test_run_single(self, capsys):
-        assert main(["run", "E13"]) == 0
+    def test_run_single(self, capsys, results_dir):
+        assert main(["run", "E13", "--results-dir", results_dir]) == 0
         out = capsys.readouterr().out
         assert "E13-hypotheses" in out
         assert "PASS" in out
 
-    def test_run_accepts_full_id(self, capsys):
-        assert main(["run", "e13-hypotheses"]) == 0
+    def test_run_accepts_full_id(self, capsys, results_dir):
+        assert main(["run", "e13-hypotheses", "--results-dir", results_dir]) == 0
 
     def test_unknown_id(self, capsys):
         assert run_experiments(["E99"]) == 2
 
+    def test_unknown_id_via_main(self, capsys, tmp_path):
+        assert main(["run", "E99", "--results-dir", str(tmp_path)]) == 2
+
     def test_every_runner_registered(self):
         assert len(RUNNERS) == 18
+        assert len(SPECS) == 18
         for key, runners in RUNNERS.items():
             assert runners, key
+
+
+class TestRunRecords:
+    def test_json_flag_writes_valid_record(self, capsys, tmp_path, results_dir):
+        out_path = tmp_path / "run.json"
+        assert main(
+            ["run", "E13", "--json", str(out_path), "--results-dir", results_dir]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert validate_record(payload) == []
+        assert payload["experiments"][0]["key"] == "E13"
+        assert payload["experiments"][0]["status"] == "ok"
+
+    def test_records_get_sequential_names(self, capsys, tmp_path):
+        results = tmp_path / "results"
+        main(["run", "E13", "--results-dir", str(results), "--no-cache"])
+        main(["run", "E13", "--results-dir", str(results), "--no-cache"])
+        names = sorted(p.name for p in results.glob("run-*.json"))
+        assert names == ["run-0001.json", "run-0002.json"]
+
+    def test_second_run_hits_cache(self, capsys, results_dir):
+        main(["run", "E13", "--results-dir", results_dir])
+        capsys.readouterr()
+        main(["run", "E13", "--results-dir", results_dir])
+        assert "E13: cached" in capsys.readouterr().out
+
+    def test_no_cache_flag_reruns(self, capsys, results_dir):
+        main(["run", "E13", "--results-dir", results_dir])
+        capsys.readouterr()
+        main(["run", "E13", "--results-dir", results_dir, "--no-cache"])
+        assert "E13: ok" in capsys.readouterr().out
+
+    def test_parallel_run_matches_serial_record(self, capsys, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        main(["run", "E13", "E15", "--json", str(serial),
+              "--results-dir", str(tmp_path / "r1"), "--no-cache"])
+        main(["run", "E13", "E15", "--parallel", "2", "--json", str(parallel),
+              "--results-dir", str(tmp_path / "r2"), "--no-cache"])
+        from repro.observability.record import RunRecord, strip_volatile
+
+        first = RunRecord.from_dict(json.loads(serial.read_text())).canonical_dict()
+        second = RunRecord.from_dict(json.loads(parallel.read_text())).canonical_dict()
+        # The run block records the differing parallelism; measurements must not.
+        first.pop("run")
+        second.pop("run")
+        assert first == second
+
+
+class TestValidateCommand:
+    def test_valid_record_accepted(self, capsys, tmp_path, results_dir):
+        out_path = tmp_path / "run.json"
+        main(["run", "E13", "--json", str(out_path), "--results-dir", results_dir])
+        capsys.readouterr()
+        assert main(["validate", str(out_path)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_record_rejected(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/0"}')
+        assert main(["validate", str(bad)]) == 1
+
+
+class TestCompare:
+    def test_compare_against_identical_run_is_clean(self, capsys, tmp_path):
+        old = tmp_path / "old.json"
+        results = str(tmp_path / "results")
+        main(["run", "E13", "--json", str(old), "--results-dir", results])
+        capsys.readouterr()
+        code = main(
+            ["run", "E13", "--results-dir", results, "--compare", str(old)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no finding differences" in out
+
+    def test_non_exponent_change_reported_but_not_drift(self, capsys, tmp_path):
+        old = tmp_path / "old.json"
+        results = str(tmp_path / "results")
+        main(["run", "E13", "--json", str(old), "--results-dir", results])
+        capsys.readouterr()
+        doctored = json.loads(old.read_text())
+        findings = doctored["experiments"][0]["results"][0]["findings"]
+        findings["total_bounds"] = 999
+        old.write_text(json.dumps(doctored))
+        code = main(
+            ["run", "E13", "--results-dir", results, "--compare", str(old)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # non-exponent change: reported but not drift
+        assert "total_bounds" in out
+
+    def test_exponent_drift_exits_nonzero(self, capsys, tmp_path):
+        old = tmp_path / "old.json"
+        results = str(tmp_path / "results")
+        main(["run", "E15", "--json", str(old), "--results-dir", results])
+        capsys.readouterr()
+        doctored = json.loads(old.read_text())
+        findings = doctored["experiments"][0]["results"][0]["findings"]
+        findings["naive_delay_exponent"] += 1.0
+        old.write_text(json.dumps(doctored))
+        code = main(
+            ["run", "E15", "--results-dir", results, "--compare", str(old)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "drifted" in out
+
+    def test_compare_rejects_invalid_old_record(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/0"}')
+        assert main(
+            ["run", "E13", "--results-dir", str(tmp_path / "r"),
+             "--compare", str(bad)]
+        ) == 2

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import InvalidInstanceError
 from repro.experiments.harness import (
+    MISSING,
     ExperimentResult,
     fit_exponent,
     format_table,
@@ -30,6 +31,30 @@ class TestExperimentResult:
             r.add_row(z=1)
         with pytest.raises(InvalidInstanceError):
             r.column("z")
+
+    def test_incomplete_row_rejected(self):
+        # Regression: silently dropping a column used to produce ragged
+        # rows that broke downstream column() aggregation.
+        r = self.make()
+        with pytest.raises(InvalidInstanceError):
+            r.add_row(x=1)
+
+    def test_missing_sentinel_marks_unmeasured_cells(self):
+        r = self.make()
+        r.add_row(x=1, y=MISSING)
+        assert r.column("y") == [MISSING]
+        # Renders as a blank-ish dash, not as "MISSING".
+        table = format_table(r.columns, r.rows)
+        assert "-" in table.splitlines()[2]
+
+    def test_to_payload_serializes_missing_as_null(self):
+        r = self.make()
+        r.add_row(x=(1, 2), y=MISSING)
+        r.findings["exponent"] = 2.0
+        payload = r.to_payload()
+        assert payload["columns"] == ["x", "y"]
+        assert payload["rows"] == [{"x": [1, 2], "y": None}]
+        assert payload["findings"] == {"exponent": 2.0}
 
     def test_str_renders_table(self):
         r = self.make()

@@ -1,0 +1,38 @@
+"""Module-level experiment runners for the process-pool tests.
+
+Workers unpickle submitted specs by reference, so these callables must
+live in an importable module rather than inside a test function.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.harness import ExperimentResult
+from repro.observability.context import RunContext
+
+
+def passing_run(
+    scale: int = 3, seed: int = 0, context: RunContext | None = None
+) -> ExperimentResult:
+    ctx = RunContext.ensure(context, "T-pass")
+    counter = ctx.new_counter()
+    result = ExperimentResult(
+        experiment_id="T-pass", claim="test experiment", columns=("i", "sq")
+    )
+    with ctx.span("T/loop", scale=scale):
+        for i in range(scale):
+            counter.charge()
+            result.add_row(i=i, sq=i * i)
+    result.findings["loop_exponent"] = 2.0
+    result.findings["verdict"] = "PASS"
+    return result
+
+
+def failing_run(seed: int = 0) -> ExperimentResult:
+    raise ValueError("intentional experiment failure")
+
+
+def sleeping_run(duration: float = 60.0) -> ExperimentResult:
+    time.sleep(duration)
+    return passing_run()

@@ -1,0 +1,66 @@
+"""Tests for the content-addressed result cache."""
+
+from repro.observability.cache import ResultCache, cache_key, source_hash
+
+from .helpers import failing_run, passing_run
+
+PAYLOAD = {"results": [], "cost_total": 3, "spans": []}
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        sources = source_hash([passing_run])
+        assert cache_key("E1", {"a": 1}, 0, sources) == cache_key(
+            "E1", {"a": 1}, 0, sources
+        )
+
+    def test_sensitive_to_every_component(self):
+        sources = source_hash([passing_run])
+        base = cache_key("E1", {"a": 1}, 0, sources)
+        assert cache_key("E2", {"a": 1}, 0, sources) != base
+        assert cache_key("E1", {"a": 2}, 0, sources) != base
+        assert cache_key("E1", {"a": 1}, 7, sources) != base
+        assert cache_key("E1", {"a": 1}, 0, "0" * 64) != base
+
+
+class TestSourceHash:
+    def test_stable_for_same_runners(self):
+        assert source_hash([passing_run]) == source_hash([passing_run])
+
+    def test_same_module_runners_share_a_hash(self):
+        # Both helpers live in one module; the hash covers module source,
+        # so any edit to either invalidates both — conservatively.
+        assert source_hash([passing_run]) == source_hash([failing_run])
+
+    def test_differs_across_modules(self):
+        from repro.experiments import exp_hypotheses
+
+        assert source_hash([passing_run]) != source_hash([exp_hypotheses.run])
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).load("f" * 64) is None
+
+    def test_store_then_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("f" * 64, PAYLOAD)
+        loaded = cache.load("f" * 64)
+        assert loaded is not None
+        assert loaded["cost_total"] == 3
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("f" * 64, PAYLOAD)
+        (tmp_path / ("f" * 64 + ".json")).write_text("{not json")
+        assert cache.load("f" * 64) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ("f" * 64 + ".json")).write_text('{"schema": "other/0"}')
+        assert cache.load("f" * 64) is None
+
+    def test_store_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("f" * 64, PAYLOAD)
+        assert not list(tmp_path.glob("*.tmp"))

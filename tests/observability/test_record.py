@@ -1,0 +1,201 @@
+"""Tests for run records: serialization, validation, comparison."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.observability.record import (
+    SCHEMA,
+    ExperimentRun,
+    RunRecord,
+    compare_records,
+    jsonify,
+    render_result_payload,
+    strip_volatile,
+    validate_record,
+)
+
+
+def make_entry(key="E1", status="ok", findings=None, error=None):
+    findings = findings if findings is not None else {"verdict": "PASS"}
+    return ExperimentRun(
+        key=key,
+        status=status,
+        seed=0,
+        parameters={"run": {"seed": 0}},
+        source_hash="a" * 64,
+        cache_key="b" * 64,
+        cost_total=10,
+        elapsed_s=0.5,
+        spans=[
+            {"name": f"{key}/run", "depth": 0, "attributes": {}, "ops": 10,
+             "elapsed_s": 0.5}
+        ],
+        results=[
+            {
+                "experiment_id": f"{key}-test",
+                "claim": "claim",
+                "columns": ["n", "ops"],
+                "rows": [{"n": 1, "ops": 3}],
+                "findings": findings,
+            }
+        ],
+        error=error,
+    )
+
+
+def make_record(entries=None):
+    record = RunRecord(
+        ids=["E1"], parallel=2, cache_enabled=True, created_at="2026-01-01T00:00:00"
+    )
+    record.experiments = entries if entries is not None else [make_entry()]
+    return record
+
+
+class TestJsonify:
+    def test_scalars_pass_through(self):
+        assert jsonify(True) is True
+        assert jsonify(3) == 3
+        assert jsonify(2.5) == 2.5
+        assert jsonify(None) is None
+
+    def test_tuples_become_lists(self):
+        assert jsonify((1, (2, 3))) == [1, [2, 3]]
+
+    def test_mapping_keys_become_strings(self):
+        assert jsonify({3: 1.5, "a": (1,)}) == {"3": 1.5, "a": [1]}
+
+    def test_sets_sorted_deterministically(self):
+        assert jsonify({3, 1, 2}) == jsonify({2, 3, 1})
+
+    def test_unknown_objects_reprd(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert jsonify(Odd()) == "<odd>"
+
+
+class TestRunRecord:
+    def test_roundtrip_through_dict(self):
+        record = make_record()
+        clone = RunRecord.from_dict(json.loads(record.to_json()))
+        assert clone.to_dict() == record.to_dict()
+
+    def test_from_dict_rejects_invalid(self):
+        with pytest.raises(InvalidInstanceError):
+            RunRecord.from_dict({"schema": "nope"})
+
+    def test_canonical_strips_volatile_keys(self):
+        canonical = make_record().canonical_json()
+        assert "created_at" not in canonical
+        assert "elapsed_s" not in canonical
+
+    def test_canonical_ignores_timing_differences(self):
+        slow, fast = make_record(), make_record()
+        slow.experiments[0].elapsed_s = 99.0
+        slow.created_at = "2027-12-31T23:59:59"
+        assert slow.canonical_json() == fast.canonical_json()
+
+    def test_failures_property(self):
+        ok = make_entry("E1")
+        failed = make_entry("E2", status="failed", error="ValueError: x")
+        verdict_fail = make_entry("E3", findings={"verdict": "FAIL"})
+        record = make_record([ok, failed, verdict_fail])
+        assert [run.key for run in record.failures] == ["E2", "E3"]
+
+    def test_strip_volatile_is_recursive(self):
+        nested = {"a": [{"elapsed_s": 1, "keep": 2}], "created_at": "x"}
+        assert strip_volatile(nested) == {"a": [{"keep": 2}]}
+
+
+class TestValidateRecord:
+    def test_valid_record_has_no_problems(self):
+        assert validate_record(make_record().to_dict()) == []
+
+    def test_schema_tag_checked(self):
+        payload = make_record().to_dict()
+        payload["schema"] = "other/9"
+        assert any("schema" in p for p in validate_record(payload))
+
+    def test_bad_status_flagged(self):
+        payload = make_record().to_dict()
+        payload["experiments"][0]["status"] = "exploded"
+        assert any("status" in p for p in validate_record(payload))
+
+    def test_failed_requires_error(self):
+        entry = make_entry(status="failed", error=None)
+        payload = make_record([entry]).to_dict()
+        assert any("error: required" in p for p in validate_record(payload))
+
+    def test_row_keys_must_match_columns(self):
+        payload = make_record().to_dict()
+        payload["experiments"][0]["results"][0]["rows"][0] = {"n": 1}
+        assert any("keys do not match columns" in p for p in validate_record(payload))
+
+    def test_malformed_span_flagged(self):
+        payload = make_record().to_dict()
+        payload["experiments"][0]["spans"][0] = {"name": "x"}
+        assert any("malformed span" in p for p in validate_record(payload))
+
+
+class TestCompareRecords:
+    def old_and_new(self, old_findings, new_findings):
+        old = make_record([make_entry(findings=old_findings)]).to_dict()
+        new = make_record([make_entry(findings=new_findings)]).to_dict()
+        return old, new
+
+    def test_identical_records_have_no_drift(self):
+        old, new = self.old_and_new({"verdict": "PASS"}, {"verdict": "PASS"})
+        diff = compare_records(old, new)
+        assert not diff.has_drift
+        assert "no finding differences" in diff.render()
+
+    def test_exponent_drift_beyond_tolerance(self):
+        old, new = self.old_and_new(
+            {"fit_exponent": 2.0, "verdict": "PASS"},
+            {"fit_exponent": 2.4, "verdict": "PASS"},
+        )
+        diff = compare_records(old, new, tolerance=0.15)
+        assert diff.has_drift
+        assert diff.drifted == [("E1-test", "fit_exponent", 2.0, 2.4)]
+
+    def test_exponent_change_within_tolerance_ok(self):
+        old, new = self.old_and_new(
+            {"slope": 2.0, "verdict": "PASS"}, {"slope": 2.1, "verdict": "PASS"}
+        )
+        assert not compare_records(old, new, tolerance=0.15).has_drift
+
+    def test_verdict_regression_is_drift(self):
+        old, new = self.old_and_new({"verdict": "PASS"}, {"verdict": "FAIL"})
+        diff = compare_records(old, new)
+        assert diff.has_drift
+        assert diff.verdict_changes == [("E1-test", "PASS", "FAIL")]
+
+    def test_verdict_improvement_is_not_drift(self):
+        old, new = self.old_and_new({"verdict": "FAIL"}, {"verdict": "PASS"})
+        assert not compare_records(old, new).has_drift
+
+    def test_non_exponent_changes_reported_not_drift(self):
+        old, new = self.old_and_new(
+            {"count": 5, "verdict": "PASS"}, {"count": 6, "verdict": "PASS"}
+        )
+        diff = compare_records(old, new)
+        assert not diff.has_drift
+        assert diff.changed == [("E1-test", "count", 5, 6)]
+
+    def test_added_and_removed_results(self):
+        old = make_record([make_entry("E1")]).to_dict()
+        new = make_record([make_entry("E2")]).to_dict()
+        diff = compare_records(old, new)
+        assert diff.added == ["E2-test"]
+        assert diff.removed == ["E1-test"]
+
+
+class TestRenderResultPayload:
+    def test_renders_like_live_result(self):
+        payload = make_entry().results[0]
+        text = render_result_payload(payload)
+        assert "E1-test" in text and "claim" in text
+        assert "verdict = PASS" in text

@@ -1,0 +1,121 @@
+"""Tests for the process-pool experiment runner: graceful degradation,
+caching, and record determinism."""
+
+from repro.observability.cache import ResultCache
+from repro.observability.runner import ExperimentSpec, execute_spec, run_specs
+
+from .helpers import failing_run, passing_run, sleeping_run
+
+PASSING = ExperimentSpec("T1", (passing_run,), seed=3)
+FAILING = ExperimentSpec("T2", (failing_run,))
+SLEEPING = ExperimentSpec("T3", (sleeping_run,))
+
+
+class TestExperimentSpec:
+    def test_parameters_resolve_defaults_and_seed(self):
+        parameters = PASSING.parameters()
+        assert parameters == {"passing_run": {"scale": 3, "seed": 3}}
+
+    def test_context_excluded_from_parameters(self):
+        for kwargs in PASSING.parameters().values():
+            assert "context" not in kwargs
+
+
+class TestExecuteSpec:
+    def test_payload_shape(self):
+        payload = execute_spec(PASSING)
+        assert set(payload) == {"results", "cost_total", "spans", "elapsed_s"}
+        (result,) = payload["results"]
+        assert result["experiment_id"] == "T-pass"
+        assert result["findings"]["verdict"] == "PASS"
+        assert payload["cost_total"] == 3  # one charge per loop iteration
+
+    def test_spans_include_runner_and_inner_phases(self):
+        names = [s["name"] for s in execute_spec(PASSING)["spans"]]
+        assert names == ["T1/passing_run", "T/loop"]
+
+
+class TestRunSpecs:
+    def test_single_spec_ok(self):
+        record = run_specs([PASSING])
+        (entry,) = record.experiments
+        assert entry.status == "ok"
+        assert entry.succeeded
+        assert entry.cost_total == 3
+        assert record.failures == []
+
+    def test_failure_recorded_and_run_continues(self):
+        record = run_specs([FAILING, PASSING], parallel=2)
+        failed, ok = record.experiments
+        assert failed.status == "failed"
+        assert "ValueError: intentional experiment failure" in failed.error
+        assert failed.results == []
+        assert ok.status == "ok"
+        assert [run.key for run in record.failures] == ["T2"]
+
+    def test_timeout_recorded_and_run_continues(self):
+        record = run_specs([SLEEPING, PASSING], parallel=2, timeout=1.0)
+        timed_out, ok = record.experiments
+        assert timed_out.status == "timeout"
+        assert "timeout" in timed_out.error
+        assert ok.status == "ok"
+
+    def test_on_complete_called_in_spec_order(self):
+        seen = []
+        run_specs([FAILING, PASSING], parallel=2, on_complete=lambda e: seen.append(e.key))
+        assert seen == ["T2", "T1"]
+
+    def test_record_is_valid_against_schema(self):
+        from repro.observability.record import validate_record
+
+        record = run_specs([PASSING, FAILING], parallel=2)
+        assert validate_record(record.to_dict()) == []
+
+
+class TestCaching:
+    def test_second_run_replays_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_specs([PASSING], cache=cache)
+        second = run_specs([PASSING], cache=cache)
+        assert first.experiments[0].status == "ok"
+        assert second.experiments[0].status == "cached"
+        assert second.experiments[0].results == first.experiments[0].results
+        assert second.experiments[0].cost_total == first.experiments[0].cost_total
+
+    def test_failed_runs_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_specs([FAILING], cache=cache)
+        again = run_specs([FAILING], cache=cache)
+        assert again.experiments[0].status == "failed"
+
+    def test_seed_change_misses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_specs([PASSING], cache=cache)
+        reseeded = ExperimentSpec("T1", (passing_run,), seed=9)
+        record = run_specs([reseeded], cache=cache)
+        assert record.experiments[0].status == "ok"
+
+
+class TestDeterminism:
+    def test_two_runs_produce_byte_identical_canonical_records(self):
+        first = run_specs([PASSING, FAILING], parallel=2)
+        second = run_specs([PASSING, FAILING], parallel=2)
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_real_experiment_record_is_deterministic(self):
+        from repro.experiments.__main__ import SPECS
+
+        first = run_specs([SPECS["E13"]])
+        second = run_specs([SPECS["E13"]])
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_cached_and_live_runs_agree_canonically(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        live = run_specs([PASSING], cache=cache)
+        cached = run_specs([PASSING], cache=cache)
+        live_dict = live.canonical_dict()
+        cached_dict = cached.canonical_dict()
+        # Status legitimately differs; everything measured must not.
+        live_dict["experiments"][0].pop("status")
+        cached_dict["experiments"][0].pop("status")
+        assert live_dict == cached_dict

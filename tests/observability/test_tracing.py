@@ -1,0 +1,92 @@
+"""Tests for tracing spans and the ambient-trace mechanism."""
+
+from repro.counting import CostCounter
+from repro.observability.tracing import (
+    TraceContext,
+    activate,
+    current_trace,
+    span,
+)
+
+
+class TestTraceContext:
+    def test_records_name_attributes_and_ops_delta(self):
+        trace = TraceContext()
+        counter = CostCounter()
+        counter.charge(5)
+        with trace.span("phase", counter=counter, n=64):
+            counter.charge(7)
+        assert len(trace.spans) == 1
+        recorded = trace.spans[0]
+        assert recorded.name == "phase"
+        assert recorded.attributes == {"n": 64}
+        assert recorded.ops == 7  # only charges inside the span
+        assert recorded.elapsed_s >= 0.0
+
+    def test_nesting_depth(self):
+        trace = TraceContext()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        depths = {s.name: s.depth for s in trace.spans}
+        assert depths == {"outer": 0, "inner": 1}
+
+    def test_payload_shape(self):
+        trace = TraceContext()
+        with trace.span("p", counter=None, k=3):
+            pass
+        (payload,) = trace.to_payload()
+        assert set(payload) == {"name", "depth", "attributes", "ops", "elapsed_s"}
+
+    def test_span_recorded_even_when_body_raises(self):
+        trace = TraceContext()
+        try:
+            with trace.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert trace.spans[0].elapsed_s >= 0.0
+        assert trace._depth == 0
+
+
+class TestAmbientSpan:
+    def test_noop_without_active_trace(self):
+        assert current_trace() is None
+        with span("ignored", n=1) as record:
+            assert record is None
+
+    def test_reports_into_activated_trace(self):
+        trace = TraceContext()
+        with activate(trace):
+            assert current_trace() is trace
+            with span("solver", m=2) as record:
+                assert record is not None
+        assert current_trace() is None
+        assert [s.name for s in trace.spans] == ["solver"]
+
+    def test_activation_restores_previous_trace(self):
+        outer, inner = TraceContext(), TraceContext()
+        with activate(outer):
+            with activate(inner):
+                with span("x"):
+                    pass
+            assert current_trace() is outer
+        assert [s.name for s in inner.spans] == ["x"]
+        assert outer.spans == []
+
+
+class TestInstrumentedSolvers:
+    def test_generic_join_spans_land_in_active_trace(self):
+        from repro.generators.agm import tight_agm_database
+        from repro.relational.query import JoinQuery
+        from repro.relational.wcoj import generic_join
+
+        query = JoinQuery.triangle()
+        database = tight_agm_database(query, 16)
+        trace = TraceContext()
+        counter = CostCounter()
+        with activate(trace):
+            generic_join(query, database, counter=counter)
+        names = [s.name for s in trace.spans]
+        assert names == ["generic_join"]
+        assert trace.spans[0].ops == counter.total > 0

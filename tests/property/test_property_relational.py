@@ -87,3 +87,28 @@ def test_join_with_self_is_identity(tuples):
     r = Relation("R", ("a", "b"), tuples)
     joined = hash_join(r, Relation("R2", ("a", "b"), tuples))
     assert normalize(joined, ("a", "b")) == set(r.tuples)
+
+
+@given(
+    shape=st.sampled_from(sorted(SHAPES)),
+    size=st.integers(1, 15),
+    domain=st.integers(1, 5),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_generic_join_invariant_under_attribute_order(shape, size, domain, seed):
+    """Any permutation of the attribute order yields the same answer set
+    — the worst-case-optimality claim is order-free (Theorem 3.3)."""
+    from itertools import permutations
+
+    query = SHAPES[shape]()
+    db = uniform_random_database(query, size, domain, seed=seed)
+    expected = normalize(generic_join(query, db), query.attributes)
+    for order in permutations(query.attributes):
+        full = normalize(
+            generic_join(query, db, attribute_order=order), query.attributes
+        )
+        assert full == expected
+        assert boolean_generic_join(query, db, attribute_order=order) == bool(
+            expected
+        )

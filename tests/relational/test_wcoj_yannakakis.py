@@ -89,6 +89,51 @@ class TestGenericJoin:
             assert boolean_generic_join(q, db) == (len(generic_join(q, db)) > 0)
 
 
+class TestValidationUnified:
+    """Both Generic Join entry points share one validation contract.
+
+    Regression: ``boolean_generic_join`` used to skip the permutation
+    check entirely (crashing deep in the recursion on malformed
+    orders), and an ordered attribute occurring in no atom raised
+    IndexError instead of SchemaError."""
+
+    def make(self):
+        return JoinQuery.triangle(), skewed_triangle_database(4)
+
+    def test_boolean_rejects_truncated_order(self):
+        q, db = self.make()
+        with pytest.raises(SchemaError):
+            boolean_generic_join(q, db, attribute_order=("a1", "a2"))
+
+    def test_both_reject_order_with_extra_attribute(self):
+        for fn in (generic_join, boolean_generic_join):
+            q, db = self.make()
+            with pytest.raises(SchemaError):
+                fn(q, db, attribute_order=("a1", "a2", "a3", "a9"))
+
+    def test_both_reject_order_with_foreign_attribute(self):
+        for fn in (generic_join, boolean_generic_join):
+            q, db = self.make()
+            with pytest.raises(SchemaError):
+                fn(q, db, attribute_order=("a1", "a2", "zz"))
+
+    def test_both_reject_duplicate_in_order(self):
+        for fn in (generic_join, boolean_generic_join):
+            q, db = self.make()
+            with pytest.raises(SchemaError):
+                fn(q, db, attribute_order=("a1", "a2", "a2"))
+
+    def test_attribute_in_no_atom_raises_schema_error(self):
+        # Reachable only through a query whose attribute tuple was
+        # widened past its atoms; the defensive check must still speak
+        # SchemaError, not IndexError.
+        for fn in (generic_join, boolean_generic_join):
+            q, db = self.make()
+            q.attributes = ("a1", "a2", "a3", "a9")
+            with pytest.raises(SchemaError):
+                fn(q, db)
+
+
 class TestYannakakis:
     def test_cyclic_query_rejected(self):
         q = JoinQuery.triangle()
