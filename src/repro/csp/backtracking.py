@@ -10,6 +10,7 @@ the ablation benchmark.
 from __future__ import annotations
 
 from ..counting import CostCounter, charge
+from ..observability.metrics import SMALL_BUCKETS, current_metrics
 from ..observability.tracing import span
 from .consistency import enforce_gac, initial_domains
 from .instance import CSPInstance, Value, Variable
@@ -44,6 +45,17 @@ def solve_backtracking(
     constraints_of = {
         v: instance.constraints_on(v) for v in instance.variables
     }
+
+    # Search-shape distributions (no-op outside the experiment
+    # runtime): how many children each node actually expands, and how
+    # deep the search is when it falls back — the two quantities that
+    # separate a near-backtrack-free run from thrashing.
+    registry = current_metrics()
+    branch_hist = backtrack_hist = node_counter = None
+    if registry is not None:
+        branch_hist = registry.histogram("backtracking.branching_factor", SMALL_BUCKETS)
+        backtrack_hist = registry.histogram("backtracking.backtrack_depth", SMALL_BUCKETS)
+        node_counter = registry.counter("backtracking.nodes")
 
     def pick_variable() -> Variable:
         unassigned = [v for v in instance.variables if v not in assignment]
@@ -87,11 +99,15 @@ def solve_backtracking(
         nonlocal domains
         if len(assignment) == instance.num_variables:
             return dict(assignment)
+        if node_counter is not None:
+            node_counter.inc()
+        children_expanded = 0
         variable = pick_variable()
         for value in sorted(domains[variable], key=repr):
             charge(counter)
             if not consistent(variable, value):
                 continue
+            children_expanded += 1
             assignment[variable] = value
             if maintain_gac:
                 snapshot = domains
@@ -115,6 +131,9 @@ def solve_backtracking(
                     for var, val in removals:
                         domains[var].add(val)
             del assignment[variable]
+        if branch_hist is not None:
+            branch_hist.observe(children_expanded)
+            backtrack_hist.observe(len(assignment))
         return None
 
     with span(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from itertools import product
 
 from ..counting import CostCounter, charge
+from ..observability.metrics import current_metrics
 from ..observability.tracing import span
 from .instance import CSPInstance, Value, Variable
 
@@ -25,13 +26,22 @@ def solve_bruteforce(
     """
     domain = sorted(instance.domain, key=repr)
     variables = instance.variables
+    registry = current_metrics()
+    tried = 0
     with span("solve_bruteforce", counter=counter, variables=len(variables)):
-        for values in product(domain, repeat=len(variables)):
-            charge(counter)
-            assignment = dict(zip(variables, values))
-            if all(c.satisfied_by(assignment) for c in instance.constraints):
-                return assignment
-        return None
+        try:
+            for values in product(domain, repeat=len(variables)):
+                charge(counter)
+                tried += 1
+                assignment = dict(zip(variables, values))
+                if all(c.satisfied_by(assignment) for c in instance.constraints):
+                    return assignment
+            return None
+        finally:
+            # The exhaustive baseline's only shape is its sheer volume;
+            # record it so reports can relate it to the pruned solvers.
+            if registry is not None:
+                registry.counter("bruteforce.assignments_tried").inc(tried)
 
 
 def count_bruteforce(instance: CSPInstance, counter: CostCounter | None = None) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..counting import CostCounter, charge
 from ..errors import InvalidInstanceError
+from ..observability.metrics import SMALL_BUCKETS, current_metrics
 from ..observability.tracing import span
 from ..treewidth.decomposition import TreeDecomposition
 from ..treewidth.heuristics import treewidth_min_fill
@@ -88,6 +89,20 @@ def _run_dp(
     decomposition.validate(instance.primal_graph())
     nice = make_nice(decomposition)
 
+    # DP-shape distributions (no-op outside the experiment runtime):
+    # bag sizes bound the |D|^{k+1} factor per node, table sizes are
+    # the realized (often far smaller) state counts.
+    registry = current_metrics()
+    bag_hist = table_hist = None
+    if registry is not None:
+        bag_hist = registry.histogram("treewidth.bag_size", SMALL_BUCKETS)
+        table_hist = registry.histogram("treewidth.table_size")
+        registry.gauge("treewidth.width").set_max(
+            max((len(node.bag) for node in nice.nodes), default=1) - 1
+        )
+        for node in nice.nodes:
+            bag_hist.observe(len(node.bag))
+
     domain = sorted(instance.domain, key=repr)
     if instance.num_variables and not domain:
         return None, nice, decomposition
@@ -143,6 +158,8 @@ def _run_dp(
             tables.append(new_table)
         else:  # pragma: no cover - validate() precludes this
             raise InvalidInstanceError(f"unexpected node kind {node.kind!r}")
+        if table_hist is not None:
+            table_hist.observe(len(tables[-1]))
 
     root_table = tables[nice.root]
     if not root_table:

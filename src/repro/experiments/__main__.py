@@ -2,18 +2,26 @@
 
 Usage::
 
-    python -m repro.experiments list
+    python -m repro.experiments list [--json]
     python -m repro.experiments run E3 E4
     python -m repro.experiments run all --parallel 4 --json run.json
     python -m repro.experiments run all --compare results/run-0001.json
     python -m repro.experiments validate results/run-0002.json
+    python -m repro.experiments report --latest --html dashboard.html
+    python -m repro.experiments compare --against-baselines
+    python -m repro.experiments baseline E1 E3 E4 E9 E11 E18
+    python -m repro.experiments export --chrome-trace trace.json
 
 Each run prints every experiment's claim, row table, and findings, and
 persists a versioned :class:`~repro.observability.record.RunRecord`
 under ``--results-dir`` (or to ``--json``). Re-runs replay unchanged
 experiments from the content-addressed cache unless ``--no-cache``.
-Exit codes: 0 all experiments succeeded, 1 failures/timeouts/FAIL
-verdicts/drift, 2 usage errors (unknown experiment id).
+``report`` renders persisted records as terminal/markdown/HTML
+dashboards; ``compare`` gates a record against another record or the
+committed golden baselines; ``baseline`` regenerates those baselines;
+``export`` emits span trees as Chrome ``trace_event`` JSON.
+Exit codes: 0 success, 1 failures/timeouts/FAIL verdicts/drift, 2
+usage errors (unknown experiment id, missing record).
 """
 
 from __future__ import annotations
@@ -25,11 +33,24 @@ from collections.abc import Callable
 from pathlib import Path
 
 from ..observability.cache import ResultCache
+from ..observability.chrome_trace import render_chrome_trace
 from ..observability.record import (
-    RunRecord,
     compare_records,
     render_result_payload,
     validate_record,
+)
+from ..observability.regression import (
+    DEFAULT_BASELINES_DIR,
+    check_against_baselines,
+    gate_failed,
+    render_checks,
+    write_baselines,
+)
+from ..observability.report import (
+    load_record_payload,
+    render_html,
+    render_markdown,
+    render_terminal,
 )
 from ..observability.runner import ExperimentSpec, run_specs
 from . import (
@@ -87,13 +108,58 @@ def _ordered_ids() -> list[str]:
     return sorted(SPECS, key=lambda k: int(k[1:]))
 
 
-def list_experiments() -> None:
+def _paper_references() -> dict[str, list[dict]]:
+    """Spec key → the paper sections claiming it, from the registry
+    (:data:`repro.complexity.paper_map.PAPER_MAP`)."""
+    from ..complexity.paper_map import PAPER_MAP
+
+    references: dict[str, list[dict]] = {key: [] for key in SPECS}
+    for section in PAPER_MAP:
+        for experiment_id in section.experiments:
+            key = experiment_id.split("-")[0]
+            if key in references:
+                references[key].append(
+                    {
+                        "section": section.section,
+                        "title": section.title,
+                        "experiment_id": experiment_id,
+                    }
+                )
+    return references
+
+
+def _summary(key: str) -> str:
+    # Instantiate nothing; read the module docstring's first line.
+    runner = SPECS[key].runners[0]
+    doc = (sys.modules[runner.__module__].__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+def list_experiments(as_json: bool = False) -> None:
+    references = _paper_references()
+    if as_json:
+        listing = [
+            {
+                "id": key,
+                "summary": _summary(key),
+                "runners": [runner.__name__ for runner in SPECS[key].runners],
+                "paper": [
+                    {"section": ref["section"], "title": ref["title"]}
+                    for ref in references[key]
+                ],
+            }
+            for key in _ordered_ids()
+        ]
+        print(json.dumps(listing, indent=2))
+        return
     for key in _ordered_ids():
-        # Instantiate nothing; read the module docstring's first line.
-        runner = SPECS[key].runners[0]
-        doc = (sys.modules[runner.__module__].__doc__ or "").strip().splitlines()
-        summary = doc[0] if doc else ""
-        print(f"{key:>4}  {summary}")
+        sections = ", ".join(
+            dict.fromkeys(
+                f"{ref['section']} {ref['title']}" for ref in references[key]
+            )
+        )
+        suffix = f"  [{sections}]" if sections else ""
+        print(f"{key:>4}  {_summary(key)}{suffix}")
 
 
 def resolve_ids(ids: list[str]) -> list[str] | None:
@@ -110,13 +176,38 @@ def resolve_ids(ids: list[str]) -> list[str] | None:
     return resolved
 
 
-def _next_record_path(results_dir: Path) -> Path:
-    taken = []
+def _numbered_records(results_dir: Path) -> list[Path]:
+    numbered = []
     for existing in results_dir.glob("run-*.json"):
         suffix = existing.stem.removeprefix("run-")
         if suffix.isdigit():
-            taken.append(int(suffix))
-    return results_dir / f"run-{max(taken, default=0) + 1:04d}.json"
+            numbered.append((int(suffix), existing))
+    return [path for __, path in sorted(numbered)]
+
+
+def _next_record_path(results_dir: Path) -> Path:
+    existing = _numbered_records(results_dir)
+    last = int(existing[-1].stem.removeprefix("run-")) if existing else 0
+    return results_dir / f"run-{last + 1:04d}.json"
+
+
+def _resolve_record_paths(
+    paths: list[str], latest: bool, results_dir: str
+) -> list[Path] | None:
+    """Record files named explicitly, or resolved from ``results_dir``
+    (the newest with ``--latest``, every numbered record otherwise).
+    None with a message when nothing is found."""
+    if paths:
+        return [Path(p) for p in paths]
+    numbered = _numbered_records(Path(results_dir))
+    if not numbered:
+        print(
+            f"no run-*.json records under {results_dir}/; "
+            "run experiments first or name a record file",
+            file=sys.stderr,
+        )
+        return None
+    return [numbered[-1]] if latest else numbered
 
 
 def _print_entry(entry) -> None:
@@ -178,6 +269,89 @@ def run_command(args: argparse.Namespace) -> int:
     return status
 
 
+def report_command(args: argparse.Namespace) -> int:
+    paths = _resolve_record_paths(args.records, args.latest, args.results_dir)
+    if paths is None:
+        return 2
+    records = [(str(path), load_record_payload(path)) for path in paths]
+    print(render_terminal(records))
+    if args.markdown:
+        Path(args.markdown).write_text(render_markdown(records), encoding="utf-8")
+        print(f"markdown report written to {args.markdown}")
+    if args.html:
+        Path(args.html).write_text(render_html(records), encoding="utf-8")
+        print(f"html dashboard written to {args.html}")
+    return 0
+
+
+def compare_command(args: argparse.Namespace) -> int:
+    if bool(args.against) == bool(args.against_baselines):
+        print(
+            "compare needs exactly one of --against OLD or --against-baselines",
+            file=sys.stderr,
+        )
+        return 2
+    paths = _resolve_record_paths(
+        [args.record] if args.record else [], latest=True, results_dir=args.results_dir
+    )
+    if paths is None:
+        return 2
+    payload = load_record_payload(paths[0])
+    if args.against_baselines:
+        checks = check_against_baselines(
+            payload, args.baselines_dir, tolerance=args.tolerance
+        )
+        print(f"record: {paths[0]}")
+        print(render_checks(checks, args.baselines_dir))
+        return 1 if gate_failed(checks) else 0
+    old_payload = load_record_payload(args.against)
+    diff = compare_records(old_payload, payload, tolerance=args.tolerance)
+    print(diff.render())
+    if diff.has_drift:
+        print("findings drifted beyond tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
+def export_command(args: argparse.Namespace) -> int:
+    paths = _resolve_record_paths(
+        [args.record] if args.record else [], latest=True, results_dir=args.results_dir
+    )
+    if paths is None:
+        return 2
+    payload = load_record_payload(paths[0])
+    text = render_chrome_trace(payload, indent=2) + "\n"
+    if args.chrome_trace == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.chrome_trace).write_text(text, encoding="utf-8")
+        print(f"chrome trace written to {args.chrome_trace} (1 us = 1 op)")
+    return 0
+
+
+def baseline_command(args: argparse.Namespace) -> int:
+    ids = resolve_ids(args.ids)
+    if ids is None:
+        return 2
+    # Always execute fresh: a golden baseline must come from the code
+    # as it is now, never from a cache replay.
+    record = run_specs(
+        [SPECS[key] for key in ids],
+        parallel=args.parallel,
+        timeout=args.timeout,
+        cache=None,
+    )
+    failures = record.failures
+    if failures:
+        summary = ", ".join(f"{run.key} ({run.status})" for run in failures)
+        print(f"not writing baselines; failed: {summary}", file=sys.stderr)
+        return 1
+    written = write_baselines(record, args.baselines_dir)
+    for path in written:
+        print(f"baseline written to {path}")
+    return 0
+
+
 def validate_command(path: str) -> int:
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     problems = validate_record(payload)
@@ -216,7 +390,11 @@ def main(argv: list[str] | None = None) -> int:
         description="Run the paper-reproduction experiments.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list experiment ids")
+    list_parser = sub.add_parser("list", help="list experiment ids")
+    list_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the listing as JSON (id, summary, runners, paper sections)",
+    )
 
     run_parser = sub.add_parser("run", help="run experiments by id")
     run_parser.add_argument("ids", nargs="+", help="experiment ids (e.g. E3) or 'all'")
@@ -225,8 +403,9 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes (default: 1)",
     )
     run_parser.add_argument(
-        "--json", metavar="PATH",
-        help="write the run record here instead of results-dir/run-NNNN.json",
+        "--json", nargs="?", const="", metavar="PATH",
+        help="persist the run record as JSON; with PATH, write it there "
+        "instead of results-dir/run-NNNN.json",
     )
     run_parser.add_argument(
         "--compare", metavar="OLD",
@@ -254,12 +433,105 @@ def main(argv: list[str] | None = None) -> int:
     )
     validate_parser.add_argument("path", help="run record to validate")
 
+    report_parser = sub.add_parser(
+        "report", help="render run records as terminal/markdown/HTML dashboards"
+    )
+    report_parser.add_argument(
+        "records", nargs="*", metavar="RECORD",
+        help="record files (default: every run-*.json under --results-dir)",
+    )
+    report_parser.add_argument(
+        "--latest", action="store_true",
+        help="report only the newest run-*.json under --results-dir",
+    )
+    report_parser.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="directory searched for records (default: results)",
+    )
+    report_parser.add_argument(
+        "--markdown", metavar="PATH", help="also write a markdown report here"
+    )
+    report_parser.add_argument(
+        "--html", metavar="PATH",
+        help="also write a self-contained HTML dashboard here",
+    )
+
+    compare_parser = sub.add_parser(
+        "compare", help="gate a record against another record or the baselines"
+    )
+    compare_parser.add_argument(
+        "record", nargs="?", metavar="RECORD",
+        help="record to check (default: newest run-*.json under --results-dir)",
+    )
+    compare_parser.add_argument(
+        "--against", metavar="OLD", help="diff findings against this record"
+    )
+    compare_parser.add_argument(
+        "--against-baselines", action="store_true",
+        help="gate each experiment against its committed golden baseline",
+    )
+    compare_parser.add_argument(
+        "--baselines-dir", default=DEFAULT_BASELINES_DIR, metavar="DIR",
+        help=f"baseline directory (default: {DEFAULT_BASELINES_DIR})",
+    )
+    compare_parser.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="directory searched for the default record (default: results)",
+    )
+    compare_parser.add_argument(
+        "--tolerance", type=float, default=0.15, metavar="T",
+        help="absolute exponent-drift tolerance (default: 0.15)",
+    )
+
+    export_parser = sub.add_parser(
+        "export", help="export a record's span trees as Chrome trace_event JSON"
+    )
+    export_parser.add_argument(
+        "record", nargs="?", metavar="RECORD",
+        help="record to export (default: newest run-*.json under --results-dir)",
+    )
+    export_parser.add_argument(
+        "--chrome-trace", required=True, metavar="PATH",
+        help="write the trace_event JSON here ('-' for stdout; 1 us = 1 op)",
+    )
+    export_parser.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="directory searched for the default record (default: results)",
+    )
+
+    baseline_parser = sub.add_parser(
+        "baseline", help="run experiments fresh and (re)write golden baselines"
+    )
+    baseline_parser.add_argument(
+        "ids", nargs="+", help="experiment ids (e.g. E3) or 'all'"
+    )
+    baseline_parser.add_argument(
+        "--baselines-dir", default=DEFAULT_BASELINES_DIR, metavar="DIR",
+        help=f"baseline directory (default: {DEFAULT_BASELINES_DIR})",
+    )
+    baseline_parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="worker processes (default: 1)",
+    )
+    baseline_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-experiment timeout in seconds (default: none)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
-        list_experiments()
+        list_experiments(as_json=args.json)
         return 0
     if args.command == "validate":
         return validate_command(args.path)
+    if args.command == "report":
+        return report_command(args)
+    if args.command == "compare":
+        return compare_command(args)
+    if args.command == "export":
+        return export_command(args)
+    if args.command == "baseline":
+        return baseline_command(args)
     return run_command(args)
 
 

@@ -134,11 +134,12 @@ def format_table(columns: Sequence[str], rows: Sequence[dict]) -> str:
     return "\n".join(lines)
 
 
-def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
-    """Least-squares slope of log y against log x.
+def fit_loglog(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares line through (log x, log y): (slope, intercept).
 
-    The measured analogue of "runs in O(x^e)": for cost series that are
-    genuinely polynomial the slope converges to the exponent.
+    The slope is the measured exponent; the intercept (natural log of
+    the constant factor) lets report dashboards draw the fitted curve
+    ``y = e^intercept · x^slope`` through the measured points.
     """
     if len(xs) != len(ys) or len(xs) < 2:
         raise InvalidInstanceError("need at least two (x, y) pairs")
@@ -146,8 +147,18 @@ def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
         raise InvalidInstanceError("log-log fit needs positive values")
     log_x = np.log(np.asarray(xs, dtype=float))
     log_y = np.log(np.asarray(ys, dtype=float))
-    slope, __ = np.polyfit(log_x, log_y, 1)
-    return float(slope)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    return float(slope), float(intercept)
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x.
+
+    The measured analogue of "runs in O(x^e)": for cost series that are
+    genuinely polynomial the slope converges to the exponent.
+    """
+    slope, __ = fit_loglog(xs, ys)
+    return slope
 
 
 def geometric_sweep(start: int, factor: float, count: int) -> list[int]:

@@ -1,23 +1,43 @@
 """Observability for the experiment runtime.
 
-Three layers, all machine-independent-first (operation counts, not
+Six layers, all machine-independent-first (operation counts, not
 wall-clock, are the persisted metric — see DESIGN.md):
 
 * :mod:`~repro.observability.tracing` — per-phase spans wired through
   the experiment harness and hot solver entry points;
+* :mod:`~repro.observability.metrics` — deterministic counters,
+  gauges, and fixed-bucket histograms of solver shape (probe depths,
+  branching factors, propagation chains, DP bag sizes);
 * :mod:`~repro.observability.record` — versioned, diffable JSON run
-  records (rows, findings, seeds, parameters, aggregated cost totals)
-  persisted under ``results/``;
+  records (rows, findings, seeds, parameters, aggregated cost totals,
+  metrics) persisted under ``results/``;
 * :mod:`~repro.observability.runner` + :mod:`~repro.observability.cache`
   — a process-pool runner with per-experiment timeouts, graceful
-  failure recording, and a content-addressed result cache.
+  failure recording, and a content-addressed result cache;
+* :mod:`~repro.observability.report` +
+  :mod:`~repro.observability.chrome_trace` — terminal/markdown/HTML
+  dashboards and Chrome ``trace_event`` flamegraph export;
+* :mod:`~repro.observability.regression` — the golden-baseline gate
+  that fails CI when measured exponents drift.
 """
 
 from __future__ import annotations
 
 from .cache import ResultCache, cache_key, source_hash
+from .chrome_trace import record_to_chrome_trace, render_chrome_trace
 from .context import RunContext
+from .metrics import (
+    DEFAULT_BUCKETS,
+    SMALL_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    activate_metrics,
+    current_metrics,
+)
 from .record import (
+    ACCEPTED_SCHEMAS,
     SCHEMA,
     ExperimentRun,
     RecordDiff,
@@ -27,28 +47,67 @@ from .record import (
     render_result_payload,
     validate_record,
 )
+from .regression import (
+    BaselineCheck,
+    check_against_baselines,
+    gate_failed,
+    load_baseline,
+    write_baselines,
+)
+from .report import (
+    ExponentSeries,
+    extract_exponent_series,
+    record_exponent_series,
+    render_histogram_text,
+    render_html,
+    render_markdown,
+    render_terminal,
+)
 from .runner import ExperimentSpec, execute_spec, run_specs
 from .tracing import Span, TraceContext, activate, current_trace, span
 
 __all__ = [
-    "SCHEMA",
+    "ACCEPTED_SCHEMAS",
+    "BaselineCheck",
+    "Counter",
+    "DEFAULT_BUCKETS",
     "ExperimentRun",
     "ExperimentSpec",
+    "ExponentSeries",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "RecordDiff",
     "ResultCache",
     "RunContext",
     "RunRecord",
+    "SCHEMA",
+    "SMALL_BUCKETS",
     "Span",
     "TraceContext",
     "activate",
+    "activate_metrics",
     "cache_key",
+    "check_against_baselines",
     "compare_records",
+    "current_metrics",
     "current_trace",
     "execute_spec",
+    "extract_exponent_series",
+    "gate_failed",
     "jsonify",
+    "load_baseline",
+    "record_exponent_series",
+    "record_to_chrome_trace",
+    "render_chrome_trace",
+    "render_histogram_text",
+    "render_html",
+    "render_markdown",
     "render_result_payload",
+    "render_terminal",
     "run_specs",
     "source_hash",
     "span",
     "validate_record",
+    "write_baselines",
 ]

@@ -1,0 +1,125 @@
+"""Run-record span trees as Chrome ``trace_event`` JSON.
+
+``python -m repro.experiments export --chrome-trace`` turns the flat
+span lists persisted in a run record back into trees (spans are
+recorded in opening order with their nesting depth) and emits them in
+the Trace Event Format that ``chrome://tracing``, Perfetto, and
+speedscope all read — a flamegraph view of where an experiment's
+operations went.
+
+Time axis: **1 microsecond = 1 charged operation.** Records persist
+machine-independent op counts, not wall-clock (DESIGN.md), so the
+exported trace is deterministic across machines; a span that charged
+no counter is given the total of its children, or 1 µs when it is a
+leaf. Each experiment becomes one named thread, laid out sequentially.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+
+@dataclass
+class _SpanNode:
+    """One reconstructed span with its children."""
+
+    payload: Mapping
+    children: list["_SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> int:
+        """Microseconds: own ops, or the children's total, min 1."""
+        own = int(self.payload.get("ops", 0))
+        nested = sum(child.duration for child in self.children)
+        return max(own, nested, 1)
+
+
+def build_span_forest(spans: Sequence[Mapping]) -> list[_SpanNode]:
+    """Rebuild the span tree from (order, depth) — the invariant the
+    tracer guarantees: a span's parent is the most recent span of
+    depth one less."""
+    forest: list[_SpanNode] = []
+    stack: list[_SpanNode] = []
+    for payload in spans:
+        node = _SpanNode(payload)
+        depth = int(payload.get("depth", 0))
+        del stack[depth:]
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            forest.append(node)
+        stack.append(node)
+    return forest
+
+
+def _emit(
+    node: _SpanNode, start: int, pid: int, tid: int, events: list[dict]
+) -> int:
+    """Append complete events for ``node`` rooted at ``start``; returns
+    the node's duration."""
+    duration = node.duration
+    attributes = dict(node.payload.get("attributes", {}))
+    attributes["ops"] = node.payload.get("ops", 0)
+    events.append(
+        {
+            "name": str(node.payload.get("name", "?")),
+            "ph": "X",
+            "ts": start,
+            "dur": duration,
+            "pid": pid,
+            "tid": tid,
+            "args": attributes,
+        }
+    )
+    cursor = start
+    for child in node.children:
+        cursor += _emit(child, cursor, pid, tid, events)
+    return duration
+
+
+def record_to_chrome_trace(payload: Mapping) -> dict:
+    """The whole record as a Trace Event Format document.
+
+    One thread per experiment entry (named after its key); within a
+    thread, sibling spans are laid out back to back on the synthetic
+    op-time axis.
+    """
+    events: list[dict] = []
+    pid = 1
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro experiments"},
+        }
+    )
+    for tid, entry in enumerate(payload.get("experiments", ()), start=1):
+        key = str(entry.get("key", f"experiment-{tid}"))
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"{key} ({entry.get('status', '?')})"},
+            }
+        )
+        cursor = 0
+        for root in build_span_forest(entry.get("spans", ())):
+            cursor += _emit(root, cursor, pid, tid, events)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "schema": payload.get("schema"),
+            "time_axis": "1 microsecond = 1 charged operation",
+        },
+    }
+
+
+def render_chrome_trace(payload: Mapping, indent: int | None = None) -> str:
+    return json.dumps(record_to_chrome_trace(payload), indent=indent, sort_keys=True)

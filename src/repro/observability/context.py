@@ -1,12 +1,14 @@
-"""Per-experiment run context: aggregated counters + tracing.
+"""Per-experiment run context: aggregated counters + tracing + metrics.
 
 Every experiment ``run(...)`` function accepts an injected
 ``context: RunContext | None``. The context hands out
 :class:`~repro.counting.CostCounter` instances (so per-measurement
-counts roll up into one per-experiment total), opens tracing spans, and
-carries the seed the runner resolved for the experiment. Calling an
-experiment directly without a context still works —
-:meth:`RunContext.ensure` builds a detached one on the fly.
+counts roll up into one per-experiment total), opens tracing spans,
+carries a :class:`~repro.observability.metrics.MetricsRegistry` for
+solver-shape distributions, and carries the seed the runner resolved
+for the experiment. Calling an experiment directly without a context
+still works — :meth:`RunContext.ensure` builds a detached one on the
+fly.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from contextlib import contextmanager
 from collections.abc import Iterator
 
 from ..counting import CostCounter
+from .metrics import MetricsRegistry, activate_metrics
 from .tracing import Span, TraceContext, activate
 
 
@@ -26,9 +29,11 @@ class RunContext:
         experiment_id: str,
         trace: TraceContext | None = None,
         seed: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.experiment_id = experiment_id
         self.trace = trace if trace is not None else TraceContext()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.seed = seed
         self._counters: list[CostCounter] = []
 
@@ -51,9 +56,10 @@ class RunContext:
 
     @contextmanager
     def activated(self) -> Iterator["RunContext"]:
-        """Make this context's trace ambient, so instrumented solver
-        entry points (``tracing.span``) report into it."""
-        with activate(self.trace):
+        """Make this context's trace and metrics registry ambient, so
+        instrumented solver entry points (``tracing.span``,
+        ``metrics.current_metrics``) report into it."""
+        with activate(self.trace), activate_metrics(self.metrics):
             yield self
 
     @property

@@ -28,8 +28,15 @@ import json
 from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 
-#: Version tag written into (and required from) every record.
-SCHEMA = "repro-run-record/1"
+#: Version tag written into every new record. Version 2 added the
+#: optional per-experiment ``metrics`` section (deterministic counters,
+#: gauges, fixed-bucket histograms); everything else is unchanged, so
+#: version-1 records still validate (see :data:`ACCEPTED_SCHEMAS`).
+SCHEMA = "repro-run-record/2"
+
+#: Schema tags :func:`validate_record` accepts. The bump from 1 to 2 is
+#: compatible: a v1 record is exactly a v2 record with no ``metrics``.
+ACCEPTED_SCHEMAS = frozenset({"repro-run-record/1", SCHEMA})
 
 #: Keys stripped from canonical serializations: anything that changes
 #: between byte-identical reruns (wall-clock, environment).
@@ -74,6 +81,7 @@ class ExperimentRun:
     cost_total: int = 0
     elapsed_s: float = 0.0
     spans: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
     results: list[dict] = field(default_factory=list)
     error: str | None = None
 
@@ -88,6 +96,7 @@ class ExperimentRun:
             "cost_total": self.cost_total,
             "elapsed_s": self.elapsed_s,
             "spans": self.spans,
+            "metrics": self.metrics,
             "results": self.results,
             "error": self.error,
         }
@@ -157,7 +166,7 @@ class RunRecord:
             ids=list(run["ids"]),
             parallel=run["parallel"],
             cache_enabled=run["cache_enabled"],
-            created_at=payload["created_at"],
+            created_at=payload.get("created_at", ""),
         )
         for entry in payload["experiments"]:
             record.experiments.append(
@@ -169,8 +178,9 @@ class RunRecord:
                     source_hash=entry["source_hash"],
                     cache_key=entry["cache_key"],
                     cost_total=entry["cost_total"],
-                    elapsed_s=entry["elapsed_s"],
+                    elapsed_s=entry.get("elapsed_s", 0.0),
                     spans=entry["spans"],
+                    metrics=entry.get("metrics", {}),
                     results=entry["results"],
                     error=entry["error"],
                 )
@@ -231,6 +241,78 @@ def _validate_result(problems: list[str], where: str, result) -> None:
     )
 
 
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_metrics(problems: list[str], where: str, metrics) -> None:
+    """The optional ``metrics`` section: counters, gauges, histograms.
+
+    Sections are each optional; absent sections mean no instrument of
+    that kind was registered. Histogram payloads must be internally
+    consistent (one more count than bucket bounds, totals adding up).
+    """
+    if not _check(problems, isinstance(metrics, Mapping), f"{where}: not an object"):
+        return
+    unknown = set(metrics) - {"counters", "gauges", "histograms"}
+    _check(problems, not unknown, f"{where}: unknown sections {sorted(unknown)}")
+    counters = metrics.get("counters", {})
+    if _check(
+        problems, isinstance(counters, Mapping), f"{where}.counters: not an object"
+    ):
+        for name, value in counters.items():
+            _check(
+                problems,
+                isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+                f"{where}.counters[{name}]: must be a non-negative integer",
+            )
+    gauges = metrics.get("gauges", {})
+    if _check(problems, isinstance(gauges, Mapping), f"{where}.gauges: not an object"):
+        for name, value in gauges.items():
+            ok = (
+                isinstance(value, Mapping)
+                and _is_number(value.get("value"))
+                and _is_number(value.get("max"))
+            )
+            _check(problems, ok, f"{where}.gauges[{name}]: malformed gauge")
+    histograms = metrics.get("histograms", {})
+    if not _check(
+        problems, isinstance(histograms, Mapping), f"{where}.histograms: not an object"
+    ):
+        return
+    for name, value in histograms.items():
+        inner = f"{where}.histograms[{name}]"
+        if not _check(problems, isinstance(value, Mapping), f"{inner}: not an object"):
+            continue
+        buckets = value.get("buckets")
+        counts = value.get("counts")
+        ok = (
+            isinstance(buckets, list)
+            and all(_is_number(b) for b in buckets)
+            and list(buckets) == sorted(buckets)
+            and len(set(buckets)) == len(buckets)
+        )
+        if not _check(problems, ok, f"{inner}.buckets: must be increasing numbers"):
+            continue
+        ok = (
+            isinstance(counts, list)
+            and len(counts) == len(buckets) + 1
+            and all(isinstance(c, int) and not isinstance(c, bool) and c >= 0 for c in counts)
+        )
+        if not _check(
+            problems,
+            ok,
+            f"{inner}.counts: must be len(buckets)+1 non-negative integers",
+        ):
+            continue
+        _check(
+            problems,
+            value.get("count") == sum(counts),
+            f"{inner}.count: must equal the sum of bucket counts",
+        )
+        _check(problems, _is_number(value.get("sum")), f"{inner}.sum: must be a number")
+
+
 def _validate_experiment(problems: list[str], index: int, entry) -> None:
     where = f"experiments[{index}]"
     if not _check(problems, isinstance(entry, Mapping), f"{where}: not an object"):
@@ -270,7 +352,7 @@ def _validate_experiment(problems: list[str], index: int, entry) -> None:
     )
     _check(
         problems,
-        isinstance(entry.get("elapsed_s"), (int, float)),
+        isinstance(entry.get("elapsed_s", 0.0), (int, float)),
         f"{where}.elapsed_s: must be a number",
     )
     spans = entry.get("spans")
@@ -281,10 +363,12 @@ def _validate_experiment(problems: list[str], index: int, entry) -> None:
                 and isinstance(span.get("name"), str)
                 and isinstance(span.get("depth"), int)
                 and isinstance(span.get("ops"), int)
-                and isinstance(span.get("elapsed_s"), (int, float))
+                and isinstance(span.get("elapsed_s", 0.0), (int, float))
                 and isinstance(span.get("attributes"), Mapping)
             )
             _check(problems, ok, f"{where}.spans[{i}]: malformed span")
+    if "metrics" in entry:
+        _validate_metrics(problems, f"{where}.metrics", entry["metrics"])
     results = entry.get("results")
     if _check(problems, isinstance(results, list), f"{where}.results: must be a list"):
         for i, result in enumerate(results):
@@ -309,13 +393,16 @@ def validate_record(payload) -> list[str]:
         return problems
     _check(
         problems,
-        payload.get("schema") == SCHEMA,
-        f"schema: expected {SCHEMA!r}, got {payload.get('schema')!r}",
+        payload.get("schema") in ACCEPTED_SCHEMAS,
+        f"schema: expected one of {sorted(ACCEPTED_SCHEMAS)}, "
+        f"got {payload.get('schema')!r}",
     )
+    # created_at is volatile: canonical serializations (and hence the
+    # committed baselines) legitimately omit it.
     _check(
         problems,
-        isinstance(payload.get("created_at"), str),
-        "created_at: missing or not a string",
+        isinstance(payload.get("created_at", ""), str),
+        "created_at: must be a string when present",
     )
     run = payload.get("run")
     if _check(problems, isinstance(run, Mapping), "run: missing or not an object"):

@@ -1,0 +1,165 @@
+"""Baseline regression gate for experiment findings.
+
+The paper's empirical content is the *shape* of each cost curve — which
+algorithm wins and with which measured exponent. This module pins those
+shapes: golden baseline records for a small pinned-seed sweep live
+under ``baselines/`` (tracked in git, unlike the gitignored
+``results/``), and ``python -m repro.experiments compare
+--against-baselines`` fails when a fresh run's exponent findings drift
+beyond tolerance or a verdict regresses to FAIL — the Fan–Koutris–Zhao
+discipline of treating the measured exponent itself as the regression
+metric (PAPERS.md).
+
+Baselines are stored one experiment per file (``baselines/E3.json``),
+each a *canonical* single-experiment run record: volatile keys
+stripped, keys sorted, trailing newline. Regenerating with unchanged
+code and seeds is therefore byte-identical, so a baseline diff in a PR
+always means a measured change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Mapping
+
+from .record import (
+    RecordDiff,
+    RunRecord,
+    SCHEMA,
+    compare_records,
+    strip_volatile,
+    validate_record,
+)
+
+#: Default directory for tracked golden baselines.
+DEFAULT_BASELINES_DIR = "baselines"
+
+#: The pinned small-parameter sweep the committed baselines cover.
+BASELINE_IDS = ("E1", "E3", "E4", "E9", "E11", "E18")
+
+
+def baseline_path(directory: Path | str, key: str) -> Path:
+    return Path(directory) / f"{key}.json"
+
+
+def entry_as_record_payload(entry: Mapping) -> dict:
+    """One experiment entry repackaged as a canonical one-experiment
+    record (the baseline file format — itself schema-valid)."""
+    return strip_volatile(
+        {
+            "schema": SCHEMA,
+            "run": {
+                "ids": [entry["key"]],
+                "parallel": 1,
+                "cache_enabled": False,
+            },
+            "experiments": [dict(entry)],
+        }
+    )
+
+
+def write_baselines(record: RunRecord | Mapping, directory: Path | str) -> list[Path]:
+    """Write one canonical baseline file per successful experiment of
+    ``record``; returns the written paths.
+
+    Failed/timeout entries are skipped rather than pinned: a baseline
+    must describe the curve, not the absence of one.
+    """
+    payload = record.to_dict() if isinstance(record, RunRecord) else record
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for entry in payload.get("experiments", ()):
+        if entry.get("status") not in ("ok", "cached"):
+            continue
+        path = baseline_path(directory, entry["key"])
+        canonical = entry_as_record_payload(entry)
+        path.write_text(
+            json.dumps(canonical, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        written.append(path)
+    return written
+
+
+def load_baseline(directory: Path | str, key: str) -> Mapping | None:
+    """The validated baseline payload for ``key``, or None if absent."""
+    path = baseline_path(directory, key)
+    if not path.is_file():
+        return None
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    problems = validate_record(payload)
+    if problems:
+        from ..errors import InvalidInstanceError
+
+        raise InvalidInstanceError(
+            f"baseline {path} is not a valid run record: {problems[0]}"
+        )
+    return payload
+
+
+@dataclass
+class BaselineCheck:
+    """Outcome of gating one experiment entry against its baseline."""
+
+    key: str
+    outcome: str  # "ok" | "drift" | "failed-run" | "missing-baseline"
+    diff: RecordDiff | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome in ("drift", "failed-run")
+
+    def render(self) -> str:
+        lines = [f"{self.key}: {self.outcome}"]
+        if self.diff is not None and self.outcome in ("ok", "drift"):
+            lines.extend("  " + line for line in self.diff.render().splitlines())
+        return "\n".join(lines)
+
+
+def check_against_baselines(
+    record_payload: Mapping,
+    directory: Path | str = DEFAULT_BASELINES_DIR,
+    tolerance: float = 0.15,
+) -> list[BaselineCheck]:
+    """Gate every experiment of a record against the committed
+    baselines.
+
+    Per entry: ``failed-run`` when the entry did not execute cleanly,
+    ``missing-baseline`` (non-fatal — the record may cover experiments
+    the pinned sweep does not) when no baseline file exists, ``drift``
+    when exponent findings moved beyond ``tolerance`` or a verdict
+    regressed to FAIL, ``ok`` otherwise.
+    """
+    checks: list[BaselineCheck] = []
+    for entry in record_payload.get("experiments", ()):
+        key = entry.get("key", "?")
+        if entry.get("status") not in ("ok", "cached"):
+            checks.append(BaselineCheck(key=key, outcome="failed-run"))
+            continue
+        baseline = load_baseline(directory, key)
+        if baseline is None:
+            checks.append(BaselineCheck(key=key, outcome="missing-baseline"))
+            continue
+        current = entry_as_record_payload(entry)
+        diff = compare_records(baseline, current, tolerance=tolerance)
+        outcome = "drift" if diff.has_drift else "ok"
+        checks.append(BaselineCheck(key=key, outcome=outcome, diff=diff))
+    return checks
+
+
+def render_checks(checks: list[BaselineCheck], directory: Path | str) -> str:
+    lines = [f"baseline gate against {directory}/:"]
+    for check in checks:
+        lines.extend("  " + line for line in check.render().splitlines())
+    failed = [check.key for check in checks if check.failed]
+    if failed:
+        lines.append(f"GATE FAILED for: {', '.join(failed)}")
+    else:
+        lines.append("gate passed")
+    return "\n".join(lines)
+
+
+def gate_failed(checks: list[BaselineCheck]) -> bool:
+    return any(check.failed for check in checks)

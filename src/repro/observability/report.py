@@ -1,0 +1,559 @@
+"""Experiment report dashboards rendered from run records.
+
+Turns ``repro-run-record`` JSON (see :mod:`~repro.observability.record`)
+into three synchronized views:
+
+* a **terminal dashboard** — per-experiment findings, metric
+  histograms drawn as unicode bars, and exponent fits re-derived from
+  the persisted row series;
+* a **markdown report** — the same content as tables and code blocks,
+  ready to paste into a PR;
+* a **self-contained HTML dashboard** — inline-SVG histograms and
+  log-log exponent-fit charts, no external assets, light/dark aware.
+
+The exponent fits are recomputed here from the recorded rows (not
+copied from findings): grouping by the conventional series columns
+(``family``/``series``/``query``/``width``), taking the conventional
+size column (``N``/``n``/``m``/``D``...) as x, and fitting every
+op-count column against it with
+:func:`repro.experiments.harness.fit_loglog`. A report therefore
+cross-checks the findings an experiment computed for itself, and the
+regression gate (:mod:`~repro.observability.regression`) compares the
+same fits across records.
+
+All numbers rendered are operation counts and structural sizes — the
+machine-independent discipline of DESIGN.md; wall-clock appears only as
+advisory per-experiment elapsed seconds.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+#: Columns that partition rows into separate fitted series.
+GROUP_COLUMNS = ("family", "series", "query", "algorithm", "variant", "width")
+
+#: Columns accepted as the size parameter x of a fit, in priority order.
+X_COLUMNS = ("N", "n", "m", "D", "size", "length", "num_vars", "vars", "k")
+
+#: A numeric column is fitted as y when its name says it counts work.
+def _is_cost_column(name: str) -> bool:
+    lowered = name.lower()
+    return (
+        lowered == "ops"
+        or lowered.endswith("_ops")
+        or "peak" in lowered
+        or "cost" in lowered
+    )
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class ExponentSeries:
+    """One fitted cost curve: y ≈ e^intercept · x^slope."""
+
+    experiment_id: str
+    group: str  # e.g. "family=skewed"; "" when the rows form one series
+    x_column: str
+    y_column: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    slope: float
+    intercept: float
+
+    @property
+    def label(self) -> str:
+        prefix = f"[{self.group}] " if self.group else ""
+        return (
+            f"{prefix}{self.y_column} ~ {self.x_column}^{self.slope:.3g} "
+            f"({len(self.xs)} points, {self.x_column}="
+            f"{self.xs[0]:g}..{self.xs[-1]:g})"
+        )
+
+
+def extract_exponent_series(result: Mapping) -> list[ExponentSeries]:
+    """Fit every recognizable (size, cost) series in one result payload.
+
+    Rows lacking positive numeric values in either column are skipped;
+    groups with fewer than two distinct x values cannot be fitted and
+    are dropped silently (a report never invents a slope from one
+    point).
+    """
+    from ..experiments.harness import fit_loglog
+
+    columns = list(result.get("columns", ()))
+    rows = result.get("rows", ())
+    x_column = next((c for c in X_COLUMNS if c in columns), None)
+    if x_column is None or not rows:
+        return []
+    group_columns = [c for c in GROUP_COLUMNS if c in columns and c != x_column]
+    y_columns = [c for c in columns if c != x_column and _is_cost_column(c)]
+
+    grouped: dict[tuple, list[Mapping]] = {}
+    for row in rows:
+        key = tuple(row.get(c) for c in group_columns)
+        grouped.setdefault(key, []).append(row)
+
+    fitted: list[ExponentSeries] = []
+    for key, members in grouped.items():
+        group = ", ".join(
+            f"{c}={v}" for c, v in zip(group_columns, key) if v is not None
+        )
+        for y_column in y_columns:
+            points = sorted(
+                (float(row[x_column]), float(row[y_column]))
+                for row in members
+                if _is_number(row.get(x_column))
+                and _is_number(row.get(y_column))
+                and row[x_column] > 0
+                and row[y_column] > 0
+            )
+            if len({x for x, __ in points}) < 2:
+                continue
+            xs = tuple(x for x, __ in points)
+            ys = tuple(y for __, y in points)
+            slope, intercept = fit_loglog(xs, ys)
+            fitted.append(
+                ExponentSeries(
+                    experiment_id=str(result.get("experiment_id", "?")),
+                    group=group,
+                    x_column=x_column,
+                    y_column=y_column,
+                    xs=xs,
+                    ys=ys,
+                    slope=slope,
+                    intercept=intercept,
+                )
+            )
+    return fitted
+
+
+def record_exponent_series(payload: Mapping) -> list[ExponentSeries]:
+    """All fitted series across every result of a record payload."""
+    fitted: list[ExponentSeries] = []
+    for entry in payload.get("experiments", ()):
+        for result in entry.get("results", ()):
+            fitted.extend(extract_exponent_series(result))
+    return fitted
+
+
+# -- histogram rendering ------------------------------------------------
+
+
+def bucket_labels(buckets: Sequence[float]) -> list[str]:
+    """Human labels for bucket bounds plus the overflow bucket."""
+    return [f"≤{b:g}" for b in buckets] + [f">{buckets[-1]:g}"]
+
+
+def _trimmed_buckets(histogram: Mapping) -> list[tuple[str, int]]:
+    """(label, count) pairs with empty leading/trailing buckets dropped."""
+    labels = bucket_labels(histogram["buckets"])
+    counts = list(histogram["counts"])
+    nonzero = [i for i, c in enumerate(counts) if c]
+    if not nonzero:
+        return [(labels[0], 0)]
+    low, high = min(nonzero), max(nonzero)
+    return list(zip(labels[low : high + 1], counts[low : high + 1]))
+
+
+def render_histogram_text(name: str, histogram: Mapping, width: int = 40) -> str:
+    """One histogram as an aligned unicode bar chart."""
+    count = histogram.get("count", 0)
+    mean = histogram.get("sum", 0) / count if count else 0.0
+    lines = [f"{name}  (count {count}, mean {mean:.3g})"]
+    pairs = _trimmed_buckets(histogram)
+    peak = max((c for __, c in pairs), default=0)
+    label_width = max(len(label) for label, __ in pairs)
+    for label, bucket_count in pairs:
+        if peak:
+            filled = round(bucket_count / peak * width)
+        else:
+            filled = 0
+        if bucket_count and not filled:
+            filled = 1
+        bar = "█" * filled
+        lines.append(f"  {label.ljust(label_width)}  {bar} {bucket_count}")
+    return "\n".join(lines)
+
+
+# -- terminal dashboard -------------------------------------------------
+
+
+def _iter_histograms(entry: Mapping):
+    for name, histogram in sorted(
+        entry.get("metrics", {}).get("histograms", {}).items()
+    ):
+        yield name, histogram
+
+
+def render_terminal(records: Sequence[tuple[str, Mapping]]) -> str:
+    """The terminal dashboard for one or more (name, payload) records."""
+    lines: list[str] = []
+    for name, payload in records:
+        run = payload.get("run", {})
+        lines.append(f"== {name}  ({payload.get('schema', '?')}) ==")
+        lines.append(
+            f"   experiments: {', '.join(run.get('ids', ()))}   "
+            f"parallel={run.get('parallel', '?')}   "
+            f"cache={'on' if run.get('cache_enabled') else 'off'}"
+        )
+        for entry in payload.get("experiments", ()):
+            lines.append("")
+            lines.append(
+                f"-- {entry.get('key', '?')}: {entry.get('status', '?')}, "
+                f"{entry.get('cost_total', 0)} ops --"
+            )
+            if entry.get("error"):
+                lines.append(f"   error: {entry['error']}")
+                continue
+            for result in entry.get("results", ()):
+                for key, value in sorted(result.get("findings", {}).items()):
+                    lines.append(f"   {result.get('experiment_id')}: {key} = {value}")
+            fits = [
+                series
+                for result in entry.get("results", ())
+                for series in extract_exponent_series(result)
+            ]
+            if fits:
+                lines.append("   exponent fits:")
+                for series in fits:
+                    lines.append(f"     {series.experiment_id} {series.label}")
+            for hist_name, histogram in _iter_histograms(entry):
+                lines.append("")
+                block = render_histogram_text(hist_name, histogram)
+                lines.extend("   " + line for line in block.splitlines())
+        lines.append("")
+    if len(records) > 1:
+        lines.extend(_render_cross_run_text(records))
+    return "\n".join(lines)
+
+
+def _exponent_findings(payload: Mapping) -> dict[tuple[str, str], float]:
+    """(experiment_id, finding) → value for exponent-style findings."""
+    found: dict[tuple[str, str], float] = {}
+    for entry in payload.get("experiments", ()):
+        for result in entry.get("results", ()):
+            for key, value in result.get("findings", {}).items():
+                lowered = key.lower()
+                if _is_number(value) and ("exponent" in lowered or "slope" in lowered):
+                    found[(str(result.get("experiment_id")), key)] = float(value)
+    return found
+
+
+def _render_cross_run_text(records: Sequence[tuple[str, Mapping]]) -> list[str]:
+    from ..experiments.harness import format_table
+
+    per_record = [(name, _exponent_findings(payload)) for name, payload in records]
+    all_keys = sorted({key for __, found in per_record for key in found})
+    if not all_keys:
+        return []
+    columns = ("experiment", "finding") + tuple(name for name, __ in per_record)
+    rows = []
+    for experiment_id, finding in all_keys:
+        row = {"experiment": experiment_id, "finding": finding}
+        for name, found in per_record:
+            value = found.get((experiment_id, finding))
+            row[name] = "-" if value is None else f"{value:.4g}"
+        rows.append(row)
+    return [
+        "== exponent findings across runs ==",
+        format_table(columns, rows),
+        "",
+    ]
+
+
+# -- markdown report ----------------------------------------------------
+
+
+def render_markdown(records: Sequence[tuple[str, Mapping]]) -> str:
+    """The same dashboard as a markdown document."""
+    parts: list[str] = ["# Experiment report", ""]
+    for name, payload in records:
+        run = payload.get("run", {})
+        parts.append(f"## `{name}`")
+        parts.append("")
+        parts.append(
+            f"Schema `{payload.get('schema', '?')}`, experiments "
+            f"{', '.join(run.get('ids', ()))}, parallel {run.get('parallel', '?')}, "
+            f"cache {'on' if run.get('cache_enabled') else 'off'}."
+        )
+        parts.append("")
+        for entry in payload.get("experiments", ()):
+            parts.append(
+                f"### {entry.get('key', '?')} — {entry.get('status', '?')}, "
+                f"{entry.get('cost_total', 0)} ops"
+            )
+            parts.append("")
+            if entry.get("error"):
+                parts.append(f"error: `{entry['error']}`")
+                parts.append("")
+                continue
+            findings = [
+                (result.get("experiment_id"), key, value)
+                for result in entry.get("results", ())
+                for key, value in sorted(result.get("findings", {}).items())
+            ]
+            if findings:
+                parts.append("| result | finding | value |")
+                parts.append("|---|---|---|")
+                for experiment_id, key, value in findings:
+                    parts.append(f"| {experiment_id} | {key} | {value} |")
+                parts.append("")
+            fits = [
+                series
+                for result in entry.get("results", ())
+                for series in extract_exponent_series(result)
+            ]
+            if fits:
+                parts.append("Exponent fits (least squares over log-log rows):")
+                parts.append("")
+                for series in fits:
+                    parts.append(f"- `{series.experiment_id}` {series.label}")
+                parts.append("")
+            for hist_name, histogram in _iter_histograms(entry):
+                parts.append("```")
+                parts.append(render_histogram_text(hist_name, histogram))
+                parts.append("```")
+                parts.append("")
+    if len(records) > 1:
+        cross = _render_cross_run_text(records)
+        if cross:
+            parts.append("## Exponent findings across runs")
+            parts.append("")
+            parts.append("```")
+            parts.extend(cross[1:-1])
+            parts.append("```")
+            parts.append("")
+    return "\n".join(parts)
+
+
+# -- HTML dashboard -----------------------------------------------------
+
+# Palette roles (light, dark): a single categorical hue for marks, a
+# neutral for fit lines, text tokens for every label. Values follow the
+# validated reference palette of the data-viz guidelines.
+_CSS = """\
+:root { color-scheme: light dark; }
+body { margin: 2rem auto; max-width: 70rem; padding: 0 1rem;
+  font: 14px/1.5 system-ui, sans-serif; }
+.viz-root {
+  --surface-1: #fcfcfb; --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --series-1: #2a78d6; --neutral-line: #8a8984; --grid: #e4e3df;
+  background: var(--surface-1); color: var(--text-primary);
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19; --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --series-1: #3987e5; --neutral-line: #8a8984; --grid: #3a3936;
+  }
+}
+h1, h2, h3 { font-weight: 600; }
+h2 { border-bottom: 1px solid var(--grid); padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: .5rem 0 1rem; }
+th, td { border: 1px solid var(--grid); padding: .25rem .6rem; text-align: left; }
+th { color: var(--text-secondary); font-weight: 600; }
+.charts { display: flex; flex-wrap: wrap; gap: 1.5rem; }
+figure { margin: 0; }
+figcaption { color: var(--text-secondary); font-size: 12px; margin-top: .25rem; }
+.status-ok { color: var(--text-secondary); }
+.status-bad { font-weight: 600; }
+svg text { fill: var(--text-secondary); font: 10px system-ui, sans-serif; }
+svg .bar { fill: var(--series-1); }
+svg .pt { fill: var(--series-1); }
+svg .fit { stroke: var(--neutral-line); stroke-dasharray: 4 3; stroke-width: 2;
+  fill: none; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .direct { fill: var(--text-primary); }
+"""
+
+
+def _svg_histogram(name: str, histogram: Mapping) -> str:
+    """One histogram as an inline-SVG vertical bar chart.
+
+    Mark spec: thin bars with a 2px surface gap, 4px-rounded top
+    (data) ends anchored to a zero baseline, counts direct-labeled on
+    non-zero bars, native ``<title>`` hover on every bar.
+    """
+    pairs = _trimmed_buckets(histogram)
+    width_per = 34
+    chart_w = max(len(pairs) * width_per + 20, 140)
+    chart_h, base_y, top = 150, 120, 18
+    peak = max((c for __, c in pairs), default=0) or 1
+    bars = []
+    for i, (label, count) in enumerate(pairs):
+        h = round((base_y - top) * count / peak)
+        if count and h < 2:
+            h = 2
+        x = 10 + i * width_per
+        y = base_y - h
+        bars.append(
+            f'<g><rect class="bar" x="{x}" y="{y}" width="{width_per - 2}" '
+            f'height="{h}" rx="4"/>'
+            f"<title>{html.escape(label)}: {count}</title>"
+            + (
+                f'<text class="direct" x="{x + (width_per - 2) / 2}" '
+                f'y="{y - 4}" text-anchor="middle">{count}</text>'
+                if count
+                else ""
+            )
+            + f'<text x="{x + (width_per - 2) / 2}" y="{base_y + 12}" '
+            f'text-anchor="middle">{html.escape(label)}</text></g>'
+        )
+    count = histogram.get("count", 0)
+    mean = histogram.get("sum", 0) / count if count else 0.0
+    return (
+        f'<figure><svg viewBox="0 0 {chart_w} {chart_h}" width="{chart_w}" '
+        f'height="{chart_h}" role="img" aria-label="{html.escape(name)}">'
+        f'<line class="grid" x1="6" y1="{base_y}" x2="{chart_w - 6}" y2="{base_y}"/>'
+        + "".join(bars)
+        + "</svg>"
+        f"<figcaption>{html.escape(name)} — count {count}, "
+        f"mean {mean:.3g}</figcaption></figure>"
+    )
+
+
+def _svg_fit(series: ExponentSeries) -> str:
+    """One exponent fit as a log-log scatter with the fitted line.
+
+    Single data series (hue slot 1) plus a neutral dashed reference
+    line for the fit, direct-labeled with the exponent — no legend
+    needed.
+    """
+    import math
+
+    chart_w, chart_h, pad = 240, 160, 26
+    log_xs = [math.log(x) for x in series.xs]
+    log_ys = [math.log(y) for y in series.ys]
+    fit_ys = [series.intercept + series.slope * lx for lx in log_xs]
+    lo_x, hi_x = min(log_xs), max(log_xs)
+    lo_y = min(log_ys + fit_ys)
+    hi_y = max(log_ys + fit_ys)
+    span_x = (hi_x - lo_x) or 1.0
+    span_y = (hi_y - lo_y) or 1.0
+
+    def sx(v: float) -> float:
+        return pad + (v - lo_x) / span_x * (chart_w - 2 * pad)
+
+    def sy(v: float) -> float:
+        return chart_h - pad - (v - lo_y) / span_y * (chart_h - 2 * pad)
+
+    points = "".join(
+        f'<circle class="pt" cx="{sx(lx):.1f}" cy="{sy(ly):.1f}" r="4">'
+        f"<title>{series.x_column}={x:g}, {series.y_column}={y:g}</title></circle>"
+        for lx, ly, x, y in zip(log_xs, log_ys, series.xs, series.ys)
+    )
+    fit = (
+        f'<polyline class="fit" points="'
+        + " ".join(f"{sx(lx):.1f},{sy(fy):.1f}" for lx, fy in zip(log_xs, fit_ys))
+        + '"/>'
+    )
+    label = (
+        f'<text class="direct" x="{chart_w - pad}" y="{pad - 8}" '
+        f'text-anchor="end">{html.escape(series.x_column)}^'
+        f"{series.slope:.3g}</text>"
+    )
+    axes = (
+        f'<line class="grid" x1="{pad}" y1="{chart_h - pad}" x2="{chart_w - pad}" '
+        f'y2="{chart_h - pad}"/>'
+        f'<line class="grid" x1="{pad}" y1="{pad}" x2="{pad}" y2="{chart_h - pad}"/>'
+        f'<text x="{chart_w / 2}" y="{chart_h - 4}" text-anchor="middle">'
+        f"log {html.escape(series.x_column)}</text>"
+    )
+    caption = f"{series.experiment_id} {series.label}"
+    return (
+        f'<figure class="fit-series"><svg viewBox="0 0 {chart_w} {chart_h}" '
+        f'width="{chart_w}" height="{chart_h}" role="img" '
+        f'aria-label="{html.escape(caption)}">'
+        + axes
+        + fit
+        + points
+        + label
+        + "</svg>"
+        f"<figcaption>{html.escape(caption)}</figcaption></figure>"
+    )
+
+
+def render_html(records: Sequence[tuple[str, Mapping]]) -> str:
+    """The dashboard as one self-contained HTML document."""
+    body: list[str] = []
+    for name, payload in records:
+        run = payload.get("run", {})
+        body.append(f"<h2>{html.escape(name)}</h2>")
+        body.append(
+            f"<p>Schema <code>{html.escape(str(payload.get('schema', '?')))}</code>, "
+            f"experiments {html.escape(', '.join(run.get('ids', ())))}, "
+            f"parallel {run.get('parallel', '?')}, "
+            f"cache {'on' if run.get('cache_enabled') else 'off'}.</p>"
+        )
+        for entry in payload.get("experiments", ()):
+            status = str(entry.get("status", "?"))
+            status_class = "status-ok" if status in ("ok", "cached") else "status-bad"
+            body.append(
+                f"<h3>{html.escape(str(entry.get('key', '?')))} "
+                f'<span class="{status_class}">[{html.escape(status)}]</span> '
+                f"— {entry.get('cost_total', 0)} ops</h3>"
+            )
+            if entry.get("error"):
+                body.append(f"<p>error: <code>{html.escape(entry['error'])}</code></p>")
+                continue
+            findings = [
+                (result.get("experiment_id"), key, value)
+                for result in entry.get("results", ())
+                for key, value in sorted(result.get("findings", {}).items())
+            ]
+            if findings:
+                rows = "".join(
+                    f"<tr><td>{html.escape(str(experiment_id))}</td>"
+                    f"<td>{html.escape(str(key))}</td>"
+                    f"<td>{html.escape(str(value))}</td></tr>"
+                    for experiment_id, key, value in findings
+                )
+                body.append(
+                    "<table><thead><tr><th>result</th><th>finding</th>"
+                    f"<th>value</th></tr></thead><tbody>{rows}</tbody></table>"
+                )
+            charts = []
+            for result in entry.get("results", ()):
+                charts.extend(
+                    _svg_fit(series) for series in extract_exponent_series(result)
+                )
+            charts.extend(
+                _svg_histogram(hist_name, histogram)
+                for hist_name, histogram in _iter_histograms(entry)
+            )
+            if charts:
+                body.append('<div class="charts">' + "".join(charts) + "</div>")
+    if len(records) > 1:
+        cross = _render_cross_run_text(records)
+        if cross:
+            body.append("<h2>Exponent findings across runs</h2>")
+            body.append("<pre>" + html.escape("\n".join(cross[1:-1])) + "</pre>")
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<meta name='viewport' content='width=device-width, initial-scale=1'>"
+        "<title>Experiment report</title>"
+        f"<style>{_CSS}</style></head>"
+        '<body class="viz-root"><h1>Experiment report</h1>'
+        + "".join(body)
+        + "</body></html>"
+    )
+
+
+def load_record_payload(path) -> Mapping:
+    """Read and schema-check a record file; raises on invalid input."""
+    from pathlib import Path
+
+    from ..errors import InvalidInstanceError
+    from .record import validate_record
+
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    problems = validate_record(payload)
+    if problems:
+        raise InvalidInstanceError(f"{path} is not a valid run record: {problems[0]}")
+    return payload

@@ -88,6 +88,7 @@ def execute_spec(spec: ExperimentSpec) -> dict:
         "results": payloads,
         "cost_total": context.total_ops,
         "spans": context.trace.to_payload(),
+        "metrics": context.metrics.to_payload(),
         "elapsed_s": time.perf_counter() - started,
     }
 
@@ -156,6 +157,7 @@ def run_specs(
                 entry.results = payload["results"]
                 entry.cost_total = payload["cost_total"]
                 entry.spans = payload["spans"]
+                entry.metrics = payload.get("metrics", {})
                 entry.elapsed_s = 0.0
             else:
                 future = pending[key]
@@ -177,6 +179,7 @@ def run_specs(
                         entry.results = payload["results"]
                         entry.cost_total = payload["cost_total"]
                         entry.spans = payload["spans"]
+                        entry.metrics = payload.get("metrics", {})
                         entry.elapsed_s = payload["elapsed_s"]
                         if cache is not None:
                             cache.store(
@@ -185,6 +188,7 @@ def run_specs(
                                     "results": entry.results,
                                     "cost_total": entry.cost_total,
                                     "spans": entry.spans,
+                                    "metrics": entry.metrics,
                                 },
                             )
             record.experiments.append(entry)

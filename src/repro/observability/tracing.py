@@ -62,16 +62,21 @@ class TraceContext:
         counter is given, the operations charged while it was open."""
         record = Span(name=name, depth=self._depth, attributes=dict(attributes))
         self.spans.append(record)
-        self._depth += 1
         started = time.perf_counter()
         counted_from = counter.total if counter is not None else 0
+        # Depth is incremented only once nothing below can raise before
+        # the try, and restored *first* in the finally: an experiment
+        # raising mid-span (or a counter whose ``total`` property
+        # raises) must never leave the trace at a phantom depth —
+        # later spans would nest under a phase that already ended.
+        self._depth += 1
         try:
             yield record
         finally:
+            self._depth -= 1
             record.elapsed_s = time.perf_counter() - started
             if counter is not None:
                 record.ops = counter.total - counted_from
-            self._depth -= 1
 
     def to_payload(self) -> list[dict]:
         return [span.to_payload() for span in self.spans]

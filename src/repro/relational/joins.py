@@ -14,6 +14,7 @@ from collections.abc import Sequence
 
 from ..counting import CostCounter, charge
 from ..errors import SchemaError
+from ..observability.metrics import current_metrics
 from ..observability.tracing import span
 from .database import Database
 from .query import JoinQuery
@@ -84,6 +85,13 @@ def evaluate_left_deep(
     if sorted(indices) != list(range(query.num_atoms)):
         raise SchemaError(f"order {indices} is not a permutation of the atoms")
 
+    # Intermediate-size distribution (no-op outside the experiment
+    # runtime): the quantity pairwise plans pay and WCOJ avoids.
+    registry = current_metrics()
+    intermediate_hist = (
+        registry.histogram("joins.intermediate_size") if registry is not None else None
+    )
+
     with span("evaluate_left_deep", counter=counter, atoms=query.num_atoms):
         current = query.bound_relation(query.atoms[indices[0]], database)
         peak = len(current)
@@ -93,6 +101,10 @@ def evaluate_left_deep(
             current = hash_join(current, right, counter)
             peak = max(peak, len(current))
             total += len(current)
+            if intermediate_hist is not None:
+                intermediate_hist.observe(len(current))
+        if registry is not None:
+            registry.gauge("joins.peak_intermediate_size").set_max(peak)
     # Normalize the answer's attribute order to the query's.
     final = Relation("answer", current.attributes, current.tuples)
     return JoinPlanResult(

@@ -19,6 +19,7 @@ from collections.abc import Sequence
 
 from ..counting import CostCounter, charge
 from ..errors import SchemaError
+from ..observability.metrics import SMALL_BUCKETS, current_metrics
 from ..observability.tracing import span
 from .database import Database
 from .query import JoinQuery
@@ -104,6 +105,19 @@ def generic_join(
     """
     order, indexes, relevant = _prepare(query, database, attribute_order)
 
+    # Distribution instrumentation (no-op outside the experiment
+    # runtime): probes charged between consecutive answers, and the
+    # size of the smallest candidate set at each trie descent. Ngo's
+    # survey point: a WCOJ execution is certified by the *distribution*
+    # of probes per answer staying flat, not by the total.
+    registry = current_metrics()
+    probe_hist = candidate_hist = None
+    if registry is not None:
+        probe_hist = registry.histogram("wcoj.probes_per_answer", SMALL_BUCKETS)
+        candidate_hist = registry.histogram("wcoj.candidate_set_size")
+        registry.counter("wcoj.joins").inc()
+    probes_since_answer = 0
+
     answer = Relation("answer", order)
     assignment: dict[str, Value] = {}
     # Each atom's current trie node, threaded down the recursion: an
@@ -113,9 +127,13 @@ def generic_join(
     nodes: list[dict] = [index.root for index in indexes]
 
     def recurse(pos: int) -> None:
+        nonlocal probes_since_answer
         if pos == len(order):
             answer.add(tuple(assignment[a] for a in order))
             charge(counter)
+            if probe_hist is not None:
+                probe_hist.observe(probes_since_answer)
+                probes_since_answer = 0
             return
         attr = order[pos]
         atoms_here = relevant[pos]
@@ -124,8 +142,11 @@ def generic_join(
         # Intersect, iterating the smallest set and probing the rest.
         candidate_nodes = sorted((nodes[i] for i in atoms_here), key=len)
         smallest, rest = candidate_nodes[0], candidate_nodes[1:]
+        if candidate_hist is not None:
+            candidate_hist.observe(len(smallest))
         for value in smallest:
             charge(counter)
+            probes_since_answer += 1
             if all(value in other for other in rest):
                 assignment[attr] = value
                 saved = [nodes[i] for i in atoms_here]
@@ -139,6 +160,8 @@ def generic_join(
 
     with span("generic_join", counter=counter, atoms=len(indexes), attrs=len(order)):
         recurse(0)
+    if registry is not None:
+        registry.counter("wcoj.answers").inc(len(answer))
     return answer
 
 
@@ -155,6 +178,10 @@ def boolean_generic_join(
     exits on the first satisfying assignment.
     """
     order, indexes, relevant = _prepare(query, database, attribute_order)
+    registry = current_metrics()
+    candidate_hist = (
+        registry.histogram("wcoj.candidate_set_size") if registry is not None else None
+    )
     assignment: dict[str, Value] = {}
     nodes: list[dict] = [index.root for index in indexes]
 
@@ -164,6 +191,8 @@ def boolean_generic_join(
         atoms_here = relevant[pos]
         candidate_nodes = sorted((nodes[i] for i in atoms_here), key=len)
         smallest, rest = candidate_nodes[0], candidate_nodes[1:]
+        if candidate_hist is not None:
+            candidate_hist.observe(len(smallest))
         for value in smallest:
             charge(counter)
             if all(value in other for other in rest):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..counting import CostCounter, charge
+from ..observability.metrics import Histogram, SMALL_BUCKETS, current_metrics
 from ..observability.tracing import span
 from .cnf import CNF, Literal
 
@@ -48,6 +49,15 @@ def solve_dpll(
     stats = stats if stats is not None else DPLLStats()
     assignment: dict[int, bool] = {}
 
+    # Propagation-shape distribution (no-op outside the experiment
+    # runtime): the length of each maximal unit-propagation chain —
+    # how far one decision cascades before the next branch is needed.
+    registry = current_metrics()
+    chain_hist = None
+    if registry is not None:
+        chain_hist = registry.histogram("dpll.unit_chain_length", SMALL_BUCKETS)
+        registry.counter("dpll.calls").inc()
+
     clauses = [set(c) for c in formula.clauses]
     with span(
         "solve_dpll",
@@ -55,7 +65,7 @@ def solve_dpll(
         variables=formula.num_variables,
         clauses=len(clauses),
     ):
-        result = _dpll(clauses, assignment, counter, use_unit_propagation, use_pure_literals, stats)
+        result = _dpll(clauses, assignment, counter, use_unit_propagation, use_pure_literals, stats, chain_hist)
     if result is None:
         return None
     for var in range(1, formula.num_variables + 1):
@@ -70,9 +80,11 @@ def _dpll(
     use_up: bool,
     use_pure: bool,
     stats: DPLLStats,
+    chain_hist: Histogram | None = None,
 ) -> dict[int, bool] | None:
     clauses = [set(c) for c in clauses]
 
+    unit_chain = 0
     while True:
         progress = False
 
@@ -81,10 +93,13 @@ def _dpll(
             if unit is not None:
                 lit = next(iter(unit))
                 stats.unit_propagations += 1
+                unit_chain += 1
                 charge(counter)
                 conflict = _assign(clauses, assignment, lit)
                 if conflict:
                     stats.conflicts += 1
+                    if chain_hist is not None:
+                        chain_hist.observe(unit_chain)
                     return None
                 progress = True
 
@@ -108,6 +123,10 @@ def _dpll(
         if not progress:
             break
 
+    # One maximal propagation chain ends here (branching or solved).
+    if chain_hist is not None and unit_chain:
+        chain_hist.observe(unit_chain)
+
     if not clauses:
         return dict(assignment)
 
@@ -128,7 +147,7 @@ def _dpll(
         if _assign(trial_clauses, trial_assignment, lit):
             stats.conflicts += 1
             continue
-        result = _dpll(trial_clauses, trial_assignment, counter, use_up, use_pure, stats)
+        result = _dpll(trial_clauses, trial_assignment, counter, use_up, use_pure, stats, chain_hist)
         if result is not None:
             return result
     return None

@@ -1,0 +1,82 @@
+"""Tests for the Chrome trace_event export: span-forest rebuild and
+the deterministic op-time layout."""
+
+import json
+
+from repro.observability.chrome_trace import (
+    build_span_forest,
+    record_to_chrome_trace,
+    render_chrome_trace,
+)
+
+
+def make_span(name, depth, ops):
+    return {"name": name, "depth": depth, "ops": ops, "attributes": {}}
+
+
+class TestSpanForest:
+    def test_rebuilds_nesting_from_order_and_depth(self):
+        spans = [
+            make_span("root", 0, 10),
+            make_span("child-a", 1, 4),
+            make_span("grandchild", 2, 1),
+            make_span("child-b", 1, 3),
+            make_span("second-root", 0, 5),
+        ]
+        forest = build_span_forest(spans)
+        assert [n.payload["name"] for n in forest] == ["root", "second-root"]
+        root = forest[0]
+        assert [c.payload["name"] for c in root.children] == ["child-a", "child-b"]
+        assert root.children[0].children[0].payload["name"] == "grandchild"
+
+    def test_duration_covers_children_with_floor_of_one(self):
+        spans = [make_span("parent", 0, 0), make_span("child", 1, 7)]
+        (parent,) = build_span_forest(spans)
+        assert parent.duration == 7  # children's total, parent charged nothing
+        (leaf,) = build_span_forest([make_span("leaf", 0, 0)])
+        assert leaf.duration == 1  # floor so the event is visible
+
+
+class TestTraceDocument:
+    def make_record(self):
+        return {
+            "schema": "repro-run-record/2",
+            "run": {"ids": ["T1"], "parallel": 1, "cache_enabled": False},
+            "experiments": [
+                {
+                    "key": "T1",
+                    "status": "ok",
+                    "spans": [
+                        make_span("run", 0, 12),
+                        make_span("phase", 1, 12),
+                    ],
+                }
+            ],
+        }
+
+    def test_events_have_threads_and_complete_spans(self):
+        doc = record_to_chrome_trace(self.make_record())
+        events = doc["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert any(e["name"] == "process_name" for e in metadata)
+        assert any(
+            e["name"] == "thread_name" and e["args"]["name"] == "T1 (ok)"
+            for e in metadata
+        )
+        assert [(e["name"], e["ts"], e["dur"]) for e in complete] == [
+            ("run", 0, 12),
+            ("phase", 0, 12),
+        ]
+
+    def test_op_time_axis_is_documented_in_metadata(self):
+        doc = record_to_chrome_trace(self.make_record())
+        assert "1 microsecond = 1 charged operation" in doc["metadata"]["time_axis"]
+
+    def test_render_is_valid_sorted_json(self):
+        text = render_chrome_trace(self.make_record(), indent=2)
+        assert json.loads(text)["traceEvents"]
+
+    def test_export_is_deterministic(self):
+        record = self.make_record()
+        assert render_chrome_trace(record) == render_chrome_trace(record)

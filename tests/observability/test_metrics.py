@@ -1,0 +1,198 @@
+"""Tests for the deterministic metrics registry: instruments,
+fixed-bucket histograms, ambient activation, and solver wiring."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    SMALL_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    activate_metrics,
+    current_metrics,
+    inc,
+    observe,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.to_payload() == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites_and_tracks_maximum(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.to_payload() == {"value": 3, "max": 7}
+
+    def test_set_max_is_monotone(self):
+        gauge = Gauge("g")
+        gauge.set_max(5)
+        gauge.set_max(2)
+        assert gauge.to_payload() == {"value": 5, "max": 5}
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper_bound(self):
+        hist = Histogram("h", bounds=(1, 2, 4))
+        for value in (0, 1, 2, 3, 4, 5, 100):
+            hist.observe(value)
+        # counts: <=1, <=2, <=4, overflow
+        assert hist.counts == [2, 1, 2, 2]
+        assert hist.count == 7
+        assert hist.sum == 115
+
+    def test_payload_shape(self):
+        hist = Histogram("h", bounds=(1, 2))
+        hist.observe(2)
+        assert hist.to_payload() == {
+            "buckets": [1, 2],
+            "counts": [0, 1, 0],
+            "count": 1,
+            "sum": 2,
+        }
+
+    def test_default_buckets_are_powers_of_two(self):
+        assert DEFAULT_BUCKETS == (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+        assert all(b < a for b, a in zip(SMALL_BUCKETS, SMALL_BUCKETS[1:]))
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Histogram("h", bounds=(1, 1, 2))
+        with pytest.raises(InvalidInstanceError):
+            Histogram("h", bounds=())
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Histogram("h").observe(-1)
+
+    def test_mean(self):
+        hist = Histogram("h")
+        assert hist.mean == 0.0
+        hist.observe(2)
+        hist.observe(4)
+        assert hist.mean == 3.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_rebucketing_a_histogram_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1, 2))
+        with pytest.raises(InvalidInstanceError):
+            registry.histogram("h", buckets=(1, 2, 4))
+
+    def test_empty_registry_payload_is_empty(self):
+        registry = MetricsRegistry()
+        assert registry.empty
+        assert registry.to_payload() == {}
+
+    def test_payload_has_sorted_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("z.second").inc()
+        registry.counter("a.first").inc(2)
+        registry.gauge("depth").set(3)
+        registry.histogram("sizes", buckets=(1, 2)).observe(2)
+        payload = registry.to_payload()
+        assert list(payload["counters"]) == ["a.first", "z.second"]
+        assert payload["gauges"]["depth"] == {"value": 3, "max": 3}
+        assert payload["histograms"]["sizes"]["counts"] == [0, 1, 0]
+        json.dumps(payload)  # JSON-safe by construction
+
+
+class TestAmbientRegistry:
+    def test_inactive_by_default(self):
+        assert current_metrics() is None
+        observe("ignored", 3)  # no-op, must not raise
+        inc("ignored")
+
+    def test_activation_scopes_and_restores(self):
+        registry = MetricsRegistry()
+        with activate_metrics(registry) as active:
+            assert active is registry
+            assert current_metrics() is registry
+            observe("h", 2, buckets=(1, 2))
+            inc("c", 3)
+        assert current_metrics() is None
+        payload = registry.to_payload()
+        assert payload["counters"]["c"] == 3
+        assert payload["histograms"]["h"]["count"] == 1
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with activate_metrics(outer):
+            with activate_metrics(inner):
+                inc("x")
+            assert current_metrics() is outer
+        assert inner.to_payload()["counters"]["x"] == 1
+        assert outer.empty
+
+
+class TestSolverInstrumentation:
+    """The hot paths observe into the ambient registry — and stay
+    silent (and correct) without one."""
+
+    def test_generic_join_emits_probe_and_answer_metrics(self):
+        from repro.generators.agm import tight_agm_database
+        from repro.relational.query import JoinQuery
+        from repro.relational.wcoj import generic_join
+
+        query = JoinQuery.triangle()
+        database = tight_agm_database(query, 16)
+        quiet = generic_join(query, database)
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            loud = generic_join(query, database)
+        assert loud == quiet  # instrumentation never changes answers
+        payload = registry.to_payload()
+        assert payload["counters"]["wcoj.joins"] == 1
+        assert payload["counters"]["wcoj.answers"] == len(loud)
+        probe = payload["histograms"]["wcoj.probes_per_answer"]
+        assert probe["count"] == len(loud)
+        assert payload["histograms"]["wcoj.candidate_set_size"]["count"] > 0
+
+    def test_backtracking_emits_branching_metrics(self):
+        from repro.csp.backtracking import solve_backtracking
+        from repro.generators.csp_gen import random_binary_csp
+
+        instance = random_binary_csp(
+            num_variables=8, domain_size=3, num_constraints=10, seed=5
+        )
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            solve_backtracking(instance)
+        payload = registry.to_payload()
+        assert payload["counters"]["backtracking.nodes"] > 0
+        assert "backtracking.branching_factor" in payload["histograms"]
+
+    def test_dpll_emits_unit_chain_metrics(self):
+        from repro.generators.sat_gen import random_ksat
+        from repro.sat.dpll import solve_dpll
+
+        formula = random_ksat(num_variables=12, num_clauses=50, k=3, seed=2)
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            solve_dpll(formula)
+        payload = registry.to_payload()
+        assert payload["counters"]["dpll.calls"] == 1
+        chains = payload["histograms"]["dpll.unit_chain_length"]
+        assert chains["count"] > 0

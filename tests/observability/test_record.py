@@ -139,6 +139,67 @@ class TestValidateRecord:
         payload["experiments"][0]["spans"][0] = {"name": "x"}
         assert any("malformed span" in p for p in validate_record(payload))
 
+    def test_v1_records_still_accepted(self):
+        payload = make_record().to_dict()
+        payload["schema"] = "repro-run-record/1"
+        for entry in payload["experiments"]:
+            entry.pop("metrics", None)
+        assert validate_record(payload) == []
+
+    def test_canonical_record_is_itself_valid(self):
+        # Baselines are stored canonically; stripping volatile keys
+        # must not make a record invalid.
+        assert validate_record(strip_volatile(make_record().to_dict())) == []
+
+
+class TestValidateMetrics:
+    def with_metrics(self, metrics):
+        payload = make_record().to_dict()
+        payload["experiments"][0]["metrics"] = metrics
+        return payload
+
+    def good_histogram(self):
+        return {"buckets": [1, 2, 4], "counts": [1, 0, 2, 0], "count": 3, "sum": 9}
+
+    def test_well_formed_metrics_pass(self):
+        metrics = {
+            "counters": {"x.events": 4},
+            "gauges": {"x.depth": {"value": 2, "max": 5}},
+            "histograms": {"x.sizes": self.good_histogram()},
+        }
+        assert validate_record(self.with_metrics(metrics)) == []
+
+    def test_missing_metrics_section_is_fine(self):
+        payload = make_record().to_dict()
+        payload["experiments"][0].pop("metrics", None)
+        assert validate_record(payload) == []
+
+    def test_negative_counter_flagged(self):
+        problems = validate_record(self.with_metrics({"counters": {"c": -1}}))
+        assert any("counters" in p for p in problems)
+
+    def test_unsorted_buckets_flagged(self):
+        hist = self.good_histogram()
+        hist["buckets"] = [2, 1, 4]
+        problems = validate_record(self.with_metrics({"histograms": {"h": hist}}))
+        assert any("h" in p for p in problems)
+
+    def test_counts_length_must_be_buckets_plus_one(self):
+        hist = self.good_histogram()
+        hist["counts"] = [1, 2]
+        problems = validate_record(self.with_metrics({"histograms": {"h": hist}}))
+        assert any("h" in p for p in problems)
+
+    def test_count_must_equal_counts_total(self):
+        hist = self.good_histogram()
+        hist["count"] = 99
+        problems = validate_record(self.with_metrics({"histograms": {"h": hist}}))
+        assert any("h" in p for p in problems)
+
+    def test_unknown_section_flagged(self):
+        problems = validate_record(self.with_metrics({"timers": {}}))
+        assert any("timers" in p for p in problems)
+
 
 class TestCompareRecords:
     def old_and_new(self, old_findings, new_findings):

@@ -1,0 +1,180 @@
+"""Tests for the golden-baseline regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.observability.record import validate_record
+from repro.observability.regression import (
+    BASELINE_IDS,
+    check_against_baselines,
+    entry_as_record_payload,
+    gate_failed,
+    load_baseline,
+    render_checks,
+    write_baselines,
+)
+
+
+def make_entry(key="T1", exponent=2.0, status="ok"):
+    return {
+        "key": key,
+        "status": status,
+        "error": None,
+        "parameters": {"run": {"seed": 0}},
+        "cache_key": "0" * 64,
+        "source_hash": "1" * 64,
+        "cost_total": 10,
+        "elapsed_s": 0.1,
+        "spans": [],
+        "metrics": {},
+        "results": [
+            {
+                "experiment_id": f"{key}-fit",
+                "claim": "test",
+                "columns": ["N", "ops"],
+                "rows": [],
+                "findings": {"verdict": "PASS", "measured_exponent": exponent},
+            }
+        ],
+    }
+
+
+def make_record(entries):
+    return {
+        "schema": "repro-run-record/2",
+        "created_at": "2026-01-01T00:00:00+00:00",
+        "run": {"ids": [e["key"] for e in entries], "parallel": 1, "cache_enabled": False},
+        "experiments": entries,
+    }
+
+
+class TestBaselineFiles:
+    def test_entry_payload_is_schema_valid_and_volatile_free(self):
+        payload = entry_as_record_payload(make_entry())
+        assert validate_record(payload) == []
+        assert "created_at" not in payload
+        assert "elapsed_s" not in payload["experiments"][0]
+
+    def test_write_then_load_roundtrip(self, tmp_path):
+        record = make_record([make_entry("T1"), make_entry("T2")])
+        written = write_baselines(record, tmp_path)
+        assert [p.name for p in written] == ["T1.json", "T2.json"]
+        loaded = load_baseline(tmp_path, "T1")
+        assert loaded["experiments"][0]["key"] == "T1"
+
+    def test_write_is_byte_stable(self, tmp_path):
+        record = make_record([make_entry()])
+        (first,) = write_baselines(record, tmp_path)
+        before = first.read_bytes()
+        write_baselines(copy.deepcopy(record), tmp_path)
+        assert first.read_bytes() == before
+
+    def test_failed_entries_are_skipped(self, tmp_path):
+        record = make_record([make_entry("T1", status="failed")])
+        assert write_baselines(record, tmp_path) == []
+
+    def test_missing_baseline_is_none(self, tmp_path):
+        assert load_baseline(tmp_path, "T9") is None
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        (tmp_path / "T1.json").write_text('{"schema": "nope"}', encoding="utf-8")
+        with pytest.raises(InvalidInstanceError):
+            load_baseline(tmp_path, "T1")
+
+
+class TestGate:
+    def test_matching_record_passes(self, tmp_path):
+        write_baselines(make_record([make_entry()]), tmp_path)
+        checks = check_against_baselines(make_record([make_entry()]), tmp_path)
+        assert [c.outcome for c in checks] == ["ok"]
+        assert not gate_failed(checks)
+
+    def test_exponent_drift_beyond_tolerance_fails(self, tmp_path):
+        write_baselines(make_record([make_entry(exponent=2.0)]), tmp_path)
+        drifted = make_record([make_entry(exponent=2.5)])
+        checks = check_against_baselines(drifted, tmp_path, tolerance=0.15)
+        assert [c.outcome for c in checks] == ["drift"]
+        assert gate_failed(checks)
+        assert "GATE FAILED" in render_checks(checks, tmp_path)
+
+    def test_drift_within_tolerance_passes(self, tmp_path):
+        write_baselines(make_record([make_entry(exponent=2.0)]), tmp_path)
+        nudged = make_record([make_entry(exponent=2.1)])
+        checks = check_against_baselines(nudged, tmp_path, tolerance=0.15)
+        assert not gate_failed(checks)
+
+    def test_failed_run_fails_the_gate(self, tmp_path):
+        write_baselines(make_record([make_entry()]), tmp_path)
+        checks = check_against_baselines(
+            make_record([make_entry(status="timeout")]), tmp_path
+        )
+        assert [c.outcome for c in checks] == ["failed-run"]
+        assert gate_failed(checks)
+
+    def test_missing_baseline_is_not_fatal(self, tmp_path):
+        checks = check_against_baselines(make_record([make_entry("T9")]), tmp_path)
+        assert [c.outcome for c in checks] == ["missing-baseline"]
+        assert not gate_failed(checks)
+
+
+class TestCommittedBaselines:
+    """The tracked baselines/ directory itself stays valid."""
+
+    def test_every_pinned_baseline_exists_and_validates(self):
+        from pathlib import Path
+
+        directory = Path(__file__).resolve().parents[2] / "baselines"
+        for key in BASELINE_IDS:
+            payload = load_baseline(directory, key)
+            assert payload is not None, f"baselines/{key}.json missing"
+            assert payload["experiments"][0]["key"] == key
+
+    def test_committed_baselines_are_canonical(self):
+        from pathlib import Path
+
+        directory = Path(__file__).resolve().parents[2] / "baselines"
+        for key in BASELINE_IDS:
+            raw = (directory / f"{key}.json").read_text(encoding="utf-8")
+            payload = json.loads(raw)
+            canonical = (
+                json.dumps(
+                    entry_as_record_payload(payload["experiments"][0]),
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            assert raw == canonical, f"baselines/{key}.json is not canonical"
+
+
+class TestCliGate:
+    def test_compare_against_baselines_exits_nonzero_on_drift(self, tmp_path, capsys):
+        """Acceptance: perturbing a baseline finding beyond tolerance
+        makes `compare --against-baselines` exit non-zero."""
+        from repro.experiments.__main__ import main
+
+        write_baselines(make_record([make_entry(exponent=2.0)]), tmp_path)
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(make_record([make_entry(exponent=2.0)])))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(make_record([make_entry(exponent=3.0)])))
+
+        assert (
+            main(
+                ["compare", str(good), "--against-baselines",
+                 "--baselines-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["compare", str(bad), "--against-baselines",
+                 "--baselines-dir", str(tmp_path)]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "GATE FAILED" in out

@@ -1,0 +1,139 @@
+"""Tests for the report layer: exponent-series extraction and the
+terminal/markdown/HTML renderers."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.observability.report import (
+    extract_exponent_series,
+    load_record_payload,
+    record_exponent_series,
+    render_histogram_text,
+    render_html,
+    render_markdown,
+    render_terminal,
+)
+
+
+def make_result(rows, experiment_id="T-fit", columns=("N", "ops")):
+    return {
+        "experiment_id": experiment_id,
+        "claim": "test claim",
+        "columns": list(columns),
+        "rows": rows,
+        "findings": {"verdict": "PASS"},
+    }
+
+
+def quadratic_rows():
+    return [{"N": n, "ops": n * n} for n in (4, 8, 16, 32)]
+
+
+def make_record(metrics=None, results=None):
+    return {
+        "schema": "repro-run-record/2",
+        "run": {"ids": ["T1"], "parallel": 1, "cache_enabled": False},
+        "experiments": [
+            {
+                "key": "T1",
+                "status": "ok",
+                "error": None,
+                "parameters": {},
+                "cache_key": "0" * 64,
+                "source_hash": "1" * 64,
+                "cost_total": 7,
+                "spans": [],
+                "metrics": metrics or {},
+                "results": results if results is not None else [make_result(quadratic_rows())],
+            }
+        ],
+    }
+
+
+class TestExponentExtraction:
+    def test_fits_slope_from_loglog_rows(self):
+        (series,) = extract_exponent_series(make_result(quadratic_rows()))
+        assert series.x_column == "N"
+        assert series.y_column == "ops"
+        assert series.slope == pytest.approx(2.0)
+        assert series.xs == (4.0, 8.0, 16.0, 32.0)
+
+    def test_groups_by_family_column(self):
+        rows = [
+            {"family": "a", "N": n, "ops": n} for n in (2, 4, 8)
+        ] + [
+            {"family": "b", "N": n, "ops": n**3} for n in (2, 4, 8)
+        ]
+        series = extract_exponent_series(
+            make_result(rows, columns=("family", "N", "ops"))
+        )
+        slopes = {s.group: s.slope for s in series}
+        assert slopes["family=a"] == pytest.approx(1.0)
+        assert slopes["family=b"] == pytest.approx(3.0)
+
+    def test_needs_two_distinct_positive_points(self):
+        rows = [{"N": 4, "ops": 16}, {"N": 4, "ops": 16}]
+        assert extract_exponent_series(make_result(rows)) == []
+        assert extract_exponent_series(make_result([])) == []
+
+    def test_record_level_extraction(self):
+        series = record_exponent_series(make_record())
+        assert [s.experiment_id for s in series] == ["T-fit"]
+
+
+class TestTextRenderers:
+    HIST = {"buckets": [1, 2, 4], "counts": [5, 0, 2, 1], "count": 8, "sum": 20}
+
+    def test_histogram_text_has_bars_and_labels(self):
+        text = render_histogram_text("probe.depth", self.HIST)
+        assert "probe.depth" in text
+        assert "█" in text
+        assert "≤1" in text  # ≤1 bucket label
+        assert ">4" in text  # overflow bucket label
+
+    def test_terminal_report_includes_fits_and_histograms(self):
+        record = make_record(metrics={"histograms": {"probe.depth": self.HIST}})
+        text = render_terminal([("r.json", record)])
+        assert "T-fit" in text
+        assert "ops ~ N^2" in text
+        assert "probe.depth" in text
+
+    def test_markdown_report_renders(self):
+        record = make_record(metrics={"histograms": {"probe.depth": self.HIST}})
+        md = render_markdown([("r.json", record)])
+        assert "T-fit" in md
+        assert "probe.depth" in md
+
+
+class TestHtmlDashboard:
+    def test_dashboard_is_self_contained_with_svgs(self):
+        record = make_record(
+            metrics={"histograms": {"probe.depth": TestTextRenderers.HIST}}
+        )
+        html = render_html([("r.json", record)])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert 'class="bar"' in html  # histogram bars
+        assert 'class="fit-series"' in html  # exponent-fit scatter
+        assert "prefers-color-scheme: dark" in html
+        assert "<script" not in html  # self-contained, static
+
+    def test_dashboard_without_metrics_still_renders(self):
+        html = render_html([("r.json", make_record())])
+        assert "<svg" in html  # the fit chart alone
+
+
+class TestLoadRecordPayload:
+    def test_loads_valid_record(self, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(make_record()), encoding="utf-8")
+        payload = load_record_payload(path)
+        assert payload["experiments"][0]["key"] == "T1"
+
+    def test_rejects_invalid_record(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope"}', encoding="utf-8")
+        with pytest.raises(InvalidInstanceError):
+            load_record_payload(path)

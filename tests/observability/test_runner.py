@@ -24,7 +24,7 @@ class TestExperimentSpec:
 class TestExecuteSpec:
     def test_payload_shape(self):
         payload = execute_spec(PASSING)
-        assert set(payload) == {"results", "cost_total", "spans", "elapsed_s"}
+        assert set(payload) == {"results", "cost_total", "spans", "elapsed_s", "metrics"}
         (result,) = payload["results"]
         assert result["experiment_id"] == "T-pass"
         assert result["findings"]["verdict"] == "PASS"
@@ -108,6 +108,33 @@ class TestDeterminism:
         first = run_specs([SPECS["E13"]])
         second = run_specs([SPECS["E13"]])
         assert first.canonical_json() == second.canonical_json()
+
+    def test_identical_seeds_give_byte_identical_metrics(self):
+        """S4: two fresh runs of an instrumented experiment must emit
+        byte-identical metrics payloads (fixed buckets, no wall-clock)."""
+        import json
+
+        from repro.experiments.__main__ import SPECS
+
+        first = run_specs([SPECS["E3"]])
+        second = run_specs([SPECS["E3"]])
+        first_metrics = first.experiments[0].metrics
+        assert first_metrics  # the instrumentation actually fired
+        assert "histograms" in first_metrics
+        assert json.dumps(first_metrics, sort_keys=True) == json.dumps(
+            second.experiments[0].metrics, sort_keys=True
+        )
+
+    def test_metrics_identical_across_parallelism(self):
+        """S4: --parallel 1 vs --parallel 2 may differ only in the run
+        block's recorded settings, never in any experiment entry."""
+        from repro.experiments.__main__ import SPECS
+
+        serial = run_specs([SPECS["E3"], SPECS["E9"]], parallel=1)
+        pooled = run_specs([SPECS["E3"], SPECS["E9"]], parallel=2)
+        serial_entries = serial.canonical_dict()["experiments"]
+        pooled_entries = pooled.canonical_dict()["experiments"]
+        assert serial_entries == pooled_entries
 
     def test_cached_and_live_runs_agree_canonically(self, tmp_path):
         cache = ResultCache(tmp_path)

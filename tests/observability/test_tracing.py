@@ -48,6 +48,26 @@ class TestTraceContext:
         assert trace.spans[0].elapsed_s >= 0.0
         assert trace._depth == 0
 
+    def test_nested_span_depth_survives_exceptions(self):
+        """Regression: an exception escaping an inner span must unwind
+        the depth counter at every level, so spans opened afterwards
+        record the correct depth (not one inflated by the dead spans)."""
+        trace = TraceContext()
+        try:
+            with trace.span("outer"):
+                with trace.span("middle"):
+                    with trace.span("inner"):
+                        raise RuntimeError("deep failure")
+        except RuntimeError:
+            pass
+        assert trace._depth == 0
+        depths = {s.name: s.depth for s in trace.spans}
+        assert depths == {"outer": 0, "middle": 1, "inner": 2}
+        # A fresh span after the unwinding starts back at the root.
+        with trace.span("after"):
+            pass
+        assert trace.spans[-1].depth == 0
+
 
 class TestAmbientSpan:
     def test_noop_without_active_trace(self):
