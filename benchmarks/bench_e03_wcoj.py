@@ -18,3 +18,25 @@ def test_e3_ablation_variable_orderings(experiment):
     result = experiment(exp_wcoj.run_orderings)
     # Any ordering is worst-case optimal; constants differ by a small factor.
     assert result.findings["max_over_min_ops"] < 10.0
+
+
+def test_e3_backends_agree_on_answers_and_ops():
+    """Cross-backend guard: the timed E3 engines are representation-
+    independent — identical answers and identical op totals."""
+    from repro.counting import CostCounter
+    from repro.generators.agm import skewed_triangle_database, tight_agm_database
+    from repro.relational.query import JoinQuery
+    from repro.relational.wcoj import generic_join
+
+    triangle = JoinQuery.triangle()
+    for database in (
+        skewed_triangle_database(64),
+        tight_agm_database(triangle, 64),
+    ):
+        c_naive, c_col = CostCounter(), CostCounter()
+        a_naive = generic_join(triangle, database, counter=c_naive)
+        a_col = generic_join(
+            triangle, database.with_backend("columnar"), counter=c_col
+        )
+        assert sorted(a_naive.tuples) == sorted(a_col.tuples)
+        assert c_naive.total == c_col.total

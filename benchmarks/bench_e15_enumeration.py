@@ -8,3 +8,23 @@ def test_e15_constant_delay(experiment):
     assert result.findings["verdict"] == "PASS"
     assert result.findings["acyclic_delay_exponent"] < 0.2
     assert result.findings["naive_delay_exponent"] > 0.7
+
+
+def test_e15_enumeration_backend_invariant():
+    """Cross-backend guard: acyclic enumeration emits the same answer
+    stream cardinality with the same op totals on both backends, so the
+    measured delays compare like for like."""
+    from repro.counting import CostCounter
+    from repro.generators.agm import tight_agm_database
+    from repro.relational.enumeration import enumerate_acyclic
+    from repro.relational.query import JoinQuery
+
+    query = JoinQuery.path(3)
+    database = tight_agm_database(query, 64)
+    c_naive, c_col = CostCounter(), CostCounter()
+    answers_naive = sorted(enumerate_acyclic(query, database, c_naive))
+    answers_col = sorted(
+        enumerate_acyclic(query, database.with_backend("columnar"), c_col)
+    )
+    assert answers_naive == answers_col
+    assert c_naive.total == c_col.total

@@ -1,0 +1,149 @@
+"""Backend A/B wall-clock benchmark: columnar kernels vs naive engines.
+
+Runs the E3 WCOJ sweep (both triangle families, all six attribute
+orders per size) on both backends, asserts byte-identical answer sets
+and identical op counts, and writes the machine-readable perf record
+``BENCH_kernels.json`` at the repo root so the wall-clock trajectory is
+tracked from this PR on.
+
+Environment knobs (used by the ``bench-smoke`` CI job):
+
+* ``REPRO_BENCH_SIZES`` — comma-separated relation sizes
+  (default ``64,128,256,512``);
+* ``REPRO_BENCH_MIN_SPEEDUP`` — required columnar speedup at the
+  largest size (default ``3.0``; the smoke job relaxes it to ``1.0``,
+  i.e. "columnar is never slower");
+* ``REPRO_BENCH_REPEATS`` — timing repeats, best-of (default ``3``);
+* ``REPRO_BENCH_OUT`` — output path for the JSON record.
+"""
+
+import json
+import os
+import time
+from itertools import permutations
+from pathlib import Path
+
+from repro.counting import CostCounter
+from repro.generators.agm import skewed_triangle_database, tight_agm_database
+from repro.relational.query import JoinQuery
+from repro.relational.wcoj import generic_join
+
+QUERY = JoinQuery.triangle()
+ORDERS = tuple(permutations(QUERY.attributes))
+
+
+def _sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SIZES", "64,128,256,512")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _families(n):
+    return (
+        ("skewed", lambda: skewed_triangle_database(n)),
+        ("tight", lambda: tight_agm_database(QUERY, n)),
+    )
+
+
+def _sweep_seconds(database) -> float:
+    """Wall-clock of one full attribute-order sweep (index caches warm
+    up inside the measurement — amortization across the six orders is
+    exactly what the database-level index cache buys)."""
+    start = time.perf_counter()
+    for order in ORDERS:
+        generic_join(QUERY, database, attribute_order=order)
+    return time.perf_counter() - start
+
+
+def _answers_and_ops(database):
+    counter = CostCounter()
+    answers = []
+    for order in ORDERS:
+        answer = generic_join(QUERY, database, attribute_order=order, counter=counter)
+        answers.append(sorted(answer.tuples))
+    return answers, counter.total
+
+
+def test_kernels_wcoj_sweep_speedup():
+    sizes = _sizes()
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    out_path = Path(
+        os.environ.get(
+            "REPRO_BENCH_OUT", Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+        )
+    )
+
+    rows = []
+    totals = {}  # (backend, n) -> summed best wall-clock across families
+    for n in sizes:
+        for family, make_db in _families(n):
+            for backend in ("naive", "columnar"):
+                best = None
+                ops = None
+                answer_bytes = None
+                for _ in range(repeats):
+                    database = make_db().with_backend(backend)
+                    seconds = _sweep_seconds(database)
+                    best = seconds if best is None else min(best, seconds)
+                    if ops is None:
+                        answers, ops = _answers_and_ops(database)
+                        answer_bytes = repr(answers).encode()
+                rows.append(
+                    {
+                        "experiment": "E3-wcoj-sweep",
+                        "family": family,
+                        "n": n,
+                        "backend": backend,
+                        "orders": len(ORDERS),
+                        "seconds": best,
+                        "ops": ops,
+                    }
+                )
+                totals[(backend, n)] = totals.get((backend, n), 0.0) + best
+                key = (family, n)
+                if backend == "naive":
+                    baseline = {"bytes": answer_bytes, "ops": ops}
+                    rows[-1]["_baseline"] = baseline  # stripped before writing
+                else:
+                    naive_row = next(
+                        r
+                        for r in rows
+                        if r["family"] == family
+                        and r["n"] == n
+                        and r["backend"] == "naive"
+                    )
+                    base = naive_row.pop("_baseline")
+                    # Byte-identical answer sets and identical op totals
+                    # per (family, n) — the backend contract.
+                    assert base["bytes"] == answer_bytes, f"answers differ at {key}"
+                    assert base["ops"] == ops, f"op counts differ at {key}"
+
+    largest = max(sizes)
+    speedups = {
+        n: totals[("naive", n)] / totals[("columnar", n)] for n in sizes
+    }
+    record = {
+        "schema": "repro-bench-kernels/1",
+        "experiment": "E3-wcoj-sweep",
+        "query": "triangle",
+        "orders_per_size": len(ORDERS),
+        "repeats_best_of": repeats,
+        "rows": rows,
+        "speedup_by_n": {str(n): speedups[n] for n in sizes},
+        "largest_n": largest,
+        "speedup_at_largest_n": speedups[largest],
+        "answers_byte_identical": True,
+        "op_counts_identical": True,
+    }
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    for n in sizes:
+        print(
+            f"n={n}: naive {totals[('naive', n)]:.4f}s, "
+            f"columnar {totals[('columnar', n)]:.4f}s, "
+            f"speedup {speedups[n]:.2f}x"
+        )
+    assert speedups[largest] >= min_speedup, (
+        f"columnar speedup {speedups[largest]:.2f}x at n={largest} "
+        f"below required {min_speedup}x (see {out_path})"
+    )

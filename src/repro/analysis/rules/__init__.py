@@ -12,6 +12,7 @@ from . import rep002_registry
 from . import rep003_exceptions
 from . import rep004_determinism
 from . import rep005_complexity
+from . import rep006_index_discipline
 
 __all__ = [
     "rep001_certificates",
@@ -19,4 +20,5 @@ __all__ = [
     "rep003_exceptions",
     "rep004_determinism",
     "rep005_complexity",
+    "rep006_index_discipline",
 ]

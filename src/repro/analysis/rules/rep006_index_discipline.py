@@ -1,0 +1,103 @@
+"""REP006 — index discipline: no per-iteration index construction
+inside solver loops.
+
+Building a join index (a hash trie, a sorted-array trie, an
+``_AtomIndex``) costs O(‖D‖·log ‖D‖); the engines only meet their
+stated bounds because that cost is paid *once* per (relation,
+attribute-prefix) and amortized across every subquery through the
+database-level :class:`~repro.relational.kernels.KernelState` cache.
+Constructing an index inside a ``for``/``while`` loop re-pays the
+build on every iteration and silently turns an O(‖D‖ + out) engine
+into an O(iterations · ‖D‖) one — the exact regression the columnar
+refactor removed.
+
+The rule flags any call to a known index-builder name that sits
+lexically inside a statement loop of the same function. It does *not*
+flag:
+
+* comprehensions (one index per atom of a fixed query is a bounded,
+  per-call cost — the target is unbounded data-dependent loops);
+* the memoized accessors on ``database.kernels`` (``sorted_trie``,
+  ``hash_trie``) or any call routed through a ``kernels`` receiver —
+  those are cache lookups, not builds;
+* builder calls inside nested function definitions (scoping is
+  per-function and lexical; a closure's own loops are checked when the
+  closure body is visited).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..walker import Project, dotted_name
+from .rep003_exceptions import _context_for, _enclosing_index
+from .rep005_complexity import ALGORITHM_SUBPACKAGES
+
+#: Callable names whose invocation builds an index from scratch.
+INDEX_BUILDERS = frozenset(
+    {
+        "_AtomIndex",
+        "SortedTrieIndex",
+        "build_hash_trie",
+        "build_index",
+        "build_trie",
+        "make_index",
+        "rebuild_index",
+    }
+)
+
+#: Receiver components that mark a memoized cache lookup, not a build.
+CACHED_RECEIVERS = frozenset({"kernels"})
+
+
+def _looped_calls(tree: ast.Module) -> Iterable[ast.Call]:
+    """Yield every call lexically inside a ``for``/``while`` statement,
+    scoped per function (a nested ``def`` resets the loop context)."""
+
+    def visit(node: ast.AST, loop_depth: int) -> Iterable[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from visit(child, 0)
+            elif isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                yield from visit(child, loop_depth + 1)
+            else:
+                if isinstance(child, ast.Call) and loop_depth > 0:
+                    yield child
+                yield from visit(child, loop_depth)
+
+    yield from visit(tree, 0)
+
+
+@rule(
+    "REP006",
+    "index-discipline",
+    "join indexes are built once per (relation, prefix), never inside solver loops",
+)
+def check(project: Project) -> Iterable[Finding]:
+    for module in project.iter_modules():
+        if not module.in_subpackage(*ALGORITHM_SUBPACKAGES):
+            continue
+        path = project.relative_path(module)
+        functions = _enclosing_index(module.tree)
+        for call in _looped_calls(module.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[-1] not in INDEX_BUILDERS:
+                continue
+            if any(part in CACHED_RECEIVERS for part in parts[:-1]):
+                continue
+            yield Finding(
+                code="REP006",
+                severity=Severity.ERROR,
+                path=path,
+                line=call.lineno,
+                message=f"index builder '{name}()' called inside a solver "
+                "loop re-pays the build every iteration; hoist it out or "
+                "route it through the database.kernels cache",
+                context=_context_for(call, functions),
+            )

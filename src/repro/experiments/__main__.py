@@ -64,6 +64,7 @@ from . import (
     exp_hyperclique,
     exp_hypotheses,
     exp_kclique_mm,
+    exp_kernels,
     exp_phase_transition,
     exp_schaefer,
     exp_special,
@@ -95,6 +96,7 @@ SPECS: dict[str, ExperimentSpec] = {
         ExperimentSpec("E16", (exp_hom_counting.run,)),
         ExperimentSpec("E17", (exp_phase_transition.run,)),
         ExperimentSpec("E18", (exp_finegrained.run,)),
+        ExperimentSpec("E19", (exp_kernels.run,)),
     )
 }
 

@@ -1,0 +1,141 @@
+"""E19 — columnar kernels are observationally identical to the naive
+engines (backend A/B validation for `repro.relational.kernels`).
+
+The columnar backend (interned int columns, sorted-array tries,
+leapfrog intersection, vectorized pairwise joins) is a change of
+*representation* only: for every engine and input family it must
+produce the same answer set and charge the same operation counts as
+the naive backend. This experiment sweeps the E3 input families across
+Generic Join, left-deep pairwise plans, Yannakakis, and acyclic
+enumeration on both backends and records the observed agreement —
+findings are exact match counts, never wall-clock, so the record is
+deterministic and baseline-safe.
+"""
+
+from __future__ import annotations
+
+from ..generators.agm import skewed_triangle_database, tight_agm_database
+from ..observability.context import RunContext
+from ..relational.enumeration import enumerate_acyclic
+from ..relational.joins import evaluate_left_deep
+from ..relational.planner import wcoj_attribute_order
+from ..relational.query import JoinQuery
+from ..relational.wcoj import generic_join
+from ..relational.yannakakis import yannakakis
+from .harness import ExperimentResult
+
+
+def run(
+    relation_sizes: tuple[int, ...] = (16, 32, 64, 128),
+    context: RunContext | None = None,
+) -> ExperimentResult:
+    """A/B every relational engine across backends on the E3 families."""
+    ctx = RunContext.ensure(context, "E19-kernels")
+    result = ExperimentResult(
+        experiment_id="E19-kernels",
+        claim="the columnar backend returns identical answer sets and "
+        "identical op counts to the naive backend on every engine",
+        columns=(
+            "engine",
+            "family",
+            "N",
+            "answer",
+            "naive_ops",
+            "columnar_ops",
+            "answers_equal",
+        ),
+    )
+    triangle = JoinQuery.triangle()
+    path = JoinQuery.path(3)
+    cases = 0
+    answer_mismatches = 0
+    ops_mismatches = 0
+
+    def record(engine: str, family: str, n: int, naive_run, columnar_run) -> None:
+        nonlocal cases, answer_mismatches, ops_mismatches
+        a_naive, ops_naive = naive_run
+        a_col, ops_col = columnar_run
+        equal = a_naive == a_col
+        cases += 1
+        answer_mismatches += 0 if equal else 1
+        ops_mismatches += 0 if ops_naive == ops_col else 1
+        result.add_row(
+            engine=engine,
+            family=family,
+            N=n,
+            answer=len(a_naive),
+            naive_ops=ops_naive,
+            columnar_ops=ops_col,
+            answers_equal=equal,
+        )
+
+    def measured(fn, query, database, **kw):
+        counter = ctx.new_counter()
+        answer = fn(query, database, counter=counter, **kw)
+        return set(answer.tuples), counter.total
+
+    with ctx.span("E19/triangle-families", sizes=len(relation_sizes)):
+        for family, make_db in (
+            ("skewed", skewed_triangle_database),
+            ("tight", lambda n: tight_agm_database(triangle, n)),
+        ):
+            for n in relation_sizes:
+                naive_db = make_db(n)
+                columnar_db = naive_db.with_backend("columnar")
+                order = wcoj_attribute_order(triangle, naive_db)
+                record(
+                    "generic_join",
+                    family,
+                    n,
+                    measured(generic_join, triangle, naive_db, attribute_order=order),
+                    measured(generic_join, triangle, columnar_db, attribute_order=order),
+                )
+                record(
+                    "left_deep",
+                    family,
+                    n,
+                    measured(
+                        lambda q, d, counter=None: evaluate_left_deep(
+                            q, d, counter=counter
+                        ).answer,
+                        triangle,
+                        naive_db,
+                    ),
+                    measured(
+                        lambda q, d, counter=None: evaluate_left_deep(
+                            q, d, counter=counter
+                        ).answer,
+                        triangle,
+                        columnar_db,
+                    ),
+                )
+
+    with ctx.span("E19/acyclic-engines", sizes=len(relation_sizes)):
+        for n in relation_sizes:
+            naive_db = tight_agm_database(path, n)
+            columnar_db = naive_db.with_backend("columnar")
+            record(
+                "yannakakis",
+                "tight-path",
+                n,
+                measured(yannakakis, path, naive_db),
+                measured(yannakakis, path, columnar_db),
+            )
+            c_naive, c_col = ctx.new_counter(), ctx.new_counter()
+            e_naive = set(enumerate_acyclic(path, naive_db, c_naive))
+            e_col = set(enumerate_acyclic(path, columnar_db, c_col))
+            record(
+                "enumerate_acyclic",
+                "tight-path",
+                n,
+                (e_naive, c_naive.total),
+                (e_col, c_col.total),
+            )
+
+    result.findings["cases"] = cases
+    result.findings["answer_mismatches"] = answer_mismatches
+    result.findings["op_count_mismatches"] = ops_mismatches
+    result.findings["verdict"] = (
+        "PASS" if answer_mismatches == 0 and ops_mismatches == 0 else "FAIL"
+    )
+    return result

@@ -22,7 +22,8 @@ from .enumeration import (
 )
 from .joins import JoinPlanResult, evaluate_left_deep, hash_join
 from .minimize import canonical_structure, minimize_query
-from .planner import plan_by_agm, prefix_bounds
+from .kernels import BACKENDS, KernelState
+from .planner import plan_by_agm, prefix_bounds, wcoj_attribute_order
 from .yannakakis import yannakakis
 from .wcoj import generic_join
 from .counting_answers import count_answers
@@ -30,7 +31,9 @@ from .estimate import agm_bound, agm_bound_uniform
 
 __all__ = [
     "Atom",
+    "BACKENDS",
     "Database",
+    "KernelState",
     "JoinPlanResult",
     "JoinQuery",
     "Relation",
@@ -50,5 +53,6 @@ __all__ = [
     "project",
     "select_equal",
     "semijoin",
+    "wcoj_attribute_order",
     "yannakakis",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from ..errors import SchemaError
+from .kernels import BACKENDS, KernelState
 from .relation import Relation, Value
 
 
@@ -13,13 +14,54 @@ class Database:
 
     The domain dom(D) is taken to be the active domain (all values in
     all relations) unless a larger one is declared explicitly.
+
+    ``backend`` selects the evaluation representation the join engines
+    use: ``"naive"`` (Python sets of value tuples, hash tries) or
+    ``"columnar"`` (interned int columns and sorted-array tries, see
+    :mod:`repro.relational.kernels`). Both produce identical answer
+    sets and charge identical operation counts; only wall-clock
+    differs. Use :meth:`with_backend` to get an A/B view of the same
+    data under the other backend.
     """
 
-    def __init__(self, relations: Iterable[Relation] = (), domain: Iterable[Value] | None = None) -> None:
+    def __init__(
+        self,
+        relations: Iterable[Relation] = (),
+        domain: Iterable[Value] | None = None,
+        backend: str = "naive",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise SchemaError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        self.backend = backend
         self._relations: dict[str, Relation] = {}
+        self._kernels = KernelState()
         for rel in relations:
             self.add_relation(rel)
         self._declared_domain = set(domain) if domain is not None else None
+
+    def with_backend(self, backend: str) -> "Database":
+        """A view of this database evaluating under ``backend``.
+
+        The view shares relations, declared domain, and kernel state
+        (interner + index caches) with the original — it is a cheap
+        relabeling, not a copy, so indexes built through one view are
+        reused by the other and mutations are visible everywhere.
+        """
+        if backend not in BACKENDS:
+            raise SchemaError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if backend == self.backend:
+            return self
+        view = Database.__new__(Database)
+        view.backend = backend
+        view._relations = self._relations
+        view._kernels = self._kernels
+        view._declared_domain = self._declared_domain
+        return view
+
+    @property
+    def kernels(self) -> KernelState:
+        """The per-database kernel state (interner + index caches)."""
+        return self._kernels
 
     def add_relation(self, relation: Relation) -> None:
         if relation.name in self._relations:

@@ -24,6 +24,7 @@ from collections.abc import Iterator
 from ..counting import CostCounter, charge
 from ..errors import SchemaError
 from ..hypergraph.acyclicity import is_alpha_acyclic, join_tree
+from . import kernels
 from .algebra import semijoin
 from .database import Database
 from .query import JoinQuery
@@ -92,7 +93,19 @@ def enumerate_acyclic(
     if not is_alpha_acyclic(hypergraph):
         raise SchemaError("constant-delay enumeration requires an alpha-acyclic query")
 
-    relations = [query.bound_relation(atom, database) for atom in query.atoms]
+    columnar = database.backend == "columnar"
+    if columnar:
+        state = database.kernels
+        relations = [
+            kernels.atom_view(
+                state, database.relation(atom.relation_name), atom.attributes
+            )
+            for atom in query.atoms
+        ]
+        semi = kernels.semijoin
+    else:
+        relations = [query.bound_relation(atom, database) for atom in query.atoms]
+        semi = semijoin
     links = join_tree(hypergraph)
     children: dict[int, list[int]] = {i: [] for i in range(len(relations))}
     parent: dict[int, int] = {}
@@ -105,10 +118,18 @@ def enumerate_acyclic(
     order = _leaves_first(children, roots)
     for node in order:
         for child in children[node]:
-            relations[node] = semijoin(relations[node], relations[child], counter)
+            relations[node] = semi(relations[node], relations[child], counter)
     for node in reversed(order):
         for child in children[node]:
-            relations[child] = semijoin(relations[child], relations[node], counter)
+            relations[child] = semi(relations[child], relations[node], counter)
+    if columnar:
+        # The reduce pass (the O(‖D‖) hot part) ran on interned columns;
+        # the backtrack-free walk below works on decoded value tuples, so
+        # per-answer delays are identical across backends.
+        relations = [
+            kernels.to_relation(view, state.interner, query.atoms[i].relation_name)
+            for i, view in enumerate(relations)
+        ]
 
     if any(len(relations[r]) == 0 for r in range(len(relations))):
         return

@@ -16,6 +16,7 @@ from ..counting import CostCounter, charge
 from ..errors import SchemaError
 from ..observability.metrics import current_metrics
 from ..observability.tracing import span
+from . import kernels
 from .database import Database
 from .query import JoinQuery
 from .relation import Relation
@@ -92,21 +93,43 @@ def evaluate_left_deep(
         registry.histogram("joins.intermediate_size") if registry is not None else None
     )
 
+    columnar = database.backend == "columnar"
     with span("evaluate_left_deep", counter=counter, atoms=query.num_atoms):
-        current = query.bound_relation(query.atoms[indices[0]], database)
-        peak = len(current)
-        total = len(current)
-        for idx in indices[1:]:
-            right = query.bound_relation(query.atoms[idx], database)
-            current = hash_join(current, right, counter)
-            peak = max(peak, len(current))
-            total += len(current)
-            if intermediate_hist is not None:
-                intermediate_hist.observe(len(current))
+        if columnar:
+            state = database.kernels
+            first = query.atoms[indices[0]]
+            view = kernels.atom_view(
+                state, database.relation(first.relation_name), first.attributes
+            )
+            peak = total = len(view)
+            for idx in indices[1:]:
+                atom = query.atoms[idx]
+                right_view = kernels.atom_view(
+                    state, database.relation(atom.relation_name), atom.attributes
+                )
+                view = kernels.pairwise_join(view, right_view, counter)
+                peak = max(peak, len(view))
+                total += len(view)
+                if intermediate_hist is not None:
+                    intermediate_hist.observe(len(view))
+        else:
+            current = query.bound_relation(query.atoms[indices[0]], database)
+            peak = len(current)
+            total = len(current)
+            for idx in indices[1:]:
+                right = query.bound_relation(query.atoms[idx], database)
+                current = hash_join(current, right, counter)
+                peak = max(peak, len(current))
+                total += len(current)
+                if intermediate_hist is not None:
+                    intermediate_hist.observe(len(current))
         if registry is not None:
             registry.gauge("joins.peak_intermediate_size").set_max(peak)
     # Normalize the answer's attribute order to the query's.
-    final = Relation("answer", current.attributes, current.tuples)
+    if columnar:
+        final = kernels.to_relation(view, database.kernels.interner, "answer")
+    else:
+        final = Relation("answer", current.attributes, current.tuples)
     return JoinPlanResult(
         answer=final, peak_intermediate_size=peak, total_intermediate_tuples=total
     )

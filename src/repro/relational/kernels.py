@@ -1,0 +1,753 @@
+"""Columnar relational kernels: interned values, sorted-array tries,
+and leapfrog intersection for the join hot paths (§3, [54, 61]).
+
+The naive engines in :mod:`.wcoj` / :mod:`.joins` / :mod:`.yannakakis`
+operate on Python sets of value tuples and hash Python objects at every
+probe. This module is the alternative *representation* selected by
+``Database.with_backend("columnar")``:
+
+* a per-database :class:`Interner` maps arbitrary hashable values to
+  dense ints (stable within a run), so every kernel compares machine
+  integers instead of re-hashing Python objects;
+* :class:`ColumnarTable` stores a relation as an ``int64`` matrix of
+  interned codes;
+* :class:`SortedTrieIndex` is Veldhuizen's sorted-array trie [61]: the
+  atom's columns lex-sorted in the global attribute order with
+  per-level run offsets, so a trie node is an O(1) ``(lo, hi)`` run
+  range and its children are a sorted array slice;
+* :func:`generic_join_columnar` runs Generic Join over those tries
+  with a leapfrog/galloping k-way intersection (binary-search seeks
+  from the smallest-set leader, batched through numpy for wide nodes);
+* :func:`pairwise_join` / :func:`semijoin` are single-pass vectorized
+  equivalents of the hash-join and semijoin kernels;
+* :class:`KernelState` memoizes every table/trie on the database keyed
+  by ``(relation, column order)`` and the relation's mutation
+  ``version``, so indexes are built once and reused across subqueries,
+  semijoin passes, and enumeration calls — the index-reuse assumption
+  NPRR [54] makes explicit.
+
+Operation-count contract
+------------------------
+Kernels charge the supplied :class:`~repro.counting.CostCounter`
+exactly what the naive engines charge — one unit per candidate value
+of the smallest set, per trie-edge descent, per hashed tuple, per
+joined pair, per answer — computed in bulk from run widths rather than
+paid per Python iteration. Full-evaluation op totals are therefore
+*backend-invariant* (asserted by the property tests); only wall-clock
+changes. Early-exit (boolean) evaluation stops at the first witness,
+whose position depends on traversal order, so its totals agree across
+backends only when the answer is empty.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..counting import CostCounter, charge
+from ..errors import SchemaError
+from ..observability.metrics import SMALL_BUCKETS, current_metrics
+from ..observability.tracing import span
+from .relation import Relation, Value
+
+#: Recognized evaluation backends for ``Database.with_backend``.
+BACKENDS = ("naive", "columnar")
+
+#: Node widths at or below this use the scalar leapfrog loop; wider
+#: nodes batch the whole intersection through numpy. Crossover picked
+#: on the E3 families: numpy per-call overhead (~µs) dominates under a
+#: few dozen candidates.
+SCALAR_THRESHOLD = 32
+
+
+class Interner:
+    """Dense value↔int mapping, stable for the lifetime of a database.
+
+    Codes are assigned in first-intern order, so within one run the
+    mapping is deterministic; codes are never reused or compacted.
+    Sorted-code order is *not* the values' natural order — the kernels
+    only ever need an order that is total and consistent.
+    """
+
+    __slots__ = ("_ids", "values")
+
+    def __init__(self) -> None:
+        self._ids: dict[Value, int] = {}
+        self.values: list[Value] = []
+
+    def intern(self, value: Value) -> int:
+        """The code for ``value``, allocating one on first sight."""
+        code = self._ids.get(value)
+        if code is None:
+            code = len(self.values)
+            self._ids[value] = code
+            self.values.append(value)
+        return code
+
+    def decode(self, code: int) -> Value:
+        return self.values[code]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class ColumnarTable:
+    """One relation's tuples as a matrix of interned ``int64`` codes.
+
+    Row order is the relation's set-iteration order; columns are the
+    relation's columns. Rows are unique by construction (relations have
+    set semantics), so no deduplication pass is needed.
+    """
+
+    __slots__ = ("matrix", "nrows")
+
+    def __init__(self, relation: Relation, interner: Interner) -> None:
+        rows = list(relation.tuples)
+        intern = interner.intern
+        flat = [intern(v) for t in rows for v in t]
+        self.matrix = np.array(flat, dtype=np.int64).reshape(
+            len(rows), relation.arity
+        )
+        self.nrows = len(rows)
+
+
+class SortedTrieIndex:
+    """Sorted-array trie over one column group of a table [61].
+
+    Rows are lex-sorted by ``positions``; level ``k`` partitions them
+    into *runs* of rows equal on columns ``0..k``. A trie node bound on
+    ``k`` values is a run-id interval ``(lo, hi)`` at level ``k``: its
+    child values are the sorted slice ``uvals[k][lo:hi]``, and
+    descending into child run ``r`` yields the interval
+    ``(next_lo[k][r], next_hi[k][r])`` at level ``k + 1``.
+
+    Per-level value arrays are kept both as numpy arrays (for the
+    batched intersection) and as plain lists (for the scalar leapfrog
+    loop, where list indexing beats numpy scalar extraction).
+    """
+
+    __slots__ = ("depth", "nroot", "uvals", "ulist", "next_lo", "next_hi")
+
+    def __init__(self, matrix: np.ndarray, positions: Sequence[int]) -> None:
+        depth = len(positions)
+        self.depth = depth
+        self.uvals: list[np.ndarray] = []
+        self.ulist: list[list[int]] = []
+        self.next_lo: list[list[int]] = []
+        self.next_hi: list[list[int]] = []
+        n = matrix.shape[0]
+        if n == 0:
+            self.nroot = 0
+            for _ in range(depth):
+                self.uvals.append(np.empty(0, np.int64))
+                self.ulist.append([])
+            for _ in range(max(depth - 1, 0)):
+                self.next_lo.append([])
+                self.next_hi.append([])
+            return
+        cols = [matrix[:, p] for p in positions]
+        order = np.lexsort(tuple(cols[k] for k in range(depth - 1, -1, -1)))
+        sorted_cols = [np.ascontiguousarray(c[order]) for c in cols]
+        # ``change[i]`` marks row i starting a new run at the current
+        # level; runs only split (never merge) as levels deepen.
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        change[1:] = sorted_cols[0][1:] != sorted_cols[0][:-1]
+        prev_starts: np.ndarray | None = None
+        prev_ends: np.ndarray | None = None
+        for k in range(depth):
+            if k > 0:
+                change = change.copy()
+                change[1:] |= sorted_cols[k][1:] != sorted_cols[k][:-1]
+            run_id = np.cumsum(change) - 1
+            starts = np.flatnonzero(change)
+            ends = np.append(starts[1:], n)
+            u = sorted_cols[k][starts]
+            self.uvals.append(u)
+            self.ulist.append(u.tolist())
+            if k > 0:
+                assert prev_starts is not None and prev_ends is not None
+                self.next_lo.append(run_id[prev_starts].tolist())
+                self.next_hi.append((run_id[prev_ends - 1] + 1).tolist())
+            prev_starts, prev_ends = starts, ends
+        self.nroot = len(self.ulist[0])
+
+
+def build_hash_trie(relation: Relation, positions: Sequence[int]) -> dict:
+    """The naive backend's index kernel: a dict-of-dicts trie keyed by
+    the relation's columns in ``positions`` order.
+
+    Construction charges nothing (index building is outside every
+    theorem's accounting); :class:`KernelState` memoizes the result so
+    it is paid once per ``(relation, column order)``, not per call.
+    """
+    root: dict = {}
+    for t in relation.tuples:
+        node = root
+        for p in positions:
+            node = node.setdefault(t[p], {})
+    return root
+
+
+class KernelState:
+    """Per-database kernel state: the interner plus the index caches.
+
+    Caches key on ``(relation name, column positions)`` and remember
+    the relation's :attr:`~repro.relational.relation.Relation.version`
+    at build time; a mutated relation therefore misses and rebuilds on
+    the next lookup (invalidate-on-``add`` semantics with no mutation
+    hooks). ``with_backend`` views share one ``KernelState``, so A/B
+    runs over the same database reuse the same interner, and the naive
+    and columnar backends never observe different index contents.
+    """
+
+    __slots__ = ("interner", "_tables", "_tries", "_hash_tries")
+
+    def __init__(self) -> None:
+        self.interner = Interner()
+        self._tables: dict[str, tuple[int, ColumnarTable]] = {}
+        self._tries: dict[
+            tuple[str, tuple[int, ...]], tuple[int, SortedTrieIndex]
+        ] = {}
+        self._hash_tries: dict[tuple[str, tuple[int, ...]], tuple[int, dict]] = {}
+
+    def table(self, relation: Relation) -> ColumnarTable:
+        """The memoized interned matrix for ``relation``."""
+        cached = self._tables.get(relation.name)
+        if cached is not None and cached[0] == relation.version:
+            return cached[1]
+        table = ColumnarTable(relation, self.interner)
+        self._tables[relation.name] = (relation.version, table)
+        return table
+
+    def sorted_trie(
+        self, relation: Relation, positions: Sequence[int]
+    ) -> SortedTrieIndex:
+        """The memoized sorted-array trie over ``relation``'s columns
+        in ``positions`` order."""
+        key = (relation.name, tuple(positions))
+        cached = self._tries.get(key)
+        if cached is not None and cached[0] == relation.version:
+            return cached[1]
+        trie = SortedTrieIndex(self.table(relation).matrix, key[1])
+        self._tries[key] = (relation.version, trie)
+        return trie
+
+    def hash_trie(self, relation: Relation, positions: Sequence[int]) -> dict:
+        """The memoized dict trie (naive backend) over ``relation``'s
+        columns in ``positions`` order."""
+        key = (relation.name, tuple(positions))
+        cached = self._hash_tries.get(key)
+        if cached is not None and cached[0] == relation.version:
+            return cached[1]
+        root = build_hash_trie(relation, key[1])
+        self._hash_tries[key] = (relation.version, root)
+        return root
+
+
+# -- table views and the vectorized pairwise kernels -------------------
+
+
+class TableView:
+    """An (attributes, interned matrix) pair flowing through a plan.
+
+    Views are cheap: renaming an atom's columns to query attributes is
+    relabeling, and column selection is a numpy slice of the cached
+    table — no per-tuple work until a final :func:`to_relation`.
+    """
+
+    __slots__ = ("attributes", "matrix")
+
+    def __init__(self, attributes: tuple[str, ...], matrix: np.ndarray) -> None:
+        self.attributes = attributes
+        self.matrix = matrix
+
+    def __len__(self) -> int:
+        return int(self.matrix.shape[0])
+
+
+def atom_view(
+    state: KernelState, relation: Relation, attributes: Sequence[str]
+) -> TableView:
+    """The atom's relation as a view with columns renamed to query
+    attributes (the columnar counterpart of ``bound_relation``)."""
+    attrs = tuple(attributes)
+    if relation.arity != len(attrs):
+        raise SchemaError(
+            f"atom over {relation.name!r} binds {len(attrs)} attributes, "
+            f"relation has arity {relation.arity}"
+        )
+    return TableView(attrs, state.table(relation).matrix)
+
+
+def _key_codes(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Comparable int codes for the two sides' key columns.
+
+    Single-column keys are already comparable ints; multi-column keys
+    are jointly re-coded through one ``np.unique`` pass so equal key
+    tuples — and only those — share a code.
+    """
+    if left_keys.shape[1] == 1:
+        return left_keys[:, 0], right_keys[:, 0]
+    combined = np.concatenate([left_keys, right_keys], axis=0)
+    _, inverse = np.unique(combined, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    return inverse[: left_keys.shape[0]], inverse[left_keys.shape[0] :]
+
+
+def _unique_rows(matrix: np.ndarray) -> np.ndarray:
+    if matrix.shape[0] <= 1:
+        return matrix
+    return np.unique(matrix, axis=0)
+
+
+def pairwise_join(
+    left: TableView, right: TableView, counter: CostCounter | None = None
+) -> TableView:
+    """Vectorized natural join of two views on interned ints.
+
+    Build/probe is one stable sort plus two binary-search sweeps over
+    the key codes — no per-tuple dict churn — followed by a gather of
+    the matching row pairs. Charges mirror
+    :func:`repro.relational.joins.hash_join` exactly: one unit per
+    right tuple (build), per left tuple (probe), and per matching pair
+    (output), so plan op totals are backend-invariant.
+
+    Complexity: O((|L| + |R|) log |R| + |out|) — the sort/gather
+    equivalent of the hash join's O(|L| + |R| + |out|).
+    """
+    shared = [a for a in left.attributes if a in right.attributes]
+    extra = [a for a in right.attributes if a not in left.attributes]
+    out_attrs = left.attributes + tuple(extra)
+    nl, nr = len(left), len(right)
+    charge(counter, nr)
+    charge(counter, nl)
+    if nl == 0 or nr == 0:
+        return TableView(out_attrs, np.empty((0, len(out_attrs)), np.int64))
+    extra_pos = [right.attributes.index(a) for a in extra]
+    if not shared:
+        charge(counter, nl * nr)
+        left_part = np.repeat(left.matrix, nr, axis=0)
+        right_part = np.tile(right.matrix[:, extra_pos], (nl, 1))
+        out = np.concatenate([left_part, right_part], axis=1)
+        return TableView(out_attrs, _unique_rows(out))
+    lpos = [left.attributes.index(a) for a in shared]
+    rpos = [right.attributes.index(a) for a in shared]
+    kl, kr = _key_codes(left.matrix[:, lpos], right.matrix[:, rpos])
+    order = np.argsort(kr, kind="stable")
+    skr = kr[order]
+    lo = np.searchsorted(skr, kl, side="left")
+    hi = np.searchsorted(skr, kl, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    charge(counter, total)
+    if total == 0:
+        return TableView(out_attrs, np.empty((0, len(out_attrs)), np.int64))
+    left_idx = np.repeat(np.arange(nl), counts)
+    group_starts = np.cumsum(counts) - counts
+    offsets = np.arange(total) - np.repeat(group_starts, counts)
+    right_idx = order[np.repeat(lo, counts) + offsets]
+    if extra_pos:
+        out = np.concatenate(
+            [left.matrix[left_idx], right.matrix[right_idx][:, extra_pos]],
+            axis=1,
+        )
+    else:
+        out = left.matrix[left_idx]
+    return TableView(out_attrs, _unique_rows(out))
+
+
+def semijoin(
+    left: TableView, right: TableView, counter: CostCounter | None = None
+) -> TableView:
+    """left ⋉ right on interned ints (one sort + one search sweep).
+
+    Charges mirror :func:`repro.relational.algebra.semijoin`: one unit
+    per right tuple (key build) and per left tuple (probe); the
+    no-shared-attribute guard charges nothing, like the naive kernel.
+
+    Complexity: O((|L| + |R|) log |R|).
+    """
+    shared = [a for a in left.attributes if a in right.attributes]
+    if not shared:
+        if len(right):
+            return TableView(left.attributes, left.matrix)
+        return TableView(left.attributes, left.matrix[:0])
+    charge(counter, len(right))
+    charge(counter, len(left))
+    if len(left) == 0 or len(right) == 0:
+        return TableView(left.attributes, left.matrix[:0])
+    lpos = [left.attributes.index(a) for a in shared]
+    rpos = [right.attributes.index(a) for a in shared]
+    kl, kr = _key_codes(left.matrix[:, lpos], right.matrix[:, rpos])
+    skr = np.sort(kr)
+    ix = np.searchsorted(skr, kl)
+    np.minimum(ix, len(skr) - 1, out=ix)
+    mask = skr[ix] == kl
+    return TableView(left.attributes, left.matrix[mask])
+
+
+def project_view(view: TableView, attributes: Sequence[str]) -> TableView:
+    """π over a view, deduplicating rows (set semantics)."""
+    attrs = tuple(attributes)
+    positions = [view.attributes.index(a) for a in attrs]
+    return TableView(attrs, _unique_rows(view.matrix[:, positions]))
+
+
+def to_relation(view: TableView, interner: Interner, name: str) -> Relation:
+    """Decode a view's interned codes back to a value-tuple Relation."""
+    out = Relation(name, view.attributes)
+    if view.matrix.size:
+        decode = np.array(interner.values, dtype=object)
+        out.tuples.update(map(tuple, decode[view.matrix].tolist()))
+        out.version += 1
+    return out
+
+
+# -- the WCOJ kernel ---------------------------------------------------
+
+
+class _TrieCursor:
+    """One atom's position in its sorted trie during Generic Join."""
+
+    __slots__ = ("trie", "level", "lo", "hi")
+
+    def __init__(self, trie: SortedTrieIndex) -> None:
+        self.trie = trie
+        self.level = 0
+        self.lo = 0
+        self.hi = trie.nroot
+
+
+def _descend(cur: _TrieCursor, run: int) -> tuple[int, int, int]:
+    """Move ``cur`` into child run ``run``; returns the saved state."""
+    saved = (cur.level, cur.lo, cur.hi)
+    trie = cur.trie
+    k = cur.level
+    if k + 1 < trie.depth:
+        cur.lo = trie.next_lo[k][run]
+        cur.hi = trie.next_hi[k][run]
+    cur.level = k + 1
+    return saved
+
+
+def _cursors(query, database, order: tuple[str, ...]) -> list[_TrieCursor]:
+    """A fresh trie cursor per atom, tries served from the index cache."""
+    state: KernelState = database.kernels
+    cursors = []
+    for atom in query.atoms:
+        relation = database.relation(atom.relation_name)
+        positions = tuple(
+            atom.attributes.index(a) for a in order if a in atom.attributes
+        )
+        cursors.append(_TrieCursor(state.sorted_trie(relation, positions)))
+    return cursors
+
+
+def generic_join_columnar(
+    query,
+    database,
+    order: tuple[str, ...],
+    relevant: list[list[int]],
+    counter: CostCounter | None = None,
+) -> Relation:
+    """Generic Join over sorted-array tries with leapfrog intersection.
+
+    Called by :func:`repro.relational.wcoj.generic_join` after shared
+    validation; ``relevant`` lists, per position of ``order``, the
+    atoms containing that attribute. Narrow nodes run a scalar leapfrog
+    (leader values walked run by run, other iterators sought by binary
+    search); wide nodes batch the same intersection through
+    ``np.searchsorted``. Charges match the naive engine unit for unit:
+    |smallest candidate set| per node, one per trie-edge descent, one
+    per answer.
+
+    Complexity: O(N^rho*(H)) data complexity — the AGM bound — with
+    O(log N) per seek in place of the hash trie's O(1) probes.
+    """
+    cursors = _cursors(query, database, order)
+    registry = current_metrics()
+    probe_hist = candidate_hist = None
+    if registry is not None:
+        probe_hist = registry.histogram("wcoj.probes_per_answer", SMALL_BUCKETS)
+        candidate_hist = registry.histogram("wcoj.candidate_set_size")
+        registry.counter("wcoj.joins").inc()
+
+    answer = Relation("answer", order)
+    answers = answer.tuples
+    decode = database.kernels.interner.values
+    nattrs = len(order)
+    prefix: list[Value] = []
+    probes_since_answer = 0
+
+    def emit_batch(values: list[int]) -> None:
+        # One leaf node's matched codes become answers in bulk. The
+        # probe histogram keeps count/sum parity with the naive engine
+        # (probes land on the batch's first answer instead of being
+        # spread across it — see the module docstring).
+        nonlocal probes_since_answer
+        pre = tuple(prefix)
+        answers.update(pre + (decode[v],) for v in values)
+        if probe_hist is not None:
+            probe_hist.observe(probes_since_answer)
+            probes_since_answer = 0
+            for _ in range(len(values) - 1):
+                probe_hist.observe(0)
+
+    def scalar_pair_node(
+        leader: _TrieCursor,
+        other: _TrieCursor,
+        pos: int,
+    ) -> None:
+        # The two-atom intersection (every node of a binary-relation
+        # query): leapfrog proper. Leader values ascend, so each seek
+        # into ``other`` resumes from the previous hit — the galloping
+        # invariant of [61] — and charges are bulked per node.
+        values = leader.trie.ulist[leader.level]
+        l_lvl, l_lo, l_hi = leader.level, leader.lo, leader.hi
+        o_lvl, o_lo, o_hi = other.level, other.lo, other.hi
+        ul = other.trie.ulist[o_lvl]
+        if pos == nattrs - 1:
+            batch: list[int] = []
+            seek = o_lo
+            for run in range(l_lo, l_hi):
+                v = values[run]
+                seek = bisect_left(ul, v, seek, o_hi)
+                if seek >= o_hi:
+                    break
+                if ul[seek] == v:
+                    batch.append(v)
+            if batch:
+                charge(counter, len(batch) * 3)  # 2 descents + 1 answer each
+                emit_batch(batch)
+            return
+        l_trie, o_trie = leader.trie, other.trie
+        l_deep = l_lvl + 1 < l_trie.depth
+        o_deep = o_lvl + 1 < o_trie.depth
+        matches = 0
+        seek = o_lo
+        for run in range(l_lo, l_hi):
+            v = values[run]
+            seek = bisect_left(ul, v, seek, o_hi)
+            if seek >= o_hi:
+                break
+            if ul[seek] != v:
+                continue
+            matches += 1
+            if l_deep:
+                leader.lo = l_trie.next_lo[l_lvl][run]
+                leader.hi = l_trie.next_hi[l_lvl][run]
+            leader.level = l_lvl + 1
+            if o_deep:
+                other.lo = o_trie.next_lo[o_lvl][seek]
+                other.hi = o_trie.next_hi[o_lvl][seek]
+            other.level = o_lvl + 1
+            prefix.append(decode[v])
+            recurse(pos + 1)
+            prefix.pop()
+        if matches:
+            charge(counter, matches * 2)
+        leader.level, leader.lo, leader.hi = l_lvl, l_lo, l_hi
+        other.level, other.lo, other.hi = o_lvl, o_lo, o_hi
+
+    def scalar_node(
+        leader: _TrieCursor,
+        others: list[_TrieCursor],
+        pos: int,
+        natoms: int,
+    ) -> None:
+        if natoms == 2:
+            scalar_pair_node(leader, others[0], pos)
+            return
+        values = leader.trie.ulist[leader.level]
+        last = pos == nattrs - 1
+        batch: list[int] = []
+        # Monotone per-iterator seek bounds: leader values ascend, so
+        # each iterator's next hit is at or right of its previous one.
+        seeks = [other.lo for other in others]
+        for run in range(leader.lo, leader.hi):
+            v = values[run]
+            hits = []
+            for j, other in enumerate(others):
+                ul = other.trie.ulist[other.level]
+                ix = bisect_left(ul, v, seeks[j], other.hi)
+                seeks[j] = ix
+                if ix >= other.hi or ul[ix] != v:
+                    break
+                hits.append((other, ix))
+            else:
+                charge(counter, natoms)
+                if last:
+                    batch.append(v)
+                    continue
+                saved = [(other, _descend(other, ix)) for other, ix in hits]
+                saved.append((leader, _descend(leader, run)))
+                prefix.append(decode[v])
+                recurse(pos + 1)
+                prefix.pop()
+                for cur, (lvl, lo, hi) in saved:
+                    cur.level, cur.lo, cur.hi = lvl, lo, hi
+        if batch:
+            charge(counter, len(batch))
+            emit_batch(batch)
+
+    def vector_node(
+        leader: _TrieCursor,
+        others: list[_TrieCursor],
+        pos: int,
+        natoms: int,
+    ) -> None:
+        lead_slice = leader.trie.uvals[leader.level][leader.lo : leader.hi]
+        matched = lead_slice
+        other_runs: list[tuple[_TrieCursor, np.ndarray]] = []
+        for other in others:
+            u = other.trie.uvals[other.level][other.lo : other.hi]
+            if len(u) == 0 or len(matched) == 0:
+                return
+            ix = np.searchsorted(u, matched)
+            np.minimum(ix, len(u) - 1, out=ix)
+            mask = u[ix] == matched
+            matched = matched[mask]
+            ix = ix[mask]
+            for j in range(len(other_runs)):
+                other_runs[j] = (other_runs[j][0], other_runs[j][1][mask])
+            other_runs.append((other, ix + other.lo))
+        m = len(matched)
+        if m == 0:
+            return
+        charge(counter, m * natoms)
+        if pos == nattrs - 1:
+            charge(counter, m)
+            emit_batch(matched.tolist())
+            return
+        lead_runs = np.searchsorted(lead_slice, matched) + leader.lo
+        # Entry states, captured once: every matched value descends from
+        # the same node, so the per-value reset is just these tuples.
+        descents = [
+            (cur, runs.tolist(), cur.level, cur.lo, cur.hi)
+            for cur, runs in [(leader, lead_runs), *other_runs]
+        ]
+        for j, v in enumerate(matched.tolist()):
+            for cur, runs, lvl, _, _ in descents:
+                trie = cur.trie
+                if lvl + 1 < trie.depth:
+                    run = runs[j]
+                    cur.lo = trie.next_lo[lvl][run]
+                    cur.hi = trie.next_hi[lvl][run]
+                cur.level = lvl + 1
+            prefix.append(decode[v])
+            recurse(pos + 1)
+            prefix.pop()
+        for cur, _, lvl, lo, hi in descents:
+            cur.level, cur.lo, cur.hi = lvl, lo, hi
+
+    def recurse(pos: int) -> None:
+        nonlocal probes_since_answer
+        atoms_here = relevant[pos]
+        lead = atoms_here[0]
+        width = cursors[lead].hi - cursors[lead].lo
+        for i in atoms_here[1:]:
+            w = cursors[i].hi - cursors[i].lo
+            if w < width:
+                width = w
+                lead = i
+        if candidate_hist is not None:
+            candidate_hist.observe(width)
+        charge(counter, width)
+        probes_since_answer += width
+        if width == 0:
+            return
+        leader = cursors[lead]
+        others = [cursors[i] for i in atoms_here if i != lead]
+        if width <= SCALAR_THRESHOLD:
+            scalar_node(leader, others, pos, len(atoms_here))
+        else:
+            vector_node(leader, others, pos, len(atoms_here))
+
+    with span(
+        "generic_join",
+        counter=counter,
+        atoms=len(cursors),
+        attrs=nattrs,
+        backend="columnar",
+    ):
+        recurse(0)
+    if registry is not None:
+        registry.counter("wcoj.answers").inc(len(answer))
+    return answer
+
+
+def boolean_generic_join_columnar(
+    query,
+    database,
+    order: tuple[str, ...],
+    relevant: list[list[int]],
+    counter: CostCounter | None = None,
+) -> bool:
+    """Emptiness of the answer by columnar Generic Join, early-exiting
+    on the first witness.
+
+    The leader is walked run by run *without* galloping so every
+    examined candidate is charged, exactly as the naive engine does —
+    on empty answers both backends traverse (and charge) the same node
+    tree. Non-empty answers exit at a traversal-order-dependent point.
+
+    Complexity: O(N^rho*(H)) worst case (AGM bound), O(log N) per seek.
+    """
+    cursors = _cursors(query, database, order)
+    registry = current_metrics()
+    candidate_hist = (
+        registry.histogram("wcoj.candidate_set_size")
+        if registry is not None
+        else None
+    )
+    nattrs = len(order)
+
+    def recurse(pos: int) -> bool:
+        if pos == nattrs:
+            return True
+        atoms_here = relevant[pos]
+        lead = atoms_here[0]
+        width = cursors[lead].hi - cursors[lead].lo
+        for i in atoms_here[1:]:
+            w = cursors[i].hi - cursors[i].lo
+            if w < width:
+                width = w
+                lead = i
+        if candidate_hist is not None:
+            candidate_hist.observe(width)
+        leader = cursors[lead]
+        others = [cursors[i] for i in atoms_here if i != lead]
+        values = leader.trie.ulist[leader.level]
+        for run in range(leader.lo, leader.hi):
+            charge(counter)
+            v = values[run]
+            seeks = []
+            for other in others:
+                ul = other.trie.ulist[other.level]
+                ix = bisect_left(ul, v, other.lo, other.hi)
+                if ix >= other.hi or ul[ix] != v:
+                    break
+                seeks.append((other, ix))
+            else:
+                charge(counter, len(atoms_here))
+                saved = [(other, _descend(other, ix)) for other, ix in seeks]
+                saved.append((leader, _descend(leader, run)))
+                if recurse(pos + 1):
+                    return True
+                for cur, (lvl, lo, hi) in saved:
+                    cur.level, cur.lo, cur.hi = lvl, lo, hi
+        return False
+
+    with span(
+        "boolean_generic_join",
+        counter=counter,
+        atoms=len(cursors),
+        attrs=nattrs,
+        backend="columnar",
+    ):
+        return recurse(0)

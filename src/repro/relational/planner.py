@@ -36,6 +36,37 @@ def prefix_bounds(
     return bounds
 
 
+def wcoj_attribute_order(
+    query: JoinQuery, database: Database
+) -> tuple[str, ...]:
+    """A Generic Join attribute order by the min-degree heuristic.
+
+    Attributes are ordered by ascending *total candidate-set size*: the
+    sum, over the atoms containing the attribute, of the number of
+    distinct values in the bound column — the size of the root-level
+    candidate sets Generic Join would intersect for that attribute.
+    Binding low-fan-out attributes first shrinks every later candidate
+    set, improving constants; any order is worst-case optimal
+    (Theorem 3.3), so the answer set never changes (pinned by a test).
+
+    Ties break toward query declaration order, keeping the choice
+    deterministic.
+
+    Complexity: O(‖D‖) — one pass over each atom's column per
+    attribute occurrence.
+    """
+    query.validate_against(database)
+    totals: dict[str, int] = {a: 0 for a in query.attributes}
+    for atom in query.atoms:
+        relation = database.relation(atom.relation_name)
+        for pos, a in enumerate(atom.attributes):
+            totals[a] += len({t[pos] for t in relation.tuples})
+    declared = {a: i for i, a in enumerate(query.attributes)}
+    return tuple(
+        sorted(query.attributes, key=lambda a: (totals[a], declared[a]))
+    )
+
+
 def plan_by_agm(
     query: JoinQuery, database: Database
 ) -> tuple[tuple[int, ...], float]:

@@ -39,6 +39,11 @@ class Relation:
             raise SchemaError(f"relation {name!r} needs at least one attribute")
         self._index = {a: i for i, a in enumerate(self.attributes)}
         self.tuples: set[Tuple_] = set()
+        #: Monotone mutation counter; index caches key on it so a
+        #: mutated relation invalidates every derived index (the
+        #: backends in :mod:`repro.relational.kernels` check it on
+        #: every lookup rather than subscribing to mutations).
+        self.version: int = 0
         for t in tuples:
             self.add(t)
 
@@ -54,6 +59,7 @@ class Relation:
                 f"tuple {t!r} has length {len(t)}, relation {self.name!r} has arity {self.arity}"
             )
         self.tuples.add(t)
+        self.version += 1
 
     def position(self, attribute: str) -> int:
         """Column index of ``attribute``."""

@@ -22,23 +22,27 @@ from ..errors import SchemaError
 from ..observability.metrics import SMALL_BUCKETS, current_metrics
 from ..observability.tracing import span
 from .database import Database
-from .query import JoinQuery
+from .kernels import boolean_generic_join_columnar, generic_join_columnar
+from .query import Atom, JoinQuery
 from .relation import Relation, Value
 
 
 class _AtomIndex:
-    """Hash-trie over one atom's tuples, keyed in global attribute order."""
+    """Hash-trie over one atom's tuples, keyed in global attribute order.
 
-    def __init__(self, attributes: Sequence[str], relation: Relation, global_order: Sequence[str]) -> None:
+    The trie itself comes from the database's kernel-state cache keyed
+    by ``(relation name, column positions)`` and the relation's mutation
+    version, so repeated joins over an unchanged database reuse one
+    build instead of rebuilding per call.
+    """
+
+    def __init__(self, atom: Atom, database: Database, global_order: Sequence[str]) -> None:
         # The atom's attributes sorted by their position in the global
         # variable order; tuples are re-keyed accordingly.
-        self.ordered_attrs = [a for a in global_order if a in attributes]
-        positions = [relation.position(a) for a in self.ordered_attrs]
-        self.root: dict = {}
-        for t in relation.tuples:
-            node = self.root
-            for p in positions:
-                node = node.setdefault(t[p], {})
+        self.ordered_attrs = [a for a in global_order if a in atom.attributes]
+        positions = tuple(atom.attributes.index(a) for a in self.ordered_attrs)
+        relation = database.relation(atom.relation_name)
+        self.root: dict = database.kernels.hash_trie(relation, positions)
 
     def children(self, prefix: tuple[Value, ...]) -> dict | None:
         """The trie node reached by ``prefix``, or None if absent."""
@@ -50,12 +54,12 @@ class _AtomIndex:
         return node
 
 
-def _prepare(
+def _validate(
     query: JoinQuery,
     database: Database,
     attribute_order: Sequence[str] | None,
-) -> tuple[tuple[str, ...], list[_AtomIndex], list[list[int]]]:
-    """Shared validation + index construction for both entry points.
+) -> tuple[tuple[str, ...], list[list[int]]]:
+    """Shared validation for both entry points and both backends.
 
     Raises :class:`SchemaError` when the order is not a permutation of
     the query's attributes or an ordered attribute occurs in no atom —
@@ -78,11 +82,7 @@ def _prepare(
     for pos, atoms_here in enumerate(relevant):
         if not atoms_here:
             raise SchemaError(f"attribute {order[pos]!r} occurs in no atom")
-    indexes = [
-        _AtomIndex(atom.attributes, query.bound_relation(atom, database), order)
-        for atom in query.atoms
-    ]
-    return order, indexes, relevant
+    return order, relevant
 
 
 def generic_join(
@@ -103,7 +103,10 @@ def generic_join(
     Complexity: O(N^rho*(H)) data complexity — the AGM bound — with
     O(1) work per probe (one trie-edge descent per relevant atom).
     """
-    order, indexes, relevant = _prepare(query, database, attribute_order)
+    order, relevant = _validate(query, database, attribute_order)
+    if database.backend == "columnar":
+        return generic_join_columnar(query, database, order, relevant, counter)
+    indexes = [_AtomIndex(atom, database, order) for atom in query.atoms]
 
     # Distribution instrumentation (no-op outside the experiment
     # runtime): probes charged between consecutive answers, and the
@@ -177,7 +180,10 @@ def boolean_generic_join(
     Complexity: O(N^rho*(H)) worst case (AGM bound), O(1) per probe;
     exits on the first satisfying assignment.
     """
-    order, indexes, relevant = _prepare(query, database, attribute_order)
+    order, relevant = _validate(query, database, attribute_order)
+    if database.backend == "columnar":
+        return boolean_generic_join_columnar(query, database, order, relevant, counter)
+    indexes = [_AtomIndex(atom, database, order) for atom in query.atoms]
     registry = current_metrics()
     candidate_hist = (
         registry.histogram("wcoj.candidate_set_size") if registry is not None else None

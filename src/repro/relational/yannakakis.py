@@ -11,11 +11,23 @@ from __future__ import annotations
 from ..counting import CostCounter
 from ..errors import SchemaError
 from ..hypergraph.acyclicity import is_alpha_acyclic, join_tree
+from . import kernels
 from .algebra import project, semijoin
 from .database import Database
 from .joins import hash_join
 from .query import JoinQuery
 from .relation import Relation
+
+
+def _atom_views(query: JoinQuery, database: Database) -> list:
+    """Per-atom columnar views (cached tables relabeled to query attrs)."""
+    state = database.kernels
+    return [
+        kernels.atom_view(
+            state, database.relation(atom.relation_name), atom.attributes
+        )
+        for atom in query.atoms
+    ]
 
 
 def yannakakis(
@@ -42,7 +54,13 @@ def yannakakis(
     if not is_alpha_acyclic(hypergraph):
         raise SchemaError("Yannakakis requires an alpha-acyclic query")
 
-    relations = [query.bound_relation(atom, database) for atom in query.atoms]
+    columnar = database.backend == "columnar"
+    if columnar:
+        relations = _atom_views(query, database)
+        semi, join = kernels.semijoin, kernels.pairwise_join
+    else:
+        relations = [query.bound_relation(atom, database) for atom in query.atoms]
+        semi, join = semijoin, hash_join
     links = join_tree(hypergraph)
     children: dict[int, list[int]] = {i: [] for i in range(len(relations))}
     parent: dict[int, int] = {}
@@ -56,27 +74,31 @@ def yannakakis(
     # Upward semijoin pass: parent ⋉ child for every child.
     for node in bottom_up:
         for child in children[node]:
-            relations[node] = semijoin(relations[node], relations[child], counter)
+            relations[node] = semi(relations[node], relations[child], counter)
 
     # Downward pass: child ⋉ parent.
     for node in reversed(bottom_up):
         for child in children[node]:
-            relations[child] = semijoin(relations[child], relations[node], counter)
+            relations[child] = semi(relations[child], relations[node], counter)
 
     # Bottom-up join; after full reduction intermediates stay bounded by
     # the final answer size times the number of atoms.
-    joined: dict[int, Relation] = {}
+    joined: dict = {}
     for node in bottom_up:
         current = relations[node]
         for child in children[node]:
-            current = hash_join(current, joined[child], counter)
+            current = join(current, joined[child], counter)
         joined[node] = current
 
     answer = joined[roots[0]]
     for extra_root in roots[1:]:
-        answer = hash_join(answer, joined[extra_root], counter)
+        answer = join(answer, joined[extra_root], counter)
 
     attrs = project_to if project_to is not None else query.attributes
+    if columnar:
+        return kernels.to_relation(
+            kernels.project_view(answer, attrs), database.kernels.interner, "answer"
+        )
     return project(
         Relation("answer", answer.attributes, answer.tuples), attrs, name="answer"
     )
@@ -95,7 +117,12 @@ def boolean_yannakakis(
     if not is_alpha_acyclic(hypergraph):
         raise SchemaError("Yannakakis requires an alpha-acyclic query")
 
-    relations = [query.bound_relation(atom, database) for atom in query.atoms]
+    if database.backend == "columnar":
+        relations = _atom_views(query, database)
+        semi = kernels.semijoin
+    else:
+        relations = [query.bound_relation(atom, database) for atom in query.atoms]
+        semi = semijoin
     links = join_tree(hypergraph)
     children: dict[int, list[int]] = {i: [] for i in range(len(relations))}
     parent: dict[int, int] = {}
@@ -107,7 +134,7 @@ def boolean_yannakakis(
 
     for node in bottom_up:
         for child in children[node]:
-            relations[node] = semijoin(relations[node], relations[child], counter)
+            relations[node] = semi(relations[node], relations[child], counter)
             if not len(relations[node]):
                 return False
     return all(len(relations[r]) for r in roots)

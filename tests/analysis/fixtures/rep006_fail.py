@@ -1,0 +1,14 @@
+"""REP006 failing fixture: index construction inside solver loops."""
+
+
+def solve_fixture(query, database):
+    answers = []
+    for row in query:
+        index = build_hash_trie(database, (0, 1))  # rebuilt per row
+        answers.append(index.get(row))
+    while answers:
+        trie = SortedTrieIndex(database.relation("R"), (0,))
+        answers.pop()
+        if trie:
+            break
+    return answers

@@ -1,0 +1,23 @@
+"""REP006 passing fixture: indexes built once, outside the loops."""
+
+
+def solve_fixture(query, database):
+    index = build_hash_trie(database, (0, 1))  # hoisted: built once
+    answers = []
+    for row in query:
+        answers.append(index.get(row))
+    return answers
+
+
+def solve_cached(query, database):
+    for row in query:
+        # memoized accessor, not a build — allowed inside the loop
+        trie = database.kernels.hash_trie(row, (0,))
+        if trie:
+            return True
+    return False
+
+
+def build_hash_trie(database, positions):
+    # the builder's own definition is never flagged, only looped calls
+    return {}

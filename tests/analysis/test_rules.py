@@ -14,13 +14,14 @@ def codes(findings):
 
 
 class TestRegistry:
-    def test_five_families_registered(self):
+    def test_six_families_registered(self):
         assert [r.code for r in all_rules()] == [
             "REP001",
             "REP002",
             "REP003",
             "REP004",
             "REP005",
+            "REP006",
         ]
 
     def test_unknown_rule_rejected(self):
@@ -133,6 +134,30 @@ class TestRep005ComplexityAnnotations:
         assert not is_entry_point_name("hash_join")
         assert not is_entry_point_name("_solve_private")
         assert not is_entry_point_name("solver_config")
+
+
+class TestRep006IndexDiscipline:
+    def test_pass_with_hoisted_and_cached_indexes(self, findings_for):
+        findings = findings_for(
+            {"relational/fixture.py": "rep006_pass.py"}, "REP006"
+        )
+        assert findings == []
+
+    def test_fail_flags_builds_inside_for_and_while(self, findings_for):
+        findings = findings_for(
+            {"relational/fixture.py": "rep006_fail.py"}, "REP006"
+        )
+        assert codes(findings) == ["REP006"] * 2
+        messages = " ".join(f.message for f in findings)
+        assert "build_hash_trie" in messages
+        assert "SortedTrieIndex" in messages
+        assert all(f.context == "solve_fixture" for f in findings)
+
+    def test_outside_algorithm_packages_exempt(self, findings_for):
+        findings = findings_for(
+            {"experiments/fixture.py": "rep006_fail.py"}, "REP006"
+        )
+        assert findings == []
 
 
 class TestParseFailures:

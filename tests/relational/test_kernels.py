@@ -1,0 +1,192 @@
+"""Unit tests for the columnar kernels (interner, tries, joins, caches)."""
+
+import numpy as np
+import pytest
+
+from repro.counting import CostCounter
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.kernels import (
+    Interner,
+    KernelState,
+    SortedTrieIndex,
+    TableView,
+    pairwise_join,
+    project_view,
+    semijoin,
+    to_relation,
+)
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.wcoj import generic_join
+
+
+def test_interner_is_stable_and_dense():
+    interner = Interner()
+    codes = [interner.intern(v) for v in ("a", "b", "a", 7, "b")]
+    assert codes == [0, 1, 0, 2, 1]
+    assert len(interner) == 3
+    assert [interner.decode(c) for c in (0, 1, 2)] == ["a", "b", 7]
+
+
+def test_sorted_trie_runs_and_descent():
+    interner = Interner()
+    rel = Relation("R", ("x", "y"), [(1, 2), (1, 3), (2, 2)])
+    state = KernelState()
+    table = state.table(rel)
+    trie = SortedTrieIndex(table.matrix, (0, 1))
+    assert trie.depth == 2
+    assert trie.nroot == 2  # two distinct x values
+    # Each root run's children cover its (lo, hi) slice at level 1.
+    widths = [
+        trie.next_hi[0][r] - trie.next_lo[0][r] for r in range(trie.nroot)
+    ]
+    assert sorted(widths) == [1, 2]
+    assert len(trie.ulist[1]) == 3
+
+
+def test_empty_relation_trie():
+    rel = Relation("R", ("x", "y"))
+    state = KernelState()
+    trie = state.sorted_trie(rel, (0, 1))
+    assert trie.nroot == 0
+    assert trie.ulist == [[], []]
+
+
+def test_kernel_state_caches_until_version_changes():
+    rel = Relation("R", ("x", "y"), [(1, 2)])
+    state = KernelState()
+    first = state.sorted_trie(rel, (0, 1))
+    assert state.sorted_trie(rel, (0, 1)) is first
+    assert state.sorted_trie(rel, (1, 0)) is not first  # other prefix order
+    rel.add((3, 4))
+    rebuilt = state.sorted_trie(rel, (0, 1))
+    assert rebuilt is not first
+    assert rebuilt.nroot == 2
+
+
+def test_hash_trie_cache_matches_fresh_build():
+    rel = Relation("R", ("x", "y"), [(1, 2), (1, 3)])
+    state = KernelState()
+    root = state.hash_trie(rel, (0, 1))
+    assert root == {1: {2: {}, 3: {}}}
+    assert state.hash_trie(rel, (0, 1)) is root
+    rel.add((2, 2))
+    assert state.hash_trie(rel, (0, 1)) == {1: {2: {}, 3: {}}, 2: {2: {}}}
+
+
+def _view(attrs, rows):
+    return TableView(
+        tuple(attrs), np.array(rows, dtype=np.int64).reshape(len(rows), len(attrs))
+    )
+
+
+def test_pairwise_join_matches_and_charges():
+    left = _view(("a", "b"), [(0, 1), (0, 2), (3, 3)])
+    right = _view(("b", "c"), [(1, 5), (1, 6), (2, 5)])
+    counter = CostCounter()
+    out = pairwise_join(left, right, counter)
+    assert out.attributes == ("a", "b", "c")
+    assert sorted(map(tuple, out.matrix.tolist())) == [
+        (0, 1, 5),
+        (0, 1, 6),
+        (0, 2, 5),
+    ]
+    # |R| build + |L| probe + one per matching pair.
+    assert counter.total == 3 + 3 + 3
+
+
+def test_pairwise_join_cross_product_when_no_shared():
+    left = _view(("a",), [(0,), (1,)])
+    right = _view(("b",), [(5,), (6,)])
+    counter = CostCounter()
+    out = pairwise_join(left, right, counter)
+    assert sorted(map(tuple, out.matrix.tolist())) == [
+        (0, 5),
+        (0, 6),
+        (1, 5),
+        (1, 6),
+    ]
+    assert counter.total == 2 + 2 + 4
+
+
+def test_pairwise_join_empty_side():
+    left = _view(("a", "b"), [(0, 1)])
+    right = TableView(("b", "c"), np.empty((0, 2), np.int64))
+    out = pairwise_join(left, right)
+    assert len(out) == 0
+    assert out.attributes == ("a", "b", "c")
+
+
+def test_semijoin_filters_and_charges():
+    left = _view(("a", "b"), [(0, 1), (2, 9), (4, 1)])
+    right = _view(("b", "c"), [(1, 7)])
+    counter = CostCounter()
+    out = semijoin(left, right, counter)
+    assert sorted(map(tuple, out.matrix.tolist())) == [(0, 1), (4, 1)]
+    assert counter.total == 1 + 3
+    # No shared attributes: cross-guard keeps everything iff right
+    # nonempty, charging nothing (mirrors the naive kernel).
+    counter2 = CostCounter()
+    guard = semijoin(_view(("a",), [(0,)]), _view(("z",), [(1,)]), counter2)
+    assert len(guard) == 1 and counter2.total == 0
+
+
+def test_project_view_dedups():
+    view = _view(("a", "b"), [(0, 1), (0, 2), (0, 1)])
+    out = project_view(view, ("a",))
+    assert sorted(map(tuple, out.matrix.tolist())) == [(0,)]
+
+
+def test_to_relation_decodes_values():
+    interner = Interner()
+    codes = [[interner.intern(v) for v in row] for row in [("u", 3), ("w", 4)]]
+    view = _view(("a", "b"), codes)
+    rel = to_relation(view, interner, "answer")
+    assert rel.attributes == ("a", "b")
+    assert sorted(rel.tuples) == [("u", 3), ("w", 4)]
+
+
+def test_with_backend_shares_data_and_validates():
+    db = Database([Relation("R", ("x",), [(1,)])])
+    col = db.with_backend("columnar")
+    assert col.backend == "columnar"
+    assert col.relation("R") is db.relation("R")
+    assert col.kernels is db.kernels
+    assert col.with_backend("columnar") is col
+    assert db.with_backend("naive") is db
+    with pytest.raises(SchemaError):
+        db.with_backend("gpu")
+    with pytest.raises(SchemaError):
+        Database(backend="vectorized")
+
+
+def test_indexes_shared_across_backend_views():
+    rows = [(0, 1), (1, 2), (0, 2)]
+    db = Database(
+        [Relation(n, ("x", "y"), rows) for n in ("R1", "R2", "R3")]
+    )
+    query = JoinQuery.triangle()
+    col = db.with_backend("columnar")
+    generic_join(query, col)
+    # The columnar run populated the shared cache; a second run on
+    # either view reuses the same trie objects.
+    trie = db.kernels.sorted_trie(db.relation("R1"), (0, 1))
+    generic_join(query, col)
+    assert db.kernels.sorted_trie(db.relation("R1"), (0, 1)) is trie
+
+
+def test_single_attribute_atoms():
+    # Depth-1 tries: intersection of two unary relations.
+    query = JoinQuery([Atom("A", ("v",)), Atom("B", ("v",))])
+    db = Database(
+        [
+            Relation("A", ("x",), [(1,), (2,), (3,)]),
+            Relation("B", ("x",), [(2,), (3,), (4,)]),
+        ]
+    )
+    c1, c2 = CostCounter(), CostCounter()
+    naive = generic_join(query, db, counter=c1)
+    col = generic_join(query, db.with_backend("columnar"), counter=c2)
+    assert sorted(naive.tuples) == sorted(col.tuples) == [(2,), (3,)]
+    assert c1.total == c2.total

@@ -6,9 +6,10 @@ from repro.errors import SchemaError
 from repro.generators.agm import skewed_triangle_database, uniform_random_database
 from repro.relational.database import Database
 from repro.relational.joins import evaluate_left_deep
-from repro.relational.planner import plan_by_agm, prefix_bounds
+from repro.relational.planner import plan_by_agm, prefix_bounds, wcoj_attribute_order
 from repro.relational.query import Atom, JoinQuery
 from repro.relational.relation import Relation
+from repro.relational.wcoj import generic_join
 
 
 class TestPrefixBounds:
@@ -72,3 +73,48 @@ class TestPlanByAGM:
         database = uniform_random_database(query, 4, 3, seed=0)
         with pytest.raises(SchemaError):
             plan_by_agm(query, database)
+
+
+class TestWcojAttributeOrder:
+    def test_is_permutation_of_query_attributes(self):
+        query = JoinQuery.cycle(4)
+        database = uniform_random_database(query, 20, 6, seed=3)
+        order = wcoj_attribute_order(query, database)
+        assert sorted(order) == sorted(query.attributes)
+
+    def test_low_fanout_attribute_first(self):
+        """An attribute whose columns hold a single distinct value has
+        the smallest candidate sets and must lead the order."""
+        query = JoinQuery.triangle()
+        database = Database(
+            [
+                Relation("R1", ("x", "y"), [(i, 0) for i in range(10)]),
+                Relation("R2", ("x", "y"), [(i, i) for i in range(10)]),
+                Relation("R3", ("x", "y"), [(0, i) for i in range(10)]),
+            ]
+        )
+        # a2 is bound to R1's second column ({0}) and R3's first ({0}).
+        assert wcoj_attribute_order(query, database)[0] == "a2"
+
+    def test_never_changes_the_answer_set(self):
+        """The heuristic order is a constants-only choice: Generic Join
+        returns the same answer set as with declaration order, on both
+        backends (Theorem 3.3 is order-free)."""
+        for shape, seed in (
+            (JoinQuery.triangle(), 11),
+            (JoinQuery.cycle(4), 12),
+            (JoinQuery.path(3), 13),
+            (JoinQuery.star(3), 14),
+        ):
+            database = uniform_random_database(shape, 25, 6, seed=seed)
+            order = wcoj_attribute_order(shape, database)
+            baseline = sorted(generic_join(shape, database).tuples)
+            planned = generic_join(shape, database, attribute_order=order)
+            reindex = [order.index(a) for a in shape.attributes]
+            planned_normalized = sorted(
+                tuple(t[i] for i in reindex) for t in planned.tuples
+            )
+            assert planned_normalized == baseline
+            columnar = database.with_backend("columnar")
+            planned_col = generic_join(shape, columnar, attribute_order=order)
+            assert sorted(planned_col.tuples) == sorted(planned.tuples)
