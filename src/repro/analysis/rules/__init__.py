@@ -13,6 +13,7 @@ from . import rep003_exceptions
 from . import rep004_determinism
 from . import rep005_complexity
 from . import rep006_index_discipline
+from . import rep007_transforms
 
 __all__ = [
     "rep001_certificates",
@@ -21,4 +22,5 @@ __all__ = [
     "rep004_determinism",
     "rep005_complexity",
     "rep006_index_discipline",
+    "rep007_transforms",
 ]

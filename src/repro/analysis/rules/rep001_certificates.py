@@ -11,12 +11,14 @@ degrades to "trust me". This rule finds every ``CertifiedReduction``
 construction in the tree and requires, within the same enclosing
 function:
 
-* at least one certificate — a ``certificates=`` constructor keyword
-  or a ``.add_certificate(...)`` call, and
+* at least one certificate — a ``certificates=`` constructor keyword,
+  a ``.add_certificate(...)`` call, or one of the shared
+  ``certify_eq``/``certify_le``/``certify_that`` helpers, and
 * a solution back-mapping — a ``map_solution_back=`` constructor
   keyword or a later ``<obj>.map_solution_back = ...`` assignment.
 
-The defining module ``repro.reductions.base`` is exempt.
+The defining modules (``repro.transforms.certified`` and its
+``repro.reductions.base`` shim) are exempt.
 """
 
 from __future__ import annotations
@@ -29,7 +31,12 @@ from ..report import Finding, Severity
 from ..walker import ModuleInfo, Project, call_name, iter_functions
 
 CONSTRUCTOR = "CertifiedReduction"
-EXEMPT_MODULES = frozenset({"repro.reductions.base"})
+EXEMPT_MODULES = frozenset({"repro.reductions.base", "repro.transforms.certified"})
+
+#: Methods that attach a certificate to a reduction.
+ATTACHING_CALLS = frozenset(
+    {"add_certificate", "certify_eq", "certify_le", "certify_that"}
+)
 
 
 def _construction_sites(scope: ast.AST) -> list[ast.Call]:
@@ -56,11 +63,11 @@ def _has_keyword(call: ast.Call, keyword: str) -> bool:
 
 
 def _scope_attaches_certificates(scope: ast.AST) -> bool:
-    """True if the scope calls ``<anything>.add_certificate(...)``."""
+    """True if the scope calls any certificate-attaching method."""
     for node in ast.walk(scope):
         if isinstance(node, ast.Call):
             name = call_name(node)
-            if name and name.split(".")[-1] == "add_certificate":
+            if name and name.split(".")[-1] in ATTACHING_CALLS:
                 return True
     return False
 

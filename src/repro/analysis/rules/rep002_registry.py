@@ -11,7 +11,11 @@ both sides statically:
 * module paths must name a module or package discovered by the walker
   (no import is attempted);
 * experiment ids must appear as an ``experiment_id="..."`` literal
-  somewhere under ``repro.experiments``.
+  somewhere under ``repro.experiments``;
+* transform names cited in ``derived(<hypothesis>, <name>, ...)``
+  derivation chains must appear as a ``@transform(name="...")``
+  registration literal somewhere in the tree — a chain naming a
+  transform nobody registers would only fail at validation runtime.
 
 Empty strings are allowed — they are the explicit "not implemented"
 marker in both registries.
@@ -52,6 +56,27 @@ def discover_experiment_ids(project: Project) -> set[str]:
                 ):
                     ids.add(kw.value.value)
     return ids
+
+
+def discover_transform_names(project: Project) -> set[str]:
+    """Every ``name="..."`` literal of a ``transform(...)`` call — the
+    statically visible transform registry."""
+    names: set[str] = set()
+    for module in project.iter_modules():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            call = call_name(node)
+            if not call or call.split(".")[-1] != "transform":
+                continue
+            for kw in node.keywords:
+                if (
+                    kw.arg == "name"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ):
+                    names.add(kw.value.value)
+    return names
 
 
 def _string_constants(node: ast.expr) -> list[tuple[str, int]]:
@@ -120,13 +145,49 @@ def _check_experiment_id(
         )
 
 
+def _check_derivation_chains(
+    project: Project, module: ModuleInfo, known_transforms: set[str]
+) -> Iterable[Finding]:
+    """Transform names in ``derived(...)`` calls must be registered."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if not name or name.split(".")[-1] != "derived":
+            continue
+        # args[0] is the hypothesis key; the rest are transform names.
+        for arg in node.args[1:]:
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                continue
+            if arg.value not in known_transforms:
+                yield Finding(
+                    code="REP002",
+                    severity=Severity.ERROR,
+                    path=project.relative_path(module),
+                    line=arg.lineno,
+                    message=(
+                        f"derivation chain in {module.name} names transform "
+                        f"{arg.value!r} but no @transform(name={arg.value!r}) "
+                        "registration exists in the tree"
+                    ),
+                    context=arg.value,
+                )
+
+
 @rule(
     "REP002",
     "registry-integrity",
-    "LowerBound / paper-map module paths and experiment ids resolve statically",
+    "LowerBound / paper-map module paths, experiment ids, and derivation-chain "
+    "transform names resolve statically",
 )
 def check(project: Project) -> Iterable[Finding]:
     known_ids = discover_experiment_ids(project)
+    known_transforms = discover_transform_names(project)
+
+    if project.has_module(BOUNDS_MODULE):
+        yield from _check_derivation_chains(
+            project, project.module(BOUNDS_MODULE), known_transforms
+        )
 
     for module_name, constructor, module_kw, experiment_kw, module_pos, experiment_pos in (
         (BOUNDS_MODULE, "LowerBound", "reduction_module", "experiment", None, None),

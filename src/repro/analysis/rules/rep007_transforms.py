@@ -1,0 +1,133 @@
+"""REP007 — transform registration discipline.
+
+The ``@transform(...)`` decorator is the contract surface of the
+composable-transform pipeline: chain search, derivation validation,
+and the composition engine all consume the declared metadata, not the
+function body. A registration whose metadata is dynamic or incomplete
+degrades every downstream consumer at once, so this rule requires each
+``transform(...)`` registration call to have:
+
+* a ``name=`` string literal (the registry key derivations cite);
+* ``source=`` and ``target=`` keywords (the domain endpoints chain
+  search routes on);
+* a ``guarantees=`` tuple/list literal with at least one string — an
+  empty schema means applications are never checked against anything;
+
+and flags duplicate ``name=`` literals across the tree, which the
+runtime registry would reject only when the second module happens to
+be imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..walker import Project, call_name
+
+REQUIRED_KEYWORDS = ("source", "target")
+
+
+def _registration_calls(tree: ast.AST) -> list[ast.Call]:
+    calls = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name and name.split(".")[-1] == "transform":
+                calls.append(node)
+    return calls
+
+
+def _keyword(call: ast.Call, name: str) -> "ast.expr | None":
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _literal_name(call: ast.Call) -> "str | None":
+    value = _keyword(call, "name")
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return value.value
+    return None
+
+
+def _guarantee_literals(value: "ast.expr | None") -> "list[object] | None":
+    """The elements of a guarantees tuple/list literal, else ``None``."""
+    if isinstance(value, (ast.Tuple, ast.List)):
+        return [
+            element.value if isinstance(element, ast.Constant) else element
+            for element in value.elts
+        ]
+    return None
+
+
+@rule(
+    "REP007",
+    "transform-registration",
+    "every @transform registration declares literal name/source/target and a "
+    "non-empty guarantee schema; names are unique",
+)
+def check(project: Project) -> Iterable[Finding]:
+    seen: dict[str, str] = {}
+    for module in project.iter_modules():
+        path = project.relative_path(module)
+        for call in _registration_calls(module.tree):
+            name = _literal_name(call)
+            if name is None:
+                yield Finding(
+                    code="REP007",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=call.lineno,
+                    message=(
+                        "transform registration without a literal name= — "
+                        "derivations and chain search cannot reference it "
+                        "statically"
+                    ),
+                    context=module.name,
+                )
+                continue
+            if name in seen:
+                yield Finding(
+                    code="REP007",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=call.lineno,
+                    message=(
+                        f"transform {name!r} is also registered in "
+                        f"{seen[name]}; duplicate names only fail at runtime "
+                        "when both modules happen to be imported"
+                    ),
+                    context=name,
+                )
+            else:
+                seen[name] = module.name
+            for keyword in REQUIRED_KEYWORDS:
+                if _keyword(call, keyword) is None:
+                    yield Finding(
+                        code="REP007",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=call.lineno,
+                        message=(
+                            f"transform {name!r} omits {keyword}= — chain "
+                            "search has no domain endpoint to route on"
+                        ),
+                        context=name,
+                    )
+            guarantees = _guarantee_literals(_keyword(call, "guarantees"))
+            if not guarantees:
+                yield Finding(
+                    code="REP007",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=call.lineno,
+                    message=(
+                        f"transform {name!r} declares no guarantee schema "
+                        "literal; every application would go unchecked"
+                    ),
+                    context=name,
+                )

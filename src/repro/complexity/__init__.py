@@ -26,11 +26,24 @@ from .implications import (
     stronger_hypotheses,
     weaker_hypotheses,
 )
-from .bounds import LowerBound, all_lower_bounds, bounds_under
+from .bounds import LowerBound, all_lower_bounds, bounds_under, get_lower_bound
+from .derivations import (
+    Derivation,
+    axiom,
+    check_all_derivations,
+    check_derivation,
+    derived,
+    resolve_chain,
+)
 from .paper_map import PAPER_MAP, format_paper_map, modules_for
-from .report import format_hypothesis_report, format_landscape
+from .report import (
+    format_derivation_report,
+    format_hypothesis_report,
+    format_landscape,
+)
 
 __all__ = [
+    "Derivation",
     "ETH",
     "FPT_NEQ_W1",
     "HYPERCLIQUE_CONJECTURE",
@@ -44,7 +57,13 @@ __all__ = [
     "UNCONDITIONAL",
     "all_hypotheses",
     "all_lower_bounds",
+    "axiom",
     "bounds_under",
+    "get_lower_bound",
+    "check_all_derivations",
+    "check_derivation",
+    "derived",
+    "format_derivation_report",
     "format_hypothesis_report",
     "format_landscape",
     "format_paper_map",
@@ -52,6 +71,7 @@ __all__ = [
     "implication_graph",
     "implies",
     "modules_for",
+    "resolve_chain",
     "stronger_hypotheses",
     "weaker_hypotheses",
 ]

@@ -1,0 +1,49 @@
+"""Command-line entry point for the complexity registry.
+
+``python -m repro.complexity`` prints the hypothesis landscape;
+``--check-derivations`` mechanically validates every lower bound's
+derivation (chain resolution, composition, implication edge, witness
+replay with certificate re-checking) and exits nonzero on the first
+failure — the CI ``transforms-selfcheck`` job runs exactly this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from .report import format_derivation_report, format_landscape
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.complexity",
+        description="Inspect and validate the lower-bound registry.",
+    )
+    parser.add_argument(
+        "--check-derivations",
+        action="store_true",
+        help="replay every derived bound's transform chain on its witness "
+        "instance and re-check all fused certificates",
+    )
+    parser.add_argument(
+        "--landscape",
+        action="store_true",
+        help="print the full hypothesis landscape instead of derivations",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.landscape:
+            print(format_landscape())
+        else:
+            print(format_derivation_report(validate=args.check_derivations))
+    except ReproError as exc:
+        print(f"derivation check FAILED: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,12 +5,19 @@ out, the hypothesis conditioning the statement, the paper reference,
 and — where this library implements it — the module holding the
 reduction/construction and the experiment that witnesses the claimed
 shape empirically.
+
+Since the certified-transform refactor every bound also carries a
+:class:`~repro.complexity.derivations.Derivation`: either an explicit
+chain of registered transforms that the validator replays and
+re-certifies (``python -m repro.complexity --check-derivations``), or
+an explicit axiom note saying why no in-repo chain exists.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .derivations import Derivation, axiom, derived
 from .hypotheses import (
     ETH,
     FPT_NEQ_W1,
@@ -45,6 +52,10 @@ class LowerBound:
         Dotted path of the module implementing the construction, if any.
     experiment:
         Experiment id (DESIGN.md index) that witnesses the shape.
+    derivation:
+        How the bound follows from its hypothesis: an explicit chain of
+        registered transforms, or a declared axiom. ``None`` is a
+        registration error that ``--check-derivations`` rejects.
     """
 
     key: str
@@ -54,6 +65,7 @@ class LowerBound:
     paper_ref: str
     reduction_module: str = ""
     experiment: str = ""
+    derivation: Derivation | None = None
 
 
 _BOUNDS: tuple[LowerBound, ...] = (
@@ -64,6 +76,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=UNCONDITIONAL.key,
         paper_ref="Theorem 3.2",
         reduction_module="repro.generators.agm",
+        derivation=axiom(
+            "information-theoretic: AGM-tight instances make the answer "
+            "itself of size N^ρ*(H); no reduction involved"
+        ),
         experiment="E2-agm-tight",
     ),
     LowerBound(
@@ -73,6 +89,7 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=ETH.key,
         paper_ref="Corollary 6.1",
         reduction_module="repro.reductions.sat_to_csp",
+        derivation=derived(ETH.key, "3sat→csp"),
         experiment="E5-schaefer",
     ),
     LowerBound(
@@ -82,6 +99,12 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=ETH.key,
         paper_ref="Corollary 6.2",
         reduction_module="repro.reductions.sat_to_coloring",
+        derivation=derived(
+            ETH.key,
+            "3sat→3coloring",
+            "3coloring→csp",
+            note="linear-size coloring gadget keeps |V| + |C| = O(n + m)",
+        ),
         experiment="E5-schaefer",
     ),
     LowerBound(
@@ -91,6 +114,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=ETH.key,
         paper_ref="Theorem 6.3 (Chen et al.)",
         reduction_module="repro.graphs.clique",
+        derivation=axiom(
+            "Chen et al.'s ETH bound for Clique uses a compression "
+            "argument, not an instance reduction this library implements"
+        ),
         experiment="E7-clique-csp",
     ),
     LowerBound(
@@ -100,6 +127,11 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=ETH.key,
         paper_ref="Theorem 6.4",
         reduction_module="repro.reductions.clique_to_csp",
+        derivation=derived(
+            ETH.key,
+            "clique→csp",
+            note="hardness enters via Theorem 6.3 (clique-no-fpt), an axiom",
+        ),
         experiment="E7-clique-csp",
     ),
     LowerBound(
@@ -109,6 +141,11 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=ETH.key,
         paper_ref="§6 via the Special CSP reduction",
         reduction_module="repro.reductions.clique_to_special",
+        derivation=derived(
+            ETH.key,
+            "clique→special-csp",
+            note="parameter blowup k' = k + 2^k is legal under Definition 5.1",
+        ),
         experiment="E6-special",
     ),
     LowerBound(
@@ -118,6 +155,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=ETH.key,
         paper_ref="Theorem 6.5",
         reduction_module="repro.csp.treewidth_dp",
+        derivation=axiom(
+            "Theorem 6.5 embeds cliques into bounded-treewidth classes; "
+            "the embedding machinery is not an in-repo transform"
+        ),
         experiment="E8-treewidth-opt",
     ),
     LowerBound(
@@ -127,6 +168,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=ETH.key,
         paper_ref="Theorem 6.6 [52] / Theorem 6.7 [25]",
         reduction_module="repro.csp.treewidth_dp",
+        derivation=axiom(
+            "needs the excluded-grid theorem and embedding results of "
+            "[52]/[25], far beyond this library's reductions"
+        ),
         experiment="E8-treewidth-opt",
     ),
     LowerBound(
@@ -136,6 +181,12 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=FPT_NEQ_W1.key,
         paper_ref="Theorem 5.2 (Grohe–Schwentick–Segoufin)",
         reduction_module="repro.reductions.clique_to_csp",
+        derivation=derived(
+            FPT_NEQ_W1.key,
+            "clique→csp",
+            note="the k-clique CSP has a k-clique primal graph, so "
+            "unbounded-treewidth classes interpret Clique",
+        ),
         experiment="E4-freuder",
     ),
     LowerBound(
@@ -145,6 +196,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=FPT_NEQ_W1.key,
         paper_ref="Theorem 5.3 (Grohe)",
         reduction_module="repro.structures.core",
+        derivation=axiom(
+            "Grohe's core dichotomy rests on logical interpretations "
+            "over cores, not an instance transform in this library"
+        ),
         experiment="E13-hypotheses",
     ),
     LowerBound(
@@ -154,6 +209,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=SETH.key,
         paper_ref="Theorem 7.1 (Pătrașcu–Williams)",
         reduction_module="repro.graphs.dominating_set",
+        derivation=axiom(
+            "Pătrașcu–Williams split-and-list SETH reduction; the "
+            "library implements the solver side, not the reduction"
+        ),
         experiment="E9-domset",
     ),
     LowerBound(
@@ -163,6 +222,12 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=SETH.key,
         paper_ref="Theorem 7.2",
         reduction_module="repro.reductions.domset_to_csp",
+        derivation=derived(
+            SETH.key,
+            "domset→grouped-csp",
+            note="hardness enters via Theorem 7.1 (domset-exponent), an "
+            "axiom; grouping trades treewidth for domain size",
+        ),
         experiment="E9-domset",
     ),
     LowerBound(
@@ -172,6 +237,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=KCLIQUE_CONJECTURE.key,
         paper_ref="§8 (Abboud–Backurs–Vassilevska Williams context)",
         reduction_module="repro.graphs.clique",
+        derivation=axiom(
+            "restates the k-clique conjecture itself for the problem it "
+            "is about; nothing to derive"
+        ),
         experiment="E10-kclique-mm",
     ),
     LowerBound(
@@ -181,6 +250,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=HYPERCLIQUE_CONJECTURE.key,
         paper_ref="§8 (hyperclique translation)",
         reduction_module="repro.graphs.hyperclique",
+        derivation=axiom(
+            "the hyperclique→CSP translation is sketched in §8; this "
+            "library implements the hyperclique solver only"
+        ),
         experiment="E12-hyperclique",
     ),
     LowerBound(
@@ -190,6 +263,12 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=SETH.key,
         paper_ref="§7 (fine-grained complexity, [56])",
         reduction_module="repro.finegrained.sat_to_ov",
+        derivation=derived(
+            SETH.key,
+            "cnfsat→orthogonal-vectors",
+            note="split-and-enumerate: an O(N^{2−ε}) OV algorithm gives a "
+            "(2−ε')^n SAT algorithm",
+        ),
         experiment="E18-finegrained",
     ),
     LowerBound(
@@ -199,6 +278,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=OV_CONJECTURE.key,
         paper_ref="§7 (Backurs–Indyk [12], Bringmann–Künnemann [19])",
         reduction_module="repro.finegrained.edit_distance",
+        derivation=axiom(
+            "the OV→edit-distance alignment-gadget reduction of [12]/[19] "
+            "is not implemented in this library"
+        ),
         experiment="E18-finegrained",
     ),
     LowerBound(
@@ -208,6 +291,10 @@ _BOUNDS: tuple[LowerBound, ...] = (
         hypothesis=TRIANGLE_CONJECTURE.key,
         paper_ref="§8 (Strong Triangle Conjecture [4])",
         reduction_module="repro.graphs.triangle",
+        derivation=axiom(
+            "restates the Strong Triangle Conjecture for the problem it "
+            "is about; nothing to derive"
+        ),
         experiment="E11-triangle",
     ),
 )
@@ -216,6 +303,24 @@ _BOUNDS: tuple[LowerBound, ...] = (
 def all_lower_bounds() -> list[LowerBound]:
     """Every registered lower bound, in paper order."""
     return list(_BOUNDS)
+
+
+def get_lower_bound(key: str) -> LowerBound:
+    """Look up one bound by key.
+
+    Raises
+    ------
+    InvalidInstanceError
+        If no bound with that key is registered.
+    """
+    for bound in _BOUNDS:
+        if bound.key == key:
+            return bound
+    from ..errors import InvalidInstanceError
+
+    raise InvalidInstanceError(
+        f"unknown lower bound {key!r}; known: {[b.key for b in _BOUNDS]}"
+    )
 
 
 def bounds_under(hypothesis_key: str) -> list[LowerBound]:

@@ -1,0 +1,156 @@
+"""Derivations: how each lower bound follows from its hypothesis.
+
+A :class:`~repro.complexity.bounds.LowerBound` is either
+
+* **derived** — an explicit chain of registered transforms carries
+  hardness from a hypothesis to the problem: a fast algorithm for the
+  target would ride the chain backwards and refute the hypothesis; or
+* an **axiom** — the paper states the bound via an argument this
+  library does not implement as a reduction (counting, dichotomy
+  machinery, external citations), recorded with an explicit note.
+
+``check_derivation`` validates a derived bound mechanically:
+
+1. every transform name in the chain resolves in the registry;
+2. the chain composes (adjacent domains/format tags line up);
+3. the implication-graph edge holds — the bound's hypothesis implies
+   the hypothesis the chain transfers from, so assuming the bound's
+   hypothesis really does yield the hardness the chain propagates;
+4. the composed chain is replayed on the first stage's witness
+   instance and every fused certificate (including the symbolically
+   composed Definition 5.1.3 parameter bound) is re-checked.
+
+``python -m repro.complexity --check-derivations`` runs this over the
+whole registry and is wired into CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DerivationError, ReproError
+from ..transforms import CertifiedReduction, Transform, compose_chain, get_transform
+from .hypotheses import get_hypothesis
+from .implications import implies
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """The provenance of one lower bound.
+
+    Attributes
+    ----------
+    hypothesis:
+        Key of the hypothesis the transform chain transfers hardness
+        from. Empty for axioms.
+    chain:
+        Names of registered transforms, applied left to right. Empty
+        for axioms.
+    note:
+        For axioms: why no in-repo chain exists (the paper's argument
+        in one line). Optional color for derived bounds.
+    """
+
+    hypothesis: str = ""
+    chain: tuple[str, ...] = ()
+    note: str = ""
+
+    @property
+    def is_axiom(self) -> bool:
+        """True when the bound is paper-stated rather than chain-derived."""
+        return not self.chain
+
+    def render(self) -> str:
+        """One-line rendering for reports."""
+        if self.is_axiom:
+            return f"axiom — {self.note}" if self.note else "axiom"
+        return f"{self.hypothesis} ⊢ {' » '.join(self.chain)}"
+
+
+def derived(hypothesis_key: str, *chain: str, note: str = "") -> Derivation:
+    """A derivation transferring hardness from ``hypothesis_key``
+    along the named transform chain."""
+    if not chain:
+        raise DerivationError("a derived bound needs at least one transform")
+    return Derivation(hypothesis=hypothesis_key, chain=tuple(chain), note=note)
+
+
+def axiom(note: str) -> Derivation:
+    """An explicitly declared paper-stated bound (no in-repo chain)."""
+    if not note:
+        raise DerivationError("an axiom derivation requires an explanatory note")
+    return Derivation(note=note)
+
+
+def resolve_chain(derivation: Derivation) -> list[Transform]:
+    """The registry entries named by a derivation's chain.
+
+    Raises
+    ------
+    DerivationError
+        If some name is unknown (wrapping the registry's error so the
+        caller sees which derivation broke).
+    """
+    transforms = []
+    for name in derivation.chain:
+        try:
+            transforms.append(get_transform(name))
+        except ReproError as exc:
+            raise DerivationError(str(exc)) from exc
+    return transforms
+
+
+def check_derivation(bound) -> CertifiedReduction | None:
+    """Validate one bound's derivation; returns the replayed reduction.
+
+    Axioms validate trivially (returning ``None``); derived bounds go
+    through the four-step check described in the module docstring.
+
+    Raises
+    ------
+    DerivationError
+        On any failure, naming the bound and the step that broke.
+    """
+    derivation = bound.derivation
+    if derivation is None:
+        raise DerivationError(
+            f"lower bound {bound.key!r} has no derivation; every bound must "
+            "carry an explicit transform chain or be declared an axiom"
+        )
+    if derivation.is_axiom:
+        return None
+
+    try:
+        get_hypothesis(derivation.hypothesis)
+        transforms = resolve_chain(derivation)
+        composed = compose_chain(transforms)
+    except ReproError as exc:
+        raise DerivationError(f"bound {bound.key!r}: {exc}") from exc
+
+    if not implies(bound.hypothesis, derivation.hypothesis):
+        raise DerivationError(
+            f"bound {bound.key!r} conditions on {bound.hypothesis!r}, which "
+            f"does not imply the chain's source hypothesis "
+            f"{derivation.hypothesis!r} — the implication-graph edge is missing"
+        )
+
+    try:
+        replay = composed.apply(*composed.witness_args())
+        replay.certify()
+    except ReproError as exc:
+        raise DerivationError(
+            f"bound {bound.key!r}: witness replay of chain "
+            f"{' » '.join(derivation.chain)} failed: {exc}"
+        ) from exc
+    return replay
+
+
+def check_all_derivations() -> "list[tuple[object, CertifiedReduction | None]]":
+    """Validate every registered bound; fails on the first broken one.
+
+    Returns the (bound, replayed reduction) pairs so callers can
+    report per-bound certificate counts.
+    """
+    from .bounds import all_lower_bounds
+
+    return [(bound, check_derivation(bound)) for bound in all_lower_bounds()]

@@ -58,10 +58,11 @@ PAPER_MAP: tuple[SectionEntry, ...] = (
             "repro.hypergraph.covers",
             "repro.relational.estimate",
             "repro.relational.wcoj",
+            "repro.relational.kernels",
             "repro.generators.agm",
             "repro.relational.planner",
         ),
-        ("E1-agm-upper", "E2-agm-tight", "E3-wcoj"),
+        ("E1-agm-upper", "E2-agm-tight", "E3-wcoj", "E19-kernels"),
     ),
     SectionEntry(
         "§4",
@@ -126,8 +127,16 @@ PAPER_MAP: tuple[SectionEntry, ...] = (
     SectionEntry(
         "§9",
         "Conclusions (the landscape)",
-        ("repro.complexity.hypotheses", "repro.complexity.bounds", "repro.complexity.implications"),
-        ("E13-hypotheses",),
+        (
+            "repro.complexity.hypotheses",
+            "repro.complexity.bounds",
+            "repro.complexity.implications",
+            "repro.complexity.derivations",
+            "repro.transforms.base",
+            "repro.transforms.registry",
+            "repro.transforms.compose",
+        ),
+        ("E13-hypotheses", "E20-transforms"),
     ),
 )
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from .bounds import bounds_under
+from .bounds import all_lower_bounds, bounds_under
+from .derivations import check_derivation
 from .hypotheses import all_hypotheses, get_hypothesis
 from .implications import stronger_hypotheses, weaker_hypotheses
 
@@ -26,6 +27,8 @@ def format_hypothesis_report(key: str) -> str:
         lines.append("  lower bounds available under this assumption:")
         for b in bounds:
             lines.append(f"    - {b.problem}: rules out {b.ruled_out}  [{b.paper_ref}]")
+            if b.derivation is not None:
+                lines.append(f"      derivation: {b.derivation.render()}")
     return "\n".join(lines)
 
 
@@ -33,3 +36,29 @@ def format_landscape() -> str:
     """The full landscape: one report per hypothesis."""
     parts = [format_hypothesis_report(h.key) for h in all_hypotheses()]
     return "\n\n".join(parts)
+
+
+def format_derivation_report(validate: bool = False) -> str:
+    """Every lower bound with its derivation chain or axiom note.
+
+    With ``validate=True`` each derived chain is replayed on its
+    witness instance and the line reports how many fused certificates
+    held — the rendering of ``--check-derivations``.
+    """
+    lines = ["Lower-bound derivations", "======================="]
+    for bound in all_lower_bounds():
+        derivation = bound.derivation
+        rendered = derivation.render() if derivation is not None else "MISSING"
+        lines.append(f"{bound.key}  [{bound.paper_ref}]")
+        lines.append(f"  hypothesis: {bound.hypothesis}")
+        lines.append(f"  derivation: {rendered}")
+        if validate:
+            replay = check_derivation(bound)
+            if replay is None:
+                lines.append("  validated:  axiom (nothing to replay)")
+            else:
+                lines.append(
+                    f"  validated:  {len(replay.certificates)} certificates "
+                    f"re-checked on witness; back-map {replay.back_map_name}"
+                )
+    return "\n".join(lines)

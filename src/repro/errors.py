@@ -36,6 +36,10 @@ class ReductionError(ReproError):
     """A reduction was applied to an instance outside its domain."""
 
 
+class DerivationError(ReproError):
+    """A lower bound's derivation chain failed mechanical validation."""
+
+
 class SolverError(ReproError):
     """A solver was configured inconsistently or hit an internal limit."""
 

@@ -68,6 +68,7 @@ from . import (
     exp_phase_transition,
     exp_schaefer,
     exp_special,
+    exp_transforms,
     exp_treewidth_opt,
     exp_triangle,
     exp_vc_fpt,
@@ -97,6 +98,7 @@ SPECS: dict[str, ExperimentSpec] = {
         ExperimentSpec("E17", (exp_phase_transition.run,)),
         ExperimentSpec("E18", (exp_finegrained.run,)),
         ExperimentSpec("E19", (exp_kernels.run,)),
+        ExperimentSpec("E20", (exp_transforms.run,)),
     )
 }
 

@@ -16,8 +16,9 @@ from __future__ import annotations
 from itertools import product
 
 from ..errors import ReductionError
-from ..reductions.base import CertifiedReduction
 from ..sat.cnf import CNF
+from ..transforms import SAT, VECTORS, CertifiedReduction, transform
+from ..transforms.witnesses import small_cnf
 from .orthogonal_vectors import OVInstance
 
 #: Cap on half-assignment enumeration; the reduction is exponential by
@@ -25,6 +26,17 @@ from .orthogonal_vectors import OVInstance
 MAX_HALF_VARIABLES = 16
 
 
+@transform(
+    name="cnfsat→orthogonal-vectors",
+    source=SAT,
+    target=VECTORS,
+    guarantees=(
+        "|A| == 2^{n/2}",
+        "|B| == 2^{n - n/2}",
+        "dimension == m",
+    ),
+    witness=small_cnf,
+)
 def sat_to_orthogonal_vectors(formula: CNF) -> CertifiedReduction:
     """Build the OV instance equivalent to ``formula``.
 
@@ -80,19 +92,7 @@ def sat_to_orthogonal_vectors(formula: CNF) -> CertifiedReduction:
         target=instance,
         map_solution_back=back,
     )
-    reduction.add_certificate(
-        "|A| == 2^{n/2}",
-        len(instance.left) == 2**half,
-        f"{len(instance.left)} vs 2^{half}",
-    )
-    reduction.add_certificate(
-        "|B| == 2^{n - n/2}",
-        len(instance.right) == 2 ** (n - half),
-        f"{len(instance.right)}",
-    )
-    reduction.add_certificate(
-        "dimension == m",
-        instance.dimension == formula.num_clauses,
-        f"{instance.dimension} vs {formula.num_clauses}",
-    )
+    reduction.certify_eq("|A| == 2^{n/2}", len(instance.left), 2**half)
+    reduction.certify_eq("|B| == 2^{n - n/2}", len(instance.right), 2 ** (n - half))
+    reduction.certify_eq("dimension == m", instance.dimension, formula.num_clauses)
     return reduction

@@ -7,11 +7,22 @@ the target instance, a solution back-mapping, and machine-checkable
 *certificates* for the size/parameter guarantees the proof relies on
 (e.g. "the primal graph has treewidth ≤ t", "the new instance has
 k + 2^k variables").
+
+Every reduction here is also registered as a typed
+:class:`~repro.transforms.base.Transform` (via the ``@transform``
+decorator), so chains of reductions can be composed, searched for, and
+replayed mechanically — see :mod:`repro.transforms`.
 """
 
 from .base import Certificate, CertifiedReduction
 from .sat_to_csp import sat_to_csp
-from .sat_to_coloring import ColoringInstance, sat_to_3coloring, solve_coloring
+from .sat_to_coloring import (
+    ColoringInstance,
+    coloring_as_csp,
+    coloring_to_csp,
+    sat_to_3coloring,
+    solve_coloring,
+)
 from .clique_to_csp import clique_to_csp
 from .clique_to_special import clique_to_special_csp
 from .domset_to_csp import dominating_set_to_csp, dominating_set_to_grouped_csp
@@ -30,6 +41,8 @@ __all__ = [
     "CertifiedReduction",
     "ColoringInstance",
     "clique_to_csp",
+    "coloring_as_csp",
+    "coloring_to_csp",
     "clique_to_independent_set",
     "clique_to_special_csp",
     "csp_to_partitioned_subgraph",

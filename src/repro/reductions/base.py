@@ -1,89 +1,18 @@
-"""The certified-reduction framework.
+"""Compatibility shim: the certified-reduction framework moved.
 
-A conditional lower bound *is* a reduction plus bookkeeping: the
-transformed instance must be equivalent to the source, and its size and
-parameters must obey the bounds the proof claims (Definition 5.1's
-three conditions, or a polynomial-size bound for NP-hardness). This
-module packages both parts so the test suite — and the complexity
-report — can check the claims mechanically on concrete instances.
+The canonical home of :class:`Certificate` and
+:class:`CertifiedReduction` is :mod:`repro.transforms.certified`; this
+module re-exports them so historical import sites (and downstream
+code) keep working unchanged. New code should import from
+:mod:`repro.transforms`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from collections.abc import Callable
+from ..transforms.certified import (
+    Certificate,
+    CertifiedReduction,
+    identity_solution,
+)
 
-from ..errors import ReductionError
-
-
-@dataclass(frozen=True)
-class Certificate:
-    """One checkable guarantee of a reduction.
-
-    Attributes
-    ----------
-    name:
-        Short identifier, e.g. ``"variables == k + 2^k"``.
-    holds:
-        Whether the guarantee held on this concrete instance.
-    detail:
-        The measured quantities, for diagnostics.
-    """
-
-    name: str
-    holds: bool
-    detail: str = ""
-
-
-@dataclass
-class CertifiedReduction:
-    """The output of applying a reduction to one instance.
-
-    Attributes
-    ----------
-    name:
-        The reduction's identifier, e.g. ``"clique→special-csp"``.
-    source:
-        The original instance (any type).
-    target:
-        The transformed instance.
-    certificates:
-        Guarantees measured during construction.
-    map_solution_back:
-        Translates a target solution into a source solution; must map
-        ``None`` to ``None`` (no-instance preservation is certified by
-        the equivalence tests instead).
-    parameter_source / parameter_target:
-        Parameter values before/after, for parameterized reductions
-        (Definition 5.1 condition 3).
-    """
-
-    name: str
-    source: object
-    target: object
-    certificates: list[Certificate] = field(default_factory=list)
-    map_solution_back: Callable = lambda solution: solution
-    parameter_source: int | None = None
-    parameter_target: int | None = None
-
-    def certify(self) -> None:
-        """Raise :class:`ReductionError` if any certificate failed."""
-        failed = [c for c in self.certificates if not c.holds]
-        if failed:
-            lines = "; ".join(f"{c.name} ({c.detail})" for c in failed)
-            raise ReductionError(f"reduction {self.name!r} broke guarantees: {lines}")
-
-    def certificate(self, name: str) -> Certificate:
-        for c in self.certificates:
-            if c.name == name:
-                return c
-        raise ReductionError(f"reduction {self.name!r} has no certificate {name!r}")
-
-    def add_certificate(self, name: str, holds: bool, detail: str = "") -> None:
-        self.certificates.append(Certificate(name, holds, detail))
-
-    def pull_back(self, target_solution):
-        """Map a target solution back; ``None`` stays ``None``."""
-        if target_solution is None:
-            return None
-        return self.map_solution_back(target_solution)
+__all__ = ["Certificate", "CertifiedReduction", "identity_solution"]

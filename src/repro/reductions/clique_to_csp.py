@@ -12,9 +12,25 @@ from __future__ import annotations
 from ..csp.instance import Constraint, CSPInstance
 from ..errors import ReductionError
 from ..graphs.graph import Graph
-from .base import CertifiedReduction
+from ..transforms import CSP, GRAPH, CertifiedReduction, make_bound, transform
+from ..transforms.witnesses import triangle_plus_pendant
 
 
+@transform(
+    name="clique→csp",
+    source=GRAPH,
+    target=CSP,
+    guarantees=(
+        "|V| == k",
+        "|C| == C(k,2)",
+        "|D| == |V(G)|",
+        "primal graph is a k-clique",
+    ),
+    arity=2,
+    parameter_bound=make_bound("k", lambda k: k),
+    witness=triangle_plus_pendant,
+    source_format="clique",
+)
 def clique_to_csp(graph: Graph, k: int) -> CertifiedReduction:
     """Express "does ``graph`` have a k-clique?" as a CSP instance."""
     if k < 2:
@@ -46,22 +62,10 @@ def clique_to_csp(graph: Graph, k: int) -> CertifiedReduction:
         parameter_source=k,
         parameter_target=instance.num_variables,
     )
-    reduction.add_certificate(
-        "|V| == k", instance.num_variables == k, str(instance.num_variables)
-    )
-    reduction.add_certificate(
-        "|C| == C(k,2)",
-        instance.num_constraints == k * (k - 1) // 2,
-        str(instance.num_constraints),
-    )
-    reduction.add_certificate(
-        "|D| == |V(G)|",
-        instance.domain_size == graph.num_vertices,
-        str(instance.domain_size),
-    )
-    reduction.add_certificate(
-        "primal graph is a k-clique",
-        instance.primal_graph().is_clique(slots),
-        "",
+    reduction.certify_eq("|V| == k", instance.num_variables, k)
+    reduction.certify_eq("|C| == C(k,2)", instance.num_constraints, k * (k - 1) // 2)
+    reduction.certify_eq("|D| == |V(G)|", instance.domain_size, graph.num_vertices)
+    reduction.certify_that(
+        "primal graph is a k-clique", instance.primal_graph().is_clique(slots)
     )
     return reduction

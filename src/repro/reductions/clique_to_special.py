@@ -17,13 +17,29 @@ from ..csp.instance import Constraint, CSPInstance
 from ..errors import ReductionError
 from ..graphs.graph import Graph
 from ..graphs.special import is_special_graph
-from .base import CertifiedReduction
+from ..transforms import CSP, GRAPH, CertifiedReduction, make_bound, transform
+from ..transforms.witnesses import triangle_plus_pendant
 from .clique_to_csp import clique_to_csp
 
 #: Keep 2^k manageable; the reduction is exponential in k by design.
 MAX_K = 16
 
 
+@transform(
+    name="clique→special-csp",
+    source=GRAPH,
+    target=CSP,
+    guarantees=(
+        "|V| == k + 2^k",
+        "primal graph is special (Definition 4.3)",
+        "parameter bound k' <= k + 2^k (Definition 5.1.3)",
+    ),
+    arity=2,
+    parameter_bound=make_bound("k + 2^k", lambda k: k + 2**k),
+    witness=triangle_plus_pendant,
+    source_format="clique",
+    target_format="special-csp",
+)
 def clique_to_special_csp(graph: Graph, k: int) -> CertifiedReduction:
     """Express k-clique as a Special CSP instance on k + 2^k variables."""
     if k > MAX_K:
@@ -56,19 +72,14 @@ def clique_to_special_csp(graph: Graph, k: int) -> CertifiedReduction:
         parameter_source=k,
         parameter_target=instance.num_variables,
     )
-    reduction.add_certificate(
-        "|V| == k + 2^k",
-        instance.num_variables == k + 2**k,
-        str(instance.num_variables),
-    )
-    reduction.add_certificate(
+    reduction.certify_eq("|V| == k + 2^k", instance.num_variables, k + 2**k)
+    reduction.certify_that(
         "primal graph is special (Definition 4.3)",
         is_special_graph(instance.primal_graph()),
-        "",
     )
-    reduction.add_certificate(
+    reduction.certify_le(
         "parameter bound k' <= k + 2^k (Definition 5.1.3)",
-        instance.num_variables <= k + 2**k,
-        "",
+        instance.num_variables,
+        k + 2**k,
     )
     return reduction

@@ -14,9 +14,21 @@ from __future__ import annotations
 from ..csp.instance import CSPInstance
 from ..errors import ReductionError
 from ..graphs.graph import Graph
-from .base import CertifiedReduction
+from ..transforms import CSP, GRAPH, CertifiedReduction, transform
+from ..transforms.witnesses import small_binary_csp
 
 
+@transform(
+    name="binary-csp→partitioned-subgraph",
+    source=CSP,
+    target=GRAPH,
+    guarantees=(
+        "|V(host)| == |V|·|D|",
+        "pattern == primal graph",
+    ),
+    witness=small_binary_csp,
+    target_format="partitioned-subgraph",
+)
 def csp_to_partitioned_subgraph(instance: CSPInstance) -> CertifiedReduction:
     """Build (pattern H, host G, partition) from a binary CSP instance.
 
@@ -68,16 +80,12 @@ def csp_to_partitioned_subgraph(instance: CSPInstance) -> CertifiedReduction:
         target=(pattern, host, partition),
         map_solution_back=back,
     )
-    reduction.add_certificate(
+    reduction.certify_eq(
         "|V(host)| == |V|·|D|",
-        host.num_vertices == instance.num_variables * instance.domain_size,
-        str(host.num_vertices),
+        host.num_vertices,
+        instance.num_variables * instance.domain_size,
     )
-    reduction.add_certificate(
-        "pattern == primal graph",
-        pattern == instance.primal_graph(),
-        "",
-    )
+    reduction.certify_that("pattern == primal graph", pattern == instance.primal_graph())
     return reduction
 
 

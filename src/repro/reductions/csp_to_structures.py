@@ -12,9 +12,21 @@ from ..csp.instance import CSPInstance
 from ..errors import ReductionError
 from ..structures.structure import Structure
 from ..structures.vocabulary import RelationSymbol, Vocabulary
-from .base import CertifiedReduction
+from ..transforms import CSP, STRUCTURE, CertifiedReduction, transform
+from ..transforms.witnesses import small_binary_csp
 
 
+@transform(
+    name="csp→hom(A,B)",
+    source=CSP,
+    target=STRUCTURE,
+    guarantees=(
+        "|universe(A)| == |V|",
+        "|universe(B)| == |D|",
+        "one symbol per constraint, matching arities",
+    ),
+    witness=small_binary_csp,
+)
 def csp_to_structures(instance: CSPInstance) -> CertifiedReduction:
     """Build the pair (A, B) with hom(A, B) ≅ solutions of the instance.
 
@@ -49,23 +61,18 @@ def csp_to_structures(instance: CSPInstance) -> CertifiedReduction:
         target=(structure_a, structure_b),
         map_solution_back=back,
     )
-    reduction.add_certificate(
-        "|universe(A)| == |V|",
-        structure_a.universe_size == instance.num_variables,
-        str(structure_a.universe_size),
+    reduction.certify_eq(
+        "|universe(A)| == |V|", structure_a.universe_size, instance.num_variables
     )
-    reduction.add_certificate(
-        "|universe(B)| == |D|",
-        structure_b.universe_size == instance.domain_size,
-        str(structure_b.universe_size),
+    reduction.certify_eq(
+        "|universe(B)| == |D|", structure_b.universe_size, instance.domain_size
     )
-    reduction.add_certificate(
+    reduction.certify_that(
         "one symbol per constraint, matching arities",
         len(tau) == instance.num_constraints
         and all(
             tau.symbol(f"Q{i}").arity == c.arity
             for i, c in enumerate(instance.constraints)
         ),
-        "",
     )
     return reduction

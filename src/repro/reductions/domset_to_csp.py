@@ -22,10 +22,32 @@ from ..csp.instance import Constraint, CSPInstance
 from ..errors import ReductionError
 from ..graphs.graph import Graph
 from ..treewidth.heuristics import treewidth_min_fill
-from .base import CertifiedReduction
+from ..transforms import (
+    CSP,
+    GRAPH,
+    IDENTITY_BOUND,
+    CertifiedReduction,
+    make_bound,
+    transform,
+)
+from ..transforms.witnesses import path_graph_domset, path_graph_domset_grouped
 from .grouping import group_variables
 
 
+@transform(
+    name="domset→csp",
+    source=GRAPH,
+    target=CSP,
+    guarantees=(
+        "primal treewidth <= t",
+        "|V| == t + n",
+        "primal graph is complete bipartite K(t, n)",
+    ),
+    arity=2,
+    parameter_bound=make_bound("k", lambda t: t),
+    witness=path_graph_domset,
+    source_format="dominating-set",
+)
 def dominating_set_to_csp(graph: Graph, t: int) -> CertifiedReduction:
     """The ungrouped Theorem 7.2 construction: treewidth ≤ t.
 
@@ -83,22 +105,33 @@ def dominating_set_to_csp(graph: Graph, t: int) -> CertifiedReduction:
         parameter_target=t,
     )
     width, __ = treewidth_min_fill(instance.primal_graph())
-    reduction.add_certificate(
-        "primal treewidth <= t", width <= t, f"min-fill width {width}"
-    )
-    reduction.add_certificate(
-        "|V| == t + n",
-        instance.num_variables == t + n,
-        str(instance.num_variables),
-    )
-    reduction.add_certificate(
+    reduction.certify_le("primal treewidth <= t", width, t)
+    reduction.certify_eq("|V| == t + n", instance.num_variables, t + n)
+    reduction.certify_that(
         "primal graph is complete bipartite K(t, n)",
-        _is_complete_bipartite(instance.primal_graph(), set(slot_vars), set(witness_vars)),
-        "",
+        _is_complete_bipartite(
+            instance.primal_graph(), set(slot_vars), set(witness_vars)
+        ),
     )
     return reduction
 
 
+@transform(
+    name="domset→grouped-csp",
+    source=GRAPH,
+    target=CSP,
+    guarantees=(
+        "grouped primal treewidth <= k = t/g",
+        "|V'| == k + n",
+    ),
+    arity=3,
+    # k' = t/g ≤ t, so the identity is a sound (if loose) unary bound.
+    parameter_bound=IDENTITY_BOUND,
+    witness=path_graph_domset_grouped,
+    source_format="dominating-set",
+    target_format="grouped-csp",
+    chainable=False,
+)
 def dominating_set_to_grouped_csp(
     graph: Graph, t: int, group_size: int
 ) -> CertifiedReduction:
@@ -136,13 +169,9 @@ def dominating_set_to_grouped_csp(
         parameter_target=k,
     )
     width, __ = treewidth_min_fill(grouped.target.primal_graph())
-    reduction.add_certificate(
-        "grouped primal treewidth <= k = t/g", width <= k, f"min-fill width {width}"
-    )
-    reduction.add_certificate(
-        "|V'| == k + n",
-        grouped.target.num_variables == k + graph.num_vertices,
-        str(grouped.target.num_variables),
+    reduction.certify_le("grouped primal treewidth <= k = t/g", width, k)
+    reduction.certify_eq(
+        "|V'| == k + n", grouped.target.num_variables, k + graph.num_vertices
     )
     return reduction
 

@@ -15,9 +15,23 @@ from collections.abc import Sequence
 
 from ..csp.instance import Constraint, CSPInstance, Value, Variable
 from ..errors import ReductionError
-from .base import CertifiedReduction
+from ..transforms import CSP, CertifiedReduction, transform
+from ..transforms.witnesses import small_csp_with_groups
 
 
+@transform(
+    name="group-variables",
+    source=CSP,
+    target=CSP,
+    guarantees=(
+        "|V'| == #groups",
+        "|D'| == |D|^g",
+    ),
+    arity=2,
+    witness=small_csp_with_groups,
+    target_format="grouped-csp",
+    chainable=False,
+)
 def group_variables(
     instance: CSPInstance, groups: Sequence[Sequence[Variable]]
 ) -> CertifiedReduction:
@@ -99,14 +113,8 @@ def group_variables(
         target=instance_out,
         map_solution_back=back,
     )
-    reduction.add_certificate(
-        "|V'| == #groups",
-        instance_out.num_variables == len(all_groups),
-        str(instance_out.num_variables),
-    )
-    reduction.add_certificate(
-        "|D'| == |D|^g",
-        instance_out.domain_size == len(domain) ** max_group,
-        f"{instance_out.domain_size} vs {len(domain)}^{max_group}",
+    reduction.certify_eq("|V'| == #groups", instance_out.num_variables, len(all_groups))
+    reduction.certify_eq(
+        "|D'| == |D|^g", instance_out.domain_size, len(domain) ** max_group
     )
     return reduction

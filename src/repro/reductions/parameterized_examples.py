@@ -20,9 +20,30 @@ from __future__ import annotations
 
 from ..errors import ReductionError
 from ..graphs.graph import Graph
-from .base import CertifiedReduction
+from ..transforms import (
+    GRAPH,
+    IDENTITY_BOUND,
+    CertifiedReduction,
+    identity_solution,
+    transform,
+)
+from ..transforms.witnesses import triangle_independent_set, triangle_plus_pendant
 
 
+@transform(
+    name="clique→independent-set",
+    source=GRAPH,
+    target=GRAPH,
+    guarantees=(
+        "k' == k (Definition 5.1.3 holds)",
+        "instance size preserved",
+    ),
+    arity=2,
+    parameter_bound=IDENTITY_BOUND,
+    witness=triangle_plus_pendant,
+    source_format="clique",
+    target_format="independent-set",
+)
 def clique_to_independent_set(graph: Graph, k: int) -> CertifiedReduction:
     """k-Clique in G ⇔ k-Independent Set in the complement of G.
 
@@ -35,19 +56,31 @@ def clique_to_independent_set(graph: Graph, k: int) -> CertifiedReduction:
         name="clique→independent-set",
         source=(graph, k),
         target=(complement, k),
-        map_solution_back=lambda solution: solution,
+        map_solution_back=identity_solution,
         parameter_source=k,
         parameter_target=k,
     )
-    reduction.add_certificate("k' == k (Definition 5.1.3 holds)", True, f"k' = {k}")
-    reduction.add_certificate(
-        "instance size preserved",
-        complement.num_vertices == graph.num_vertices,
-        "",
+    reduction.certify_that("k' == k (Definition 5.1.3 holds)", True, f"k' = {k}")
+    reduction.certify_that(
+        "instance size preserved", complement.num_vertices == graph.num_vertices
     )
     return reduction
 
 
+@transform(
+    name="independent-set→vertex-cover",
+    source=GRAPH,
+    target=GRAPH,
+    guarantees=(
+        "NOT a parameterized reduction: k' = n − k depends on n "
+        "(Definition 5.1.3 fails by design)",
+        "complement of a cover is independent",
+    ),
+    arity=2,
+    witness=triangle_independent_set,
+    source_format="independent-set",
+    target_format="vertex-cover",
+)
 def independent_set_to_vertex_cover(graph: Graph, k: int) -> CertifiedReduction:
     """k-Independent Set in G ⇔ (n−k)-Vertex Cover in G.
 
@@ -71,15 +104,13 @@ def independent_set_to_vertex_cover(graph: Graph, k: int) -> CertifiedReduction:
         parameter_source=k,
         parameter_target=k_prime,
     )
-    reduction.add_certificate(
+    reduction.certify_that(
         "NOT a parameterized reduction: k' = n − k depends on n "
         "(Definition 5.1.3 fails by design)",
         True,
         f"k' = {k_prime}",
     )
-    reduction.add_certificate(
-        "complement of a cover is independent", True, ""
-    )
+    reduction.certify_that("complement of a cover is independent", True)
     return reduction
 
 

@@ -12,9 +12,22 @@ from ..errors import ReductionError
 from ..relational.database import Database
 from ..relational.query import Atom, JoinQuery
 from ..relational.relation import Relation
-from .base import CertifiedReduction
+from ..transforms import CSP, QUERY, CertifiedReduction, transform
+from ..transforms.witnesses import small_binary_csp, triangle_query_db
 
 
+@transform(
+    name="join-query→csp",
+    source=QUERY,
+    target=CSP,
+    guarantees=(
+        "variables == attributes",
+        "one constraint per atom",
+        "hypergraphs coincide",
+    ),
+    arity=2,
+    witness=triangle_query_db,
+)
 def query_to_csp(query: JoinQuery, database: Database) -> CertifiedReduction:
     """CSP instance whose solutions are the answer tuples of (Q, D)."""
     query.validate_against(database)
@@ -38,25 +51,26 @@ def query_to_csp(query: JoinQuery, database: Database) -> CertifiedReduction:
         target=instance,
         map_solution_back=back,
     )
-    reduction.add_certificate(
-        "variables == attributes",
-        instance.variables == query.attributes,
-        "",
-    )
-    reduction.add_certificate(
-        "one constraint per atom",
-        instance.num_constraints == query.num_atoms,
-        str(instance.num_constraints),
-    )
-    reduction.add_certificate(
+    reduction.certify_eq("variables == attributes", instance.variables, query.attributes)
+    reduction.certify_eq("one constraint per atom", instance.num_constraints, query.num_atoms)
+    reduction.certify_that(
         "hypergraphs coincide",
         instance.hypergraph().edges == query.hypergraph().edges
         and set(instance.hypergraph().vertices) == set(query.hypergraph().vertices),
-        "",
     )
     return reduction
 
 
+@transform(
+    name="csp→join-query",
+    source=CSP,
+    target=QUERY,
+    guarantees=(
+        "attribute count == variable count",
+        "max relation size == max constraint size",
+    ),
+    witness=small_binary_csp,
+)
 def csp_to_query(instance: CSPInstance) -> CertifiedReduction:
     """A join query + database whose answer set is the solution set.
 
@@ -98,18 +112,17 @@ def csp_to_query(instance: CSPInstance) -> CertifiedReduction:
         target=(query, database),
         map_solution_back=back,
     )
-    reduction.add_certificate(
+    reduction.certify_eq(
         "attribute count == variable count",
-        len(query.attributes) == instance.num_variables,
-        f"{len(query.attributes)} vs {instance.num_variables}",
+        len(query.attributes),
+        instance.num_variables,
     )
-    reduction.add_certificate(
+    reduction.certify_eq(
         "max relation size == max constraint size",
-        database.max_relation_size()
-        == max(
+        database.max_relation_size(),
+        max(
             [len(c.relation) for c in instance.constraints]
             + [instance.domain_size if len(constrained) < instance.num_variables else 0]
         ),
-        "",
     )
     return reduction

@@ -22,7 +22,15 @@ from ..csp.backtracking import solve_backtracking
 from ..errors import ReductionError
 from ..graphs.graph import Graph
 from ..sat.cnf import CNF
-from .base import CertifiedReduction
+from ..transforms import (
+    CSP,
+    GRAPH,
+    SAT,
+    CertifiedReduction,
+    identity_solution,
+    transform,
+)
+from ..transforms.witnesses import small_3sat
 
 TRUE, FALSE, BASE = "⊤", "⊥", "β"
 #: Vertices added per clause: two OR gadgets, three vertices each.
@@ -43,6 +51,17 @@ class ColoringInstance:
     literal_vertex: dict[int, str]
 
 
+@transform(
+    name="3sat→3coloring",
+    source=SAT,
+    target=GRAPH,
+    guarantees=(
+        "|V| <= 3 + 2n + 6m",
+        "|E| <= 3 + 3n + 12m",
+    ),
+    witness=small_3sat,
+    target_format="coloring",
+)
 def sat_to_3coloring(formula: CNF) -> CertifiedReduction:
     """Reduce a 3SAT formula to 3-colorability of a graph.
 
@@ -106,17 +125,11 @@ def sat_to_3coloring(formula: CNF) -> CertifiedReduction:
         map_solution_back=back,
     )
     n, m = formula.num_variables, formula.num_clauses
-    bound_v = 3 + 2 * n + _CLAUSE_VERTICES * m
-    bound_e = 3 + 3 * n + _CLAUSE_EDGES * m
-    reduction.add_certificate(
-        "|V| <= 3 + 2n + 6m",
-        graph.num_vertices <= bound_v,
-        f"{graph.num_vertices} vs {bound_v}",
+    reduction.certify_le(
+        "|V| <= 3 + 2n + 6m", graph.num_vertices, 3 + 2 * n + _CLAUSE_VERTICES * m
     )
-    reduction.add_certificate(
-        "|E| <= 3 + 3n + 12m",
-        graph.num_edges <= bound_e,
-        f"{graph.num_edges} vs {bound_e}",
+    reduction.certify_le(
+        "|E| <= 3 + 3n + 12m", graph.num_edges, 3 + 3 * n + _CLAUSE_EDGES * m
     )
     return reduction
 
@@ -129,6 +142,49 @@ def coloring_as_csp(graph: Graph, colors: int = 3) -> CSPInstance:
     }
     constraints = [Constraint((u, v), disequal) for u, v in graph.edges()]
     return CSPInstance(list(graph.vertices), range(colors), constraints)
+
+
+def _coloring_witness() -> "tuple[ColoringInstance]":
+    """A coloring instance produced by the reduction's own witness run."""
+    return (sat_to_3coloring(*small_3sat()).target,)
+
+
+@transform(
+    name="3coloring→csp",
+    source=GRAPH,
+    target=CSP,
+    guarantees=(
+        "one constraint per edge",
+        "|D| == 3",
+        "arity == 2",
+    ),
+    witness=_coloring_witness,
+    source_format="coloring",
+)
+def coloring_to_csp(instance: "ColoringInstance | Graph") -> CertifiedReduction:
+    """Certified form of :func:`coloring_as_csp` with |D| = 3.
+
+    Accepts either a plain graph or the :class:`ColoringInstance` that
+    :func:`sat_to_3coloring` produces, which is what makes the
+    Corollary 6.2 chain 3SAT → 3-coloring → CSP composable.
+    """
+    graph = instance.graph if isinstance(instance, ColoringInstance) else instance
+    if graph.num_vertices == 0:
+        raise ReductionError("empty graph")
+    csp = coloring_as_csp(graph, colors=3)
+
+    reduction = CertifiedReduction(
+        name="3coloring→csp",
+        source=instance,
+        target=csp,
+        # A CSP solution {vertex: color} already is a coloring.
+        map_solution_back=identity_solution,
+    )
+    reduction.certify_eq("one constraint per edge", csp.num_constraints, graph.num_edges)
+    reduction.certify_eq("|D| == 3", csp.domain_size, 3)
+    max_arity = max((c.arity for c in csp.constraints), default=2)
+    reduction.certify_eq("arity == 2", max_arity, 2)
+    return reduction
 
 
 def solve_coloring(instance: ColoringInstance | Graph, colors: int = 3):

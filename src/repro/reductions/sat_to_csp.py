@@ -14,9 +14,23 @@ from itertools import product
 from ..csp.instance import Constraint, CSPInstance
 from ..errors import ReductionError
 from ..sat.cnf import CNF
-from .base import CertifiedReduction
+from ..transforms import CSP, IDENTITY_BOUND, SAT, CertifiedReduction, transform
+from ..transforms.witnesses import small_3sat
 
 
+@transform(
+    name="3sat→csp",
+    source=SAT,
+    target=CSP,
+    guarantees=(
+        "|V| == n",
+        "|C| == m",
+        "|D| == 2",
+        "arity <= max clause width",
+    ),
+    parameter_bound=IDENTITY_BOUND,
+    witness=small_3sat,
+)
 def sat_to_csp(formula: CNF) -> CertifiedReduction:
     """Translate a CNF formula into an equivalent CSP instance.
 
@@ -39,32 +53,22 @@ def sat_to_csp(formula: CNF) -> CertifiedReduction:
 
     instance = CSPInstance(variables, (0, 1), constraints)
 
-    def back(solution):
+    def back_to_assignment(solution):
         return {var: bool(solution[var]) for var in variables}
 
     reduction = CertifiedReduction(
         name="3sat→csp",
         source=formula,
         target=instance,
-        map_solution_back=back,
+        map_solution_back=back_to_assignment,
         parameter_source=formula.num_variables,
         parameter_target=instance.num_variables,
     )
-    reduction.add_certificate(
-        "|V| == n", instance.num_variables == formula.num_variables,
-        f"{instance.num_variables} vs {formula.num_variables}",
-    )
-    reduction.add_certificate(
-        "|C| == m", instance.num_constraints == formula.num_clauses,
-        f"{instance.num_constraints} vs {formula.num_clauses}",
-    )
-    reduction.add_certificate(
-        "|D| == 2", instance.domain_size == 2, str(instance.domain_size)
-    )
+    reduction.certify_eq("|V| == n", instance.num_variables, formula.num_variables)
+    reduction.certify_eq("|C| == m", instance.num_constraints, formula.num_clauses)
+    reduction.certify_eq("|D| == 2", instance.domain_size, 2)
     max_arity = max((c.arity for c in instance.constraints), default=0)
-    reduction.add_certificate(
-        "arity <= max clause width",
-        max_arity <= max(formula.max_clause_width, 1),
-        f"arity {max_arity}",
+    reduction.certify_le(
+        "arity <= max clause width", max_arity, max(formula.max_clause_width, 1)
     )
     return reduction

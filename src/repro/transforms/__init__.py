@@ -1,0 +1,93 @@
+"""Composable certified transforms — the reduction graph as a system.
+
+The paper's central move is *chaining* reductions: SAT → CSP → Clique →
+conjunctive query, each hop preserving parameters within stated bounds,
+so one hypothesis rules out running times for a whole family of
+problems (§5–§7). This package is that chain as infrastructure:
+
+* :mod:`~repro.transforms.domains` — the instance languages (SAT, CSP,
+  Graph, Structure, Query, Vectors) transforms hop between;
+* :mod:`~repro.transforms.certified` — the
+  :class:`~repro.transforms.certified.CertifiedReduction` bookkeeping
+  (canonical home; ``repro.reductions.base`` is a shim);
+* :mod:`~repro.transforms.params` — symbolic Definition 5.1.3
+  parameter bounds that compose by substitution;
+* :mod:`~repro.transforms.base` — the typed
+  :class:`~repro.transforms.base.Transform` protocol: declared
+  domains, guarantee schema, witness factory, instrumentation;
+* :mod:`~repro.transforms.registry` — the decorator-based registry the
+  reduction modules populate at import;
+* :mod:`~repro.transforms.compose` — ``compose``/``compose_chain``
+  fusing certificates, back-maps, and parameter bounds, plus
+  ``find_chain`` path search over the registry.
+
+:mod:`repro.complexity` consumes this registry: every
+:class:`~repro.complexity.bounds.LowerBound` carries a derivation that
+is either an explicit transform chain validated here or a declared
+axiom (paper-stated, no in-repo reduction).
+"""
+
+from .base import Transform
+from .certified import Certificate, CertifiedReduction, identity_solution
+from .compose import (
+    ComposedBackMap,
+    chain_name,
+    compose,
+    compose_chain,
+    find_chain,
+    register_composed,
+)
+from .domains import (
+    CSP,
+    GRAPH,
+    QUERY,
+    SAT,
+    STRUCTURE,
+    VECTORS,
+    Domain,
+    all_domains,
+    get_domain,
+)
+from .params import IDENTITY_BOUND, ParamBound, compose_bounds, make_bound
+from .registry import (
+    all_transforms,
+    get_transform,
+    has_transform,
+    load_builtin_transforms,
+    register,
+    transform,
+    transforms_from,
+)
+
+__all__ = [
+    "CSP",
+    "Certificate",
+    "CertifiedReduction",
+    "ComposedBackMap",
+    "Domain",
+    "GRAPH",
+    "IDENTITY_BOUND",
+    "ParamBound",
+    "QUERY",
+    "SAT",
+    "STRUCTURE",
+    "Transform",
+    "VECTORS",
+    "all_domains",
+    "all_transforms",
+    "chain_name",
+    "compose",
+    "compose_bounds",
+    "compose_chain",
+    "find_chain",
+    "get_domain",
+    "get_transform",
+    "has_transform",
+    "identity_solution",
+    "load_builtin_transforms",
+    "make_bound",
+    "register",
+    "register_composed",
+    "transform",
+    "transforms_from",
+]

@@ -1,0 +1,150 @@
+"""The typed :class:`Transform` protocol: a reduction as a graph edge.
+
+A transform is a certified reduction *plus its contract*: declared
+source/target domains (and finer format tags), the guarantee schema —
+the certificate names every application must produce — a symbolic
+parameter bound, and a witness-instance factory the derivation
+validator replays it on. Applying a transform runs the underlying
+construction inside an observability span, bumps the ambient metrics,
+and mechanically checks the produced certificates against the declared
+schema, so a transform that silently drops a guarantee fails loudly at
+the first application rather than in a report much later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from ..errors import ReductionError
+from ..observability.metrics import SMALL_BUCKETS, inc, observe
+from ..observability.tracing import span
+from .certified import CertifiedReduction
+from .domains import Domain
+from .params import ParamBound
+
+
+@dataclass(frozen=True)
+class Transform:
+    """One registered instance transformation.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, e.g. ``"3sat→csp"`` — referenced by
+        :class:`~repro.complexity.bounds.LowerBound` derivations.
+    source / target:
+        The domains the transform maps between.
+    guarantees:
+        The certificate names every application must attach — the
+        machine-checkable schema of the proof's size/parameter claims.
+    apply_fn:
+        The underlying construction returning a
+        :class:`~repro.transforms.certified.CertifiedReduction`.
+    arity:
+        How many positional arguments the construction takes; a
+        parameterized instance like ``(graph, k)`` has arity 2 and is
+        splatted when the transform is applied mid-chain.
+    parameter_bound:
+        Symbolic Definition 5.1.3 bound ``k' ≤ f(k)``, if the
+        transform tracks parameters.
+    witness:
+        Zero-argument factory returning the positional arguments of a
+        small concrete instance — what derivation validation replays.
+    source_format / target_format:
+        Finer instance-shape tags within the domains (``"clique"``,
+        ``"coloring"``, ...); empty means the domain's canonical shape.
+    chainable:
+        Whether chain search may route through this transform. False
+        for transforms needing extra non-instance arguments (e.g.
+        variable grouping needs the partition).
+    description:
+        One line for reports and ``find_chain`` diagnostics.
+    """
+
+    name: str
+    source: Domain
+    target: Domain
+    guarantees: tuple[str, ...]
+    apply_fn: Callable[..., CertifiedReduction]
+    arity: int = 1
+    parameter_bound: ParamBound | None = None
+    witness: Callable[[], tuple] | None = None
+    source_format: str = ""
+    target_format: str = ""
+    chainable: bool = True
+    description: str = ""
+
+    @property
+    def source_tag(self) -> str:
+        """The format tag chain search matches on at the source end."""
+        return self.source_format or self.source.key
+
+    @property
+    def target_tag(self) -> str:
+        """The format tag chain search matches on at the target end."""
+        return self.target_format or self.target.key
+
+    def apply(self, *args, **kwargs) -> CertifiedReduction:
+        """Run the construction, instrumented and schema-checked."""
+        with span(
+            f"transform/{self.name}",
+            source=self.source.key,
+            target=self.target.key,
+        ):
+            reduction = self.apply_fn(*args, **kwargs)
+        self.check_guarantee_schema(reduction)
+        inc("transforms.applied")
+        observe("transform.certificates", len(reduction.certificates), SMALL_BUCKETS)
+        return reduction
+
+    def __call__(self, *args, **kwargs) -> CertifiedReduction:
+        return self.apply(*args, **kwargs)
+
+    def check_guarantee_schema(self, reduction: CertifiedReduction) -> None:
+        """Every declared guarantee must appear among the certificates.
+
+        This is the schema half of certification; whether each
+        certificate *holds* is ``reduction.certify()``'s job.
+        """
+        produced = {certificate.name for certificate in reduction.certificates}
+        missing = [name for name in self.guarantees if name not in produced]
+        if missing:
+            raise ReductionError(
+                f"transform {self.name!r} declared guarantees it did not "
+                f"certify: {missing}; produced {sorted(produced)}"
+            )
+
+    def witness_args(self) -> tuple:
+        """The witness instance's positional arguments.
+
+        Raises
+        ------
+        ReductionError
+            If the transform registered no witness factory.
+        """
+        if self.witness is None:
+            raise ReductionError(
+                f"transform {self.name!r} has no witness-instance factory"
+            )
+        return self.witness()
+
+    def stage_args(self, value: object) -> tuple:
+        """Adapt a previous stage's target into this stage's arguments.
+
+        Arity-1 transforms receive the value as-is; higher arities
+        require a matching tuple (e.g. a ``(graph, k)`` pair feeding an
+        arity-2 parameterized reduction).
+        """
+        if self.arity == 1:
+            return (value,)
+        if isinstance(value, tuple) and len(value) == self.arity:
+            return value
+        raise ReductionError(
+            f"transform {self.name!r} takes {self.arity} arguments but the "
+            f"previous stage produced {type(value).__name__}"
+        )
+
+    def edge_label(self) -> str:
+        """``source-tag → target-tag`` for reports and chain listings."""
+        return f"{self.source_tag} → {self.target_tag}"

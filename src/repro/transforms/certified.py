@@ -1,0 +1,132 @@
+"""The certified-reduction framework — canonical home.
+
+A conditional lower bound *is* a reduction plus bookkeeping: the
+transformed instance must be equivalent to the source, and its size and
+parameters must obey the bounds the proof claims (Definition 5.1's
+three conditions, or a polynomial-size bound for NP-hardness). This
+module packages both parts so the test suite — and the complexity
+report — can check the claims mechanically on concrete instances.
+
+Historically this lived at :mod:`repro.reductions.base`, which remains
+a compatibility shim; new code should import from here or from
+:mod:`repro.transforms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from ..errors import ReductionError
+
+
+def identity_solution(solution):
+    """The default back-mapping: target solutions are source solutions.
+
+    A named function (not a bare lambda) so run records and derivation
+    reports can render which mapping a reduction uses.
+    """
+    return solution
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """One checkable guarantee of a reduction.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"variables == k + 2^k"``.
+    holds:
+        Whether the guarantee held on this concrete instance.
+    detail:
+        The measured quantities, for diagnostics.
+    """
+
+    name: str
+    holds: bool
+    detail: str = ""
+
+
+@dataclass
+class CertifiedReduction:
+    """The output of applying a reduction to one instance.
+
+    Attributes
+    ----------
+    name:
+        The reduction's identifier, e.g. ``"clique→special-csp"``.
+    source:
+        The original instance (any type).
+    target:
+        The transformed instance.
+    certificates:
+        Guarantees measured during construction.
+    map_solution_back:
+        Translates a target solution into a source solution. The
+        ``None → None`` contract (no-instance preservation) is *not*
+        the mapping's job: :meth:`pull_back` certifies it in this one
+        shared place, so back-maps never see ``None``.
+    parameter_source / parameter_target:
+        Parameter values before/after, for parameterized reductions
+        (Definition 5.1 condition 3).
+    """
+
+    name: str
+    source: object
+    target: object
+    certificates: list[Certificate] = field(default_factory=list)
+    map_solution_back: Callable = identity_solution
+    parameter_source: int | None = None
+    parameter_target: int | None = None
+
+    def certify(self) -> None:
+        """Raise :class:`ReductionError` if any certificate failed."""
+        failed = [c for c in self.certificates if not c.holds]
+        if failed:
+            lines = "; ".join(f"{c.name} ({c.detail})" for c in failed)
+            raise ReductionError(f"reduction {self.name!r} broke guarantees: {lines}")
+
+    def certificate(self, name: str) -> Certificate:
+        for c in self.certificates:
+            if c.name == name:
+                return c
+        raise ReductionError(f"reduction {self.name!r} has no certificate {name!r}")
+
+    def add_certificate(self, name: str, holds: bool, detail: str = "") -> None:
+        self.certificates.append(Certificate(name, holds, detail))
+
+    # -- shared certificate-building helpers ---------------------------------
+    # Reduction modules used to hand-roll the same ``x == y`` /
+    # ``x <= y`` bookkeeping with per-module detail strings; these
+    # helpers are the one place that arithmetic and formatting live.
+
+    def certify_eq(self, name: str, actual, expected) -> None:
+        """Certificate asserting ``actual == expected``, recording both."""
+        self.add_certificate(name, actual == expected, f"{actual} vs {expected}")
+
+    def certify_le(self, name: str, actual, bound) -> None:
+        """Certificate asserting ``actual <= bound``, recording both."""
+        self.add_certificate(name, actual <= bound, f"{actual} vs {bound}")
+
+    def certify_that(self, name: str, holds: bool, detail: str = "") -> None:
+        """Certificate for a predicate measured by the caller."""
+        self.add_certificate(name, bool(holds), detail)
+
+    @property
+    def back_map_name(self) -> str:
+        """Renderable name of the solution back-mapping."""
+        return getattr(
+            self.map_solution_back, "__name__", type(self.map_solution_back).__name__
+        )
+
+    def pull_back(self, target_solution):
+        """Map a target solution back; ``None`` stays ``None``.
+
+        This is the single certified site of the ``None → None``
+        contract: every back-mapping in the library is invoked through
+        here, so no individual reduction needs to restate it.
+        """
+        if target_solution is None:
+            return None
+        return self.map_solution_back(target_solution)

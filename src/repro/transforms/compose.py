@@ -1,0 +1,205 @@
+"""The composition engine: fusing transforms and searching for chains.
+
+``compose_chain([t1, t2, ...])`` builds a single
+:class:`~repro.transforms.base.Transform` that applies the stages in
+order, fusing the three pieces a chained lower-bound proof needs:
+
+* **certificates** — every stage's certificates, re-namespaced as
+  ``"<i>/<stage-name>/<certificate-name>"``, so ``certify()`` on the
+  composite re-checks every stage's guarantees at once;
+* **back-maps** — a named :class:`ComposedBackMap` that pulls a final-
+  target solution back stage by stage (each hop through the certified
+  ``pull_back``, so ``None → None`` is preserved end to end);
+* **parameter bounds** — the symbolic Definition 5.1.3 bounds
+  substituted into one end-to-end bound, re-checked on the concrete
+  instance as an extra certificate.
+
+``find_chain(source, target)`` is breadth-first search over the
+registry's format graph: shortest chain wins, ties broken by transform
+name so the result is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ReductionError
+from .base import Transform
+from .certified import Certificate, CertifiedReduction
+from .domains import Domain
+from .params import compose_bounds
+from .registry import register, transforms_from
+
+
+class ComposedBackMap:
+    """Named, renderable composition of per-stage solution pull-backs.
+
+    Holds the per-stage :class:`CertifiedReduction` objects of one
+    application and walks them in reverse; each hop goes through
+    ``pull_back`` so the ``None → None`` contract is certified at
+    every stage, not just at the ends.
+    """
+
+    def __init__(self, stages: tuple[CertifiedReduction, ...], name: str) -> None:
+        self.stages = tuple(stages)
+        self.__name__ = name
+
+    def __call__(self, solution):
+        for stage in reversed(self.stages):
+            solution = stage.pull_back(solution)
+            if solution is None:
+                return None
+        return solution
+
+
+def chain_name(transforms: list[Transform] | tuple[Transform, ...]) -> str:
+    """The display name of a chain: stages joined by ``»``."""
+    return " » ".join(t.name for t in transforms)
+
+
+def compose_chain(transforms: list[Transform] | tuple[Transform, ...]) -> Transform:
+    """Fuse a list of transforms into one, validating adjacency.
+
+    Raises
+    ------
+    ReductionError
+        If the list is empty or some adjacent pair does not line up
+        (target domain/format of one ≠ source domain/format of the
+        next).
+    """
+    stages = tuple(transforms)
+    if not stages:
+        raise ReductionError("cannot compose an empty chain")
+    if len(stages) == 1:
+        return stages[0]
+    for first, second in zip(stages, stages[1:]):
+        if first.target != second.source or first.target_tag != second.source_tag:
+            raise ReductionError(
+                f"cannot compose {first.name!r} ({first.edge_label()}) with "
+                f"{second.name!r} ({second.edge_label()}): the formats do not "
+                "line up"
+            )
+
+    name = chain_name(stages)
+    guarantees = tuple(
+        f"{index}/{stage.name}/{guarantee}"
+        for index, stage in enumerate(stages, start=1)
+        for guarantee in stage.guarantees
+    )
+    end_to_end_bound = compose_bounds([stage.parameter_bound for stage in stages])
+
+    def apply_chain(*args, **kwargs) -> CertifiedReduction:
+        # Stage i+1 consumes stage i's target instance.
+        applications: list[CertifiedReduction] = [stages[0].apply(*args, **kwargs)]
+        for stage in stages[1:]:
+            applications.append(
+                stage.apply(*stage.stage_args(applications[-1].target))
+            )
+
+        fused = [
+            # One flat certificate list, namespaced per stage so a
+            # failure names the hop that broke.
+            certificate
+            for index, application in enumerate(applications, start=1)
+            for certificate in _namespaced(index, application)
+        ]
+        reduction = CertifiedReduction(
+            name=name,
+            source=applications[0].source,
+            target=applications[-1].target,
+            certificates=fused,
+            map_solution_back=ComposedBackMap(
+                tuple(applications), name=f"pull_back[{name}]"
+            ),
+            parameter_source=applications[0].parameter_source,
+            parameter_target=applications[-1].parameter_target,
+        )
+        if (
+            end_to_end_bound is not None
+            and reduction.parameter_source is not None
+            and reduction.parameter_target is not None
+        ):
+            reduction.certify_le(
+                f"composed parameter bound k' <= {end_to_end_bound.expr}",
+                reduction.parameter_target,
+                end_to_end_bound.fn(reduction.parameter_source),
+            )
+        return reduction
+
+    return Transform(
+        name=name,
+        source=stages[0].source,
+        target=stages[-1].target,
+        guarantees=guarantees,
+        apply_fn=apply_chain,
+        arity=stages[0].arity,
+        parameter_bound=end_to_end_bound,
+        witness=stages[0].witness,
+        source_format=stages[0].source_format,
+        target_format=stages[-1].target_format,
+        chainable=all(stage.chainable for stage in stages),
+        description=f"composed chain: {name}",
+    )
+
+
+def _namespaced(index: int, application: CertifiedReduction):
+    for certificate in application.certificates:
+        yield Certificate(
+            name=f"{index}/{application.name}/{certificate.name}",
+            holds=certificate.holds,
+            detail=certificate.detail,
+        )
+
+
+def compose(first: Transform, second: Transform) -> Transform:
+    """Fuse two transforms: apply ``first``, then ``second``."""
+    return compose_chain([first, second])
+
+
+def register_composed(transforms: list[Transform]) -> Transform:
+    """Compose a chain and add the result to the registry."""
+    return register(compose_chain(transforms))
+
+
+def find_chain(
+    source: Domain,
+    target: Domain,
+    *,
+    source_format: str = "",
+    target_format: str = "",
+) -> list[Transform]:
+    """Shortest chain of chainable transforms from source to target.
+
+    Breadth-first search over format tags: the start node is
+    ``source_format`` (or the source domain's canonical tag), and any
+    transform landing in ``target`` (matching ``target_format`` when
+    given) ends the search. Among equal-length chains the
+    lexicographically smallest sequence of transform names wins, so
+    results are deterministic.
+
+    Raises
+    ------
+    ReductionError
+        If no chain exists in the registry.
+
+    Complexity: O(V + E) BFS over the format graph (V format tags,
+        E registered chainable transforms).
+    """
+    start = source_format or source.key
+    seen = {start}
+    queue: deque[tuple[str, list[Transform]]] = deque([(start, [])])
+    while queue:
+        tag, path = queue.popleft()
+        for candidate in sorted(transforms_from(tag), key=lambda t: t.name):
+            extended = path + [candidate]
+            if candidate.target == target and (
+                not target_format or candidate.target_tag == target_format
+            ):
+                return extended
+            if candidate.target_tag not in seen:
+                seen.add(candidate.target_tag)
+                queue.append((candidate.target_tag, extended))
+    wanted = target_format or target.key
+    raise ReductionError(
+        f"no transform chain from {start!r} to {wanted!r} in the registry"
+    )

@@ -1,0 +1,76 @@
+"""Problem domains: the vertices of the transform graph.
+
+The paper's reduction chains hop between a handful of instance
+languages — SAT formulas, CSP instances, graphs, relational
+structures, join queries (§2), and the fine-grained vector problems of
+§7. A :class:`Domain` tags each hop's endpoints so composition can be
+checked mechanically: ``compose(t1, t2)`` demands that ``t1`` lands
+where ``t2`` departs.
+
+A domain is deliberately coarse — "some graph problem" — because the
+paper treats e.g. Clique, Independent Set, and 3-Coloring as one
+territory reached by different roads. The finer notion is the *format*
+tag on each :class:`~repro.transforms.base.Transform` (``"clique"``,
+``"coloring"``, ...), which names the concrete instance shape within
+the domain; formats are what chain search actually matches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One instance language the transform graph can visit.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier, e.g. ``"csp"``. Also the *canonical format*
+        tag for transforms that do not declare a finer one.
+    description:
+        What an instance of this domain looks like.
+    """
+
+    key: str
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key
+
+
+SAT = Domain("sat", "a CNF formula (repro.sat.cnf.CNF)")
+CSP = Domain("csp", "a CSP instance (repro.csp.instance.CSPInstance)")
+GRAPH = Domain(
+    "graph",
+    "a graph problem instance: a Graph, a parameterized (Graph, k) "
+    "pair, a ColoringInstance, or a (pattern, host, partition) triple",
+)
+STRUCTURE = Domain(
+    "structure", "a homomorphism instance: a pair (A, B) of Structures"
+)
+QUERY = Domain("query", "a join-query instance: a (JoinQuery, Database) pair")
+VECTORS = Domain(
+    "vectors", "a fine-grained vector instance (e.g. Orthogonal Vectors)"
+)
+
+_DOMAINS: dict[str, Domain] = {
+    d.key: d for d in (SAT, CSP, GRAPH, STRUCTURE, QUERY, VECTORS)
+}
+
+
+def all_domains() -> list[Domain]:
+    """Every known domain, in registration order."""
+    return list(_DOMAINS.values())
+
+
+def get_domain(key: str) -> Domain:
+    """Look up one domain by key."""
+    if key not in _DOMAINS:
+        raise InvalidInstanceError(
+            f"unknown domain {key!r}; known: {sorted(_DOMAINS)}"
+        )
+    return _DOMAINS[key]

@@ -1,0 +1,86 @@
+"""Symbolic parameter bounds: Definition 5.1's condition (3) as data.
+
+A parameterized reduction may blow the parameter up, but only by a
+computable function of the old parameter — ``k' ≤ f(k)``. A
+:class:`ParamBound` carries both faces of ``f``: the human-readable
+expression (in the letter ``k``) that reports render, and the callable
+the validator evaluates on concrete instances. Composition substitutes
+one expression into the other, so a chain's end-to-end bound is
+derived mechanically rather than re-stated by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from ..errors import ReductionError
+
+
+@dataclass(frozen=True)
+class ParamBound:
+    """One computable parameter bound ``k' ≤ f(k)``.
+
+    Attributes
+    ----------
+    expr:
+        Rendering of ``f`` in the variable ``k``, e.g. ``"k + 2^k"``.
+    fn:
+        The callable evaluating ``f`` on a concrete parameter value.
+    """
+
+    expr: str
+    fn: Callable[[int], int]
+
+    def __call__(self, parameter: int) -> int:
+        return self.fn(parameter)
+
+    def then(self, outer: "ParamBound") -> "ParamBound":
+        """The bound of this step followed by ``outer``: ``f_out ∘ f_in``.
+
+        The composed expression substitutes this bound's expression
+        for ``k`` inside the outer one, so ``k ↦ 2k`` then
+        ``k ↦ k + 2^k`` renders as ``(2·k) + 2^(2·k)``.
+        """
+        inner = self
+
+        def composed(parameter: int) -> int:
+            return outer.fn(inner.fn(parameter))
+
+        substituted = outer.expr.replace("k", f"({inner.expr})")
+        return ParamBound(expr=substituted, fn=composed)
+
+    def holds_on(self, parameter_source: int, parameter_target: int) -> bool:
+        """Does ``parameter_target ≤ f(parameter_source)``?"""
+        return parameter_target <= self.fn(parameter_source)
+
+
+def _identity(parameter: int) -> int:
+    return parameter
+
+
+#: The common case: the parameter is preserved exactly (``k' = k``).
+IDENTITY_BOUND = ParamBound(expr="k", fn=_identity)
+
+
+def make_bound(expr: str, fn: Callable[[int], int]) -> ParamBound:
+    """A named parameter bound; ``expr`` must mention ``k``."""
+    if "k" not in expr:
+        raise ReductionError(
+            f"parameter bound expression {expr!r} does not mention 'k'"
+        )
+    return ParamBound(expr=expr, fn=fn)
+
+
+def compose_bounds(bounds: "list[ParamBound | None]") -> ParamBound | None:
+    """Fold per-stage bounds into one end-to-end bound.
+
+    ``None`` anywhere means some stage does not track parameters, so
+    the composition is unknown — also ``None``.
+    """
+    composed: ParamBound | None = None
+    for bound in bounds:
+        if bound is None:
+            return None
+        composed = bound if composed is None else composed.then(bound)
+    return composed

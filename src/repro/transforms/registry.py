@@ -1,0 +1,129 @@
+"""The transform registry and its registration decorator.
+
+Reduction modules register themselves at import time::
+
+    @transform(
+        name="3sat→csp",
+        source=SAT,
+        target=CSP,
+        guarantees=("|V| == n", "|C| == m", ...),
+        parameter_bound=IDENTITY_BOUND,
+        witness=_witness,
+    )
+    def sat_to_csp(formula): ...
+
+The decorator returns the *plain function unchanged* — existing call
+sites keep working with zero overhead — and attaches the registered
+:class:`~repro.transforms.base.Transform` as ``fn.transform``. The
+instrumented, schema-checked path is ``get_transform(name).apply(...)``,
+which is what the composition engine and derivation validator use.
+
+Lookup functions lazily import the built-in reduction modules so the
+registry is populated regardless of which entry point touched it
+first; registration itself never triggers loading (no import cycles).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import ReductionError
+from .base import Transform
+from .domains import Domain
+from .params import ParamBound
+
+_REGISTRY: dict[str, Transform] = {}
+_LOADED = False
+
+
+def register(entry: Transform) -> Transform:
+    """Add one transform; duplicate names are an error, not an update."""
+    if entry.name in _REGISTRY:
+        raise ReductionError(f"transform {entry.name!r} registered twice")
+    if not entry.guarantees:
+        raise ReductionError(
+            f"transform {entry.name!r} declares no guarantee schema; "
+            "every transform must state the certificates it produces"
+        )
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def transform(
+    *,
+    name: str,
+    source: Domain,
+    target: Domain,
+    guarantees: tuple[str, ...],
+    arity: int = 1,
+    parameter_bound: ParamBound | None = None,
+    witness: Callable[[], tuple] | None = None,
+    source_format: str = "",
+    target_format: str = "",
+    chainable: bool = True,
+) -> Callable:
+    """Decorator registering a reduction function as a transform."""
+
+    def decorate(fn: Callable) -> Callable:
+        doc = (fn.__doc__ or "").strip().splitlines()
+        entry = Transform(
+            name=name,
+            source=source,
+            target=target,
+            guarantees=tuple(guarantees),
+            apply_fn=fn,
+            arity=arity,
+            parameter_bound=parameter_bound,
+            witness=witness,
+            source_format=source_format,
+            target_format=target_format,
+            chainable=chainable,
+            description=doc[0] if doc else "",
+        )
+        register(entry)
+        fn.transform = entry
+        return fn
+
+    return decorate
+
+
+def load_builtin_transforms() -> None:
+    """Import every module that registers built-in transforms.
+
+    Idempotent; called lazily by the lookup functions so that e.g.
+    ``python -m repro.complexity --check-derivations`` sees the full
+    registry without importing the world at interpreter start.
+    """
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from .. import reductions  # noqa: F401  (registration side effect)
+    from ..finegrained import sat_to_ov  # noqa: F401  (registration side effect)
+
+
+def get_transform(name: str) -> Transform:
+    """Look up one transform by name."""
+    load_builtin_transforms()
+    if name not in _REGISTRY:
+        raise ReductionError(
+            f"unknown transform {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def has_transform(name: str) -> bool:
+    """True if ``name`` is registered."""
+    load_builtin_transforms()
+    return name in _REGISTRY
+
+
+def all_transforms() -> list[Transform]:
+    """Every registered transform, sorted by name."""
+    load_builtin_transforms()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def transforms_from(tag: str) -> list[Transform]:
+    """Chainable transforms departing from format tag ``tag``."""
+    return [t for t in all_transforms() if t.chainable and t.source_tag == tag]

@@ -1,0 +1,100 @@
+"""Small deterministic witness instances for transform validation.
+
+Every registered transform names a witness factory: a zero-argument
+callable returning the positional arguments of one concrete, small,
+*solvable* instance. The derivation validator replays each transform
+(and each composed chain) on its witness and re-checks every
+certificate, so a refactor that silently breaks a guarantee fails
+``--check-derivations`` rather than a paper claim.
+
+Everything here is built literally — no random generators — so the
+witnesses are identical on every machine and never drift.
+"""
+
+from __future__ import annotations
+
+from ..csp.instance import Constraint, CSPInstance
+from ..graphs.graph import Graph
+from ..relational.database import Database
+from ..relational.query import Atom, JoinQuery
+from ..relational.relation import Relation
+from ..sat.cnf import CNF
+
+
+def small_3sat() -> tuple[CNF]:
+    """A satisfiable 3-variable 3SAT formula (e.g. x1=x2=x3=True)."""
+    return (CNF(3, [[1, 2, 3], [-1, 2, 3], [1, -2, 3], [1, 2, -3]]),)
+
+
+def small_cnf() -> tuple[CNF]:
+    """A satisfiable 4-variable CNF for the SAT → OV split."""
+    return (CNF(4, [[1, 2], [-1, 3], [2, -3, 4], [-2, -4]]),)
+
+
+def triangle_plus_pendant() -> tuple[Graph, int]:
+    """A graph with a 3-clique {a, b, c} plus a pendant vertex; k = 3."""
+    graph = Graph()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("a", "c")
+    graph.add_edge("c", "d")
+    return (graph, 3)
+
+
+def triangle_independent_set() -> tuple[Graph, int]:
+    """The triangle-plus-pendant graph with independent set {a, d}; k = 2."""
+    graph, __ = triangle_plus_pendant()
+    return (graph, 2)
+
+
+def path_graph_domset() -> tuple[Graph, int]:
+    """A 5-path dominated by two vertices; t = 2."""
+    graph = Graph()
+    for i in range(4):
+        graph.add_edge(f"v{i}", f"v{i + 1}")
+    return (graph, 2)
+
+
+def path_graph_domset_grouped() -> tuple[Graph, int, int]:
+    """The 5-path witness with both slot variables grouped into one."""
+    graph, t = path_graph_domset()
+    return (graph, t, 2)
+
+
+def small_binary_csp() -> tuple[CSPInstance]:
+    """A satisfiable 3-variable binary CSP over {0, 1, 2}.
+
+    Constraints: x < y, y ≠ z — solvable by e.g. (0, 1, 0).
+    """
+    domain = (0, 1, 2)
+    less = {(a, b) for a in domain for b in domain if a < b}
+    noteq = {(a, b) for a in domain for b in domain if a != b}
+    instance = CSPInstance(
+        ["x", "y", "z"],
+        domain,
+        [Constraint(("x", "y"), less), Constraint(("y", "z"), noteq)],
+    )
+    return (instance,)
+
+
+def small_csp_with_groups() -> tuple[CSPInstance, list[list[str]]]:
+    """The binary-CSP witness plus a grouping of two of its variables."""
+    (instance,) = small_binary_csp()
+    return (instance, [["x", "y"]])
+
+
+def triangle_query_db() -> tuple[JoinQuery, Database]:
+    """The triangle join query over a 3-cycle database; one answer."""
+    query = JoinQuery(
+        [Atom("R", ("A", "B")), Atom("S", ("B", "C")), Atom("T", ("A", "C"))]
+    )
+    tuples = [(1, 2), (2, 3), (1, 3)]
+    database = Database(
+        [
+            Relation("R", ("A", "B"), [(1, 2)]),
+            Relation("S", ("B", "C"), [(2, 3)]),
+            Relation("T", ("A", "C"), [(1, 3)]),
+        ],
+        domain={value for pair in tuples for value in pair},
+    )
+    return (query, database)

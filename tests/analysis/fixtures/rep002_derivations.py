@@ -1,0 +1,26 @@
+"""REP002 derivation fixture: one resolving chain, one dangling name.
+
+Installed as ``repro/complexity/bounds.py``; the companion transform
+module registers ``fixture→csp``, so the first ``derived`` call
+resolves and the second does not.
+"""
+
+
+class LowerBound:
+    def __init__(self, **kwargs):
+        pass
+
+
+def derived(hypothesis, *chain):
+    return (hypothesis, chain)
+
+
+GOOD = LowerBound(
+    key="fixture-good",
+    derivation=derived("eth", "fixture→csp"),
+)
+
+BAD = LowerBound(
+    key="fixture-bad",
+    derivation=derived("eth", "never→registered"),
+)

@@ -1,0 +1,65 @@
+"""REP007 failing fixture: four broken transform registrations.
+
+A dynamic name, a duplicate name, missing domain endpoints, and an
+empty guarantee schema.
+"""
+
+
+def transform(**kwargs):
+    def decorate(fn):
+        return fn
+
+    return decorate
+
+
+SAT = "sat"
+CSP = "csp"
+DYNAMIC = "computed→name"
+
+
+@transform(
+    name=DYNAMIC,  # not a literal
+    source=SAT,
+    target=CSP,
+    guarantees=("|V| == n",),
+)
+def dynamic_name(formula):
+    return formula
+
+
+@transform(
+    name="fixture→csp",
+    source=SAT,
+    target=CSP,
+    guarantees=("|V| == n",),
+)
+def first_registration(formula):
+    return formula
+
+
+@transform(
+    name="fixture→csp",  # duplicate of the one above
+    source=SAT,
+    target=CSP,
+    guarantees=("|V| == n",),
+)
+def second_registration(formula):
+    return formula
+
+
+@transform(
+    name="no→endpoints",  # missing source= and target=
+    guarantees=("|V| == n",),
+)
+def no_endpoints(formula):
+    return formula
+
+
+@transform(
+    name="no→schema",
+    source=SAT,
+    target=CSP,
+    guarantees=(),  # empty schema
+)
+def no_schema(formula):
+    return formula

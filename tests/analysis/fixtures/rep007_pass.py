@@ -1,0 +1,22 @@
+"""REP007 passing fixture: a fully declared transform registration."""
+
+
+def transform(**kwargs):
+    def decorate(fn):
+        return fn
+
+    return decorate
+
+
+SAT = "sat"
+CSP = "csp"
+
+
+@transform(
+    name="fixture→csp",
+    source=SAT,
+    target=CSP,
+    guarantees=("|V| == n",),
+)
+def fixture_to_csp(formula):
+    return formula

@@ -14,7 +14,7 @@ def codes(findings):
 
 
 class TestRegistry:
-    def test_six_families_registered(self):
+    def test_seven_families_registered(self):
         assert [r.code for r in all_rules()] == [
             "REP001",
             "REP002",
@@ -22,6 +22,7 @@ class TestRegistry:
             "REP004",
             "REP005",
             "REP006",
+            "REP007",
         ]
 
     def test_unknown_rule_rejected(self):
@@ -72,6 +73,18 @@ class TestRep002RegistryIntegrity:
         assert codes(findings) == ["REP002", "REP002"]
         contexts = {f.context for f in findings}
         assert contexts == {"repro.reductions.does_not_exist", "E99-never-declared"}
+
+    def test_derivation_chain_names_must_be_registered(self, findings_for):
+        findings = findings_for(
+            {
+                "complexity/bounds.py": "rep002_derivations.py",
+                "reductions/fixture.py": "rep007_pass.py",
+            },
+            "REP002",
+        )
+        assert codes(findings) == ["REP002"]
+        assert findings[0].context == "never→registered"
+        assert "no @transform" in findings[0].message
 
 
 class TestRep003ExceptionHygiene:
@@ -158,6 +171,27 @@ class TestRep006IndexDiscipline:
             {"experiments/fixture.py": "rep006_fail.py"}, "REP006"
         )
         assert findings == []
+
+
+class TestRep007TransformRegistration:
+    def test_pass(self, findings_for):
+        findings = findings_for(
+            {"reductions/fixture.py": "rep007_pass.py"}, "REP007"
+        )
+        assert findings == []
+
+    def test_fail_flags_all_four_defects(self, findings_for):
+        findings = findings_for(
+            {"reductions/fixture.py": "rep007_fail.py"}, "REP007"
+        )
+        assert codes(findings) == ["REP007"] * 5
+        messages = " ".join(f.message for f in findings)
+        assert "literal name=" in messages
+        assert "also registered" in messages
+        assert "omits source=" in messages
+        assert "omits target=" in messages
+        assert "no guarantee schema" in messages
+        assert all(f.severity is Severity.ERROR for f in findings)
 
 
 class TestParseFailures:

@@ -1,0 +1,177 @@
+"""Property-based round trips for the certified-transform pipeline.
+
+For each transform: apply it to random instances (both satisfiable and
+unsatisfiable ones arise), solve the *target*, pull the solution back
+through the certified back-map, and check it solves the *source* — plus
+the yes/no equivalence (the target is solvable iff the source is) and
+the ``None → None`` contract. The same is done for composed chains,
+where the pull-back walks every stage.
+"""
+
+from itertools import combinations, product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csp.backtracking import solve_backtracking
+from repro.csp.bruteforce import solve_bruteforce
+from repro.csp.instance import Constraint, CSPInstance
+from repro.graphs.clique import has_clique
+from repro.graphs.graph import Graph
+from repro.reductions.clique_to_csp import clique_to_csp
+from repro.reductions.sat_to_csp import sat_to_csp
+from repro.relational.joins import evaluate_left_deep
+from repro.sat.cnf import CNF
+from repro.sat.dpll import solve_dpll
+from repro.transforms import compose, get_transform
+
+
+@st.composite
+def cnf_formulas(draw, max_vars=4, max_clauses=6):
+    num_vars = draw(st.integers(2, max_vars))
+    literals = st.integers(1, num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = draw(
+        st.lists(
+            st.lists(literals, min_size=1, max_size=3, unique_by=abs),
+            min_size=1,
+            max_size=max_clauses,
+        )
+    )
+    return CNF(num_vars, clauses)
+
+
+@st.composite
+def three_cnf_formulas(draw, max_vars=4, max_clauses=5):
+    """Exactly-3-literal clauses, as the 3SAT transforms require."""
+    num_vars = draw(st.integers(3, max_vars))
+    literals = st.integers(1, num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = draw(
+        st.lists(
+            st.lists(literals, min_size=3, max_size=3, unique_by=abs),
+            min_size=1,
+            max_size=max_clauses,
+        )
+    )
+    return CNF(num_vars, clauses)
+
+
+@st.composite
+def graphs_with_k(draw, max_vertices=5):
+    n = draw(st.integers(2, max_vertices))
+    vertices = [f"u{i}" for i in range(n)]
+    possible = list(combinations(vertices, 2))
+    edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible)))
+    graph = Graph()
+    for u, v in possible:
+        graph.add_vertex(u)
+        graph.add_vertex(v)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    k = draw(st.integers(2, n))
+    return graph, k
+
+
+@st.composite
+def binary_csp_instances(draw, max_vars=4, max_domain=3, max_constraints=5):
+    num_vars = draw(st.integers(2, max_vars))
+    domain = list(range(draw(st.integers(1, max_domain))))
+    variables = [f"v{i}" for i in range(num_vars)]
+    all_pairs = list(product(domain, repeat=2))
+    constraints = []
+    for __ in range(draw(st.integers(0, max_constraints))):
+        scope = draw(
+            st.lists(st.sampled_from(variables), min_size=2, max_size=2, unique=True)
+        )
+        relation = draw(st.lists(st.sampled_from(all_pairs), max_size=len(all_pairs)))
+        constraints.append(Constraint(tuple(scope), relation))
+    return CSPInstance(variables, domain, constraints)
+
+
+class TestSatToCspRoundTrip:
+    @given(three_cnf_formulas())
+    @settings(max_examples=40, deadline=None)
+    def test_yes_no_equivalence_and_pull_back(self, formula):
+        reduction = sat_to_csp(formula)
+        csp_solution = solve_bruteforce(reduction.target)
+        sat_solution = solve_dpll(formula)
+        assert (csp_solution is None) == (sat_solution is None)
+        if csp_solution is not None:
+            assert formula.evaluate(reduction.pull_back(csp_solution))
+        assert reduction.pull_back(None) is None
+
+
+class TestCliqueToCspRoundTrip:
+    @given(graphs_with_k())
+    @settings(max_examples=40, deadline=None)
+    def test_solution_is_a_clique(self, graph_and_k):
+        graph, k = graph_and_k
+        reduction = clique_to_csp(graph, k)
+        solution = solve_bruteforce(reduction.target)
+        assert (solution is not None) == has_clique(graph, k)
+        if solution is not None:
+            clique = reduction.pull_back(solution)
+            assert len(set(clique)) == k
+            assert all(graph.has_edge(u, v) for u, v in combinations(clique, 2))
+        assert reduction.pull_back(None) is None
+
+
+class TestComplementRoundTrip:
+    @given(graphs_with_k())
+    @settings(max_examples=40, deadline=None)
+    def test_clique_iff_independent_set(self, graph_and_k):
+        graph, k = graph_and_k
+        entry = get_transform("clique→independent-set")
+        reduction = entry.apply(graph, k)
+        complement, k_prime = reduction.target
+        assert k_prime == k
+        # An independent set in the complement is a clique in G.
+        assert has_clique(graph, k) == has_clique(complement.complement(), k)
+
+
+class TestComposedSatChain:
+    @given(three_cnf_formulas(max_vars=3, max_clauses=3))
+    @settings(max_examples=10, deadline=None)
+    def test_two_step_chain_round_trips(self, formula):
+        chain = compose(
+            get_transform("3sat→3coloring"), get_transform("3coloring→csp")
+        )
+        reduction = chain.apply(formula)
+        # The coloring CSP has 3 + 2n + 6m variables — far past brute
+        # force, easy for backtracking.
+        csp_solution = solve_backtracking(reduction.target)
+        sat_solution = solve_dpll(formula)
+        assert (csp_solution is None) == (sat_solution is None)
+        if csp_solution is not None:
+            assert formula.evaluate(reduction.pull_back(csp_solution))
+        assert reduction.pull_back(None) is None
+
+
+class TestCspQueryRoundTrip:
+    @given(binary_csp_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_composed_csp_query_csp_round_trips(self, instance):
+        chain = compose(
+            get_transform("csp→join-query"), get_transform("join-query→csp")
+        )
+        reduction = chain.apply(instance)
+        final_solution = solve_bruteforce(reduction.target)
+        direct_solution = solve_bruteforce(instance)
+        assert (final_solution is None) == (direct_solution is None)
+        if final_solution is not None:
+            assert instance.is_solution(reduction.pull_back(final_solution))
+        assert reduction.pull_back(None) is None
+
+    @given(binary_csp_instances(max_vars=3, max_constraints=4))
+    @settings(max_examples=25, deadline=None)
+    def test_query_answers_pull_back_to_solutions(self, instance):
+        entry = get_transform("csp→join-query")
+        reduction = entry.apply(instance)
+        query, database = reduction.target
+        answers = evaluate_left_deep(query, database).answer.tuples
+        assert bool(answers) == (solve_bruteforce(instance) is not None)
+        for answer in answers:
+            assert instance.is_solution(reduction.pull_back(answer))

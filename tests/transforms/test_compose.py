@@ -1,0 +1,127 @@
+"""Composition: certificate fusion, back-maps, bounds, chain search."""
+
+import pytest
+
+from repro.csp.backtracking import solve_backtracking
+from repro.errors import ReductionError
+from repro.transforms import (
+    CSP,
+    GRAPH,
+    SAT,
+    chain_name,
+    compose,
+    compose_chain,
+    find_chain,
+    get_transform,
+    make_bound,
+)
+from repro.transforms.params import IDENTITY_BOUND, compose_bounds
+
+
+class TestParamBounds:
+    def test_identity(self):
+        assert IDENTITY_BOUND(7) == 7
+        assert IDENTITY_BOUND.expr == "k"
+
+    def test_substitution_composition(self):
+        double = make_bound("2·k", lambda k: 2 * k)
+        blowup = make_bound("k + 2^k", lambda k: k + 2**k)
+        composed = double.then(blowup)
+        assert composed.expr == "(2·k) + 2^(2·k)"
+        assert composed(3) == 6 + 2**6
+
+    def test_expr_must_mention_k(self):
+        with pytest.raises(ReductionError, match="does not mention"):
+            make_bound("n + 1", lambda n: n + 1)
+
+    def test_none_poisons_composition(self):
+        assert compose_bounds([IDENTITY_BOUND, None]) is None
+        assert compose_bounds([]) is None
+
+
+class TestComposeChain:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ReductionError, match="empty chain"):
+            compose_chain([])
+
+    def test_singleton_chain_is_the_transform(self):
+        entry = get_transform("3sat→csp")
+        assert compose_chain([entry]) is entry
+
+    def test_misaligned_formats_rejected(self):
+        coloring = get_transform("3sat→3coloring")  # lands in "coloring"
+        clique_csp = get_transform("clique→csp")  # departs "clique"
+        with pytest.raises(ReductionError, match="do not line up"):
+            compose(coloring, clique_csp)
+
+    def test_two_step_chain_fuses_certificates(self):
+        chain = compose(
+            get_transform("3sat→3coloring"), get_transform("3coloring→csp")
+        )
+        assert chain.name == "3sat→3coloring » 3coloring→csp"
+        assert chain.source == SAT and chain.target == CSP
+        reduction = chain.apply(*chain.witness_args())
+        reduction.certify()
+        names = [c.name for c in reduction.certificates]
+        # Namespaced per stage, both stages present.
+        assert "1/3sat→3coloring/|V| <= 3 + 2n + 6m" in names
+        assert "2/3coloring→csp/|D| == 3" in names
+
+    def test_composed_back_map_round_trips(self):
+        chain = compose(
+            get_transform("3sat→3coloring"), get_transform("3coloring→csp")
+        )
+        formula = chain.witness_args()[0]
+        reduction = chain.apply(formula)
+        coloring_solution = solve_backtracking(reduction.target)
+        assert coloring_solution is not None
+        assignment = reduction.pull_back(coloring_solution)
+        assert formula.evaluate(assignment)
+        assert reduction.pull_back(None) is None
+
+    def test_composed_parameter_bound_certificate(self):
+        chain = compose(
+            get_transform("clique→independent-set"),
+            get_transform("independent-set→vertex-cover"),
+        )
+        # Second stage has no bound, so no end-to-end bound either.
+        assert chain.parameter_bound is None
+        single = compose_chain([get_transform("clique→csp")])
+        assert single.parameter_bound is not None
+
+    def test_parameterized_chain_carries_bound(self):
+        chain_entry = get_transform("clique→special-csp")
+        reduction = chain_entry.apply(*chain_entry.witness_args())
+        assert reduction.parameter_target == 3 + 2**3
+
+
+class TestFindChain:
+    def test_direct_hop_wins(self):
+        chain = find_chain(SAT, CSP)
+        assert chain_name(chain) == "3sat→csp"
+
+    def test_format_constrained_search(self):
+        # No transform lands a CSP with the "coloring" tag, so tagging
+        # the target prunes the otherwise-reachable SAT → CSP chains.
+        with pytest.raises(ReductionError, match="no transform chain"):
+            find_chain(SAT, CSP, target_format="coloring")
+
+    def test_multi_hop_via_formats(self):
+        chain = find_chain(
+            GRAPH, GRAPH, source_format="clique", target_format="vertex-cover"
+        )
+        assert chain_name(chain) == (
+            "clique→independent-set » independent-set→vertex-cover"
+        )
+
+    def test_no_chain_raises(self):
+        from repro.transforms import VECTORS
+
+        with pytest.raises(ReductionError, match="no transform chain"):
+            find_chain(VECTORS, SAT)
+
+    def test_search_skips_unchainable(self):
+        # group-variables (csp → grouped-csp) is chainable=False, so a
+        # grouped-csp target is unreachable from plain csp.
+        with pytest.raises(ReductionError, match="no transform chain"):
+            find_chain(CSP, CSP, target_format="grouped-csp")

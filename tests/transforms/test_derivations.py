@@ -1,0 +1,113 @@
+"""Derivation chains: every bound validates, every failure mode is loud."""
+
+import dataclasses
+
+import pytest
+
+from repro.complexity.bounds import all_lower_bounds, get_lower_bound
+from repro.complexity.derivations import (
+    Derivation,
+    axiom,
+    check_all_derivations,
+    check_derivation,
+    derived,
+    resolve_chain,
+)
+from repro.errors import DerivationError
+
+
+class TestDerivationConstructors:
+    def test_axiom_requires_note(self):
+        with pytest.raises(DerivationError, match="explanatory note"):
+            axiom("")
+        assert axiom("paper-stated").is_axiom
+
+    def test_derived_requires_chain(self):
+        with pytest.raises(DerivationError, match="at least one transform"):
+            derived("eth")
+        derivation = derived("eth", "3sat→csp")
+        assert not derivation.is_axiom
+        assert derivation.render() == "eth ⊢ 3sat→csp"
+
+    def test_axiom_render(self):
+        assert axiom("counting argument").render() == "axiom — counting argument"
+
+
+class TestEveryRegisteredBound:
+    def test_all_bounds_carry_a_derivation(self):
+        for bound in all_lower_bounds():
+            assert bound.derivation is not None, bound.key
+
+    def test_every_derivation_validates(self):
+        results = check_all_derivations()
+        assert len(results) == len(all_lower_bounds())
+        derived_count = sum(1 for _, replay in results if replay is not None)
+        axiom_count = sum(1 for _, replay in results if replay is None)
+        assert derived_count == 7
+        assert axiom_count == 10
+
+    def test_replayed_chains_recertify(self):
+        for bound, replay in check_all_derivations():
+            if replay is None:
+                continue
+            assert replay.certificates, bound.key
+            assert all(c.holds for c in replay.certificates), bound.key
+
+    def test_two_step_chain_bound(self):
+        bound = get_lower_bound("csp-subexp-size")
+        assert bound.derivation.chain == ("3sat→3coloring", "3coloring→csp")
+        replay = check_derivation(bound)
+        names = {c.name for c in replay.certificates}
+        assert any(name.startswith("1/3sat→3coloring/") for name in names)
+        assert any(name.startswith("2/3coloring→csp/") for name in names)
+
+
+class TestFailureModes:
+    def _tamper(self, key, **overrides):
+        return dataclasses.replace(get_lower_bound(key), **overrides)
+
+    def test_missing_derivation_rejected(self):
+        bad = self._tamper("csp-subexp-vars", derivation=None)
+        with pytest.raises(DerivationError, match="no derivation"):
+            check_derivation(bad)
+
+    def test_unknown_hypothesis_rejected(self):
+        bad = self._tamper(
+            "csp-subexp-vars",
+            derivation=Derivation(hypothesis="not-a-hypothesis", chain=("3sat→csp",)),
+        )
+        with pytest.raises(DerivationError, match="csp-subexp-vars"):
+            check_derivation(bad)
+
+    def test_dangling_transform_name_rejected(self):
+        bad = self._tamper(
+            "csp-subexp-vars",
+            derivation=derived("eth", "never→registered"),
+        )
+        with pytest.raises(DerivationError, match="unknown transform"):
+            check_derivation(bad)
+        with pytest.raises(DerivationError, match="never→registered"):
+            resolve_chain(bad.derivation)
+
+    def test_non_composable_chain_rejected(self):
+        bad = self._tamper(
+            "csp-subexp-vars",
+            derivation=derived("eth", "3sat→3coloring", "clique→csp"),
+        )
+        with pytest.raises(DerivationError, match="do not line up"):
+            check_derivation(bad)
+
+    def test_missing_implication_edge_rejected(self):
+        # ETH does not imply SETH, so a bound conditioned on ETH cannot
+        # ride a chain whose hardness starts at SETH.
+        bad = self._tamper(
+            "csp-subexp-vars",
+            derivation=derived("seth", "3sat→csp"),
+        )
+        with pytest.raises(DerivationError, match="implication-graph edge"):
+            check_derivation(bad)
+
+    def test_hypothesis_key_must_match_registry(self):
+        bad = self._tamper("csp-subexp-vars", hypothesis="eth", derivation=axiom("x"))
+        # Axioms skip the implication check entirely.
+        assert check_derivation(bad) is None

@@ -1,0 +1,119 @@
+"""The transform registry: loading, lookup, schemas, witnesses."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.transforms import (
+    CSP,
+    SAT,
+    Transform,
+    all_transforms,
+    get_transform,
+    has_transform,
+    transforms_from,
+)
+from repro.transforms.certified import CertifiedReduction
+from repro.transforms.domains import all_domains, get_domain
+from repro.transforms.registry import register
+
+
+class TestDomains:
+    def test_six_domains(self):
+        assert [d.key for d in all_domains()] == [
+            "sat",
+            "csp",
+            "graph",
+            "structure",
+            "query",
+            "vectors",
+        ]
+
+    def test_lookup_roundtrip(self):
+        for domain in all_domains():
+            assert get_domain(domain.key) is domain
+
+    def test_unknown_domain_rejected(self):
+        from repro.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            get_domain("no-such-domain")
+
+
+class TestRegistry:
+    def test_builtins_load_lazily(self):
+        names = [t.name for t in all_transforms()]
+        assert "3sat→csp" in names
+        assert "3coloring→csp" in names
+        assert "cnfsat→orthogonal-vectors" in names
+        assert len(names) == len(set(names))
+        assert names == sorted(names)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ReductionError, match="unknown transform"):
+            get_transform("never→registered")
+        assert not has_transform("never→registered")
+
+    def test_decorator_returns_plain_function(self):
+        from repro.reductions.sat_to_csp import sat_to_csp
+
+        # Old call sites go through the raw function...
+        assert not isinstance(sat_to_csp, Transform)
+        # ...while the registered entry hangs off it for new code.
+        assert sat_to_csp.transform is get_transform("3sat→csp")
+
+    def test_duplicate_registration_rejected(self):
+        entry = get_transform("3sat→csp")
+        with pytest.raises(ReductionError, match="twice"):
+            register(entry)
+
+    def test_empty_guarantees_rejected(self):
+        bare = Transform(
+            name="test-no-schema",
+            source=SAT,
+            target=CSP,
+            guarantees=(),
+            apply_fn=lambda x: x,
+        )
+        with pytest.raises(ReductionError, match="guarantee schema"):
+            register(bare)
+
+    def test_transforms_from_respects_chainability(self):
+        for entry in transforms_from("csp"):
+            assert entry.chainable
+            assert entry.source_tag == "csp"
+        # group-variables departs csp but is not chainable.
+        departing = {t.name for t in transforms_from("csp")}
+        assert "group-variables" not in departing
+
+
+class TestTransformApply:
+    def test_every_builtin_witness_certifies(self):
+        for entry in all_transforms():
+            reduction = entry.apply(*entry.witness_args())
+            reduction.certify()
+            produced = {c.name for c in reduction.certificates}
+            assert set(entry.guarantees) <= produced
+
+    def test_schema_violation_fails_loudly(self):
+        def bad_apply(value):
+            return CertifiedReduction(
+                name="test-lying",
+                source=value,
+                target=value,
+                certificates=[],
+            )
+
+        lying = Transform(
+            name="test-lying",
+            source=SAT,
+            target=SAT,
+            guarantees=("a guarantee it never certifies",),
+            apply_fn=bad_apply,
+        )
+        with pytest.raises(ReductionError, match="did not certify"):
+            lying.apply(object())
+
+    def test_stage_args_arity_mismatch(self):
+        clique = get_transform("clique→csp")
+        with pytest.raises(ReductionError, match="takes 2 arguments"):
+            clique.stage_args("not-a-pair")
