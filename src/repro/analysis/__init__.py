@@ -12,7 +12,8 @@ and never imports or executes the code it checks.
 
 Run it as::
 
-    python -m repro.analysis [--format human|json] [--baseline FILE] [--rule CODE]
+    python -m repro.analysis [--format human|json|sarif] [--baseline FILE]
+                             [--rule CODE] [--semantic] [--graph]
 
 or via the ``repro-lint`` console script. Rule families:
 
@@ -22,7 +23,19 @@ REP002    registry integrity of bounds / paper-map dotted paths
 REP003    exception hygiene (no bare/broad except, ReproError tree)
 REP004    determinism (no module-global / unseeded RNG use)
 REP005    ``Complexity:`` docstring fields on algorithm entry points
+REP006    index amortization (no index builds inside solver loops)
+REP007    ``@transform`` registration metadata completeness
+REP008    whole-program determinism taint over the call graph
+REP009    complexity-claim plausibility against cost skeletons
+REP010    concurrency safety under the process-pool runner
+REP011    dead-registry detection via import reachability
 ========  ==========================================================
+
+REP008–REP011 are *whole-program* rules: they share one semantic model
+per run — project symbol table, call graph, fixed-point taint, claim
+budgets (:mod:`.semantic`) — incrementally cached per module by content
+hash. ``--graph`` dumps that model as JSON; ``--format sarif`` /
+``--sarif FILE`` emit SARIF 2.1.0 for CI annotation.
 
 Findings carry stable fingerprints so a committed baseline file can
 grandfather known violations; anything *new* fails the build.
@@ -34,6 +47,8 @@ from .baseline import Baseline
 from .registry import Rule, all_rules, get_rule, rule
 from .report import Finding, Severity, render_human, render_json
 from .runner import analyze_project, run_analysis
+from .sarif import render_sarif
+from .semantic import SemanticAnalysis, semantic_analysis
 from .walker import ModuleInfo, Project, load_project
 
 __all__ = [
@@ -42,6 +57,7 @@ __all__ = [
     "ModuleInfo",
     "Project",
     "Rule",
+    "SemanticAnalysis",
     "Severity",
     "all_rules",
     "analyze_project",
@@ -49,6 +65,8 @@ __all__ = [
     "load_project",
     "render_human",
     "render_json",
+    "render_sarif",
     "rule",
     "run_analysis",
+    "semantic_analysis",
 ]

@@ -7,6 +7,7 @@ non-zero otherwise, so CI can gate on it directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from collections.abc import Sequence
@@ -16,7 +17,12 @@ from .baseline import DEFAULT_BASELINE, Baseline
 from .registry import all_rules
 from .report import render_human, render_json
 from .runner import analyze_project, run_analysis
+from .sarif import render_sarif
+from .semantic.engine import graph_payload, semantic_analysis
 from .walker import load_project
+
+#: Default on-disk location of the incremental semantic cache.
+DEFAULT_SEMANTIC_CACHE = Path(".repro-semantic-cache.json")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -24,7 +30,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description="Static contract linter for the repro library "
         "(certificates, registry integrity, exception hygiene, "
-        "determinism, complexity annotations).",
+        "determinism, complexity annotations, and whole-program "
+        "semantic analysis: call-graph taint, claim plausibility, "
+        "concurrency safety, dead registries).",
     )
     parser.add_argument(
         "--root",
@@ -34,9 +42,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--semantic",
+        action="store_true",
+        help="run only the whole-program semantic rules (REP008–REP011)",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the semantic model (call graph, import graph, taint "
+        "verdicts, claim budgets) as JSON and exit",
+    )
+    parser.add_argument(
+        "--semantic-cache",
+        type=Path,
+        default=DEFAULT_SEMANTIC_CACHE,
+        metavar="FILE",
+        help="incremental semantic-analysis cache file "
+        f"(default: {DEFAULT_SEMANTIC_CACHE})",
+    )
+    parser.add_argument(
+        "--no-semantic-cache",
+        action="store_true",
+        help="disable the on-disk semantic cache for this run",
     )
     parser.add_argument(
         "--baseline",
@@ -84,16 +123,35 @@ def _run(args: argparse.Namespace) -> int:
             print(f"{rule.code}  {rule.name:26s} {rule.description}")
         return 0
 
+    cache_path = None if args.no_semantic_cache else args.semantic_cache
+
+    if args.graph:
+        project = load_project(args.root)
+        analysis = semantic_analysis(project, cache_path)
+        print(json.dumps(graph_payload(analysis), indent=2, sort_keys=True))
+        return 0
+
+    rule_codes = args.rules
+    if args.semantic:
+        from .rules import SEMANTIC_RULES
+
+        rule_codes = list(SEMANTIC_RULES) + list(rule_codes or [])
+
     if args.update_baseline:
         project = load_project(args.root)
-        findings = analyze_project(project, args.rules)
+        findings = analyze_project(project, rule_codes, cache_path)
         Baseline.from_findings(findings).save(args.baseline)
         print(f"baseline updated: {len(findings)} finding(s) → {args.baseline}")
         return 0
 
     baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
-    report = run_analysis(args.root, args.rules, baseline)
-    renderer = render_json if args.format == "json" else render_human
+    report = run_analysis(args.root, rule_codes, baseline, cache_path)
+    if args.sarif is not None:
+        args.sarif.write_text(render_sarif(report), encoding="utf-8")
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+    }.get(args.format, render_human)
     print(renderer(report))
     return report.exit_code
 

@@ -3,17 +3,39 @@
 A :class:`Finding` is one rule violation at one location. Its
 *fingerprint* deliberately excludes the line number: baselines must
 survive unrelated edits above the violation, so identity is
-``code + path + context`` (the enclosing definition or the offending
-dotted path), plus a disambiguating ordinal when one context holds
-several identical violations.
+``code + path + context + snippet-digest`` — the enclosing qualname
+(or offending dotted path) anchors the finding to a definition, and a
+digest of the whitespace-normalized source line anchors it to the
+offending statement itself, so moving a function within its file (or
+editing unrelated code above it) never churns the baseline. An
+ordinal disambiguates several byte-identical violations in one
+context.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from collections.abc import Iterable, Sequence
+
+
+def normalize_snippet(line: str) -> str:
+    """Whitespace-normalized form of a source line, for fingerprints.
+
+    Collapsing all runs of whitespace makes the identity survive
+    re-indentation and formatting-only edits; anything that changes
+    tokens is a genuinely different statement and should re-fingerprint.
+    """
+    return " ".join(line.split())
+
+
+def snippet_digest(snippet: str) -> str:
+    """Short stable digest of a normalized snippet ("" stays "")."""
+    if not snippet:
+        return ""
+    return hashlib.sha256(snippet.encode("utf-8")).hexdigest()[:12]
 
 
 class Severity(str, Enum):
@@ -43,10 +65,15 @@ class Finding:
     message:
         Human-readable description of the violation.
     context:
-        The enclosing definition or offending symbol — the stable part
-        of the fingerprint.
+        The enclosing qualname or offending symbol — the definition
+        anchor of the fingerprint.
+    snippet:
+        Whitespace-normalized text of the offending source line — the
+        statement anchor of the fingerprint. Attached centrally by
+        :func:`attach_snippets`; rules need not set it.
     ordinal:
-        Disambiguates multiple identical (code, path, context) hits.
+        Disambiguates multiple identical (code, path, context, snippet)
+        hits.
     """
 
     code: str
@@ -55,12 +82,16 @@ class Finding:
     line: int
     message: str
     context: str = ""
+    snippet: str = ""
     ordinal: int = 0
 
     @property
     def fingerprint(self) -> str:
         """Stable identity used by the baseline; no line numbers."""
         parts = [self.code, self.path, self.context]
+        digest = snippet_digest(self.snippet)
+        if digest:
+            parts.append(digest)
         if self.ordinal:
             parts.append(str(self.ordinal))
         return ":".join(parts)
@@ -77,18 +108,42 @@ class Finding:
             "line": self.line,
             "message": self.message,
             "context": self.context,
+            "snippet": self.snippet,
             "fingerprint": self.fingerprint,
         }
 
 
+def attach_snippets(
+    findings: Iterable[Finding], sources: dict[str, Sequence[str]]
+) -> list[Finding]:
+    """Fill each finding's ``snippet`` from its source line.
+
+    ``sources`` maps repo-relative paths to source lines. Findings
+    whose path is unknown (parse failures) or that already carry a
+    snippet pass through unchanged.
+    """
+    result = []
+    for finding in findings:
+        lines = sources.get(finding.path)
+        if finding.snippet or lines is None or not (1 <= finding.line <= len(lines)):
+            result.append(finding)
+            continue
+        result.append(
+            replace(finding, snippet=normalize_snippet(lines[finding.line - 1]))
+        )
+    return result
+
+
 def assign_ordinals(findings: Iterable[Finding]) -> list[Finding]:
-    """Give repeated (code, path, context) findings distinct ordinals,
-    in source order, so each has a unique fingerprint."""
-    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.code, f.context))
-    seen: dict[tuple[str, str, str], int] = {}
+    """Give repeated (code, path, context, snippet) findings distinct
+    ordinals, in source order, so each has a unique fingerprint."""
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.code, f.context, f.snippet)
+    )
+    seen: dict[tuple[str, str, str, str], int] = {}
     result = []
     for finding in ordered:
-        key = (finding.code, finding.path, finding.context)
+        key = (finding.code, finding.path, finding.context, finding.snippet)
         count = seen.get(key, 0)
         seen[key] = count + 1
         result.append(replace(finding, ordinal=count) if count else finding)
@@ -104,6 +159,10 @@ class AnalysisReport:
     stale_baseline: list[str] = field(default_factory=list)
     modules_checked: int = 0
     rules_run: tuple[str, ...] = ()
+    #: Incremental-cache accounting from the semantic engine, when the
+    #: run included semantic rules: modules_total / summaries_reused /
+    #: summaries_computed / reanalyzed (see semantic.cache.CacheStats).
+    semantic: dict | None = None
 
     @property
     def exit_code(self) -> int:
@@ -129,6 +188,13 @@ def render_human(report: AnalysisReport) -> str:
             "stale baseline entries (violations no longer present — prune them):"
         )
         lines.extend(f"  {fingerprint}" for fingerprint in report.stale_baseline)
+    if report.semantic is not None:
+        lines.append(
+            "semantic: "
+            f"{report.semantic.get('summaries_reused', 0)} summaries cached, "
+            f"{report.semantic.get('summaries_computed', 0)} computed, "
+            f"{report.semantic.get('reanalyzed_count', 0)} module(s) re-analyzed"
+        )
     lines.append(summary)
     if not report.new_findings:
         lines.append("OK")
@@ -149,6 +215,8 @@ def render_json(report: AnalysisReport) -> str:
             "exit_code": report.exit_code,
         },
     }
+    if report.semantic is not None:
+        payload["summary"]["semantic"] = report.semantic
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

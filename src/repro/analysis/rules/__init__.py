@@ -14,6 +14,14 @@ from . import rep004_determinism
 from . import rep005_complexity
 from . import rep006_index_discipline
 from . import rep007_transforms
+from . import rep008_determinism_flow
+from . import rep009_complexity_claims
+from . import rep010_concurrency
+from . import rep011_dead_registry
+
+#: Rule codes backed by the whole-program semantic engine; the CLI's
+#: ``--semantic`` flag restricts a run to exactly these.
+SEMANTIC_RULES = ("REP008", "REP009", "REP010", "REP011")
 
 __all__ = [
     "rep001_certificates",
@@ -23,4 +31,9 @@ __all__ = [
     "rep005_complexity",
     "rep006_index_discipline",
     "rep007_transforms",
+    "rep008_determinism_flow",
+    "rep009_complexity_claims",
+    "rep010_concurrency",
+    "rep011_dead_registry",
+    "SEMANTIC_RULES",
 ]

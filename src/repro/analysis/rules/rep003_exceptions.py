@@ -14,7 +14,19 @@ that promise:
   resolvable) base chain;
 * **raising builtin catch-alls** — ``raise Exception``/``BaseException``
   is an error; ``raise AssertionError`` is a warning (acceptable only
-  as an unreachable-state guard, and grandfathered via the baseline).
+  as an unreachable-state guard, and grandfathered via the baseline);
+* **cause-dropping re-raises** — inside an ``except`` block in
+  :mod:`repro.transforms` / :mod:`repro.observability`, raising a new
+  exception without ``from`` severs the causal chain exactly where it
+  matters most (composed transforms and the parallel runner re-wrap
+  worker failures; a dropped ``__cause__`` turns "which hop failed"
+  into guesswork). ``raise ... from None`` stays legal as an explicit
+  suppression.
+
+In the parallel runner (:mod:`repro.observability.runner`) a bare
+``except`` or ``except BaseException`` additionally swallows
+``KeyboardInterrupt``, turning Ctrl-C into a hung worker pool — the
+finding message calls that out specifically.
 """
 
 from __future__ import annotations
@@ -29,6 +41,12 @@ from ..walker import Project, dotted_name, iter_functions
 ROOT = "ReproError"
 BROAD = frozenset({"Exception", "BaseException"})
 ERRORS_MODULE = "repro.errors"
+
+#: Subpackages whose except blocks must chain causes with ``from``.
+CHAINED_SUBPACKAGES = ("transforms", "observability")
+
+#: The parallel runner: swallowing KeyboardInterrupt here hangs the pool.
+RUNNER_MODULE = "repro.observability.runner"
 
 
 def _class_bases(project: Project) -> dict[str, set[str]]:
@@ -75,6 +93,21 @@ def _enclosing_index(module_tree: ast.Module) -> list[tuple[str, ast.AST]]:
     return list(iter_functions(module_tree))
 
 
+def _raises_inside_handlers(tree: ast.Module) -> set[ast.Raise]:
+    """Every ``raise <new exception>`` statement lexically inside an
+    ``except`` block (nested handlers counted once)."""
+    found: set[ast.Raise] = set()
+
+    def visit(node: ast.AST, in_handler: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Raise) and in_handler:
+                found.add(child)
+            visit(child, in_handler or isinstance(child, ast.ExceptHandler))
+
+    visit(tree, False)
+    return found
+
+
 def _context_for(node: ast.AST, functions: list[tuple[str, ast.AST]]) -> str:
     """Qualname of the innermost function containing ``node``."""
     best = "<module>"
@@ -100,29 +133,50 @@ def check(project: Project) -> Iterable[Finding]:
     for module in project.iter_modules():
         path = project.relative_path(module)
         functions = _enclosing_index(module.tree)
+        in_runner = module.name == RUNNER_MODULE
+        chained = module.in_subpackage(*CHAINED_SUBPACKAGES)
+        handler_raises = _raises_inside_handlers(module.tree) if chained else set()
 
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ExceptHandler):
                 if node.type is None:
+                    message = (
+                        "bare 'except:' swallows programming errors; "
+                        "catch ReproError (or a subclass) instead"
+                    )
+                    if in_runner:
+                        message = (
+                            "bare 'except:' in the parallel runner swallows "
+                            "KeyboardInterrupt — Ctrl-C becomes a hung worker "
+                            "pool; catch ReproError (or a subclass) instead"
+                        )
                     yield Finding(
                         code="REP003",
                         severity=Severity.ERROR,
                         path=path,
                         line=node.lineno,
-                        message="bare 'except:' swallows programming errors; "
-                        "catch ReproError (or a subclass) instead",
+                        message=message,
                         context=_context_for(node, functions),
                     )
                 else:
                     caught = dotted_name(node.type)
                     if caught and caught.split(".")[-1] in BROAD:
+                        message = (
+                            f"broad 'except {caught}' hides bugs behind "
+                            "library-looking control flow; catch ReproError instead"
+                        )
+                        if in_runner and caught.split(".")[-1] == "BaseException":
+                            message = (
+                                f"'except {caught}' in the parallel runner "
+                                "swallows KeyboardInterrupt — Ctrl-C becomes a "
+                                "hung worker pool; catch ReproError instead"
+                            )
                         yield Finding(
                             code="REP003",
                             severity=Severity.ERROR,
                             path=path,
                             line=node.lineno,
-                            message=f"broad 'except {caught}' hides bugs behind "
-                            "library-looking control flow; catch ReproError instead",
+                            message=message,
                             context=_context_for(node, functions),
                         )
 
@@ -141,6 +195,17 @@ def check(project: Project) -> Iterable[Finding]:
                     )
 
             elif isinstance(node, ast.Raise) and node.exc is not None:
+                if node in handler_raises and node.cause is None:
+                    yield Finding(
+                        code="REP003",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=node.lineno,
+                        message="re-raise inside an except block without "
+                        "'from' drops the causal chain; use 'raise ... from "
+                        "exc' (or 'from None' to suppress explicitly)",
+                        context=_context_for(node, functions),
+                    )
                 target = node.exc
                 if isinstance(target, ast.Call):
                     target = target.func

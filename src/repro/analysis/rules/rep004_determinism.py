@@ -13,7 +13,14 @@ change run to run and between test orderings. This rule flags
   name is already a commitment to global state),
 * any call on ``numpy.random`` other than seeded constructors
   (``default_rng``/``Generator``/``RandomState``/``SeedSequence``) —
-  and those constructors called *without* a seed argument.
+  and those constructors called *without* a seed argument,
+* **wall-clock reads in solver and certificate paths**: ``time.time``,
+  ``perf_counter``, ``datetime.now`` and friends inside the algorithm
+  subpackages, :mod:`repro.transforms`, or :mod:`repro.generators`.
+  Experiment payloads must be pure functions of seeds; elapsed-time
+  measurement belongs exclusively to the sanctioned observability
+  helpers (:mod:`repro.observability.tracing` spans and the runner's
+  record metadata), which live outside the checked subpackages.
 """
 
 from __future__ import annotations
@@ -23,13 +30,21 @@ from collections.abc import Iterable
 
 from ..registry import rule
 from ..report import Finding, Severity
+from ..semantic.policy import (
+    DATETIME_FUNCTIONS,
+    NUMPY_CONSTRUCTORS,
+    RANDOM_ALLOWED,
+    TIME_FUNCTIONS,
+)
 from ..walker import Project, dotted_name, iter_functions
 from .rep003_exceptions import _context_for, _enclosing_index
+from .rep005_complexity import ALGORITHM_SUBPACKAGES
 
-#: RNG-object constructors are the sanctioned way to use ``random``.
-RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
-#: numpy constructors that are fine *if* given an explicit seed.
-NUMPY_CONSTRUCTORS = frozenset({"default_rng", "Generator", "RandomState", "SeedSequence"})
+#: Subpackages where wall-clock reads are forbidden outright: solver,
+#: certificate, and instance-generation paths. The observability stack
+#: (tracing spans, run-record timestamps) is deliberately NOT listed —
+#: it is the sanctioned home of elapsed-time measurement.
+WALL_CLOCK_SUBPACKAGES = (*ALGORITHM_SUBPACKAGES, "transforms", "generators")
 
 
 def _random_aliases(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
@@ -53,6 +68,26 @@ def _random_aliases(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
     return random_names, numpy_names, numpy_random_names
 
 
+def _clock_aliases(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+    """Names bound to the ``time`` module, the ``datetime`` module, and
+    the ``datetime.datetime``/``datetime.date`` classes."""
+    time_names: set[str] = set()
+    datetime_modules: set[str] = set()
+    datetime_classes: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_names.add(alias.asname or "time")
+                elif alias.name == "datetime":
+                    datetime_modules.add(alias.asname or "datetime")
+        elif isinstance(node, ast.ImportFrom) and node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    datetime_classes.add(alias.asname or alias.name)
+    return time_names, datetime_modules, datetime_classes
+
+
 @rule(
     "REP004",
     "determinism",
@@ -63,9 +98,26 @@ def check(project: Project) -> Iterable[Finding]:
         path = project.relative_path(module)
         functions = _enclosing_index(module.tree)
         random_names, numpy_names, numpy_random_names = _random_aliases(module.tree)
+        clock_checked = module.in_subpackage(*WALL_CLOCK_SUBPACKAGES)
+        time_names, datetime_modules, datetime_classes = (
+            _clock_aliases(module.tree) if clock_checked else (set(), set(), set())
+        )
 
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ImportFrom):
+                if clock_checked and node.module == "time":
+                    for alias in node.names:
+                        if alias.name in TIME_FUNCTIONS:
+                            yield Finding(
+                                code="REP004",
+                                severity=Severity.ERROR,
+                                path=path,
+                                line=node.lineno,
+                                message=f"'from time import {alias.name}' in a "
+                                "solver/certificate path binds wall-clock state; "
+                                "timing belongs to repro.observability.tracing",
+                                context=f"import:{alias.name}",
+                            )
                 if node.module == "random":
                     for alias in node.names:
                         if alias.name not in RANDOM_ALLOWED:
@@ -98,6 +150,34 @@ def check(project: Project) -> Iterable[Finding]:
             if name is None:
                 continue
             parts = name.split(".")
+
+            if clock_checked:
+                is_wall_clock = (
+                    (len(parts) == 2 and parts[0] in time_names and parts[1] in TIME_FUNCTIONS)
+                    or (
+                        len(parts) == 3
+                        and parts[0] in datetime_modules
+                        and parts[1] in ("datetime", "date")
+                        and parts[2] in DATETIME_FUNCTIONS
+                    )
+                    or (
+                        len(parts) == 2
+                        and parts[0] in datetime_classes
+                        and parts[1] in DATETIME_FUNCTIONS
+                    )
+                )
+                if is_wall_clock:
+                    yield Finding(
+                        code="REP004",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=node.lineno,
+                        message=f"wall-clock call '{name}()' in a solver/"
+                        "certificate path makes results time-dependent; use "
+                        "the sanctioned repro.observability.tracing helpers",
+                        context=_context_for(node, functions),
+                    )
+                    continue
 
             if len(parts) == 2 and parts[0] in random_names:
                 if parts[1] not in RANDOM_ALLOWED:

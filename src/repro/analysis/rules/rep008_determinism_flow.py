@@ -1,0 +1,96 @@
+"""REP008 — whole-program determinism: no entry point may *reach*
+nondeterminism.
+
+REP004 flags direct calls on global RNG and wall-clock state, file by
+file. This rule closes the transitive gap: a solver that calls a
+helper that calls ``random.shuffle`` is just as unreproducible, and no
+per-file check can see it. Over the project call graph we propagate a
+determinism taint to a fixed point (:mod:`..semantic.dataflow`) from
+every direct source — global RNG use, entropy reads (``os.urandom``,
+``uuid.uuid4``), wall-clock reads, iteration over set expressions —
+and then require two families of entry points to be clean:
+
+* **experiment entry points** — every runner referenced by an
+  ``ExperimentSpec(...)`` literal (the E1–E20 table): an experiment's
+  result payload must be a pure function of its spec and seeds;
+* **solver entry points** — every public function in the algorithm
+  subpackages: these are the library surface the experiments and
+  derivation chains compose.
+
+The sanctioned observability modules are taint *barriers* for
+wall-clock taint (spans must read the clock; their output lands in run
+metadata, never in payloads) — see
+:data:`..semantic.policy.SANCTIONED_TIMING_MODULES`. Findings carry
+the full witness chain ``entry -> helper -> source`` so the offending
+call is one jump away.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..semantic.engine import semantic_analysis
+from ..walker import Project
+from .rep005_complexity import ALGORITHM_SUBPACKAGES
+
+
+def _finding(project: Project, node_id: str, role: str, analysis) -> Finding | None:
+    module_name, qualname = node_id.split(":", 1)
+    if module_name not in project.modules:
+        return None
+    module = project.modules[module_name]
+    function = analysis.call_graph.nodes.get(node_id)
+    verdict = analysis.taint.verdicts[node_id]
+    line = function.line if function is not None else 1
+    if verdict.source is not None:
+        line = verdict.source.line
+    elif verdict.via_line is not None:
+        line = verdict.via_line
+    return Finding(
+        code="REP008",
+        severity=Severity.ERROR,
+        path=project.relative_path(module),
+        line=line,
+        message=f"{role} '{qualname}' can observe nondeterminism "
+        f"({verdict.kind}): {analysis.taint.describe(node_id)}",
+        context=qualname,
+    )
+
+
+@rule(
+    "REP008",
+    "determinism-flow",
+    "no experiment or solver entry point transitively reaches RNG/clock/entropy state",
+)
+def check(project: Project) -> Iterable[Finding]:
+    analysis = semantic_analysis(project)
+    emitted: set[str] = set()
+
+    for key, (_spec_module, runners) in sorted(
+        analysis.experiment_entry_points().items()
+    ):
+        for node_id in runners:
+            if analysis.taint.is_tainted(node_id) and node_id not in emitted:
+                emitted.add(node_id)
+                finding = _finding(
+                    project, node_id, f"experiment {key} runner", analysis
+                )
+                if finding is not None:
+                    yield finding
+
+    for node_id, function in sorted(analysis.call_graph.nodes.items()):
+        module_name = node_id.split(":", 1)[0]
+        module = project.modules.get(module_name)
+        if module is None or not module.in_subpackage(*ALGORITHM_SUBPACKAGES):
+            continue
+        if not function.is_public or function.qualname == "<module>":
+            continue
+        if "." in function.qualname and not function.qualname[0].isupper():
+            continue  # nested helper, not library surface
+        if analysis.taint.is_tainted(node_id) and node_id not in emitted:
+            emitted.add(node_id)
+            finding = _finding(project, node_id, "solver entry point", analysis)
+            if finding is not None:
+                yield finding

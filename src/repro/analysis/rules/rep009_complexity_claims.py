@@ -1,0 +1,87 @@
+"""REP009 — complexity-claim plausibility.
+
+REP005 enforces that solver verbs *carry* a ``Complexity:`` docstring
+field; this rule reads the field and checks it is not obviously false.
+Each claim is parsed into a *depth budget* (see
+:mod:`..semantic.claims` for the grammar and the budget table) and
+compared with a static cost skeleton of the function: its own loop
+nesting plus, for every resolvable in-project call, the call-site
+depth plus the callee's claimed budget (callees without claims
+contribute their computed skeleton). A skeleton exceeding the budget —
+beyond the documented one-level slack for bucketed iteration — means
+the docstring promises less work than the code's shape can deliver:
+either the claim or the code is wrong, and both readings deserve a
+finding.
+
+Exemptions, all deliberate:
+
+* functions in recursive call-graph cycles (recursion depth is not
+  statement nesting);
+* claims with symbolic exponents, products, or factorials — the budget
+  is unbounded, the brute-force shape is the point;
+* enumeration *delay* and *amortized* claims — per-answer and
+  amortized bounds cannot be read off nesting (they still must parse).
+
+A ``Complexity:`` field the grammar cannot parse is its own finding:
+unparseable claims are unverifiable claims.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..semantic.claims import SKELETON_SLACK
+from ..semantic.engine import semantic_analysis
+from ..walker import Project
+
+
+@rule(
+    "REP009",
+    "complexity-claims",
+    "Complexity: docstring claims parse and are plausible against the code's cost skeleton",
+)
+def check(project: Project) -> Iterable[Finding]:
+    analysis = semantic_analysis(project)
+
+    for node_id, error in sorted(analysis.claims.failures.items()):
+        module_name, qualname = node_id.split(":", 1)
+        module = project.modules.get(module_name)
+        if module is None:
+            continue
+        function = analysis.call_graph.nodes[node_id]
+        yield Finding(
+            code="REP009",
+            severity=Severity.ERROR,
+            path=project.relative_path(module),
+            line=function.line,
+            message=f"Complexity: claim on '{qualname}' does not parse "
+            f"({error}); an unverifiable claim is worse than none",
+            context=qualname,
+        )
+
+    for node_id, claim in sorted(analysis.claims.parsed.items()):
+        if not claim.bounded:
+            continue
+        if analysis.call_graph.is_recursive(node_id):
+            continue
+        skeleton = analysis.claims.skeletons.get(node_id)
+        if skeleton is None or skeleton <= claim.budget + SKELETON_SLACK:
+            continue
+        module_name, qualname = node_id.split(":", 1)
+        module = project.modules.get(module_name)
+        if module is None:
+            continue
+        function = analysis.call_graph.nodes[node_id]
+        yield Finding(
+            code="REP009",
+            severity=Severity.ERROR,
+            path=project.relative_path(module),
+            line=function.line,
+            message=f"'{qualname}' claims {claim.text!r} (depth budget "
+            f"{claim.budget:.0f}+{SKELETON_SLACK:.0f} slack) but its static "
+            f"cost skeleton reaches depth {skeleton:.0f}; the claim or the "
+            "code is wrong",
+            context=qualname,
+        )

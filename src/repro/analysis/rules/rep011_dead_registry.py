@@ -1,0 +1,180 @@
+"""REP011 — dead-registry detection: registered must mean reachable.
+
+Every registry in this library is populated by side effect at import
+time — ``@transform(name=...)`` decorators, ``@rule(CODE, ...)``
+decorators, the ``ExperimentSpec`` table, the ``LowerBound`` tuple. A
+registration whose module is never imported by the registry's loader
+is invisible at runtime while looking perfectly healthy in the source:
+the classic dead registry. Using the project import graph (including
+function-local imports — the transform loader imports lazily) this
+rule checks each registry's liveness story:
+
+* **transforms** — the registering module must be import-reachable
+  from the registry loader (``repro.transforms`` /
+  ``repro.transforms.registry``, whose ``load_builtin_transforms``
+  pulls in the reduction modules);
+* **analysis rules** — the registering module must be reachable from
+  ``repro.analysis.rules`` (its ``__init__`` is the loader);
+* **experiments** — every ``ExperimentSpec`` runner reference must
+  statically resolve to a project function, and every
+  ``repro.experiments.exp_*`` module must be reachable from the
+  experiments CLI (``repro.experiments.__main__``) — an experiment
+  module nothing imports can never run;
+* **lower bounds** — a ``LowerBound`` with no experiment witness, no
+  reduction module, and a key cited nowhere else is registered but
+  unreachable from any derivation or CLI path.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..semantic.callgraph import import_reachable
+from ..semantic.engine import semantic_analysis
+from ..walker import Project
+
+TRANSFORM_ROOTS = ("repro.transforms", "repro.transforms.registry")
+RULE_ROOTS = ("repro.analysis.rules",)
+EXPERIMENT_ROOTS = ("repro.experiments.__main__",)
+BOUNDS_MODULE = "repro.complexity.bounds"
+EXPERIMENT_MODULE_PREFIX = "repro.experiments.exp_"
+
+
+def _bound_entries(project: Project) -> list[tuple[str, str, str, int]]:
+    """(key, experiment, reduction_module, line) per LowerBound literal."""
+    if not project.has_module(BOUNDS_MODULE):
+        return []
+    entries: list[tuple[str, str, str, int]] = []
+    for node in ast.walk(project.module(BOUNDS_MODULE).tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name != "LowerBound":
+            continue
+        fields = {"key": "", "experiment": "", "reduction_module": ""}
+        for kw in node.keywords:
+            if kw.arg in fields and isinstance(kw.value, ast.Constant):
+                if isinstance(kw.value.value, str):
+                    fields[kw.arg] = kw.value.value
+        if fields["key"]:
+            entries.append(
+                (
+                    fields["key"],
+                    fields["experiment"],
+                    fields["reduction_module"],
+                    node.lineno,
+                )
+            )
+    return entries
+
+
+def _key_cited_elsewhere(project: Project, key: str) -> bool:
+    for module in project.iter_modules():
+        if module.name == BOUNDS_MODULE:
+            continue
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value == key
+            ):
+                return True
+    return False
+
+
+@rule(
+    "REP011",
+    "dead-registry",
+    "every registered transform/rule/experiment/bound is reachable from its loader",
+)
+def check(project: Project) -> Iterable[Finding]:
+    analysis = semantic_analysis(project)
+    transform_live = import_reachable(analysis.import_graph, TRANSFORM_ROOTS)
+    rule_live = import_reachable(analysis.import_graph, RULE_ROOTS)
+    experiment_live = import_reachable(analysis.import_graph, EXPERIMENT_ROOTS)
+
+    for summary in (analysis.summaries[name] for name in sorted(analysis.summaries)):
+        module = project.modules.get(summary.name)
+        if module is None:
+            continue
+        path = project.relative_path(module)
+
+        for name, line in summary.transform_registrations:
+            if summary.name not in transform_live:
+                yield Finding(
+                    code="REP011",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=line,
+                    message=f"transform '{name}' is registered here but "
+                    f"{summary.name} is not imported by the registry loader "
+                    "(load_builtin_transforms); the registration never runs",
+                    context=f"transform:{name}",
+                )
+
+        for code, line in summary.rule_registrations:
+            if summary.name not in rule_live:
+                yield Finding(
+                    code="REP011",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=line,
+                    message=f"analysis rule {code} is registered here but "
+                    f"{summary.name} is not imported by repro.analysis.rules; "
+                    "the linter will never run it",
+                    context=f"rule:{code}",
+                )
+
+        for key, refs, line in summary.experiment_specs:
+            for ref in refs:
+                if analysis.resolve_runner(summary.name, ref) is None:
+                    yield Finding(
+                        code="REP011",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=line,
+                        message=f"experiment {key} references runner "
+                        f"'{ref}' which does not resolve to a project "
+                        "function; the spec table points at nothing",
+                        context=f"experiment:{key}",
+                    )
+
+        if (
+            summary.name.startswith(EXPERIMENT_MODULE_PREFIX)
+            and summary.name not in experiment_live
+        ):
+            yield Finding(
+                code="REP011",
+                severity=Severity.ERROR,
+                path=path,
+                line=1,
+                message=f"experiment module {summary.name} is not imported "
+                "by the experiments CLI; its runners and registrations are "
+                "unreachable",
+                context=f"module:{summary.name}",
+            )
+
+    for key, experiment, reduction_module, line in _bound_entries(project):
+        if experiment or reduction_module:
+            continue
+        if _key_cited_elsewhere(project, key):
+            continue
+        bounds = project.modules.get(BOUNDS_MODULE)
+        if bounds is None:
+            continue
+        yield Finding(
+            code="REP011",
+            severity=Severity.WARNING,
+            path=project.relative_path(bounds),
+            line=line,
+            message=f"lower bound '{key}' has no experiment witness, no "
+            "reduction module, and its key is cited nowhere else; it is "
+            "registered but unreachable from any derivation or CLI path",
+            context=f"bound:{key}",
+        )

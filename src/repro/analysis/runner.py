@@ -11,22 +11,45 @@ from collections.abc import Sequence
 
 from .baseline import Baseline
 from .registry import all_rules, get_rule
-from .report import AnalysisReport, Finding, Severity, assign_ordinals, sort_findings
+from .report import (
+    AnalysisReport,
+    Finding,
+    Severity,
+    assign_ordinals,
+    attach_snippets,
+    sort_findings,
+)
+from .semantic.engine import semantic_analysis
 from .walker import Project, load_project
 
 
+def _wants_semantic(rule_codes: Sequence[str] | None) -> bool:
+    from .rules import SEMANTIC_RULES
+
+    if rule_codes is None:
+        return True
+    return any(code in SEMANTIC_RULES for code in rule_codes)
+
+
 def analyze_project(
-    project: Project, rule_codes: Sequence[str] | None = None
+    project: Project,
+    rule_codes: Sequence[str] | None = None,
+    semantic_cache: Path | str | None = None,
 ) -> list[Finding]:
     """Run the selected rules (default: all) over a parsed project and
     return findings with unique fingerprints, in presentation order.
 
     A file that failed to parse is itself a finding — the linter must
-    not silently skip code it cannot see.
+    not silently skip code it cannot see. When semantic rules are in
+    the selection, the whole-program engine is built once up front
+    (against ``semantic_cache`` if given) and memoized on the project,
+    so the four semantic families share a single build.
     """
     rules = (
         [get_rule(code) for code in rule_codes] if rule_codes else all_rules()
     )
+    if _wants_semantic(rule_codes):
+        semantic_analysis(project, semantic_cache)
     findings: list[Finding] = []
     for path, message in project.parse_failures:
         findings.append(
@@ -41,6 +64,11 @@ def analyze_project(
         )
     for rule in rules:
         findings.extend(rule.check(project))
+    sources = {
+        project.relative_path(module): module.source.splitlines()
+        for module in project.iter_modules()
+    }
+    findings = attach_snippets(findings, sources)
     return sort_findings(assign_ordinals(findings))
 
 
@@ -48,17 +76,29 @@ def run_analysis(
     root: Path | str | None = None,
     rule_codes: Sequence[str] | None = None,
     baseline: Baseline | None = None,
+    semantic_cache: Path | str | None = None,
 ) -> AnalysisReport:
     """The full pipeline used by the CLI and the tier-1 test."""
     project = load_project(root)
-    findings = analyze_project(project, rule_codes)
+    findings = analyze_project(project, rule_codes, semantic_cache)
     baseline = baseline if baseline is not None else Baseline()
     new, baselined, stale = baseline.split(findings)
     rules = [get_rule(code) for code in rule_codes] if rule_codes else all_rules()
+    semantic_summary = None
+    if _wants_semantic(rule_codes):
+        stats = semantic_analysis(project).stats
+        semantic_summary = {
+            "modules_total": stats.modules_total,
+            "summaries_reused": stats.summaries_reused,
+            "summaries_computed": stats.summaries_computed,
+            "reanalyzed_count": stats.reanalyzed_count,
+            "reanalyzed": list(stats.reanalyzed),
+        }
     return AnalysisReport(
         new_findings=new,
         baselined=baselined,
         stale_baseline=stale,
         modules_checked=len(project.modules),
         rules_run=tuple(rule.code for rule in rules),
+        semantic=semantic_summary,
     )

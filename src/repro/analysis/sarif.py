@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 output for CI annotation.
+
+One ``run`` with one ``tool`` entry per registered rule and one
+``result`` per *new* (non-baselined) finding. Baselined findings are
+deliberately omitted — SARIF consumers treat every result as
+actionable, and the baseline's whole point is that its entries are
+not. Fingerprints ride along in ``partialFingerprints`` so SARIF-aware
+reviewers track findings across line-number churn exactly like our own
+baseline does.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import all_rules
+from .report import AnalysisReport, Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.code,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+                "logicalLocations": (
+                    [{"fullyQualifiedName": finding.context}]
+                    if finding.context
+                    else []
+                ),
+            }
+        ],
+        "partialFingerprints": {"reproLintFingerprint/v1": finding.fingerprint},
+    }
+
+
+def sarif_payload(report: AnalysisReport) -> dict:
+    """The SARIF document as a plain dict (JSON-ready)."""
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+        }
+        for rule in all_rules()
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///src/"}},
+                "results": [_result(f) for f in report.new_findings],
+            }
+        ],
+    }
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    return json.dumps(sarif_payload(report), indent=2, sort_keys=True)

@@ -1,0 +1,24 @@
+"""Whole-program semantic analysis over the stdlib-``ast`` walker.
+
+This package builds the project-wide layer the per-file rules cannot
+see: a symbol table with cross-module name resolution, a call graph
+(with static method resolution through the class hierarchy), fixed-point
+dataflow passes (determinism taint), complexity-claim parsing against a
+static cost skeleton, and an incremental per-module summary cache keyed
+by content hash.
+
+Layering contract: modules in this package import only
+:mod:`repro.analysis.walker`, :mod:`repro.analysis.report`, and each
+other — never :mod:`repro.analysis.rules` (the rules import *us*).
+"""
+
+from __future__ import annotations
+
+from .engine import SemanticAnalysis, semantic_analysis
+from .policy import SANCTIONED_TIMING_MODULES
+
+__all__ = [
+    "SemanticAnalysis",
+    "semantic_analysis",
+    "SANCTIONED_TIMING_MODULES",
+]

@@ -1,0 +1,173 @@
+"""Incremental analysis cache: per-module summaries keyed by content
+hash, plus analysis keys over the forward-import closure.
+
+Two layers of caching with different invalidation units:
+
+* **Summary cache** — a :class:`~.summary.ModuleSummary` is a pure
+  function of the file's bytes, so it is keyed by the content hash
+  alone. Editing one file re-summarizes exactly that file.
+* **Analysis keys** — whole-program verdicts about a module (taint,
+  claims, reachability) can change whenever anything it transitively
+  imports changes. A module's analysis key is the hash of its own
+  content hash plus the content hashes of its forward import closure.
+  The set of modules whose key changed since the previous run is the
+  *re-analyzed* set: the edited files plus their reverse-dependency
+  closure. An unchanged tree re-analyzes zero modules.
+
+The global passes themselves (graph construction, fixed points) always
+run — they are cheap graph computations over summaries — so the keys
+exist to *report* and *test* invalidation, and to let future passes
+cache per-module verdicts soundly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..walker import Project
+from .callgraph import build_import_graph, forward_closure
+from .summary import SUMMARY_VERSION, ModuleSummary, summarize_module
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """What the incremental layer did on one run."""
+
+    modules_total: int = 0
+    summaries_reused: int = 0
+    summaries_computed: int = 0
+    reanalyzed: tuple[str, ...] = ()  #: modules whose analysis key changed
+
+    @property
+    def reanalyzed_count(self) -> int:
+        return len(self.reanalyzed)
+
+
+@dataclass
+class SemanticCache:
+    """On-disk state between runs. Missing or corrupt files degrade to
+    an empty cache — never to an error."""
+
+    path: Path | None = None
+    #: module → content hash at last run.
+    hashes: dict[str, str] = field(default_factory=dict)
+    #: module → serialized summary payload.
+    payloads: dict[str, dict] = field(default_factory=dict)
+    #: module → analysis key at last run.
+    analysis_keys: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | str | None) -> "SemanticCache":
+        if path is None:
+            return cls(path=None)
+        path = Path(path)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls(path=path)
+        if not isinstance(raw, dict) or raw.get("version") != SUMMARY_VERSION:
+            return cls(path=path)
+        modules = raw.get("modules", {})
+        cache = cls(path=path)
+        if isinstance(modules, dict):
+            for name, entry in modules.items():
+                if not isinstance(entry, dict):
+                    continue
+                digest = entry.get("hash")
+                payload = entry.get("summary")
+                key = entry.get("analysis_key")
+                if isinstance(digest, str) and isinstance(payload, dict):
+                    cache.hashes[name] = digest
+                    cache.payloads[name] = payload
+                if isinstance(key, str):
+                    cache.analysis_keys[name] = key
+        return cache
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {
+            "version": SUMMARY_VERSION,
+            "modules": {
+                name: {
+                    "hash": self.hashes[name],
+                    "summary": self.payloads[name],
+                    "analysis_key": self.analysis_keys.get(name, ""),
+                }
+                for name in sorted(self.hashes)
+            },
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout just runs cold every time
+
+
+def summarize_project(
+    project: Project, cache: SemanticCache
+) -> tuple[dict[str, ModuleSummary], CacheStats]:
+    """Summaries for every module, replaying cached ones on hash hits,
+    then recompute analysis keys and diff them against the cache."""
+    stats = CacheStats(modules_total=len(project.modules))
+    summaries: dict[str, ModuleSummary] = {}
+    fresh_hashes: dict[str, str] = {}
+
+    for module in project.iter_modules():
+        digest = content_hash(module.source)
+        fresh_hashes[module.name] = digest
+        cached_payload = (
+            cache.payloads.get(module.name)
+            if cache.hashes.get(module.name) == digest
+            else None
+        )
+        if cached_payload is not None:
+            try:
+                summaries[module.name] = ModuleSummary.from_payload(cached_payload)
+                stats.summaries_reused += 1
+                continue
+            except (KeyError, TypeError, ValueError):
+                pass  # shape drift: fall through and recompute
+        summaries[module.name] = summarize_module(module)
+        stats.summaries_computed += 1
+
+    import_graph = build_import_graph(summaries)
+    fresh_keys: dict[str, str] = {}
+    closure_cache: dict[str, frozenset[str]] = {}
+    for name in summaries:
+        closure = closure_cache.get(name)
+        if closure is None:
+            closure = forward_closure(import_graph, name)
+            closure_cache[name] = closure
+        hasher = hashlib.sha256()
+        for dep in sorted(closure | {name}):
+            hasher.update(dep.encode("utf-8"))
+            hasher.update(b"\x00")
+            hasher.update(fresh_hashes.get(dep, "").encode("utf-8"))
+            hasher.update(b"\x01")
+        fresh_keys[name] = hasher.hexdigest()
+
+    stats.reanalyzed = tuple(
+        sorted(
+            name
+            for name in summaries
+            if cache.analysis_keys.get(name) != fresh_keys[name]
+        )
+    )
+
+    # Fold the fresh state back into the cache object for save().
+    cache.hashes = fresh_hashes
+    cache.payloads = {
+        name: summary.to_payload() for name, summary in summaries.items()
+    }
+    cache.analysis_keys = fresh_keys
+    return summaries, stats

@@ -1,0 +1,255 @@
+"""The project call graph and import graph.
+
+Nodes are ``module:qualname`` strings (``module:<module>`` for module
+scope — decorator applications and registry construction run there).
+Edges are static resolutions of call sites via :class:`SymbolTable`;
+``self.method()`` resolves through the class hierarchy. Unresolvable
+calls (locals, dynamic dispatch, stdlib) contribute no edge.
+
+Also computed here:
+
+* Tarjan strongly-connected components — recursion detection for the
+  complexity-skeleton pass (recursive cycles are exempt from the
+  loop-depth budget check);
+* the project import graph and its reverse closure — the incremental
+  cache's invalidation unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .summary import CallSite, FunctionSummary, ModuleSummary
+from .symbols import Resolved, SymbolTable
+
+
+@dataclass
+class CallGraph:
+    """Edges plus the node → summary index the dataflow passes use."""
+
+    #: node id → FunctionSummary (includes each module's ``<module>`` scope).
+    nodes: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: node id → callee node ids (sorted, deduplicated).
+    edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: node id → caller node ids.
+    reverse_edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: node id → (callee node id, call line) pairs, for witness paths.
+    edge_sites: dict[str, tuple[tuple[str, int], ...]] = field(default_factory=dict)
+    #: nodes submitted to a process pool (``executor.submit(fn, ...)``).
+    pool_entry_points: tuple[str, ...] = ()
+    #: node id → SCC id; nodes sharing an id are mutually recursive.
+    scc_of: dict[str, int] = field(default_factory=dict)
+    #: SCC ids with more than one member or a self-loop (true recursion).
+    recursive_sccs: frozenset[int] = frozenset()
+
+    def is_recursive(self, node_id: str) -> bool:
+        return self.scc_of.get(node_id, -1) in self.recursive_sccs
+
+    def callees(self, node_id: str) -> tuple[str, ...]:
+        return self.edges.get(node_id, ())
+
+
+def _resolve_call(
+    symbols: SymbolTable,
+    module: ModuleSummary,
+    function: FunctionSummary,
+    site: CallSite,
+) -> Resolved | None:
+    parts = site.name.split(".")
+    head = parts[0]
+    if head in ("self", "cls"):
+        owner = function.owner_class
+        if owner is None or owner not in module.classes:
+            return None
+        if len(parts) == 2:
+            return symbols.resolve_method(module.name, owner, parts[1])
+        return None
+    if function.qualname == "<module>":
+        # At module scope every binding *is* a module-level name, so the
+        # shadowing test below would suppress all resolution.
+        return symbols.resolve_dotted(module.name, site.name)
+    if head in function.local_names:
+        return None  # shadowed by a local binding (parameters included)
+    return symbols.resolve_dotted(module.name, site.name)
+
+
+def _as_function_node(symbols: SymbolTable, resolved: Resolved) -> str | None:
+    """Map a resolution to a function node: classes become their
+    ``__init__`` (constructor call) when one is statically findable."""
+    if resolved.kind == "function":
+        return resolved.node_id
+    if resolved.kind == "class":
+        init = symbols.resolve_method(resolved.module, resolved.qualname, "__init__")
+        if init is not None:
+            return init.node_id
+    return None
+
+
+def build_call_graph(
+    summaries: dict[str, ModuleSummary], symbols: SymbolTable
+) -> CallGraph:
+    graph = CallGraph()
+    edges: dict[str, set[str]] = {}
+    sites: dict[str, list[tuple[str, int]]] = {}
+    pool_entries: set[str] = set()
+
+    for module in summaries.values():
+        scoped = [*module.all_functions(), module.module_scope]
+        for function in scoped:
+            node_id = f"{module.name}:{function.qualname}"
+            graph.nodes[node_id] = function
+            edges.setdefault(node_id, set())
+            sites.setdefault(node_id, [])
+
+    for module in summaries.values():
+        scoped = [*module.all_functions(), module.module_scope]
+        for function in scoped:
+            node_id = f"{module.name}:{function.qualname}"
+            for site in (*function.calls, *function.submitted):
+                resolved = _resolve_call(symbols, module, function, site)
+                if resolved is None:
+                    continue
+                target = _as_function_node(symbols, resolved)
+                if target is None or target not in graph.nodes:
+                    continue
+                edges[node_id].add(target)
+                sites[node_id].append((target, site.line))
+                if site in function.submitted:
+                    pool_entries.add(target)
+
+    graph.edges = {node: tuple(sorted(targets)) for node, targets in edges.items()}
+    graph.edge_sites = {node: tuple(pairs) for node, pairs in sites.items()}
+    reverse: dict[str, set[str]] = {node: set() for node in graph.nodes}
+    for source, targets in graph.edges.items():
+        for target in targets:
+            reverse[target].add(source)
+    graph.reverse_edges = {
+        node: tuple(sorted(callers)) for node, callers in reverse.items()
+    }
+    graph.pool_entry_points = tuple(sorted(pool_entries))
+    _tarjan(graph)
+    return graph
+
+
+def _tarjan(graph: CallGraph) -> None:
+    """Iterative Tarjan SCC; fills ``scc_of`` and ``recursive_sccs``."""
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    scc_id = 0
+    scc_of: dict[str, int] = {}
+    recursive: set[int] = set()
+
+    for start in sorted(graph.nodes):
+        if start in index_of:
+            continue
+        work: list[tuple[str, int]] = [(start, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = graph.edges.get(node, ())
+            advanced = False
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index_of:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                members: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    scc_of[member] = scc_id
+                    if member == node:
+                        break
+                if len(members) > 1 or node in graph.edges.get(node, ()):
+                    recursive.add(scc_id)
+                scc_id += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    graph.scc_of = scc_of
+    graph.recursive_sccs = frozenset(recursive)
+
+
+# ----------------------------------------------------------------------
+# import graph
+# ----------------------------------------------------------------------
+def build_import_graph(summaries: dict[str, ModuleSummary]) -> dict[str, tuple[str, ...]]:
+    """Module → in-project modules it imports (directly, anywhere in
+    the file, including function-local imports). An import of a missing
+    dotted path falls back to its deepest existing ancestor package."""
+    graph: dict[str, tuple[str, ...]] = {}
+    for module in summaries.values():
+        deps: set[str] = set()
+        for target in module.import_targets:
+            # Importing ``a.b.c`` executes every ancestor package's
+            # ``__init__`` too — each existing prefix is a dependency.
+            parts = target.split(".")
+            for count in range(1, len(parts) + 1):
+                prefix = ".".join(parts[:count])
+                if prefix in summaries and prefix != module.name:
+                    deps.add(prefix)
+        graph[module.name] = tuple(sorted(deps))
+    return graph
+
+
+def _closure(
+    graph: dict[str, tuple[str, ...]], roots: tuple[str, ...] | list[str]
+) -> frozenset[str]:
+    seen: set[str] = set()
+    frontier = [root for root in roots if root in graph]
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(dep for dep in graph.get(current, ()) if dep not in seen)
+    return frozenset(seen)
+
+
+def forward_closure(
+    import_graph: dict[str, tuple[str, ...]], module: str
+) -> frozenset[str]:
+    """``module`` plus everything it transitively imports."""
+    return _closure(import_graph, [module])
+
+
+def reverse_import_graph(
+    import_graph: dict[str, tuple[str, ...]]
+) -> dict[str, tuple[str, ...]]:
+    reverse: dict[str, set[str]] = {name: set() for name in import_graph}
+    for source, targets in import_graph.items():
+        for target in targets:
+            reverse.setdefault(target, set()).add(source)
+    return {name: tuple(sorted(importers)) for name, importers in reverse.items()}
+
+
+def reverse_closure(
+    import_graph: dict[str, tuple[str, ...]], modules: tuple[str, ...] | list[str]
+) -> frozenset[str]:
+    """The given modules plus everything that transitively imports them
+    — the set whose analysis results a content change invalidates."""
+    return _closure(reverse_import_graph(import_graph), list(modules))
+
+
+def import_reachable(
+    import_graph: dict[str, tuple[str, ...]], roots: tuple[str, ...] | list[str]
+) -> frozenset[str]:
+    """Modules reachable from ``roots`` through imports — the liveness
+    universe for registry-reachability checks (REP011)."""
+    return _closure(import_graph, list(roots))

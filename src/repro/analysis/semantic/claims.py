@@ -1,0 +1,370 @@
+"""Complexity-claim parsing and the static cost-skeleton check.
+
+Docstrings in this library carry machine-checkable ``Complexity:``
+fields (``Complexity: O(n^k · k²)``). This module parses those claims
+into a *depth budget* — a crude but sound upper allowance on statement
+nesting — and compares it against a static cost skeleton derived from
+the code: loop nesting plus the claimed budgets of called functions at
+their call-site depth.
+
+The budget model (deliberately permissive; only gross mismatches flag):
+
+========================  ======================================
+factor                     budget
+========================  ======================================
+``x^e`` (numeric e)        ``ceil(e)`` — ``m^{3/2}`` → 2
+``n²``/``n³`` superscript  2 / 3
+``n^ω`` (any ω exponent)   3 (matrix-multiplication exponent)
+``x^k`` (symbolic exp)     unbounded — parameterized blow-up
+``2^n``, ``k!``            unbounded
+``Π …`` (product)          unbounded
+``‖X‖`` (norm)             2 — total size spans two loop levels
+``Σ …`` (sum)              2
+``|X|``, ``log …``, var    1
+numeric constant           0
+========================  ======================================
+
+A product's budget is the sum of its factors; a sum's budget is the max
+of its terms. ``unbounded`` absorbs everything. Prose claims such as
+``exponential worst case`` map to unbounded. The skeleton check then
+requires ``skeleton(f) ≤ budget(f)`` for every function with a finite
+budget, where ``skeleton`` is the max over the function's own loop
+nesting and ``call-site depth + callee budget`` for resolvable in-
+project callees (callees without claims contribute their own computed
+skeleton). Functions in recursive call-graph cycles are exempt —
+recursion depth is not statement nesting.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from ..walker import AnalysisError
+from .callgraph import CallGraph
+
+#: Budget value meaning "no finite nesting bound claimed".
+UNBOUNDED = math.inf
+
+_SUPERSCRIPTS = {
+    "⁰": "0", "¹": "1", "²": "2", "³": "3", "⁴": "4",
+    "⁵": "5", "⁶": "6", "⁷": "7", "⁸": "8", "⁹": "9",
+}
+
+#: Prose escape hatches: claims that are honest about being huge.
+_PROSE_UNBOUNDED = re.compile(
+    r"exponential|superpolynomial|unbounded|NP-hard|worst case", re.IGNORECASE
+)
+
+#: Claims qualified this way are not total-work bounds: enumeration
+#: *delay* claims are measured per answer (the answer loop is real
+#: nesting the claim deliberately excludes) and *amortized* bounds
+#: cannot be read off statement nesting at all. Both get an unbounded
+#: depth budget — the claim still must parse, it is just depth-exempt.
+_OUTPUT_SENSITIVE = re.compile(r"\bdelay\b|\bper answer\b|\bamortized\b", re.IGNORECASE)
+
+#: Extra nesting levels every finite budget is granted before REP009
+#: flags a mismatch. One level absorbs the common sound-but-nested
+#: idioms the skeleton cannot see through: iterating a partition
+#: (``for comp in components: for v in comp``) or bucketed adjacency
+#: is linear total work but syntactically two loops deep.
+SKELETON_SLACK = 1.0
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_'*]*$")
+_NUMBER = re.compile(r"^\d+(\.\d+)?$")
+_FRACTION = re.compile(r"^(\d+(\.\d+)?)\s*/\s*(\d+(\.\d+)?)$")
+
+
+class ClaimParseError(AnalysisError):
+    """The claim text does not follow the documented grammar."""
+
+
+@dataclass(frozen=True)
+class ParsedClaim:
+    text: str
+    budget: float  #: finite depth allowance, or :data:`UNBOUNDED`
+
+    @property
+    def bounded(self) -> bool:
+        return math.isfinite(self.budget)
+
+
+def _normalize(text: str) -> str:
+    out: list[str] = []
+    for char in text:
+        if char in _SUPERSCRIPTS:
+            out.append("^" + _SUPERSCRIPTS[char])
+        elif char in "·⋅×":
+            out.append("*")
+        elif char == "−":
+            out.append("-")
+        elif char in "∑":
+            out.append("Σ")
+        elif char in "∏":
+            out.append("Π")
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+def _split_top_level(text: str, separators: frozenset[str]) -> list[str]:
+    """Split on separator characters at bracket depth 0, treating
+    ``|…|`` and ``‖…‖`` as balanced delimiters (toggle on/off)."""
+    parts: list[str] = []
+    current: list[str] = []
+    depth = 0
+    in_abs = False
+    in_norm = False
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char in "({[⌈⌊":
+            depth += 1
+        elif char in ")}]⌉⌋":
+            depth -= 1
+        elif char == "|" and depth == 0:
+            in_abs = not in_abs
+        elif char == "‖" and depth == 0:
+            in_norm = not in_norm
+        if char in separators and depth == 0 and not in_abs and not in_norm:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _strip_outer(text: str) -> str:
+    """Remove one matched layer of outer parentheses, repeatedly."""
+    text = text.strip()
+    while text.startswith("(") and text.endswith(")"):
+        depth = 0
+        balanced = True
+        for index, char in enumerate(text):
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0 and index != len(text) - 1:
+                    balanced = False
+                    break
+        if not balanced:
+            break
+        text = text[1:-1].strip()
+    return text
+
+
+def _split_power(text: str) -> tuple[str, str] | None:
+    """Split ``base^exponent`` at depth 0; exponent may be ``{…}``."""
+    depth = 0
+    in_abs = False
+    in_norm = False
+    for index, char in enumerate(text):
+        if char in "({[⌈⌊":
+            depth += 1
+        elif char in ")}]⌉⌋":
+            depth -= 1
+        elif char == "|" and depth == 0:
+            in_abs = not in_abs
+        elif char == "‖" and depth == 0:
+            in_norm = not in_norm
+        elif char == "^" and depth == 0 and not in_abs and not in_norm:
+            base = text[:index].strip()
+            exponent = text[index + 1:].strip()
+            if exponent.startswith("{") and exponent.endswith("}"):
+                exponent = exponent[1:-1].strip()
+            return base, exponent
+    return None
+
+
+def _exponent_budget(base: str, exponent: str) -> float:
+    if _NUMBER.match(base):
+        return UNBOUNDED  # 2^n, 2^k: exponential in a parameter
+    match = _NUMBER.match(exponent) or _FRACTION.match(exponent)
+    if match:
+        if "/" in exponent:
+            numerator, _, denominator = exponent.partition("/")
+            value = float(numerator) / float(denominator)
+        else:
+            value = float(exponent)
+        return float(math.ceil(value))
+    if "ω" in exponent or exponent in ("w", "omega"):
+        return 3.0  # matrix-multiplication exponent, ω < 3
+    return UNBOUNDED  # symbolic exponent: n^k, N^ρ*(H), n^{3⌈k/3⌉}
+
+
+def _factor_budget(factor: str) -> float:
+    factor = factor.strip().rstrip(",")
+    if not factor:
+        raise ClaimParseError("empty factor")
+    if factor.endswith("!"):
+        return UNBOUNDED
+    if factor.startswith("Π"):
+        return UNBOUNDED
+    if factor.startswith("Σ"):
+        return 2.0
+    power = _split_power(factor)
+    if power is not None:
+        return _exponent_budget(power[0], power[1])
+    if factor.startswith("(") :
+        inner = _strip_outer(factor)
+        if inner == factor:
+            raise ClaimParseError(f"unbalanced parentheses in {factor!r}")
+        return _term_budget_text(inner)
+    if factor.startswith("‖") and factor.endswith("‖"):
+        return 2.0
+    if factor.startswith("|") and factor.endswith("|"):
+        return 1.0
+    if factor.startswith("log"):
+        return 1.0
+    if _NUMBER.match(factor):
+        return 0.0
+    if "/" in factor:  # x/y: budget of the numerator
+        return _factor_budget(factor.split("/", 1)[0])
+    if "(" in factor and factor.endswith(")"):
+        head = factor.split("(", 1)[0].strip()
+        if not head or _IDENTIFIER.match(head):
+            return 1.0  # arity(C), poly(n): one loop's worth
+        raise ClaimParseError(f"unrecognized factor {factor!r}")
+    if _IDENTIFIER.match(factor):
+        return 1.0
+    raise ClaimParseError(f"unrecognized factor {factor!r}")
+
+
+def _term_budget_text(text: str) -> float:
+    """Budget of a sum-of-products expression: max over terms of the
+    sum of factor budgets."""
+    terms = _split_top_level(text, frozenset("+"))
+    if not terms:
+        raise ClaimParseError("empty complexity expression")
+    best = 0.0
+    for term in terms:
+        split: list[str] = []
+        for chunk in _split_top_level(term, frozenset("*")):
+            split.extend(_split_top_level(chunk, frozenset(" ")))
+        # ``log n`` is one factor: a bare ``log`` absorbs its operand.
+        factors: list[str] = []
+        for factor in split:
+            if factors and factors[-1] == "log":
+                factors[-1] = f"log {factor}"
+            else:
+                factors.append(factor)
+        if not factors:
+            raise ClaimParseError(f"empty term in {text!r}")
+        total = 0.0
+        for factor in factors:
+            total += _factor_budget(factor)
+        best = max(best, total)
+    return best
+
+
+def parse_claim(text: str) -> ParsedClaim:
+    """Parse one ``Complexity:`` field value.
+
+    Raises :class:`ClaimParseError` when the text matches neither the
+    ``O(…)`` grammar nor a recognized prose escape hatch.
+    """
+    original = text
+    text = _normalize(text.strip())
+    match = re.search(r"O\(", text)
+    if match is None:
+        if _PROSE_UNBOUNDED.search(text):
+            return ParsedClaim(text=original, budget=UNBOUNDED)
+        raise ClaimParseError(f"no O(...) bound or prose escape in {original!r}")
+    if _OUTPUT_SENSITIVE.search(text):
+        # Still run the grammar over the O(...) body — a malformed
+        # delay claim should fail parsing — but the budget is exempt.
+        output_sensitive = True
+    else:
+        output_sensitive = False
+    # Extract the balanced O(...) body; trailing commentary is ignored.
+    start = match.end()
+    depth = 1
+    end = start
+    while end < len(text) and depth:
+        if text[end] == "(":
+            depth += 1
+        elif text[end] == ")":
+            depth -= 1
+        end += 1
+    if depth:
+        raise ClaimParseError(f"unbalanced O(...) in {original!r}")
+    body = text[start:end - 1].strip()
+    if not body:
+        raise ClaimParseError(f"empty O() in {original!r}")
+    budget = _term_budget_text(body)
+    remainder = text[end:]
+    if output_sensitive or _PROSE_UNBOUNDED.search(remainder):
+        budget = UNBOUNDED
+    return ParsedClaim(text=original, budget=budget)
+
+
+# ----------------------------------------------------------------------
+# cost skeletons
+# ----------------------------------------------------------------------
+@dataclass
+class ClaimReport:
+    """Per-function claim bookkeeping for REP009."""
+
+    #: node id → parsed claim, for every function with a Complexity: field.
+    parsed: dict[str, ParsedClaim]
+    #: node id → error text, for claims the grammar rejected.
+    failures: dict[str, str]
+    #: node id → computed skeleton depth.
+    skeletons: dict[str, float]
+
+    @property
+    def parse_ratio(self) -> float:
+        total = len(self.parsed) + len(self.failures)
+        return 1.0 if total == 0 else len(self.parsed) / total
+
+
+def compute_claims(graph: CallGraph) -> ClaimReport:
+    parsed: dict[str, ParsedClaim] = {}
+    failures: dict[str, str] = {}
+    for node_id, function in graph.nodes.items():
+        if function.complexity_claim is None:
+            continue
+        try:
+            parsed[node_id] = parse_claim(function.complexity_claim)
+        except ClaimParseError as exc:
+            failures[node_id] = str(exc)
+
+    skeletons: dict[str, float] = {}
+    in_progress: set[str] = set()
+
+    def skeleton(node_id: str) -> float:
+        """Max statement-nesting cost reachable from this node. A
+        function with a parsed claim contributes its claimed budget to
+        callers (the claim is trusted at call sites; its own body is
+        checked separately). Cycles contribute 0 — recursive SCCs are
+        exempt from the depth check entirely."""
+        if node_id in skeletons:
+            return skeletons[node_id]
+        if node_id in in_progress or graph.is_recursive(node_id):
+            return 0.0
+        in_progress.add(node_id)
+        function = graph.nodes[node_id]
+        depth = float(function.max_loop_depth)
+        site_depth: dict[int, int] = {}
+        for site in function.calls:
+            site_depth[site.line] = max(
+                site_depth.get(site.line, 0), site.loop_depth
+            )
+        for target, line in graph.edge_sites.get(node_id, ()):
+            at_depth = site_depth.get(line, 0)
+            callee_cost = (
+                parsed[target].budget if target in parsed else skeleton(target)
+            )
+            depth = max(depth, at_depth + callee_cost)
+        in_progress.discard(node_id)
+        skeletons[node_id] = depth
+        return depth
+
+    for node_id in graph.nodes:
+        skeleton(node_id)
+
+    return ClaimReport(parsed=parsed, failures=failures, skeletons=skeletons)

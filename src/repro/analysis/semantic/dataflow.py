@@ -1,0 +1,118 @@
+"""Fixed-point determinism-taint propagation over the call graph.
+
+A function is *tainted* when it can observe nondeterminism: it calls a
+direct source (global RNG, entropy read, wall-clock, iteration over a
+set expression) or — transitively — any tainted project function.
+Propagation runs to a fixed point over the call graph, so taint flows
+through arbitrarily deep helper chains and recursive cycles.
+
+Barrier semantics: functions defined in a sanctioned timing module
+(:data:`~repro.analysis.semantic.policy.SANCTIONED_TIMING_MODULES`)
+may read the wall clock — span timing and run-record timestamps land in
+observability metadata, never in result payloads. Wall-clock taint
+neither originates in nor propagates *out of* a barrier module; RNG and
+entropy taint still does (a barrier launders time, not randomness).
+
+Each tainted node records a witness: either its direct source or the
+tainted callee it inherited from, so verdicts can print the full
+``entry → helper → source`` chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .callgraph import CallGraph
+from .policy import SANCTIONED_TIMING_MODULES
+from .summary import TaintHit
+
+#: Taint kinds a barrier module absorbs.
+_TIMING_KINDS = frozenset({"wall-clock"})
+
+
+@dataclass(frozen=True)
+class TaintVerdict:
+    """Why one node is tainted."""
+
+    node_id: str
+    kind: str  #: ``"rng"`` | ``"entropy"`` | ``"wall-clock"`` | ``"set-order"``
+    source: TaintHit | None  #: the direct hit, for origin nodes
+    via: str | None  #: tainted callee node id, for inherited taint
+    via_line: int | None  #: call-site line of ``via`` inside this node
+
+
+@dataclass
+class TaintAnalysis:
+    """node id → verdict for every tainted node."""
+
+    verdicts: dict[str, TaintVerdict]
+
+    def is_tainted(self, node_id: str) -> bool:
+        return node_id in self.verdicts
+
+    def witness_path(self, node_id: str) -> list[TaintVerdict]:
+        """The inheritance chain from ``node_id`` down to a direct
+        source (last element has ``source`` set)."""
+        path: list[TaintVerdict] = []
+        seen: set[str] = set()
+        current: str | None = node_id
+        while current is not None and current in self.verdicts and current not in seen:
+            seen.add(current)
+            verdict = self.verdicts[current]
+            path.append(verdict)
+            current = verdict.via
+        return path
+
+    def describe(self, node_id: str) -> str:
+        """``entry -> helper -> source`` rendering for findings."""
+        path = self.witness_path(node_id)
+        if not path:
+            return "clean"
+        hops = [step.node_id for step in path]
+        last = path[-1]
+        origin = last.source.detail if last.source is not None else last.kind
+        return " -> ".join([*hops, origin])
+
+
+def _is_barrier(node_id: str) -> bool:
+    return node_id.split(":", 1)[0] in SANCTIONED_TIMING_MODULES
+
+
+def propagate_taint(graph: CallGraph) -> TaintAnalysis:
+    """Worklist fixed point; O(edges × kinds) with monotone updates."""
+    verdicts: dict[str, TaintVerdict] = {}
+    worklist: list[str] = []
+
+    for node_id, function in graph.nodes.items():
+        barrier = _is_barrier(node_id)
+        for hit in function.taints:
+            if barrier and hit.kind in _TIMING_KINDS:
+                continue
+            verdicts[node_id] = TaintVerdict(
+                node_id=node_id, kind=hit.kind, source=hit, via=None, via_line=None
+            )
+            worklist.append(node_id)
+            break
+
+    while worklist:
+        tainted = worklist.pop()
+        kind = verdicts[tainted].kind
+        # A barrier absorbs timing taint: never hand wall-clock upward.
+        if _is_barrier(tainted) and kind in _TIMING_KINDS:
+            continue
+        for caller in graph.reverse_edges.get(tainted, ()):
+            if caller in verdicts:
+                continue
+            if _is_barrier(caller) and kind in _TIMING_KINDS:
+                continue
+            line = None
+            for target, call_line in graph.edge_sites.get(caller, ()):
+                if target == tainted:
+                    line = call_line
+                    break
+            verdicts[caller] = TaintVerdict(
+                node_id=caller, kind=kind, source=None, via=tainted, via_line=line
+            )
+            worklist.append(caller)
+
+    return TaintAnalysis(verdicts=verdicts)

@@ -1,0 +1,143 @@
+"""The semantic-analysis engine: one build, shared by every rule.
+
+:func:`semantic_analysis` memoizes the whole-program build on the
+:class:`~repro.analysis.walker.Project` instance, so REP008–REP011 each
+see the same symbol table, call graph, taint fixed point, and claim
+report without rebuilding (the build is a few hundred milliseconds on
+this tree; four rebuilds would dominate lint time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..walker import Project
+from .cache import CacheStats, SemanticCache, summarize_project
+from .callgraph import CallGraph, build_call_graph, build_import_graph
+from .claims import ClaimReport, compute_claims
+from .dataflow import TaintAnalysis, propagate_taint
+from .summary import ModuleSummary
+from .symbols import SymbolTable
+
+_MEMO_ATTRIBUTE = "_semantic_analysis_memo"
+
+
+@dataclass
+class SemanticAnalysis:
+    """Everything the whole-program passes computed, in one place."""
+
+    summaries: dict[str, ModuleSummary]
+    symbols: SymbolTable
+    call_graph: CallGraph
+    import_graph: dict[str, tuple[str, ...]]
+    taint: TaintAnalysis
+    claims: ClaimReport
+    stats: CacheStats
+
+    @classmethod
+    def build(
+        cls, project: Project, cache_path: Path | str | None = None
+    ) -> "SemanticAnalysis":
+        cache = SemanticCache.load(cache_path)
+        summaries, stats = summarize_project(project, cache)
+        cache.save()
+        symbols = SymbolTable(summaries)
+        call_graph = build_call_graph(summaries, symbols)
+        import_graph = build_import_graph(summaries)
+        taint = propagate_taint(call_graph)
+        claims = compute_claims(call_graph)
+        return cls(
+            summaries=summaries,
+            symbols=symbols,
+            call_graph=call_graph,
+            import_graph=import_graph,
+            taint=taint,
+            claims=claims,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def resolve_runner(self, spec_module: str, ref: str) -> str | None:
+        """Resolve an ``ExperimentSpec`` runner reference (as written in
+        the spec table) to a call-graph node id."""
+        resolved = self.symbols.resolve_dotted(spec_module, ref)
+        if resolved is None or resolved.kind != "function":
+            return None
+        return resolved.node_id
+
+    def experiment_entry_points(self) -> dict[str, tuple[str, list[str]]]:
+        """Experiment key → (defining module, resolved runner node ids),
+        collected from every ``ExperimentSpec(...)`` literal."""
+        entries: dict[str, tuple[str, list[str]]] = {}
+        for summary in self.summaries.values():
+            for key, refs, _line in summary.experiment_specs:
+                nodes = [
+                    node
+                    for node in (
+                        self.resolve_runner(summary.name, ref) for ref in refs
+                    )
+                    if node is not None
+                ]
+                entries[key] = (summary.name, nodes)
+        return entries
+
+
+def semantic_analysis(
+    project: Project, cache_path: Path | str | None = None
+) -> SemanticAnalysis:
+    """The memoized accessor rules use. The memo lives on the project
+    object itself, so independent projects (tests build many) never
+    share state and the cache dies with the project."""
+    memo = getattr(project, _MEMO_ATTRIBUTE, None)
+    if memo is None:
+        memo = SemanticAnalysis.build(project, cache_path)
+        setattr(project, _MEMO_ATTRIBUTE, memo)
+    return memo
+
+
+def graph_payload(analysis: SemanticAnalysis) -> dict:
+    """JSON-ready dump for ``python -m repro.analysis --graph``: the
+    call graph, import graph, taint verdicts, and claim budgets."""
+    taint = {}
+    for node_id, verdict in sorted(analysis.taint.verdicts.items()):
+        taint[node_id] = {
+            "kind": verdict.kind,
+            "witness": analysis.taint.describe(node_id),
+        }
+    claims = {
+        node_id: {
+            "text": claim.text,
+            "budget": None if not claim.bounded else claim.budget,
+            "skeleton": analysis.claims.skeletons.get(node_id),
+        }
+        for node_id, claim in sorted(analysis.claims.parsed.items())
+    }
+    return {
+        "modules": sorted(analysis.summaries),
+        "call_graph": {
+            node: list(callees)
+            for node, callees in sorted(analysis.call_graph.edges.items())
+            if callees
+        },
+        "import_graph": {
+            module: list(deps)
+            for module, deps in sorted(analysis.import_graph.items())
+            if deps
+        },
+        "pool_entry_points": list(analysis.call_graph.pool_entry_points),
+        "recursive_nodes": sorted(
+            node
+            for node in analysis.call_graph.nodes
+            if analysis.call_graph.is_recursive(node)
+        ),
+        "taint": taint,
+        "claims": claims,
+        "claim_failures": dict(sorted(analysis.claims.failures.items())),
+        "cache": {
+            "modules_total": analysis.stats.modules_total,
+            "summaries_reused": analysis.stats.summaries_reused,
+            "summaries_computed": analysis.stats.summaries_computed,
+            "reanalyzed": list(analysis.stats.reanalyzed),
+        },
+    }

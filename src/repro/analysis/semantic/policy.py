@@ -1,0 +1,95 @@
+"""The semantic-analysis policy: what taints, what launders, what is
+sanctioned.
+
+Kept in one importable module (with no dependencies on the rule
+machinery) so the per-file rules (:mod:`..rules.rep004_determinism`)
+and the whole-program passes (REP008–REP011) enforce the *same*
+universe of nondeterminism sources and sanctioned boundaries — a
+source added here is picked up by both layers at once.
+"""
+
+from __future__ import annotations
+
+#: RNG-object constructors are the sanctioned way to use ``random``.
+RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+#: numpy constructors that are fine *if* given an explicit seed.
+NUMPY_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "RandomState", "SeedSequence"}
+)
+
+#: Wall-clock functions on the ``time`` module.
+TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+    }
+)
+
+#: Wall-clock constructors on ``datetime.datetime`` / ``datetime.date``.
+DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
+
+#: Entropy reads: nondeterministic by design, never seedable.
+ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: Modules whose functions are *taint barriers* for REP008: they may
+#: read wall-clock internally (span timing, run-record timestamps)
+#: because their output lands in observability metadata, never in an
+#: experiment's result payload. Taint inside a barrier module does not
+#: propagate to callers.
+SANCTIONED_TIMING_MODULES = frozenset(
+    {
+        "repro.observability.tracing",
+        "repro.observability.runner",
+        "repro.observability.record",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "popleft",
+    }
+)
+
+#: Module-level names matching these fragments are treated as ad-hoc
+#: caches by REP010's cache-discipline check (the KernelState version
+#: protocol is the sanctioned home for memoized indexes).
+CACHE_NAME_FRAGMENTS = ("cache", "memo")
+
+#: Constructor calls whose module-level assignment creates mutable
+#: global state (the REP010 universe).
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)

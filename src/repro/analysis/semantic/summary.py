@@ -1,0 +1,740 @@
+"""Per-module semantic summaries: everything the whole-program passes
+need, extracted once per file and serializable for the incremental
+cache.
+
+A :class:`ModuleSummary` is the *only* interface between a module's
+AST and the project-wide analyses (symbol table, call graph, taint
+propagation, cost skeletons). That boundary is what makes incremental
+analysis sound: a summary is a pure function of the file's bytes, so a
+content-hash hit can replay it from the cache without re-walking the
+AST, and the global passes — which are cheap graph computations over
+summaries — always run fresh.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass, field
+
+from ..walker import ModuleInfo, dotted_name
+from .policy import (
+    DATETIME_FUNCTIONS,
+    ENTROPY_CALLS,
+    MUTABLE_CONSTRUCTORS,
+    MUTATOR_METHODS,
+    NUMPY_CONSTRUCTORS,
+    RANDOM_ALLOWED,
+    TIME_FUNCTIONS,
+)
+
+#: Bump when the summary shape changes; the cache discards mismatches.
+SUMMARY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call (or bare function reference) inside a function body."""
+
+    name: str  #: dotted name as written, e.g. ``"np.lexsort"``, ``"self.probe"``
+    line: int
+    loop_depth: int  #: statement-loop nesting at the site, 0 = top of body
+    is_ref: bool = False  #: True for a non-call load (callback reference)
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """A direct nondeterminism source observed in a function body."""
+
+    kind: str  #: ``"rng"`` | ``"entropy"`` | ``"wall-clock"`` | ``"set-order"``
+    detail: str  #: the offending symbol or construct
+    line: int
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """An in-place mutation of a non-local name (``x.append``, ``x[k]=``)."""
+
+    name: str  #: the mutated base name as written (head of the dotted chain)
+    how: str  #: mutator method name, ``"__setitem__"``, or ``"rebind"``
+    line: int
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the global passes need to know about one function."""
+
+    qualname: str
+    line: int
+    end_line: int
+    is_public: bool
+    decorators: list[str] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    taints: list[TaintHit] = field(default_factory=list)
+    mutations: list[Mutation] = field(default_factory=list)
+    max_loop_depth: int = 0
+    complexity_claim: str | None = None
+    submitted: list[CallSite] = field(default_factory=list)
+    local_names: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def owner_class(self) -> str | None:
+        """Immediately enclosing class name for single-level methods."""
+        parts = self.qualname.split(".")
+        return parts[-2] if len(parts) >= 2 else None
+
+
+@dataclass
+class ClassSummary:
+    name: str
+    line: int
+    bases: list[str] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ContextVarSummary:
+    name: str
+    line: int
+    has_default: bool
+
+
+@dataclass
+class ModuleSummary:
+    """The per-module fact base consumed by the whole-program passes."""
+
+    name: str
+    path: str
+    is_package: bool = False
+    #: local alias → absolute module name, for ``import a.b [as c]``.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: local alias → (absolute source module, symbol) for ``from m import s``.
+    from_imports: dict[str, list[str]] = field(default_factory=dict)
+    #: every absolute module imported anywhere (incl. function-local).
+    import_targets: list[str] = field(default_factory=list)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    #: names assigned at module scope (constants, registries, tables).
+    module_level_names: list[str] = field(default_factory=list)
+    #: module-level names bound to mutable containers → line.
+    mutable_globals: dict[str, int] = field(default_factory=dict)
+    contextvars: list[ContextVarSummary] = field(default_factory=list)
+    #: ``@transform(name=...)`` literals → line.
+    transform_registrations: list[tuple[str, int]] = field(default_factory=list)
+    #: ``@rule(CODE, ...)`` literals → line.
+    rule_registrations: list[tuple[str, int]] = field(default_factory=list)
+    #: ``experiment_id="..."`` literals → line.
+    experiment_ids: list[tuple[str, int]] = field(default_factory=list)
+    #: ``ExperimentSpec("E1", (mod.run, ...))`` → (key, [runner refs], line).
+    experiment_specs: list[tuple[str, list[str], int]] = field(default_factory=list)
+    #: the module-scope pseudo-function (decorator calls, registry builds).
+    module_scope: FunctionSummary = field(
+        default_factory=lambda: FunctionSummary(
+            qualname="<module>", line=1, end_line=1, is_public=False
+        )
+    )
+
+    def all_functions(self) -> list[FunctionSummary]:
+        return list(self.functions.values())
+
+    def to_payload(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ModuleSummary":
+        def call(d: dict) -> CallSite:
+            return CallSite(**d)
+
+        def fn(d: dict) -> FunctionSummary:
+            return FunctionSummary(
+                qualname=d["qualname"],
+                line=d["line"],
+                end_line=d["end_line"],
+                is_public=d["is_public"],
+                decorators=list(d["decorators"]),
+                calls=[call(c) for c in d["calls"]],
+                taints=[TaintHit(**t) for t in d["taints"]],
+                mutations=[Mutation(**m) for m in d["mutations"]],
+                max_loop_depth=d["max_loop_depth"],
+                complexity_claim=d["complexity_claim"],
+                submitted=[call(c) for c in d["submitted"]],
+                local_names=list(d["local_names"]),
+            )
+
+        return cls(
+            name=payload["name"],
+            path=payload["path"],
+            is_package=payload["is_package"],
+            imports=dict(payload["imports"]),
+            from_imports={k: list(v) for k, v in payload["from_imports"].items()},
+            import_targets=list(payload["import_targets"]),
+            functions={k: fn(v) for k, v in payload["functions"].items()},
+            classes={k: ClassSummary(**v) for k, v in payload["classes"].items()},
+            module_level_names=list(payload["module_level_names"]),
+            mutable_globals=dict(payload["mutable_globals"]),
+            contextvars=[ContextVarSummary(**v) for v in payload["contextvars"]],
+            transform_registrations=[tuple(t) for t in payload["transform_registrations"]],
+            rule_registrations=[tuple(t) for t in payload["rule_registrations"]],
+            experiment_ids=[tuple(t) for t in payload["experiment_ids"]],
+            experiment_specs=[
+                (key, list(refs), line) for key, refs, line in payload["experiment_specs"]
+            ],
+            module_scope=fn(payload["module_scope"]),
+        )
+
+
+def _absolute_import(module: str | None, level: int, current: str, is_package: bool) -> str:
+    """Resolve a possibly-relative ``from`` import to an absolute module."""
+    if level == 0:
+        return module or ""
+    parts = current.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    if level > 1:
+        parts = parts[: len(parts) - (level - 1)]
+    base = ".".join(parts)
+    if module:
+        return f"{base}.{module}" if base else module
+    return base
+
+
+def _complexity_claim(node: ast.AST) -> str | None:
+    """The full ``Complexity:`` field text from a docstring: the field
+    line plus indented continuation lines, joined with spaces."""
+    doc = ast.get_docstring(node)
+    if not doc:
+        return None
+    lines = doc.splitlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped.startswith("Complexity:"):
+            continue
+        collected = [stripped[len("Complexity:"):].strip()]
+        for continuation in lines[index + 1:]:
+            text = continuation.strip()
+            if not text:
+                break
+            collected.append(text)
+        return " ".join(collected).strip()
+    return None
+
+
+def _is_constant_range(node: ast.expr) -> bool:
+    """True for ``range(<int literal>...)`` — a constant-bounded loop."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+        and all(
+            isinstance(arg, ast.Constant) and isinstance(arg.value, int)
+            for arg in node.args
+        )
+        and bool(node.args)
+    )
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """True for expressions that syntactically produce a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class _Aliases:
+    """Module-level import aliases relevant to taint detection."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.random: set[str] = set()
+        self.numpy: set[str] = set()
+        self.numpy_random: set[str] = set()
+        self.time: set[str] = set()
+        self.datetime_module: set[str] = set()
+        self.datetime_class: set[str] = set()
+        self.random_functions: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random.add(alias.asname or "random")
+                    elif alias.name == "numpy":
+                        self.numpy.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.numpy_random.add(alias.asname)
+                        else:
+                            self.numpy.add("numpy")
+                    elif alias.name == "time":
+                        self.time.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        self.datetime_module.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in RANDOM_ALLOWED:
+                            self.random_functions.add(alias.asname or alias.name)
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_class.add(alias.asname or alias.name)
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in TIME_FUNCTIONS:
+                            self.random_functions.add(alias.asname or alias.name)
+
+    def classify_call(self, parts: list[str], call: ast.Call) -> tuple[str, str] | None:
+        """(kind, detail) when the called name is a direct taint source."""
+        dotted = ".".join(parts)
+        if dotted in ENTROPY_CALLS:
+            return "entropy", dotted
+        if len(parts) == 1 and parts[0] in self.random_functions:
+            return "rng", dotted
+        if len(parts) == 2 and parts[0] in self.random:
+            if parts[1] not in RANDOM_ALLOWED:
+                return "rng", dotted
+            return None
+        is_np_random = (
+            len(parts) == 3 and parts[0] in self.numpy and parts[1] == "random"
+        ) or (len(parts) == 2 and parts[0] in self.numpy_random)
+        if is_np_random:
+            if parts[-1] not in NUMPY_CONSTRUCTORS:
+                return "rng", dotted
+            if not call.args and not call.keywords:
+                return "rng", f"{dotted}() unseeded"
+            return None
+        if len(parts) == 2 and parts[0] in self.time and parts[1] in TIME_FUNCTIONS:
+            return "wall-clock", dotted
+        if (
+            len(parts) == 3
+            and parts[0] in self.datetime_module
+            and parts[1] in ("datetime", "date")
+            and parts[2] in DATETIME_FUNCTIONS
+        ):
+            return "wall-clock", dotted
+        if (
+            len(parts) == 2
+            and parts[0] in self.datetime_class
+            and parts[1] in DATETIME_FUNCTIONS
+        ):
+            return "wall-clock", dotted
+        return None
+
+
+class _FunctionVisitor:
+    """Extracts one :class:`FunctionSummary` from a function body (or
+    the module-scope pseudo-function)."""
+
+    def __init__(self, summary: FunctionSummary, aliases: _Aliases) -> None:
+        self.summary = summary
+        self.aliases = aliases
+
+    def collect_locals(self, node: ast.AST) -> set[str]:
+        """Names bound inside the scope: parameters and assignment,
+        loop, with, and comprehension targets."""
+        names: set[str] = set()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *((args.vararg,) if args.vararg else ()),
+                *((args.kwarg,) if args.kwarg else ()),
+            ):
+                names.add(arg.arg)
+
+        def targets(target: ast.expr) -> None:
+            # Only names actually *bound* by the target count: a store
+            # through a subscript or attribute (``G[k] = v``) mutates an
+            # existing object and binds nothing.
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    targets(element)
+            elif isinstance(target, ast.Starred):
+                targets(target.value)
+
+        def visit(scope: ast.AST) -> None:
+            for child in ast.iter_child_nodes(scope):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(child.name)
+                    continue
+                if isinstance(child, ast.ClassDef):
+                    names.add(child.name)
+                    continue
+                if isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        targets(target)
+                elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+                    targets(child.target)
+                elif isinstance(child, (ast.For, ast.AsyncFor)):
+                    targets(child.target)
+                elif isinstance(child, (ast.withitem,)) and child.optional_vars:
+                    targets(child.optional_vars)
+                elif isinstance(child, ast.comprehension):
+                    targets(child.target)
+                elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                    for alias in child.names:
+                        names.add(alias.asname or alias.name.split(".")[0])
+                visit(child)
+
+        visit(node)
+        return names
+
+    def walk(self, node: ast.AST) -> None:
+        locals_here = self.collect_locals(node)
+        globals_declared: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                globals_declared.update(sub.names)
+        locals_here -= globals_declared
+        self.summary.local_names = sorted(locals_here)
+        self._visit(node, 0, locals_here, globals_declared)
+
+    def _record_call(self, call: ast.Call, depth: int, locals_here: set[str]) -> None:
+        name = dotted_name(call.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        taint = self.aliases.classify_call(parts, call)
+        if taint is not None:
+            self.summary.taints.append(TaintHit(taint[0], taint[1], call.lineno))
+            return
+        self.summary.calls.append(CallSite(name, call.lineno, depth))
+        last = parts[-1]
+        if last in ("submit", "map") and len(parts) >= 2 and call.args:
+            target = dotted_name(call.args[0])
+            if target is not None:
+                self.summary.submitted.append(
+                    CallSite(target, call.lineno, depth, is_ref=True)
+                )
+        if last in MUTATOR_METHODS and len(parts) >= 2:
+            base = parts[0]
+            if base not in locals_here and base not in ("self", "cls"):
+                self.summary.mutations.append(
+                    Mutation(".".join(parts[:-1]), last, call.lineno)
+                )
+
+    def _record_store(
+        self,
+        target: ast.expr,
+        line: int,
+        locals_here: set[str],
+        globals_declared: set[str],
+    ) -> None:
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            name = dotted_name(base) if isinstance(base, (ast.Name, ast.Attribute)) else None
+            if name is not None:
+                head = name.split(".")[0]
+                if head not in locals_here and head not in ("self", "cls"):
+                    self.summary.mutations.append(Mutation(name, "__setitem__", line))
+        elif isinstance(target, ast.Name) and target.id in globals_declared:
+            self.summary.mutations.append(Mutation(target.id, "rebind", line))
+
+    def _visit(
+        self,
+        node: ast.AST,
+        depth: int,
+        locals_here: set[str],
+        globals_declared: set[str],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._dispatch(child, depth, locals_here, globals_declared)
+
+    def _bump_depth(self, depth: int) -> int:
+        if depth > self.summary.max_loop_depth:
+            self.summary.max_loop_depth = depth
+        return depth
+
+    def _dispatch(
+        self,
+        child: ast.AST,
+        depth: int,
+        locals_here: set[str],
+        globals_declared: set[str],
+    ) -> None:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes get their own summaries
+
+        if isinstance(child, (ast.For, ast.AsyncFor)):
+            # The iterable expression is evaluated once, *before* the
+            # loop runs — charge it at the enclosing depth.
+            self._dispatch(child.iter, depth, locals_here, globals_declared)
+            body_depth = depth
+            if not _is_constant_range(child.iter):
+                body_depth = self._bump_depth(depth + 1)
+            if _is_set_expression(child.iter):
+                self.summary.taints.append(
+                    TaintHit(
+                        "set-order",
+                        "iteration over a set expression",
+                        child.lineno,
+                    )
+                )
+            for part in (child.target, *child.body, *child.orelse):
+                self._dispatch(part, body_depth, locals_here, globals_declared)
+            return
+
+        if isinstance(child, ast.While):
+            # ``while <name>:`` is the worklist idiom: iterations are
+            # amortized against insertions, not multiplied by callers,
+            # so it contributes no nesting depth. Other conditions
+            # (``while True``, comparisons) count as a loop level.
+            body_depth = depth
+            if not isinstance(child.test, ast.Name):
+                body_depth = self._bump_depth(depth + 1)
+            for part in (child.test, *child.body, *child.orelse):
+                self._dispatch(part, body_depth, locals_here, globals_declared)
+            return
+
+        if isinstance(child, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            # Each generator's iterable is evaluated one level outside
+            # its own loop; the element expression runs inside them all.
+            inner = depth
+            for generator in child.generators:
+                self._dispatch(generator.iter, inner, locals_here, globals_declared)
+                if _is_set_expression(generator.iter):
+                    self.summary.taints.append(
+                        TaintHit(
+                            "set-order",
+                            "comprehension over a set expression",
+                            generator.iter.lineno,
+                        )
+                    )
+                if not _is_constant_range(generator.iter):
+                    inner = self._bump_depth(inner + 1)
+                for part in (generator.target, *generator.ifs):
+                    self._dispatch(part, inner, locals_here, globals_declared)
+            elements = (
+                (child.key, child.value)
+                if isinstance(child, ast.DictComp)
+                else (child.elt,)
+            )
+            for element in elements:
+                self._dispatch(element, inner, locals_here, globals_declared)
+            return
+
+        if isinstance(child, ast.Call):
+            self._record_call(child, depth, locals_here)
+        elif isinstance(child, ast.Assign):
+            for target in child.targets:
+                self._record_store(target, child.lineno, locals_here, globals_declared)
+        elif isinstance(child, (ast.AugAssign, ast.AnnAssign)):
+            self._record_store(child.target, child.lineno, locals_here, globals_declared)
+        self._visit(child, depth, locals_here, globals_declared)
+
+
+def _literal_keyword(call: ast.Call, keyword: str) -> str | None:
+    for kw in call.keywords:
+        if kw.arg == keyword and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value
+    return None
+
+
+def _mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name is not None and name.split(".")[-1] in MUTABLE_CONSTRUCTORS
+    return False
+
+
+def summarize_module(module: ModuleInfo) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` for one parsed module."""
+    tree = module.tree
+    is_package = module.path.name == "__init__.py"
+    summary = ModuleSummary(
+        name=module.name,
+        path=module.path.as_posix(),
+        is_package=is_package,
+    )
+    aliases = _Aliases(tree)
+
+    # --- imports (module-level and nested: both feed the dep graph) ---
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                summary.import_targets.append(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            absolute = _absolute_import(node.module, node.level, module.name, is_package)
+            if absolute:
+                summary.import_targets.append(absolute)
+                # ``from pkg import sub`` may import a submodule: record
+                # the candidate; the import graph keeps it only if it
+                # names a real module.
+                for alias in node.names:
+                    if alias.name != "*":
+                        summary.import_targets.append(f"{absolute}.{alias.name}")
+    summary.import_targets = sorted(set(summary.import_targets))
+
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                summary.imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            absolute = _absolute_import(node.module, node.level, module.name, is_package)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                summary.from_imports[alias.asname or alias.name] = [absolute, alias.name]
+
+    # --- definitions -------------------------------------------------
+    def visit_defs(scope: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                fn = FunctionSummary(
+                    qualname=qualname,
+                    line=child.lineno,
+                    end_line=getattr(child, "end_lineno", child.lineno),
+                    is_public=not child.name.startswith("_"),
+                    decorators=[
+                        d for d in (
+                            dotted_name(
+                                dec.func if isinstance(dec, ast.Call) else dec
+                            )
+                            for dec in child.decorator_list
+                        ) if d
+                    ],
+                    complexity_claim=_complexity_claim(child),
+                )
+                _FunctionVisitor(fn, aliases).walk(child)
+                summary.functions[qualname] = fn
+                visit_defs(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}{child.name}"
+                cls = ClassSummary(
+                    name=qualname,
+                    line=child.lineno,
+                    bases=[b for b in (dotted_name(base) for base in child.bases) if b],
+                    methods=[
+                        sub.name
+                        for sub in child.body
+                        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    ],
+                )
+                summary.classes[qualname] = cls
+                visit_defs(child, f"{qualname}.")
+
+    visit_defs(tree, "")
+
+    # --- module scope ------------------------------------------------
+    module_scope = summary.module_scope
+    module_scope.end_line = getattr(tree, "end_lineno", 1) or 1
+    scope_visitor = _FunctionVisitor(module_scope, aliases)
+    shallow = ast.Module(
+        body=[
+            node
+            for node in tree.body
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ],
+        type_ignores=[],
+    )
+    scope_visitor.walk(shallow)
+    # Decorator applications run at import: record them as module-scope
+    # calls so registration decorators are reachable from the module node.
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for dec in node.decorator_list:
+                target = dec.func if isinstance(dec, ast.Call) else dec
+                name = dotted_name(target)
+                if name:
+                    module_scope.calls.append(CallSite(name, dec.lineno, 0))
+
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    summary.module_level_names.append(target.id)
+                    if _mutable_value(node.value):
+                        summary.mutable_globals[target.id] = node.lineno
+                    if isinstance(node.value, ast.Call):
+                        ctor = dotted_name(node.value.func)
+                        if ctor and ctor.split(".")[-1] == "ContextVar":
+                            summary.contextvars.append(
+                                ContextVarSummary(
+                                    name=target.id,
+                                    line=node.lineno,
+                                    has_default=any(
+                                        kw.arg == "default"
+                                        for kw in node.value.keywords
+                                    ),
+                                )
+                            )
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            summary.module_level_names.append(node.target.id)
+            if node.value is not None and _mutable_value(node.value):
+                summary.mutable_globals[node.target.id] = node.lineno
+            if node.value is not None and isinstance(node.value, ast.Call):
+                ctor = dotted_name(node.value.func)
+                if ctor and ctor.split(".")[-1] == "ContextVar":
+                    summary.contextvars.append(
+                        ContextVarSummary(
+                            name=node.target.id,
+                            line=node.lineno,
+                            has_default=any(
+                                kw.arg == "default" for kw in node.value.keywords
+                            ),
+                        )
+                    )
+    summary.module_level_names.extend(summary.functions)
+    summary.module_level_names.extend(
+        name for name in summary.classes if "." not in name
+    )
+    summary.module_level_names = sorted(set(summary.module_level_names))
+
+    # --- registration literals --------------------------------------
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        last = name.split(".")[-1] if name else ""
+        if last == "transform":
+            literal = _literal_keyword(node, "name")
+            if literal is not None:
+                summary.transform_registrations.append((literal, node.lineno))
+        elif last == "rule" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                summary.rule_registrations.append((first.value, node.lineno))
+        elif last == "ExperimentSpec":
+            key = None
+            if node.args and isinstance(node.args[0], ast.Constant):
+                if isinstance(node.args[0].value, str):
+                    key = node.args[0].value
+            if key is None:
+                key = _literal_keyword(node, "key")
+            refs: list[str] = []
+            candidates: list[ast.expr] = list(node.args[1:])
+            candidates.extend(kw.value for kw in node.keywords if kw.arg == "runners")
+            for arg in candidates:
+                elements = arg.elts if isinstance(arg, (ast.Tuple, ast.List)) else [arg]
+                for element in elements:
+                    ref = dotted_name(element)
+                    if ref:
+                        refs.append(ref)
+            if key is not None:
+                summary.experiment_specs.append((key, refs, node.lineno))
+        for kw in node.keywords:
+            if (
+                kw.arg == "experiment_id"
+                and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ):
+                summary.experiment_ids.append((kw.value.value, node.lineno))
+
+    return summary

@@ -1,0 +1,146 @@
+"""Project-wide symbol table: cross-module name resolution.
+
+Resolves a dotted name *as written at a call site* to the project
+function, class, or module that defines it — following import aliases,
+``from``-imports, and re-export chains through package ``__init__``
+modules. Resolution is static and sound-but-incomplete: anything
+dynamic (``getattr``, star-imports, monkey-patching) resolves to
+``None`` and simply contributes no call-graph edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .summary import ModuleSummary
+
+#: Re-export chains longer than this indicate a cycle; bail out.
+_MAX_CHASE = 32
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """The definition a name resolves to."""
+
+    kind: str  #: ``"function"`` | ``"class"`` | ``"module"``
+    module: str  #: defining module's dotted name
+    qualname: str  #: function/class qualname inside the module ("" for modules)
+
+    @property
+    def node_id(self) -> str:
+        """Stable call-graph node id, ``module:qualname``."""
+        return f"{self.module}:{self.qualname or '<module>'}"
+
+
+class SymbolTable:
+    """Name resolution over a set of :class:`ModuleSummary` objects."""
+
+    def __init__(self, summaries: dict[str, ModuleSummary]) -> None:
+        self.summaries = summaries
+        # class qualname ("module:Cls") → resolved base class ids.
+        self._base_cache: dict[str, tuple[str, ...]] = {}
+        # (class id, method name) → Resolved | None, memoized MRO walks.
+        self._method_cache: dict[tuple[str, str], Resolved | None] = {}
+
+    # ------------------------------------------------------------------
+    # module-scope exports
+    # ------------------------------------------------------------------
+    def resolve_export(self, module: str, symbol: str) -> Resolved | None:
+        """What ``module.symbol`` refers to, chasing re-exports."""
+        seen: set[tuple[str, str]] = set()
+        current_module, current_symbol = module, symbol
+        for _ in range(_MAX_CHASE):
+            key = (current_module, current_symbol)
+            if key in seen:
+                return None
+            seen.add(key)
+            summary = self.summaries.get(current_module)
+            if summary is None:
+                return None
+            if current_symbol in summary.functions:
+                return Resolved("function", current_module, current_symbol)
+            if current_symbol in summary.classes:
+                return Resolved("class", current_module, current_symbol)
+            submodule = f"{current_module}.{current_symbol}"
+            if submodule in self.summaries:
+                return Resolved("module", submodule, "")
+            if current_symbol in summary.from_imports:
+                current_module, current_symbol = summary.from_imports[current_symbol]
+                continue
+            if current_symbol in summary.imports:
+                target = summary.imports[current_symbol]
+                if target in self.summaries:
+                    return Resolved("module", target, "")
+                return None
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # class hierarchy
+    # ------------------------------------------------------------------
+    def class_bases(self, module: str, qualname: str) -> tuple[str, ...]:
+        """Resolved ``module:qualname`` ids of a class's project bases."""
+        class_id = f"{module}:{qualname}"
+        if class_id in self._base_cache:
+            return self._base_cache[class_id]
+        self._base_cache[class_id] = ()  # cycle guard
+        summary = self.summaries.get(module)
+        resolved: list[str] = []
+        if summary is not None and qualname in summary.classes:
+            for base in summary.classes[qualname].bases:
+                target = self.resolve_dotted(module, base)
+                if target is not None and target.kind == "class":
+                    resolved.append(f"{target.module}:{target.qualname}")
+        self._base_cache[class_id] = tuple(resolved)
+        return self._base_cache[class_id]
+
+    def resolve_method(self, module: str, qualname: str, method: str) -> Resolved | None:
+        """Find ``method`` on class ``module:qualname`` or its (static)
+        ancestors — the resolution used for ``self.method()`` calls."""
+        class_id = f"{module}:{qualname}"
+        key = (class_id, method)
+        if key in self._method_cache:
+            return self._method_cache[key]
+        self._method_cache[key] = None  # cycle guard
+        result: Resolved | None = None
+        summary = self.summaries.get(module)
+        if summary is not None and qualname in summary.classes:
+            if method in summary.classes[qualname].methods:
+                result = Resolved("function", module, f"{qualname}.{method}")
+            else:
+                for base_id in self.class_bases(module, qualname):
+                    base_module, base_qualname = base_id.split(":", 1)
+                    result = self.resolve_method(base_module, base_qualname, method)
+                    if result is not None:
+                        break
+        self._method_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # dotted names as written
+    # ------------------------------------------------------------------
+    def resolve_dotted(self, module: str, dotted: str) -> Resolved | None:
+        """Resolve a dotted name written in ``module``'s scope.
+
+        Handles plain local definitions (``helper``), import aliases
+        (``np.lexsort`` when numpy were in-project), from-imports
+        (``clique.find_clique``), re-exports, class constructors
+        (→ the class; callers map that to ``__init__``), and one level
+        of method access on a resolved class (``Cls.method``).
+        """
+        parts = dotted.split(".")
+        head = parts[0]
+        if head in ("self", "cls"):
+            return None  # needs an owning-class context; see resolve_method
+        current = self.resolve_export(module, head)
+        index = 1
+        while current is not None and index < len(parts):
+            part = parts[index]
+            if current.kind == "module":
+                current = self.resolve_export(current.module, part)
+            elif current.kind == "class":
+                current = self.resolve_method(current.module, current.qualname, part)
+            else:
+                return None  # attribute access on a function result
+            index += 1
+        return current

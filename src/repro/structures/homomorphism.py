@@ -87,22 +87,27 @@ def _search(
         for t in source.relation(symbol.name):
             idx = len(checks)
             checks.append((t, target_tuples))
-            for x in set(t):
+            for x in dict.fromkeys(t):
                 occurs[x].append(idx)
 
     # Assignment order: follow the Gaifman graph for early pruning.
+    # Traversal is anchored to universe positions, never raw set order:
+    # which homomorphism is found first must not depend on hash seeds.
     gaifman = source.gaifman_graph()
+    upos = {e: i for i, e in enumerate(source.universe)}
     order: list[Element] = []
     placed: set[Element] = set()
     for component in gaifman.connected_components():
-        frontier = [next(iter(component))]
+        frontier = [min(component, key=upos.__getitem__)]
         while frontier:
             e = frontier.pop()
             if e in placed:
                 continue
             placed.add(e)
             order.append(e)
-            frontier.extend(gaifman.neighbors(e) - placed)
+            frontier.extend(
+                sorted(gaifman.neighbors(e) - placed, key=upos.__getitem__)
+            )
 
     assignment: dict[Element, Element] = {}
     targets = target.universe

@@ -1,0 +1,64 @@
+"""Inline-source project builder for the semantic test suite.
+
+Unlike the per-rule fixtures (which copy named snippet files), the
+semantic tests build whole multi-module trees whose *shape* is the
+point — import chains, class hierarchies, registries — so sources are
+written inline where the assertions can see them.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_project, load_project
+from repro.analysis.semantic import semantic_analysis
+
+
+@pytest.fixture
+def semantic_project(tmp_path):
+    """Build ``<tmp>/repro/...`` from ``{relative path: source}`` and
+    return the loaded project. ``__init__.py`` chains are created
+    automatically; sources are dedented."""
+
+    def build(files: dict[str, str]):
+        root = tmp_path / "repro"
+        root.mkdir(exist_ok=True)
+        init = root / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+        for relative, source in files.items():
+            target = root / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            current = target.parent
+            while current != root:
+                chain_init = current / "__init__.py"
+                if not chain_init.exists():
+                    chain_init.write_text("")
+                current = current.parent
+            target.write_text(textwrap.dedent(source))
+        return load_project(root)
+
+    return build
+
+
+@pytest.fixture
+def analysis_for(semantic_project):
+    """Build a tree and return its :class:`SemanticAnalysis` (no disk
+    cache — each test tree is fresh)."""
+
+    def run(files: dict[str, str]):
+        return semantic_analysis(semantic_project(files))
+
+    return run
+
+
+@pytest.fixture
+def semantic_findings(semantic_project):
+    """Build a tree, run one semantic rule, and return its findings."""
+
+    def run(files: dict[str, str], rule_code: str):
+        return analyze_project(semantic_project(files), [rule_code])
+
+    return run

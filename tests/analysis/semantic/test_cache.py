@@ -1,0 +1,107 @@
+"""Incremental cache: hash-keyed summary reuse and reverse-closure
+re-analysis. These assert the ISSUE acceptance criteria directly: an
+unchanged tree re-analyzes zero modules; editing a leaf re-analyzes
+exactly the leaf plus its reverse-dependency closure."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import load_project
+from repro.analysis.semantic.cache import SemanticCache, summarize_project
+from repro.analysis.semantic.engine import SemanticAnalysis
+
+TREE = {
+    "base.py": """
+        def base_fn(x):
+            return x + 1
+    """,
+    "mid.py": """
+        from repro.base import base_fn
+
+        def mid_fn(x):
+            return base_fn(x) * 2
+    """,
+    "top.py": """
+        from repro.mid import mid_fn
+
+        def top_fn(x):
+            return mid_fn(x) - 1
+    """,
+    "unrelated.py": """
+        def lonely(x):
+            return x
+    """,
+}
+
+
+@pytest.fixture
+def tree(tmp_path):
+    root = tmp_path / "repro"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for name, source in TREE.items():
+        (root / name).write_text(textwrap.dedent(source))
+    return root
+
+
+class TestIncrementalCache:
+    def test_unchanged_tree_reanalyzes_zero_modules(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+
+        cache = SemanticCache.load(cache_path)
+        _, cold = summarize_project(load_project(tree), cache)
+        cache.save()
+        assert cold.summaries_computed == cold.modules_total == 5
+        assert cold.summaries_reused == 0
+
+        cache = SemanticCache.load(cache_path)
+        _, warm = summarize_project(load_project(tree), cache)
+        assert warm.summaries_reused == warm.modules_total == 5
+        assert warm.summaries_computed == 0
+        assert warm.reanalyzed == ()
+
+    def test_leaf_edit_reanalyzes_exactly_the_reverse_closure(
+        self, tree, tmp_path
+    ):
+        cache_path = tmp_path / "cache.json"
+        cache = SemanticCache.load(cache_path)
+        summarize_project(load_project(tree), cache)
+        cache.save()
+
+        base = tree / "base.py"
+        base.write_text(base.read_text() + "\n\ndef base_extra(x):\n    return x\n")
+
+        cache = SemanticCache.load(cache_path)
+        _, stats = summarize_project(load_project(tree), cache)
+        # Only the edited file is re-summarized...
+        assert stats.summaries_computed == 1
+        assert stats.summaries_reused == 4
+        # ...but whole-program verdicts are stale for its reverse
+        # import closure — and for nothing else.
+        assert stats.reanalyzed == ("repro.base", "repro.mid", "repro.top")
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        cache = SemanticCache.load(cache_path)
+        _, stats = summarize_project(load_project(tree), cache)
+        assert stats.summaries_computed == stats.modules_total
+        assert cache.path == cache_path
+
+    def test_cached_summaries_reproduce_the_analysis(self, tree, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cold = SemanticAnalysis.build(load_project(tree), cache_path)
+        warm = SemanticAnalysis.build(load_project(tree), cache_path)
+        assert warm.stats.reanalyzed == ()
+        # Replayed summaries drive the same graphs as fresh ones.
+        assert warm.call_graph.edges == cold.call_graph.edges
+        assert warm.import_graph == cold.import_graph
+        assert sorted(warm.taint.verdicts) == sorted(cold.taint.verdicts)
+        assert warm.claims.skeletons == cold.claims.skeletons
+
+    def test_no_cache_path_runs_cold_without_writing(self, tree):
+        analysis = SemanticAnalysis.build(load_project(tree), None)
+        assert analysis.stats.summaries_computed == analysis.stats.modules_total

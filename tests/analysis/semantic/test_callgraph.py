@@ -1,0 +1,241 @@
+"""Call-graph construction: resolution across modules, aliases,
+re-exports, class hierarchies, decorators, and recursion detection."""
+
+from __future__ import annotations
+
+
+def edges(analysis) -> set[tuple[str, str]]:
+    return {
+        (caller, callee)
+        for caller, callees in analysis.call_graph.edges.items()
+        for callee in callees
+    }
+
+
+class TestCrossModuleResolution:
+    def test_from_import_resolves_to_defining_module(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "util/helpers.py": """
+                    def helper(g):
+                        return g
+                """,
+                "graphs/solve.py": """
+                    from repro.util.helpers import helper
+
+                    def solve_all(g):
+                        return helper(g)
+                """,
+            }
+        )
+        assert (
+            "repro.graphs.solve:solve_all",
+            "repro.util.helpers:helper",
+        ) in edges(analysis)
+
+    def test_module_alias_attribute_call(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "util/helpers.py": """
+                    def helper(g):
+                        return g
+                """,
+                "graphs/solve.py": """
+                    import repro.util.helpers as h
+
+                    def solve_all(g):
+                        return h.helper(g)
+                """,
+            }
+        )
+        assert (
+            "repro.graphs.solve:solve_all",
+            "repro.util.helpers:helper",
+        ) in edges(analysis)
+
+    def test_reexport_chased_through_package_init(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "util/helpers.py": """
+                    def helper(g):
+                        return g
+                """,
+                "util/__init__.py": """
+                    from .helpers import helper
+                """,
+                "graphs/solve.py": """
+                    from repro.util import helper
+
+                    def solve_all(g):
+                        return helper(g)
+                """,
+            }
+        )
+        assert (
+            "repro.graphs.solve:solve_all",
+            "repro.util.helpers:helper",
+        ) in edges(analysis)
+
+    def test_local_name_shadows_module_function(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "graphs/solve.py": """
+                    def helper(g):
+                        return g
+
+                    def solve_all(g, helper):
+                        return helper(g)
+                """,
+            }
+        )
+        assert (
+            "repro.graphs.solve:solve_all",
+            "repro.graphs.solve:helper",
+        ) not in edges(analysis)
+
+
+class TestClassesAndDecorators:
+    def test_self_method_resolved_through_base_class(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "structures/base.py": """
+                    class Walker:
+                        def step(self):
+                            return 1
+                """,
+                "structures/derived.py": """
+                    from repro.structures.base import Walker
+
+                    class FastWalker(Walker):
+                        def run(self):
+                            return self.step()
+                """,
+            }
+        )
+        assert (
+            "repro.structures.derived:FastWalker.run",
+            "repro.structures.base:Walker.step",
+        ) in edges(analysis)
+
+    def test_constructor_call_maps_to_init(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "structures/base.py": """
+                    class Walker:
+                        def __init__(self, start):
+                            self.start = start
+                """,
+                "graphs/solve.py": """
+                    from repro.structures.base import Walker
+
+                    def solve_all(g):
+                        return Walker(g)
+                """,
+            }
+        )
+        assert (
+            "repro.graphs.solve:solve_all",
+            "repro.structures.base:Walker.__init__",
+        ) in edges(analysis)
+
+    def test_decorator_application_is_a_module_scope_call(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "transforms/registry.py": """
+                    def transform(**kwargs):
+                        def wrap(fn):
+                            return fn
+                        return wrap
+                """,
+                "reductions/fixture.py": """
+                    from repro.transforms.registry import transform
+
+                    @transform(name="a-to-b", source="a", target="b")
+                    def reduce_a(instance):
+                        return instance
+                """,
+            }
+        )
+        assert (
+            "repro.reductions.fixture:<module>",
+            "repro.transforms.registry:transform",
+        ) in edges(analysis)
+
+
+class TestRecursion:
+    def test_mutual_recursion_detected(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "graphs/solve.py": """
+                    def even(n):
+                        return n == 0 or odd(n - 1)
+
+                    def odd(n):
+                        return n != 0 and even(n - 1)
+
+                    def plain(n):
+                        return even(n)
+                """,
+            }
+        )
+        graph = analysis.call_graph
+        assert graph.is_recursive("repro.graphs.solve:even")
+        assert graph.is_recursive("repro.graphs.solve:odd")
+        assert not graph.is_recursive("repro.graphs.solve:plain")
+
+    def test_self_recursion_detected(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "graphs/solve.py": """
+                    def descend(t):
+                        return [descend(c) for c in t]
+                """,
+            }
+        )
+        assert analysis.call_graph.is_recursive("repro.graphs.solve:descend")
+
+
+class TestPoolEntryPoints:
+    def test_submit_target_recorded(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "observability/parallel.py": """
+                    def worker(item):
+                        return item
+
+                    def launch(pool, items):
+                        return [pool.submit(worker, item) for item in items]
+                """,
+            }
+        )
+        assert (
+            "repro.observability.parallel:worker"
+            in analysis.call_graph.pool_entry_points
+        )
+
+
+class TestExperimentEntryPoints:
+    def test_spec_runners_resolve_to_nodes(self, analysis_for):
+        analysis = analysis_for(
+            {
+                "experiments/exp_demo.py": """
+                    def run(spec):
+                        return {"ok": True}
+                """,
+                "experiments/__main__.py": """
+                    from . import exp_demo
+
+                    class ExperimentSpec:
+                        def __init__(self, key, runners):
+                            self.key = key
+                            self.runners = runners
+
+                    SPECS = (
+                        ExperimentSpec("E1", (exp_demo.run,)),
+                    )
+                """,
+            }
+        )
+        entries = analysis.experiment_entry_points()
+        assert entries["E1"][0] == "repro.experiments.__main__"
+        assert entries["E1"][1] == ["repro.experiments.exp_demo:run"]

@@ -1,0 +1,186 @@
+"""Complexity-claim parsing (budgets) and the REP009 skeleton check."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.semantic.claims import (
+    SKELETON_SLACK,
+    UNBOUNDED,
+    ClaimParseError,
+    parse_claim,
+)
+
+
+class TestParseClaim:
+    @pytest.mark.parametrize(
+        ("text", "budget"),
+        [
+            ("O(1)", 0.0),
+            ("O(n)", 1.0),
+            ("O(n log n)", 2.0),
+            ("O(n · m)", 2.0),
+            ("O(n²)", 2.0),
+            ("O(n^3)", 3.0),
+            ("O(m^{3/2})", 2.0),
+            ("O(n^ω)", 3.0),
+            ("O(|V| + |E|)", 1.0),
+            ("O(‖F‖)", 2.0),
+            ("O((|L| + |R|) log |R|)", 2.0),
+        ],
+    )
+    def test_finite_budgets(self, text, budget):
+        claim = parse_claim(text)
+        assert claim.bounded
+        assert claim.budget == budget
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "O(n^k · k²)",  # symbolic exponent: parameterized blow-up
+            "O(2^n · ‖F‖)",  # exponential base
+            "O(k!)",  # factorial
+            "exponential worst case",  # prose escape hatch
+            "O(n) delay per answer",  # output-sensitive: depth-exempt
+            "O(n²) amortized",  # amortized: depth-exempt
+        ],
+    )
+    def test_unbounded_budgets(self, text):
+        claim = parse_claim(text)
+        assert not claim.bounded
+        assert claim.budget == UNBOUNDED
+
+    def test_sum_takes_max_product_takes_sum(self):
+        assert parse_claim("O(n·m + log n)").budget == 2.0
+        assert parse_claim("O(n + n·m·k)").budget == 3.0
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "roughly quadratic, probably",  # no O(...), no escape
+            "O(n",  # unbalanced
+            "O()",  # empty body
+        ],
+    )
+    def test_rejects_off_grammar_claims(self, text):
+        with pytest.raises(ClaimParseError):
+            parse_claim(text)
+
+    def test_claim_error_is_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(ClaimParseError, ReproError)
+
+
+SOLVER_TEMPLATE = '''
+def solve_fixture(items):
+    """Demo solver.
+
+    Complexity: {claim}
+    """
+{body}
+'''
+
+TRIPLE_LOOP = """\
+    out = []
+    for a in items:
+        for b in items:
+            for c in items:
+                out.append((a, b, c))
+    return out
+"""
+
+
+class TestRep009:
+    def test_gross_mismatch_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "sat/fixture.py": SOLVER_TEMPLATE.format(
+                    claim="O(n)", body=TRIPLE_LOOP
+                )
+            },
+            "REP009",
+        )
+        assert [f.code for f in findings] == ["REP009"]
+        assert "skeleton" in findings[0].message
+        assert findings[0].context == "solve_fixture"
+
+    def test_matching_claim_passes(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "sat/fixture.py": SOLVER_TEMPLATE.format(
+                    claim="O(n^3)", body=TRIPLE_LOOP
+                )
+            },
+            "REP009",
+        )
+        assert findings == []
+
+    def test_one_level_slack_absorbs_partition_iteration(self, semantic_findings):
+        source = SOLVER_TEMPLATE.format(
+            claim="O(n)",
+            body=(
+                "    for comp in items:\n"
+                "        for v in comp:\n"
+                "            print(v)\n"
+            ),
+        )
+        assert math.isfinite(SKELETON_SLACK)
+        findings = semantic_findings({"sat/fixture.py": source}, "REP009")
+        assert findings == []
+
+    def test_unparseable_claim_is_its_own_finding(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "sat/fixture.py": SOLVER_TEMPLATE.format(
+                    claim="pretty fast in practice", body="    return items\n"
+                )
+            },
+            "REP009",
+        )
+        assert [f.code for f in findings] == ["REP009"]
+        assert "does not parse" in findings[0].message
+
+    def test_callee_budget_charged_at_call_site_depth(self, semantic_findings):
+        files = {
+            "sat/inner.py": SOLVER_TEMPLATE.format(
+                claim="O(n²)",
+                body=(
+                    "    for a in items:\n"
+                    "        for b in items:\n"
+                    "            print(a, b)\n"
+                ),
+            ),
+            "sat/outer.py": '''
+                from repro.sat.inner import solve_fixture
+
+                def solve_outer(groups):
+                    """Calls a quadratic helper once per group.
+
+                    Complexity: O(n)
+                    """
+                    for group in groups:
+                        solve_fixture(group)
+                ''',
+        }
+        findings = semantic_findings(files, "REP009")
+        assert [f.context for f in findings] == ["solve_outer"]
+        # depth 1 (the loop) + callee budget 2 = 3 > budget 1 + slack 1
+        assert "skeleton reaches depth 3" in findings[0].message
+
+    def test_recursive_functions_exempt(self, semantic_findings):
+        source = '''
+            def solve_tree(node):
+                """Recursive descent; depth is not nesting.
+
+                Complexity: O(n)
+                """
+                for child in node.children:
+                    for grandchild in child.children:
+                        for great in grandchild.children:
+                            solve_tree(great)
+            '''
+        findings = semantic_findings({"sat/fixture.py": source}, "REP009")
+        assert findings == []

@@ -1,0 +1,163 @@
+"""REP010: pool-worker global mutation, ContextVar defaults, ad-hoc caches."""
+
+from __future__ import annotations
+
+POOL_MODULE = """
+    RESULTS = {}
+
+    def worker(item):
+        RESULTS[item] = item * 2
+        return item
+
+    def launch(pool, items):
+        return [pool.submit(worker, item) for item in items]
+"""
+
+
+class TestPoolGlobalMutation:
+    def test_worker_mutating_module_global_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {"observability/parallel.py": POOL_MODULE}, "REP010"
+        )
+        assert [f.code for f in findings] == ["REP010"]
+        assert "pool workers" in findings[0].message
+        assert "RESULTS" in findings[0].message
+        assert findings[0].context == "worker"
+
+    def test_mutation_reached_through_helper_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "observability/parallel.py": """
+                    SEEN = {}
+
+                    def record(item):
+                        SEEN[item] = True
+
+                    def worker(item):
+                        record(item)
+                        return item
+
+                    def launch(pool, items):
+                        return [pool.submit(worker, item) for item in items]
+                """,
+            },
+            "REP010",
+        )
+        assert [f.context for f in findings] == ["record"]
+
+    def test_same_mutation_without_pool_is_not_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "observability/serial.py": """
+                    RESULTS = {}
+
+                    def worker(item):
+                        RESULTS[item] = item * 2
+                        return item
+                """,
+            },
+            "REP010",
+        )
+        assert findings == []
+
+
+CONTEXTVAR_DEF = """
+    from contextvars import ContextVar
+
+    CURRENT = ContextVar("current")
+"""
+
+CONTEXTVAR_DEF_WITH_DEFAULT = """
+    from contextvars import ContextVar
+
+    CURRENT = ContextVar("current", default=None)
+"""
+
+
+class TestContextVars:
+    def test_get_without_set_or_default_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "observability/state.py": CONTEXTVAR_DEF,
+                "observability/reader.py": """
+                    from repro.observability.state import CURRENT
+
+                    def active():
+                        return CURRENT.get()
+                """,
+            },
+            "REP010",
+        )
+        assert [f.code for f in findings] == ["REP010"]
+        assert "LookupError" in findings[0].message
+        assert findings[0].context == "active"
+
+    def test_default_silences_the_finding(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "observability/state.py": CONTEXTVAR_DEF_WITH_DEFAULT,
+                "observability/reader.py": """
+                    from repro.observability.state import CURRENT
+
+                    def active():
+                        return CURRENT.get()
+                """,
+            },
+            "REP010",
+        )
+        assert findings == []
+
+    def test_a_set_anywhere_silences_the_finding(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "observability/state.py": CONTEXTVAR_DEF,
+                "observability/reader.py": """
+                    from repro.observability.state import CURRENT
+
+                    def active():
+                        return CURRENT.get()
+                """,
+                "observability/writer.py": """
+                    from repro.observability.state import CURRENT
+
+                    def activate(run):
+                        CURRENT.set(run)
+                """,
+            },
+            "REP010",
+        )
+        assert findings == []
+
+
+class TestAdHocCaches:
+    def test_module_cache_mutation_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "relational/memo.py": """
+                    _PLAN_CACHE = {}
+
+                    def plan(query):
+                        if query not in _PLAN_CACHE:
+                            _PLAN_CACHE[query] = len(query)
+                        return _PLAN_CACHE[query]
+                """,
+            },
+            "REP010",
+        )
+        assert [f.code for f in findings] == ["REP010"]
+        assert "KernelState" in findings[0].message
+        assert "_PLAN_CACHE" in findings[0].message
+
+    def test_non_cache_named_global_is_not_a_cache_finding(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "relational/registry_table.py": """
+                    _TABLE = {}
+
+                    def register(name, value):
+                        _TABLE[name] = value
+                """,
+            },
+            "REP010",
+        )
+        assert findings == []

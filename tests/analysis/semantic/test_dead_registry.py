@@ -1,0 +1,137 @@
+"""REP011: registered must mean reachable from the registry's loader."""
+
+from __future__ import annotations
+
+TRANSFORM_MODULE = """
+    from repro.transforms.registry import transform
+
+    @transform(name="a-to-b", source="a", target="b")
+    def reduce_a(instance):
+        return instance
+"""
+
+REGISTRY_STUB = """
+    def transform(**kwargs):
+        def wrap(fn):
+            return fn
+        return wrap
+"""
+
+
+class TestTransforms:
+    def test_unreachable_registration_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "transforms/registry.py": REGISTRY_STUB,
+                "reductions/extra.py": TRANSFORM_MODULE,
+            },
+            "REP011",
+        )
+        flagged = [f for f in findings if f.context == "transform:a-to-b"]
+        assert len(flagged) == 1
+        assert "never runs" in flagged[0].message
+
+    def test_loader_import_makes_it_live(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "transforms/registry.py": REGISTRY_STUB,
+                "transforms/__init__.py": """
+                    from ..reductions import extra
+                """,
+                "reductions/extra.py": TRANSFORM_MODULE,
+            },
+            "REP011",
+        )
+        assert [f for f in findings if f.context == "transform:a-to-b"] == []
+
+    def test_function_local_import_counts(self, semantic_findings):
+        # The real loader imports lazily inside load_builtin_transforms().
+        findings = semantic_findings(
+            {
+                "transforms/registry.py": REGISTRY_STUB,
+                "transforms/__init__.py": """
+                    def load_builtin_transforms():
+                        from ..reductions import extra
+                        return [extra]
+                """,
+                "reductions/extra.py": TRANSFORM_MODULE,
+            },
+            "REP011",
+        )
+        assert [f for f in findings if f.context == "transform:a-to-b"] == []
+
+
+SPEC_MAIN = """
+    from . import exp_demo
+
+    class ExperimentSpec:
+        def __init__(self, key, runners):
+            self.key = key
+            self.runners = runners
+
+    SPECS = (
+        ExperimentSpec("E1", (exp_demo.run,)),
+        ExperimentSpec("E2", (exp_demo.missing,)),
+    )
+"""
+
+
+class TestExperiments:
+    def test_unresolvable_runner_and_orphan_module_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "experiments/__main__.py": SPEC_MAIN,
+                "experiments/exp_demo.py": """
+                    def run(spec):
+                        return {}
+                """,
+                "experiments/exp_orphan.py": """
+                    def run(spec):
+                        return {}
+                """,
+            },
+            "REP011",
+        )
+        contexts = sorted(f.context for f in findings)
+        assert contexts == [
+            "experiment:E2",
+            "module:repro.experiments.exp_orphan",
+        ]
+        messages = " ".join(f.message for f in findings)
+        assert "does not resolve" in messages
+        assert "not imported by the experiments CLI" in messages
+
+
+BOUNDS_MODULE = """
+    class LowerBound:
+        def __init__(self, **kwargs):
+            self.__dict__.update(kwargs)
+
+    _BOUNDS = (
+        LowerBound(key="lb.live", statement="s", experiment="E1-demo"),
+        LowerBound(key="lb.dead", statement="s"),
+    )
+"""
+
+
+class TestBounds:
+    def test_witnessless_uncited_bound_is_a_warning(self, semantic_findings):
+        from repro.analysis.report import Severity
+
+        findings = semantic_findings(
+            {"complexity/bounds.py": BOUNDS_MODULE}, "REP011"
+        )
+        assert [f.context for f in findings] == ["bound:lb.dead"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_citation_elsewhere_keeps_the_bound_alive(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "complexity/bounds.py": BOUNDS_MODULE,
+                "docs_tables.py": """
+                    CITED = ("lb.dead",)
+                """,
+            },
+            "REP011",
+        )
+        assert findings == []

@@ -1,0 +1,216 @@
+"""REP008: transitive determinism taint over the call graph."""
+
+from __future__ import annotations
+
+
+class TestSolverEntryPoints:
+    def test_direct_rng_call_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "graphs/solve.py": """
+                    import random
+
+                    def solve_all(g):
+                        random.shuffle(g)
+                        return g
+                """,
+            },
+            "REP008",
+        )
+        assert [f.code for f in findings] == ["REP008"]
+        assert "rng" in findings[0].message
+        assert findings[0].context == "solve_all"
+
+    def test_transitive_taint_carries_witness_chain(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "util/jitter.py": """
+                    import random
+
+                    def jitter(xs):
+                        random.shuffle(xs)
+                        return xs
+                """,
+                "graphs/solve.py": """
+                    from repro.util.jitter import jitter
+
+                    def solve_all(g):
+                        return jitter(g)
+                """,
+            },
+            "REP008",
+        )
+        # Only the solver entry point is flagged (jitter lives outside
+        # the algorithm subpackages) and the witness names the source.
+        assert [f.context for f in findings] == ["solve_all"]
+        assert "->" in findings[0].message
+        assert "jitter" in findings[0].message
+
+    def test_set_order_iteration_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "graphs/solve.py": """
+                    def solve_all(edges):
+                        out = []
+                        for v in set(edges):
+                            out.append(v)
+                        return out
+                """,
+            },
+            "REP008",
+        )
+        assert [f.code for f in findings] == ["REP008"]
+        assert "set-order" in findings[0].message
+
+    def test_seeded_local_rng_is_clean(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "graphs/solve.py": """
+                    import random
+
+                    def solve_all(g, seed):
+                        rng = random.Random(seed)
+                        order = sorted(g)
+                        rng.shuffle(order)
+                        return order
+                """,
+            },
+            "REP008",
+        )
+        assert findings == []
+
+    def test_private_helpers_are_not_entry_points(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "graphs/solve.py": """
+                    import random
+
+                    def _unused_helper(g):
+                        random.shuffle(g)
+                        return g
+                """,
+            },
+            "REP008",
+        )
+        assert findings == []
+
+
+class TestTimingBarriers:
+    def test_sanctioned_module_absorbs_wall_clock(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "observability/tracing.py": """
+                    import time
+
+                    def span_start():
+                        return time.perf_counter()
+                """,
+                "graphs/solve.py": """
+                    from repro.observability.tracing import span_start
+
+                    def solve_all(g):
+                        span_start()
+                        return sorted(g)
+                """,
+            },
+            "REP008",
+        )
+        assert findings == []
+
+    def test_unsanctioned_wall_clock_still_flagged(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "util/clock.py": """
+                    import time
+
+                    def stamp():
+                        return time.perf_counter()
+                """,
+                "graphs/solve.py": """
+                    from repro.util.clock import stamp
+
+                    def solve_all(g):
+                        stamp()
+                        return sorted(g)
+                """,
+            },
+            "REP008",
+        )
+        assert [f.context for f in findings] == ["solve_all"]
+        assert "wall-clock" in findings[0].message
+
+    def test_barrier_does_not_launder_rng(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "observability/tracing.py": """
+                    import random
+
+                    def span_id():
+                        return random.random()
+                """,
+                "graphs/solve.py": """
+                    from repro.observability.tracing import span_id
+
+                    def solve_all(g):
+                        span_id()
+                        return sorted(g)
+                """,
+            },
+            "REP008",
+        )
+        assert [f.context for f in findings] == ["solve_all"]
+        assert "rng" in findings[0].message
+
+
+class TestExperimentRunners:
+    def test_tainted_runner_flagged_with_experiment_key(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "experiments/exp_demo.py": """
+                    import random
+
+                    def run(spec):
+                        return {"noise": random.random()}
+                """,
+                "experiments/__main__.py": """
+                    from . import exp_demo
+
+                    class ExperimentSpec:
+                        def __init__(self, key, runners):
+                            self.key = key
+                            self.runners = runners
+
+                    SPECS = (
+                        ExperimentSpec("E1", (exp_demo.run,)),
+                    )
+                """,
+            },
+            "REP008",
+        )
+        assert [f.code for f in findings] == ["REP008"]
+        assert "experiment E1 runner" in findings[0].message
+        assert findings[0].context == "run"
+
+    def test_clean_runner_passes(self, semantic_findings):
+        findings = semantic_findings(
+            {
+                "experiments/exp_demo.py": """
+                    def run(spec):
+                        return {"value": len(spec)}
+                """,
+                "experiments/__main__.py": """
+                    from . import exp_demo
+
+                    class ExperimentSpec:
+                        def __init__(self, key, runners):
+                            self.key = key
+                            self.runners = runners
+
+                    SPECS = (
+                        ExperimentSpec("E1", (exp_demo.run,)),
+                    )
+                """,
+            },
+            "REP008",
+        )
+        assert findings == []

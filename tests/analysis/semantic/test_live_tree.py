@@ -1,0 +1,62 @@
+"""The semantic acceptance criteria, asserted against the live tree:
+REP008–REP011 are clean, every E1–E20 runner resolves and is
+deterministic, and ≥90% of Complexity: claims parse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_project, load_project
+from repro.analysis.rules import SEMANTIC_RULES
+from repro.analysis.semantic import semantic_analysis
+
+
+@pytest.fixture(scope="module")
+def live():
+    project = load_project()
+    return project, semantic_analysis(project)
+
+
+class TestLiveTree:
+    def test_semantic_rules_clean(self, live):
+        project, _ = live
+        findings = analyze_project(project, list(SEMANTIC_RULES))
+        locations = [f"{f.location} {f.message}" for f in findings]
+        assert findings == [], "\n".join(locations)
+
+    def test_all_twenty_experiment_entry_points_resolve_and_are_clean(
+        self, live
+    ):
+        _, analysis = live
+        entries = analysis.experiment_entry_points()
+        assert sorted(entries) == sorted(f"E{i}" for i in range(1, 21))
+        for key, (_module, runners) in sorted(entries.items()):
+            assert runners, f"{key} has no resolvable runner"
+            for node_id in runners:
+                assert not analysis.taint.is_tainted(node_id), (
+                    f"{key} runner {node_id}: "
+                    f"{analysis.taint.describe(node_id)}"
+                )
+
+    def test_complexity_claims_parse_ratio(self, live):
+        _, analysis = live
+        assert analysis.claims.failures == {}
+        assert len(analysis.claims.parsed) >= 40
+        assert analysis.claims.parse_ratio >= 0.90  # the ISSUE floor
+
+    def test_pool_runner_is_the_only_pool_entry_family(self, live):
+        _, analysis = live
+        assert analysis.call_graph.pool_entry_points
+        for node_id in analysis.call_graph.pool_entry_points:
+            assert node_id.startswith("repro.observability.")
+
+    def test_graph_payload_is_json_ready(self, live):
+        import json
+
+        from repro.analysis.semantic.engine import graph_payload
+
+        _, analysis = live
+        payload = json.loads(json.dumps(graph_payload(analysis)))
+        assert payload["modules"]
+        assert payload["cache"]["modules_total"] == len(payload["modules"])
+        assert payload["claim_failures"] == {}

@@ -117,3 +117,61 @@ class TestCli:
         # without the baseline the same tree fails again
         assert main(["--root", str(root), "--no-baseline"]) == 1
         capsys.readouterr()
+
+
+class TestSemanticCli:
+    def test_semantic_flag_runs_only_semantic_rules(self, capsys):
+        assert main(["--semantic", "--no-semantic-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "rules: REP008, REP009, REP010, REP011" in out
+
+    def test_graph_dump_is_json(self, capsys):
+        assert main(["--graph", "--no-semantic-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "call_graph" in payload
+        assert "taint" in payload
+        assert "import_graph" in payload
+        assert payload["claim_failures"] == {}
+
+    def test_sarif_format_matches_file_output(self, tmp_path, capsys):
+        target = tmp_path / "lint.sarif"
+        args = ["--format", "sarif", "--sarif", str(target), "--no-semantic-cache"]
+        assert main(args) == 0
+        printed = json.loads(capsys.readouterr().out)
+        on_disk = json.loads(target.read_text())
+        assert printed == on_disk
+        assert on_disk["version"] == "2.1.0"
+        run = on_disk["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["tool"]["driver"]["rules"]) == 11
+        # clean tree: baselined findings are deliberately omitted
+        assert run["results"] == []
+
+    def test_sarif_results_carry_fingerprints(self, tmp_path, capsys):
+        root = tmp_path / "repro"
+        shutil.copytree(PACKAGE_ROOT, root, ignore=shutil.ignore_patterns("__pycache__"))
+        bad = root / "reductions" / "freshly_broken.py"
+        bad.write_text(FIXTURES.joinpath("rep001_fail.py").read_text())
+        target = tmp_path / "lint.sarif"
+        args = [
+            "--root", str(root),
+            "--format", "sarif",
+            "--sarif", str(target),
+            "--no-semantic-cache",
+        ]
+        assert main(args) == 1
+        capsys.readouterr()
+        results = json.loads(target.read_text())["runs"][0]["results"]
+        assert results
+        for result in results:
+            assert result["partialFingerprints"]["reproLintFingerprint/v1"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+
+    def test_warm_cache_reanalyzes_nothing(self, tmp_path, capsys):
+        cache = tmp_path / "semantic-cache.json"
+        assert main(["--semantic-cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["--semantic-cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 0 module(s) re-analyzed" in out

@@ -14,7 +14,7 @@ def codes(findings):
 
 
 class TestRegistry:
-    def test_seven_families_registered(self):
+    def test_eleven_families_registered(self):
         assert [r.code for r in all_rules()] == [
             "REP001",
             "REP002",
@@ -23,6 +23,10 @@ class TestRegistry:
             "REP005",
             "REP006",
             "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
+            "REP011",
         ]
 
     def test_unknown_rule_rejected(self):
