@@ -53,8 +53,8 @@ def main() -> None:
             enumerate_nested_loop(q3, dangling_database(n), c_naive), c_naive
         )
         print(
-            f"N = {n:>4}: acyclic max inter-answer delay = {max(fast[1:])}, "
-            f"naive = {max(naive[1:])}"
+            f"N = {n:>4}: acyclic max inter-answer delay = {fast.max_delay} "
+            f"(setup {fast.setup} ops), naive = {naive.max_delay}"
         )
     print("the reduced enumerator's delay is data-independent — [13]'s guarantee.")
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from .derivations import Derivation, axiom, derived
 from .hypotheses import (
+    BMM_CONJECTURE,
     ETH,
     FPT_NEQ_W1,
     HYPERCLIQUE_CONJECTURE,
@@ -296,6 +297,42 @@ _BOUNDS: tuple[LowerBound, ...] = (
             "is about; nothing to derive"
         ),
         experiment="E11-triangle",
+    ),
+    LowerBound(
+        key="factorized-size",
+        problem="factorized (d-)representation of join-query answers",
+        ruled_out="o(N) d-representation size for free-connex acyclic "
+        "queries — the linear size the factorized engine achieves is "
+        "worst-case optimal (Berkholz's tight bound)",
+        hypothesis=UNCONDITIONAL.key,
+        paper_ref="§4–§5 size-bound context; Berkholz, Factorised "
+        "Representations of Join Queries (PAPERS.md)",
+        reduction_module="repro.relational.factorized",
+        derivation=axiom(
+            "information-theoretic: a d-representation must distinguish "
+            "the N sub-answers a single relation can contribute, so Ω(N) "
+            "nodes are necessary; tightness is witnessed constructively "
+            "by the E21 build (linear nodes, quadratic flat answers)"
+        ),
+        experiment="E21-factorized",
+    ),
+    LowerBound(
+        key="enum-delay-dichotomy",
+        problem="constant-delay enumeration of acyclic join queries "
+        "with projections",
+        ruled_out="constant delay after linear preprocessing for "
+        "acyclic but non-free-connex queries",
+        hypothesis=BMM_CONJECTURE.key,
+        paper_ref="§8 ([13] Bagan–Durand–Grandjean, [16] Berkholz et al.)",
+        reduction_module="repro.reductions.bmm_to_enumeration",
+        derivation=derived(
+            BMM_CONJECTURE.key,
+            "bmm→star-enumeration",
+            note="constant-delay enumeration of π_{l0,l1}(R1(c,l0) ⋈ "
+            "R2(c,l1)) after linear preprocessing would emit every "
+            "nonzero entry of A·B in O(n^2 + out) time",
+        ),
+        experiment="E21-factorized",
     ),
 )
 

@@ -109,6 +109,19 @@ OV_CONJECTURE = Hypothesis(
     plausibility="standard",
 )
 
+BMM_CONJECTURE = Hypothesis(
+    key="bmm",
+    name="combinatorial BMM conjecture",
+    statement="No combinatorial algorithm multiplies two Boolean n×n "
+    "matrices in time O(n^{3−ε}) for any ε > 0; in particular the "
+    "product is not computable in O(n^2) time. The assumption behind "
+    "the Bagan–Durand–Grandjean enumeration dichotomy: constant-delay "
+    "enumeration of acyclic but non-free-connex queries after linear "
+    "preprocessing would compute A·B in O(n^2 + out).",
+    paper_section="§8 (enumeration context, [13, 16])",
+    plausibility="conjecture",
+)
+
 TRIANGLE_CONJECTURE = Hypothesis(
     key="triangle",
     name="Strong Triangle Conjecture",
@@ -128,6 +141,7 @@ _REGISTRY: dict[str, Hypothesis] = {
         SETH,
         KCLIQUE_CONJECTURE,
         HYPERCLIQUE_CONJECTURE,
+        BMM_CONJECTURE,
         TRIANGLE_CONJECTURE,
         OV_CONJECTURE,
     )

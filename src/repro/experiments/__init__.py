@@ -20,6 +20,7 @@ from . import exp_clique_csp
 from . import exp_treewidth_opt
 from . import exp_domset
 from . import exp_enumeration
+from . import exp_factorized
 from . import exp_finegrained
 from . import exp_hom_counting
 from . import exp_kclique_mm
@@ -35,6 +36,7 @@ __all__ = [
     "exp_clique_csp",
     "exp_domset",
     "exp_enumeration",
+    "exp_factorized",
     "exp_finegrained",
     "exp_freuder",
     "exp_hom_counting",

@@ -58,6 +58,7 @@ from . import (
     exp_clique_csp,
     exp_domset,
     exp_enumeration,
+    exp_factorized,
     exp_finegrained,
     exp_freuder,
     exp_hom_counting,
@@ -99,6 +100,7 @@ SPECS: dict[str, ExperimentSpec] = {
         ExperimentSpec("E18", (exp_finegrained.run,)),
         ExperimentSpec("E19", (exp_kernels.run,)),
         ExperimentSpec("E20", (exp_transforms.run,)),
+        ExperimentSpec("E21", (exp_factorized.run,)),
     )
 }
 

@@ -74,20 +74,22 @@ def run(
             acyclic = measure_delays(
                 enumerate_acyclic(query, database, acyclic_counter), acyclic_counter
             )
-        assert len(naive) == len(acyclic)
-        # First gap includes preprocessing; the delay claim is about
-        # the gaps between consecutive answers.
-        naive_max = max(naive[1:], default=0)
-        acyclic_max = max(acyclic[1:], default=0)
+        assert naive.answers == acyclic.answers
+        # Setup (preprocessing before the first answer) is profiled
+        # separately; max_delay covers inter-answer gaps *and* the
+        # exhaustion tail after the last answer, so neither end of the
+        # run can hide data-dependent work.
+        naive_max = naive.max_delay
+        acyclic_max = acyclic.max_delay
         ns.append(n)
         naive_delays.append(max(naive_max, 1))
         acyclic_delays.append(max(acyclic_max, 1))
         result.add_row(
             N=n,
-            answers=len(acyclic),
+            answers=acyclic.answers,
             naive_max_delay=naive_max,
             acyclic_max_delay=acyclic_max,
-            acyclic_preprocessing=acyclic[0] if acyclic else 0,
+            acyclic_preprocessing=acyclic.setup,
         )
     result.findings["naive_delay_exponent"] = fit_exponent(ns, naive_delays)
     result.findings["acyclic_delay_exponent"] = fit_exponent(ns, acyclic_delays)

@@ -15,6 +15,7 @@ replayed mechanically — see :mod:`repro.transforms`.
 """
 
 from .base import Certificate, CertifiedReduction
+from .bmm_to_enumeration import bmm_graph_to_star_query
 from .sat_to_csp import sat_to_csp
 from .sat_to_coloring import (
     ColoringInstance,
@@ -40,6 +41,7 @@ __all__ = [
     "Certificate",
     "CertifiedReduction",
     "ColoringInstance",
+    "bmm_graph_to_star_query",
     "clique_to_csp",
     "coloring_as_csp",
     "coloring_to_csp",

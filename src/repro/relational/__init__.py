@@ -16,10 +16,13 @@ from .database import Database
 from .query import Atom, JoinQuery
 from .algebra import project, select_equal, semijoin
 from .enumeration import (
+    DelayProfile,
     enumerate_acyclic,
     enumerate_nested_loop,
     measure_delays,
 )
+from .factorized import FactorizedResult, factorize, is_free_connex
+from .factorized import evaluate as evaluate_factorized
 from .joins import JoinPlanResult, evaluate_left_deep, hash_join
 from .minimize import canonical_structure, minimize_query
 from .kernels import BACKENDS, KernelState
@@ -34,6 +37,8 @@ __all__ = [
     "BACKENDS",
     "Database",
     "KernelState",
+    "DelayProfile",
+    "FactorizedResult",
     "JoinPlanResult",
     "JoinQuery",
     "Relation",
@@ -43,9 +48,12 @@ __all__ = [
     "count_answers",
     "enumerate_acyclic",
     "enumerate_nested_loop",
+    "evaluate_factorized",
     "evaluate_left_deep",
+    "factorize",
     "generic_join",
     "hash_join",
+    "is_free_connex",
     "measure_delays",
     "minimize_query",
     "plan_by_agm",

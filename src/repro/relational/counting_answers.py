@@ -1,36 +1,46 @@
 """Counting join-query answers without materializing them (§2.1).
 
 The counting version of the evaluation problem the paper defines
-alongside decision and full enumeration. Implemented by translating to
-CSP and running the counting DP over a tree decomposition of the query
-hypergraph's primal graph — polynomial in the data for every
-bounded-treewidth query, even when the answer itself is huge.
+alongside decision and full enumeration. α-acyclic queries route
+through the factorized d-representation
+(:mod:`~repro.relational.factorized`): counting is a sum/product sweep
+over a linear-size DAG, no answer tuple ever exists. Everything else
+translates to CSP and runs the counting DP over a tree decomposition
+of the query hypergraph's primal graph — polynomial in the data for
+every bounded-treewidth query, even when the answer itself is huge.
 """
 
 from __future__ import annotations
 
 from ..counting import CostCounter
 from ..csp.treewidth_dp import count_with_treewidth
+from ..hypergraph.acyclicity import is_alpha_acyclic
 from ..reductions.query_to_csp import query_to_csp
 from .database import Database
+from .factorized import factorize
 from .query import JoinQuery
 
 
 def count_answers(
     query: JoinQuery, database: Database, counter: CostCounter | None = None
 ) -> int:
-    """|Q(D)| via the counting DP; never materializes the answer.
+    """|Q(D)| via the factorized DAG or the counting DP; never materializes.
 
-    Cost is O(|A| · N^{w+1}) for primal treewidth w of the query —
-    compare with the answer itself, which can be N^{ρ*} tuples
-    (Theorem 3.2): for e.g. long path queries, counting is exponentially
-    cheaper than enumeration.
+    For α-acyclic queries (the full query is free-connex exactly when
+    it is α-acyclic) the count is read off a factorized
+    d-representation in one sweep. Cyclic queries pay the counting DP:
+    O(|A| · N^{w+1}) for primal treewidth w — compare with the answer
+    itself, which can be N^{ρ*} tuples (Theorem 3.2): for e.g. long
+    path queries, counting is exponentially cheaper than enumeration.
 
     Complexity: O(|A| · N^{w+1}) for primal treewidth w of the query —
-        exponentially cheaper than the N^{ρ*} answer when w < ρ*.
+        exponentially cheaper than the N^{ρ*} answer when w < ρ*;
+        O(‖D‖ · |A|) on the α-acyclic fast path.
     """
     query.validate_against(database)
     if database.max_relation_size() == 0:
         return 0
+    if is_alpha_acyclic(query.hypergraph()):
+        return factorize(query, database, counter=counter).count()
     reduction = query_to_csp(query, database)
     return count_with_treewidth(reduction.target, counter=counter)

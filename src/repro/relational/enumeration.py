@@ -11,24 +11,35 @@ for some queries). This module implements the positive side for
   consecutive answers is O(query size), independent of the data;
 * :func:`enumerate_nested_loop` — the naive baseline whose dead ends
   make the worst-case delay grow with the data;
-* :func:`measure_delays` — operation-count gaps between consecutive
-  answers, the quantity the lower bounds constrain.
+* :func:`measure_delays` — a :class:`DelayProfile` of operation-count
+  gaps: setup before the first answer, gaps between consecutive
+  answers, and exhaustion after the last, the quantities the lower
+  bounds constrain.
 
-Both enumerators yield answer tuples in the query's attribute order.
+Both enumerators yield answer tuples in the query's attribute order;
+``enumerate_acyclic`` additionally accepts a ``free`` projection, which
+is legal exactly for *free-connex* acyclic queries (the Bagan–Durand–
+Grandjean dichotomy) and is served from a factorized d-representation
+(:mod:`~repro.relational.factorized`); non-free-connex projections
+raise :class:`~repro.errors.SchemaError` so callers fall back
+explicitly — silently enumerating them used to risk duplicate answers
+and data-dependent delay.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
 
 from ..counting import CostCounter, charge
 from ..errors import SchemaError
 from ..hypergraph.acyclicity import is_alpha_acyclic, join_tree
-from . import kernels
-from .algebra import semijoin
 from .database import Database
+from .factorized import factorize, is_free_connex
 from .query import JoinQuery
-from .relation import Relation, Value
+from .relation import Value
+from . import kernels
+from .yannakakis import backend_relations, semijoin_reduce, tree_links
 
 
 def enumerate_nested_loop(
@@ -69,7 +80,10 @@ def enumerate_nested_loop(
 
 
 def enumerate_acyclic(
-    query: JoinQuery, database: Database, counter: CostCounter | None = None
+    query: JoinQuery,
+    database: Database,
+    counter: CostCounter | None = None,
+    free: Sequence[str] | None = None,
 ) -> Iterator[tuple[Value, ...]]:
     """Backtrack-free enumeration for α-acyclic queries.
 
@@ -80,70 +94,72 @@ def enumerate_acyclic(
     answer, so the DFS never retreats: the operation-count gap between
     consecutive yields is O(#atoms · arity), independent of N.
 
+    Parameters
+    ----------
+    free:
+        Optional projection attributes. Legal exactly when the query
+        with these free variables is free-connex acyclic; the answers
+        are then served from a factorized d-representation with the
+        same constant-delay guarantee.
+
     Raises
     ------
     SchemaError
-        If the query is not α-acyclic.
+        If the query is not α-acyclic, or ``free`` is a projection the
+        free-connex dichotomy rules out (callers should fall back to
+        materialization, e.g. via ``factorized.evaluate``).
 
     Complexity: O(‖D‖) preprocessing (Yannakakis semi-joins), then
         O(|Q| · ‖D‖) delay per answer, independent of the answer count.
     """
+    if free is not None and tuple(free) != query.attributes:
+        if not is_free_connex(query, free):
+            raise SchemaError(
+                "projected enumeration requires a free-connex acyclic "
+                "query; this instance falls on the hard side of the "
+                "dichotomy — materialize via factorized.evaluate instead"
+            )
+        yield from factorize(query, database, free=free, counter=counter).enumerate(
+            counter
+        )
+        return
+
     query.validate_against(database)
     hypergraph = query.hypergraph()
     if not is_alpha_acyclic(hypergraph):
         raise SchemaError("constant-delay enumeration requires an alpha-acyclic query")
 
     columnar = database.backend == "columnar"
-    if columnar:
-        state = database.kernels
-        relations = [
-            kernels.atom_view(
-                state, database.relation(atom.relation_name), atom.attributes
-            )
-            for atom in query.atoms
-        ]
-        semi = kernels.semijoin
-    else:
-        relations = [query.bound_relation(atom, database) for atom in query.atoms]
-        semi = semijoin
+    relations, semi, __ = backend_relations(query, database)
     links = join_tree(hypergraph)
-    children: dict[int, list[int]] = {i: [] for i in range(len(relations))}
-    parent: dict[int, int] = {}
-    for child, par in links:
-        children[par].append(child)
-        parent[child] = par
-    roots = [i for i in range(len(relations)) if i not in parent]
+    children, parent, roots = tree_links(len(relations), links)
 
     # Full reducer: leaves-up then root-down semijoins.
-    order = _leaves_first(children, roots)
-    for node in order:
-        for child in children[node]:
-            relations[node] = semi(relations[node], relations[child], counter)
-    for node in reversed(order):
-        for child in children[node]:
-            relations[child] = semi(relations[child], relations[node], counter)
+    semijoin_reduce(relations, children, roots, semi, counter, downward=True)
     if columnar:
         # The reduce pass (the O(‖D‖) hot part) ran on interned columns;
         # the backtrack-free walk below works on decoded value tuples, so
         # per-answer delays are identical across backends.
         relations = [
-            kernels.to_relation(view, state.interner, query.atoms[i].relation_name)
+            kernels.to_relation(
+                view, database.kernels.interner, query.atoms[i].relation_name
+            )
             for i, view in enumerate(relations)
         ]
 
     if any(len(relations[r]) == 0 for r in range(len(relations))):
         return
 
-    # Index each non-root node by its shared attributes with the parent.
+    # Index each non-root node by its ancestor-bound attributes: the
+    # key a child is probed with holds every attribute some ancestor
+    # (parent included) has already fixed by the time it is visited.
     shared_attrs: dict[int, list[str]] = {}
     index: dict[int, dict[tuple, list[tuple]]] = {}
     for child, par in parent.items():
         shared = [
             a for a in relations[child].attributes
-            if relations[par].has_attribute(a) or _bound_above(a, par, parent, relations)
+            if _bound_above(a, par, parent, relations)
         ]
-        # Key on the attributes bound by the time the child is visited:
-        # all ancestors' attributes intersected with the child's.
         shared_attrs[child] = shared
         positions = [relations[child].position(a) for a in shared]
         buckets: dict[tuple, list[tuple]] = {}
@@ -190,28 +206,72 @@ def enumerate_acyclic(
     yield from walk(0)
 
 
-def measure_delays(answers: Iterator, counter: CostCounter) -> list[int]:
-    """Drain an enumerator, recording the operation-count gap before
-    each answer (including preprocessing before the first)."""
-    delays = []
-    last = counter.total
+@dataclass(frozen=True)
+class DelayProfile:
+    """Operation-count profile of one fully-drained enumeration run.
+
+    Attributes
+    ----------
+    setup:
+        Ops charged before the first answer appeared (preprocessing —
+        reported separately so a "constant delay" claim cannot hide
+        linear work inside the first gap).
+    gaps:
+        Ops between consecutive answers, one entry per answer after
+        the first.
+    exhaustion:
+        Ops charged after the last answer before the iterator stopped
+        (a lazy tail cannot hide there either).
+    answers:
+        Number of answers drained.
+    """
+
+    setup: int
+    gaps: tuple[int, ...]
+    exhaustion: int
+    answers: int
+
+    @property
+    def max_delay(self) -> int:
+        """Worst inter-answer gap, exhaustion included, setup excluded.
+
+        Zero when nothing was enumerated: with no answers there is no
+        inter-answer delay to bound, and all work counts as setup.
+        """
+        if not self.answers:
+            return 0
+        return max(self.gaps + (self.exhaustion,))
+
+
+def measure_delays(answers: Iterator, counter: CostCounter) -> DelayProfile:
+    """Drain an enumerator, profiling the operation-count gaps.
+
+    Counts ops between consecutive yields *including* the setup spent
+    before the first answer and the exhaustion spent after the last —
+    the accounting the §8 lower bounds constrain. (The old version
+    recorded only the pre-yield gaps, so work performed after the final
+    answer was invisible.)
+    """
+    start = counter.total
+    setup = 0
+    gaps: list[int] = []
+    count = 0
+    last = start
     for __ in answers:
-        delays.append(counter.total - last)
-        last = counter.total
-    return delays
-
-
-def _leaves_first(children: dict[int, list[int]], roots: list[int]) -> list[int]:
-    order: list[int] = []
-    stack = [(r, False) for r in roots]
-    while stack:
-        node, expanded = stack.pop()
-        if expanded:
-            order.append(node)
+        if count == 0:
+            setup = counter.total - start
         else:
-            stack.append((node, True))
-            stack.extend((c, False) for c in children[node])
-    return order
+            gaps.append(counter.total - last)
+        count += 1
+        last = counter.total
+    if count == 0:
+        setup = counter.total - start
+        exhaustion = 0
+    else:
+        exhaustion = counter.total - last
+    return DelayProfile(
+        setup=setup, gaps=tuple(gaps), exhaustion=exhaustion, answers=count
+    )
 
 
 def _bound_above(attr: str, node: int, parent: dict[int, int], relations) -> bool:

@@ -4,9 +4,18 @@ The polynomial-time case the paper contrasts with cyclic queries: a
 full reducer pass of semijoins along a join tree (leaves up, then root
 down) removes every dangling tuple, after which joining bottom-up never
 materializes more than |answer| · poly tuples.
+
+The tree bookkeeping and the reducer sweep are shared with the other
+acyclic evaluators (:mod:`~repro.relational.enumeration`,
+:mod:`~repro.relational.factorized`) via :func:`tree_links`,
+:func:`leaves_first` and :func:`semijoin_reduce`, so every path runs
+the *same* leaves-first-then-root-down pass — historically the full
+and boolean variants each hand-rolled their own copy.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
 
 from ..counting import CostCounter
 from ..errors import SchemaError
@@ -19,6 +28,74 @@ from .query import JoinQuery
 from .relation import Relation
 
 
+def tree_links(
+    num_nodes: int, links: list[tuple[int, int]]
+) -> tuple[dict[int, list[int]], dict[int, int], list[int]]:
+    """Children/parent/roots bookkeeping for a join forest.
+
+    ``links`` is the ``(child, parent)`` edge list returned by
+    :func:`~repro.hypergraph.acyclicity.join_tree`; nodes are edge
+    indices ``0..num_nodes-1``. Returns ``(children, parent, roots)``
+    with ``children`` defined (possibly empty) for every node.
+    """
+    children: dict[int, list[int]] = {i: [] for i in range(num_nodes)}
+    parent: dict[int, int] = {}
+    for child, par in links:
+        children[par].append(child)
+        parent[child] = par
+    roots = [i for i in range(num_nodes) if i not in parent]
+    return children, parent, roots
+
+
+def leaves_first(children: dict[int, list[int]], roots: list[int]) -> list[int]:
+    """Nodes ordered so children always precede parents."""
+    order: list[int] = []
+    stack = [(r, False) for r in roots]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+        else:
+            stack.append((node, True))
+            stack.extend((c, False) for c in children[node])
+    return order
+
+
+def semijoin_reduce(
+    relations: list,
+    children: dict[int, list[int]],
+    roots: list[int],
+    semi: Callable,
+    counter: CostCounter | None = None,
+    *,
+    downward: bool = True,
+    stop_when_empty: bool = False,
+) -> bool:
+    """The full-reducer sweep, shared by every acyclic evaluator.
+
+    Mutates ``relations`` in place: an upward (leaves-first) pass of
+    ``parent ⋉ child`` semijoins, then — when ``downward`` — the
+    mirrored root-down ``child ⋉ parent`` pass. The upward pass alone
+    makes the roots dangling-free (enough for the boolean answer); both
+    passes make *every* bag dangling-free, which projection and
+    enumeration rely on.
+
+    Returns ``False`` (stopping early) if ``stop_when_empty`` and some
+    bag empties — the answer is certainly empty; ``True`` otherwise.
+    """
+    bottom_up = leaves_first(children, roots)
+    for node in bottom_up:
+        for child in children[node]:
+            relations[node] = semi(relations[node], relations[child], counter)
+            if stop_when_empty and not len(relations[node]):
+                return False
+    if downward:
+        for node in reversed(bottom_up):
+            for child in children[node]:
+                relations[child] = semi(relations[child], relations[node], counter)
+    return True
+
+
 def _atom_views(query: JoinQuery, database: Database) -> list:
     """Per-atom columnar views (cached tables relabeled to query attrs)."""
     state = database.kernels
@@ -28,6 +105,21 @@ def _atom_views(query: JoinQuery, database: Database) -> list:
         )
         for atom in query.atoms
     ]
+
+
+def backend_relations(
+    query: JoinQuery, database: Database
+) -> tuple[list, Callable, Callable]:
+    """Per-atom relations plus the matching ``(semijoin, join)`` kernels.
+
+    The naive and columnar backends expose op-count-identical semijoin
+    and join primitives; this helper picks the pair so callers stay
+    backend-agnostic.
+    """
+    if database.backend == "columnar":
+        return _atom_views(query, database), kernels.semijoin, kernels.pairwise_join
+    relations = [query.bound_relation(atom, database) for atom in query.atoms]
+    return relations, semijoin, hash_join
 
 
 def yannakakis(
@@ -55,34 +147,15 @@ def yannakakis(
         raise SchemaError("Yannakakis requires an alpha-acyclic query")
 
     columnar = database.backend == "columnar"
-    if columnar:
-        relations = _atom_views(query, database)
-        semi, join = kernels.semijoin, kernels.pairwise_join
-    else:
-        relations = [query.bound_relation(atom, database) for atom in query.atoms]
-        semi, join = semijoin, hash_join
+    relations, semi, join = backend_relations(query, database)
     links = join_tree(hypergraph)
-    children: dict[int, list[int]] = {i: [] for i in range(len(relations))}
-    parent: dict[int, int] = {}
-    for child, par in links:
-        children[par].append(child)
-        parent[child] = par
-    roots = [i for i in range(len(relations)) if i not in parent]
+    children, __, roots = tree_links(len(relations), links)
 
-    bottom_up = _topological_leaves_first(children, roots)
-
-    # Upward semijoin pass: parent ⋉ child for every child.
-    for node in bottom_up:
-        for child in children[node]:
-            relations[node] = semi(relations[node], relations[child], counter)
-
-    # Downward pass: child ⋉ parent.
-    for node in reversed(bottom_up):
-        for child in children[node]:
-            relations[child] = semi(relations[child], relations[node], counter)
+    semijoin_reduce(relations, children, roots, semi, counter, downward=True)
 
     # Bottom-up join; after full reduction intermediates stay bounded by
     # the final answer size times the number of atoms.
+    bottom_up = leaves_first(children, roots)
     joined: dict = {}
     for node in bottom_up:
         current = relations[node]
@@ -111,44 +184,29 @@ def boolean_yannakakis(
 
     Only the upward semijoin pass is needed: the answer is nonempty iff
     every fully-reduced relation is nonempty.
+
+    Complexity: O(‖D‖ · |A|) data complexity — one upward semijoin
+    sweep over the join tree, |A| atoms, no materialization.
     """
     query.validate_against(database)
     hypergraph = query.hypergraph()
     if not is_alpha_acyclic(hypergraph):
         raise SchemaError("Yannakakis requires an alpha-acyclic query")
 
-    if database.backend == "columnar":
-        relations = _atom_views(query, database)
-        semi = kernels.semijoin
-    else:
-        relations = [query.bound_relation(atom, database) for atom in query.atoms]
-        semi = semijoin
+    relations, semi, __ = backend_relations(query, database)
     links = join_tree(hypergraph)
-    children: dict[int, list[int]] = {i: [] for i in range(len(relations))}
-    parent: dict[int, int] = {}
-    for child, par in links:
-        children[par].append(child)
-        parent[child] = par
-    roots = [i for i in range(len(relations)) if i not in parent]
-    bottom_up = _topological_leaves_first(children, roots)
+    children, __, roots = tree_links(len(relations), links)
 
-    for node in bottom_up:
-        for child in children[node]:
-            relations[node] = semi(relations[node], relations[child], counter)
-            if not len(relations[node]):
-                return False
+    if not semijoin_reduce(
+        relations, children, roots, semi, counter,
+        downward=False, stop_when_empty=True,
+    ):
+        return False
     return all(len(relations[r]) for r in roots)
 
 
-def _topological_leaves_first(children: dict[int, list[int]], roots: list[int]) -> list[int]:
-    """Nodes ordered so children always precede parents."""
-    order: list[int] = []
-    stack = [(r, False) for r in roots]
-    while stack:
-        node, expanded = stack.pop()
-        if expanded:
-            order.append(node)
-        else:
-            stack.append((node, True))
-            stack.extend((c, False) for c in children[node])
-    return order
+def _topological_leaves_first(
+    children: dict[int, list[int]], roots: list[int]
+) -> list[int]:
+    """Back-compat alias for :func:`leaves_first`."""
+    return leaves_first(children, roots)

@@ -61,6 +61,21 @@ def path_graph_domset_grouped() -> tuple[Graph, int, int]:
     return (graph, t, 2)
 
 
+def bmm_tripartite_graph() -> tuple[Graph]:
+    """A 3×3 Boolean matrix pair as a tripartite I/K/J graph.
+
+    A has 1-entries (0,0), (0,1), (1,1), (2,2); B has (0,1), (1,0),
+    (1,2), (2,2) — so A·B is nonzero at (0,1), (0,0), (0,2), (1,0),
+    (1,2), (2,2).
+    """
+    graph = Graph()
+    for i, k in ((0, 0), (0, 1), (1, 1), (2, 2)):
+        graph.add_edge(("i", i), ("k", k))
+    for k, j in ((0, 1), (1, 0), (1, 2), (2, 2)):
+        graph.add_edge(("k", k), ("j", j))
+    return (graph,)
+
+
 def small_binary_csp() -> tuple[CSPInstance]:
     """A satisfiable 3-variable binary CSP over {0, 1, 2}.
 

@@ -24,7 +24,7 @@ class TestRegistry:
     def test_all_unique_keys(self):
         keys = [h.key for h in all_hypotheses()]
         assert len(keys) == len(set(keys))
-        assert len(keys) == 9
+        assert len(keys) == 10
 
     def test_lookup(self):
         assert get_hypothesis("eth") is ETH

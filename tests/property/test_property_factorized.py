@@ -1,0 +1,164 @@
+"""Factorized results agree byte-for-byte with the flat engines.
+
+The dichotomy router (`repro.relational.factorized.evaluate`) must be
+observationally equivalent to materialize-then-project on every query
+— free-connex acyclic instances served from a d-representation, cyclic
+and non-free-connex instances from the WCOJ fallback — on both
+backends, with identical op totals across backends.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counting import CostCounter
+from repro.generators.agm import uniform_random_database
+from repro.relational.algebra import project
+from repro.relational.factorized import evaluate, factorize, is_free_connex
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.wcoj import generic_join
+
+SHAPES = {
+    "triangle": JoinQuery.triangle,
+    "cycle4": lambda: JoinQuery.cycle(4),
+    "path3": lambda: JoinQuery.path(3),
+    "path4": lambda: JoinQuery.path(4),
+    "star3": lambda: JoinQuery.star(3),
+    "lw3": lambda: JoinQuery.loomis_whitney(3),
+}
+
+ACYCLIC = {"path3", "path4", "star3"}
+
+
+def _free_subset(query, mask):
+    """A nonempty attribute subset selected by the bitmask, free order."""
+    attrs = query.attributes
+    picked = tuple(a for i, a in enumerate(attrs) if mask & (1 << i))
+    return picked or attrs[:1]
+
+
+def _reference(query, database, free):
+    flat = project(generic_join(query, database), free)
+    return repr(sorted(flat.tuples)).encode()
+
+
+@given(
+    shape=st.sampled_from(sorted(SHAPES)),
+    mask=st.integers(1, 2**6 - 1),
+    size=st.integers(1, 25),
+    domain=st.integers(1, 6),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_router_matches_flat_projection_byte_for_byte(
+    shape, mask, size, domain, seed
+):
+    query = SHAPES[shape]()
+    free = _free_subset(query, mask)
+    database = uniform_random_database(query, size, domain, seed=seed)
+    expected = _reference(query, database, free)
+    result = evaluate(query, database, free=free)
+    assert repr(sorted(result.materialize().tuples)).encode() == expected
+    assert repr(sorted(result.enumerate())).encode() == expected
+    assert result.count() == len(set(project(
+        generic_join(query, database), free
+    ).tuples))
+    expected_method = "factorized" if is_free_connex(query, free) else "wcoj"
+    assert result.method == expected_method
+
+
+@given(
+    shape=st.sampled_from(sorted(SHAPES)),
+    mask=st.integers(1, 2**6 - 1),
+    size=st.integers(1, 20),
+    domain=st.integers(1, 6),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_router_backend_parity(shape, mask, size, domain, seed):
+    query = SHAPES[shape]()
+    free = _free_subset(query, mask)
+    naive = uniform_random_database(query, size, domain, seed=seed)
+    columnar = naive.with_backend("columnar")
+    c1, c2 = CostCounter(), CostCounter()
+    r1 = evaluate(query, naive, free=free, counter=c1)
+    r2 = evaluate(query, columnar, free=free, counter=c2)
+    assert sorted(r1.materialize().tuples) == sorted(r2.materialize().tuples)
+    assert r1.count() == r2.count()
+    assert r1.method == r2.method
+    assert r1.num_nodes == r2.num_nodes
+    assert c1.total == c2.total
+
+
+@given(
+    shape=st.sampled_from(sorted(set(SHAPES) - ACYCLIC)),
+    size=st.integers(1, 20),
+    domain=st.integers(1, 5),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=30, deadline=None)
+def test_cyclic_queries_route_to_wcoj(shape, size, domain, seed):
+    query = SHAPES[shape]()
+    database = uniform_random_database(query, size, domain, seed=seed)
+    result = evaluate(query, database)
+    assert result.method == "wcoj"
+    assert result.num_nodes == 0
+
+
+@given(
+    shape=st.sampled_from(sorted(ACYCLIC)),
+    size=st.integers(1, 25),
+    domain=st.integers(1, 6),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_full_acyclic_queries_factorize(shape, size, domain, seed):
+    query = SHAPES[shape]()
+    database = uniform_random_database(query, size, domain, seed=seed)
+    result = factorize(query, database)
+    assert result.method == "factorized"
+    expected = _reference(query, database, query.attributes)
+    assert repr(sorted(result.materialize().tuples)).encode() == expected
+
+
+# -- explicit dichotomy fixtures --------------------------------------
+
+
+FREE_CONNEX_FIXTURES = [
+    (JoinQuery.path(3), ("a0", "a1")),
+    (JoinQuery.path(3), ("a1", "a2")),
+    (JoinQuery.star(2), ("c", "l0")),
+    (JoinQuery.star(3), ("c",)),
+    (JoinQuery.path(2), ("a0", "a1", "a2")),
+    # Disconnected free-connex product: answers are a cross product.
+    (JoinQuery([Atom("R1", ("a", "b")), Atom("R2", ("c", "d"))]), ("a", "c")),
+]
+
+NON_FREE_CONNEX_FIXTURES = [
+    # Endpoints of a path: the extended hypergraph closes a cycle.
+    (JoinQuery.path(3), ("a0", "a3")),
+    # The BMM star projection — acyclic yet hard (§8).
+    (JoinQuery.star(2), ("l0", "l1")),
+    (JoinQuery.star(3), ("l0", "l1", "l2")),
+    # Cyclic query: never free-connex, whatever the projection.
+    (JoinQuery.triangle(), JoinQuery.triangle().attributes),
+]
+
+
+def test_free_connex_fixtures():
+    for query, free in FREE_CONNEX_FIXTURES:
+        assert is_free_connex(query, free), (query, free)
+
+
+def test_non_free_connex_fixtures():
+    for query, free in NON_FREE_CONNEX_FIXTURES:
+        assert not is_free_connex(query, free), (query, free)
+
+
+def test_fixture_routing_and_agreement():
+    for query, free in FREE_CONNEX_FIXTURES + NON_FREE_CONNEX_FIXTURES:
+        database = uniform_random_database(query, 15, 4, seed=11)
+        result = evaluate(query, database, free=free)
+        expected = _reference(query, database, free)
+        assert repr(sorted(result.materialize().tuples)).encode() == expected
+        fc = is_free_connex(query, free)
+        assert result.method == ("factorized" if fc else "wcoj")
