@@ -1,0 +1,255 @@
+"""Service load benchmark: boot the server, sweep concurrency levels.
+
+Boots ``python -m repro.service serve`` as a real subprocess, registers
+a benchmark database, and drives a repeated-query workload (all four
+routes: factorized / yannakakis / wcoj / treewidth-dp) through the
+asyncio load generator at several concurrency levels. Reports
+client-side p50/p95/p99 latency and throughput per level, asserts the
+service contracts —
+
+* every served answer is **byte-identical** to direct in-process
+  evaluation through :func:`repro.relational.router.execute_route`;
+* every response carries its route decision and op count;
+* the plan-cache hit ratio on a repeated-query workload stays above a
+  floor (default 0.5 — misses happen only on first sight of a shape);
+
+— and writes ``BENCH_service.json`` at the repo root.
+
+Environment knobs (used by the ``service-smoke`` CI job):
+
+* ``REPRO_BENCH_SERVICE_N`` — tuples per relation (default ``200``);
+* ``REPRO_BENCH_SERVICE_CONCURRENCY`` — comma-separated levels
+  (default ``1,4,8``);
+* ``REPRO_BENCH_SERVICE_REQUESTS`` — requests per worker per level
+  (default ``24``);
+* ``REPRO_BENCH_SERVICE_MIN_HIT_RATIO`` — plan-cache floor (``0.5``);
+* ``REPRO_BENCH_SERVICE_OUT`` — output path for the JSON record;
+* ``REPRO_BENCH_DASHBOARD`` — also save the live HTML dashboard here.
+"""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.generators.agm import uniform_random_database
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.router import execute_route
+from repro.service.client import ServiceClient, run_load
+from repro.service.server import canonical_answers
+from repro.service.store import database_from_payload, relations_payload
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+TRIANGLE_ATOMS = [
+    {"relation": "R1", "attributes": ["a1", "a2"]},
+    {"relation": "R2", "attributes": ["a1", "a3"]},
+    {"relation": "R3", "attributes": ["a2", "a3"]},
+]
+PATH_ATOMS = [
+    {"relation": "R1", "attributes": ["a1", "a2"]},
+    {"relation": "R3", "attributes": ["a2", "a3"]},
+]
+
+#: (label, payload-sans-database, expected route) — all four routes.
+WORKLOAD_SPEC = [
+    ("triangle-enumerate", {"atoms": TRIANGLE_ATOMS}, "wcoj"),
+    ("triangle-boolean", {"atoms": TRIANGLE_ATOMS, "mode": "boolean"}, "wcoj"),
+    ("triangle-count", {"atoms": TRIANGLE_ATOMS, "mode": "count"}, "treewidth-dp"),
+    ("path-enumerate", {"atoms": PATH_ATOMS}, "factorized"),
+    (
+        "path-project",
+        {"atoms": PATH_ATOMS, "free": ["a1", "a3"]},
+        "yannakakis",
+    ),
+    ("path-count", {"atoms": PATH_ATOMS, "mode": "count"}, "factorized"),
+]
+
+
+def _concurrency_levels():
+    raw = os.environ.get("REPRO_BENCH_SERVICE_CONCURRENCY", "1,4,8")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _bench_relations(n):
+    """A deterministic seeded triangle database as a wire payload."""
+    query = JoinQuery.triangle()
+    database = uniform_random_database(query, n, max(4, n // 8), seed=11)
+    return relations_payload(database)
+
+
+def _boot_server():
+    """Start the service subprocess; returns (process, host, port)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service",
+            "serve",
+            "--port",
+            "0",
+            "--max-concurrency",
+            "8",
+            "--queue-limit",
+            "64",
+            "--slow-ms",
+            "50",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    deadline = time.perf_counter() + 30.0
+    banner = ""
+    while time.perf_counter() < deadline:
+        banner = process.stdout.readline()
+        if "listening on" in banner:
+            break
+        if process.poll() is not None:
+            raise RuntimeError(f"server died during boot: {banner!r}")
+    else:
+        process.terminate()
+        raise RuntimeError("server did not print its listen banner in 30s")
+    address = banner.rsplit("http://", 1)[1].strip()
+    host, port_text = address.rsplit(":", 1)
+    return process, host, int(port_text)
+
+
+async def _setup_and_verify(host, port, relations, workload):
+    """Register the bench database; verify routes + byte-identity."""
+    database = database_from_payload(relations)
+    async with ServiceClient(host, port) as client:
+        await client.register("bench", relations)
+        identical = 0
+        for (label, spec, expected_route), entry in zip(WORKLOAD_SPEC, workload):
+            status, payload = await client.request("POST", "/query", entry)
+            assert status == 200, f"{label}: {payload}"
+            assert payload["route"] == expected_route, (
+                f"{label}: routed {payload['route']}, expected {expected_route}"
+            )
+            assert payload["ops"] > 0, f"{label}: no ops charged"
+            query = JoinQuery(
+                Atom(a["relation"], tuple(a["attributes"])) for a in spec["atoms"]
+            )
+            direct = execute_route(
+                query,
+                database,
+                free=tuple(spec["free"]) if "free" in spec else None,
+                mode=spec.get("mode", "enumerate"),
+            )
+            if direct.relation is not None:
+                assert payload["answers"] == canonical_answers(
+                    direct.relation.tuples
+                ), f"{label}: served answers differ from direct evaluation"
+            if direct.count is not None:
+                assert payload["count"] == direct.count, f"{label}: count differs"
+            if direct.nonempty is not None:
+                assert payload["nonempty"] == direct.nonempty, f"{label}: differs"
+            identical += 1
+        return identical
+
+
+async def _collect_artifacts(host, port, dashboard_path):
+    async with ServiceClient(host, port) as client:
+        metrics = await client.get_json("/metrics")
+        if dashboard_path:
+            status, html_doc = await client.request("GET", "/dashboard")
+            assert status == 200
+            Path(dashboard_path).write_text(html_doc, encoding="utf-8")
+    return metrics
+
+
+def test_service_load_sweep():
+    n = int(os.environ.get("REPRO_BENCH_SERVICE_N", "200"))
+    levels = _concurrency_levels()
+    per_worker = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "24"))
+    min_hit_ratio = float(
+        os.environ.get("REPRO_BENCH_SERVICE_MIN_HIT_RATIO", "0.5")
+    )
+    out_path = Path(
+        os.environ.get(
+            "REPRO_BENCH_SERVICE_OUT", REPO_ROOT / "BENCH_service.json"
+        )
+    )
+    dashboard_path = os.environ.get("REPRO_BENCH_DASHBOARD", "")
+
+    relations = _bench_relations(n)
+    workload = [dict(spec, database="bench") for __, spec, __ in WORKLOAD_SPEC]
+
+    process, host, port = _boot_server()
+    try:
+        verified = asyncio.run(
+            _setup_and_verify(host, port, relations, workload)
+        )
+        assert verified == len(WORKLOAD_SPEC)
+
+        rows = []
+        for concurrency in levels:
+            summary = asyncio.run(
+                run_load(host, port, workload, concurrency, per_worker)
+            )
+            assert summary["statuses"].get("200", 0) == summary["requests"], (
+                f"non-200 responses at concurrency {concurrency}: "
+                f"{summary['statuses']}"
+            )
+            rows.append(
+                {
+                    "concurrency": concurrency,
+                    "requests": summary["requests"],
+                    "throughput_rps": summary["throughput_rps"],
+                    "latency_ms": summary["latency_ms"],
+                }
+            )
+
+        metrics = asyncio.run(_collect_artifacts(host, port, dashboard_path))
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+    plan_cache = metrics["plan_cache"]
+    telemetry = metrics["telemetry"]
+    record = {
+        "schema": "repro-bench-service/1",
+        "relation_tuples": n,
+        "workload": [label for label, __, __ in WORKLOAD_SPEC],
+        "requests_per_worker": per_worker,
+        "levels": rows,
+        "plan_cache": plan_cache,
+        "route_mix": telemetry["route_mix"],
+        "endpoint_p99_ms": {
+            name: summary["p99_ms"]
+            for name, summary in telemetry["endpoints"].items()
+        },
+        "slow_queries": len(telemetry["slow_queries"]),
+        "answers_byte_identical": True,
+    }
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    for row in rows:
+        latency = row["latency_ms"]
+        print(
+            f"c={row['concurrency']}: {row['throughput_rps']:.0f} req/s, "
+            f"p50 {latency['p50']:.2f} ms, p99 {latency['p99']:.2f} ms"
+        )
+    print(
+        f"plan cache: hit ratio {plan_cache['hit_ratio']:.3f} "
+        f"({plan_cache['hits']} hits / {plan_cache['misses']} misses)"
+    )
+    assert plan_cache["hit_ratio"] > min_hit_ratio, (
+        f"plan-cache hit ratio {plan_cache['hit_ratio']:.3f} below "
+        f"{min_hit_ratio} on a repeated-query workload (see {out_path})"
+    )
+    assert set(telemetry["route_mix"]) == {
+        "factorized",
+        "yannakakis",
+        "wcoj",
+        "treewidth-dp",
+    }

@@ -18,6 +18,19 @@ The parallel runner executes experiment payloads in worker processes
   where entries are keyed by relation version and invalidation is
   structural; a bare dict at module scope survives relation mutation
   and leaks between logically independent runs.
+
+Since the resident query service (:mod:`repro.service`) the repo also
+has asyncio code, which adds a fourth pattern:
+
+* **blocking calls in ``async def`` bodies** — ``time.sleep``, bare
+  ``open``, ``Path.read_text``-family I/O, ``Future.result()``, and
+  synchronous ``subprocess`` helpers stall the *entire* event loop,
+  not just the current request: every in-flight connection stops
+  making progress until the call returns. Blocking work belongs in a
+  sync helper invoked off-loop (or behind ``run_in_executor``).
+  Detection is direct-call-in-async-body: a chained
+  ``pool.submit(fn).result()`` is invisible to the dotted-name
+  resolver — bind the future to a name for the lint (and the reader).
 """
 
 from __future__ import annotations
@@ -48,10 +61,52 @@ def _is_cache_name(name: str) -> bool:
     return any(fragment in lowered for fragment in CACHE_NAME_FRAGMENTS)
 
 
+#: ``Path`` / file-object methods that hit the filesystem synchronously.
+BLOCKING_FILE_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Synchronous subprocess helpers (block until the child exits).
+SUBPROCESS_FUNCTIONS = frozenset({"run", "call", "check_call", "check_output"})
+
+
+def _async_blocking_verdict(summary, parts: list[str]) -> str | None:
+    """Why a call with dotted ``parts`` blocks the event loop, or None.
+
+    Names are resolved through the module's import aliases, so both
+    ``import time; time.sleep(...)`` and ``from time import sleep``
+    spellings are caught.
+    """
+    dotted = ".".join(parts)
+    if len(parts) == 1:
+        name = parts[0]
+        if name == "open":
+            return "'open()' does synchronous file I/O"
+        source = summary.from_imports.get(name)
+        if source is not None:
+            module, symbol = source
+            if module == "time" and symbol == "sleep":
+                return f"'{dotted}' resolves to time.sleep"
+            if module == "subprocess" and symbol in SUBPROCESS_FUNCTIONS:
+                return f"'{dotted}' resolves to subprocess.{symbol}"
+        return None
+    head_module = summary.imports.get(parts[0])
+    if head_module == "time" and parts[-1] == "sleep":
+        return "'time.sleep' parks the whole event loop"
+    if head_module == "subprocess" and parts[-1] in SUBPROCESS_FUNCTIONS:
+        return f"'{dotted}' blocks until the child process exits"
+    if parts[-1] in BLOCKING_FILE_METHODS:
+        return f"'{dotted}' does synchronous file I/O"
+    if parts[-1] == "result":
+        return f"'{dotted}' blocks on a future; await it or move it off-loop"
+    return None
+
+
 @rule(
     "REP010",
     "concurrency-safety",
-    "no global mutation in pool workers, no default-less ContextVar reads, no ad-hoc caches",
+    "no global mutation in pool workers, no default-less ContextVar reads, "
+    "no ad-hoc caches, no blocking calls in async bodies",
 )
 def check(project: Project) -> Iterable[Finding]:
     analysis = semantic_analysis(project)
@@ -166,3 +221,27 @@ def check(project: Project) -> Iterable[Finding]:
                         "keyed by relation version",
                         context=function.qualname,
                     )
+
+    # --- blocking calls inside async bodies ---------------------------
+    for summary in analysis.summaries.values():
+        module = project.modules.get(summary.name)
+        if module is None:
+            continue
+        for function in summary.all_functions():
+            if not function.is_async:
+                continue
+            for site in function.calls:
+                verdict = _async_blocking_verdict(summary, site.name.split("."))
+                if verdict is None:
+                    continue
+                yield Finding(
+                    code="REP010",
+                    severity=Severity.ERROR,
+                    path=project.relative_path(module),
+                    line=site.line,
+                    message=f"async '{function.qualname}' makes a blocking "
+                    f"call: {verdict} — every in-flight request stalls "
+                    "until it returns; move it to a sync helper or an "
+                    "executor",
+                    context=function.qualname,
+                )

@@ -28,7 +28,7 @@ from .policy import (
 )
 
 #: Bump when the summary shape changes; the cache discards mismatches.
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,7 @@ class FunctionSummary:
     line: int
     end_line: int
     is_public: bool
+    is_async: bool = False
     decorators: list[str] = field(default_factory=list)
     calls: list[CallSite] = field(default_factory=list)
     taints: list[TaintHit] = field(default_factory=list)
@@ -154,6 +155,7 @@ class ModuleSummary:
                 line=d["line"],
                 end_line=d["end_line"],
                 is_public=d["is_public"],
+                is_async=d.get("is_async", False),
                 decorators=list(d["decorators"]),
                 calls=[call(c) for c in d["calls"]],
                 taints=[TaintHit(**t) for t in d["taints"]],
@@ -602,6 +604,7 @@ def summarize_module(module: ModuleInfo) -> ModuleSummary:
                     line=child.lineno,
                     end_line=getattr(child, "end_lineno", child.lineno),
                     is_public=not child.name.startswith("_"),
+                    is_async=isinstance(child, ast.AsyncFunctionDef),
                     decorators=[
                         d for d in (
                             dotted_name(

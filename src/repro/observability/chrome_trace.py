@@ -36,10 +36,32 @@ class _SpanNode:
         return max(own, nested, 1)
 
 
+def split_tracks(spans: Sequence[Mapping]) -> list[tuple[str | None, list[Mapping]]]:
+    """Partition a span list by ``track`` label, preserving arrival order.
+
+    Spans recorded by concurrent request-scoped :class:`TraceContext`s
+    arrive interleaved when their lists are merged; the (order, depth)
+    parent invariant only holds *within* one context. Grouping by track
+    first restores it. Untracked spans (classic experiment traces) all
+    land on the ``None`` track, which keeps single-context exports
+    byte-identical to the historical layout.
+    """
+    order: list[str | None] = []
+    grouped: dict[str | None, list[Mapping]] = {}
+    for payload in spans:
+        track = payload.get("track")
+        if track not in grouped:
+            order.append(track)
+            grouped[track] = []
+        grouped[track].append(payload)
+    return [(track, grouped[track]) for track in order]
+
+
 def build_span_forest(spans: Sequence[Mapping]) -> list[_SpanNode]:
     """Rebuild the span tree from (order, depth) — the invariant the
     tracer guarantees: a span's parent is the most recent span of
-    depth one less."""
+    depth one less. Spans must belong to one track (one context);
+    use :func:`split_tracks` first for merged concurrent traces."""
     forest: list[_SpanNode] = []
     stack: list[_SpanNode] = []
     for payload in spans:
@@ -97,20 +119,31 @@ def record_to_chrome_trace(payload: Mapping) -> dict:
             "args": {"name": "repro experiments"},
         }
     )
-    for tid, entry in enumerate(payload.get("experiments", ()), start=1):
-        key = str(entry.get("key", f"experiment-{tid}"))
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": pid,
-                "tid": tid,
-                "args": {"name": f"{key} ({entry.get('status', '?')})"},
-            }
-        )
-        cursor = 0
-        for root in build_span_forest(entry.get("spans", ())):
-            cursor += _emit(root, cursor, pid, tid, events)
+    tid = 0
+    for index, entry in enumerate(payload.get("experiments", ()), start=1):
+        key = str(entry.get("key", f"experiment-{index}"))
+        # One thread per (entry, track): spans from interleaved
+        # request-scoped contexts keep their own timelines instead of
+        # being flattened onto one.
+        for track, track_spans in split_tracks(entry.get("spans", ())) or [
+            (None, [])
+        ]:
+            tid += 1
+            label = f"{key} ({entry.get('status', '?')})"
+            if track is not None:
+                label = f"{label} · {track}"
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+            cursor = 0
+            for root in build_span_forest(track_spans):
+                cursor += _emit(root, cursor, pid, tid, events)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -139,6 +139,17 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``0 < q <= 1``), bucket-interpolated.
+
+        Walks the cumulative counts to the first bucket covering rank
+        ``q · count`` and interpolates linearly inside that bucket's
+        ``(lower, upper]`` value range; observations in the overflow
+        bucket are clamped to the last finite bound (a fixed-bucket
+        histogram cannot see past it). An empty histogram reads 0.0.
+        """
+        return percentile_from_buckets(self.bounds, self.counts, q, name=self.name)
+
     def to_payload(self) -> dict:
         return {
             "buckets": [b if isinstance(b, int) else float(b) for b in self.bounds],
@@ -149,6 +160,51 @@ class Histogram:
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count}, sum={self.sum})"
+
+
+def percentile_from_buckets(
+    bounds: Sequence[int | float],
+    counts: Sequence[int],
+    q: float,
+    name: str = "histogram",
+) -> float:
+    """Bucket-interpolated quantile over ``(bounds, counts)``.
+
+    Shared by :meth:`Histogram.percentile` (live instruments) and the
+    report/dashboard layers, which read serialized histogram payloads.
+    Bucket ``i`` covers ``(bounds[i-1], bounds[i]]`` (``[0, bounds[0]]``
+    for the first); the overflow bucket is clamped to the last finite
+    bound rather than extrapolated.
+    """
+    if not 0.0 < q <= 1.0:
+        raise InvalidInstanceError(
+            f"{name}: quantile must be in (0, 1], got {q!r}"
+        )
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        if cumulative + bucket_count < target:
+            cumulative += bucket_count
+            continue
+        if index >= len(bounds):
+            return float(bounds[-1])
+        upper = float(bounds[index])
+        lower = float(bounds[index - 1]) if index else 0.0
+        fraction = (target - cumulative) / bucket_count
+        return lower + fraction * (upper - lower)
+    return float(bounds[-1])
+
+
+def payload_percentile(histogram: dict, q: float) -> float:
+    """Quantile read off a serialized histogram payload (record JSON)."""
+    return percentile_from_buckets(
+        histogram.get("buckets", ()), histogram.get("counts", ()), q
+    )
 
 
 class MetricsRegistry:

@@ -162,11 +162,32 @@ def _trimmed_buckets(histogram: Mapping) -> list[tuple[str, int]]:
     return list(zip(labels[low : high + 1], counts[low : high + 1]))
 
 
+#: Quantiles surfaced everywhere a histogram is summarized.
+REPORT_QUANTILES = ((0.50, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+def histogram_summary(histogram: Mapping) -> dict[str, float]:
+    """count/mean/p50/p95/p99 for one serialized histogram payload."""
+    from .metrics import payload_percentile
+
+    count = histogram.get("count", 0)
+    summary: dict[str, float] = {
+        "count": count,
+        "mean": histogram.get("sum", 0) / count if count else 0.0,
+    }
+    for q, label in REPORT_QUANTILES:
+        summary[label] = payload_percentile(dict(histogram), q)
+    return summary
+
+
 def render_histogram_text(name: str, histogram: Mapping, width: int = 40) -> str:
     """One histogram as an aligned unicode bar chart."""
+    stats = histogram_summary(histogram)
     count = histogram.get("count", 0)
-    mean = histogram.get("sum", 0) / count if count else 0.0
-    lines = [f"{name}  (count {count}, mean {mean:.3g})"]
+    quantiles = ", ".join(
+        f"{label} {stats[label]:.3g}" for __, label in REPORT_QUANTILES
+    )
+    lines = [f"{name}  (count {count}, mean {stats['mean']:.3g}, {quantiles})"]
     pairs = _trimmed_buckets(histogram)
     peak = max((c for __, c in pairs), default=0)
     label_width = max(len(label) for label, __ in pairs)
@@ -316,7 +337,19 @@ def render_markdown(records: Sequence[tuple[str, Mapping]]) -> str:
                 for series in fits:
                     parts.append(f"- `{series.experiment_id}` {series.label}")
                 parts.append("")
-            for hist_name, histogram in _iter_histograms(entry):
+            histograms = list(_iter_histograms(entry))
+            if histograms:
+                parts.append("| histogram | count | mean | p50 | p95 | p99 |")
+                parts.append("|---|---|---|---|---|---|")
+                for hist_name, histogram in histograms:
+                    stats = histogram_summary(histogram)
+                    parts.append(
+                        f"| {hist_name} | {stats['count']} | {stats['mean']:.3g} "
+                        f"| {stats['p50']:.3g} | {stats['p95']:.3g} "
+                        f"| {stats['p99']:.3g} |"
+                    )
+                parts.append("")
+            for hist_name, histogram in histograms:
                 parts.append("```")
                 parts.append(render_histogram_text(hist_name, histogram))
                 parts.append("```")
@@ -518,6 +551,28 @@ def render_html(records: Sequence[tuple[str, Mapping]]) -> str:
                     "<table><thead><tr><th>result</th><th>finding</th>"
                     f"<th>value</th></tr></thead><tbody>{rows}</tbody></table>"
                 )
+            histograms = list(_iter_histograms(entry))
+            if histograms:
+                stat_rows = "".join(
+                    "<tr><td>{}</td><td>{}</td><td>{:.3g}</td><td>{:.3g}</td>"
+                    "<td>{:.3g}</td><td>{:.3g}</td></tr>".format(
+                        html.escape(hist_name),
+                        stats["count"],
+                        stats["mean"],
+                        stats["p50"],
+                        stats["p95"],
+                        stats["p99"],
+                    )
+                    for hist_name, stats in (
+                        (name_, histogram_summary(histogram))
+                        for name_, histogram in histograms
+                    )
+                )
+                body.append(
+                    "<table><thead><tr><th>histogram</th><th>count</th>"
+                    "<th>mean</th><th>p50</th><th>p95</th><th>p99</th>"
+                    f"</tr></thead><tbody>{stat_rows}</tbody></table>"
+                )
             charts = []
             for result in entry.get("results", ()):
                 charts.extend(
@@ -525,7 +580,7 @@ def render_html(records: Sequence[tuple[str, Mapping]]) -> str:
                 )
             charts.extend(
                 _svg_histogram(hist_name, histogram)
-                for hist_name, histogram in _iter_histograms(entry)
+                for hist_name, histogram in histograms
             )
             if charts:
                 body.append('<div class="charts">' + "".join(charts) + "</div>")

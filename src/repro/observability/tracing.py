@@ -36,22 +36,38 @@ class Span:
     attributes: dict = field(default_factory=dict)
     ops: int = 0
     elapsed_s: float = 0.0
+    #: Timeline label inherited from the owning :class:`TraceContext`;
+    #: ``None`` for the classic single-timeline experiment traces. The
+    #: key is omitted from payloads when unset so historical records
+    #: (and their canonical serializations) are byte-unchanged.
+    track: str | None = None
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "depth": self.depth,
             "attributes": dict(self.attributes),
             "ops": self.ops,
             "elapsed_s": self.elapsed_s,
         }
+        if self.track is not None:
+            payload["track"] = self.track
+        return payload
 
 
 class TraceContext:
-    """An append-only list of spans with nesting depth tracking."""
+    """An append-only list of spans with nesting depth tracking.
 
-    def __init__(self) -> None:
+    ``track`` labels every span this context records. Concurrent
+    request-scoped contexts (the service runtime) each carry a distinct
+    track, so span lists that are later merged — interleaved in arrival
+    order — can still be pulled apart into separate timelines by the
+    chrome-trace exporter instead of being flattened onto one.
+    """
+
+    def __init__(self, track: str | None = None) -> None:
         self.spans: list[Span] = []
+        self.track = track
         self._depth = 0
 
     @contextmanager
@@ -60,7 +76,12 @@ class TraceContext:
     ) -> Iterator[Span]:
         """Open a span; on exit it records elapsed time and, when a
         counter is given, the operations charged while it was open."""
-        record = Span(name=name, depth=self._depth, attributes=dict(attributes))
+        record = Span(
+            name=name,
+            depth=self._depth,
+            attributes=dict(attributes),
+            track=self.track,
+        )
         self.spans.append(record)
         started = time.perf_counter()
         counted_from = counter.total if counter is not None else 0

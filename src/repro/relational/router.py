@@ -1,0 +1,206 @@
+"""The query router: one entry point, four dichotomy-guided engines.
+
+The paper's operational story is a case split — free-connex acyclic
+queries enumerate with constant delay from a factorized representation,
+α-acyclic queries evaluate in polynomial time by Yannakakis, everything
+else pays either the AGM-bound worst-case-optimal join (materialization)
+or the treewidth DP (counting). The resident query service
+(:mod:`repro.service`) serves every request through this module so each
+response can carry *which* branch of the dichotomy it took and what it
+cost — the per-request observability ROADMAP item 2 asks for.
+
+Route labels (stable API, persisted in responses and metrics):
+
+* ``"factorized"`` — free-connex d-representation
+  (:mod:`~repro.relational.factorized`), constant-delay enumeration or
+  sweep counting;
+* ``"yannakakis"`` — α-acyclic but not free-connex with the requested
+  projection: full join along the join tree, then project;
+* ``"wcoj"`` — cyclic (or boolean non-acyclic) instances: Generic Join
+  materialization at the AGM bound;
+* ``"treewidth-dp"`` — cyclic counting via the CSP translation and the
+  counting DP over a tree decomposition.
+
+Each decision is also recorded on the ambient metrics registry
+(``route.<label>`` counters) and as a ``route`` span, so request-scoped
+registries see exactly one route observation per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from ..counting import CostCounter
+from ..errors import InvalidInstanceError
+from ..hypergraph.acyclicity import is_alpha_acyclic
+from ..observability.metrics import inc
+from ..observability.tracing import span
+from .database import Database
+from .factorized import _validated_free, factorize, is_free_connex
+from .query import JoinQuery
+from .relation import Relation
+from .wcoj import boolean_generic_join, generic_join
+from .yannakakis import boolean_yannakakis, yannakakis
+from .algebra import project
+
+#: Recognized request modes.
+MODES = ("enumerate", "count", "boolean")
+
+#: Recognized route labels, in dichotomy order.
+ROUTES = ("factorized", "yannakakis", "wcoj", "treewidth-dp")
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Which engine a (query, free, mode) instance is served by, and why."""
+
+    route: str
+    mode: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class RoutedAnswer:
+    """One routed evaluation: the decision plus the mode's result.
+
+    Exactly one of ``relation`` (enumerate), ``count`` (count), or
+    ``nonempty`` (boolean) is populated; ``ops`` is the operation total
+    charged while executing the route.
+    """
+
+    decision: RouteDecision
+    ops: int
+    relation: Relation | None = None
+    count: int | None = None
+    nonempty: bool | None = None
+
+
+def decide_route(
+    query: JoinQuery, free: Sequence[str] | None = None, mode: str = "enumerate"
+) -> RouteDecision:
+    """The dichotomy case split, without executing anything.
+
+    Complexity: O(|A| · |V|) — two α-acyclicity (GYO) tests on the
+        query hypergraph and its free-variable extension.
+    """
+    if mode not in MODES:
+        raise InvalidInstanceError(f"unknown mode {mode!r}; expected one of {MODES}")
+    free_t = _validated_free(query, free)
+    acyclic = is_alpha_acyclic(query.hypergraph())
+    if mode == "count":
+        if free_t != query.attributes:
+            raise InvalidInstanceError(
+                "count mode counts full answers; projections are not supported"
+            )
+        if acyclic:
+            return RouteDecision(
+                "factorized", mode, "alpha-acyclic: sum/product sweep over the d-rep"
+            )
+        return RouteDecision(
+            "treewidth-dp", mode, "cyclic: counting DP over a tree decomposition"
+        )
+    if mode == "boolean":
+        if acyclic:
+            return RouteDecision(
+                "yannakakis", mode, "alpha-acyclic: upward semijoin sweep"
+            )
+        return RouteDecision("wcoj", mode, "cyclic: generic join, first witness")
+    if acyclic and is_free_connex(query, free_t):
+        return RouteDecision(
+            "factorized", mode, "free-connex acyclic: linear-size d-representation"
+        )
+    if acyclic:
+        return RouteDecision(
+            "yannakakis",
+            mode,
+            "alpha-acyclic but not free-connex: full join then project",
+        )
+    return RouteDecision("wcoj", mode, "cyclic: AGM-bound materialization")
+
+
+def execute_route(
+    query: JoinQuery,
+    database: Database,
+    free: Sequence[str] | None = None,
+    mode: str = "enumerate",
+    counter: CostCounter | None = None,
+) -> RoutedAnswer:
+    """Decide and run: the service-facing evaluation entry point.
+
+    Answers are byte-compatible with calling the underlying engine
+    directly — the router adds observability (route counters, a
+    ``route`` span) but never changes what is computed.
+
+    Complexity: O(N^rho*(H)) worst case (the wcoj branch); O(‖D‖ · |A|)
+        on the factorized and yannakakis branches; O(|A| · N^{w+1}) on
+        the treewidth-dp branch.
+    """
+    decision = decide_route(query, free=free, mode=mode)
+    return run_route(query, database, decision, free=free, counter=counter)
+
+
+def run_route(
+    query: JoinQuery,
+    database: Database,
+    decision: RouteDecision,
+    free: Sequence[str] | None = None,
+    counter: CostCounter | None = None,
+) -> RoutedAnswer:
+    """Execute a pre-made :class:`RouteDecision` (the plan-cache hit path).
+
+    The decision is a pure function of the query shape, the free
+    variables, and the mode — never of the data — so a cached decision
+    replayed against mutated data still computes the same answer set as
+    a fresh :func:`execute_route` (the service's plan cache additionally
+    keys on a database fingerprint to keep *routing statistics* honest).
+
+    Complexity: O(N^rho*(H)) worst case (the wcoj branch); O(‖D‖ · |A|)
+        on the factorized and yannakakis branches; O(|A| · N^{w+1}) on
+        the treewidth-dp branch.
+    """
+    mode = decision.mode
+    free_t = _validated_free(query, free)
+    counter = counter if counter is not None else CostCounter()
+    started = counter.total
+    inc(f"route.{decision.route}")
+    with span("route", counter=counter, route=decision.route, mode=mode):
+        relation: Relation | None = None
+        count: int | None = None
+        nonempty: bool | None = None
+        if mode == "count":
+            if decision.route == "factorized":
+                count = factorize(query, database, counter=counter).count()
+            else:
+                from ..csp.treewidth_dp import count_with_treewidth
+                from ..reductions.query_to_csp import query_to_csp
+
+                if database.max_relation_size() == 0:
+                    count = 0
+                else:
+                    reduction = query_to_csp(query, database)
+                    count = count_with_treewidth(reduction.target, counter=counter)
+        elif mode == "boolean":
+            if decision.route == "yannakakis":
+                nonempty = boolean_yannakakis(query, database, counter=counter)
+            else:
+                nonempty = boolean_generic_join(query, database, counter=counter)
+        else:
+            if decision.route == "factorized":
+                relation = factorize(
+                    query, database, free=free_t, counter=counter
+                ).materialize()
+            elif decision.route == "yannakakis":
+                relation = yannakakis(
+                    query, database, counter=counter, project_to=free_t
+                )
+            else:
+                answer = generic_join(query, database, counter=counter)
+                relation = project(answer, free_t, name="answer")
+    return RoutedAnswer(
+        decision=decision,
+        ops=counter.total - started,
+        relation=relation,
+        count=count,
+        nonempty=nonempty,
+    )

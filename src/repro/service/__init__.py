@@ -1,0 +1,33 @@
+"""The resident query service (ROADMAP item 2).
+
+``python -m repro.service serve`` boots an asyncio server (stdlib
+only) exposing database registration and query/solve endpoints over a
+persistent :class:`~repro.service.store.DatabaseStore`. Every request
+runs inside a fresh request-scoped
+:class:`~repro.observability.tracing.TraceContext` and
+:class:`~repro.observability.metrics.MetricsRegistry`, so each
+response carries its route decision
+(``factorized``/``yannakakis``/``wcoj``/``treewidth-dp``), its op
+count, and an exportable chrome-trace span tree — while the
+service-lifetime telemetry layer aggregates rolling latency
+histograms (p50/p95/p99 per endpoint and per route), plan-cache
+hit/miss/eviction counters, admission-control gauges, and a
+slow-query log, all rendered live by the ``/dashboard`` endpoint.
+"""
+
+from .admission import AdmissionController, RequestShedError
+from .plan_cache import PlanCache, PreparedPlan
+from .server import QueryService
+from .store import DatabaseStore
+from .telemetry import ServiceTelemetry, WindowedHistogram
+
+__all__ = [
+    "AdmissionController",
+    "DatabaseStore",
+    "PlanCache",
+    "PreparedPlan",
+    "QueryService",
+    "RequestShedError",
+    "ServiceTelemetry",
+    "WindowedHistogram",
+]

@@ -1,0 +1,99 @@
+"""Admission control: bounded concurrency with graceful shedding.
+
+The evaluation engines are CPU-bound Python, so the server gains
+nothing from running more than a handful of queries "at once" — excess
+concurrency only grows tail latency. The controller admits up to
+``max_concurrent`` requests into the evaluation section; up to
+``queue_limit`` more wait their turn (FIFO via the semaphore); anything
+beyond that is *shed* immediately with a 503 so clients see fast
+failure instead of an unbounded queue.
+
+Queue depth and in-flight count are exported as gauges, sheds as a
+counter, on whatever :class:`~repro.observability.metrics.MetricsRegistry`
+the service passes in — the service-lifetime one, so the dashboard can
+plot saturation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+from ..errors import ReproError
+from ..observability.metrics import MetricsRegistry
+
+
+class RequestShedError(ReproError):
+    """Raised when admission control rejects a request (maps to 503)."""
+
+
+class AdmissionController:
+    """Semaphore-guarded admission with a hard queue bound."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        queue_limit: int = 16,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ReproError(
+                f"max_concurrent must be positive, got {max_concurrent}"
+            )
+        if queue_limit < 0:
+            raise ReproError(f"queue_limit must be >= 0, got {queue_limit}")
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._semaphore = asyncio.Semaphore(max_concurrent)
+        self._in_flight = 0
+        self._queued = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    def _publish(self) -> None:
+        self.registry.gauge("admission.in_flight").set(self._in_flight)
+        self.registry.gauge("admission.queue_depth").set(self._queued)
+
+    @asynccontextmanager
+    async def admit(self):
+        """Async context manager guarding one request's evaluation.
+
+        Raises :class:`RequestShedError` without waiting when the queue
+        is already at its limit.
+        """
+        if self._in_flight >= self.max_concurrent and self._queued >= self.queue_limit:
+            self.registry.counter("admission.shed").inc()
+            raise RequestShedError(
+                f"service saturated: {self._in_flight} in flight, "
+                f"{self._queued} queued (limit {self.queue_limit})"
+            )
+        self._queued += 1
+        self._publish()
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._queued -= 1
+        self._in_flight += 1
+        self.registry.counter("admission.admitted").inc()
+        self._publish()
+        try:
+            yield
+        finally:
+            self._in_flight -= 1
+            self._publish()
+            self._semaphore.release()
+
+    def to_payload(self) -> dict:
+        return {
+            "max_concurrent": self.max_concurrent,
+            "queue_limit": self.queue_limit,
+            "in_flight": self._in_flight,
+            "queued": self._queued,
+        }

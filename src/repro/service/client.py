@@ -1,0 +1,175 @@
+"""An asyncio client for the query service, plus the load generator.
+
+The client speaks the same minimal HTTP/1.1 subset the server does,
+over one keep-alive connection per instance. The load generator fans
+out ``concurrency`` clients, drives a repeated-query workload through
+them, and reports *client-side* latency percentiles (exact, from the
+raw sorted sample — the service-side histograms are bucketed) together
+with throughput, so ``benchmarks/bench_service.py`` can sweep
+concurrency levels and the CI smoke job can assert on the result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from ..errors import ReproError
+from .http import HttpProtocolError
+
+
+def exact_percentile(values, q: float) -> float:
+    """The ``q``-quantile of a raw sample (nearest-rank), 0.0 if empty."""
+    if not values:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ReproError(f"quantile must be in (0, 1], got {q}")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * len(ordered)) - 1))
+    return float(ordered[index])
+
+
+class ServiceClient:
+    """One keep-alive connection to a running query service."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def request(
+        self, method: str, path: str, payload=None
+    ) -> tuple[int, object]:
+        """One round trip; returns (status, decoded JSON or raw text)."""
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Content-Type: application/json\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        parts = status_line.decode("latin-1").split(maxsplit=2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise HttpProtocolError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        content_type = headers.get("content-type", "")
+        if content_type.startswith("application/json"):
+            return status, json.loads(raw) if raw else None
+        return status, raw.decode("utf-8", "replace")
+
+    # -- convenience wrappers -------------------------------------------
+
+    async def register(self, name: str, relations: list[dict]) -> dict:
+        status, payload = await self.request(
+            "POST", "/databases", {"name": name, "relations": relations}
+        )
+        if status != 200:
+            raise ReproError(f"registration failed ({status}): {payload}")
+        return payload
+
+    async def query(
+        self,
+        database: str,
+        atoms: list[dict],
+        free=None,
+        mode: str = "enumerate",
+    ) -> tuple[int, dict]:
+        payload = {"database": database, "atoms": atoms, "mode": mode}
+        if free is not None:
+            payload["free"] = list(free)
+        return await self.request("POST", "/query", payload)
+
+    async def get_json(self, path: str):
+        status, payload = await self.request("GET", path)
+        if status != 200:
+            raise ReproError(f"GET {path} failed ({status}): {payload}")
+        return payload
+
+
+async def run_load(
+    host: str,
+    port: int,
+    workload: list[dict],
+    concurrency: int,
+    requests_per_worker: int,
+) -> dict:
+    """Drive the workload through ``concurrency`` keep-alive clients.
+
+    ``workload`` entries are query payloads (``database``, ``atoms``,
+    optional ``free``/``mode``); each worker walks them round-robin,
+    offset by its worker index so concurrent workers hit different
+    shapes at the same instant. Returns client-side latency stats,
+    throughput, and the per-entry responses of worker 0 (for the
+    byte-identity check against direct evaluation).
+    """
+    latencies_ms: list[float] = []
+    statuses: dict[int, int] = {}
+    sample_responses: list[dict] = []
+
+    async def worker(index: int) -> None:
+        async with ServiceClient(host, port) as client:
+            for step in range(requests_per_worker):
+                entry = workload[(index + step) % len(workload)]
+                begun = time.perf_counter()
+                status, payload = await client.request("POST", "/query", entry)
+                latencies_ms.append((time.perf_counter() - begun) * 1000.0)
+                statuses[status] = statuses.get(status, 0) + 1
+                if index == 0 and step < len(workload):
+                    sample_responses.append({"request": entry, "response": payload})
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(worker(i) for i in range(concurrency)))
+    wall_s = time.perf_counter() - wall_start
+    total = len(latencies_ms)
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "wall_s": wall_s,
+        "throughput_rps": (total / wall_s) if wall_s > 0 else 0.0,
+        "latency_ms": {
+            "mean": (sum(latencies_ms) / total) if total else 0.0,
+            "p50": exact_percentile(latencies_ms, 0.50),
+            "p95": exact_percentile(latencies_ms, 0.95),
+            "p99": exact_percentile(latencies_ms, 0.99),
+            "max": max(latencies_ms) if latencies_ms else 0.0,
+        },
+        "sample_responses": sample_responses,
+    }

@@ -1,0 +1,148 @@
+"""The prepared-plan cache: route decisions keyed by content.
+
+Deciding a route runs two GYO eliminations (cheap, but pure overhead
+on a hot query), and more importantly a *cold* evaluation rebuilds
+per-database index structures. The service therefore caches the
+:class:`~repro.relational.router.RouteDecision` — together with the
+validated free tuple — under a content-addressed key, the same
+discipline as the experiment result cache
+(:mod:`repro.observability.cache`): the key is a SHA-256 over the
+canonical JSON of everything the decision depends on, including the
+database *fingerprint*, so re-registering a database with different
+content invalidates every plan prepared against the old content.
+
+The cache is a bounded LRU. Hits, misses, and evictions are counted on
+the service-lifetime registry so the dashboard can show the hit ratio.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import InvalidInstanceError
+from ..relational.factorized import _validated_free
+from ..relational.query import JoinQuery
+from ..relational.router import RouteDecision, decide_route
+
+
+def plan_key(
+    query: JoinQuery,
+    free: tuple[str, ...],
+    mode: str,
+    database_name: str,
+    fingerprint: str,
+    backend: str,
+) -> str:
+    """The content-addressed cache key for one prepared plan."""
+    material = {
+        "atoms": [
+            {"relation": atom.relation_name, "attributes": list(atom.attributes)}
+            for atom in query.atoms
+        ],
+        "free": list(free),
+        "mode": mode,
+        "database": database_name,
+        "fingerprint": fingerprint,
+        "backend": backend,
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class PreparedPlan:
+    """A cached routing decision, ready to hand to ``run_route``."""
+
+    key: str
+    decision: RouteDecision
+    free: tuple[str, ...]
+    database_name: str
+    fingerprint: str
+
+
+class PlanCache:
+    """Bounded LRU of :class:`PreparedPlan` with hit/miss/eviction counts."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise InvalidInstanceError(
+                f"plan cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._plans: OrderedDict[str, PreparedPlan] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def hit_ratio(self) -> float:
+        """Hits over lookups since boot (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return (self.hits / lookups) if lookups else 0.0
+
+    def get_or_build(
+        self,
+        query: JoinQuery,
+        free,
+        mode: str,
+        database_name: str,
+        fingerprint: str,
+        backend: str,
+    ) -> tuple[PreparedPlan, bool]:
+        """Return ``(plan, was_hit)``, preparing and caching on miss.
+
+        A miss runs :func:`~repro.relational.router.decide_route` — so
+        invalid instances (bad mode, projected count) raise here, before
+        anything is cached.
+        """
+        free_t = _validated_free(query, free)
+        key = plan_key(query, free_t, mode, database_name, fingerprint, backend)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan, True
+        self.misses += 1
+        decision = decide_route(query, free=free_t, mode=mode)
+        plan = PreparedPlan(
+            key=key,
+            decision=decision,
+            free=free_t,
+            database_name=database_name,
+            fingerprint=fingerprint,
+        )
+        self._plans[key] = plan
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+        return plan, False
+
+    def invalidate_database(self, database_name: str) -> int:
+        """Drop every plan prepared against ``database_name``.
+
+        Fingerprint keying already makes stale plans unreachable; this
+        additionally frees their slots eagerly on re-registration.
+        """
+        stale = [
+            key
+            for key, plan in self._plans.items()
+            if plan.database_name == database_name
+        ]
+        for key in stale:
+            del self._plans[key]
+        return len(stale)
+
+    def to_payload(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio(),
+        }

@@ -1,0 +1,476 @@
+"""The resident query service: asyncio server, request-scoped scopes.
+
+Request lifecycle (the DESIGN.md "Service runtime" contract):
+
+1. parse — :mod:`repro.service.http` reads one keep-alive request;
+2. admit — ``POST /query`` passes through the
+   :class:`~repro.service.admission.AdmissionController` (everything
+   else — health, metrics, dashboard — is never shed, so the service
+   stays observable under saturation);
+3. prepare — the :class:`~repro.service.plan_cache.PlanCache` returns
+   the route decision (hit) or runs the dichotomy case split (miss);
+4. evaluate — inside a fresh request-scoped
+   :class:`~repro.observability.tracing.TraceContext` (tracked by
+   request id) and :class:`~repro.observability.metrics.MetricsRegistry`
+   installed on the ambient contextvars, so two concurrent requests
+   never observe each other's counters or spans;
+5. record — latency, route, ops land in the service-lifetime
+   :class:`~repro.service.telemetry.ServiceTelemetry`; the span tree is
+   kept in the request ring for ``GET /trace/{request_id}`` export.
+
+Evaluation itself is CPU-bound pure Python and runs *inline* on the
+event loop — the server interleaves requests at await points (admission,
+socket I/O), not mid-join. Admission control is what keeps tail latency
+bounded under that model: beyond ``max_concurrent + queue_limit``
+concurrent queries the service sheds with a 503 instead of queueing
+without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from ..counting import CostCounter
+from ..errors import ReproError, SchemaError
+from ..observability.chrome_trace import record_to_chrome_trace
+from ..observability.metrics import MetricsRegistry, activate_metrics
+from ..observability.tracing import TraceContext, activate
+from ..relational.query import Atom, JoinQuery
+from ..relational.router import run_route
+from .admission import AdmissionController, RequestShedError
+from .http import (
+    HttpProtocolError,
+    HttpRequest,
+    json_response_bytes,
+    read_request,
+    response_bytes,
+)
+from .plan_cache import PlanCache
+from .store import DatabaseStore
+from .telemetry import RequestRecord, ServiceTelemetry
+
+#: Schema tag stamped on exported per-request trace documents.
+TRACE_SCHEMA = "repro-service-trace/v1"
+
+
+def query_from_payload(payload: dict) -> JoinQuery:
+    """Build a :class:`JoinQuery` from a request's ``atoms`` list."""
+    atoms_payload = payload.get("atoms")
+    if not isinstance(atoms_payload, list) or not atoms_payload:
+        raise SchemaError("query payload needs a non-empty 'atoms' list")
+    atoms = []
+    for entry in atoms_payload:
+        if not isinstance(entry, dict):
+            raise SchemaError(f"atom entry must be an object, got {entry!r}")
+        try:
+            relation = entry["relation"]
+            attributes = entry["attributes"]
+        except KeyError as missing:
+            raise SchemaError(f"atom entry missing key {missing}") from missing
+        atoms.append(Atom(relation, tuple(attributes)))
+    return JoinQuery(atoms)
+
+
+def canonical_answers(tuples) -> list[list]:
+    """Answer tuples in the canonical wire order (sorted by ``repr``,
+    mixed-type safe) — the order the byte-identity acceptance check and
+    the load generator both use."""
+    return [list(t) for t in sorted(tuples, key=repr)]
+
+
+class QueryService:
+    """One resident service instance: store + caches + telemetry + server."""
+
+    def __init__(
+        self,
+        store: DatabaseStore | None = None,
+        backend: str = "columnar",
+        max_concurrent: int = 4,
+        queue_limit: int = 16,
+        plan_cache_capacity: int = 256,
+        slow_ms: float = 50.0,
+        window: int = 1024,
+        debug_hold_ms: float = 0.0,
+    ) -> None:
+        self.store = store if store is not None else DatabaseStore(backend=backend)
+        self.telemetry = ServiceTelemetry(slow_ms=slow_ms, window=window)
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.admission = AdmissionController(
+            max_concurrent, queue_limit, registry=self.telemetry.registry
+        )
+        #: Test seam: hold each admitted query this long (at an await
+        #: point) so shed/queue behaviour is deterministic to provoke.
+        self.debug_hold_ms = debug_hold_ms
+        self._request_seq = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- request ids ----------------------------------------------------
+
+    def next_request_id(self) -> str:
+        """Monotone per-process ids (``r000001``, ...) — deterministic,
+        unlike uuids, which the determinism policy forbids."""
+        self._request_seq += 1
+        return f"r{self._request_seq:06d}"
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self.handle_connection, host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ReproError("service not started; call start() first")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection loop ------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpProtocolError as exc:
+                    writer.write(
+                        json_response_bytes(
+                            400, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                data = await self.dispatch(request)
+                writer.write(data)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown while parked on readline: close quietly.
+            pass
+        finally:
+            writer.close()
+
+    # -- dispatch -------------------------------------------------------
+
+    def _endpoint_label(self, request: HttpRequest) -> str:
+        path = request.path.rstrip("/") or "/"
+        if path == "/databases":
+            return "register" if request.method == "POST" else "databases"
+        if path == "/query":
+            return "query"
+        if path.startswith("/trace"):
+            return "trace"
+        return path.lstrip("/") or "root"
+
+    async def dispatch(self, request: HttpRequest) -> bytes:
+        """Route one request; always returns serialized response bytes."""
+        request_id = self.next_request_id()
+        endpoint = self._endpoint_label(request)
+        started = time.perf_counter()
+        status = 200
+        route = ""
+        ops = 0
+        detail = ""
+        spans: list = []
+        metrics: dict = {}
+        try:
+            handler = self._resolve(request)
+            if handler is None:
+                status = 404
+                body = json_response_bytes(
+                    404, {"error": f"no such endpoint {request.method} {request.path}"}
+                )
+            else:
+                status, body, extra = await handler(request, request_id)
+                route = extra.get("route", "")
+                ops = extra.get("ops", 0)
+                detail = extra.get("detail", "")
+                spans = extra.get("spans", [])
+                metrics = extra.get("metrics", {})
+        except RequestShedError as exc:
+            status = 503
+            detail = str(exc)
+            body = json_response_bytes(
+                503,
+                {"error": detail, "request_id": request_id, "shed": True},
+                keep_alive=request.keep_alive,
+            )
+        except (HttpProtocolError, ReproError) as exc:
+            status = 400
+            detail = str(exc)
+            body = json_response_bytes(
+                400, {"error": detail, "request_id": request_id}
+            )
+        except (TypeError, ValueError, KeyError) as exc:
+            status = 400
+            detail = f"malformed request: {exc!r}"
+            body = json_response_bytes(
+                400, {"error": detail, "request_id": request_id}
+            )
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.telemetry.observe_request(
+            RequestRecord(
+                request_id=request_id,
+                endpoint=endpoint,
+                route=route,
+                status=status,
+                ops=ops,
+                elapsed_ms=elapsed_ms,
+                detail=detail,
+                spans=spans,
+                metrics=metrics,
+            )
+        )
+        return body
+
+    def _resolve(self, request: HttpRequest):
+        path = request.path.rstrip("/") or "/"
+        if request.method == "POST" and path == "/databases":
+            return self._handle_register
+        if request.method == "GET" and path == "/databases":
+            return self._handle_databases
+        if request.method == "POST" and path == "/query":
+            return self._handle_query
+        if request.method == "GET" and path == "/metrics":
+            return self._handle_metrics
+        if request.method == "GET" and path == "/healthz":
+            return self._handle_healthz
+        if request.method == "GET" and path == "/slowlog":
+            return self._handle_slowlog
+        if request.method == "GET" and path == "/dashboard":
+            return self._handle_dashboard
+        if request.method == "GET" and path == "/trace":
+            return self._handle_trace_all
+        if request.method == "GET" and path.startswith("/trace/"):
+            return self._handle_trace_one
+        return None
+
+    # -- endpoint handlers ----------------------------------------------
+    # Each returns (status, response_bytes, extras) where extras feeds
+    # the telemetry record (route/ops/spans/metrics for query requests).
+
+    async def _handle_register(self, request: HttpRequest, request_id: str):
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise SchemaError("registration payload must be an object")
+        name = payload.get("name")
+        relations = payload.get("relations")
+        if not isinstance(name, str):
+            raise SchemaError("registration payload needs a string 'name'")
+        fingerprint = self.store.register(name, relations)
+        dropped = self.plan_cache.invalidate_database(name)
+        self.telemetry.registry.gauge("store.databases").set(len(self.store))
+        body = json_response_bytes(
+            200,
+            {
+                "request_id": request_id,
+                "database": name,
+                "fingerprint": fingerprint,
+                "backend": self.store.backend,
+                "invalidated_plans": dropped,
+            },
+        )
+        return 200, body, {}
+
+    async def _handle_databases(self, request: HttpRequest, request_id: str):
+        body = json_response_bytes(
+            200, {"request_id": request_id, "databases": self.store.describe()}
+        )
+        return 200, body, {}
+
+    async def _handle_query(self, request: HttpRequest, request_id: str):
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise SchemaError("query payload must be an object")
+        database_name = payload.get("database")
+        if not isinstance(database_name, str):
+            raise SchemaError("query payload needs a string 'database'")
+        mode = payload.get("mode", "enumerate")
+        free = payload.get("free")
+        query = query_from_payload(payload)
+        database = self.store.get(database_name)
+        fingerprint = self.store.fingerprint(database_name)
+        plan, was_hit = self.plan_cache.get_or_build(
+            query, free, mode, database_name, fingerprint, self.store.backend
+        )
+        self.telemetry.registry.counter(
+            "plan_cache.hits" if was_hit else "plan_cache.misses"
+        ).inc()
+        trace = TraceContext(track=request_id)
+        registry = MetricsRegistry()
+        counter = CostCounter()
+        async with self.admission.admit():
+            if self.debug_hold_ms > 0:
+                await asyncio.sleep(self.debug_hold_ms / 1000.0)
+            # Request scope: these contextvars are task-local, so
+            # concurrent requests each see only their own registry/trace.
+            with activate(trace), activate_metrics(registry):
+                answer = run_route(
+                    query, database, plan.decision, free=plan.free, counter=counter
+                )
+        result = {
+            "request_id": request_id,
+            "database": database_name,
+            "fingerprint": fingerprint,
+            "mode": mode,
+            "free": list(plan.free),
+            "route": answer.decision.route,
+            "reason": answer.decision.reason,
+            "ops": answer.ops,
+            "plan_cache": {"hit": was_hit, "key": plan.key},
+            "metrics": registry.to_payload(),
+        }
+        if answer.relation is not None:
+            result["answers"] = canonical_answers(answer.relation.tuples)
+        if answer.count is not None:
+            result["count"] = answer.count
+        if answer.nonempty is not None:
+            result["nonempty"] = answer.nonempty
+        extras = {
+            "route": answer.decision.route,
+            "ops": answer.ops,
+            "detail": f"{database_name}: {len(query.atoms)} atoms, mode={mode}",
+            "spans": trace.to_payload(),
+            "metrics": registry.to_payload(),
+        }
+        return 200, json_response_bytes(200, result), extras
+
+    async def _handle_metrics(self, request: HttpRequest, request_id: str):
+        body = json_response_bytes(200, self.metrics_payload(request_id))
+        return 200, body, {}
+
+    def metrics_payload(self, request_id: str = "") -> dict:
+        payload = {
+            "service": {
+                "backend": self.store.backend,
+                "databases": self.store.names(),
+            },
+            "telemetry": self.telemetry.snapshot(),
+            "plan_cache": self.plan_cache.to_payload(),
+            "admission": self.admission.to_payload(),
+        }
+        if request_id:
+            payload["request_id"] = request_id
+        return payload
+
+    async def _handle_healthz(self, request: HttpRequest, request_id: str):
+        counters = self.telemetry.registry.to_payload().get("counters", {})
+        body = json_response_bytes(
+            200,
+            {
+                "status": "ok",
+                "request_id": request_id,
+                "databases": len(self.store),
+                "requests_total": counters.get("requests.total", 0),
+            },
+        )
+        return 200, body, {}
+
+    async def _handle_slowlog(self, request: HttpRequest, request_id: str):
+        body = json_response_bytes(
+            200,
+            {
+                "request_id": request_id,
+                "slow_ms": self.telemetry.slow_ms,
+                "slow_queries": [
+                    entry.to_payload() for entry in self.telemetry.slow_log
+                ],
+            },
+        )
+        return 200, body, {}
+
+    async def _handle_dashboard(self, request: HttpRequest, request_id: str):
+        from .dashboard import render_dashboard_html, render_dashboard_text
+
+        if request.query.get("format") == "text":
+            text = render_dashboard_text(self)
+            body = response_bytes(200, text.encode(), content_type="text/plain")
+        else:
+            html = render_dashboard_html(self)
+            body = response_bytes(
+                200, html.encode(), content_type="text/html; charset=utf-8"
+            )
+        return 200, body, {}
+
+    def trace_document(self, request_ids) -> dict:
+        """A chrome-trace document covering the given request ids."""
+        entries = []
+        for rid in request_ids:
+            record = self.telemetry.request(rid)
+            if record is None:
+                continue
+            entries.append(
+                {
+                    "key": rid,
+                    "status": "ok" if record.status < 400 else f"http-{record.status}",
+                    "spans": record.spans,
+                }
+            )
+        return record_to_chrome_trace(
+            {"schema": TRACE_SCHEMA, "experiments": entries}
+        )
+
+    async def _handle_trace_one(self, request: HttpRequest, request_id: str):
+        target = request.path.rstrip("/").rsplit("/", 1)[-1]
+        if self.telemetry.request(target) is None:
+            body = json_response_bytes(
+                404,
+                {
+                    "error": f"no request {target!r} in the trace ring",
+                    "request_id": request_id,
+                },
+            )
+            return 404, body, {}
+        document = self.trace_document([target])
+        body = response_bytes(
+            200, json.dumps(document, sort_keys=True).encode()
+        )
+        return 200, body, {}
+
+    async def _handle_trace_all(self, request: HttpRequest, request_id: str):
+        limit_text = request.query.get("limit", "32")
+        try:
+            limit = max(1, int(limit_text))
+        except ValueError as exc:
+            raise HttpProtocolError(f"bad limit {limit_text!r}") from exc
+        # One merged entry: spans from different requests stay on their
+        # own tracks (the per-request TraceContext stamped them), so the
+        # export shows one timeline lane per request.
+        records = [
+            record
+            for record in self.telemetry.recent_requests(limit)
+            if record.spans
+        ]
+        merged: list = []
+        for record in records:
+            merged.extend(record.spans)
+        document = record_to_chrome_trace(
+            {
+                "schema": TRACE_SCHEMA,
+                "experiments": [
+                    {"key": "service", "status": "ok", "spans": merged}
+                ],
+            }
+        )
+        body = response_bytes(
+            200, json.dumps(document, sort_keys=True).encode()
+        )
+        return 200, body, {}

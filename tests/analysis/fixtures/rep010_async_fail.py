@@ -1,0 +1,22 @@
+"""Async request handlers that block the event loop (every pattern)."""
+
+import subprocess
+import time
+from pathlib import Path
+
+
+async def handle(request):
+    time.sleep(0.1)
+    handle_file = open("payload.json")
+    snapshot_path = Path("snapshot.json")
+    snapshot = snapshot_path.read_text()
+    return handle_file, snapshot
+
+
+async def launch(pool, item):
+    future = pool.submit(item)
+    return future.result()
+
+
+async def shell():
+    return subprocess.run(["ls"])

@@ -1,0 +1,23 @@
+"""Async handlers that keep blocking work in sync helpers."""
+
+import asyncio
+from pathlib import Path
+
+
+async def handle(request):
+    await asyncio.sleep(0.01)
+    return snapshot()
+
+
+def snapshot():
+    return Path("snapshot.json").read_text()
+
+
+async def drain(queue):
+    while not queue.empty():
+        item = await queue.get()
+        record(item)
+
+
+def record(item):
+    return repr(item)

@@ -198,6 +198,28 @@ class TestRep007TransformRegistration:
         assert all(f.severity is Severity.ERROR for f in findings)
 
 
+class TestRep010AsyncBlocking:
+    def test_pass_when_blocking_work_stays_in_sync_helpers(self, findings_for):
+        findings = findings_for(
+            {"service/handlers.py": "rep010_async_pass.py"}, "REP010"
+        )
+        assert findings == []
+
+    def test_fail_flags_every_blocking_pattern(self, findings_for):
+        findings = findings_for(
+            {"service/handlers.py": "rep010_async_fail.py"}, "REP010"
+        )
+        assert codes(findings) == ["REP010"] * 5
+        messages = " ".join(f.message for f in findings)
+        assert "time.sleep" in messages
+        assert "open()" in messages
+        assert "read_text" in messages
+        assert "blocks on a future" in messages
+        assert "subprocess" in messages
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert {f.context for f in findings} == {"handle", "launch", "shell"}
+
+
 class TestParseFailures:
     def test_unparseable_file_is_a_finding(self, tmp_path):
         from repro.analysis import analyze_project, load_project

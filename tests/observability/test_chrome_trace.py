@@ -80,3 +80,78 @@ class TestTraceDocument:
     def test_export_is_deterministic(self):
         record = self.make_record()
         assert render_chrome_trace(record) == render_chrome_trace(record)
+
+
+class TestConcurrentTracks:
+    """Interleaved request-scoped traces must not share a thread lane."""
+
+    def overlapping_spans(self):
+        from repro.observability.tracing import TraceContext
+
+        alpha = TraceContext(track="r1")
+        beta = TraceContext(track="r2")
+        # Interleave the two contexts the way two concurrent asyncio
+        # requests would: alpha opens, beta opens, alpha nests, ...
+        with alpha.span("evaluate", a=1):
+            with beta.span("evaluate", b=2):
+                with alpha.span("join"):
+                    pass
+                with beta.span("join"):
+                    pass
+        merged = []
+        # Simulate arrival-order merging of the two span logs.
+        for one, two in zip(alpha.to_payload(), beta.to_payload()):
+            merged.extend((one, two))
+        return merged
+
+    def test_split_tracks_partitions_by_context(self):
+        from repro.observability.chrome_trace import split_tracks
+
+        merged = self.overlapping_spans()
+        tracks = split_tracks(merged)
+        assert [track for track, __ in tracks] == ["r1", "r2"]
+        assert all(len(spans) == 2 for __, spans in tracks)
+
+    def test_merged_concurrent_trace_gets_one_tid_per_request(self):
+        payload = {
+            "schema": "test",
+            "experiments": [
+                {"key": "service", "status": "ok", "spans": self.overlapping_spans()}
+            ],
+        }
+        document = record_to_chrome_trace(payload)
+        threads = {
+            event["args"]["name"]: event["tid"]
+            for event in document["traceEvents"]
+            if event["name"] == "thread_name"
+        }
+        assert set(threads) == {"service (ok) · r1", "service (ok) · r2"}
+        assert len(set(threads.values())) == 2
+        # Each lane holds its own intact two-span tree: the nested
+        # "join" spans stay children of their own context's "evaluate".
+        by_tid = {}
+        for event in document["traceEvents"]:
+            if event["ph"] == "X":
+                by_tid.setdefault(event["tid"], []).append(event)
+        for tid, events in by_tid.items():
+            names = sorted(e["name"] for e in events)
+            assert names == ["evaluate", "join"]
+
+    def test_untracked_spans_keep_the_historical_single_thread_layout(self):
+        payload = {
+            "schema": "test",
+            "experiments": [
+                {
+                    "key": "T1",
+                    "status": "ok",
+                    "spans": [make_span("solve", 0, 4)],
+                }
+            ],
+        }
+        document = record_to_chrome_trace(payload)
+        names = [
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["name"] == "thread_name"
+        ]
+        assert names == ["T1 (ok)"]

@@ -196,3 +196,53 @@ class TestSolverInstrumentation:
         assert payload["counters"]["dpll.calls"] == 1
         chains = payload["histograms"]["dpll.unit_chain_length"]
         assert chains["count"] > 0
+
+
+class TestPercentiles:
+    def test_interpolates_within_a_bucket(self):
+        hist = Histogram("h", bounds=(10.0, 20.0))
+        for value in (5.0, 15.0, 18.0, 19.0):
+            hist.observe(value)
+        # Rank 2 of 4 lands at the top of the (0, 10] bucket's share.
+        assert hist.percentile(0.25) == 10.0 * (1 / 1)
+        p50 = hist.percentile(0.50)
+        assert 10.0 < p50 <= 20.0
+        assert hist.percentile(1.0) == 20.0
+
+    def test_single_observation_all_quantiles_in_its_bucket(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        hist.observe(1.5)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert 1.0 < hist.percentile(q) <= 2.0
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.percentile(0.99) == 2.0
+
+    def test_empty_histogram_is_zero(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        assert hist.percentile(0.5) == 0.0
+
+    def test_invalid_quantiles_rejected(self):
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        for q in (0.0, -0.1, 1.5):
+            with pytest.raises(InvalidInstanceError):
+                hist.percentile(q)
+
+    def test_monotone_in_q(self):
+        hist = Histogram("h")
+        for value in (1, 3, 9, 30, 100, 400, 1000, 5000):
+            hist.observe(value)
+        quantiles = [hist.percentile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+
+    def test_payload_percentile_matches_live_histogram(self):
+        from repro.observability.metrics import payload_percentile
+
+        hist = Histogram("h")
+        for value in (2, 7, 70, 900):
+            hist.observe(value)
+        payload = hist.to_payload()
+        for q in (0.5, 0.95, 0.99):
+            assert payload_percentile(payload, q) == hist.percentile(q)

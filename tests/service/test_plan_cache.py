@@ -1,0 +1,105 @@
+"""Plan-cache keying: hits on repeats, invalidation on content change."""
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.relational.query import JoinQuery
+from repro.service.plan_cache import PlanCache, plan_key
+
+
+TRIANGLE = JoinQuery.triangle()
+PATH = JoinQuery.path(3)
+
+
+class TestPlanCache:
+    def test_repeat_lookup_hits(self):
+        cache = PlanCache(capacity=8)
+        plan, hit = cache.get_or_build(
+            TRIANGLE, None, "enumerate", "demo", "f1", "columnar"
+        )
+        assert not hit
+        again, hit = cache.get_or_build(
+            TRIANGLE, None, "enumerate", "demo", "f1", "columnar"
+        )
+        assert hit
+        assert again is plan
+        assert cache.hit_ratio() == 0.5
+
+    def test_fingerprint_change_misses(self):
+        cache = PlanCache(capacity=8)
+        cache.get_or_build(TRIANGLE, None, "enumerate", "demo", "f1", "columnar")
+        __, hit = cache.get_or_build(
+            TRIANGLE, None, "enumerate", "demo", "f2", "columnar"
+        )
+        assert not hit
+        assert cache.misses == 2
+
+    def test_mode_free_and_backend_all_key(self):
+        cache = PlanCache(capacity=16)
+        cache.get_or_build(PATH, None, "enumerate", "demo", "f1", "columnar")
+        variants = [
+            (PATH, None, "boolean", "demo", "f1", "columnar"),
+            (PATH, ("a1",), "enumerate", "demo", "f1", "columnar"),
+            (PATH, None, "enumerate", "demo", "f1", "naive"),
+            (PATH, None, "enumerate", "other", "f1", "columnar"),
+        ]
+        for args in variants:
+            __, hit = cache.get_or_build(*args)
+            assert not hit
+        assert cache.misses == 1 + len(variants)
+        assert cache.hits == 0
+
+    def test_eviction_counts_and_respects_capacity(self):
+        cache = PlanCache(capacity=2)
+        for fingerprint in ("f1", "f2", "f3"):
+            cache.get_or_build(
+                TRIANGLE, None, "enumerate", "demo", fingerprint, "columnar"
+            )
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # The oldest entry is the evicted one.
+        __, hit = cache.get_or_build(
+            TRIANGLE, None, "enumerate", "demo", "f1", "columnar"
+        )
+        assert not hit
+
+    def test_lru_touch_on_hit(self):
+        cache = PlanCache(capacity=2)
+        cache.get_or_build(TRIANGLE, None, "enumerate", "demo", "f1", "columnar")
+        cache.get_or_build(TRIANGLE, None, "enumerate", "demo", "f2", "columnar")
+        cache.get_or_build(TRIANGLE, None, "enumerate", "demo", "f1", "columnar")
+        cache.get_or_build(TRIANGLE, None, "enumerate", "demo", "f3", "columnar")
+        # f2 was least recently used and must be the evicted entry.
+        __, hit = cache.get_or_build(
+            TRIANGLE, None, "enumerate", "demo", "f1", "columnar"
+        )
+        assert hit
+
+    def test_invalidate_database_drops_only_its_plans(self):
+        cache = PlanCache(capacity=8)
+        cache.get_or_build(TRIANGLE, None, "enumerate", "demo", "f1", "columnar")
+        cache.get_or_build(PATH, None, "enumerate", "demo", "f1", "columnar")
+        cache.get_or_build(PATH, None, "enumerate", "other", "f1", "columnar")
+        assert cache.invalidate_database("demo") == 2
+        assert len(cache) == 1
+
+    def test_invalid_instances_raise_and_are_not_cached(self):
+        cache = PlanCache(capacity=8)
+        with pytest.raises(InvalidInstanceError):
+            cache.get_or_build(
+                TRIANGLE, ("a1",), "count", "demo", "f1", "columnar"
+            )
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidInstanceError):
+            PlanCache(capacity=0)
+
+    def test_plan_key_is_stable_and_content_addressed(self):
+        key_a = plan_key(TRIANGLE, TRIANGLE.attributes, "enumerate", "d", "f", "columnar")
+        key_b = plan_key(TRIANGLE, TRIANGLE.attributes, "enumerate", "d", "f", "columnar")
+        key_c = plan_key(TRIANGLE, TRIANGLE.attributes, "enumerate", "d", "g", "columnar")
+        assert key_a == key_b
+        assert key_a != key_c
+        assert len(key_a) == 64

@@ -1,0 +1,266 @@
+"""End-to-end service tests over a real asyncio server on port 0."""
+
+import asyncio
+import json
+
+from repro.counting import CostCounter
+from repro.relational.query import Atom, JoinQuery
+from repro.relational.router import execute_route
+from repro.service import QueryService
+from repro.service.client import ServiceClient
+from repro.service.server import canonical_answers
+from repro.service.store import database_from_payload
+
+EDGES = [[1, 2], [2, 3], [1, 3], [3, 4], [4, 1]]
+
+RELATIONS = [
+    {"name": name, "attributes": list(attrs), "tuples": EDGES}
+    for name, attrs in (
+        ("R1", ("a1", "a2")),
+        ("R2", ("a1", "a3")),
+        ("R3", ("a2", "a3")),
+    )
+]
+
+TRIANGLE_ATOMS = [
+    {"relation": "R1", "attributes": ["a1", "a2"]},
+    {"relation": "R2", "attributes": ["a1", "a3"]},
+    {"relation": "R3", "attributes": ["a2", "a3"]},
+]
+
+PATH_ATOMS = [
+    {"relation": "R1", "attributes": ["a1", "a2"]},
+    {"relation": "R3", "attributes": ["a2", "a3"]},
+]
+
+
+def route_counts(payload):
+    """The route.* counters of one response's request-scoped metrics."""
+    return {
+        name: value
+        for name, value in payload["metrics"]["counters"].items()
+        if name.startswith("route.")
+    }
+
+
+def run_service(test_coroutine, **service_kwargs):
+    """Boot a service on port 0, run the test body, tear down."""
+
+    async def main():
+        service = QueryService(**service_kwargs)
+        host, port = await service.start()
+        try:
+            async with ServiceClient(host, port) as client:
+                await client.register("demo", RELATIONS)
+                return await test_coroutine(service, host, port, client)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+class TestQueryEndpoint:
+    def test_response_carries_route_ops_and_identical_answers(self):
+        async def body(service, host, port, client):
+            status, payload = await client.query("demo", TRIANGLE_ATOMS)
+            assert status == 200
+            assert payload["route"] == "wcoj"
+            assert "cyclic" in payload["reason"]
+            assert payload["ops"] > 0
+            database = database_from_payload(RELATIONS)
+            direct = execute_route(
+                JoinQuery(
+                    Atom(a["relation"], tuple(a["attributes"]))
+                    for a in TRIANGLE_ATOMS
+                ),
+                database,
+            )
+            assert payload["answers"] == canonical_answers(direct.relation.tuples)
+            # The response's request-scoped metrics show exactly this
+            # request's route decision (plus the engine's own counters).
+            assert route_counts(payload) == {"route.wcoj": 1}
+            return payload
+
+        payload = run_service(body)
+        assert payload["request_id"].startswith("r")
+
+    def test_count_and_boolean_modes(self):
+        async def body(service, host, port, client):
+            __, count_payload = await client.query(
+                "demo", TRIANGLE_ATOMS, mode="count"
+            )
+            __, bool_payload = await client.query(
+                "demo", PATH_ATOMS, mode="boolean"
+            )
+            assert count_payload["route"] == "treewidth-dp"
+            assert bool_payload["route"] == "yannakakis"
+            assert isinstance(count_payload["count"], int)
+            assert bool_payload["nonempty"] is True
+            return None
+
+        run_service(body)
+
+    def test_plan_cache_hit_on_repeat_and_invalidation_on_reregister(self):
+        async def body(service, host, port, client):
+            __, first = await client.query("demo", PATH_ATOMS)
+            __, second = await client.query("demo", PATH_ATOMS)
+            assert first["plan_cache"]["hit"] is False
+            assert second["plan_cache"]["hit"] is True
+            assert first["plan_cache"]["key"] == second["plan_cache"]["key"]
+            assert first["answers"] == second["answers"]
+            await client.register(
+                "demo",
+                [dict(r, tuples=EDGES + [[9, 9]]) for r in RELATIONS],
+            )
+            __, third = await client.query("demo", PATH_ATOMS)
+            assert third["plan_cache"]["hit"] is False
+            assert third["answers"] != second["answers"]
+            return None
+
+        run_service(body)
+
+    def test_errors_are_400_and_unknown_endpoint_404(self):
+        async def body(service, host, port, client):
+            status, payload = await client.query("missing", PATH_ATOMS)
+            assert status == 400 and "missing" in payload["error"]
+            status, payload = await client.query("demo", PATH_ATOMS, mode="nope")
+            assert status == 400
+            status, payload = await client.query(
+                "demo", TRIANGLE_ATOMS, free=["a1"], mode="count"
+            )
+            assert status == 400 and "projections" in payload["error"]
+            status, __ = await client.request("GET", "/nope")
+            assert status == 404
+            metrics = await client.get_json("/metrics")
+            # Three 400s plus the 404 all count as rejected.
+            assert metrics["telemetry"]["counters"]["requests.rejected"] == 4
+            return None
+
+        run_service(body)
+
+
+class TestRequestScopedIsolation:
+    def test_concurrent_requests_never_observe_each_other(self):
+        async def body(service, host, port, client):
+            # Solo run establishes each query's op cost.
+            __, solo_tri = await client.query("demo", TRIANGLE_ATOMS)
+            __, solo_path = await client.query("demo", PATH_ATOMS)
+
+            async def one(atoms):
+                async with ServiceClient(host, port) as mine:
+                    return await mine.query("demo", atoms)
+
+            # debug_hold_ms keeps both requests in flight simultaneously.
+            results = await asyncio.gather(
+                *(one(TRIANGLE_ATOMS) for _ in range(2)),
+                *(one(PATH_ATOMS) for _ in range(2)),
+            )
+            for status, payload in results[:2]:
+                assert status == 200
+                assert route_counts(payload) == {"route.wcoj": 1}
+                assert payload["ops"] == solo_tri["ops"]
+            for status, payload in results[2:]:
+                assert status == 200
+                assert route_counts(payload) == {"route.factorized": 1}
+                assert payload["ops"] == solo_path["ops"]
+            return None
+
+        run_service(body, max_concurrent=4, debug_hold_ms=30.0)
+
+    def test_trace_export_keeps_concurrent_requests_on_distinct_tracks(self):
+        async def body(service, host, port, client):
+            async def one(atoms):
+                async with ServiceClient(host, port) as mine:
+                    return await mine.query("demo", atoms)
+
+            results = await asyncio.gather(
+                one(TRIANGLE_ATOMS), one(PATH_ATOMS)
+            )
+            rids = [payload["request_id"] for __, payload in results]
+            # Per-request export: one thread, named after the request.
+            status, document = await client.request("GET", f"/trace/{rids[0]}")
+            assert status == 200
+            names = [
+                e["args"]["name"]
+                for e in document["traceEvents"]
+                if e["name"] == "thread_name"
+            ]
+            assert names == [f"{rids[0]} (ok) · {rids[0]}"]
+            # Merged export: one tid per request, span trees intact.
+            status, merged = await client.request("GET", "/trace")
+            assert status == 200
+            tids_by_track = {}
+            for event in merged["traceEvents"]:
+                if event["name"] == "thread_name" and "·" in event["args"]["name"]:
+                    track = event["args"]["name"].split("·")[-1].strip()
+                    tids_by_track[track] = event["tid"]
+            assert set(rids) <= set(tids_by_track)
+            assert len({tids_by_track[r] for r in rids}) == 2
+            route_events = [
+                e for e in merged["traceEvents"] if e.get("name") == "route"
+            ]
+            assert {e["tid"] for e in route_events} >= {
+                tids_by_track[r] for r in rids
+            }
+            status, __ = await client.request("GET", "/trace/r999999")
+            assert status == 404
+            return None
+
+        run_service(body, max_concurrent=4, debug_hold_ms=20.0)
+
+
+class TestAdmissionControl:
+    def test_saturated_service_sheds_with_503(self):
+        async def body(service, host, port, client):
+            async def one():
+                async with ServiceClient(host, port) as mine:
+                    return await mine.query("demo", PATH_ATOMS)
+
+            results = await asyncio.gather(*(one() for _ in range(6)))
+            statuses = sorted(status for status, __ in results)
+            assert statuses.count(200) >= 1
+            assert statuses.count(503) >= 1
+            shed_payloads = [p for s, p in results if s == 503]
+            assert all(p["shed"] for p in shed_payloads)
+            metrics = await client.get_json("/metrics")
+            counters = metrics["telemetry"]["counters"]
+            assert counters["admission.shed"] == statuses.count(503)
+            assert metrics["admission"]["max_concurrent"] == 1
+            return None
+
+        run_service(body, max_concurrent=1, queue_limit=0, debug_hold_ms=80.0)
+
+
+class TestObservabilityEndpoints:
+    def test_healthz_metrics_slowlog_dashboard(self):
+        async def body(service, host, port, client):
+            await client.query("demo", TRIANGLE_ATOMS)
+            await client.query("demo", PATH_ATOMS)
+            health = await client.get_json("/healthz")
+            assert health["status"] == "ok" and health["databases"] == 1
+            metrics = await client.get_json("/metrics")
+            assert metrics["plan_cache"]["misses"] == 2
+            assert metrics["telemetry"]["route_mix"] == {
+                "factorized": 1,
+                "wcoj": 1,
+            }
+            summary = metrics["telemetry"]["endpoints"]["query"]
+            assert summary["count"] == 2
+            assert summary["p99_ms"] >= summary["p50_ms"] >= 0.0
+            # slow_ms=0 ⇒ every query lands in the slow log.
+            slowlog = await client.get_json("/slowlog")
+            assert len(slowlog["slow_queries"]) == 2
+            assert {s["route"] for s in slowlog["slow_queries"]} == {
+                "factorized",
+                "wcoj",
+            }
+            status, text = await client.request("GET", "/dashboard?format=text")
+            assert status == 200
+            assert "p99" in text and "route mix" in text and "wcoj" in text
+            status, html_doc = await client.request("GET", "/dashboard")
+            assert status == 200
+            assert "<table>" in html_doc and "p99" in html_doc
+            assert "factorized" in html_doc
+            return None
+
+        run_service(body, slow_ms=0.0)
