@@ -7,7 +7,16 @@ The parallel runner executes experiment payloads in worker processes
   (over the call graph) from a pool-submitted entry point that mutates
   a module-level container or rebinds a ``global``: each worker mutates
   its *own copy* of the module, the parent never sees it, and results
-  differ between serial and parallel runs;
+  differ between serial and parallel runs. Entry points are collected
+  from ``pool.submit(fn, ...)`` / ``pool.map(fn, ...)`` *and* from
+  ``loop.run_in_executor(pool, fn, ...)`` — the sharded service
+  executor dispatches worker functions through the latter. Note the
+  scope: raw module-level *containers* (dicts/lists/sets) are flagged;
+  worker-resident state held behind a dedicated state class applied
+  through an explicit replication protocol (the
+  ``repro.service.executor.WorkerShard`` pattern, the process-pool
+  analogue of the KernelState version discipline) is the sanctioned
+  alternative and is not;
 * **ContextVar without a default read via ``.get()``** — in a fresh
   worker process nothing has ``.set()`` the var, so a bare ``.get()``
   raises ``LookupError`` only in parallel runs (the serial path sets it

@@ -28,7 +28,7 @@ from .policy import (
 )
 
 #: Bump when the summary shape changes; the cache discards mismatches.
-SUMMARY_VERSION = 2
+SUMMARY_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -415,6 +415,14 @@ class _FunctionVisitor:
         last = parts[-1]
         if last in ("submit", "map") and len(parts) >= 2 and call.args:
             target = dotted_name(call.args[0])
+            if target is not None:
+                self.summary.submitted.append(
+                    CallSite(target, call.lineno, depth, is_ref=True)
+                )
+        # loop.run_in_executor(pool, fn, *args): fn is a worker-dispatch
+        # entry point exactly like pool.submit(fn) — argument 2, not 1.
+        if last == "run_in_executor" and len(parts) >= 2 and len(call.args) >= 2:
+            target = dotted_name(call.args[1])
             if target is not None:
                 self.summary.submitted.append(
                     CallSite(target, call.lineno, depth, is_ref=True)

@@ -13,21 +13,34 @@ service-lifetime telemetry layer aggregates rolling latency
 histograms (p50/p95/p99 per endpoint and per route), plan-cache
 hit/miss/eviction counters, admission-control gauges, and a
 slow-query log, all rendered live by the ``/dashboard`` endpoint.
+
+For multi-core serving, ``--workers N`` shards the store across warm
+worker processes (:class:`~repro.service.executor.ShardedExecutor`)
+and dispatches evaluation to the owning shard; single-flight
+coalescing and an optional query result cache
+(:mod:`repro.service.coalesce`) dedupe identical work in front of
+admission. All execution paths produce byte-identical responses.
 """
 
 from .admission import AdmissionController, RequestShedError
-from .plan_cache import PlanCache, PreparedPlan
+from .coalesce import ResultCache, SingleFlight
+from .executor import ShardedExecutor
+from .plan_cache import BoundedLruCache, PlanCache, PreparedPlan
 from .server import QueryService
 from .store import DatabaseStore
 from .telemetry import ServiceTelemetry, WindowedHistogram
 
 __all__ = [
     "AdmissionController",
+    "BoundedLruCache",
     "DatabaseStore",
     "PlanCache",
     "PreparedPlan",
     "QueryService",
     "RequestShedError",
+    "ResultCache",
     "ServiceTelemetry",
+    "ShardedExecutor",
+    "SingleFlight",
     "WindowedHistogram",
 ]

@@ -51,9 +51,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
     serve.add_argument("--backend", default="columnar")
-    serve.add_argument("--max-concurrency", type=int, default=4)
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=None,
+        help="concurrent evaluations (default: 4 inline, 2x workers sharded)",
+    )
     serve.add_argument("--queue-limit", type=int, default=16)
     serve.add_argument("--plan-cache", type=int, default=256)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard worker processes; 0 evaluates inline on the event loop",
+    )
+    serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=0,
+        help="query result cache capacity; 0 disables it",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable single-flight coalescing of identical in-flight queries",
+    )
     serve.add_argument("--slow-ms", type=float, default=50.0)
     serve.add_argument("--window", type=int, default=1024)
     serve.add_argument(
@@ -78,13 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 async def _serve(args) -> None:
     store = DatabaseStore(directory=args.store, backend=args.backend)
+    max_concurrent = args.max_concurrency
+    if max_concurrent is None:
+        # Sharded serving wants enough admission slots to keep every
+        # worker busy plus headroom for replication turnarounds.
+        max_concurrent = 4 if args.workers == 0 else max(8, 2 * args.workers)
     service = QueryService(
         store=store,
-        max_concurrent=args.max_concurrency,
+        max_concurrent=max_concurrent,
         queue_limit=args.queue_limit,
         plan_cache_capacity=args.plan_cache,
         slow_ms=args.slow_ms,
         window=args.window,
+        workers=args.workers,
+        coalesce=not args.no_coalesce,
+        result_cache_capacity=args.result_cache,
     )
     if args.preload:
         store.register("demo", demo_relations())

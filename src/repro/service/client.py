@@ -116,6 +116,27 @@ class ServiceClient:
             payload["free"] = list(free)
         return await self.request("POST", "/query", payload)
 
+    async def solve(
+        self,
+        domain: list,
+        constraints: list[dict],
+        method: str = "auto",
+        variables: list | None = None,
+    ) -> tuple[int, dict]:
+        """POST one CSP instance to ``/solve``.
+
+        ``constraints`` entries are ``{"scope": [...], "allowed":
+        [[...], ...]}`` objects, the wire form of ⟨scope, relation⟩.
+        """
+        payload: dict = {
+            "domain": domain,
+            "constraints": constraints,
+            "method": method,
+        }
+        if variables is not None:
+            payload["variables"] = list(variables)
+        return await self.request("POST", "/solve", payload)
+
     async def get_json(self, path: str):
         status, payload = await self.request("GET", path)
         if status != 200:

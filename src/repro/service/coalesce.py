@@ -1,0 +1,99 @@
+"""Single-flight request coalescing and the query result cache.
+
+Two demand-side optimizations that pair with the sharded executor's
+supply-side parallelism — both keyed on the content-addressed plan key
+(:func:`~repro.service.plan_cache.plan_key`), which already folds in
+the query shape, mode, free tuple, backend, and database fingerprint,
+so *same key* provably means *same answer*:
+
+* **Single-flight** (:class:`SingleFlight`) — when N identical
+  requests are in flight at once, the first (the *leader*) evaluates;
+  the other N−1 (*followers*) await the leader's future and share its
+  result. Under a hot-spot workload this turns a thundering herd into
+  one evaluation, and because followers never enter admission, the
+  admission slots they would have occupied stay available for
+  distinct queries.
+* **Result cache** (:class:`ResultCache`) — a bounded LRU from plan
+  key to the finished *evaluation core*, serving repeats of a query
+  without any evaluation at all. Consistency is inherited from the
+  key: the store re-fingerprints on mutation and re-registration, so
+  a changed database yields a new key and the stale entry simply
+  stops matching (eventually evicted by LRU); re-registration also
+  drops entries eagerly, mirroring the plan cache.
+
+Coalescing shares *results*, not response envelopes: each follower
+still gets its own request id and a ``coalesced: true`` marker, and
+the shared core is copied before per-request fields are added.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..observability.metrics import MetricsRegistry
+from .plan_cache import BoundedLruCache
+
+
+class SingleFlight:
+    """Deduplicate concurrent identical work onto one leader evaluation.
+
+    ``run(key, thunk)`` either becomes the leader (spawns ``thunk`` as
+    a task every awaiter shares) or a follower (awaits the leader's
+    task). The leader's exception — shed, evaluation failure — reaches
+    every awaiter identically; the evaluation runs as its own task, so
+    one awaiter being cancelled (client disconnect) never tears the
+    flight down under the others. The key leaves the in-flight table
+    the moment the task completes, so a request arriving afterwards
+    starts a fresh flight; and because the key is content-addressed
+    (fingerprint included), whatever a live flight returns is correct
+    for every request that coalesced onto it.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._inflight: dict[str, asyncio.Task] = {}
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, key: str, thunk) -> tuple[object, bool]:
+        """Returns ``(result, coalesced)`` — coalesced is True for followers."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.registry.counter("coalesce.followers").inc()
+            return await existing, True
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(thunk())
+        self._inflight[key] = task
+        task.add_done_callback(lambda __: self._inflight.pop(key, None))
+        self.registry.counter("coalesce.leaders").inc()
+        return await task, False
+
+    def to_payload(self) -> dict:
+        counters = self.registry.to_payload().get("counters", {})
+        return {
+            "inflight": len(self._inflight),
+            "leaders": counters.get("coalesce.leaders", 0),
+            "followers": counters.get("coalesce.followers", 0),
+        }
+
+
+class ResultCache(BoundedLruCache):
+    """Bounded LRU from plan key to a finished evaluation core.
+
+    Entries store ``(database_name, core)``; the name exists only so
+    re-registration can evict eagerly — consistency never depends on
+    it, because the key embeds the content fingerprint.
+    """
+
+    def get(self, key: str) -> dict | None:
+        entry = self.lookup(key)
+        return entry[1] if entry is not None else None
+
+    def put(self, key: str, database_name: str, core: dict) -> None:
+        self.insert(key, (database_name, core))
+
+    def invalidate_database(self, database_name: str) -> int:
+        """Eagerly drop every result evaluated against ``database_name``."""
+        return self.drop_where(lambda __, entry: entry[0] == database_name)

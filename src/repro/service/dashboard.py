@@ -41,6 +41,9 @@ def render_dashboard_text_from_payload(payload: dict) -> str:
     plan_cache = payload.get("plan_cache", {})
     admission = payload.get("admission", {})
     service = payload.get("service", {})
+    coalesce = payload.get("coalesce", {})
+    executor = payload.get("executor")
+    result_cache = payload.get("result_cache")
     lines = [
         "== repro query service ==",
         (
@@ -66,9 +69,34 @@ def render_dashboard_text_from_payload(payload: dict) -> str:
             f"(max {admission.get('max_concurrent', '?')}, "
             f"queue limit {admission.get('queue_limit', '?')})"
         ),
-        "",
-        "-- latency (ms) --",
+        (
+            f"coalesce: {coalesce.get('leaders', 0)} leaders, "
+            f"{coalesce.get('followers', 0)} followers, "
+            f"{coalesce.get('inflight', 0)} in flight"
+        ),
     ]
+    if result_cache is not None:
+        lines.append(
+            f"result cache: {result_cache.get('size', 0)}/"
+            f"{result_cache.get('capacity', 0)} entries, "
+            f"hits {result_cache.get('hits', 0)}, "
+            f"misses {result_cache.get('misses', 0)}, "
+            f"evictions {result_cache.get('evictions', 0)}, "
+            f"hit ratio {result_cache.get('hit_ratio', 0.0):.2f}"
+        )
+    if executor is not None:
+        lines.append(
+            f"executor: {executor.get('workers', 0)} workers "
+            f"({executor.get('start_method', '?')}), "
+            f"started {executor.get('started', False)}"
+        )
+        for shard, view in sorted(executor.get("shards", {}).items()):
+            owned = ", ".join(view.get("databases", ())) or "(empty)"
+            lines.append(
+                f"  shard {shard}: {view.get('dispatched', 0)} dispatched  "
+                f"{owned}"
+            )
+    lines.extend(["", "-- latency (ms) --"])
     rows = _latency_rows(telemetry)
     if rows:
         name_width = max(len(f"{scope} {name}") for scope, name, __ in rows)
@@ -157,6 +185,58 @@ def render_dashboard_html_from_payload(payload: dict) -> str:
             plan_cache.get("hit_ratio", 0.0),
         )
     )
+    coalesce = payload.get("coalesce", {})
+    body.append("<h2>Coalescing</h2>")
+    body.append(
+        "<table><thead><tr><th>leaders</th><th>followers</th>"
+        "<th>in flight</th></tr></thead><tbody>"
+        "<tr><td>{}</td><td>{}</td><td>{}</td></tr></tbody></table>".format(
+            coalesce.get("leaders", 0),
+            coalesce.get("followers", 0),
+            coalesce.get("inflight", 0),
+        )
+    )
+    result_cache = payload.get("result_cache")
+    if result_cache is not None:
+        body.append("<h2>Result cache</h2>")
+        body.append(
+            "<table><thead><tr><th>size</th><th>capacity</th><th>hits</th>"
+            "<th>misses</th><th>evictions</th><th>hit ratio</th></tr></thead>"
+            "<tbody><tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+            "<td>{}</td><td>{:.2f}</td></tr></tbody></table>".format(
+                result_cache.get("size", 0),
+                result_cache.get("capacity", 0),
+                result_cache.get("hits", 0),
+                result_cache.get("misses", 0),
+                result_cache.get("evictions", 0),
+                result_cache.get("hit_ratio", 0.0),
+            )
+        )
+    executor = payload.get("executor")
+    if executor is not None:
+        body.append(
+            "<h2>Sharded executor ({} workers, {})</h2>".format(
+                executor.get("workers", 0),
+                _html.escape(str(executor.get("start_method", "?"))),
+            )
+        )
+        shard_rows = "".join(
+            "<tr><td>{}</td><td>{}</td><td>{}</td></tr>".format(
+                _html.escape(str(shard)),
+                view.get("dispatched", 0),
+                ", ".join(
+                    f"<code>{_html.escape(name)}</code>"
+                    for name in view.get("databases", ())
+                )
+                or "(empty)",
+            )
+            for shard, view in sorted(executor.get("shards", {}).items())
+        )
+        body.append(
+            "<table><thead><tr><th>shard</th><th>dispatched</th>"
+            "<th>databases</th></tr></thead>"
+            f"<tbody>{shard_rows}</tbody></table>"
+        )
     body.append("<h2>Latency percentiles (ms)</h2>")
     rows = _latency_rows(telemetry)
     if rows:

@@ -11,8 +11,11 @@ canonical JSON of everything the decision depends on, including the
 database *fingerprint*, so re-registering a database with different
 content invalidates every plan prepared against the old content.
 
-The cache is a bounded LRU. Hits, misses, and evictions are counted on
-the service-lifetime registry so the dashboard can show the hit ratio.
+Both service caches — this one and the query result cache
+(:class:`~repro.service.coalesce.ResultCache`) — are bounded LRUs
+keyed by the same content-addressed plan key, so they share one
+mechanism: :class:`BoundedLruCache`. Hits, misses, and evictions are
+counted so the dashboard can show hit ratios side by side.
 """
 
 from __future__ import annotations
@@ -36,7 +39,14 @@ def plan_key(
     fingerprint: str,
     backend: str,
 ) -> str:
-    """The content-addressed cache key for one prepared plan."""
+    """The content-addressed cache key for one prepared plan.
+
+    Because the material includes the database fingerprint, this one
+    key also identifies an *evaluation*: same key ⇒ same query shape,
+    route inputs, and database content ⇒ same answers. Single-flight
+    coalescing and the result cache both key on it for exactly that
+    reason.
+    """
     material = {
         "atoms": [
             {"relation": atom.relation_name, "attributes": list(atom.attributes)}
@@ -63,27 +73,78 @@ class PreparedPlan:
     fingerprint: str
 
 
-class PlanCache:
-    """Bounded LRU of :class:`PreparedPlan` with hit/miss/eviction counts."""
+class BoundedLruCache:
+    """A bounded LRU with hit/miss/eviction accounting.
+
+    The shared substrate of the plan cache and the query result cache:
+    string keys (content-addressed SHA-256 digests), move-to-end on
+    hit, FIFO eviction of the least-recently-used entry past capacity.
+    Values are never ``None`` — lookups use ``None`` as the miss
+    sentinel.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise InvalidInstanceError(
-                f"plan cache capacity must be positive, got {capacity}"
+                f"{type(self).__name__} capacity must be positive, got {capacity}"
             )
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._plans: OrderedDict[str, PreparedPlan] = OrderedDict()
+        self._entries: OrderedDict[str, object] = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        return len(self._entries)
+
+    def lookup(self, key: str):
+        """The cached value (refreshing recency) or ``None`` on miss."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def insert(self, key: str, value) -> None:
+        if value is None:
+            raise InvalidInstanceError(
+                f"{type(self).__name__}: None is the miss sentinel, not a value"
+            )
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def drop_where(self, predicate) -> int:
+        """Evict every entry whose ``(key, value)`` satisfies ``predicate``."""
+        stale = [
+            key for key, value in self._entries.items() if predicate(key, value)
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
 
     def hit_ratio(self) -> float:
         """Hits over lookups since boot (0.0 before the first lookup)."""
         lookups = self.hits + self.misses
         return (self.hits / lookups) if lookups else 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": self.hit_ratio(),
+        }
+
+
+class PlanCache(BoundedLruCache):
+    """Bounded LRU of :class:`PreparedPlan` with hit/miss/eviction counts."""
 
     def get_or_build(
         self,
@@ -102,12 +163,9 @@ class PlanCache:
         """
         free_t = _validated_free(query, free)
         key = plan_key(query, free_t, mode, database_name, fingerprint, backend)
-        plan = self._plans.get(key)
+        plan = self.lookup(key)
         if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(key)
             return plan, True
-        self.misses += 1
         decision = decide_route(query, free=free_t, mode=mode)
         plan = PreparedPlan(
             key=key,
@@ -116,10 +174,7 @@ class PlanCache:
             database_name=database_name,
             fingerprint=fingerprint,
         )
-        self._plans[key] = plan
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
-            self.evictions += 1
+        self.insert(key, plan)
         return plan, False
 
     def invalidate_database(self, database_name: str) -> int:
@@ -128,21 +183,6 @@ class PlanCache:
         Fingerprint keying already makes stale plans unreachable; this
         additionally frees their slots eagerly on re-registration.
         """
-        stale = [
-            key
-            for key, plan in self._plans.items()
-            if plan.database_name == database_name
-        ]
-        for key in stale:
-            del self._plans[key]
-        return len(stale)
-
-    def to_payload(self) -> dict:
-        return {
-            "capacity": self.capacity,
-            "size": len(self._plans),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_ratio": self.hit_ratio(),
-        }
+        return self.drop_where(
+            lambda __, plan: plan.database_name == database_name
+        )

@@ -18,12 +18,21 @@ Request lifecycle (the DESIGN.md "Service runtime" contract):
    :class:`~repro.service.telemetry.ServiceTelemetry`; the span tree is
    kept in the request ring for ``GET /trace/{request_id}`` export.
 
-Evaluation itself is CPU-bound pure Python and runs *inline* on the
-event loop — the server interleaves requests at await points (admission,
-socket I/O), not mid-join. Admission control is what keeps tail latency
-bounded under that model: beyond ``max_concurrent + queue_limit``
-concurrent queries the service sheds with a 503 instead of queueing
-without bound.
+Evaluation is CPU-bound pure Python. With ``workers=0`` (the default)
+it runs *inline* on the event loop — the server interleaves requests
+at await points (admission, socket I/O), not mid-join. With
+``workers=N`` the :class:`~repro.service.executor.ShardedExecutor`
+dispatches it to the database's owning worker process instead, so the
+loop stays free and evaluation uses all cores; both paths run the same
+:func:`~repro.service.executor.evaluate_core`, so responses are
+byte-identical either way. Two demand-side layers sit in front of
+evaluation (:mod:`repro.service.coalesce`): single-flight coalescing
+(identical in-flight requests share one evaluation) and an optional
+result cache (repeats of a finished evaluation skip it entirely).
+Admission control is what keeps tail latency bounded: beyond
+``max_concurrent + queue_limit`` concurrent *evaluations* the service
+sheds with a 503 instead of queueing without bound — coalesced
+followers and result-cache hits never occupy an admission slot.
 """
 
 from __future__ import annotations
@@ -33,13 +42,16 @@ import json
 import time
 
 from ..counting import CostCounter
+from ..csp.instance import Constraint, CSPInstance
+from ..csp.solver import solve as solve_csp
 from ..errors import ReproError, SchemaError
 from ..observability.chrome_trace import record_to_chrome_trace
 from ..observability.metrics import MetricsRegistry, activate_metrics
 from ..observability.tracing import TraceContext, activate
 from ..relational.query import Atom, JoinQuery
-from ..relational.router import run_route
 from .admission import AdmissionController, RequestShedError
+from .coalesce import ResultCache, SingleFlight
+from .executor import ShardedExecutor, canonical_answers, evaluate_core
 from .http import (
     HttpProtocolError,
     HttpRequest,
@@ -50,6 +62,14 @@ from .http import (
 from .plan_cache import PlanCache
 from .store import DatabaseStore
 from .telemetry import RequestRecord, ServiceTelemetry
+
+__all__ = [
+    "QueryService",
+    "canonical_answers",
+    "csp_from_payload",
+    "query_from_payload",
+    "strip_volatile",
+]
 
 #: Schema tag stamped on exported per-request trace documents.
 TRACE_SCHEMA = "repro-service-trace/v1"
@@ -73,11 +93,57 @@ def query_from_payload(payload: dict) -> JoinQuery:
     return JoinQuery(atoms)
 
 
-def canonical_answers(tuples) -> list[list]:
-    """Answer tuples in the canonical wire order (sorted by ``repr``,
-    mixed-type safe) — the order the byte-identity acceptance check and
-    the load generator both use."""
-    return [list(t) for t in sorted(tuples, key=repr)]
+def csp_from_payload(payload: dict) -> CSPInstance:
+    """Build a :class:`CSPInstance` from a ``/solve`` request payload.
+
+    Expected shape: a non-empty ``domain`` list, a non-empty
+    ``constraints`` list of ``{"scope": [...], "allowed": [[...]]}``
+    objects, and an optional explicit ``variables`` list (defaults to
+    the scope variables in first-occurrence order).
+    """
+    domain = payload.get("domain")
+    if not isinstance(domain, list) or not domain:
+        raise SchemaError("solve payload needs a non-empty 'domain' list")
+    constraints_payload = payload.get("constraints")
+    if not isinstance(constraints_payload, list) or not constraints_payload:
+        raise SchemaError("solve payload needs a non-empty 'constraints' list")
+    constraints = []
+    scope_order: list = []
+    seen: set = set()
+    for entry in constraints_payload:
+        if not isinstance(entry, dict):
+            raise SchemaError(f"constraint entry must be an object, got {entry!r}")
+        try:
+            scope = entry["scope"]
+            allowed = entry["allowed"]
+        except KeyError as missing:
+            raise SchemaError(f"constraint entry missing key {missing}") from missing
+        constraints.append(Constraint(tuple(scope), (tuple(t) for t in allowed)))
+        for variable in scope:
+            if variable not in seen:
+                seen.add(variable)
+                scope_order.append(variable)
+    variables = payload.get("variables", scope_order)
+    return CSPInstance(variables, domain, constraints)
+
+
+#: Response fields that legitimately differ between service
+#: configurations or between coalesced siblings of one evaluation.
+#: Everything else — answers, counts, route, reason, ops, and the
+#: request-scoped op-based metrics — is a pure function of (query,
+#: database content) and must match byte for byte across ``--workers``
+#: settings; the property suite and the scaling bench both compare
+#: through this filter.
+VOLATILE_FIELDS = frozenset(
+    {"request_id", "plan_cache", "coalesced", "result_cache"}
+)
+
+
+def strip_volatile(payload: dict) -> dict:
+    """A ``/query`` response minus per-request/per-config fields."""
+    return {
+        key: value for key, value in payload.items() if key not in VOLATILE_FIELDS
+    }
 
 
 class QueryService:
@@ -93,12 +159,28 @@ class QueryService:
         slow_ms: float = 50.0,
         window: int = 1024,
         debug_hold_ms: float = 0.0,
+        workers: int = 0,
+        coalesce: bool = True,
+        result_cache_capacity: int = 0,
     ) -> None:
         self.store = store if store is not None else DatabaseStore(backend=backend)
         self.telemetry = ServiceTelemetry(slow_ms=slow_ms, window=window)
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.admission = AdmissionController(
             max_concurrent, queue_limit, registry=self.telemetry.registry
+        )
+        #: ``workers=0``: evaluate inline on the loop (single-process
+        #: PR 8 behavior, byte-identical). ``workers=N``: dispatch to
+        #: the owning shard's warm worker process.
+        self.executor = (
+            ShardedExecutor(self.store, workers, registry=self.telemetry.registry)
+            if workers > 0
+            else None
+        )
+        self.coalesce_enabled = coalesce
+        self.single_flight = SingleFlight(registry=self.telemetry.registry)
+        self.result_cache = (
+            ResultCache(result_cache_capacity) if result_cache_capacity > 0 else None
         )
         #: Test seam: hold each admitted query this long (at an await
         #: point) so shed/queue behaviour is deterministic to provoke.
@@ -118,11 +200,19 @@ class QueryService:
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Bind and start serving; returns the bound (host, port)."""
+        await self.ensure_executor()
         self._server = await asyncio.start_server(
             self.handle_connection, host=host, port=port
         )
         sockname = self._server.sockets[0].getsockname()
         return sockname[0], sockname[1]
+
+    async def ensure_executor(self) -> None:
+        """Warm the worker pools (no-op when ``workers=0`` or already
+        warm). Socketless callers that use :meth:`dispatch` directly
+        must await this before the first query."""
+        if self.executor is not None and not self.executor.started:
+            await self.executor.start()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -135,6 +225,8 @@ class QueryService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.executor is not None:
+            self.executor.shutdown()
 
     # -- connection loop ------------------------------------------------
 
@@ -176,6 +268,8 @@ class QueryService:
             return "register" if request.method == "POST" else "databases"
         if path == "/query":
             return "query"
+        if path == "/solve":
+            return "solve"
         if path.startswith("/trace"):
             return "trace"
         return path.lstrip("/") or "root"
@@ -191,6 +285,8 @@ class QueryService:
         detail = ""
         spans: list = []
         metrics: dict = {}
+        shard = -1
+        source = ""
         try:
             handler = self._resolve(request)
             if handler is None:
@@ -205,6 +301,8 @@ class QueryService:
                 detail = extra.get("detail", "")
                 spans = extra.get("spans", [])
                 metrics = extra.get("metrics", {})
+                shard = extra.get("shard", -1)
+                source = extra.get("source", "")
         except RequestShedError as exc:
             status = 503
             detail = str(exc)
@@ -237,6 +335,8 @@ class QueryService:
                 detail=detail,
                 spans=spans,
                 metrics=metrics,
+                shard=shard,
+                source=source,
             )
         )
         return body
@@ -249,6 +349,8 @@ class QueryService:
             return self._handle_databases
         if request.method == "POST" and path == "/query":
             return self._handle_query
+        if request.method == "POST" and path == "/solve":
+            return self._handle_solve
         if request.method == "GET" and path == "/metrics":
             return self._handle_metrics
         if request.method == "GET" and path == "/healthz":
@@ -277,6 +379,10 @@ class QueryService:
             raise SchemaError("registration payload needs a string 'name'")
         fingerprint = self.store.register(name, relations)
         dropped = self.plan_cache.invalidate_database(name)
+        if self.result_cache is not None:
+            self.result_cache.invalidate_database(name)
+        if self.executor is not None and self.executor.started:
+            await self.executor.replicate(name)
         self.telemetry.registry.gauge("store.databases").set(len(self.store))
         body = json_response_bytes(
             200,
@@ -314,40 +420,148 @@ class QueryService:
         self.telemetry.registry.counter(
             "plan_cache.hits" if was_hit else "plan_cache.misses"
         ).inc()
-        trace = TraceContext(track=request_id)
-        registry = MetricsRegistry()
-        counter = CostCounter()
-        async with self.admission.admit():
-            if self.debug_hold_ms > 0:
-                await asyncio.sleep(self.debug_hold_ms / 1000.0)
-            # Request scope: these contextvars are task-local, so
-            # concurrent requests each see only their own registry/trace.
-            with activate(trace), activate_metrics(registry):
-                answer = run_route(
-                    query, database, plan.decision, free=plan.free, counter=counter
+        # The spec is the evaluation's full input: everything
+        # evaluate_core needs, picklable, identical for inline and
+        # worker paths. plan.key identifies it content-addressed.
+        spec = {
+            "atoms": [
+                {"relation": atom.relation_name, "attributes": list(atom.attributes)}
+                for atom in query.atoms
+            ],
+            "free": list(plan.free),
+            "mode": mode,
+            "route": plan.decision.route,
+            "reason": plan.decision.reason,
+            "database": database_name,
+            "fingerprint": fingerprint,
+        }
+        core: dict | None = None
+        source = "inline"
+        coalesced = False
+        cache_hit = False
+        if self.result_cache is not None:
+            cached = self.result_cache.get(plan.key)
+            if cached is not None:
+                # Served without evaluation or admission; the entry's
+                # key embeds the fingerprint, so content is current.
+                core = dict(cached, spans=[], shard=-1)
+                source = "cached"
+                cache_hit = True
+                self.telemetry.registry.counter("result_cache.hits").inc()
+            else:
+                self.telemetry.registry.counter("result_cache.misses").inc()
+        if core is None:
+
+            async def leader() -> dict:
+                return await self._evaluate_leader(
+                    database, spec, plan.key, request_id
                 )
+
+            if self.coalesce_enabled:
+                core, coalesced = await self.single_flight.run(plan.key, leader)
+                if coalesced:
+                    # Followers share the leader's result, not its
+                    # observability: fresh envelope, no borrowed spans.
+                    core = dict(core, spans=[], shard=-1)
+                    source = "coalesced"
+                else:
+                    source = "worker" if core.get("shard", -1) >= 0 else "inline"
+            else:
+                core = await leader()
+                source = "worker" if core.get("shard", -1) >= 0 else "inline"
         result = {
             "request_id": request_id,
             "database": database_name,
             "fingerprint": fingerprint,
             "mode": mode,
             "free": list(plan.free),
-            "route": answer.decision.route,
-            "reason": answer.decision.reason,
-            "ops": answer.ops,
+            "route": core["route"],
+            "reason": core["reason"],
+            "ops": core["ops"],
+            "coalesced": coalesced,
             "plan_cache": {"hit": was_hit, "key": plan.key},
+            "metrics": core["metrics"],
+        }
+        if self.result_cache is not None:
+            result["result_cache"] = {"hit": cache_hit}
+        for field in ("answers", "count", "nonempty"):
+            if field in core:
+                result[field] = core[field]
+        extras = {
+            "route": core["route"],
+            "ops": core["ops"],
+            "detail": f"{database_name}: {len(query.atoms)} atoms, mode={mode}",
+            "spans": core.get("spans", []),
+            "metrics": core["metrics"],
+            "shard": core.get("shard", -1),
+            "source": source,
+        }
+        return 200, json_response_bytes(200, result), extras
+
+    async def _evaluate_leader(
+        self, database, spec: dict, key: str, request_id: str
+    ) -> dict:
+        """One admitted evaluation: worker dispatch with inline fallback.
+
+        This is the only place `/query` work passes through admission —
+        result-cache hits and coalesced followers never reach it, so
+        admission slots meter actual evaluations.
+        """
+        async with self.admission.admit():
+            if self.debug_hold_ms > 0:
+                await asyncio.sleep(self.debug_hold_ms / 1000.0)
+            self.telemetry.registry.counter("evaluations.total").inc()
+            core: dict | None = None
+            if self.executor is not None and self.executor.started:
+                core = await self.executor.dispatch(spec, request_id)
+            if core is None:
+                core = evaluate_core(database, spec, track=request_id)
+                core["shard"] = -1
+        if self.result_cache is not None:
+            entry = {
+                k: v for k, v in core.items() if k not in ("spans", "shard")
+            }
+            self.result_cache.put(key, spec["database"], entry)
+        return core
+
+    async def _handle_solve(self, request: HttpRequest, request_id: str):
+        """CSP workloads through the same admission/observability
+        envelope as `/query` — a thin route over :mod:`repro.csp`."""
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise SchemaError("solve payload must be an object")
+        method = payload.get("method", "auto")
+        if not isinstance(method, str):
+            raise SchemaError("solve 'method' must be a string")
+        instance = csp_from_payload(payload)
+        trace = TraceContext(track=request_id)
+        registry = MetricsRegistry()
+        counter = CostCounter()
+        async with self.admission.admit():
+            if self.debug_hold_ms > 0:
+                await asyncio.sleep(self.debug_hold_ms / 1000.0)
+            with activate(trace), activate_metrics(registry):
+                assignment = solve_csp(instance, method=method, counter=counter)
+        result = {
+            "request_id": request_id,
+            "method": method,
+            "variables": list(instance.variables),
+            "satisfiable": assignment is not None,
+            "assignment": (
+                sorted(([v, assignment[v]] for v in assignment), key=repr)
+                if assignment is not None
+                else None
+            ),
+            "ops": counter.total,
             "metrics": registry.to_payload(),
         }
-        if answer.relation is not None:
-            result["answers"] = canonical_answers(answer.relation.tuples)
-        if answer.count is not None:
-            result["count"] = answer.count
-        if answer.nonempty is not None:
-            result["nonempty"] = answer.nonempty
         extras = {
-            "route": answer.decision.route,
-            "ops": answer.ops,
-            "detail": f"{database_name}: {len(query.atoms)} atoms, mode={mode}",
+            "route": f"csp-{method}",
+            "ops": counter.total,
+            "detail": (
+                f"csp: {instance.num_variables} vars, "
+                f"{instance.num_constraints} constraints, method={method}"
+            ),
             "spans": trace.to_payload(),
             "metrics": registry.to_payload(),
         }
@@ -362,11 +576,18 @@ class QueryService:
             "service": {
                 "backend": self.store.backend,
                 "databases": self.store.names(),
+                "workers": self.executor.workers if self.executor else 0,
+                "coalesce": self.coalesce_enabled,
             },
             "telemetry": self.telemetry.snapshot(),
             "plan_cache": self.plan_cache.to_payload(),
             "admission": self.admission.to_payload(),
+            "coalesce": self.single_flight.to_payload(),
         }
+        if self.executor is not None:
+            payload["executor"] = self.executor.to_payload()
+        if self.result_cache is not None:
+            payload["result_cache"] = self.result_cache.to_payload()
         if request_id:
             payload["request_id"] = request_id
         return payload

@@ -154,6 +154,13 @@ class DatabaseStore:
             entry.content_version = current
         return entry.fingerprint
 
+    def canonical_payload(self, name: str) -> list[dict]:
+        """The canonical relations payload of a registered database —
+        the exact bytes-equivalent form the fingerprint hashes, and the
+        form the sharded executor ships to worker replicas (so replica
+        and parent agree on content by construction)."""
+        return relations_payload(self.get(name))
+
     def names(self) -> list[str]:
         return sorted(self._entries)
 

@@ -162,6 +162,12 @@ class RequestRecord:
     detail: str = ""
     spans: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    #: Owning worker shard for dispatched queries; -1 = evaluated (or
+    #: served) in the parent process.
+    shard: int = -1
+    #: How the response was produced: inline / worker / coalesced /
+    #: cached ("" for non-query endpoints).
+    source: str = ""
 
     def to_payload(self) -> dict:
         return {
@@ -172,6 +178,8 @@ class RequestRecord:
             "ops": self.ops,
             "elapsed_ms": self.elapsed_ms,
             "detail": self.detail,
+            "shard": self.shard,
+            "source": self.source,
         }
 
 
@@ -228,7 +236,10 @@ class ServiceTelemetry:
             self._latency(self.route_latency, record.route).observe(
                 record.elapsed_ms
             )
-        if record.elapsed_ms >= self.slow_ms and record.endpoint == "query":
+        if record.elapsed_ms >= self.slow_ms and record.endpoint in (
+            "query",
+            "solve",
+        ):
             self.slow_log.append(
                 SlowQuery(
                     request_id=record.request_id,

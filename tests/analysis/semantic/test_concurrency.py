@@ -61,6 +61,108 @@ class TestPoolGlobalMutation:
         assert findings == []
 
 
+class TestWorkerDispatchEntryPoints:
+    """run_in_executor-dispatched functions are pool entry points too."""
+
+    def test_run_in_executor_target_mutating_global_flagged(
+        self, semantic_findings
+    ):
+        findings = semantic_findings(
+            {
+                "service/dispatcher.py": """
+                    REPLICAS = {}
+
+                    def apply_register(name, payload):
+                        REPLICAS[name] = payload
+                        return name
+
+                    async def replicate(loop, pool, name, payload):
+                        return await loop.run_in_executor(
+                            pool, apply_register, name, payload
+                        )
+                """,
+            },
+            "REP010",
+        )
+        assert [f.code for f in findings] == ["REP010"]
+        assert "pool workers" in findings[0].message
+        assert "REPLICAS" in findings[0].message
+        assert findings[0].context == "apply_register"
+
+    def test_mutation_reached_through_dispatch_helper_flagged(
+        self, semantic_findings
+    ):
+        findings = semantic_findings(
+            {
+                "service/dispatcher.py": """
+                    SEEN = {}
+
+                    def record(name):
+                        SEEN[name] = True
+
+                    def run_query(spec):
+                        record(spec)
+                        return spec
+
+                    async def dispatch(loop, pool, spec):
+                        return await loop.run_in_executor(pool, run_query, spec)
+                """,
+            },
+            "REP010",
+        )
+        assert [f.context for f in findings] == ["record"]
+
+    def test_state_class_instance_pattern_passes(self, semantic_findings):
+        # The sanctioned WorkerShard pattern: worker state behind a
+        # dedicated class instance, applied via the dispatch protocol.
+        findings = semantic_findings(
+            {
+                "service/dispatcher.py": """
+                    class WorkerState:
+                        def __init__(self):
+                            self.replicas = {}
+
+                    _STATE = WorkerState()
+
+                    def apply_register(name, payload):
+                        _STATE.replicas[name] = payload
+                        return name
+
+                    async def replicate(loop, pool, name, payload):
+                        return await loop.run_in_executor(
+                            pool, apply_register, name, payload
+                        )
+                """,
+            },
+            "REP010",
+        )
+        assert findings == []
+
+    def test_rebind_through_state_global_still_flagged(self, semantic_findings):
+        # Rebinding the state global itself is never sanctioned.
+        findings = semantic_findings(
+            {
+                "service/dispatcher.py": """
+                    class WorkerState:
+                        def __init__(self):
+                            self.replicas = {}
+
+                    _STATE = WorkerState()
+
+                    def reset():
+                        global _STATE
+                        _STATE = WorkerState()
+
+                    async def dispatch(loop, pool):
+                        return await loop.run_in_executor(pool, reset)
+                """,
+            },
+            "REP010",
+        )
+        assert [f.code for f in findings] == ["REP010"]
+        assert "rebind" in findings[0].message
+
+
 CONTEXTVAR_DEF = """
     from contextvars import ContextVar
 

@@ -44,11 +44,19 @@ class TestLiveTree:
         assert len(analysis.claims.parsed) >= 40
         assert analysis.claims.parse_ratio >= 0.90  # the ISSUE floor
 
-    def test_pool_runner_is_the_only_pool_entry_family(self, live):
+    def test_pool_entry_families_are_runner_and_service_executor(self, live):
+        # Two sanctioned process-pool families: the parallel experiment
+        # runner and the sharded service executor's worker protocol.
         _, analysis = live
-        assert analysis.call_graph.pool_entry_points
-        for node_id in analysis.call_graph.pool_entry_points:
-            assert node_id.startswith("repro.observability.")
+        entries = analysis.call_graph.pool_entry_points
+        assert entries
+        for node_id in entries:
+            assert node_id.startswith(
+                ("repro.observability.", "repro.service.executor:")
+            ), node_id
+        assert any(
+            node_id.startswith("repro.service.executor:") for node_id in entries
+        ), "run_in_executor dispatch targets should register as pool entries"
 
     def test_graph_payload_is_json_ready(self, live):
         import json

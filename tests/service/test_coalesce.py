@@ -1,0 +1,170 @@
+"""Units for single-flight coalescing and the bounded result cache."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.service.coalesce import ResultCache, SingleFlight
+from repro.service.plan_cache import BoundedLruCache
+
+
+def counters(flight):
+    return flight.registry.to_payload().get("counters", {})
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_keys_share_one_evaluation(self):
+        async def main():
+            flight = SingleFlight()
+            calls = []
+            release = asyncio.Event()
+
+            async def thunk():
+                calls.append(1)
+                await release.wait()
+                return {"answer": 42}
+
+            async def one():
+                return await flight.run("k", thunk)
+
+            tasks = [asyncio.ensure_future(one()) for _ in range(5)]
+            await asyncio.sleep(0)  # let the leader start and register
+            assert flight.inflight == 1
+            release.set()
+            results = await asyncio.gather(*tasks)
+            assert calls == [1]
+            values = [value for value, __ in results]
+            assert all(value is values[0] for value in values)
+            assert sorted(coalesced for __, coalesced in results) == [
+                False, True, True, True, True,
+            ]
+            assert counters(flight)["coalesce.leaders"] == 1
+            assert counters(flight)["coalesce.followers"] == 4
+            assert flight.inflight == 0
+
+        asyncio.run(main())
+
+    def test_sequential_runs_never_coalesce(self):
+        async def main():
+            flight = SingleFlight()
+
+            async def thunk():
+                return object()
+
+            first, first_coalesced = await flight.run("k", thunk)
+            second, second_coalesced = await flight.run("k", thunk)
+            assert first_coalesced is False and second_coalesced is False
+            assert first is not second
+            assert counters(flight)["coalesce.leaders"] == 2
+            assert "coalesce.followers" not in counters(flight)
+
+        asyncio.run(main())
+
+    def test_distinct_keys_run_independently(self):
+        async def main():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def thunk_for(key):
+                await release.wait()
+                return key
+
+            a = asyncio.ensure_future(flight.run("a", lambda: thunk_for("a")))
+            b = asyncio.ensure_future(flight.run("b", lambda: thunk_for("b")))
+            await asyncio.sleep(0)
+            assert flight.inflight == 2
+            release.set()
+            assert (await a)[0] == "a"
+            assert (await b)[0] == "b"
+            assert counters(flight)["coalesce.leaders"] == 2
+
+        asyncio.run(main())
+
+    def test_leader_exception_reaches_every_follower(self):
+        async def main():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def failing():
+                await release.wait()
+                raise InvalidInstanceError("shed")
+
+            async def one():
+                with pytest.raises(InvalidInstanceError):
+                    await flight.run("k", failing)
+
+            tasks = [asyncio.ensure_future(one()) for _ in range(3)]
+            await asyncio.sleep(0)
+            release.set()
+            await asyncio.gather(*tasks)
+            # The failed flight is gone; a retry starts fresh.
+            assert flight.inflight == 0
+            assert counters(flight)["coalesce.followers"] == 2
+
+        asyncio.run(main())
+
+    def test_payload_shape(self):
+        async def main():
+            flight = SingleFlight()
+
+            async def thunk():
+                return 1
+
+            await flight.run("k", thunk)
+            assert flight.to_payload() == {
+                "inflight": 0,
+                "leaders": 1,
+                "followers": 0,
+            }
+
+        asyncio.run(main())
+
+
+class TestResultCache:
+    def test_get_put_and_hit_accounting(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("k1") is None
+        cache.put("k1", "demo", {"route": "wcoj", "ops": 7})
+        assert cache.get("k1") == {"route": "wcoj", "ops": 7}
+        payload = cache.to_payload()
+        assert payload["hits"] == 1 and payload["misses"] == 1
+        assert payload["size"] == 1 and payload["capacity"] == 4
+
+    def test_invalidate_database_drops_only_that_name(self):
+        cache = ResultCache(capacity=4)
+        cache.put("k1", "demo", {"ops": 1})
+        cache.put("k2", "demo", {"ops": 2})
+        cache.put("k3", "other", {"ops": 3})
+        assert cache.invalidate_database("demo") == 2
+        assert cache.get("k1") is None and cache.get("k2") is None
+        assert cache.get("k3") == {"ops": 3}
+
+    def test_lru_eviction_prefers_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("k1", "demo", {"ops": 1})
+        cache.put("k2", "demo", {"ops": 2})
+        assert cache.get("k1") is not None  # refresh k1
+        cache.put("k3", "demo", {"ops": 3})  # evicts k2, the LRU entry
+        assert cache.get("k2") is None
+        assert cache.get("k1") is not None and cache.get("k3") is not None
+        assert cache.to_payload()["evictions"] == 1
+
+
+class TestBoundedLruCacheBase:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidInstanceError):
+            BoundedLruCache(capacity=0)
+
+    def test_none_values_are_rejected(self):
+        cache = BoundedLruCache(capacity=2)
+        with pytest.raises(InvalidInstanceError):
+            cache.insert("k", None)
+
+    def test_drop_where_counts_removals(self):
+        cache = BoundedLruCache(capacity=8)
+        for index in range(4):
+            cache.insert(f"k{index}", index)
+        removed = cache.drop_where(lambda __, value: value % 2 == 0)
+        assert removed == 2
+        assert cache.lookup("k1") == 1 and cache.lookup("k3") == 3

@@ -8,7 +8,7 @@ from repro.relational.query import Atom, JoinQuery
 from repro.relational.router import execute_route
 from repro.service import QueryService
 from repro.service.client import ServiceClient
-from repro.service.server import canonical_answers
+from repro.service.server import canonical_answers, strip_volatile
 from repro.service.store import database_from_payload
 
 EDGES = [[1, 2], [2, 3], [1, 3], [3, 4], [4, 1]]
@@ -211,12 +211,25 @@ class TestRequestScopedIsolation:
 
 class TestAdmissionControl:
     def test_saturated_service_sheds_with_503(self):
-        async def body(service, host, port, client):
-            async def one():
-                async with ServiceClient(host, port) as mine:
-                    return await mine.query("demo", PATH_ATOMS)
+        # Six *distinct* queries: identical ones would coalesce onto a
+        # single admission slot instead of contending for it.
+        variants = [
+            {"atoms": PATH_ATOMS},
+            {"atoms": PATH_ATOMS, "free": ["a1"]},
+            {"atoms": PATH_ATOMS, "free": ["a2"]},
+            {"atoms": PATH_ATOMS, "free": ["a3"]},
+            {"atoms": PATH_ATOMS, "free": ["a1", "a2"]},
+            {"atoms": PATH_ATOMS, "free": ["a2", "a3"]},
+        ]
 
-            results = await asyncio.gather(*(one() for _ in range(6)))
+        async def body(service, host, port, client):
+            async def one(spec):
+                async with ServiceClient(host, port) as mine:
+                    return await mine.query(
+                        "demo", spec["atoms"], free=spec.get("free")
+                    )
+
+            results = await asyncio.gather(*(one(v) for v in variants))
             statuses = sorted(status for status, __ in results)
             assert statuses.count(200) >= 1
             assert statuses.count(503) >= 1
@@ -226,6 +239,29 @@ class TestAdmissionControl:
             counters = metrics["telemetry"]["counters"]
             assert counters["admission.shed"] == statuses.count(503)
             assert metrics["admission"]["max_concurrent"] == 1
+            return None
+
+        run_service(body, max_concurrent=1, queue_limit=0, debug_hold_ms=80.0)
+
+    def test_identical_saturating_requests_coalesce_instead_of_shedding(self):
+        async def body(service, host, port, client):
+            async def one():
+                async with ServiceClient(host, port) as mine:
+                    return await mine.query("demo", PATH_ATOMS)
+
+            results = await asyncio.gather(*(one() for _ in range(6)))
+            assert [status for status, __ in results] == [200] * 6
+            bodies = {
+                json.dumps(strip_volatile(payload), sort_keys=True)
+                for __, payload in results
+            }
+            assert len(bodies) == 1
+            assert sum(p["coalesced"] for __, p in results) == 5
+            metrics = await client.get_json("/metrics")
+            counters = metrics["telemetry"]["counters"]
+            assert counters["evaluations.total"] == 1
+            assert counters["coalesce.followers"] == 5
+            assert counters.get("admission.shed", 0) == 0
             return None
 
         run_service(body, max_concurrent=1, queue_limit=0, debug_hold_ms=80.0)
