@@ -1,0 +1,176 @@
+"""Semiring sweep benchmark: the aggregating core vs materialize-then-fold.
+
+The E22 claim under the wall clock: on the hub star family (Θ(n²)
+answers from 2n tuples) the counting fast path — the semiring
+Yannakakis DP with its ``np.add.reduceat`` segment sums — answers #CQ
+without materializing, so it must never be slower than enumerating the
+answers and folding them flat, and the gap must grow with n. A second
+sweep times all four registered semirings through the same DP on a
+linear-answer diagonal family — provenance values carry one monomial
+per answer, so a Θ(n²)-answer family would make the *value itself*
+quadratic — and asserts every value equals the flat fold (the repo
+invariant, here checked under timing conditions).
+
+Results are merged into ``BENCH_kernels.json`` under the
+``semiring_sweep`` key (read-modify-write, so the E3 and E21 sweep
+data is preserved).
+
+Environment knobs (used by the ``bench-smoke`` CI job):
+
+* ``REPRO_BENCH_SIZES`` — comma-separated relation sizes
+  (default ``64,128,256,512``);
+* ``REPRO_BENCH_SEMIRING_MIN_RATIO`` — required fold/fast-path
+  wall-clock ratio for counting at the largest size (default ``1.0``,
+  i.e. "the counting fast path is never slower");
+* ``REPRO_BENCH_REPEATS`` — timing repeats, best-of (default ``3``);
+* ``REPRO_BENCH_OUT`` — output path for the JSON record.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.relational.database import Database
+from repro.relational.query import JoinQuery
+from repro.relational.relation import Relation
+from repro.relational.semiring import COUNTING, aggregate_relation, all_semirings
+from repro.relational.wcoj import generic_join
+from repro.relational.yannakakis import semiring_yannakakis
+
+QUERY = JoinQuery.star(2)
+
+
+def _sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SIZES", "64,128,256,512")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _hub_database(n: int) -> Database:
+    """One hub value, n leaves per relation: the Θ(n²)-answer family."""
+    return Database(
+        [
+            Relation("R1", ("x", "y"), [(0, i) for i in range(n)]),
+            Relation("R2", ("x", "y"), [(0, j) for j in range(n)]),
+        ]
+    )
+
+
+def _diagonal_database(n: int) -> Database:
+    """Matching leaves, n answers: value sizes stay linear in n."""
+    return Database(
+        [
+            Relation("R1", ("x", "y"), [(i, i) for i in range(n)]),
+            Relation("R2", ("x", "y"), [(i, i) for i in range(n)]),
+        ]
+    )
+
+
+def _best_of(repeats, fn):
+    best = None
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        seconds = time.perf_counter() - start
+        best = seconds if best is None else min(best, seconds)
+    return best, value
+
+
+def test_semiring_sweep_counting_fast_path_never_slower():
+    sizes = _sizes()
+    min_ratio = float(os.environ.get("REPRO_BENCH_SEMIRING_MIN_RATIO", "1.0"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    out_path = Path(
+        os.environ.get(
+            "REPRO_BENCH_OUT", Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+        )
+    )
+
+    rows = []
+    ratios = {}
+    for n in sizes:
+        naive_db = _hub_database(n)
+        columnar_db = naive_db.with_backend("columnar")
+
+        # The slow path: materialize every answer, then fold it flat.
+        def enumerate_then_count():
+            return aggregate_relation(
+                COUNTING, QUERY, generic_join(QUERY, columnar_db)
+            )
+
+        fold_seconds, fold_count = _best_of(repeats, enumerate_then_count)
+        fast_seconds, fast_count = _best_of(
+            repeats, lambda: semiring_yannakakis(QUERY, columnar_db, COUNTING)
+        )
+        assert fast_count == fold_count == n * n
+
+        # All four semirings through the same DP on the linear-answer
+        # family, values pinned to the flat fold — the invariant, under
+        # timing conditions.
+        diag_db = _diagonal_database(n)
+        full = generic_join(QUERY, diag_db)
+        per_semiring = {}
+        for semiring in all_semirings():
+            seconds, value = _best_of(
+                repeats,
+                lambda s=semiring: semiring_yannakakis(QUERY, diag_db, s),
+            )
+            expected = aggregate_relation(semiring, QUERY, full)
+            assert value == expected, f"{semiring.name} diverged at n={n}"
+            per_semiring[semiring.name] = seconds
+
+        ratio = fold_seconds / fast_seconds
+        ratios[n] = ratio
+        rows.append(
+            {
+                "experiment": "E22-semiring",
+                "family": "hub-star",
+                "n": n,
+                "answers": fold_count,
+                "fold_seconds": fold_seconds,
+                "counting_fast_seconds": fast_seconds,
+                "ratio": ratio,
+                "seconds_by_semiring": per_semiring,
+            }
+        )
+
+    largest, smallest = max(sizes), min(sizes)
+    if largest >= 4 * smallest:
+        assert ratios[largest] > ratios[smallest], (
+            "fold/fast-path ratio did not grow with n — the counting fast "
+            f"path must win asymptotically, got {ratios}"
+        )
+    assert ratios[largest] >= min_ratio, (
+        f"counting fast path ratio {ratios[largest]:.2f}x at n={largest} "
+        f"below required {min_ratio}x (see {out_path})"
+    )
+
+    sweep = {
+        "schema": "repro-bench-semiring/1",
+        "experiment": "E22-semiring",
+        "query": "star(2) hub family",
+        "semirings": [s.name for s in all_semirings()],
+        "repeats_best_of": repeats,
+        "rows": rows,
+        "ratio_by_n": {str(n): ratios[n] for n in sizes},
+        "largest_n": largest,
+        "ratio_at_largest_n": ratios[largest],
+        "values_match_flat_fold": True,
+    }
+    record = {}
+    if out_path.exists():
+        try:
+            record = json.loads(out_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            record = {}
+    record["semiring_sweep"] = sweep
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print()
+    for n in sizes:
+        row = next(r for r in rows if r["n"] == n)
+        print(
+            f"n={n}: fold {row['fold_seconds']:.4f}s, "
+            f"counting fast path {row['counting_fast_seconds']:.4f}s, "
+            f"ratio {ratios[n]:.2f}x"
+        )

@@ -18,6 +18,7 @@ from . import rep008_determinism_flow
 from . import rep009_complexity_claims
 from . import rep010_concurrency
 from . import rep011_dead_registry
+from . import rep012_semirings
 
 #: Rule codes backed by the whole-program semantic engine; the CLI's
 #: ``--semantic`` flag restricts a run to exactly these.
@@ -35,5 +36,6 @@ __all__ = [
     "rep009_complexity_claims",
     "rep010_concurrency",
     "rep011_dead_registry",
+    "rep012_semirings",
     "SEMANTIC_RULES",
 ]

@@ -1,0 +1,133 @@
+"""REP012 — semiring registration discipline.
+
+The engines are generic over :class:`repro.relational.semiring.Semiring`
+instances, and everything downstream — the service wire protocol, the
+plan-cache key, the bench sweep — identifies an instance by its
+registered name and trusts the algebra the registration declares. A
+registration the tooling cannot read statically is a hole in that
+trust, so every ``Semiring(...)`` construction in the tree must:
+
+* pass ``name=`` as a string literal (the registry key and wire name
+  must be grep-able, never computed);
+* declare its distinguished elements ``zero=`` and ``one=`` explicitly
+  (the identity checks at registration time run against *these*; an
+  instance relying on defaults has no checkable identities);
+* point ``laws=`` at an existing file — the property suite that
+  exercises the semiring axioms and the declared flag set. A dangling
+  law fixture means an instance whose algebra nothing checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from pathlib import Path
+
+from ..registry import rule
+from ..report import Finding, Severity
+from ..walker import ModuleInfo, Project, call_name
+
+CONSTRUCTOR = "Semiring"
+
+REQUIRED_ELEMENTS = ("zero", "one")
+
+
+def _finding(project: Project, module: ModuleInfo, line: int, message: str, context: str) -> Finding:
+    return Finding(
+        code="REP012",
+        severity=Severity.ERROR,
+        path=project.relative_path(module),
+        line=line,
+        message=message,
+        context=context,
+    )
+
+
+def _keyword(call: ast.Call, name: str) -> ast.keyword | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw
+    return None
+
+
+def _literal_str(kw: ast.keyword | None) -> str | None:
+    if (
+        kw is not None
+        and isinstance(kw.value, ast.Constant)
+        and isinstance(kw.value.value, str)
+    ):
+        return kw.value.value
+    return None
+
+
+def _laws_file_exists(project: Project, laws: str) -> bool:
+    """Resolve the repo-relative law-fixture path.
+
+    The project root is the package directory (``…/src/repro`` in this
+    repo, ``<tmp>/repro`` in fixture trees), so the repository root is
+    one or two levels up depending on the ``src/`` layout.
+    """
+    for base in (project.root.parent, project.root.parent.parent):
+        if (Path(base) / laws).is_file():
+            return True
+    return False
+
+
+@rule(
+    "REP012",
+    "semiring-registration",
+    "Semiring registrations carry a literal name, declared zero/one, and a "
+    "law fixture that exists",
+)
+def check(project: Project) -> Iterable[Finding]:
+    for module in project.iter_modules():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not name or name.split(".")[-1] != CONSTRUCTOR:
+                continue
+            literal_name = _literal_str(_keyword(node, "name"))
+            label = literal_name if literal_name is not None else "<unnamed>"
+            if literal_name is None:
+                yield _finding(
+                    project,
+                    module,
+                    node.lineno,
+                    "Semiring registration must pass name= as a string "
+                    "literal — the registry key and service wire name must "
+                    "be statically visible",
+                    label,
+                )
+            for element in REQUIRED_ELEMENTS:
+                if _keyword(node, element) is None:
+                    yield _finding(
+                        project,
+                        module,
+                        node.lineno,
+                        f"Semiring {label!r} does not declare {element}= — "
+                        "the registration-time identity checks need the "
+                        "distinguished elements spelled out",
+                        label,
+                    )
+            laws_kw = _keyword(node, "laws")
+            laws = _literal_str(laws_kw)
+            if laws_kw is None or laws is None:
+                yield _finding(
+                    project,
+                    module,
+                    node.lineno,
+                    f"Semiring {label!r} must reference its law fixture via "
+                    "a literal laws= path — an instance whose axioms no "
+                    "property suite checks is unverified algebra",
+                    label,
+                )
+            elif not _laws_file_exists(project, laws):
+                yield _finding(
+                    project,
+                    module,
+                    laws_kw.value.lineno,
+                    f"Semiring {label!r} points laws= at {laws!r} which does "
+                    "not exist — the law fixture is gone",
+                    label,
+                )

@@ -317,6 +317,45 @@ _BOUNDS: tuple[LowerBound, ...] = (
         experiment="E21-factorized",
     ),
     LowerBound(
+        key="sumprod-triangle",
+        problem="semiring sum-product evaluation (SumProd) of the "
+        "triangle query",
+        ruled_out="better than O(m^{2ω/(ω+1)}) for any commutative "
+        "semiring — the Boolean instance is triangle detection",
+        hypothesis=TRIANGLE_CONJECTURE.key,
+        paper_ref="§8 context; Fan–Koutris, The Fine-Grained Complexity "
+        "of Boolean Conjunctive Queries and Sum-Product Problems "
+        "(PAPERS.md)",
+        reduction_module="repro.reductions.query_to_sumprod",
+        derivation=derived(
+            TRIANGLE_CONJECTURE.key,
+            "boolean-query→sumprod",
+            note="Boolean CQ evaluation is the Boolean-semiring instance "
+            "of SumProd, so a fast generic sum-product algorithm decides "
+            "the triangle join in the same time",
+        ),
+        experiment="E22-semiring",
+    ),
+    LowerBound(
+        key="sumprod-acyclic-dichotomy",
+        problem="semiring sum-product evaluation (SumProd) of cyclic "
+        "full conjunctive queries",
+        ruled_out="Õ(N) (near-linear) evaluation for any query whose "
+        "hypergraph is not α-acyclic — linear time is exactly the "
+        "acyclic case the semiring Yannakakis sweep achieves",
+        hypothesis=HYPERCLIQUE_CONJECTURE.key,
+        paper_ref="§8 context; Fan–Koutris dichotomy (PAPERS.md)",
+        reduction_module="repro.relational.semiring",
+        derivation=axiom(
+            "the hard side of the Fan–Koutris sum-product dichotomy "
+            "embeds hyperclique detection into any cyclic SumProd "
+            "instance; the embedding machinery is not an in-repo "
+            "transform — the easy side is constructive here "
+            "(semiring_yannakakis, E22)"
+        ),
+        experiment="E22-semiring",
+    ),
+    LowerBound(
         key="enum-delay-dichotomy",
         problem="constant-delay enumeration of acyclic join queries "
         "with projections",

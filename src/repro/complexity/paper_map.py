@@ -121,8 +121,17 @@ PAPER_MAP: tuple[SectionEntry, ...] = (
             "repro.graphs.triangle",
             "repro.graphs.hyperclique",
             "repro.relational.enumeration",
+            "repro.relational.semiring",
+            "repro.reductions.query_to_sumprod",
         ),
-        ("E10-kclique-mm", "E11-triangle", "E12-hyperclique", "E15-enumeration"),
+        (
+            "E10-kclique-mm",
+            "E11-triangle",
+            "E12-hyperclique",
+            "E15-enumeration",
+            "E21-factorized",
+            "E22-semiring",
+        ),
     ),
     SectionEntry(
         "§9",

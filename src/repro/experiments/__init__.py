@@ -25,6 +25,7 @@ from . import exp_finegrained
 from . import exp_hom_counting
 from . import exp_kclique_mm
 from . import exp_phase_transition
+from . import exp_semiring
 from . import exp_triangle
 from . import exp_hyperclique
 from . import exp_hypotheses
@@ -45,6 +46,7 @@ __all__ = [
     "exp_kclique_mm",
     "exp_phase_transition",
     "exp_schaefer",
+    "exp_semiring",
     "exp_special",
     "exp_treewidth_opt",
     "exp_triangle",

@@ -68,6 +68,7 @@ from . import (
     exp_kernels,
     exp_phase_transition,
     exp_schaefer,
+    exp_semiring,
     exp_special,
     exp_transforms,
     exp_treewidth_opt,
@@ -101,6 +102,7 @@ SPECS: dict[str, ExperimentSpec] = {
         ExperimentSpec("E19", (exp_kernels.run,)),
         ExperimentSpec("E20", (exp_transforms.run,)),
         ExperimentSpec("E21", (exp_factorized.run,)),
+        ExperimentSpec("E22", (exp_semiring.run,)),
     )
 }
 

@@ -34,6 +34,7 @@ from .parameterized_examples import (
     is_parameterized,
 )
 from .query_to_csp import csp_to_query, query_to_csp
+from .query_to_sumprod import boolean_query_to_sumprod
 from .csp_to_graph import csp_to_partitioned_subgraph
 from .csp_to_structures import csp_to_structures
 
@@ -42,6 +43,7 @@ __all__ = [
     "CertifiedReduction",
     "ColoringInstance",
     "bmm_graph_to_star_query",
+    "boolean_query_to_sumprod",
     "clique_to_csp",
     "coloring_as_csp",
     "coloring_to_csp",

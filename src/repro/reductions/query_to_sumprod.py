@@ -1,0 +1,100 @@
+"""Boolean query evaluation → semiring sum-product (Fan–Koutris).
+
+The uniformity behind the semiring-generic engine, made machine-
+checkable: Boolean CQ evaluation *is* the Boolean-semiring instance of
+the sum-product problem
+
+    SumProd(Q, D, S) = ⨁_{t ∈ Q(D)} ⨂_{atom a} ann_a(π_{attrs(a)}(t)),
+
+so any algorithm computing SumProd over an arbitrary commutative
+semiring decides the Boolean query in the same time — hardness flows
+the other way. Instantiated on the triangle query, the Strong Triangle
+Conjecture's bound on Boolean triangle joins becomes a bound on
+semiring sum-product evaluation (the ``sumprod-triangle`` lower
+bound), which is exactly how Fan–Koutris (*The Fine-Grained Complexity
+of Boolean Conjunctive Queries and Sum-Product Problems*, PAPERS.md)
+transfer fine-grained hardness into the semiring setting.
+
+The certificates double as the repo invariant: for every registered
+semiring, the generic core (:func:`~repro.relational.wcoj.generic_join_aggregate`)
+must agree byte-for-byte with materialize-then-fold
+(:func:`~repro.relational.semiring.aggregate_relation`).
+"""
+
+from __future__ import annotations
+
+from ..relational.database import Database
+from ..relational.query import JoinQuery
+from ..relational.semiring import BOOLEAN, COUNTING, aggregate_relation, all_semirings
+from ..relational.wcoj import boolean_generic_join, generic_join, generic_join_aggregate
+from ..transforms import IDENTITY_BOUND, QUERY, CertifiedReduction, transform
+from ..transforms.witnesses import triangle_query_db
+
+
+def _value_back(value: object) -> object:
+    """A SumProd value over the Boolean semiring *is* the decision answer."""
+    return value
+
+
+@transform(
+    name="boolean-query→sumprod",
+    source=QUERY,
+    target=QUERY,
+    source_format="boolean-query",
+    target_format="sumprod",
+    arity=2,
+    guarantees=(
+        "instance is unchanged (identity on query and database)",
+        "boolean semiring instance equals the boolean query answer",
+        "counting semiring instance equals the answer count",
+        "every registered semiring agrees with materialize-then-fold",
+    ),
+    parameter_bound=IDENTITY_BOUND,
+    witness=triangle_query_db,
+)
+def boolean_query_to_sumprod(
+    query: JoinQuery, database: Database
+) -> CertifiedReduction:
+    """Recast a Boolean query instance as a sum-product instance.
+
+    The target is the triple ``(query, database, semirings)`` — the
+    same instance, now read as SumProd over every registered semiring.
+    The reduction is the identity on the instance (so every size and
+    parameter bound transfers unchanged); the content is in the
+    certificates, which pin the specialization facts hardness transfer
+    rests on.
+    """
+    full = generic_join(query, database)
+    size = sum(len(database.relation(a.relation_name)) for a in query.atoms)
+    reduction = CertifiedReduction(
+        name="boolean-query→sumprod",
+        source=(query, database),
+        target=(query, database, tuple(s.name for s in all_semirings())),
+        map_solution_back=_value_back,
+        parameter_source=size,
+        parameter_target=size,
+    )
+    reduction.certify_that(
+        "instance is unchanged (identity on query and database)",
+        reduction.target[0] is query and reduction.target[1] is database,
+    )
+    reduction.certify_eq(
+        "boolean semiring instance equals the boolean query answer",
+        generic_join_aggregate(query, database, BOOLEAN),
+        boolean_generic_join(query, database),
+    )
+    reduction.certify_eq(
+        "counting semiring instance equals the answer count",
+        generic_join_aggregate(query, database, COUNTING),
+        len(full),
+    )
+    reduction.certify_that(
+        "every registered semiring agrees with materialize-then-fold",
+        all(
+            generic_join_aggregate(query, database, s)
+            == aggregate_relation(s, query, full)
+            for s in all_semirings()
+        ),
+        f"{len(all_semirings())} semirings checked on {len(full)} answers",
+    )
+    return reduction

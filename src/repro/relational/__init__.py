@@ -27,23 +27,38 @@ from .joins import JoinPlanResult, evaluate_left_deep, hash_join
 from .minimize import canonical_structure, minimize_query
 from .kernels import BACKENDS, KernelState
 from .planner import plan_by_agm, prefix_bounds, wcoj_attribute_order
-from .yannakakis import yannakakis
-from .wcoj import generic_join
+from .semiring import (
+    BOOLEAN,
+    COUNTING,
+    MIN_PLUS,
+    PROVENANCE,
+    Semiring,
+    all_semirings,
+    get_semiring,
+)
+from .yannakakis import semiring_yannakakis, yannakakis
+from .wcoj import generic_join, generic_join_aggregate
 from .counting_answers import count_answers
 from .estimate import agm_bound, agm_bound_uniform
 
 __all__ = [
     "Atom",
     "BACKENDS",
+    "BOOLEAN",
+    "COUNTING",
     "Database",
     "KernelState",
     "DelayProfile",
     "FactorizedResult",
     "JoinPlanResult",
     "JoinQuery",
+    "MIN_PLUS",
+    "PROVENANCE",
     "Relation",
+    "Semiring",
     "agm_bound",
     "agm_bound_uniform",
+    "all_semirings",
     "canonical_structure",
     "count_answers",
     "enumerate_acyclic",
@@ -52,6 +67,8 @@ __all__ = [
     "evaluate_left_deep",
     "factorize",
     "generic_join",
+    "generic_join_aggregate",
+    "get_semiring",
     "hash_join",
     "is_free_connex",
     "measure_delays",
@@ -61,6 +78,7 @@ __all__ = [
     "project",
     "select_equal",
     "semijoin",
+    "semiring_yannakakis",
     "wcoj_attribute_order",
     "yannakakis",
 ]

@@ -3,8 +3,10 @@
 The counting version of the evaluation problem the paper defines
 alongside decision and full enumeration. α-acyclic queries route
 through the factorized d-representation
-(:mod:`~repro.relational.factorized`): counting is a sum/product sweep
-over a linear-size DAG, no answer tuple ever exists. Everything else
+(:mod:`~repro.relational.factorized`): counting is the counting-semiring
+instance of the generic sum-product sweep
+(``FactorizedResult.aggregate(COUNTING)``) over a linear-size DAG, no
+answer tuple ever exists. Everything else
 translates to CSP and runs the counting DP over a tree decomposition
 of the query hypergraph's primal graph — polynomial in the data for
 every bounded-treewidth query, even when the answer itself is huge.

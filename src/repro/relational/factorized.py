@@ -51,9 +51,10 @@ from .algebra import project, semijoin
 from .database import Database
 from .query import JoinQuery
 from .relation import Relation, Value
+from .semiring import COUNTING, Semiring, aggregate_relation, fold_tuple
 from .wcoj import generic_join
 from . import kernels
-from .yannakakis import backend_relations, semijoin_reduce, tree_links
+from .yannakakis import reduced_join_forest, semijoin_reduce, tree_links
 
 
 # -- d-representation nodes -------------------------------------------
@@ -163,6 +164,33 @@ def _dag_count(root) -> int:
 
 
 @dataclass
+class _AggState:
+    """Build-side state retained for post-hoc semiring sweeps.
+
+    The d-representation DAG alone loses which *atom* each tuple came
+    from, which annotated semirings (min-plus witnesses, provenance)
+    need. So the build keeps its derived-query scaffolding — the
+    reduced projections, their grouping buckets and the derived join
+    tree — plus, for full queries, per-top annotation ``plans``: for
+    top atom ``j``, the ``(relation_name, positions)`` of its own atom
+    and every atom absorbed into it (attributes of an absorbed atom are
+    a subset of its depth-1 ancestor's, by running intersection through
+    the free edge, so ``positions`` index into the projection tuple).
+    ``plans`` is ``None`` when ``free`` is a strict subset of the query
+    attributes — annotated aggregation is undefined for projections.
+    """
+
+    query: JoinQuery
+    full_free: bool
+    projections: list[Relation] | None = None
+    buckets: list[dict[tuple, list[tuple]]] | None = None
+    key_attrs: list[tuple[str, ...]] | None = None
+    g_children: dict[int, list[int]] | None = None
+    g_roots: list[int] | None = None
+    plans: list[list[tuple[str, tuple[int, ...]]]] | None = None
+
+
+@dataclass
 class FactorizedResult:
     """The answer to a join query, held factorized (or flat, post-fallback).
 
@@ -186,17 +214,105 @@ class FactorizedResult:
     _root: object | None = field(default=None, repr=False)
     _flat: Relation | None = field(default=None, repr=False)
     _count: int | None = field(default=None, repr=False)
+    _state: _AggState | None = field(default=None, repr=False)
 
     def count(self) -> int:
-        """Number of answers, computed without enumerating them."""
+        """Number of answers, computed without enumerating them.
+
+        This *is* the counting-semiring sweep: ``aggregate(COUNTING)``
+        over the retained build state (falling back to the plain DAG
+        sum/product sweep for results built without state).
+        """
         if self._count is None:
             if self._flat is not None:
                 self._count = len(self._flat)
             elif self._root is None:
                 self._count = 0
-            else:
+            elif self._state is None or self._state.projections is None:
                 self._count = _dag_count(self._root)
+            else:
+                self._count = self.aggregate(COUNTING)
         return self._count
+
+    def aggregate(self, semiring: Semiring, annotate=None) -> object:
+        """SumProd over the answers by one memoized sweep — no enumeration.
+
+        Runs the semiring DP over the derived join tree retained from
+        the build: per top atom ``j`` and parent key, ⊕ over bucketed
+        tuples of (⊗-weight of the tuple's own and absorbed atoms) ⊗
+        the children's sums. Memoization mirrors the d-rep DAG node
+        sharing, so the sweep is linear in the DAG size and — like
+        :meth:`count` — charges nothing. Values equal
+        :func:`~repro.relational.semiring.aggregate_relation` over the
+        materialized answer byte for byte (the repo invariant).
+
+        Annotated semirings (min-plus, provenance, or an explicit
+        ``annotate``) require a *full* query (``free`` = all query
+        attributes): under a projection the multiplicity a bound atom
+        contributes is not a function of the output tuple.
+
+        Raises
+        ------
+        InvalidInstanceError
+            If the semiring carries annotations but ``free`` is a
+            strict subset of the query attributes.
+        """
+        trivial = annotate is None and semiring.annotation_free
+        add, mul = semiring.add, semiring.mul
+        one, zero = semiring.one, semiring.zero
+        state = self._state
+        if self._flat is not None:
+            if state is not None and state.full_free:
+                return aggregate_relation(
+                    semiring, state.query, self._flat, annotate
+                )
+            if not trivial:
+                raise InvalidInstanceError(
+                    "annotated aggregation requires free = all query attributes"
+                )
+            return semiring.repeat_add(one, len(self._flat))
+        if self._root is None:
+            return zero
+        if state is None or state.projections is None:
+            if not trivial:
+                raise InvalidInstanceError(
+                    "annotated aggregation needs the build-side state; "
+                    "this result was constructed without it"
+                )
+            return semiring.repeat_add(one, _dag_count(self._root))
+        if not trivial and state.plans is None:
+            raise InvalidInstanceError(
+                "annotated aggregation requires free = all query attributes"
+            )
+
+        projections = state.projections
+        buckets, key_attrs = state.buckets, state.key_attrs
+        g_children, plans = state.g_children, state.plans
+        memo: dict[tuple[int, tuple], object] = {}
+
+        def weight(j: int, key: tuple) -> object:
+            cached = memo.get((j, key))
+            if cached is not None:
+                return cached
+            rel = projections[j]
+            total = zero
+            for t in buckets[j][key]:
+                w = (
+                    one
+                    if trivial
+                    else fold_tuple(semiring, plans[j], t, annotate)
+                )
+                for c in g_children[j]:
+                    child_key = tuple(t[rel.position(a)] for a in key_attrs[c])
+                    w = mul(w, weight(c, child_key))
+                total = add(total, w)
+            memo[(j, key)] = total
+            return total
+
+        result = one
+        for r in state.g_roots:
+            result = mul(result, weight(r, ()))
+        return result
 
     def enumerate(
         self, counter: CostCounter | None = None
@@ -338,7 +454,6 @@ def factorize(
         )
 
     columnar = database.backend == "columnar"
-    relations, semi, __ = backend_relations(query, database)
     f_index = len(query.atoms)
     links = join_tree(extended_hypergraph(query, free_t))
     children, parent, roots = _rooted_at(f_index + 1, links, f_index)
@@ -346,16 +461,20 @@ def factorize(
 
     # Detach the (relation-less) free edge: its depth-1 atoms become
     # roots of their own subtrees, and components without free
-    # variables stay intact as boolean guards.
+    # variables stay intact as boolean guards. The upward-only sweep
+    # is semijoin absorption: below depth 1 no new free variables
+    # appear (running intersection through the F root), so subtrees
+    # act purely as filters on their depth-1 ancestor.
     forest_children = {i: children[i] for i in range(f_index)}
     forest_roots = [r for r in roots if r != f_index] + list(tops)
-
-    # Upward-only semijoin absorption: below depth 1 no new free
-    # variables appear (running intersection through the F root), so
-    # subtrees act purely as filters on their depth-1 ancestor.
-    semijoin_reduce(
-        relations, forest_children, forest_roots, semi, counter, downward=False
+    forest = reduced_join_forest(
+        query,
+        database,
+        counter,
+        forest=(forest_children, forest_roots),
+        downward=False,
     )
+    relations = forest.relations
     if columnar:
         relations = [
             kernels.to_relation(
@@ -446,12 +565,50 @@ def factorize(
     root = root_parts[0] if len(root_parts) == 1 else _Product(root_parts)
     num_nodes, num_edges = _dag_stats(root)
     observe("factorized.drep_nodes", num_nodes)
+
+    # Annotation plans for full queries: each atom lands in exactly one
+    # top's subtree (with free = all attributes the extended tree has
+    # no guard components), and an absorbed atom's attributes are a
+    # subset of its depth-1 ancestor's, so its annotation is read off
+    # the ancestor's projection tuple.
+    plans: list[list[tuple[str, tuple[int, ...]]]] | None = None
+    if free_t == query.attributes:
+        plans = []
+        for j, t in enumerate(tops):
+            subtree = [t]
+            stack = list(forest_children[t])
+            while stack:
+                d = stack.pop()
+                subtree.append(d)
+                stack.extend(forest_children[d])
+            plans.append(
+                [
+                    (
+                        query.atoms[a].relation_name,
+                        tuple(
+                            interfaces[j].index(attr)
+                            for attr in query.atoms[a].attributes
+                        ),
+                    )
+                    for a in sorted(subtree)
+                ]
+            )
     return FactorizedResult(
         free=free_t,
         method="factorized",
         num_nodes=num_nodes,
         num_edges=num_edges,
         _root=root,
+        _state=_AggState(
+            query=query,
+            full_free=free_t == query.attributes,
+            projections=projections,
+            buckets=buckets,
+            key_attrs=key_attrs,
+            g_children=g_children,
+            g_roots=g_roots,
+            plans=plans,
+        ),
     )
 
 
@@ -479,4 +636,9 @@ def evaluate(
     inc("factorized.fallbacks")
     answer = generic_join(query, database, counter=counter)
     flat = project(answer, free_t, name="answer")
-    return FactorizedResult(free=free_t, method="wcoj", _flat=flat)
+    return FactorizedResult(
+        free=free_t,
+        method="wcoj",
+        _flat=flat,
+        _state=_AggState(query=query, full_free=free_t == query.attributes),
+    )

@@ -448,26 +448,25 @@ def _cursors(query, database, order: tuple[str, ...]) -> list[_TrieCursor]:
     return cursors
 
 
-def generic_join_columnar(
+def _drive_generic_join(
     query,
     database,
     order: tuple[str, ...],
     relevant: list[list[int]],
-    counter: CostCounter | None = None,
-) -> Relation:
-    """Generic Join over sorted-array tries with leapfrog intersection.
+    counter: CostCounter | None,
+    sink,
+    span_name: str = "generic_join",
+) -> int:
+    """The shared leapfrog traversal behind every columnar Generic Join.
 
-    Called by :func:`repro.relational.wcoj.generic_join` after shared
-    validation; ``relevant`` lists, per position of ``order``, the
-    atoms containing that attribute. Narrow nodes run a scalar leapfrog
-    (leader values walked run by run, other iterators sought by binary
-    search); wide nodes batch the same intersection through
-    ``np.searchsorted``. Charges match the naive engine unit for unit:
-    |smallest candidate set| per node, one per trie-edge descent, one
-    per answer.
-
-    Complexity: O(N^rho*(H)) data complexity — the AGM bound — with
-    O(log N) per seek in place of the hash trie's O(1) probes.
+    Walks the sorted-array tries exactly as described on
+    :func:`generic_join_columnar` and hands every leaf batch to
+    ``sink(prefix, values)`` — ``prefix`` the decoded values bound for
+    ``order[:-1]`` so far, ``values`` the matched interned codes of the
+    last attribute. Materialization and semiring aggregation are both
+    sinks over this one traversal, which is what keeps their charge
+    streams identical unit for unit (and identical to the naive
+    engine's). Returns the number of answers emitted.
     """
     cursors = _cursors(query, database, order)
     registry = current_metrics()
@@ -477,21 +476,20 @@ def generic_join_columnar(
         candidate_hist = registry.histogram("wcoj.candidate_set_size")
         registry.counter("wcoj.joins").inc()
 
-    answer = Relation("answer", order)
-    answers = answer.tuples
-    decode = database.kernels.interner.values
     nattrs = len(order)
+    decode = database.kernels.interner.values
     prefix: list[Value] = []
     probes_since_answer = 0
+    emitted = 0
 
     def emit_batch(values: list[int]) -> None:
         # One leaf node's matched codes become answers in bulk. The
         # probe histogram keeps count/sum parity with the naive engine
         # (probes land on the batch's first answer instead of being
         # spread across it — see the module docstring).
-        nonlocal probes_since_answer
-        pre = tuple(prefix)
-        answers.update(pre + (decode[v],) for v in values)
+        nonlocal probes_since_answer, emitted
+        emitted += len(values)
+        sink(tuple(prefix), values)
         if probe_hist is not None:
             probe_hist.observe(probes_since_answer)
             probes_since_answer = 0
@@ -669,7 +667,7 @@ def generic_join_columnar(
             vector_node(leader, others, pos, len(atoms_here))
 
     with span(
-        "generic_join",
+        span_name,
         counter=counter,
         atoms=len(cursors),
         attrs=nattrs,
@@ -677,8 +675,100 @@ def generic_join_columnar(
     ):
         recurse(0)
     if registry is not None:
-        registry.counter("wcoj.answers").inc(len(answer))
+        registry.counter("wcoj.answers").inc(emitted)
+    return emitted
+
+
+def generic_join_columnar(
+    query,
+    database,
+    order: tuple[str, ...],
+    relevant: list[list[int]],
+    counter: CostCounter | None = None,
+) -> Relation:
+    """Generic Join over sorted-array tries with leapfrog intersection.
+
+    Called by :func:`repro.relational.wcoj.generic_join` after shared
+    validation; ``relevant`` lists, per position of ``order``, the
+    atoms containing that attribute. Narrow nodes run a scalar leapfrog
+    (leader values walked run by run, other iterators sought by binary
+    search); wide nodes batch the same intersection through
+    ``np.searchsorted``. Charges match the naive engine unit for unit:
+    |smallest candidate set| per node, one per trie-edge descent, one
+    per answer.
+
+    Complexity: O(N^rho*(H)) data complexity — the AGM bound — with
+    O(log N) per seek in place of the hash trie's O(1) probes.
+    """
+    answer = Relation("answer", order)
+    answers = answer.tuples
+    decode = database.kernels.interner.values
+
+    def sink(prefix: tuple, values: list[int]) -> None:
+        answers.update(prefix + (decode[v],) for v in values)
+
+    _drive_generic_join(query, database, order, relevant, counter, sink)
     return answer
+
+
+def aggregate_columnar(
+    query,
+    database,
+    semiring,
+    order: tuple[str, ...],
+    relevant: list[list[int]],
+    counter: CostCounter | None = None,
+    annotate=None,
+) -> object:
+    """SumProd over the columnar backend: one leapfrog traversal,
+    semiring accumulation instead of materialization.
+
+    Called by :func:`repro.relational.wcoj.generic_join_aggregate`
+    after shared validation. Runs the *same* traversal (and charges the
+    same op stream) as :func:`generic_join_columnar`, but leaf batches
+    fold into a running ⊕-accumulator:
+
+    * **annotation-free** instances (boolean, counting with default
+      annotations) contribute ``repeat_add(one, m)`` per ``m``-wide
+      leaf batch — no per-answer decode, the segment-sum fast path
+      that makes counting strictly cheaper than enumerate-then-count;
+    * annotated instances (min-plus costs, provenance variables) fold
+      each answer's ⊗-weight through the shared
+      :func:`~repro.relational.semiring.fold_tuple`, so per-answer
+      weights are engine-independent by construction.
+
+    Complexity: O(N^rho*(H)) data complexity, O(1) extra per answer
+    (annotation-free: O(1) extra per leaf *batch*).
+    """
+    from .semiring import annotation_positions, fold_tuple
+
+    plan = annotation_positions(query, order)
+    trivial = annotate is None and semiring.annotation_free
+    add = semiring.add
+    one = semiring.one
+    acc = semiring.zero
+    decode = database.kernels.interner.values
+
+    def sink(prefix: tuple, values: list[int]) -> None:
+        nonlocal acc
+        if trivial:
+            acc = add(acc, semiring.repeat_add(one, len(values)))
+            return
+        for v in values:
+            acc = add(
+                acc, fold_tuple(semiring, plan, prefix + (decode[v],), annotate)
+            )
+
+    _drive_generic_join(
+        query,
+        database,
+        order,
+        relevant,
+        counter,
+        sink,
+        span_name="generic_join_aggregate",
+    )
+    return acc
 
 
 def boolean_generic_join_columnar(
@@ -751,3 +841,71 @@ def boolean_generic_join_columnar(
         backend="columnar",
     ):
         return recurse(0)
+
+
+# -- per-semiring vectorized segment folds -----------------------------
+
+#: Values below this bound sum safely in ``int64``: with fewer than
+#: 2^31 addends each below 2^31, every partial sum stays under 2^63.
+_SEGMENT_SUM_BOUND = 2**31
+
+
+def segment_fold(semiring, values: list, starts: list[int]) -> list:
+    """⊕-fold each contiguous segment of ``values`` (segment ``i``
+    spans ``starts[i]:starts[i+1]``); returns one folded value per
+    segment.
+
+    The per-semiring numpy fast paths of the acyclic sum-product DP
+    (:func:`repro.relational.yannakakis.semiring_yannakakis`):
+
+    * **counting** — ``np.add.reduceat`` segment sums, guarded so every
+      partial sum provably fits ``int64`` (falling back to exact
+      Python ints otherwise);
+    * **minplus** — ``np.minimum.reduceat`` over the cost column finds
+      each segment's minimum cost, then only the (typically single)
+      cost-tied candidates are compared under the full witness order;
+    * anything else — the exact scalar fold.
+
+    Results are value-identical to the scalar fold for every path —
+    the folds are over canonical values with order-insensitive ⊕.
+    """
+    nseg = len(starts)
+    if nseg == 0:
+        return []
+
+    def scalar_fold() -> list:
+        out = []
+        for i in range(nseg):
+            hi = starts[i + 1] if i + 1 < nseg else len(values)
+            acc = values[starts[i]]
+            for j in range(starts[i] + 1, hi):
+                acc = semiring.add(acc, values[j])
+            out.append(acc)
+        return out
+
+    if semiring.name == "counting":
+        if (
+            len(values) < _SEGMENT_SUM_BOUND
+            and all(0 <= v < _SEGMENT_SUM_BOUND for v in values)
+        ):
+            return np.add.reduceat(
+                np.asarray(values, dtype=np.int64), starts
+            ).tolist()
+        return scalar_fold()
+    if semiring.name == "minplus":
+        costs = np.asarray([v[0] for v in values], dtype=np.float64)
+        minima = np.minimum.reduceat(costs, starts)
+        out = []
+        for i in range(nseg):
+            hi = starts[i + 1] if i + 1 < nseg else len(values)
+            best = None
+            for j in range(starts[i], hi):
+                if values[j][0] == minima[i]:
+                    cand = values[j]
+                    if best is None:
+                        best = cand
+                    else:
+                        best = semiring.add(best, cand)
+            out.append(best if best is not None else semiring.zero)
+        return out
+    return scalar_fold()

@@ -21,8 +21,17 @@ Route labels (stable API, persisted in responses and metrics):
 * ``"treewidth-dp"`` — cyclic counting via the CSP translation and the
   counting DP over a tree decomposition.
 
+``mode="aggregate"`` is the semiring generalization of the count/boolean
+split: the request names a registered :class:`~repro.relational.semiring.Semiring`
+and the router serves SumProd over the full answers — acyclic queries
+through the factorized d-rep sweep (:meth:`FactorizedResult.aggregate`),
+cyclic ones through :func:`~repro.relational.wcoj.generic_join_aggregate`.
+Counting and boolean are literally the counting/boolean instances of
+this mode; they keep their own labels for wire compatibility.
+
 Each decision is also recorded on the ambient metrics registry
-(``route.<label>`` counters) and as a ``route`` span, so request-scoped
+(``route.<label>`` counters, plus a ``semiring.<name>`` counter for
+aggregate requests) and as a ``route`` span, so request-scoped
 registries see exactly one route observation per request.
 """
 
@@ -40,12 +49,13 @@ from .database import Database
 from .factorized import _validated_free, factorize, is_free_connex
 from .query import JoinQuery
 from .relation import Relation
-from .wcoj import boolean_generic_join, generic_join
+from .semiring import Semiring
+from .wcoj import boolean_generic_join, generic_join, generic_join_aggregate
 from .yannakakis import boolean_yannakakis, yannakakis
 from .algebra import project
 
 #: Recognized request modes.
-MODES = ("enumerate", "count", "boolean")
+MODES = ("enumerate", "count", "boolean", "aggregate")
 
 #: Recognized route labels, in dichotomy order.
 ROUTES = ("factorized", "yannakakis", "wcoj", "treewidth-dp")
@@ -74,6 +84,9 @@ class RoutedAnswer:
     relation: Relation | None = None
     count: int | None = None
     nonempty: bool | None = None
+    #: The semiring value for ``mode="aggregate"`` (may itself be a
+    #: falsy value like ``0`` or ``False`` — test the mode, not this).
+    aggregate: object | None = None
 
 
 def decide_route(
@@ -100,6 +113,18 @@ def decide_route(
         return RouteDecision(
             "treewidth-dp", mode, "cyclic: counting DP over a tree decomposition"
         )
+    if mode == "aggregate":
+        if free_t != query.attributes:
+            raise InvalidInstanceError(
+                "aggregate mode folds full answers; projections are not supported"
+            )
+        if acyclic:
+            return RouteDecision(
+                "factorized", mode, "alpha-acyclic: semiring sweep over the d-rep"
+            )
+        return RouteDecision(
+            "wcoj", mode, "cyclic: generic join accumulating semiring values"
+        )
     if mode == "boolean":
         if acyclic:
             return RouteDecision(
@@ -125,6 +150,7 @@ def execute_route(
     free: Sequence[str] | None = None,
     mode: str = "enumerate",
     counter: CostCounter | None = None,
+    semiring: Semiring | None = None,
 ) -> RoutedAnswer:
     """Decide and run: the service-facing evaluation entry point.
 
@@ -137,7 +163,9 @@ def execute_route(
         the treewidth-dp branch.
     """
     decision = decide_route(query, free=free, mode=mode)
-    return run_route(query, database, decision, free=free, counter=counter)
+    return run_route(
+        query, database, decision, free=free, counter=counter, semiring=semiring
+    )
 
 
 def run_route(
@@ -146,6 +174,7 @@ def run_route(
     decision: RouteDecision,
     free: Sequence[str] | None = None,
     counter: CostCounter | None = None,
+    semiring: Semiring | None = None,
 ) -> RoutedAnswer:
     """Execute a pre-made :class:`RouteDecision` (the plan-cache hit path).
 
@@ -161,14 +190,28 @@ def run_route(
     """
     mode = decision.mode
     free_t = _validated_free(query, free)
+    if mode == "aggregate" and semiring is None:
+        raise InvalidInstanceError("aggregate mode requires a semiring")
     counter = counter if counter is not None else CostCounter()
     started = counter.total
     inc(f"route.{decision.route}")
+    if mode == "aggregate":
+        inc(f"semiring.{semiring.name}")
     with span("route", counter=counter, route=decision.route, mode=mode):
         relation: Relation | None = None
         count: int | None = None
         nonempty: bool | None = None
-        if mode == "count":
+        aggregate: object | None = None
+        if mode == "aggregate":
+            if decision.route == "factorized":
+                aggregate = factorize(
+                    query, database, counter=counter
+                ).aggregate(semiring)
+            else:
+                aggregate = generic_join_aggregate(
+                    query, database, semiring, counter=counter
+                )
+        elif mode == "count":
             if decision.route == "factorized":
                 count = factorize(query, database, counter=counter).count()
             else:
@@ -203,4 +246,5 @@ def run_route(
         relation=relation,
         count=count,
         nonempty=nonempty,
+        aggregate=aggregate,
     )

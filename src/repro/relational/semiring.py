@@ -1,0 +1,411 @@
+"""Commutative semirings: the sum-product algebra the engine is generic over.
+
+Fan–Koutris (*The Fine-Grained Complexity of Boolean Conjunctive
+Queries and Sum-Product Problems*, PAPERS.md) makes the paper's §4–§6
+uniformity precise: Boolean evaluation, #CQ counting, cheapest-witness
+search and lineage tracking are the *same* sum-product computation
+
+    ⨁_{answers t}  ⨂_{atoms A}  ann_A(t|_A)
+
+instantiated at different commutative semirings. This module is that
+parameter: a :class:`Semiring` bundles the carrier's distinguished
+elements (``zero``/``one``), the two operations, the algebraic flags
+the optimizers are allowed to exploit (idempotent ⊕ lets min-plus skip
+duplicate accumulation; absorption justifies semijoin pruning), the
+default per-tuple annotation, and the wire encoding.
+
+Canonical-value discipline
+--------------------------
+Every registered instance represents values *canonically* — min-plus
+witnesses are sorted multisets, provenance polynomials are sorted
+``(monomial, coefficient)`` tuples — so ⊕ and ⊗ are order-insensitive
+byte for byte. That is what makes the repo-wide invariant checkable:
+for every semiring, engine and backend, aggregating through the
+generic core is ``==``-identical (hence byte-identical on the wire) to
+materializing the full answer and folding it flat. The law fixture
+every registration points at (see ``laws``) property-checks the
+semiring axioms plus the declared idempotence/absorption flags.
+
+Registered instances
+--------------------
+* ``boolean`` — ∨/∧ over {False, True}: query answering (SumProd
+  specializes to the Boolean CQ problem);
+* ``counting`` — +/× over ℕ: #CQ without materialization;
+* ``minplus`` — min/+ over cost-with-witness pairs: cheapest witness
+  search, the tropical semiring with back-pointers;
+* ``provenance`` — why-provenance polynomials ℕ[X]: lineage tracking,
+  the most general (free) commutative semiring over the tuple
+  variables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..errors import InvalidInstanceError
+from .query import JoinQuery
+from .relation import Relation, Value
+
+#: The cost of an absent min-plus witness (the ⊕-identity's cost).
+INF = float("inf")
+
+#: Property suite that checks the semiring axioms and the declared
+#: idempotence/absorption flags for every registered instance.
+LAW_FIXTURE = "tests/property/test_property_semiring.py"
+
+
+class Semiring:
+    """One commutative semiring, with engine-facing extras.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (also the service wire name).
+    zero / one:
+        The ⊕- and ⊗-identities, in canonical representation.
+    add / mul:
+        ⊕ and ⊗ on canonical values; both commutative and associative,
+        with ``mul`` distributing over ``add`` and ``zero``
+        annihilating ``mul`` — the laws the fixture checks.
+    idempotent_add:
+        ``a ⊕ a == a`` (boolean, min-plus). Lets engines collapse
+        duplicate accumulation.
+    absorptive:
+        ``a ⊕ (a ⊗ b) == a`` for annotation-reachable values (boolean;
+        min-plus with nonnegative costs). Justifies semijoin pruning.
+    annotation_free:
+        ``annotate`` returns ``one`` for every tuple, so every answer
+        weighs ``one`` and a block of ``m`` answers contributes
+        ``repeat_add(one, m)`` — the columnar counting fast path.
+    laws:
+        Repo-relative path of the law-check fixture (REP012 verifies
+        the file exists).
+    """
+
+    __slots__ = (
+        "name",
+        "zero",
+        "one",
+        "add",
+        "mul",
+        "idempotent_add",
+        "absorptive",
+        "annotation_free",
+        "laws",
+        "description",
+        "_annotate",
+        "_repeat",
+        "_payload",
+    )
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        zero,
+        one,
+        add: Callable,
+        mul: Callable,
+        idempotent_add: bool,
+        absorptive: bool,
+        annotation_free: bool = False,
+        laws: str = LAW_FIXTURE,
+        description: str = "",
+        annotate: Callable[[str, tuple], object] | None = None,
+        repeat: Callable[[object, int], object] | None = None,
+        payload: Callable[[object], object] | None = None,
+    ) -> None:
+        self.name = name
+        self.zero = zero
+        self.one = one
+        self.add = add
+        self.mul = mul
+        self.idempotent_add = idempotent_add
+        self.absorptive = absorptive
+        self.annotation_free = annotation_free
+        self.laws = laws
+        self.description = description
+        self._annotate = annotate
+        self._repeat = repeat
+        self._payload = payload
+
+    def annotate(self, relation_name: str, tup: tuple) -> object:
+        """The default annotation of one tuple (``one`` unless the
+        instance carries information per tuple, like a unit cost or a
+        provenance variable)."""
+        if self._annotate is None:
+            return self.one
+        return self._annotate(relation_name, tup)
+
+    def repeat_add(self, value, n: int):
+        """``value ⊕ value ⊕ … ⊕ value`` (``n`` copies), in O(1).
+
+        The block fast path: idempotent instances return ``value``
+        unchanged, counting multiplies, provenance scales
+        coefficients. ``n == 0`` is the empty sum, i.e. ``zero``.
+        """
+        if n < 0:
+            raise InvalidInstanceError(f"repeat_add needs n >= 0, got {n}")
+        if n == 0:
+            return self.zero
+        if self.idempotent_add:
+            return value
+        if self._repeat is None:  # pragma: no cover - registration error
+            raise InvalidInstanceError(
+                f"semiring {self.name!r} is not ⊕-idempotent and declares "
+                "no repeat rule"
+            )
+        return self._repeat(value, n)
+
+    def to_payload(self, value) -> object:
+        """JSON-serializable canonical encoding of ``value`` (the
+        service's ``aggregate`` response field)."""
+        if self._payload is None:
+            return value
+        return self._payload(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Semiring({self.name!r})"
+
+
+# -- the reference fold (materialize-then-fold) ------------------------
+
+
+def annotation_positions(
+    query: JoinQuery, order: Sequence[str]
+) -> list[tuple[str, tuple[int, ...]]]:
+    """Per atom: ``(relation name, positions of its attributes in
+    ``order``)`` — the index plan both the engines and the reference
+    fold use to recover each atom's tuple from a full assignment."""
+    out = []
+    for atom in query.atoms:
+        positions = tuple(order.index(a) for a in atom.attributes)
+        out.append((atom.relation_name, positions))
+    return out
+
+
+def fold_tuple(
+    semiring: Semiring,
+    plan: list[tuple[str, tuple[int, ...]]],
+    full: tuple[Value, ...],
+    annotate: Callable[[str, tuple], object] | None = None,
+) -> object:
+    """The ⊗-weight of one full answer: the product, in atom order, of
+    each atom's tuple annotation. Shared by every engine, which is what
+    makes per-answer weights engine-independent by construction."""
+    ann = annotate if annotate is not None else semiring.annotate
+    weight = semiring.one
+    for relation_name, positions in plan:
+        weight = semiring.mul(
+            weight, ann(relation_name, tuple(full[p] for p in positions))
+        )
+    return weight
+
+
+def aggregate_relation(
+    semiring: Semiring,
+    query: JoinQuery,
+    relation: Relation,
+    annotate: Callable[[str, tuple], object] | None = None,
+) -> object:
+    """Materialize-then-fold: ⊕ over a *full* answer relation's tuples
+    of their ⊗-weights. The reference implementation the generic core
+    is byte-identical to (the repo invariant), and the slow path the
+    bench sweep compares the fast paths against."""
+    if tuple(relation.attributes) != tuple(query.attributes):
+        raise InvalidInstanceError(
+            "aggregate_relation folds full answers: relation attributes "
+            f"{relation.attributes!r} != query attributes {query.attributes!r}"
+        )
+    plan = annotation_positions(query, query.attributes)
+    acc = semiring.zero
+    for t in relation.tuples:
+        acc = semiring.add(acc, fold_tuple(semiring, plan, t, annotate))
+    return acc
+
+
+# -- registered instances ----------------------------------------------
+
+
+def _counting_repeat(value: int, n: int) -> int:
+    return value * n
+
+
+def _mp_key(value: tuple) -> tuple:
+    cost, witness = value
+    return (cost, len(witness), witness)
+
+
+def _mp_add(a: tuple, b: tuple) -> tuple:
+    return a if _mp_key(a) <= _mp_key(b) else b
+
+
+def _mp_mul(a: tuple, b: tuple) -> tuple:
+    if a[0] == INF or b[0] == INF:
+        return (INF, ())
+    return (a[0] + b[0], tuple(sorted(a[1] + b[1])))
+
+
+def _mp_annotate(relation_name: str, tup: tuple) -> tuple:
+    label = f"{relation_name}({', '.join(map(repr, tup))})"
+    return (1.0, (label,))
+
+
+def _mp_payload(value: tuple) -> dict:
+    cost, witness = value
+    if cost == INF:
+        return {"cost": None, "witness": None}
+    return {"cost": cost, "witness": list(witness)}
+
+
+def _poly(entries: dict) -> tuple:
+    """Canonical polynomial: sorted ((vars…), coeff) pairs, no zeros."""
+    return tuple(sorted((m, c) for m, c in entries.items() if c != 0))
+
+
+def _poly_add(a: tuple, b: tuple) -> tuple:
+    entries = dict(a)
+    for mono, coeff in b:
+        entries[mono] = entries.get(mono, 0) + coeff
+    return _poly(entries)
+
+
+def _poly_mul(a: tuple, b: tuple) -> tuple:
+    entries: dict = {}
+    for mono_a, coeff_a in a:
+        for mono_b, coeff_b in b:
+            mono = tuple(sorted(mono_a + mono_b))
+            entries[mono] = entries.get(mono, 0) + coeff_a * coeff_b
+    return _poly(entries)
+
+
+def _poly_annotate(relation_name: str, tup: tuple) -> tuple:
+    label = f"{relation_name}({', '.join(map(repr, tup))})"
+    return (((label,), 1),)
+
+
+def _poly_repeat(value: tuple, n: int) -> tuple:
+    return tuple((mono, coeff * n) for mono, coeff in value)
+
+
+def _poly_payload(value: tuple) -> list:
+    return [[list(mono), coeff] for mono, coeff in value]
+
+
+#: Registry of semiring instances by name, populated below.
+SEMIRINGS: dict[str, Semiring] = {}
+
+
+def register_semiring(instance: Semiring) -> Semiring:
+    """Register one instance; duplicate names are an error.
+
+    A few identity checks run at registration so a broken instance
+    fails at import, not mid-query: ``zero`` must be the ⊕-identity
+    and ⊗-annihilator of ``one``, and ``one`` the ⊗-identity.
+    """
+    if instance.name in SEMIRINGS:
+        raise InvalidInstanceError(
+            f"semiring {instance.name!r} registered twice"
+        )
+    if instance.add(instance.zero, instance.one) != instance.one:
+        raise InvalidInstanceError(
+            f"semiring {instance.name!r}: zero is not the ⊕-identity"
+        )
+    if instance.mul(instance.one, instance.one) != instance.one:
+        raise InvalidInstanceError(
+            f"semiring {instance.name!r}: one is not the ⊗-identity"
+        )
+    if instance.mul(instance.zero, instance.one) != instance.zero:
+        raise InvalidInstanceError(
+            f"semiring {instance.name!r}: zero does not annihilate ⊗"
+        )
+    SEMIRINGS[instance.name] = instance
+    return instance
+
+
+def get_semiring(name: str) -> Semiring:
+    """Look up one registered instance by name."""
+    instance = SEMIRINGS.get(name)
+    if instance is None:
+        raise InvalidInstanceError(
+            f"unknown semiring {name!r}; known: {sorted(SEMIRINGS)}"
+        )
+    return instance
+
+
+def all_semirings() -> list[Semiring]:
+    """Every registered instance, in name order."""
+    return [SEMIRINGS[name] for name in sorted(SEMIRINGS)]
+
+
+BOOLEAN = register_semiring(
+    Semiring(
+        name="boolean",
+        zero=False,
+        one=True,
+        add=lambda a, b: a or b,
+        mul=lambda a, b: a and b,
+        idempotent_add=True,
+        absorptive=True,
+        annotation_free=True,
+        laws="tests/property/test_property_semiring.py",
+        description="∨/∧ over {False, True}: Boolean query answering",
+    )
+)
+
+COUNTING = register_semiring(
+    Semiring(
+        name="counting",
+        zero=0,
+        one=1,
+        add=lambda a, b: a + b,
+        mul=lambda a, b: a * b,
+        idempotent_add=False,
+        absorptive=False,
+        annotation_free=True,
+        laws="tests/property/test_property_semiring.py",
+        description="+/× over ℕ: #CQ counting without materialization",
+        repeat=_counting_repeat,
+    )
+)
+
+#: Min-plus values are ``(cost, witness)`` with the witness a sorted
+#: multiset (tuple) of tuple labels; ⊕ takes the minimum under the
+#: total order (cost, witness length, witness lex), so ties break
+#: deterministically and ⊕ is order-insensitive byte for byte. ⊗ adds
+#: costs and merges witnesses; because annotation costs are
+#: nonnegative, ⊗ is monotone and absorption holds on every value the
+#: engines can reach.
+MIN_PLUS = register_semiring(
+    Semiring(
+        name="minplus",
+        zero=(INF, ()),
+        one=(0.0, ()),
+        add=_mp_add,
+        mul=_mp_mul,
+        idempotent_add=True,
+        absorptive=True,
+        laws="tests/property/test_property_semiring.py",
+        description="tropical min/+ with witness back-pointers: "
+        "cheapest-witness search",
+        annotate=_mp_annotate,
+        payload=_mp_payload,
+    )
+)
+
+PROVENANCE = register_semiring(
+    Semiring(
+        name="provenance",
+        zero=(),
+        one=(((), 1),),
+        add=_poly_add,
+        mul=_poly_mul,
+        idempotent_add=False,
+        absorptive=False,
+        laws="tests/property/test_property_semiring.py",
+        description="why-provenance polynomials ℕ[X]: lineage tracking",
+        annotate=_poly_annotate,
+        repeat=_poly_repeat,
+        payload=_poly_payload,
+    )
+)

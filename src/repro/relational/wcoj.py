@@ -22,9 +22,14 @@ from ..errors import SchemaError
 from ..observability.metrics import SMALL_BUCKETS, current_metrics
 from ..observability.tracing import span
 from .database import Database
-from .kernels import boolean_generic_join_columnar, generic_join_columnar
+from .kernels import (
+    aggregate_columnar,
+    boolean_generic_join_columnar,
+    generic_join_columnar,
+)
 from .query import Atom, JoinQuery
 from .relation import Relation, Value
+from .semiring import Semiring, annotation_positions, fold_tuple
 
 
 class _AtomIndex:
@@ -166,6 +171,107 @@ def generic_join(
     if registry is not None:
         registry.counter("wcoj.answers").inc(len(answer))
     return answer
+
+
+def generic_join_aggregate(
+    query: JoinQuery,
+    database: Database,
+    semiring: Semiring,
+    attribute_order: Sequence[str] | None = None,
+    counter: CostCounter | None = None,
+    annotate=None,
+) -> object:
+    """SumProd by Generic Join: ⊕ over full answers of their ⊗-weights,
+    accumulated during the traversal — no answer relation ever exists.
+
+    The generic sum-product core for cyclic queries: identical
+    traversal, charges and instrumentation to :func:`generic_join`,
+    but each complete assignment folds into a running semiring
+    accumulator instead of being materialized. With the counting
+    instance this computes |Q(D)|, with boolean non-emptiness (without
+    the early exit — use :func:`boolean_generic_join` for that), with
+    min-plus the cheapest witness, with provenance the full lineage
+    polynomial. Values equal :func:`~repro.relational.semiring.aggregate_relation`
+    over the materialized answer byte for byte (the repo invariant).
+
+    Parameters
+    ----------
+    annotate:
+        Optional ``(relation_name, tuple) -> value`` override of the
+        semiring's default per-tuple annotation. Passing one disables
+        the annotation-free block fast path in the columnar kernel.
+
+    Complexity: O(N^rho*(H)) data complexity — the AGM bound — with
+    O(1) extra work per answer.
+    """
+    order, relevant = _validate(query, database, attribute_order)
+    if database.backend == "columnar":
+        return aggregate_columnar(
+            query, database, semiring, order, relevant, counter, annotate
+        )
+    indexes = [_AtomIndex(atom, database, order) for atom in query.atoms]
+    plan = annotation_positions(query, order)
+    trivial = annotate is None and semiring.annotation_free
+    add = semiring.add
+    one = semiring.one
+    acc = semiring.zero
+
+    registry = current_metrics()
+    probe_hist = candidate_hist = None
+    if registry is not None:
+        probe_hist = registry.histogram("wcoj.probes_per_answer", SMALL_BUCKETS)
+        candidate_hist = registry.histogram("wcoj.candidate_set_size")
+        registry.counter("wcoj.joins").inc()
+    probes_since_answer = 0
+    answers = 0
+
+    prefix: list[Value] = []
+    nodes: list[dict] = [index.root for index in indexes]
+
+    def recurse(pos: int) -> None:
+        nonlocal probes_since_answer, acc, answers
+        if pos == len(order):
+            charge(counter)
+            answers += 1
+            if trivial:
+                acc = add(acc, one)
+            else:
+                acc = add(
+                    acc, fold_tuple(semiring, plan, tuple(prefix), annotate)
+                )
+            if probe_hist is not None:
+                probe_hist.observe(probes_since_answer)
+                probes_since_answer = 0
+            return
+        atoms_here = relevant[pos]
+        candidate_nodes = sorted((nodes[i] for i in atoms_here), key=len)
+        smallest, rest = candidate_nodes[0], candidate_nodes[1:]
+        if candidate_hist is not None:
+            candidate_hist.observe(len(smallest))
+        for value in smallest:
+            charge(counter)
+            probes_since_answer += 1
+            if all(value in other for other in rest):
+                saved = [nodes[i] for i in atoms_here]
+                for i in atoms_here:
+                    charge(counter)
+                    nodes[i] = nodes[i][value]
+                prefix.append(value)
+                recurse(pos + 1)
+                prefix.pop()
+                for i, node in zip(atoms_here, saved):
+                    nodes[i] = node
+
+    with span(
+        "generic_join_aggregate",
+        counter=counter,
+        atoms=len(indexes),
+        attrs=len(order),
+    ):
+        recurse(0)
+    if registry is not None:
+        registry.counter("wcoj.answers").inc(answers)
+    return acc
 
 
 def boolean_generic_join(

@@ -16,8 +16,9 @@ and boolean variants each hand-rolled their own copy.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
-from ..counting import CostCounter
+from ..counting import CostCounter, charge
 from ..errors import SchemaError
 from ..hypergraph.acyclicity import is_alpha_acyclic, join_tree
 from . import kernels
@@ -26,6 +27,7 @@ from .database import Database
 from .joins import hash_join
 from .query import JoinQuery
 from .relation import Relation
+from .semiring import Semiring
 
 
 def tree_links(
@@ -122,6 +124,70 @@ def backend_relations(
     return relations, semijoin, hash_join
 
 
+@dataclass
+class ReducedForest:
+    """A semijoin-reduced join forest, ready for joining or a DP sweep.
+
+    ``relations`` are the per-atom backend relations after the reducer
+    pass (mutated in place); ``semi``/``join`` are the backend's
+    kernels; ``alive`` is ``False`` when ``stop_when_empty`` tripped
+    (the answer is certainly empty).
+    """
+
+    relations: list
+    children: dict[int, list[int]]
+    roots: list[int]
+    semi: Callable
+    join: Callable
+    alive: bool
+
+
+def reduced_join_forest(
+    query: JoinQuery,
+    database: Database,
+    counter: CostCounter | None = None,
+    *,
+    forest: tuple[dict[int, list[int]], list[int]] | None = None,
+    downward: bool = True,
+    stop_when_empty: bool = False,
+) -> ReducedForest:
+    """Backend relations + join forest + full-reducer sweep, in one call.
+
+    The shared front half of every acyclic evaluator — full and
+    boolean Yannakakis, the semiring DP, and the factorized build all
+    start with exactly this sequence (``backend_relations`` →
+    ``join_tree``/``tree_links`` → :func:`semijoin_reduce`), which
+    each historically hand-rolled. Charges are identical to running
+    the parts by hand: this helper adds no operations of its own (the
+    op-count-parity test pins that).
+
+    Parameters
+    ----------
+    forest:
+        Optional pre-built ``(children, roots)`` orientation over the
+        atom indices — the factorized build passes its re-rooted
+        extended-tree forest; by default a join tree of the query's
+        own hypergraph is built.
+    """
+    relations, semi, join = backend_relations(query, database)
+    if forest is None:
+        children, __, roots = tree_links(
+            len(relations), join_tree(query.hypergraph())
+        )
+    else:
+        children, roots = forest
+    alive = semijoin_reduce(
+        relations,
+        children,
+        roots,
+        semi,
+        counter,
+        downward=downward,
+        stop_when_empty=stop_when_empty,
+    )
+    return ReducedForest(relations, children, roots, semi, join, alive)
+
+
 def yannakakis(
     query: JoinQuery,
     database: Database,
@@ -147,11 +213,9 @@ def yannakakis(
         raise SchemaError("Yannakakis requires an alpha-acyclic query")
 
     columnar = database.backend == "columnar"
-    relations, semi, join = backend_relations(query, database)
-    links = join_tree(hypergraph)
-    children, __, roots = tree_links(len(relations), links)
-
-    semijoin_reduce(relations, children, roots, semi, counter, downward=True)
+    forest = reduced_join_forest(query, database, counter, downward=True)
+    relations, children, roots = forest.relations, forest.children, forest.roots
+    join = forest.join
 
     # Bottom-up join; after full reduction intermediates stay bounded by
     # the final answer size times the number of atoms.
@@ -193,16 +257,97 @@ def boolean_yannakakis(
     if not is_alpha_acyclic(hypergraph):
         raise SchemaError("Yannakakis requires an alpha-acyclic query")
 
-    relations, semi, __ = backend_relations(query, database)
-    links = join_tree(hypergraph)
-    children, __, roots = tree_links(len(relations), links)
-
-    if not semijoin_reduce(
-        relations, children, roots, semi, counter,
-        downward=False, stop_when_empty=True,
-    ):
+    forest = reduced_join_forest(
+        query, database, counter, downward=False, stop_when_empty=True
+    )
+    if not forest.alive:
         return False
-    return all(len(relations[r]) for r in roots)
+    return all(len(forest.relations[r]) for r in forest.roots)
+
+
+def semiring_yannakakis(
+    query: JoinQuery,
+    database: Database,
+    semiring: Semiring,
+    counter: CostCounter | None = None,
+    annotate=None,
+) -> object:
+    """SumProd over an α-acyclic full query by message passing along a
+    join tree — the semiring generalization of Yannakakis.
+
+    Per node ``j`` and surviving tuple ``t``,
+
+        val_j(t) = ann_j(t) ⊗ ⨂_{c child of j} ⨁_{t' ∈ R_c, t' ~ t} val_c(t')
+
+    computed leaves-first; the query's SumProd value is the product
+    over tree roots of their tuple sums. Distributivity makes this
+    equal — value-identical, byte for byte on canonical values — to
+    folding the materialized answer flat, without ever joining.
+    Per-group ⊕-folds go through the per-semiring vectorized
+    :func:`~repro.relational.kernels.segment_fold` (``np.add.reduceat``
+    segment sums for counting, ``np.minimum.reduceat`` for min-plus).
+
+    Complexity: O(‖D‖ · |A|) data complexity — one upward semijoin
+    sweep plus one DP pass touching each tuple once per tree edge.
+    """
+    query.validate_against(database)
+    if not is_alpha_acyclic(query.hypergraph()):
+        raise SchemaError("semiring_yannakakis requires an alpha-acyclic query")
+
+    columnar = database.backend == "columnar"
+    forest = reduced_join_forest(query, database, counter, downward=False)
+    if columnar:
+        relations = [
+            kernels.to_relation(
+                view, database.kernels.interner, query.atoms[i].relation_name
+            )
+            for i, view in enumerate(forest.relations)
+        ]
+    else:
+        relations = forest.relations
+
+    ann = annotate if annotate is not None else semiring.annotate
+    trivial = annotate is None and semiring.annotation_free
+    one, zero, mul = semiring.one, semiring.zero, semiring.mul
+
+    values: dict[int, dict[tuple, object]] = {}
+    for node in leaves_first(forest.children, forest.roots):
+        rel = relations[node]
+        name = query.atoms[node].relation_name
+        node_vals: dict[tuple, object] = {}
+        for t in rel.tuples:
+            charge(counter)
+            node_vals[t] = one if trivial else ann(name, t)
+        for child in forest.children[node]:
+            crel = relations[child]
+            shared = [a for a in crel.attributes if a in rel.attributes]
+            cpos = [crel.position(a) for a in shared]
+            buckets: dict[tuple, list] = {}
+            for t, v in values.pop(child).items():
+                buckets.setdefault(tuple(t[p] for p in cpos), []).append(v)
+            flat: list = []
+            starts: list[int] = []
+            for group in buckets.values():
+                starts.append(len(flat))
+                flat.extend(group)
+            message = dict(
+                zip(buckets, kernels.segment_fold(semiring, flat, starts))
+            )
+            ppos = [rel.position(a) for a in shared]
+            for t in node_vals:
+                charge(counter)
+                incoming = message.get(tuple(t[p] for p in ppos), zero)
+                node_vals[t] = mul(node_vals[t], incoming)
+        values[node] = node_vals
+
+    result = one
+    for root in forest.roots:
+        totals = list(values[root].values())
+        if not totals:
+            return zero
+        starts = [0]
+        result = mul(result, kernels.segment_fold(semiring, totals, starts)[0])
+    return result
 
 
 def _topological_leaves_first(

@@ -110,10 +110,13 @@ class ServiceClient:
         atoms: list[dict],
         free=None,
         mode: str = "enumerate",
+        semiring: str | None = None,
     ) -> tuple[int, dict]:
         payload = {"database": database, "atoms": atoms, "mode": mode}
         if free is not None:
             payload["free"] = list(free)
+        if semiring is not None:
+            payload["semiring"] = semiring
         return await self.request("POST", "/query", payload)
 
     async def solve(

@@ -118,6 +118,13 @@ def render_dashboard_text_from_payload(payload: dict) -> str:
         total = sum(route_mix.values()) or 1
         for route, count in sorted(route_mix.items()):
             lines.append(f"{route:<14} {count:>6}  ({100.0 * count / total:.1f}%)")
+    semiring_mix = telemetry.get("semiring_mix", {})
+    if semiring_mix:
+        lines.append("")
+        lines.append("-- semiring mix (aggregate mode) --")
+        total = sum(semiring_mix.values()) or 1
+        for name, count in sorted(semiring_mix.items()):
+            lines.append(f"{name:<14} {count:>6}  ({100.0 * count / total:.1f}%)")
     for name, histogram in sorted(telemetry.get("latency_histograms", {}).items()):
         lines.append("")
         lines.append(render_histogram_text(f"latency[{name}] ms", histogram))
@@ -270,6 +277,17 @@ def render_dashboard_html_from_payload(payload: dict) -> str:
         body.append(
             "<table><thead><tr><th>route</th><th>requests</th></tr></thead>"
             f"<tbody>{mix_rows}</tbody></table>"
+        )
+    semiring_mix = telemetry.get("semiring_mix", {})
+    if semiring_mix:
+        body.append("<h2>Semiring mix (aggregate mode)</h2>")
+        semiring_rows = "".join(
+            f"<tr><td>{_html.escape(name)}</td><td>{count}</td></tr>"
+            for name, count in sorted(semiring_mix.items())
+        )
+        body.append(
+            "<table><thead><tr><th>semiring</th><th>requests</th></tr></thead>"
+            f"<tbody>{semiring_rows}</tbody></table>"
         )
     histograms = sorted(telemetry.get("latency_histograms", {}).items())
     if histograms:

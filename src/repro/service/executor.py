@@ -57,6 +57,7 @@ from ..observability.metrics import MetricsRegistry, activate_metrics
 from ..observability.tracing import TraceContext, activate
 from ..relational.query import Atom, JoinQuery
 from ..relational.router import RouteDecision, run_route
+from ..relational.semiring import get_semiring
 from .store import DatabaseStore, database_from_payload
 
 #: Hex digits of the fingerprint used for shard placement. 16 digits
@@ -98,12 +99,20 @@ def evaluate_core(database, spec: dict, track: str) -> dict:
     decision = RouteDecision(
         route=spec["route"], mode=spec["mode"], reason=spec["reason"]
     )
+    semiring = (
+        get_semiring(spec["semiring"]) if spec.get("semiring") is not None else None
+    )
     trace = TraceContext(track=track)
     registry = MetricsRegistry()
     counter = CostCounter()
     with activate(trace), activate_metrics(registry):
         answer = run_route(
-            query, database, decision, free=tuple(spec["free"]), counter=counter
+            query,
+            database,
+            decision,
+            free=tuple(spec["free"]),
+            counter=counter,
+            semiring=semiring,
         )
     core = {
         "route": answer.decision.route,
@@ -118,6 +127,11 @@ def evaluate_core(database, spec: dict, track: str) -> dict:
         core["count"] = answer.count
     if answer.nonempty is not None:
         core["nonempty"] = answer.nonempty
+    if decision.mode == "aggregate":
+        # The value itself can be falsy (0, False): key off the mode,
+        # and ship the semiring's JSON-safe payload form on the wire.
+        core["semiring"] = semiring.name
+        core["aggregate"] = semiring.to_payload(answer.aggregate)
     return core
 
 

@@ -38,14 +38,16 @@ def plan_key(
     database_name: str,
     fingerprint: str,
     backend: str,
+    semiring: str | None = None,
 ) -> str:
     """The content-addressed cache key for one prepared plan.
 
     Because the material includes the database fingerprint, this one
     key also identifies an *evaluation*: same key ⇒ same query shape,
-    route inputs, and database content ⇒ same answers. Single-flight
-    coalescing and the result cache both key on it for exactly that
-    reason.
+    route inputs, database content — and, for aggregate mode, the
+    semiring (a counting result must never serve a min-cost repeat) ⇒
+    same answers. Single-flight coalescing and the result cache both
+    key on it for exactly that reason.
     """
     material = {
         "atoms": [
@@ -54,6 +56,7 @@ def plan_key(
         ],
         "free": list(free),
         "mode": mode,
+        "semiring": semiring,
         "database": database_name,
         "fingerprint": fingerprint,
         "backend": backend,
@@ -154,6 +157,7 @@ class PlanCache(BoundedLruCache):
         database_name: str,
         fingerprint: str,
         backend: str,
+        semiring: str | None = None,
     ) -> tuple[PreparedPlan, bool]:
         """Return ``(plan, was_hit)``, preparing and caching on miss.
 
@@ -162,7 +166,9 @@ class PlanCache(BoundedLruCache):
         anything is cached.
         """
         free_t = _validated_free(query, free)
-        key = plan_key(query, free_t, mode, database_name, fingerprint, backend)
+        key = plan_key(
+            query, free_t, mode, database_name, fingerprint, backend, semiring
+        )
         plan = self.lookup(key)
         if plan is not None:
             return plan, True

@@ -49,6 +49,7 @@ from ..observability.chrome_trace import record_to_chrome_trace
 from ..observability.metrics import MetricsRegistry, activate_metrics
 from ..observability.tracing import TraceContext, activate
 from ..relational.query import Atom, JoinQuery
+from ..relational.semiring import get_semiring
 from .admission import AdmissionController, RequestShedError
 from .coalesce import ResultCache, SingleFlight
 from .executor import ShardedExecutor, canonical_answers, evaluate_core
@@ -411,15 +412,35 @@ class QueryService:
             raise SchemaError("query payload needs a string 'database'")
         mode = payload.get("mode", "enumerate")
         free = payload.get("free")
+        semiring_name = payload.get("semiring")
+        if semiring_name is not None and mode != "aggregate":
+            raise SchemaError(
+                "the 'semiring' field is only valid with mode='aggregate'"
+            )
+        if mode == "aggregate":
+            semiring_name = semiring_name if semiring_name is not None else "counting"
+            if not isinstance(semiring_name, str):
+                raise SchemaError("query 'semiring' must be a string")
+            get_semiring(semiring_name)  # unknown names 400 before caching
         query = query_from_payload(payload)
         database = self.store.get(database_name)
         fingerprint = self.store.fingerprint(database_name)
         plan, was_hit = self.plan_cache.get_or_build(
-            query, free, mode, database_name, fingerprint, self.store.backend
+            query,
+            free,
+            mode,
+            database_name,
+            fingerprint,
+            self.store.backend,
+            semiring_name,
         )
         self.telemetry.registry.counter(
             "plan_cache.hits" if was_hit else "plan_cache.misses"
         ).inc()
+        if semiring_name is not None:
+            self.telemetry.registry.counter(
+                f"requests.semiring.{semiring_name}"
+            ).inc()
         # The spec is the evaluation's full input: everything
         # evaluate_core needs, picklable, identical for inline and
         # worker paths. plan.key identifies it content-addressed.
@@ -430,6 +451,7 @@ class QueryService:
             ],
             "free": list(plan.free),
             "mode": mode,
+            "semiring": semiring_name,
             "route": plan.decision.route,
             "reason": plan.decision.reason,
             "database": database_name,
@@ -484,7 +506,7 @@ class QueryService:
         }
         if self.result_cache is not None:
             result["result_cache"] = {"hit": cache_hit}
-        for field in ("answers", "count", "nonempty"):
+        for field in ("answers", "count", "nonempty", "semiring", "aggregate"):
             if field in core:
                 result[field] = core[field]
         extras = {

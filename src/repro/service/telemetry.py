@@ -272,6 +272,16 @@ class ServiceTelemetry:
             if name.startswith(prefix)
         }
 
+    def semiring_mix(self) -> dict[str, int]:
+        """Aggregate-mode requests by semiring name (empty until one)."""
+        payload = self.registry.to_payload().get("counters", {})
+        prefix = "requests.semiring."
+        return {
+            name[len(prefix):]: value
+            for name, value in payload.items()
+            if name.startswith(prefix)
+        }
+
     def snapshot(self) -> dict:
         """The ``/metrics`` payload: everything, JSON-safe, sorted keys."""
         return {
@@ -286,6 +296,7 @@ class ServiceTelemetry:
                 for name, hist in sorted(self.route_latency.items())
             },
             "route_mix": self.route_mix(),
+            "semiring_mix": self.semiring_mix(),
             "latency_histograms": {
                 name: hist.to_payload()
                 for name, hist in sorted(self.endpoint_latency.items())

@@ -1,0 +1,39 @@
+"""Fixture: broken semiring registrations (REP012 fires).
+
+Three violations: a computed name with no declared zero/one and no law
+fixture; a literal name whose laws= path does not exist.
+"""
+
+
+class Semiring:
+    def __init__(self, **kwargs):
+        pass
+
+
+def register_semiring(instance):
+    return instance
+
+
+def _make_name():
+    return "dyn" + "amic"
+
+
+DYNAMIC = register_semiring(
+    Semiring(
+        name=_make_name(),
+        add=min,
+        mul=lambda a, b: a + b,
+        laws="repro/fixture_laws.py",
+    )
+)
+
+DANGLING = register_semiring(
+    Semiring(
+        name="dangling",
+        zero=0,
+        one=1,
+        add=lambda a, b: a + b,
+        mul=lambda a, b: a * b,
+        laws="tests/never/exists.py",
+    )
+)

@@ -1,0 +1,1 @@
+"""Fixture: stands in for a semiring law-check property suite."""

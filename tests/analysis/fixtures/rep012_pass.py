@@ -1,0 +1,24 @@
+"""Fixture: a well-formed semiring registration (REP012 passes)."""
+
+
+class Semiring:
+    def __init__(self, **kwargs):
+        pass
+
+
+def register_semiring(instance):
+    return instance
+
+
+TROPICAL = register_semiring(
+    Semiring(
+        name="tropical",
+        zero=float("inf"),
+        one=0.0,
+        add=min,
+        mul=lambda a, b: a + b,
+        idempotent_add=True,
+        absorptive=True,
+        laws="repro/fixture_laws.py",
+    )
+)

@@ -24,12 +24,12 @@ class TestLiveTree:
         locations = [f"{f.location} {f.message}" for f in findings]
         assert findings == [], "\n".join(locations)
 
-    def test_all_twenty_one_experiment_entry_points_resolve_and_are_clean(
+    def test_all_twenty_two_experiment_entry_points_resolve_and_are_clean(
         self, live
     ):
         _, analysis = live
         entries = analysis.experiment_entry_points()
-        assert sorted(entries) == sorted(f"E{i}" for i in range(1, 22))
+        assert sorted(entries) == sorted(f"E{i}" for i in range(1, 23))
         for key, (_module, runners) in sorted(entries.items()):
             assert runners, f"{key} has no resolvable runner"
             for node_id in runners:

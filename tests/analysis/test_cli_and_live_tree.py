@@ -143,7 +143,7 @@ class TestSemanticCli:
         assert on_disk["version"] == "2.1.0"
         run = on_disk["runs"][0]
         assert run["tool"]["driver"]["name"] == "repro-lint"
-        assert len(run["tool"]["driver"]["rules"]) == 11
+        assert len(run["tool"]["driver"]["rules"]) == 12
         # clean tree: baselined findings are deliberately omitted
         assert run["results"] == []
 

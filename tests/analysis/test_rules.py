@@ -14,7 +14,7 @@ def codes(findings):
 
 
 class TestRegistry:
-    def test_eleven_families_registered(self):
+    def test_twelve_families_registered(self):
         assert [r.code for r in all_rules()] == [
             "REP001",
             "REP002",
@@ -27,6 +27,7 @@ class TestRegistry:
             "REP009",
             "REP010",
             "REP011",
+            "REP012",
         ]
 
     def test_unknown_rule_rejected(self):
@@ -196,6 +197,45 @@ class TestRep007TransformRegistration:
         assert "omits target=" in messages
         assert "no guarantee schema" in messages
         assert all(f.severity is Severity.ERROR for f in findings)
+
+
+class TestRep012SemiringRegistration:
+    def test_pass_with_literal_name_elements_and_laws(self, findings_for):
+        findings = findings_for(
+            {
+                "relational/fixture.py": "rep012_pass.py",
+                "fixture_laws.py": "rep012_laws.py",
+            },
+            "REP012",
+        )
+        assert findings == []
+
+    def test_fail_flags_every_defect(self, findings_for):
+        findings = findings_for(
+            {
+                "relational/fixture.py": "rep012_fail.py",
+                "fixture_laws.py": "rep012_laws.py",
+            },
+            "REP012",
+        )
+        assert codes(findings) == ["REP012"] * 4
+        messages = " ".join(f.message for f in findings)
+        assert "string literal" in messages
+        assert "zero=" in messages
+        assert "one=" in messages
+        assert "does not exist" in messages
+        assert all(f.severity is Severity.ERROR for f in findings)
+        contexts = {f.context for f in findings}
+        assert contexts == {"<unnamed>", "dangling"}
+
+    def test_repo_registrations_are_clean(self):
+        from pathlib import Path
+
+        from repro.analysis import analyze_project, load_project
+
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        project = load_project(root)
+        assert analyze_project(project, ["REP012"]) == []
 
 
 class TestRep010AsyncBlocking:

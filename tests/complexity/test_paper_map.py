@@ -19,7 +19,7 @@ class TestPaperMap:
         assert sections == expected
 
     def test_every_experiment_id_valid(self):
-        valid_prefixes = {f"E{i}-" for i in range(1, 21)}
+        valid_prefixes = {f"E{i}-" for i in range(1, 23)}
         for entry in PAPER_MAP:
             for experiment in entry.experiments:
                 assert any(experiment.startswith(p) for p in valid_prefixes)
@@ -35,10 +35,10 @@ class TestPaperMap:
             assert entry.section in text
             assert entry.title in text
 
-    def test_experiments_cover_e1_to_e20(self):
+    def test_experiments_cover_e1_to_e22(self):
         mentioned = {
             experiment.split("-")[0]
             for entry in PAPER_MAP
             for experiment in entry.experiments
         }
-        assert mentioned == {f"E{i}" for i in range(1, 21)}
+        assert mentioned == {f"E{i}" for i in range(1, 23)}

@@ -36,8 +36,8 @@ class TestCLI:
         assert main(["run", "E99", "--results-dir", str(tmp_path)]) == 2
 
     def test_every_runner_registered(self):
-        assert len(RUNNERS) == 21
-        assert len(SPECS) == 21
+        assert len(RUNNERS) == 22
+        assert len(SPECS) == 22
         for key, runners in RUNNERS.items():
             assert runners, key
 

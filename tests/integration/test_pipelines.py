@@ -94,7 +94,7 @@ class TestBoundExperimentIndexConsistency:
     def test_every_bound_names_valid_experiment(self):
         """Experiment ids in the bounds registry exist in DESIGN.md's
         index (by prefix convention E<number>-)."""
-        valid_prefixes = {f"E{i}-" for i in range(1, 22)}
+        valid_prefixes = {f"E{i}-" for i in range(1, 23)}
         for bound in all_lower_bounds():
             if bound.experiment:
                 assert any(

@@ -43,8 +43,8 @@ class TestEveryRegisteredBound:
         assert len(results) == len(all_lower_bounds())
         derived_count = sum(1 for _, replay in results if replay is not None)
         axiom_count = sum(1 for _, replay in results if replay is None)
-        assert derived_count == 8
-        assert axiom_count == 11
+        assert derived_count == 9
+        assert axiom_count == 12
 
     def test_replayed_chains_recertify(self):
         for bound, replay in check_all_derivations():
